@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Heavy, figure-scale benches use ``benchmark.pedantic`` with one round;
+microbenches let pytest-benchmark calibrate itself.
+"""
+
+import pytest
+
+
+def one_shot(benchmark, func, *args, **kwargs):
+    """Run ``func`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    """Fixture exposing :func:`one_shot`."""
+    return one_shot

@@ -1,0 +1,132 @@
+"""Ablation benches: the design-choice studies of DESIGN.md §5.
+
+Each regenerates one ablation table and asserts its headline finding.
+"""
+
+from repro.bench import (
+    block_size_ablation,
+    cpu_threads_ablation,
+    crs_vs_dense_ablation,
+    kernel_comparison_ablation,
+    multigpu_ablation,
+    precision_ablation,
+    transport_ablation,
+)
+
+
+class TestBlockSizeAblation:
+    """Paper §V future work: 'quest a method to find the best block size'."""
+
+    def test_regenerate(self, benchmark):
+        result = benchmark(block_size_ablation)
+        print()
+        print(result.render())
+
+        # D=1000, bandwidth-bound: BLOCK_SIZE is nearly free below H_SIZE.
+        d1000 = dict(zip(result.column("BLOCK_SIZE"), result.column("seconds_D1000")))
+        assert d1000[512] < 1.05 * d1000[32]
+        # D=128: blocks wider than the vector idle lanes and pay for it.
+        d128 = dict(zip(result.column("BLOCK_SIZE"), result.column("seconds_D128")))
+        assert d128[512] > 2.0 * d128[128]
+
+
+class TestCrsVsDenseAblation:
+    """Paper Sec. II-A4: O(SRND) sparse vs O(SRND^2) dense."""
+
+    def test_regenerate(self, benchmark):
+        result = benchmark(crs_vs_dense_ablation)
+        print()
+        print(result.render())
+
+        ratios = result.column("gpu_dense_over_csr")
+        dims = result.column("D")
+        # CRS always wins, and the advantage grows with D (linearly in
+        # theory; monotone is what we assert).
+        assert all(r > 10 for r in ratios)
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        assert dims == sorted(dims)
+
+
+class TestMultiGpuAblation:
+    """Paper §V future work: the GPU-cluster extension."""
+
+    def test_regenerate(self, run_once, benchmark):
+        result = run_once(benchmark, multigpu_ablation)
+        print()
+        print(result.render())
+
+        fixed = result.column("scaling_bs256")
+        tuned = result.column("scaling_tuned")
+        # Tuned block sizes never scale worse than the paper's fixed 256 ...
+        assert all(t >= f - 1e-9 for f, t in zip(fixed, tuned))
+        # ... and at 8+ devices the difference is substantial.
+        assert tuned[-1] > 2.0 * fixed[-2]
+
+
+class TestPrecisionAblation:
+    """Paper Sec. IV: 'all calculations performed with double precision'."""
+
+    def test_regenerate(self, run_once, benchmark):
+        result = run_once(benchmark, precision_ablation)
+        print()
+        print(result.render())
+
+        ratios = result.column("dp_over_sp")
+        # Fermi: SP doubles the compute peak and halves the traffic, so
+        # the bandwidth-bound recursion gains ~2x.
+        assert all(1.5 <= r <= 2.2 for r in ratios)
+        # The accuracy price is recorded and small.
+        assert "drift" in result.notes
+
+
+class TestCpuThreadsAblation:
+    """Paper Sec. V future work #2: shared-memory parallelization."""
+
+    def test_regenerate(self, run_once, benchmark):
+        result = run_once(benchmark, cpu_threads_ablation)
+        print()
+        print(result.render())
+
+        adv_large = result.column("gpu_advantage_D1000")
+        adv_small = result.column("gpu_advantage_D128")
+        # The single-core baseline flatters the GPU ...
+        assert adv_large[0] > 3.0
+        # ... a full socket halves the DRAM-bound advantage ...
+        assert adv_large[-1] < 0.65 * adv_large[0]
+        # ... and overtakes the GPU on the cache-resident workload.
+        assert adv_small[-1] < 1.0
+
+
+class TestTransportAblation:
+    """Extension: the conductivity double expansion on the paper's design."""
+
+    def test_regenerate(self, run_once, benchmark):
+        result = run_once(benchmark, transport_ablation)
+        print()
+        print(result.render())
+
+        speedups = result.column("speedup")
+        # Compute-bound contraction: the GPU advantage grows with N,
+        # starting near the DoS figure's level.
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+        assert speedups[0] >= 2.5
+        assert speedups[-1] > 10.0
+        # Memory budget stays within the C2050's 3 GB at these sizes.
+        assert max(result.column("gpu_mib")) < 3 * 1024
+
+
+class TestKernelAblation:
+    """Paper Sec. I: why the Jackson kernel (Gibbs suppression)."""
+
+    def test_regenerate(self, run_once, benchmark):
+        result = run_once(benchmark, kernel_comparison_ablation)
+        print()
+        print(result.render())
+
+        rows = {row[0]: row for row in result.rows}
+        # All kernels conserve spectral weight.
+        for name, row in rows.items():
+            assert abs(row[1] - 1.0) < 0.05, name
+        # Only the undamped series rings below zero.
+        assert rows["dirichlet"][2] > 0.05
+        assert rows["jackson"][2] < 1e-6

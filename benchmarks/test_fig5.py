@@ -1,0 +1,22 @@
+"""Figure 5 regeneration bench: time + speedup vs N on the 10^3 lattice.
+
+Prints the same rows the paper's Fig. 5 reports (execution times of the
+CPU and GPU versions and their ratio) and asserts the paper's band:
+speedup ~3.5x, flat over N.  The benchmark time measures the full
+harness (analytic estimators at paper parameters).
+"""
+
+from repro.bench import fig5
+
+
+class TestFig5:
+    def test_regenerate(self, benchmark):
+        result = benchmark(fig5)
+        print()
+        print(result.render())
+
+        speedups = result.column("speedup")
+        assert result.column("N") == [128, 256, 512, 1024]
+        # Paper: "The speedup keeps 3.5 times for all the cases."
+        assert all(3.0 <= s <= 4.0 for s in speedups)
+        assert max(speedups) - min(speedups) < 0.25

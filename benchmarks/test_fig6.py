@@ -1,0 +1,41 @@
+"""Figure 6 regeneration bench: DoS at N=256 vs N=512, 10^3 lattice.
+
+Functional KPM run (reduced stochastic sampling, see DESIGN.md §5); the
+benchmark time is the real wall-clock of the moment recursion plus
+reconstruction on this host.
+"""
+
+import numpy as np
+
+from repro.bench import fig6
+
+
+class TestFig6:
+    def test_regenerate(self, run_once, benchmark):
+        result = run_once(
+            benchmark,
+            fig6,
+            num_random_vectors=12,
+            num_realizations=2,
+            num_energy_points=512,
+        )
+        print()
+        print(f"== {result.title} ==")
+        print(f"paper: {result.paper_expectation}")
+
+        energies = np.array(result.column("energy"))
+        low_n = np.array(result.column("dos_N256"))
+        high_n = np.array(result.column("dos_N512"))
+
+        # Both curves normalized over the band.
+        for curve in (low_n, high_n):
+            assert np.trapezoid(curve, energies) == np.float64(
+                np.trapezoid(curve, energies)
+            )
+            assert abs(np.trapezoid(curve, energies) - 1.0) < 0.02
+
+        # Higher N = sharper resolution (the figure's point).
+        tv_low = np.abs(np.diff(low_n)).sum()
+        tv_high = np.abs(np.diff(high_n)).sum()
+        print(f"total variation: N=256 -> {tv_low:.2f}, N=512 -> {tv_high:.2f}")
+        assert tv_high > 1.3 * tv_low

@@ -1,0 +1,22 @@
+"""Figure 7 regeneration bench: time + speedup vs N at H_SIZE=128.
+
+Paper band: speedup rises with N toward ~4x as fixed GPU overheads
+amortize.
+"""
+
+from repro.bench import fig7
+
+
+class TestFig7:
+    def test_regenerate(self, benchmark):
+        result = benchmark(fig7)
+        print()
+        print(result.render())
+
+        speedups = result.column("speedup")
+        assert result.column("N") == [128, 256, 512, 1024, 2048]
+        # Monotone rise ...
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+        # ... toward "almost 4 times".
+        assert 3.4 <= speedups[-1] <= 4.3
+        assert speedups[0] < speedups[-1] - 0.5

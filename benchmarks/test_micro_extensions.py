@@ -1,0 +1,84 @@
+"""Microbenchmarks: measured wall-clock of the extension modules.
+
+Conductivity (double expansion), Chebyshev propagation, thermodynamic
+quadrature, and incremental refinement — the costs a user pays beyond
+the core DoS pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kpm import (
+    KPMConfig,
+    SpectralDensity,
+    chemical_potential,
+    conductivity_moments_single_vector,
+    evolve_state,
+    exact_moments,
+    lattice_current_operator,
+    rescale_operator,
+    spectral_integral,
+)
+from repro.lattice import chain, cubic, tight_binding_hamiltonian
+
+
+@pytest.fixture(scope="module")
+def chain_system():
+    lattice = chain(512)
+    hamiltonian = tight_binding_hamiltonian(lattice, format="csr")
+    current = lattice_current_operator(lattice, 0)
+    scaled, rescaling = rescale_operator(hamiltonian)
+    return hamiltonian, current, scaled, rescaling
+
+
+class TestConductivity:
+    def test_double_expansion_n64(self, benchmark, chain_system):
+        _, current, scaled, _ = chain_system
+        r0 = np.random.default_rng(0).standard_normal(512)
+        mu_nm = benchmark(
+            conductivity_moments_single_vector, scaled, current, r0, 64
+        )
+        assert mu_nm.shape == (64, 64)
+
+
+class TestEvolution:
+    def test_propagate_t10_d512(self, benchmark, chain_system):
+        hamiltonian, _, _, _ = chain_system
+        psi0 = np.zeros(512)
+        psi0[256] = 1.0
+        evolved = benchmark(evolve_state, hamiltonian, psi0, 10.0)
+        assert abs(np.linalg.norm(evolved) - 1.0) < 1e-9
+
+
+class TestObservables:
+    @pytest.fixture(scope="class")
+    def moments_and_rescaling(self, chain_system):
+        _, _, scaled, rescaling = chain_system
+        return exact_moments(scaled, 256), rescaling
+
+    def test_spectral_integral(self, benchmark, moments_and_rescaling):
+        moments, rescaling = moments_and_rescaling
+        value = benchmark(
+            spectral_integral, moments, rescaling, lambda e: np.exp(-(e**2))
+        )
+        assert np.isfinite(value)
+
+    def test_chemical_potential_bisection(self, benchmark, moments_and_rescaling):
+        moments, rescaling = moments_and_rescaling
+        mu = benchmark(
+            chemical_potential, moments, rescaling, 0.3, num_points=1024
+        )
+        assert -2.0 < mu < 0.0
+
+
+class TestIncremental:
+    def test_add_vectors_batch(self, run_once, benchmark):
+        hamiltonian = tight_binding_hamiltonian(cubic(6), format="csr")
+        sd = SpectralDensity(hamiltonian, num_moments=128, seed=0)
+
+        def refine():
+            sd.add_vectors(8)
+            return sd.density_error_estimate()
+
+        run_once(benchmark, refine)
+        assert sd.num_vectors == 8

@@ -1,0 +1,46 @@
+"""Microbenchmarks: simulator overhead and the GPU pipeline at test scale.
+
+These time the *simulation machinery itself* (host wall-clock), which
+bounds how large a functional GPU run the harness can afford.
+"""
+
+import pytest
+
+from repro.gpu import Device, TESLA_C2050
+from repro.gpukpm import GpuKPM, estimate_gpu_kpm_seconds
+from repro.kpm import KPMConfig, rescale_operator
+from repro.lattice import cubic, tight_binding_hamiltonian
+
+
+@pytest.fixture(scope="module")
+def scaled_cube():
+    h = tight_binding_hamiltonian(cubic(5), format="csr")
+    scaled, _ = rescale_operator(h)
+    return scaled
+
+
+class TestSimulatorOverhead:
+    def test_pipeline_functional_d125(self, run_once, benchmark, scaled_cube):
+        config = KPMConfig(
+            num_moments=64, num_random_vectors=16, num_realizations=1, block_size=32
+        )
+        data, report = run_once(benchmark, GpuKPM().run, scaled_cube, config)
+        assert report.modeled_seconds > 0
+
+    def test_analytic_estimator_speed(self, benchmark):
+        # The estimator must be cheap enough to sweep thousands of
+        # configurations (block-size tuning, multi-GPU scaling curves).
+        config = KPMConfig(
+            num_moments=1024, num_random_vectors=128, num_realizations=14
+        )
+        seconds = benchmark(estimate_gpu_kpm_seconds, TESLA_C2050, 4096, config)
+        assert seconds > 0
+
+    def test_device_alloc_free_cycle(self, benchmark):
+        def cycle():
+            device = Device(TESLA_C2050)
+            arr = device.alloc((256, 256))
+            arr.free()
+            return device
+
+        benchmark(cycle)

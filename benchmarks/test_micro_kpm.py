@@ -1,0 +1,78 @@
+"""Microbenchmarks: measured wall-clock of the KPM numerics."""
+
+import numpy as np
+import pytest
+
+from repro.kpm import (
+    KPMConfig,
+    apply_kernel_damping,
+    evaluate_series_at,
+    moments_block,
+    moments_single_vector,
+    reconstruct_on_chebyshev_grid,
+    rescale_operator,
+    stochastic_moments,
+)
+from repro.lattice import cubic, tight_binding_hamiltonian
+
+
+@pytest.fixture(scope="module")
+def scaled_cube10():
+    h = tight_binding_hamiltonian(cubic(10), format="csr")
+    scaled, _ = rescale_operator(h)
+    return scaled
+
+
+class TestMomentRecursion:
+    def test_single_vector_n256(self, benchmark, scaled_cube10):
+        r0 = np.random.default_rng(0).standard_normal(1000)
+        mu = benchmark(moments_single_vector, scaled_cube10, r0, 256)
+        assert mu.shape == (256,)
+
+    def test_single_vector_n256_doubling(self, benchmark, scaled_cube10):
+        r0 = np.random.default_rng(0).standard_normal(1000)
+        mu = benchmark(
+            moments_single_vector, scaled_cube10, r0, 256, use_doubling=True
+        )
+        assert mu.shape == (256,)
+
+    def test_block_r16_n256(self, benchmark, scaled_cube10):
+        block = np.random.default_rng(0).standard_normal((1000, 16))
+        mu = benchmark(moments_block, scaled_cube10, block, 256)
+        assert mu.shape == (256, 16)
+
+    def test_stochastic_r8_s1_n128(self, run_once, benchmark, scaled_cube10):
+        config = KPMConfig(num_moments=128, num_random_vectors=8, num_realizations=1)
+        data = run_once(benchmark, stochastic_moments, scaled_cube10, config)
+        assert data.num_moments == 128
+
+
+class TestReconstruction:
+    @pytest.fixture(scope="class")
+    def damped(self):
+        rng = np.random.default_rng(2)
+        return apply_kernel_damping(rng.standard_normal(512) / 100, "jackson")
+
+    def test_dct_reconstruction_k4096(self, benchmark, damped):
+        x, f = benchmark(reconstruct_on_chebyshev_grid, damped, 4096)
+        assert x.shape == (4096,)
+
+    def test_direct_evaluation_m512(self, benchmark, damped):
+        points = np.linspace(-0.99, 0.99, 512)
+        f = benchmark(evaluate_series_at, damped, points)
+        assert f.shape == (512,)
+
+    def test_dct_beats_direct_at_scale(self, damped):
+        # The DCT path must be decisively faster for a full grid.
+        import time
+
+        start = time.perf_counter()
+        for _ in range(5):
+            reconstruct_on_chebyshev_grid(damped, 4096)
+        dct_time = time.perf_counter() - start
+
+        x, _ = reconstruct_on_chebyshev_grid(damped, 4096)
+        start = time.perf_counter()
+        evaluate_series_at(damped, x)
+        direct_time = time.perf_counter() - start
+        assert dct_time / 5 < direct_time

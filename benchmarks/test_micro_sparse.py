@@ -1,0 +1,53 @@
+"""Microbenchmarks: measured wall-clock of the sparse substrate.
+
+Real timings of what actually runs in this environment (NumPy host
+code), complementing the modeled hardware times of the figure benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lattice import cubic, tight_binding_hamiltonian
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def cube10_csr():
+    return tight_binding_hamiltonian(cubic(10), format="csr")
+
+
+@pytest.fixture(scope="module")
+def cube10_dense(cube10_csr):
+    return cube10_csr.to_dense()
+
+
+class TestSpMV:
+    def test_csr_matvec_d1000(self, benchmark, cube10_csr):
+        x = np.random.default_rng(0).standard_normal(1000)
+        result = benchmark(cube10_csr.matvec, x)
+        assert result.shape == (1000,)
+
+    def test_dense_matvec_d1000(self, benchmark, cube10_dense):
+        x = np.random.default_rng(0).standard_normal(1000)
+        benchmark(lambda: cube10_dense @ x)
+
+    def test_csr_matmat_d1000_r16(self, benchmark, cube10_csr):
+        block = np.random.default_rng(0).standard_normal((1000, 16))
+        result = benchmark(cube10_csr.matmat, block)
+        assert result.shape == (1000, 16)
+
+    def test_csr_matmat_equals_dense(self, cube10_csr, cube10_dense):
+        block = np.random.default_rng(1).standard_normal((1000, 8))
+        np.testing.assert_allclose(
+            cube10_csr.matmat(block), cube10_dense @ block, atol=1e-10
+        )
+
+
+class TestConstruction:
+    def test_build_cubic_hamiltonian(self, benchmark):
+        result = benchmark(tight_binding_hamiltonian, cubic(10), format="csr")
+        assert result.nnz_stored == 7000
+
+    def test_from_dense_d1000(self, benchmark, cube10_dense):
+        result = benchmark(CSRMatrix.from_dense, cube10_dense)
+        assert result.nnz_stored == 6000  # zero diagonal dropped by from_dense

@@ -1,0 +1,85 @@
+"""Anderson disorder study: how random on-site energies reshape the DoS.
+
+The paper's introduction motivates KPM with disordered / correlated
+systems where full diagonalization is hopeless.  This example sweeps the
+Anderson disorder strength ``W`` on a cubic lattice and shows the two
+classic signatures:
+
+* the band *broadens* beyond the clean edge ``|E| = 6`` (Lifshitz tails),
+* the van Hove structure of the clean lattice *washes out*.
+
+It also demonstrates the ``bounds_method="lanczos"`` option: Gerschgorin
+over-estimates the disordered spectrum's width by up to ``W/2 + 6``,
+wasting Chebyshev resolution, while a short Lanczos run finds tight
+bounds.
+
+Run:  python examples/anderson_disorder.py
+"""
+
+import numpy as np
+
+from repro import KPMConfig, compute_dos
+from repro.bench import ascii_plot, ascii_table
+from repro.kpm import gerschgorin_bounds, lanczos_bounds
+from repro.lattice import anderson_onsite_energies, cubic, tight_binding_hamiltonian
+
+
+def main() -> None:
+    lattice = cubic(8)  # 512 sites
+    config = KPMConfig(
+        num_moments=192,
+        num_random_vectors=16,
+        num_realizations=2,
+        bounds_method="lanczos",
+        seed=7,
+    )
+
+    rows = []
+    curves = {}
+    energies_ref = None
+    for strength in (0.0, 2.0, 6.0, 12.0):
+        if strength == 0.0:
+            hamiltonian = tight_binding_hamiltonian(lattice, format="csr")
+        else:
+            onsite = anderson_onsite_energies(lattice, strength, seed=3)
+            hamiltonian = tight_binding_hamiltonian(
+                lattice, onsite=onsite, format="csr"
+            )
+
+        gg = gerschgorin_bounds(hamiltonian)
+        lz = lanczos_bounds(hamiltonian, iterations=60, seed=0)
+        result = compute_dos(hamiltonian, config)
+
+        label = f"W={strength:g}"
+        # Evaluate every curve on a common grid for the overlay plot.
+        if energies_ref is None:
+            energies_ref = np.linspace(-9.0, 9.0, 65)
+        grid = np.clip(
+            energies_ref,
+            result.energies[0] + 1e-6,
+            result.energies[-1] - 1e-6,
+        )
+        curves[label] = result.evaluate(grid)
+        rows.append(
+            (
+                strength,
+                gg.upper - gg.lower,
+                lz.upper - lz.lower,
+                result.evaluate(np.array([0.0]))[0],
+                result.integrate(),
+            )
+        )
+
+    print("Spectral width: Gerschgorin vs Lanczos bounds, and DoS(0)")
+    print(
+        ascii_table(
+            ("W", "gerschgorin_width", "lanczos_width", "dos_at_0", "integral"),
+            rows,
+        )
+    )
+    print("\nDoS vs disorder strength (band tails grow with W):")
+    print(ascii_plot(energies_ref, curves, width=64, height=16))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Kubo-Greenwood conductivity: metal, band insulator, Anderson insulator.
+
+The double Chebyshev expansion (Weisse et al. Sec. IV) turns the same
+moment machinery the paper accelerates into a transport solver.  Three
+1-D scenarios:
+
+* uniform chain — a ballistic "metal": sigma(E) tracks v(E)^2 rho(E)^2
+  and peaks inside the band;
+* SSH dimerized chain — a band insulator: sigma vanishes inside the
+  dimerization gap around E = 0;
+* Anderson disorder — sigma collapses everywhere (1-D localization).
+
+Run:  python examples/conductivity.py
+"""
+
+import numpy as np
+
+from repro.bench import ascii_plot, ascii_table
+from repro.kpm import (
+    KPMConfig,
+    current_operator_from_edges,
+    kubo_greenwood_conductivity,
+    lattice_current_operator,
+)
+from repro.lattice import (
+    anderson_onsite_energies,
+    chain,
+    hamiltonian_from_edges,
+    tight_binding_hamiltonian,
+)
+
+
+def build_systems(length: int):
+    lattice = chain(length)
+    i, j = lattice.neighbor_pairs()
+    order = np.argsort(i)
+    i, j = i[order], j[order]
+
+    uniform = tight_binding_hamiltonian(lattice, format="csr")
+    current_uniform = lattice_current_operator(lattice, 0)
+
+    ssh_hoppings = np.where(np.arange(length) % 2 == 0, -1.0, -0.5)
+    ssh = hamiltonian_from_edges(length, i, j, hopping=ssh_hoppings)
+    current_ssh = current_operator_from_edges(
+        length, i, j, np.ones(length), hopping=ssh_hoppings
+    )
+
+    eps = anderson_onsite_energies(lattice, 3.0, seed=21)
+    dirty = tight_binding_hamiltonian(lattice, onsite=eps, format="csr")
+
+    return {
+        "metal": (uniform, current_uniform),
+        "SSH": (ssh, current_ssh),
+        "W=3": (dirty, current_uniform),
+    }
+
+
+def main() -> None:
+    config = KPMConfig(num_moments=64, num_random_vectors=12, seed=5)
+    # Stay inside every system's rescaled interval (the SSH chain's
+    # Gerschgorin band is the narrowest at +-1.5).
+    energies = np.linspace(-1.4, 1.4, 29)
+    systems = build_systems(192)
+
+    curves = {}
+    for name, (hamiltonian, current) in systems.items():
+        curves[name] = kubo_greenwood_conductivity(
+            hamiltonian, current, energies, config
+        )
+
+    print("Kubo-Greenwood sigma(E), three 1-D scenarios:")
+    print(ascii_plot(energies, curves, width=64, height=16))
+
+    rows = [
+        (name, float(sigma[len(energies) // 2]), float(sigma.max()))
+        for name, sigma in curves.items()
+    ]
+    print()
+    print(ascii_table(("system", "sigma(E=0)", "max sigma"), rows))
+    print("\nSSH gap kills sigma(0); Anderson disorder suppresses the whole curve.")
+
+
+if __name__ == "__main__":
+    main()

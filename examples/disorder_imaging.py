@@ -1,0 +1,60 @@
+"""Spatial LDoS imaging: watching Anderson disorder localize states.
+
+``repro.kpm.local_dos_map`` computes the local density of states on
+every site at chosen energies — the numerical analogue of an STM map.
+On a disordered square lattice the band-edge states concentrate on a few
+favorable sites (precursors of localization), while band-center states
+stay comparatively extended.  The example renders both maps as ASCII
+heatmaps and quantifies the contrast with the inverse participation
+ratio (IPR) of the LDoS weights.
+
+Run:  python examples/disorder_imaging.py
+"""
+
+import numpy as np
+
+from repro.bench import ascii_table
+from repro.kpm import KPMConfig, local_dos_map
+from repro.lattice import anderson_onsite_energies, square, tight_binding_hamiltonian
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray) -> str:
+    """Render a 2-D array as an ASCII heatmap (row-major)."""
+    lo, hi = values.min(), values.max()
+    span = hi - lo if hi > lo else 1.0
+    levels = ((values - lo) / span * (len(_SHADES) - 1)).astype(int)
+    return "\n".join("".join(_SHADES[v] for v in row) for row in levels)
+
+
+def participation_ratio(weights: np.ndarray) -> float:
+    """IPR-style concentration measure of a normalized weight map."""
+    normalized = weights / weights.sum()
+    return float(1.0 / np.sum(normalized**2) / weights.size)
+
+
+def main() -> None:
+    side = 24
+    lattice = square(side)
+    onsite = anderson_onsite_energies(lattice, 6.0, seed=17)
+    hamiltonian = tight_binding_hamiltonian(lattice, onsite=onsite, format="csr")
+
+    config = KPMConfig(num_moments=96)
+    probes = {"band center (E=0)": 0.0, "band tail (E=-5)": -5.0}
+    rows = []
+    for label, energy in probes.items():
+        ldos = local_dos_map(hamiltonian, np.array([energy]), config=config)
+        grid = ldos[:, 0].reshape(side, side)
+        print(f"{label} — LDoS map ({side}x{side} square, W=6):")
+        print(ascii_heatmap(grid))
+        print()
+        rows.append((label, float(grid.max() / grid.mean()), participation_ratio(grid)))
+
+    print(ascii_table(("energy", "peak/mean contrast", "participation ratio"), rows))
+    print("\nTail states live on rare low-energy sites (low participation);")
+    print("band-center states stay spread out.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""GPU speedup study: regenerate the paper's performance figures.
+
+Reproduces the timing content of the paper's evaluation (Figs. 5, 7, 8)
+from the analytic hardware models, prints the speedup tables, and then
+goes beyond the paper: the BLOCK_SIZE tuning the authors list as future
+work, and what CRS storage would have bought them.
+
+Run:  python examples/gpu_speedup_study.py
+"""
+
+from repro.bench import (
+    block_size_ablation,
+    crs_vs_dense_ablation,
+    fig5,
+    fig7,
+    fig8,
+)
+
+
+def main() -> None:
+    for build in (fig5, fig7, fig8):
+        result = build()
+        print(result.render())
+        print(result.to_plot("speedup", height=10))
+        print()
+
+    print(block_size_ablation(num_moments=512).render())
+    print()
+    print(crs_vs_dense_ablation().render())
+
+
+if __name__ == "__main__":
+    main()

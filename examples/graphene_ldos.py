@@ -1,0 +1,73 @@
+"""Graphene: Dirac-point DoS and a vacancy's local density of states.
+
+Exercises the parts of the library beyond the paper's cubic lattice:
+
+* the honeycomb builder (two-site basis) and its linearly vanishing DoS
+  at the Dirac point,
+* :func:`repro.kpm.local_dos` — the deterministic single-site variant of
+  the moment recursion,
+* the Green's function relation ``Im G = -pi rho``.
+
+A vacancy (deleted site) creates the famous zero-energy resonance on the
+neighboring sublattice, visible as an LDoS peak at E=0 next to the
+vacancy but not in pristine graphene.
+
+Run:  python examples/graphene_ldos.py
+"""
+
+import numpy as np
+
+from repro import KPMConfig
+from repro.bench import ascii_plot
+from repro.kpm import compute_dos, greens_function, local_dos
+from repro.lattice import hamiltonian_from_edges, honeycomb_edges
+
+
+def build_graphene(ncols: int, nrows: int, *, vacancy: int | None = None):
+    """Honeycomb Hamiltonian; optionally delete one site's bonds."""
+    num_sites, i, j = honeycomb_edges(ncols, nrows, periodic=True)
+    if vacancy is not None:
+        keep = (i != vacancy) & (j != vacancy)
+        i, j = i[keep], j[keep]
+    return num_sites, hamiltonian_from_edges(num_sites, i, j, format="csr")
+
+
+def main() -> None:
+    config = KPMConfig(num_moments=256, num_random_vectors=16, seed=13)
+
+    # --- pristine sheet: total DoS and resolvent ----------------------
+    num_sites, pristine = build_graphene(24, 24)
+    result = compute_dos(pristine, config)
+    print(f"graphene sheet: {num_sites} sites, DoS integral "
+          f"{result.integrate():.4f}")
+
+    probe = np.array([0.0, 1.0])
+    green = greens_function(result.moments, result.rescaling, probe, kernel="jackson")
+    rho = result.evaluate(probe)
+    print("Green's function check  Im G(E) vs -pi rho(E):")
+    for energy, g, r in zip(probe, green, rho):
+        print(f"  E={energy:+.1f}:  Im G = {g.imag:+.4f},  -pi rho = {-np.pi * r:+.4f}")
+
+    # --- vacancy: LDoS on a neighbor of the removed site --------------
+    vacancy = 2 * (12 * 24 + 12)  # an A site near the middle
+    neighbor = vacancy + 1        # the B site in the same cell
+    _, damaged = build_graphene(24, 24, vacancy=vacancy)
+
+    ldos_config = KPMConfig(num_moments=384, num_energy_points=768)
+    energies_clean, ldos_clean = local_dos(pristine, neighbor, ldos_config)
+    energies_vac, ldos_vac = local_dos(damaged, neighbor, ldos_config)
+
+    grid = np.linspace(-3.0, 3.0, 65)
+    clean_curve = np.interp(grid, energies_clean, ldos_clean)
+    vac_curve = np.interp(grid, energies_vac, ldos_vac)
+    print("\nLDoS next to a vacancy (note the E=0 resonance) vs pristine:")
+    print(ascii_plot(grid, {"vacancy": vac_curve, "pristine": clean_curve},
+                     width=64, height=14))
+
+    center = abs(grid).argmin()
+    print(f"\nLDoS at E=0: pristine {clean_curve[center]:.4f}, "
+          f"with vacancy {vac_curve[center]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""One-command reproduction: every paper figure, with verdicts.
+
+Runs the four figures of Zhang et al. (2011) through the harness,
+checks each against the paper's stated claim, and prints a PASS/FAIL
+scorecard plus the ablation headlines.  This is the executable version
+of EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import numpy as np
+
+from repro.bench import fig5, fig6, fig7, fig8, run_experiment
+
+
+def check_fig5(result):
+    speedups = result.column("speedup")
+    flat = max(speedups) - min(speedups) < 0.25
+    in_band = all(3.0 <= s <= 4.0 for s in speedups)
+    return flat and in_band, f"speedup {min(speedups):.2f}-{max(speedups):.2f}, flat={flat}"
+
+
+def check_fig6(result):
+    low = np.array(result.column("dos_N256"))
+    high = np.array(result.column("dos_N512"))
+    energies = np.array(result.column("energy"))
+    sharper = np.abs(np.diff(high)).sum() > 1.3 * np.abs(np.diff(low)).sum()
+    normalized = all(
+        abs(np.trapezoid(curve, energies) - 1.0) < 0.02 for curve in (low, high)
+    )
+    return sharper and normalized, (
+        f"N=512 total variation {np.abs(np.diff(high)).sum():.1f} vs "
+        f"N=256 {np.abs(np.diff(low)).sum():.1f}; both normalized={normalized}"
+    )
+
+
+def check_fig7(result):
+    speedups = result.column("speedup")
+    rising = all(b >= a for a, b in zip(speedups, speedups[1:]))
+    near_four = 3.4 <= speedups[-1] <= 4.3
+    return rising and near_four, (
+        f"speedup rises {speedups[0]:.2f} -> {speedups[-1]:.2f}"
+    )
+
+
+def check_fig8(result):
+    speedups = result.column("speedup")
+    cpu = result.column("cpu_seconds")
+    gpu = result.column("gpu_seconds")
+    band = all(3.0 <= s <= 4.7 for s in speedups)
+    cpu_cliff = max(b / a for a, b in zip(cpu, cpu[1:])) > 4.3
+    gpu_quadratic = all(b / a <= 4.3 for a, b in zip(gpu, gpu[1:]))
+    return band and cpu_cliff and gpu_quadratic, (
+        f"speedup {min(speedups):.2f}-{max(speedups):.2f}; CPU cache cliff={cpu_cliff}; "
+        f"GPU stays O(D^2)={gpu_quadratic}"
+    )
+
+
+FIGURES = [
+    ("fig5", fig5, check_fig5, "~3.5x speedup, flat over N"),
+    ("fig6", lambda: fig6(num_random_vectors=12, num_realizations=2),
+     check_fig6, "N=512 sharper than N=256"),
+    ("fig7", fig7, check_fig7, "speedup rises to almost 4x"),
+    ("fig8", fig8, check_fig8, "~4x; CPU degrades out of cache"),
+]
+
+ABLATIONS = [
+    "ablation-blocksize",
+    "ablation-crs",
+    "ablation-multigpu",
+    "ablation-cputhreads",
+    "ablation-precision",
+    "ablation-transport",
+    "ablation-kernel",
+]
+
+
+def main() -> int:
+    print("Reproducing Zhang et al., 'Performance Acceleration of Kernel")
+    print("Polynomial Method Applying Graphics Processing Units' (2011)\n")
+
+    failures = 0
+    for figure_id, build, check, claim in FIGURES:
+        result = build()
+        ok, detail = check(result)
+        verdict = "PASS" if ok else "FAIL"
+        failures += not ok
+        print(f"[{verdict}] {figure_id}: paper claims '{claim}'")
+        print(f"       measured: {detail}")
+    print()
+
+    print("Ablations (full tables: python -m repro.bench <id>):")
+    for ablation_id in ABLATIONS:
+        result = run_experiment(ablation_id)
+        headline = result.notes.split(";")[0] if result.notes else result.title
+        print(f"  {ablation_id}: {headline}")
+
+    print()
+    if failures:
+        print(f"{failures} figure(s) out of band — see EXPERIMENTS.md")
+    else:
+        print("All four paper figures reproduced within their bands.")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Quantum dynamics with the Chebyshev propagator.
+
+The same recursion that computes the paper's moments also powers the
+best sparse-matrix propagator for ``exp(-i H t)``.  This example
+launches a localized electron on a chain and on a disordered chain and
+watches it spread:
+
+* clean chain — ballistic spreading, width ~ 2t (the maximal group
+  velocity) per unit time;
+* strong Anderson disorder — the wavepacket localizes (Anderson
+  localization): the width saturates.
+
+Run:  python examples/wavepacket_dynamics.py
+"""
+
+import numpy as np
+
+from repro.bench import ascii_plot, ascii_table
+from repro.kpm import evolve_state
+from repro.lattice import anderson_onsite_energies, chain, tight_binding_hamiltonian
+
+
+def packet_width(probabilities: np.ndarray, center: int) -> float:
+    """Root-mean-square displacement from the launch site."""
+    sites = np.arange(probabilities.size)
+    return float(np.sqrt(np.sum(probabilities * (sites - center) ** 2)))
+
+
+def spread_curve(hamiltonian, psi0, times):
+    """Packet width at each time (fresh propagation from t=0 each time)."""
+    widths = []
+    center = int(np.argmax(np.abs(psi0)))
+    for t in times:
+        psi_t = evolve_state(hamiltonian, psi0, float(t))
+        widths.append(packet_width(np.abs(psi_t) ** 2, center))
+    return widths
+
+
+def main() -> None:
+    length = 256
+    lattice = chain(length)
+    center = length // 2
+    psi0 = np.zeros(length)
+    psi0[center] = 1.0
+
+    clean = tight_binding_hamiltonian(lattice, format="csr")
+    disorder = anderson_onsite_energies(lattice, 4.0, seed=11)
+    dirty = tight_binding_hamiltonian(lattice, onsite=disorder, format="csr")
+
+    times = np.linspace(0.0, 24.0, 13)
+    clean_widths = spread_curve(clean, psi0, times)
+    dirty_widths = spread_curve(dirty, psi0, times)
+
+    print("Wavepacket RMS width vs time (clean vs Anderson W=4):")
+    print(ascii_plot(
+        times,
+        {"clean": clean_widths, "W=4": dirty_widths},
+        width=64,
+        height=14,
+    ))
+
+    # Ballistic velocity check on the clean chain: width ~ v t with
+    # v = sqrt(2) |t_hop| ... measure the fitted slope instead of assuming.
+    slope = np.polyfit(times[2:], clean_widths[2:], 1)[0]
+    print(f"\nclean spreading velocity (fit): {slope:.3f} sites/time")
+    print(f"disordered final width: {dirty_widths[-1]:.2f} sites "
+          f"(localized; clean reaches {clean_widths[-1]:.2f})")
+
+    # Norm conservation — the propagator is unitary to truncation error.
+    psi_t = evolve_state(clean, psi0, times[-1])
+    rows = [
+        ("norm(psi(t))", float(np.linalg.norm(psi_t))),
+        ("P(return)", float(np.abs(psi_t[center]) ** 2)),
+    ]
+    print()
+    print(ascii_table(("quantity", "value"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that the
+legacy editable-install path (``pip install -e . --no-use-pep517``) works
+in offline environments whose setuptools lacks a bundled ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

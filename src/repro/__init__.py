@@ -1,0 +1,68 @@
+"""repro — GPU-accelerated Kernel Polynomial Method, reproduced.
+
+Full reproduction of S. Zhang, S. Yamagiwa, M. Okumura, S. Yunoki,
+"Performance Acceleration of Kernel Polynomial Method Applying Graphics
+Processing Units" (IPDPSW 2011, arXiv:1105.5481), on a simulated CUDA
+device.
+
+Quick start::
+
+    from repro import KPMConfig, compute_dos
+    from repro.lattice import paper_cubic_hamiltonian
+
+    H = paper_cubic_hamiltonian(10)          # the paper's 10x10x10 cube
+    cfg = KPMConfig(num_moments=512, num_random_vectors=32)
+    result = compute_dos(H, cfg, backend="gpu-sim")
+    print(result.timing.summary())
+
+Subpackages
+-----------
+``repro.kpm``     the algorithm (rescaling, moments, kernels, DoS, Green)
+``repro.sparse``  COO/CSR/dense operator substrate
+``repro.lattice`` tight-binding Hamiltonian builders
+``repro.gpu``     the CUDA-like GPU simulator (Tesla C2050 model)
+``repro.cpu``     the Core i7 930 cost-model backend
+``repro.gpukpm``  the paper's GPU KPM design on the simulator
+``repro.cluster`` multi-GPU extension (paper future work)
+``repro.ed``      exact diagonalization reference
+``repro.bench``   figure-reproduction harness (Figs. 5-8 + ablations)
+"""
+
+from repro.errors import (
+    ReproError,
+    ValidationError,
+    ShapeError,
+    SpectrumError,
+    DeviceError,
+    OutOfMemoryError,
+    LaunchError,
+    ConvergenceError,
+)
+from repro.kpm import (
+    KPMConfig,
+    compute_dos,
+    DoSResult,
+    available_backends,
+    available_kernels,
+)
+from repro.timing import TimingReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "KPMConfig",
+    "compute_dos",
+    "DoSResult",
+    "available_backends",
+    "available_kernels",
+    "TimingReport",
+    "ReproError",
+    "ValidationError",
+    "ShapeError",
+    "SpectrumError",
+    "DeviceError",
+    "OutOfMemoryError",
+    "LaunchError",
+    "ConvergenceError",
+]

@@ -1,0 +1,50 @@
+"""Figure-reproduction harness.
+
+One function per paper figure (5-8) plus the ablations DESIGN.md calls
+out.  Each returns a :class:`FigureResult` whose rows regenerate the
+figure's data series; ``python -m repro.bench`` prints them all.
+
+Timing curves are produced by the backends' analytic estimators at the
+full paper parameters; DoS curves are functional runs at reduced
+sampling (see DESIGN.md §5, "Functional-sampling note").
+"""
+
+from repro.bench.report import FigureResult, ascii_table, ascii_plot, csv_format
+from repro.bench.figures import (
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    block_size_ablation,
+    crs_vs_dense_ablation,
+    multigpu_ablation,
+    kernel_comparison_ablation,
+    precision_ablation,
+    cpu_threads_ablation,
+    transport_ablation,
+)
+from repro.bench.experiments import EXPERIMENTS, ExperimentSpec, get_experiment
+from repro.bench.runner import run_experiment, run_all
+
+__all__ = [
+    "FigureResult",
+    "ascii_table",
+    "ascii_plot",
+    "csv_format",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "block_size_ablation",
+    "crs_vs_dense_ablation",
+    "multigpu_ablation",
+    "kernel_comparison_ablation",
+    "precision_ablation",
+    "cpu_threads_ablation",
+    "transport_ablation",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

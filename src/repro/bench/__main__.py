@@ -1,0 +1,56 @@
+"""Command-line harness: ``python -m repro.bench [ids...] [--csv-dir DIR]``.
+
+With no ids, runs every registered figure and ablation, printing each
+result as a table (and a small ASCII plot for the sweeps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.runner import run_experiment, write_csv_outputs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's figures and the DESIGN.md ablations.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiment ids (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument("--csv-dir", default=None, help="also write CSVs to this directory")
+    parser.add_argument("--no-plots", action="store_true", help="skip ASCII plots")
+    args = parser.parse_args(argv)
+
+    ids = args.ids or list(EXPERIMENTS)
+    results = {}
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        results[experiment_id] = result
+        print(result.render())
+        if not args.no_plots and experiment_id != "fig6" and len(result.rows) >= 2:
+            numeric = [
+                c
+                for c in result.columns[1:]
+                if isinstance(result.rows[0][list(result.columns).index(c)], (int, float))
+            ]
+            if numeric and isinstance(result.rows[0][0], (int, float)):
+                try:
+                    print(result.to_plot(*numeric[:2]))
+                except Exception:  # pragma: no cover - plotting is best-effort
+                    pass
+        print()
+    if args.csv_dir:
+        for path in write_csv_outputs(results, args.csv_dir):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Experiment registry: every reproducible artifact, by id.
+
+DESIGN.md §5's per-experiment index in executable form.  Each entry maps
+an experiment id to the harness function that regenerates it plus the
+paper's claim for at-a-glance comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.bench import figures
+from repro.bench.report import FigureResult
+from repro.errors import ValidationError
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key (also the ``FigureResult.experiment_id``).
+    kind:
+        ``"figure"`` (in the paper) or ``"ablation"`` (our extension).
+    paper_claim:
+        What the paper's evaluation section reports.
+    build:
+        Zero-argument callable producing the :class:`FigureResult`.
+    """
+
+    experiment_id: str
+    kind: str
+    paper_claim: str
+    build: Callable[[], FigureResult]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "fig5": ExperimentSpec(
+        "fig5",
+        "figure",
+        "3.5x speedup, constant over N, on the 10^3 cubic lattice",
+        figures.fig5,
+    ),
+    "fig6": ExperimentSpec(
+        "fig6",
+        "figure",
+        "N=512 resolves the DoS more sharply than N=256",
+        figures.fig6,
+    ),
+    "fig7": ExperimentSpec(
+        "fig7",
+        "figure",
+        "speedup rises to almost 4x as N grows at H_SIZE=128",
+        figures.fig7,
+    ),
+    "fig8": ExperimentSpec(
+        "fig8",
+        "figure",
+        "~4x speedup as H_SIZE grows; CPU degrades, GPU stays O(H_SIZE^2)",
+        figures.fig8,
+    ),
+    "ablation-blocksize": ExperimentSpec(
+        "ablation-blocksize",
+        "ablation",
+        "paper Sec. V: best BLOCK_SIZE left as future work",
+        figures.block_size_ablation,
+    ),
+    "ablation-crs": ExperimentSpec(
+        "ablation-crs",
+        "ablation",
+        "paper Sec. II-A4: CRS reduces O(SRND^2) to O(SRND)",
+        figures.crs_vs_dense_ablation,
+    ),
+    "ablation-multigpu": ExperimentSpec(
+        "ablation-multigpu",
+        "ablation",
+        "paper Sec. V: GPU-cluster extension left as future work",
+        figures.multigpu_ablation,
+    ),
+    "ablation-kernel": ExperimentSpec(
+        "ablation-kernel",
+        "ablation",
+        "paper Sec. I: Jackson kernel avoids the Gibbs phenomenon",
+        figures.kernel_comparison_ablation,
+    ),
+    "ablation-cputhreads": ExperimentSpec(
+        "ablation-cputhreads",
+        "ablation",
+        "paper Sec. V: shared-memory CPU parallelization left as future work",
+        figures.cpu_threads_ablation,
+    ),
+    "ablation-transport": ExperimentSpec(
+        "ablation-transport",
+        "ablation",
+        "extension: Kubo-Greenwood transport on the paper's GPU design",
+        figures.transport_ablation,
+    ),
+    "ablation-precision": ExperimentSpec(
+        "ablation-precision",
+        "ablation",
+        "paper Sec. IV: all calculations in double precision",
+        figures.precision_ablation,
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a registry entry by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None

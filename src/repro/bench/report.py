@@ -1,0 +1,163 @@
+"""Result containers and plain-text rendering for the harness.
+
+Everything renders to monospace text (tables and ASCII line plots) so
+the reproduction is inspectable in any terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["FigureResult", "ascii_table", "ascii_plot", "csv_format"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}" if magnitude < 1 else f"{value:.2f}"
+    return str(value)
+
+
+def ascii_table(columns, rows) -> str:
+    """Render a column-aligned text table with a header rule."""
+    columns = [str(c) for c in columns]
+    text_rows = [[_format_cell(v) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(columns):
+            raise ValidationError(
+                f"row width {len(row)} does not match {len(columns)} columns"
+            )
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(columns[i])
+        for i in range(len(columns))
+    ]
+    header = " | ".join(c.rjust(w) for c, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [" | ".join(r[i].rjust(widths[i]) for i in range(len(columns))) for r in text_rows]
+    return "\n".join([header, rule, *body])
+
+
+def csv_format(columns, rows) -> str:
+    """Render rows as CSV (no quoting needed: numeric/simple cells only)."""
+    lines = [",".join(str(c) for c in columns)]
+    for row in rows:
+        lines.append(
+            ",".join(repr(float(v)) if isinstance(v, float) else str(v) for v in row)
+        )
+    return "\n".join(lines)
+
+
+def ascii_plot(x, series: dict[str, list], *, width: int = 72, height: int = 16) -> str:
+    """Plot one or more series against ``x`` as an ASCII chart.
+
+    Each series gets a distinct marker; axes are annotated with the data
+    ranges.  Intended for quick shape inspection of the reproduced
+    figures, not for publication.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 2:
+        raise ValidationError("need at least two x points to plot")
+    markers = "*o+x#@%&"
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != x.shape:
+            raise ValidationError(f"series {name!r} length does not match x")
+        cols = np.round((x - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        rows = np.round((values - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+    lines = [f"{y_max:12.4g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{y_min:12.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 14 + f"{x_min:<12.4g}" + " " * max(0, width - 24) + f"{x_max:>12.4g}")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """Reproduced data of one paper figure or ablation.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key, e.g. ``"fig5"``.
+    title:
+        Human-readable description.
+    x_label:
+        Name of the first column (the sweep variable).
+    columns:
+        Column names, the sweep variable first.
+    rows:
+        One tuple per sweep point.
+    paper_expectation:
+        What the paper's figure shows (the claim this result is checked
+        against).
+    notes:
+        Methodology remarks (e.g. reduced functional sampling).
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    columns: tuple
+    rows: list
+    paper_expectation: str
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        """Values of the named column, in row order."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise ValidationError(
+                f"no column {name!r}; available: {', '.join(map(str, self.columns))}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def to_table(self) -> str:
+        """ASCII table of all rows."""
+        return ascii_table(self.columns, self.rows)
+
+    def to_csv(self) -> str:
+        """CSV of all rows."""
+        return csv_format(self.columns, self.rows)
+
+    def to_plot(self, *series_names: str, **kwargs) -> str:
+        """ASCII plot of the named columns against the sweep variable."""
+        names = series_names or [c for c in self.columns[1:]]
+        return ascii_plot(
+            self.column(self.columns[0]),
+            {str(n): self.column(str(n)) for n in names},
+            **kwargs,
+        )
+
+    def render(self) -> str:
+        """Full text block: title, expectation, table, notes."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper: {self.paper_expectation}",
+            self.to_table(),
+        ]
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)

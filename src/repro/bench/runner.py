@@ -1,0 +1,36 @@
+"""Harness driver: run experiments and render/export their results."""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.experiments import EXPERIMENTS, get_experiment
+from repro.bench.report import FigureResult
+
+__all__ = ["run_experiment", "run_all", "write_csv_outputs"]
+
+
+def run_experiment(experiment_id: str) -> FigureResult:
+    """Run one registered experiment and return its result."""
+    return get_experiment(experiment_id).build()
+
+
+def run_all(*, kinds: tuple[str, ...] = ("figure", "ablation")) -> dict[str, FigureResult]:
+    """Run every registered experiment of the given kinds, in registry order."""
+    results: dict[str, FigureResult] = {}
+    for experiment_id, spec in EXPERIMENTS.items():
+        if spec.kind in kinds:
+            results[experiment_id] = spec.build()
+    return results
+
+
+def write_csv_outputs(results: dict[str, FigureResult], directory: str) -> list[str]:
+    """Write one CSV per result into ``directory``; return the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for experiment_id, result in results.items():
+        path = os.path.join(directory, f"{experiment_id}.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_csv() + "\n")
+        paths.append(path)
+    return paths

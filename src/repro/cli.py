@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Three subcommands cover the library's day-to-day uses without writing
+Python:
+
+* ``dos``    — compute a density of states (built-in lattice or a
+  MatrixMarket file) on any backend; CSV to stdout or a file.
+* ``time``   — modeled CPU/GPU execution times for a parameter set
+  (the paper's tables for arbitrary workloads).
+* ``bench``  — alias of :mod:`repro.bench`'s figure harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import KPMConfig, compute_dos
+from repro.bench.report import ascii_table
+from repro.cpu import CORE_I7_930, estimate_cpu_kpm_seconds
+from repro.errors import ReproError
+from repro.gpu import TESLA_C2050
+from repro.gpukpm import estimate_gpu_kpm_seconds
+from repro.kpm import available_backends, available_kernels
+from repro.lattice import (
+    chain,
+    cubic,
+    honeycomb_edges,
+    hamiltonian_from_edges,
+    kagome_edges,
+    square,
+    tight_binding_hamiltonian,
+)
+from repro.sparse import read_matrix_market
+
+__all__ = ["main", "build_hamiltonian_from_args"]
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--moments", "-N", type=int, default=256, help="N, truncation order")
+    parser.add_argument("--vectors", "-R", type=int, default=16, help="R, random vectors")
+    parser.add_argument("--realizations", "-S", type=int, default=1, help="S, realizations")
+    parser.add_argument("--kernel", default="jackson", choices=available_kernels())
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--block-size", type=int, default=256, help="GPU BLOCK_SIZE")
+    parser.add_argument(
+        "--precision", default="double", choices=("double", "single")
+    )
+
+
+def _config_from_args(args) -> KPMConfig:
+    return KPMConfig(
+        num_moments=args.moments,
+        num_random_vectors=args.vectors,
+        num_realizations=args.realizations,
+        kernel=args.kernel,
+        seed=args.seed,
+        block_size=args.block_size,
+        precision=args.precision,
+    )
+
+
+def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--lattice",
+        metavar="SPEC",
+        help=(
+            "built-in lattice: chain:L, square:W[,H], cubic:L (the paper's "
+            "workload is cubic:10), honeycomb:C,R, kagome:C,R"
+        ),
+    )
+    group.add_argument("--matrix", metavar="FILE", help="MatrixMarket .mtx file")
+    parser.add_argument(
+        "--storage", default="csr", choices=("csr", "dense"), help="matrix storage"
+    )
+
+
+def build_hamiltonian_from_args(args):
+    """Construct the Hamiltonian selected by ``--lattice`` / ``--matrix``."""
+    if args.matrix is not None:
+        return read_matrix_market(args.matrix, format=args.storage)
+    kind, _, params = args.lattice.partition(":")
+    numbers = [int(p) for p in params.split(",") if p] if params else []
+    kind = kind.lower()
+    if kind == "chain":
+        return tight_binding_hamiltonian(chain(*numbers or [64]), format=args.storage)
+    if kind == "square":
+        return tight_binding_hamiltonian(square(*numbers or [16]), format=args.storage)
+    if kind == "cubic":
+        return tight_binding_hamiltonian(cubic(*numbers or [10]), format=args.storage)
+    if kind == "honeycomb":
+        n, i, j = honeycomb_edges(*(numbers or [8, 8]))
+        return hamiltonian_from_edges(n, i, j, format=args.storage)
+    if kind == "kagome":
+        n, i, j = kagome_edges(*(numbers or [8, 8]))
+        return hamiltonian_from_edges(n, i, j, format=args.storage)
+    raise ReproError(
+        f"unknown lattice kind {kind!r}; use chain/square/cubic/honeycomb/kagome"
+    )
+
+
+def _cmd_dos(args) -> int:
+    hamiltonian = build_hamiltonian_from_args(args)
+    config = _config_from_args(args)
+    result = compute_dos(hamiltonian, config, backend=args.backend)
+    lines = ["energy,density"]
+    lines += [
+        f"{float(e)!r},{float(d)!r}"
+        for e, d in zip(result.energies, result.density)
+    ]
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as handle:
+            handle.write(text)
+        print(f"wrote {len(result.energies)} points to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    print(
+        f"# integral={result.integrate():.6f} resolution={result.energy_resolution():.4g} "
+        f"{result.timing.summary()}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_time(args) -> int:
+    hamiltonian = build_hamiltonian_from_args(args)
+    config = _config_from_args(args)
+    dim = hamiltonian.shape[0]
+    nnz = hamiltonian.nnz_stored if args.storage == "csr" else None
+    rows = [
+        (
+            "cpu (Core i7 930)",
+            estimate_cpu_kpm_seconds(CORE_I7_930, dim, config, nnz=nnz),
+        ),
+        (
+            "gpu (Tesla C2050)",
+            estimate_gpu_kpm_seconds(TESLA_C2050, dim, config, nnz=nnz),
+        ),
+    ]
+    rows.append(("speedup", rows[0][1] / rows[1][1]))
+    print(f"D={dim} N={config.num_moments} R*S={config.total_vectors} "
+          f"storage={args.storage} precision={config.precision}")
+    print(ascii_table(("target", "modeled_seconds"), rows))
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GPU-accelerated Kernel Polynomial Method (Zhang et al. 2011), reproduced.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    dos = subparsers.add_parser("dos", help="compute a density of states")
+    _add_matrix_arguments(dos)
+    _add_config_arguments(dos)
+    dos.add_argument("--backend", default="numpy", choices=available_backends())
+    dos.add_argument("--output", "-o", default=None, help="CSV output file")
+    dos.set_defaults(func=_cmd_dos)
+
+    time_cmd = subparsers.add_parser(
+        "time", help="modeled CPU/GPU execution times for a workload"
+    )
+    _add_matrix_arguments(time_cmd)
+    _add_config_arguments(time_cmd)
+    time_cmd.set_defaults(func=_cmd_time)
+
+    bench = subparsers.add_parser("bench", help="regenerate the paper's figures")
+    bench.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    bench.add_argument("--csv-dir", default=None)
+    bench.add_argument("--no-plots", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        forwarded = list(args.ids)
+        if args.csv_dir:
+            forwarded += ["--csv-dir", args.csv_dir]
+        if args.no_plots:
+            forwarded += ["--no-plots"]
+        return bench_main(forwarded)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

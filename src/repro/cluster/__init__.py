@@ -1,0 +1,28 @@
+"""Multi-GPU cluster extension — the paper's Sec. V future work.
+
+"We are also planning to extend the GPU-based implementation to a GPU
+cluster for its parallelization."  The stochastic trace is embarrassingly
+parallel over random vectors, so the cluster design partitions the
+``R*S`` vectors across devices, broadcasts ``H~`` once, and all-reduces
+``N`` moments at the end.  :class:`MultiGpuKPM` runs this functionally on
+simulated devices; :func:`estimate_multigpu_seconds` prices the schedule
+analytically for scaling studies.
+"""
+
+from repro.cluster.multigpu import (
+    InterconnectSpec,
+    GIGABIT_ETHERNET,
+    INFINIBAND_QDR,
+    MultiGpuKPM,
+    estimate_multigpu_seconds,
+    multigpu_breakdown,
+)
+
+__all__ = [
+    "InterconnectSpec",
+    "GIGABIT_ETHERNET",
+    "INFINIBAND_QDR",
+    "MultiGpuKPM",
+    "estimate_multigpu_seconds",
+    "multigpu_breakdown",
+]

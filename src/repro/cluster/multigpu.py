@@ -1,0 +1,221 @@
+"""Vector-partitioned KPM across a cluster of simulated GPUs.
+
+Design (one MPI rank per GPU node, the paper's future-work setting):
+
+1. **Broadcast** ``H~`` to all nodes — a binomial tree, ``ceil(log2 G)``
+   network stages of the full matrix payload.
+2. **Compute** — node ``g`` runs the unmodified single-GPU pipeline on
+   its contiguous slice of the ``R*S`` vector range.  Global vector
+   numbering keeps the Philox streams identical to a single-device run,
+   so the combined moments are bit-comparable.
+3. **All-reduce** the ``N`` partial moment sums (tree again).
+
+The modeled wall time is ``broadcast + max_g(node time) + allreduce``;
+because the compute term shrinks like ``1/G`` while the communication
+terms do not, the model exhibits the expected strong-scaling knee — the
+ablation benchmark locates it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.spec import TESLA_C2050, GpuSpec
+from repro.gpukpm.estimator import gpu_kpm_breakdown
+from repro.gpukpm.pipeline import GpuKPM
+from repro.kpm.config import KPMConfig
+from repro.kpm.moments import MomentData
+from repro.sparse import CSRMatrix, as_operator
+from repro.timing import TimingReport, WallTimer
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "InterconnectSpec",
+    "GIGABIT_ETHERNET",
+    "INFINIBAND_QDR",
+    "MultiGpuKPM",
+    "multigpu_breakdown",
+    "estimate_multigpu_seconds",
+]
+
+_FLOAT = 8
+_INDEX = 8
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Point-to-point network model between cluster nodes."""
+
+    name: str
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValidationError("bandwidth_bytes_per_s must be positive")
+        if self.latency_s < 0:
+            raise ValidationError("latency_s must be >= 0")
+
+    def message_seconds(self, nbytes: float) -> float:
+        """Time for one point-to-point message."""
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+#: 2011-era commodity cluster link.
+GIGABIT_ETHERNET = InterconnectSpec("Gigabit Ethernet", 110e6, 50e-6)
+#: 2011-era HPC cluster link.
+INFINIBAND_QDR = InterconnectSpec("InfiniBand QDR", 3.2e9, 2e-6)
+
+
+def _partition(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous (start, count) slices."""
+    base, extra = divmod(total, parts)
+    slices = []
+    start = 0
+    for g in range(parts):
+        count = base + (1 if g < extra else 0)
+        slices.append((start, count))
+        start += count
+    return slices
+
+
+def _matrix_bytes(dimension: int, nnz: int | None) -> float:
+    if nnz is None:
+        return dimension * dimension * _FLOAT
+    return nnz * (_FLOAT + _INDEX) + (dimension + 1) * _INDEX
+
+
+def multigpu_breakdown(
+    spec: GpuSpec,
+    dimension: int,
+    config: KPMConfig,
+    num_devices: int,
+    *,
+    interconnect: InterconnectSpec = INFINIBAND_QDR,
+    nnz: int | None = None,
+) -> dict[str, float]:
+    """Modeled seconds per phase of the cluster run.
+
+    Keys: ``"broadcast"``, ``"compute"`` (slowest node), ``"allreduce"``.
+    """
+    num_devices = check_positive_int(num_devices, "num_devices")
+    if num_devices > config.total_vectors:
+        raise ValidationError(
+            f"num_devices ({num_devices}) exceeds the number of random "
+            f"vectors ({config.total_vectors}); idle devices are a "
+            "configuration error"
+        )
+    stages = math.ceil(math.log2(num_devices)) if num_devices > 1 else 0
+    broadcast = stages * interconnect.message_seconds(_matrix_bytes(dimension, nnz))
+    allreduce = 2 * stages * interconnect.message_seconds(config.num_moments * _FLOAT)
+
+    slices = _partition(config.total_vectors, num_devices)
+    compute = 0.0
+    for _, count in slices:
+        node_cfg = config.with_updates(
+            num_random_vectors=count, num_realizations=1
+        )
+        node = sum(gpu_kpm_breakdown(spec, dimension, node_cfg, nnz=nnz).values())
+        compute = max(compute, node)
+    return {"broadcast": broadcast, "compute": compute, "allreduce": allreduce}
+
+
+def estimate_multigpu_seconds(
+    spec: GpuSpec,
+    dimension: int,
+    config: KPMConfig,
+    num_devices: int,
+    *,
+    interconnect: InterconnectSpec = INFINIBAND_QDR,
+    nnz: int | None = None,
+) -> float:
+    """Total modeled cluster wall time (sum of the breakdown)."""
+    return sum(
+        multigpu_breakdown(
+            spec, dimension, config, num_devices, interconnect=interconnect, nnz=nnz
+        ).values()
+    )
+
+
+class MultiGpuKPM:
+    """Functional multi-device KPM over simulated GPUs.
+
+    Each device executes its vector partition through the unmodified
+    single-GPU pipeline; the host plays the role of the MPI layer
+    (broadcast + all-reduce are charged to the interconnect model).
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        spec: GpuSpec = TESLA_C2050,
+        *,
+        interconnect: InterconnectSpec = INFINIBAND_QDR,
+    ):
+        self.num_devices = check_positive_int(num_devices, "num_devices")
+        self.spec = spec
+        self.interconnect = interconnect
+
+    def run(self, scaled_operator, config: KPMConfig) -> tuple[MomentData, TimingReport]:
+        """Run the partitioned pipeline; moments match a single-device run."""
+        if not isinstance(config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(config).__name__}"
+            )
+        op = as_operator(scaled_operator)
+        dim = op.shape[0]
+        total = config.total_vectors
+        if self.num_devices > total:
+            raise ValidationError(
+                f"num_devices ({self.num_devices}) exceeds the number of "
+                f"random vectors ({total})"
+            )
+        nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
+
+        with WallTimer() as timer:
+            tables = []
+            node_seconds = []
+            runner = GpuKPM(self.spec)
+            for start, count in _partition(total, self.num_devices):
+                mu_tilde, _, device = runner.run_partition(
+                    op, config, first_vector=start, num_vectors=count
+                )
+                tables.append(mu_tilde)
+                node_seconds.append(device.modeled_seconds)
+            full_table = np.concatenate(tables, axis=0)
+
+        stages = math.ceil(math.log2(self.num_devices)) if self.num_devices > 1 else 0
+        broadcast = stages * self.interconnect.message_seconds(_matrix_bytes(dim, nnz))
+        allreduce = 2 * stages * self.interconnect.message_seconds(
+            config.num_moments * _FLOAT
+        )
+        modeled = broadcast + max(node_seconds) + allreduce
+
+        per_realization = (
+            full_table.reshape(
+                config.num_realizations, config.num_random_vectors, config.num_moments
+            ).mean(axis=1)
+            / dim
+        )
+        data = MomentData(
+            mu=full_table.mean(axis=0) / dim,
+            per_realization=per_realization,
+            dimension=dim,
+            num_vectors=config.num_random_vectors,
+        )
+        report = TimingReport(
+            backend=f"multi-gpu-sim(x{self.num_devices})",
+            device=f"{self.num_devices} x {self.spec.name} over {self.interconnect.name}",
+            modeled_seconds=modeled,
+            wall_seconds=timer.seconds,
+            breakdown={
+                "broadcast": broadcast,
+                "compute": max(node_seconds),
+                "allreduce": allreduce,
+            },
+        )
+        return data, report

@@ -1,0 +1,37 @@
+"""CPU baseline: the paper's single-threaded Core i7 930 reference.
+
+The paper compares its GPU implementation against a plain C version
+compiled with ``gcc -O3`` running on one core of a Core i7 930.  This
+package models that baseline: a cache-aware roofline
+(:mod:`repro.cpu.costmodel`) over the published cache hierarchy, plus a
+moment-engine backend (:mod:`repro.cpu.backend`) that executes the
+numerics with NumPy and reports the modeled single-core C time.
+"""
+
+from repro.cpu.spec import CpuSpec, CacheLevel, CORE_I7_930, tiny_test_cpu
+from repro.cpu.costmodel import phase_time, bandwidth_for_footprint
+from repro.cpu.backend import (
+    CpuModelEngine,
+    cpu_kpm_breakdown,
+    estimate_cpu_kpm_seconds,
+)
+from repro.cpu.parallel import (
+    AGGREGATE_BANDWIDTH_FACTOR,
+    estimate_parallel_cpu_kpm_seconds,
+    parallel_speedup_factor,
+)
+
+__all__ = [
+    "CpuSpec",
+    "CacheLevel",
+    "CORE_I7_930",
+    "tiny_test_cpu",
+    "phase_time",
+    "bandwidth_for_footprint",
+    "CpuModelEngine",
+    "cpu_kpm_breakdown",
+    "estimate_cpu_kpm_seconds",
+    "AGGREGATE_BANDWIDTH_FACTOR",
+    "estimate_parallel_cpu_kpm_seconds",
+    "parallel_speedup_factor",
+]

@@ -1,0 +1,57 @@
+"""Cache-aware roofline for the single-threaded CPU baseline.
+
+A phase is priced as ``max(flops / peak_flops, bytes / bandwidth)``,
+where the bandwidth is that of the innermost cache level holding the
+phase's *footprint* (working set).  This single mechanism produces the
+paper's Fig. 8 behavior: once the dense ``H~`` no longer fits the 8 MB
+L3, every sweep over it streams from DRAM and the CPU time grows by the
+L3/DRAM bandwidth ratio on top of the ``O(H_SIZE^2)`` work.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.spec import CpuSpec
+from repro.errors import ValidationError
+
+__all__ = ["bandwidth_for_footprint", "phase_time"]
+
+
+def bandwidth_for_footprint(spec: CpuSpec, footprint_bytes: float) -> float:
+    """Sustained bandwidth when the working set is ``footprint_bytes``.
+
+    Picks the innermost cache level that holds the footprint; beyond the
+    last level, DRAM.
+    """
+    if footprint_bytes < 0:
+        raise ValidationError(f"footprint_bytes must be >= 0, got {footprint_bytes}")
+    for level in spec.cache_levels:
+        if footprint_bytes <= level.size_bytes:
+            return level.bandwidth_bytes_per_s
+    return spec.dram_bandwidth_bytes_per_s
+
+
+def phase_time(
+    spec: CpuSpec,
+    *,
+    flops: float,
+    bytes_moved: float,
+    footprint_bytes: float | None = None,
+) -> float:
+    """Roofline time of one phase.
+
+    Parameters
+    ----------
+    flops:
+        Double-precision operations executed.
+    bytes_moved:
+        Total bytes read + written by the phase.
+    footprint_bytes:
+        Unique working set; defaults to ``bytes_moved`` (no reuse).
+    """
+    if flops < 0 or bytes_moved < 0:
+        raise ValidationError("flops and bytes_moved must be >= 0")
+    footprint = bytes_moved if footprint_bytes is None else footprint_bytes
+    bandwidth = bandwidth_for_footprint(spec, footprint)
+    compute_seconds = flops / spec.peak_flops
+    memory_seconds = bytes_moved / bandwidth
+    return max(compute_seconds, memory_seconds)

@@ -1,0 +1,119 @@
+"""CPU hardware specification for the cost model.
+
+:data:`CORE_I7_930` describes the paper's baseline: a Nehalem Core i7 930
+at 2.80 GHz, 32 KB L1D / 256 KB L2 per core, 8 MB shared L3, triple-
+channel DDR3.  The bandwidth numbers are sustained *single-thread
+streaming* figures (not multi-core aggregate peaks), because the paper's
+C implementation is single-threaded; ``flops_per_cycle`` reflects
+``gcc -O3`` scalar/SSE2 code on a dependent multiply-accumulate loop
+(one add + one mul per cycle), not hand-tuned kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+
+__all__ = ["CacheLevel", "CpuSpec", "CORE_I7_930", "tiny_test_cpu"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    ``bandwidth_bytes_per_s`` is the sustained single-thread read
+    bandwidth when the working set resides at this level.
+    """
+
+    name: str
+    size_bytes: int
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValidationError(f"{self.name}: size_bytes must be positive")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValidationError(f"{self.name}: bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Roofline description of a (single-threaded) CPU baseline.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    clock_ghz:
+        Core clock.
+    flops_per_cycle:
+        Sustained double-precision FLOPs per cycle for compiler-generated
+        loops (2 for scalar add+mul issue; 4 with packed SSE2).
+    cache_levels:
+        Inner-to-outer cache levels; the working-set footprint picks the
+        smallest level that holds it.
+    dram_bandwidth_bytes_per_s:
+        Sustained single-thread streaming bandwidth from DRAM.
+    flop_efficiency:
+        Fraction of the flops-per-cycle peak achieved by real loop bodies
+        (branching, pointer chasing, imperfect scheduling).
+    """
+
+    name: str
+    clock_ghz: float
+    flops_per_cycle: float
+    cache_levels: tuple[CacheLevel, ...]
+    dram_bandwidth_bytes_per_s: float
+    flop_efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0 or self.flops_per_cycle <= 0:
+            raise ValidationError("clock_ghz and flops_per_cycle must be positive")
+        if self.dram_bandwidth_bytes_per_s <= 0:
+            raise ValidationError("dram_bandwidth_bytes_per_s must be positive")
+        if not 0.0 < self.flop_efficiency <= 1.0:
+            raise ValidationError("flop_efficiency must be in (0, 1]")
+        sizes = [level.size_bytes for level in self.cache_levels]
+        if sizes != sorted(sizes):
+            raise ValidationError("cache_levels must be ordered inner (smallest) out")
+
+    @property
+    def peak_flops(self) -> float:
+        """Sustained double-precision FLOP/s for compiled loops."""
+        return self.clock_ghz * 1e9 * self.flops_per_cycle * self.flop_efficiency
+
+    def with_updates(self, **changes) -> "CpuSpec":
+        """Copy with fields replaced — for calibration sweeps."""
+        return replace(self, **changes)
+
+
+#: The paper's baseline processor (single thread, gcc -O3).
+CORE_I7_930 = CpuSpec(
+    name="Intel Core i7 930 (1 thread, gcc -O3)",
+    clock_ghz=2.80,
+    flops_per_cycle=2.0,
+    cache_levels=(
+        CacheLevel("L1D", 32 * 1024, 45e9),
+        CacheLevel("L2", 256 * 1024, 30e9),
+        CacheLevel("L3", 8 * 1024 * 1024, 15e9),
+    ),
+    dram_bandwidth_bytes_per_s=12e9,
+)
+
+
+def tiny_test_cpu(**overrides) -> CpuSpec:
+    """A small, round-number CPU spec for unit tests."""
+    params = dict(
+        name="test-cpu",
+        clock_ghz=1.0,
+        flops_per_cycle=1.0,
+        cache_levels=(
+            CacheLevel("L1", 1024, 4e9),
+            CacheLevel("L2", 16 * 1024, 2e9),
+        ),
+        dram_bandwidth_bytes_per_s=1e9,
+        flop_efficiency=1.0,
+    )
+    params.update(overrides)
+    return CpuSpec(**params)

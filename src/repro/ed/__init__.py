@@ -1,0 +1,23 @@
+"""Exact-diagonalization reference substrate.
+
+The paper's Sec. I positions KPM against full diagonalization
+(``O(D^3)``); this package provides that baseline for validation and for
+the tight spectral bounds option:
+
+* :func:`exact_eigenvalues`, :func:`exact_dos_histogram`,
+  :func:`broadened_dos` — ground truth the KPM results are tested
+  against;
+* :func:`lanczos_extremal_eigenvalues` — short Lanczos runs for
+  ``bounds_method="lanczos"``.
+"""
+
+from repro.ed.dense_ed import exact_eigenvalues, exact_dos_histogram, broadened_dos
+from repro.ed.lanczos import lanczos_extremal_eigenvalues, lanczos_tridiagonal
+
+__all__ = [
+    "exact_eigenvalues",
+    "exact_dos_histogram",
+    "broadened_dos",
+    "lanczos_extremal_eigenvalues",
+    "lanczos_tridiagonal",
+]

@@ -1,0 +1,56 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` from NumPy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ShapeError",
+    "SpectrumError",
+    "DeviceError",
+    "OutOfMemoryError",
+    "LaunchError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong value, range, or option name)."""
+
+
+class ShapeError(ValidationError):
+    """An array argument has an incompatible shape or dtype."""
+
+
+class SpectrumError(ReproError):
+    """Spectral rescaling produced eigenvalues outside ``[-1, 1]``.
+
+    Raised when a matrix–scale mismatch is detected, e.g. when user-provided
+    bounds are tighter than the true spectrum and the Chebyshev recursion
+    diverges.
+    """
+
+
+class DeviceError(ReproError):
+    """Generic failure inside the simulated GPU device."""
+
+
+class OutOfMemoryError(DeviceError):
+    """A device allocation exceeded the configured global-memory capacity."""
+
+
+class LaunchError(DeviceError):
+    """A kernel launch was configured outside the device's limits."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative routine (e.g. Lanczos bounds) failed to converge."""

@@ -1,0 +1,52 @@
+"""CUDA-like GPU simulator.
+
+This package substitutes for the paper's Tesla C2050 + CUDA runtime (see
+DESIGN.md §3).  It has two coupled halves:
+
+* **Functional execution** — kernels are *block programs*: Python
+  functions invoked once per thread block with a :class:`BlockContext`
+  exposing grid/block geometry and the device arrays.  Numerics are
+  exact (NumPy, double precision), so GPU-backend results are directly
+  comparable to the host reference.
+* **Performance modeling** — every launch charges FLOPs and global
+  memory traffic; an occupancy-aware roofline model
+  (:mod:`repro.gpu.costmodel`) converts these to modeled seconds on the
+  configured :class:`GpuSpec`.  Host<->device transfers are charged
+  against the PCIe link.
+
+The two halves meet in :class:`Device`, whose profiler accumulates a
+timeline of kernel and transfer events.
+"""
+
+from repro.gpu.spec import GpuSpec, TESLA_C2050, TESLA_C1060, GTX_580, tiny_test_device
+from repro.gpu.thread import Dim3, as_dim3
+from repro.gpu.memory import DeviceArray, MemoryPool
+from repro.gpu.kernel import BlockContext, KernelStats, kernel
+from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+from repro.gpu.costmodel import CostBreakdown, kernel_cost, transfer_cost
+from repro.gpu.profiler import KernelEvent, TransferEvent, Profiler
+from repro.gpu.device import Device
+
+__all__ = [
+    "GpuSpec",
+    "TESLA_C2050",
+    "TESLA_C1060",
+    "GTX_580",
+    "tiny_test_device",
+    "Dim3",
+    "as_dim3",
+    "DeviceArray",
+    "MemoryPool",
+    "BlockContext",
+    "KernelStats",
+    "kernel",
+    "OccupancyResult",
+    "compute_occupancy",
+    "CostBreakdown",
+    "kernel_cost",
+    "transfer_cost",
+    "KernelEvent",
+    "TransferEvent",
+    "Profiler",
+    "Device",
+]

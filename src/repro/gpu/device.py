@@ -1,0 +1,203 @@
+"""The simulated GPU device: allocation, transfers, kernel launches.
+
+:class:`Device` is the meeting point of functional execution and the
+cost model.  Typical use (mirroring a CUDA host program)::
+
+    device = Device(TESLA_C2050)
+    d_matrix = device.alloc((D, D), name="H~")
+    device.memcpy_htod(d_matrix, h_matrix)           # charged to PCIe
+    device.launch(my_kernel, grid=7, block=256, args=(d_matrix, ...))
+    device.memcpy_dtoh(host_out, d_out)
+    print(device.modeled_seconds)
+
+Launches validate the configuration against the device limits (CUDA
+would fail them with ``cudaErrorInvalidConfiguration``), run the block
+program once per block, and price the declared work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError, LaunchError, ShapeError, ValidationError
+from repro.gpu.costmodel import kernel_cost, transfer_cost
+from repro.gpu.kernel import BlockContext, KernelStats
+from repro.gpu.memory import DeviceArray, MemoryPool
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.profiler import KernelEvent, Profiler, TransferEvent
+from repro.gpu.spec import GpuSpec
+from repro.gpu.thread import Dim3, as_dim3
+
+__all__ = ["Device"]
+
+_MAX_GRID_BLOCKS = 65535**2  # generous 2-D Fermi grid limit
+
+
+class Device:
+    """One simulated GPU: spec + memory pool + profiler."""
+
+    def __init__(self, spec: GpuSpec):
+        if not isinstance(spec, GpuSpec):
+            raise ValidationError(f"spec must be a GpuSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.memory = MemoryPool(spec.global_mem_bytes)
+        self.profiler = Profiler()
+        self._setup_charged = False
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    def alloc(self, shape, *, dtype=np.float64, name: str = "buffer") -> DeviceArray:
+        """Allocate a device array (zero-initialized, like fresh VRAM pages).
+
+        Raises :class:`repro.errors.OutOfMemoryError` beyond capacity.
+        """
+        self._charge_setup_once()
+        data = np.zeros(shape, dtype=dtype)
+        self.memory.reserve(data.nbytes)
+        return DeviceArray(data, name, self.memory)
+
+    def memcpy_htod(self, device_array: DeviceArray, host_array) -> float:
+        """Copy host -> device; returns the modeled PCIe seconds."""
+        device_array.check_alive()
+        host = np.asarray(host_array)
+        if host.shape != device_array.shape:
+            raise ShapeError(
+                f"host array shape {host.shape} != device array shape "
+                f"{device_array.shape}"
+            )
+        device_array.data[...] = host
+        seconds = transfer_cost(self.spec, device_array.nbytes)
+        self.profiler.record_transfer(
+            TransferEvent(kind="htod", nbytes=device_array.nbytes, seconds=seconds)
+        )
+        return seconds
+
+    def memcpy_dtoh(self, host_array, device_array: DeviceArray) -> float:
+        """Copy device -> host; returns the modeled PCIe seconds."""
+        device_array.check_alive()
+        host = np.asarray(host_array)
+        if host.shape != device_array.shape:
+            raise ShapeError(
+                f"host array shape {host.shape} != device array shape "
+                f"{device_array.shape}"
+            )
+        host[...] = device_array.data
+        seconds = transfer_cost(self.spec, device_array.nbytes)
+        self.profiler.record_transfer(
+            TransferEvent(kind="dtoh", nbytes=device_array.nbytes, seconds=seconds)
+        )
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Kernel execution
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel_fn,
+        *,
+        grid,
+        block,
+        args: tuple = (),
+        shared_bytes_per_block: int = 0,
+        registers_per_thread: int = 20,
+    ) -> KernelEvent:
+        """Execute ``kernel_fn`` over the grid and price the launch.
+
+        Parameters
+        ----------
+        kernel_fn:
+            A function decorated with :func:`repro.gpu.kernel`.
+        grid, block:
+            Grid and block dimensions (int or 1-3 tuple).
+        args:
+            Positional arguments handed to every block invocation after
+            the context (device arrays and plain Python values).
+        shared_bytes_per_block:
+            Static shared-memory request, counted against occupancy.
+        registers_per_thread:
+            Register pressure estimate for the occupancy calculation.
+
+        Returns
+        -------
+        KernelEvent
+            The recorded event (with its :class:`CostBreakdown`).
+        """
+        if not getattr(kernel_fn, "is_kernel", False):
+            raise LaunchError(
+                "launch target must be decorated with @repro.gpu.kernel; got "
+                f"{getattr(kernel_fn, '__name__', kernel_fn)!r}"
+            )
+        self._charge_setup_once()
+        grid_dim = as_dim3(grid)
+        block_dim = as_dim3(block)
+        if block_dim.total > self.spec.max_threads_per_block:
+            raise LaunchError(
+                f"block of {block_dim.total} threads exceeds the device limit "
+                f"of {self.spec.max_threads_per_block}"
+            )
+        if block_dim.total % self.spec.warp_size:
+            # Legal on hardware but wasteful; the model still prices it via
+            # warp quantization inside the occupancy calculation.
+            pass
+        if grid_dim.total > _MAX_GRID_BLOCKS:
+            raise LaunchError(f"grid of {grid_dim.total} blocks exceeds the limit")
+        for arg in args:
+            if isinstance(arg, DeviceArray):
+                arg.check_alive()
+
+        occupancy = compute_occupancy(
+            self.spec,
+            block_dim.total,
+            shared_bytes_per_block=shared_bytes_per_block,
+            registers_per_thread=registers_per_thread,
+        )
+
+        # Aggregate starts "single" so the merge rule (any DP charge
+        # promotes the launch to DP pricing) works from a neutral state.
+        stats = KernelStats(precision="single")
+        for linear in range(grid_dim.total):
+            ctx = BlockContext(
+                grid_dim=grid_dim,
+                block_dim=block_dim,
+                block_idx=grid_dim.unlinearize(linear),
+                shared_limit_bytes=self.spec.shared_mem_per_sm_bytes,
+                stats=stats,
+            )
+            kernel_fn(ctx, *args)
+
+        cost = kernel_cost(
+            self.spec, stats, grid_blocks=grid_dim.total, occupancy=occupancy
+        )
+        event = KernelEvent(
+            name=kernel_fn.kernel_name,
+            grid=grid_dim,
+            block=block_dim,
+            stats=stats,
+            cost=cost,
+        )
+        self.profiler.record_kernel(event)
+        return event
+
+    def synchronize(self) -> None:
+        """No-op: the simulator executes launches synchronously."""
+
+    # ------------------------------------------------------------------
+    @property
+    def modeled_seconds(self) -> float:
+        """Total modeled time accumulated since the last reset."""
+        return self.profiler.total_seconds
+
+    def reset(self) -> None:
+        """Clear profiler and memory accounting (like a context reset)."""
+        self.profiler.reset()
+        self.memory.reset()
+        self._setup_charged = False
+
+    def _charge_setup_once(self) -> None:
+        if not self._setup_charged:
+            self._setup_charged = True
+            self.profiler.charge_setup(self.spec.setup_overhead_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Device({self.spec.name!r})"

@@ -1,0 +1,223 @@
+"""Kernel abstraction: block programs and their cost accounting.
+
+A simulated kernel is a Python function
+
+    @kernel("cheb_step")
+    def cheb_step(ctx, h_matrix, r_prev, r_cur, r_next):
+        rows = ctx.thread_range(h_matrix.shape[0])       # this block's rows
+        r_next.data[rows] = 2.0 * h_matrix.data[rows] @ r_cur.data - r_prev.data[rows]
+        ctx.charge(flops=..., gmem_read=..., gmem_write=...)
+
+invoked once per thread block by ``Device.launch``.  Inside, work over
+the block's threads is expressed with vectorized NumPy — functionally
+identical to the lock-step warps of the real hardware.  The explicit
+``ctx.charge`` calls declare the launch's FLOP and global-memory traffic,
+which the roofline model prices; the declared traffic is the model's
+input, exactly as in analytic GPU performance modeling.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceError, LaunchError, ValidationError
+from repro.gpu.thread import Dim3
+
+__all__ = ["KernelStats", "BlockContext", "kernel"]
+
+
+@dataclass
+class KernelStats:
+    """Aggregate work declared by one kernel launch.
+
+    Attributes
+    ----------
+    flops:
+        Double-precision floating-point operations.
+    gmem_read_bytes / gmem_write_bytes:
+        Total global-memory traffic *requested* by all threads.
+    footprint_bytes:
+        Unique bytes touched (the working set).  Re-reads beyond the
+        footprint hit the L2 when the footprint fits it; 0 means
+        "assume footprint == total traffic" (no reuse).
+    coalescing:
+        Fraction of peak bandwidth achievable given the access pattern
+        (1.0 = fully coalesced, ~0.5 = strided row-major reads, ...).
+    thread_efficiency:
+        Fraction of the block's threads doing useful work in lockstep
+        (< 1 when the block is wider than the data it tiles, e.g.
+        BLOCK_SIZE threads sweeping a shorter vector); scales both
+        achievable compute and bandwidth.
+    precision:
+        ``"double"`` or ``"single"`` — selects which compute peak the
+        roofline prices the FLOPs against (byte counts are declared
+        explicitly, so they already reflect the item size).
+    """
+
+    flops: float = 0.0
+    gmem_read_bytes: float = 0.0
+    gmem_write_bytes: float = 0.0
+    footprint_bytes: float = 0.0
+    coalescing: float = 1.0
+    thread_efficiency: float = 1.0
+    precision: str = "double"
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another block's charges into this launch total."""
+        self.flops += other.flops
+        self.gmem_read_bytes += other.gmem_read_bytes
+        self.gmem_write_bytes += other.gmem_write_bytes
+        self.footprint_bytes = max(self.footprint_bytes, other.footprint_bytes)
+        self.coalescing = min(self.coalescing, other.coalescing)
+        self.thread_efficiency = min(self.thread_efficiency, other.thread_efficiency)
+        if other.precision == "double":
+            self.precision = "double"  # conservative: price mixed launches as DP
+
+
+class BlockContext:
+    """What a block program sees: geometry, shared memory, charging."""
+
+    __slots__ = (
+        "grid_dim",
+        "block_dim",
+        "block_idx",
+        "shared_limit_bytes",
+        "_shared_used",
+        "_stats",
+    )
+
+    def __init__(
+        self,
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        block_idx: Dim3,
+        shared_limit_bytes: int,
+        stats: KernelStats,
+    ):
+        self.grid_dim = grid_dim
+        self.block_dim = block_dim
+        self.block_idx = block_idx
+        self.shared_limit_bytes = shared_limit_bytes
+        self._shared_used = 0
+        self._stats = stats
+
+    # ------------------------------------------------------------------
+    @property
+    def linear_block_id(self) -> int:
+        """Linearized block index (x fastest), like CUDA's flattening."""
+        bx, by, bz = self.block_idx
+        return bx + self.grid_dim.x * (by + self.grid_dim.y * bz)
+
+    @property
+    def threads_per_block(self) -> int:
+        """Total threads in this block."""
+        return self.block_dim.total
+
+    def thread_range(self, total_items: int) -> np.ndarray:
+        """Indices of the items this block owns under block-cyclic tiling.
+
+        Standard CUDA idiom ``i = blockIdx.x * blockDim.x + threadIdx.x``
+        generalized to a grid-stride loop: the block touches items
+        ``b*T, b*T+1, ..`` then strides by ``gridDim * blockDim`` until
+        ``total_items`` is exhausted.
+        """
+        if total_items < 0:
+            raise ValidationError(f"total_items must be >= 0, got {total_items}")
+        threads = self.threads_per_block
+        stride = self.grid_dim.total * threads
+        first = self.linear_block_id * threads
+        chunks = [
+            np.arange(start, min(start + threads, total_items), dtype=np.int64)
+            for start in range(first, total_items, stride)
+        ]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    # ------------------------------------------------------------------
+    def shared_alloc(self, nbytes: int) -> None:
+        """Claim ``nbytes`` of this block's shared memory (like ``__shared__``).
+
+        Exceeding the per-block limit raises :class:`LaunchError` —
+        on real hardware the launch would fail the same way.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValidationError(f"shared allocation must be >= 0, got {nbytes}")
+        if self._shared_used + nbytes > self.shared_limit_bytes:
+            raise LaunchError(
+                f"shared memory overflow: {self._shared_used + nbytes} bytes "
+                f"requested, limit {self.shared_limit_bytes}"
+            )
+        self._shared_used += nbytes
+
+    @property
+    def shared_used_bytes(self) -> int:
+        """Shared memory claimed so far by this block."""
+        return self._shared_used
+
+    def charge(
+        self,
+        *,
+        flops: float = 0.0,
+        gmem_read: float = 0.0,
+        gmem_write: float = 0.0,
+        footprint: float = 0.0,
+        coalescing: float = 1.0,
+        thread_efficiency: float = 1.0,
+        precision: str = "double",
+    ) -> None:
+        """Declare this block's work for the cost model."""
+        if min(flops, gmem_read, gmem_write, footprint) < 0:
+            raise ValidationError("charges must be non-negative")
+        if not 0.0 < coalescing <= 1.0:
+            raise ValidationError(f"coalescing must be in (0, 1], got {coalescing}")
+        if not 0.0 < thread_efficiency <= 1.0:
+            raise ValidationError(
+                f"thread_efficiency must be in (0, 1], got {thread_efficiency}"
+            )
+        if precision not in ("double", "single"):
+            raise ValidationError(
+                f"precision must be 'double' or 'single', got {precision!r}"
+            )
+        self._stats.merge(
+            KernelStats(
+                flops=flops,
+                gmem_read_bytes=gmem_read,
+                gmem_write_bytes=gmem_write,
+                footprint_bytes=footprint,
+                coalescing=coalescing,
+                thread_efficiency=thread_efficiency,
+                precision=precision,
+            )
+        )
+
+
+def kernel(name: str):
+    """Decorator marking a function as a device kernel (block program).
+
+    The wrapped function gains a ``kernel_name`` attribute and a
+    signature check: its first parameter must accept the
+    :class:`BlockContext`.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValidationError(f"kernel name must be a non-empty string, got {name!r}")
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(ctx, *args, **kwargs):
+            if not isinstance(ctx, BlockContext):
+                raise DeviceError(
+                    f"kernel {name!r} must be invoked through Device.launch "
+                    "(first argument is the BlockContext)"
+                )
+            return func(ctx, *args, **kwargs)
+
+        wrapper.kernel_name = name
+        wrapper.is_kernel = True
+        return wrapper
+
+    return decorate

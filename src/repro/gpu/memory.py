@@ -1,0 +1,126 @@
+"""Device global memory: allocation tracking and host<->device transfers.
+
+The pool enforces the device's VRAM capacity (allocations beyond it raise
+:class:`repro.errors.OutOfMemoryError`, like ``cudaMalloc`` returning
+``cudaErrorMemoryAllocation``) and keeps high-water-mark statistics used
+by :mod:`repro.gpukpm.memory_plan` to check the paper's memory formula.
+
+A :class:`DeviceArray` owns a NumPy buffer ("VRAM contents") plus its
+pool registration.  Host code must go through ``Device.memcpy_htod`` /
+``memcpy_dtoh`` so PCIe traffic is charged; kernels access ``.data``
+directly through their :class:`~repro.gpu.BlockContext`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError, OutOfMemoryError, ValidationError
+from repro.util.format import format_bytes
+
+__all__ = ["DeviceArray", "MemoryPool"]
+
+
+class DeviceArray:
+    """A dense float64/int64 array resident in simulated device memory.
+
+    Created through ``Device.alloc`` (never directly); freed explicitly
+    with :meth:`free` or implicitly when the device resets.
+    """
+
+    __slots__ = ("data", "name", "_pool", "_freed")
+
+    def __init__(self, data: np.ndarray, name: str, pool: "MemoryPool"):
+        self.data = data
+        self.name = name
+        self._pool = pool
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Array dtype."""
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes occupied in device memory."""
+        return int(self.data.nbytes)
+
+    @property
+    def is_freed(self) -> bool:
+        """True once :meth:`free` has been called."""
+        return self._freed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "freed" if self._freed else format_bytes(self.nbytes)
+        return f"DeviceArray({self.name!r}, shape={self.shape}, {state})"
+
+    # ------------------------------------------------------------------
+    def check_alive(self) -> None:
+        """Raise :class:`DeviceError` if the array was freed (use-after-free)."""
+        if self._freed:
+            raise DeviceError(f"device array {self.name!r} was already freed")
+
+    def free(self) -> None:
+        """Release the allocation back to the pool (idempotent is an error).
+
+        Mirrors ``cudaFree``: freeing twice is a bug and raises.
+        """
+        self.check_alive()
+        self._pool.release(self.nbytes)
+        self._freed = True
+
+
+class MemoryPool:
+    """Byte-accurate VRAM accounting with capacity enforcement."""
+
+    def __init__(self, capacity_bytes: int):
+        capacity_bytes = int(capacity_bytes)
+        if capacity_bytes <= 0:
+            raise ValidationError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.allocation_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def reserve(self, nbytes: int) -> None:
+        """Account for an allocation of ``nbytes``; raise if over capacity."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValidationError(f"allocation size must be >= 0, got {nbytes}")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise OutOfMemoryError(
+                f"device out of memory: requested {format_bytes(nbytes)}, "
+                f"{format_bytes(self.free_bytes)} free of "
+                f"{format_bytes(self.capacity_bytes)}"
+            )
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self.allocation_count += 1
+
+    def release(self, nbytes: int) -> None:
+        """Account for a free of ``nbytes``."""
+        nbytes = int(nbytes)
+        if nbytes < 0 or nbytes > self.used_bytes:
+            raise DeviceError(
+                f"invalid release of {nbytes} bytes with {self.used_bytes} in use"
+            )
+        self.used_bytes -= nbytes
+
+    def reset(self) -> None:
+        """Drop all accounting (device reset); capacity is kept."""
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.allocation_count = 0

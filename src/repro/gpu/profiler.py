@@ -1,0 +1,177 @@
+"""Profiler: the timeline of kernel launches and PCIe transfers.
+
+Every ``Device.launch``/``memcpy_*`` appends an event; the profiler
+aggregates modeled time per kernel name, which feeds the backends'
+:class:`~repro.timing.TimingReport` breakdowns and the harness tables.
+:meth:`Profiler.to_chrome_trace` exports the modeled timeline in the
+Chrome trace-event JSON format for visual inspection in
+``chrome://tracing`` / Perfetto — the simulator's answer to ``nvvp``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.gpu.costmodel import CostBreakdown
+from repro.gpu.kernel import KernelStats
+from repro.gpu.thread import Dim3
+from repro.util.format import format_bytes, format_count, format_seconds
+
+__all__ = ["KernelEvent", "TransferEvent", "Profiler"]
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One kernel launch: geometry, declared work, and its priced cost."""
+
+    name: str
+    grid: Dim3
+    block: Dim3
+    stats: KernelStats
+    cost: CostBreakdown
+
+    @property
+    def seconds(self) -> float:
+        """Modeled duration."""
+        return self.cost.total_seconds
+
+    def summary(self) -> str:
+        """One-line description for the timeline listing."""
+        return (
+            f"{self.name}<<<{self.grid.total},{self.block.total}>>> "
+            f"{format_seconds(self.seconds)} "
+            f"[{self.cost.bound}-bound, {format_count(self.stats.flops)}F, "
+            f"{format_bytes(self.stats.gmem_read_bytes + self.stats.gmem_write_bytes)}]"
+        )
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One host<->device copy over the PCIe model."""
+
+    kind: str  # "htod" | "dtoh"
+    nbytes: int
+    seconds: float
+
+    def summary(self) -> str:
+        """One-line description for the timeline listing."""
+        return f"memcpy_{self.kind} {format_bytes(self.nbytes)} {format_seconds(self.seconds)}"
+
+
+@dataclass
+class Profiler:
+    """Accumulates the device's event timeline and time totals."""
+
+    events: list = field(default_factory=list)
+    setup_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def record_kernel(self, event: KernelEvent) -> None:
+        """Append a kernel event."""
+        self.events.append(event)
+
+    def record_transfer(self, event: TransferEvent) -> None:
+        """Append a transfer event."""
+        self.events.append(event)
+
+    def charge_setup(self, seconds: float) -> None:
+        """Add one-time setup cost (context creation, allocation)."""
+        self.setup_seconds += seconds
+
+    def reset(self) -> None:
+        """Clear the timeline."""
+        self.events.clear()
+        self.setup_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel_seconds(self) -> float:
+        """Total modeled kernel time."""
+        return sum(e.seconds for e in self.events if isinstance(e, KernelEvent))
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Total modeled PCIe time."""
+        return sum(e.seconds for e in self.events if isinstance(e, TransferEvent))
+
+    @property
+    def total_seconds(self) -> float:
+        """Setup + kernels + transfers."""
+        return self.setup_seconds + self.kernel_seconds + self.transfer_seconds
+
+    def seconds_by_kernel(self) -> dict[str, float]:
+        """Modeled seconds per kernel name."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            if isinstance(event, KernelEvent):
+                totals[event.name] = totals.get(event.name, 0.0) + event.seconds
+        return totals
+
+    def launch_count(self, name: str | None = None) -> int:
+        """Number of launches (optionally of one kernel name)."""
+        return sum(
+            1
+            for e in self.events
+            if isinstance(e, KernelEvent) and (name is None or e.name == name)
+        )
+
+    def to_chrome_trace(self) -> str:
+        """Modeled timeline as Chrome trace-event JSON (``chrome://tracing``).
+
+        Events are laid end-to-end on two tracks ("Compute" for kernels,
+        "PCIe" for transfers) starting after the setup block; durations
+        are the modeled times in microseconds.
+        """
+        trace: list[dict] = []
+        clock_us = 0.0
+        if self.setup_seconds:
+            trace.append(
+                {
+                    "name": "setup",
+                    "ph": "X",
+                    "ts": 0.0,
+                    "dur": self.setup_seconds * 1e6,
+                    "pid": 0,
+                    "tid": "Setup",
+                }
+            )
+            clock_us = self.setup_seconds * 1e6
+        for event in self.events:
+            duration_us = event.seconds * 1e6
+            if isinstance(event, KernelEvent):
+                name = event.name
+                tid = "Compute"
+                args = {
+                    "grid": list(event.grid),
+                    "block": list(event.block),
+                    "flops": event.stats.flops,
+                    "gmem_bytes": event.stats.gmem_read_bytes
+                    + event.stats.gmem_write_bytes,
+                    "bound": event.cost.bound,
+                }
+            else:
+                name = f"memcpy_{event.kind}"
+                tid = "PCIe"
+                args = {"bytes": event.nbytes}
+            trace.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": clock_us,
+                    "dur": duration_us,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            clock_us += duration_us
+        return json.dumps({"traceEvents": trace, "displayTimeUnit": "ms"})
+
+    def timeline(self, limit: int | None = 20) -> str:
+        """Multi-line human-readable event listing (most recent last)."""
+        shown = self.events if limit is None else self.events[-limit:]
+        lines = [e.summary() for e in shown]
+        if limit is not None and len(self.events) > limit:
+            lines.insert(0, f"... ({len(self.events) - limit} earlier events)")
+        return "\n".join(lines)

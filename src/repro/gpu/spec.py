@@ -1,0 +1,197 @@
+"""GPU hardware specifications.
+
+:data:`TESLA_C2050` carries the published datasheet numbers of the
+paper's device (Fermi GF100: 14 SMs x 32 cores at 1.15 GHz, 515 GFLOP/s
+double precision, 144 GB/s GDDR5, 768 KB L2, 48 KB shared memory per SM,
+3 GB global memory, PCIe 2.0 x16).  The efficiency factors — achievable
+fractions of datasheet peaks — are the model's calibration surface and
+are documented per field; EXPERIMENTS.md records the values used for the
+figure reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+
+__all__ = ["GpuSpec", "TESLA_C2050", "TESLA_C1060", "GTX_580", "tiny_test_device"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Datasheet + efficiency description of a GPU for the cost model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"NVIDIA Tesla C2050"``.
+    sm_count:
+        Number of streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM (single-precision lanes).
+    clock_ghz:
+        Shader clock in GHz.
+    dp_flops_per_cycle_per_sm:
+        Double-precision FLOPs one SM retires per cycle (FMA counts as
+        2); 32 on Fermi Tesla (16 DP units x 2).
+    warp_size:
+        Threads per warp.
+    max_threads_per_block, max_threads_per_sm, max_blocks_per_sm:
+        Launch/occupancy limits.
+    shared_mem_per_sm_bytes, registers_per_sm:
+        Per-SM resources dividing among resident blocks.
+    global_mem_bytes:
+        VRAM capacity enforced by :class:`repro.gpu.MemoryPool`.
+    mem_bandwidth_bytes_per_s:
+        Peak DRAM (GDDR) bandwidth.
+    l2_bytes, l2_bandwidth_bytes_per_s:
+        L2 cache size and bandwidth (re-reads of an L2-resident footprint
+        run at this speed).
+    pcie_bandwidth_bytes_per_s, pcie_latency_s:
+        Host<->device link model.
+    kernel_launch_overhead_s:
+        Fixed host-side cost per kernel launch.
+    setup_overhead_s:
+        One-time context/allocation/first-touch cost per computation
+        (the fixed cost whose amortization produces the paper's Fig. 7
+        rising-speedup curve).
+    flop_efficiency, mem_efficiency:
+        Achievable fraction of the datasheet compute / bandwidth peaks
+        for well-formed kernels (calibration knobs).
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    dp_flops_per_cycle_per_sm: float
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    shared_mem_per_sm_bytes: int = 48 * 1024
+    registers_per_sm: int = 32768
+    global_mem_bytes: int = 3 * 1024**3
+    mem_bandwidth_bytes_per_s: float = 144e9
+    l2_bytes: int = 768 * 1024
+    l2_bandwidth_bytes_per_s: float = 230e9
+    pcie_bandwidth_bytes_per_s: float = 6e9
+    pcie_latency_s: float = 10e-6
+    kernel_launch_overhead_s: float = 7e-6
+    setup_overhead_s: float = 0.15
+    flop_efficiency: float = 0.70
+    mem_efficiency: float = 0.70
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "sm_count",
+            "cores_per_sm",
+            "warp_size",
+            "max_threads_per_block",
+            "max_threads_per_sm",
+            "max_blocks_per_sm",
+            "shared_mem_per_sm_bytes",
+            "registers_per_sm",
+            "global_mem_bytes",
+            "l2_bytes",
+        ):
+            if int(getattr(self, field_name)) <= 0:
+                raise ValidationError(f"{field_name} must be positive")
+        for field_name in (
+            "clock_ghz",
+            "dp_flops_per_cycle_per_sm",
+            "mem_bandwidth_bytes_per_s",
+            "l2_bandwidth_bytes_per_s",
+            "pcie_bandwidth_bytes_per_s",
+        ):
+            if float(getattr(self, field_name)) <= 0:
+                raise ValidationError(f"{field_name} must be positive")
+        for field_name in ("flop_efficiency", "mem_efficiency"):
+            value = float(getattr(self, field_name))
+            if not 0.0 < value <= 1.0:
+                raise ValidationError(f"{field_name} must be in (0, 1], got {value}")
+        for field_name in ("pcie_latency_s", "kernel_launch_overhead_s", "setup_overhead_s"):
+            if float(getattr(self, field_name)) < 0:
+                raise ValidationError(f"{field_name} must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_dp_flops(self) -> float:
+        """Datasheet double-precision peak, FLOP/s."""
+        return self.sm_count * self.dp_flops_per_cycle_per_sm * self.clock_ghz * 1e9
+
+    @property
+    def peak_sp_flops(self) -> float:
+        """Datasheet single-precision peak (2 FLOPs per core-cycle), FLOP/s."""
+        return self.sm_count * self.cores_per_sm * 2.0 * self.clock_ghz * 1e9
+
+    def with_updates(self, **changes) -> "GpuSpec":
+        """Copy with fields replaced (re-validated) — for calibration sweeps."""
+        return replace(self, **changes)
+
+
+#: The paper's device (Fermi, 515 GFLOP/s DP, 144 GB/s, 3 GB).
+TESLA_C2050 = GpuSpec(
+    name="NVIDIA Tesla C2050",
+    sm_count=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    dp_flops_per_cycle_per_sm=32.0,
+)
+
+#: Previous generation (GT200) for what-if studies: 1/8-rate DP, no L2.
+TESLA_C1060 = GpuSpec(
+    name="NVIDIA Tesla C1060",
+    sm_count=30,
+    cores_per_sm=8,
+    clock_ghz=1.30,
+    dp_flops_per_cycle_per_sm=2.0,
+    max_threads_per_block=512,
+    max_threads_per_sm=1024,
+    shared_mem_per_sm_bytes=16 * 1024,
+    registers_per_sm=16384,
+    global_mem_bytes=4 * 1024**3,
+    mem_bandwidth_bytes_per_s=102e9,
+    l2_bytes=1,  # effectively no L2 on GT200
+    l2_bandwidth_bytes_per_s=102e9,
+)
+
+#: Consumer Fermi flagship (GF110): higher clocks, 1/8-rate DP.
+GTX_580 = GpuSpec(
+    name="NVIDIA GeForce GTX 580",
+    sm_count=16,
+    cores_per_sm=32,
+    clock_ghz=1.544,
+    dp_flops_per_cycle_per_sm=8.0,
+    global_mem_bytes=1536 * 1024**2,
+    mem_bandwidth_bytes_per_s=192e9,
+    l2_bandwidth_bytes_per_s=300e9,
+)
+
+
+def tiny_test_device(**overrides) -> GpuSpec:
+    """A deliberately tiny device for unit tests.
+
+    Small VRAM (default 1 MiB) makes out-of-memory paths testable without
+    allocating gigabytes; other limits are scaled down accordingly.
+    """
+    params = dict(
+        name="test-gpu",
+        sm_count=2,
+        cores_per_sm=8,
+        clock_ghz=1.0,
+        dp_flops_per_cycle_per_sm=8.0,
+        max_threads_per_block=128,
+        max_threads_per_sm=256,
+        max_blocks_per_sm=4,
+        shared_mem_per_sm_bytes=4 * 1024,
+        registers_per_sm=4096,
+        global_mem_bytes=1024 * 1024,
+        mem_bandwidth_bytes_per_s=10e9,
+        l2_bytes=16 * 1024,
+        l2_bandwidth_bytes_per_s=20e9,
+        setup_overhead_s=0.0,
+    )
+    params.update(overrides)
+    return GpuSpec(**params)

@@ -1,0 +1,58 @@
+"""Grid/block geometry — the CUDA ``dim3`` model.
+
+Grids and blocks are up-to-3-dimensional; the simulator linearizes block
+indices in the CUDA order (x fastest).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import ValidationError
+
+__all__ = ["Dim3", "as_dim3"]
+
+
+class Dim3(NamedTuple):
+    """A CUDA ``dim3``: extents along x, y, z (all >= 1)."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    @property
+    def total(self) -> int:
+        """Product of the extents (threads per block / blocks per grid)."""
+        return self.x * self.y * self.z
+
+    def unlinearize(self, linear: int) -> "Dim3":
+        """The (x, y, z) index of the ``linear``-th element, x fastest."""
+        if not 0 <= linear < self.total:
+            raise ValidationError(f"linear index {linear} out of range for {self}")
+        x = linear % self.x
+        y = (linear // self.x) % self.y
+        z = linear // (self.x * self.y)
+        return Dim3(x, y, z)
+
+
+def as_dim3(value) -> Dim3:
+    """Coerce an int or a 1–3 element tuple into a validated :class:`Dim3`."""
+    if isinstance(value, Dim3):
+        dims = value
+    elif isinstance(value, bool):
+        raise ValidationError(f"dim3 components must be integers, got {value!r}")
+    elif isinstance(value, int):
+        dims = Dim3(value)
+    else:
+        try:
+            parts = tuple(int(v) for v in value)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"cannot interpret {value!r} as a dim3 (int or 1-3 ints)"
+            ) from None
+        if not 1 <= len(parts) <= 3:
+            raise ValidationError(f"dim3 takes 1-3 components, got {len(parts)}")
+        dims = Dim3(*parts)
+    if dims.x < 1 or dims.y < 1 or dims.z < 1:
+        raise ValidationError(f"dim3 components must be >= 1, got {tuple(dims)}")
+    return dims

@@ -1,0 +1,428 @@
+"""Kubo–Greenwood conductivity on the simulated GPU.
+
+The paper accelerates the DoS; the obvious next workload on the same
+platform is transport (this is the path later taken by KITE on real
+GPUs).  The double expansion maps onto the paper's decomposition
+unchanged — blocks own random vectors — but each vector now needs two
+full Chebyshev *stacks* resident in global memory:
+
+    L_n = T_n(H~) (A|r>),  R_m = A (T_m(H~)|r>),   n, m < N,
+
+followed by the Gram product ``mu_nm += L R^T`` (an ``N x N x D``
+contraction, the new compute-heavy part: the DoS recursion is
+bandwidth-bound, the conductivity contraction is FLOP-bound).  Each
+block accumulates a private ``(N, N)`` partial that a reduction kernel
+averages.
+
+Memory per block rises from the paper's 4 vectors to ``2N`` vectors —
+the reason transport runs use far smaller ``N`` than DoS runs on the
+same card (3 GB VRAM caps ``N`` near 10^4 x D elements).
+:func:`plan_conductivity_memory` exposes the budget; the
+:class:`GpuConductivity` runner enforces it through the device pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.costmodel import kernel_cost, transfer_cost
+from repro.gpu.device import Device
+from repro.gpu.kernel import KernelStats, kernel
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.spec import TESLA_C2050, GpuSpec
+from repro.gpukpm.kernels import DeviceMatrix
+from repro.gpukpm.stats import (
+    CSR_MATVEC_COALESCING,
+    DENSE_MATVEC_COALESCING,
+    _itemsize,
+    plan_grid,
+)
+from repro.kpm.config import KPMConfig
+from repro.kpm.random_vectors import random_vector
+from repro.sparse import CSRMatrix, as_operator
+from repro.timing import TimingReport, WallTimer
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "per_vector_conductivity_stats",
+    "conductivity_reduce_stats",
+    "plan_conductivity_memory",
+    "estimate_gpu_conductivity_seconds",
+    "GpuConductivity",
+]
+
+_INDEX = 8
+_RNG_FLOPS_PER_ELEMENT = 4.0
+
+
+def _matrix_traffic(dim: int, nnz: int | None, item: int) -> tuple[float, float, float]:
+    """(flops, read bytes, coalescing) of one matvec with the stored matrix."""
+    if nnz is None:
+        return (
+            2.0 * dim * dim,
+            dim * dim * item + dim * item,
+            DENSE_MATVEC_COALESCING,
+        )
+    return (
+        2.0 * nnz,
+        nnz * (item + _INDEX) + (dim + 1) * _INDEX + dim * item,
+        CSR_MATVEC_COALESCING,
+    )
+
+
+def per_vector_conductivity_stats(
+    dimension: int,
+    num_moments: int,
+    *,
+    nnz: int | None = None,
+    current_nnz: int | None = None,
+    block_size: int | None = None,
+    precision: str = "double",
+) -> KernelStats:
+    """Work of the double expansion for ONE random vector.
+
+    Two Chebyshev recursions over ``H~`` (with the stacks written to
+    global memory), ``N + 1`` applications of the current operator, and
+    the ``2 N^2 D`` Gram contraction.
+    """
+    dim = check_positive_int(dimension, "dimension")
+    n = check_positive_int(num_moments, "num_moments")
+    item = _itemsize(precision)
+    thread_efficiency = (
+        1.0 if block_size is None else min(1.0, dim / check_positive_int(block_size, "block_size"))
+    )
+    vec_bytes = dim * item
+    h_flops, h_read, h_coalescing = _matrix_traffic(dim, nnz, item)
+    a_flops, a_read, _ = _matrix_traffic(dim, current_nnz, item)
+
+    flops = _RNG_FLOPS_PER_ELEMENT * dim          # RNG
+    read = 0.0
+    write = float(vec_bytes)
+    # Two recursions of N-1 steps each (matvec + axpy), stacks stored.
+    flops += 2 * (n - 1) * (h_flops + 2.0 * dim)
+    read += 2 * (n - 1) * (h_read + 2.0 * vec_bytes)
+    write += 2 * (n - 1) * vec_bytes
+    # Current operator: once on |r>, once per phi_m.
+    flops += (n + 1) * a_flops
+    read += (n + 1) * a_read
+    write += (n + 1) * vec_bytes
+    # Gram contraction mu_nm += L R^T: 2 N^2 D flops, stacks re-streamed.
+    flops += 2.0 * n * n * dim
+    read += 2.0 * n * vec_bytes + n * n * item
+    write += n * n * item
+    return KernelStats(
+        flops=flops,
+        gmem_read_bytes=read,
+        gmem_write_bytes=write,
+        coalescing=h_coalescing,
+        thread_efficiency=thread_efficiency,
+        precision=precision,
+    )
+
+
+def conductivity_reduce_stats(num_moments: int, num_blocks: int, *, precision: str = "double") -> KernelStats:
+    """Stats of averaging the per-block ``(N, N)`` partials."""
+    n = check_positive_int(num_moments, "num_moments")
+    blocks = check_positive_int(num_blocks, "num_blocks")
+    item = _itemsize(precision)
+    return KernelStats(
+        flops=float(n * n * blocks),
+        gmem_read_bytes=float(n * n * blocks * item),
+        gmem_write_bytes=float(n * n * item),
+        footprint_bytes=float(n * n * blocks * item),
+        coalescing=1.0,
+        precision=precision,
+    )
+
+
+def plan_conductivity_memory(
+    spec: GpuSpec,
+    dimension: int,
+    config: KPMConfig,
+    *,
+    nnz: int | None = None,
+    current_nnz: int | None = None,
+) -> dict[str, int]:
+    """Planned device bytes per buffer (matches the runner's allocations)."""
+    plan = plan_grid(config.total_vectors, config.block_size, spec)
+    item = _itemsize(config.precision)
+    dim = check_positive_int(dimension, "dimension")
+    n = config.num_moments
+
+    def matrix_bytes(count):
+        if count is None:
+            return dim * dim * item
+        return count * (item + _INDEX) + (dim + 1) * _INDEX
+
+    return {
+        "hamiltonian": matrix_bytes(nnz),
+        "current": matrix_bytes(current_nnz),
+        "stacks": plan.num_blocks * 2 * n * dim * item,
+        "partials": plan.num_blocks * n * n * item,
+        "result": n * n * item,
+    }
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+@kernel("kpm_conductivity")
+def kpm_conductivity_kernel(
+    ctx,
+    matrix: DeviceMatrix,
+    current: DeviceMatrix,
+    stacks,
+    partials,
+    plan,
+    per_vector_stats,
+    footprint_bytes,
+    num_moments: int,
+    vectors_per_realization: int,
+    vector_kind: str,
+    seed,
+):
+    """Per-block double expansion over the block's vectors.
+
+    ``stacks.data[block]`` holds the ``(2, N, D)`` L/R workspace;
+    ``partials.data[block]`` accumulates the block's ``(N, N)`` sum.
+    """
+    block_vectors = plan.vectors_of(ctx.linear_block_id)
+    if len(block_vectors) == 0:  # pragma: no cover - plan never makes these
+        return
+    workspace = stacks.data[ctx.linear_block_id]
+    accumulator = partials.data[ctx.linear_block_id]
+    dim = workspace.shape[2]
+    ctx.shared_alloc(ctx.threads_per_block * 8)
+
+    def chebyshev_fill(out, start):
+        out[0] = start
+        if num_moments > 1:
+            out[1] = matrix.matvec(start)
+            for order in range(2, num_moments):
+                out[order] = 2.0 * matrix.matvec(out[order - 1]) - out[order - 2]
+
+    for v in block_vectors:
+        realization, vector_index = divmod(v, vectors_per_realization)
+        r0 = random_vector(
+            dim,
+            vector_kind,
+            seed=seed,
+            realization=realization,
+            vector_index=vector_index,
+        ).astype(workspace.dtype)
+        chebyshev_fill(workspace[0], current.matvec(r0))   # L_n = T_n (A r)
+        chebyshev_fill(workspace[1], r0)                   # phi_m = T_m r
+        for m in range(num_moments):
+            workspace[1][m] = current.matvec(workspace[1][m])  # R_m = A phi_m
+        accumulator += workspace[0] @ workspace[1].T / dim
+
+    ctx.charge(
+        flops=per_vector_stats.flops * len(block_vectors),
+        gmem_read=per_vector_stats.gmem_read_bytes * len(block_vectors),
+        gmem_write=per_vector_stats.gmem_write_bytes * len(block_vectors),
+        footprint=footprint_bytes,
+        coalescing=per_vector_stats.coalescing,
+        thread_efficiency=per_vector_stats.thread_efficiency,
+        precision=per_vector_stats.precision,
+    )
+
+
+@kernel("reduce_conductivity")
+def reduce_conductivity_kernel(ctx, partials, result, vectors_per_block_weighting, reduce_stats):
+    """Average the per-block partial sums into the final ``(N, N)`` table."""
+    if ctx.linear_block_id != 0:
+        return
+    result.data[...] = partials.data.sum(axis=0) / vectors_per_block_weighting
+    ctx.charge(
+        flops=reduce_stats.flops,
+        gmem_read=reduce_stats.gmem_read_bytes,
+        gmem_write=reduce_stats.gmem_write_bytes,
+        footprint=reduce_stats.footprint_bytes,
+        coalescing=reduce_stats.coalescing,
+        precision=reduce_stats.precision,
+    )
+
+
+# ----------------------------------------------------------------------
+# Runner + estimator
+# ----------------------------------------------------------------------
+class GpuConductivity:
+    """Double-expansion runner on one simulated device."""
+
+    def __init__(self, spec: GpuSpec = TESLA_C2050):
+        if not isinstance(spec, GpuSpec):
+            raise ValidationError(f"spec must be a GpuSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.last_device: Device | None = None
+
+    def run(
+        self, scaled_operator, current, config: KPMConfig
+    ) -> tuple[np.ndarray, TimingReport]:
+        """Compute ``mu_nm`` on the device; returns the table + timing."""
+        if not isinstance(config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(config).__name__}"
+            )
+        h_op = as_operator(scaled_operator)
+        a_op = as_operator(current)
+        if h_op.shape != a_op.shape:
+            raise ValidationError("Hamiltonian and current dimensions differ")
+        dim = h_op.shape[0]
+        n = config.num_moments
+        plan = plan_grid(config.total_vectors, config.block_size, self.spec)
+        dtype = np.float64 if config.precision == "double" else np.float32
+
+        with WallTimer() as timer:
+            device = Device(self.spec)
+            self.last_device = device
+
+            def upload(op, name):
+                if isinstance(op, CSRMatrix):
+                    d_data = device.alloc(op.nnz_stored, dtype=dtype, name=f"{name}.data")
+                    d_idx = device.alloc(op.nnz_stored, dtype=np.int64, name=f"{name}.indices")
+                    d_ptr = device.alloc(dim + 1, dtype=np.int64, name=f"{name}.indptr")
+                    device.memcpy_htod(d_data, op.data.astype(dtype))
+                    device.memcpy_htod(d_idx, op.indices)
+                    device.memcpy_htod(d_ptr, op.indptr)
+                    return (
+                        DeviceMatrix(csr_data=d_data, csr_indices=d_idx, csr_indptr=d_ptr, shape=op.shape),
+                        op.nnz_stored,
+                    )
+                d_mat = device.alloc((dim, dim), dtype=dtype, name=f"{name}.dense")
+                device.memcpy_htod(d_mat, op.to_dense().astype(dtype))
+                return DeviceMatrix(dense=d_mat), None
+
+            matrix, nnz = upload(h_op, "H")
+            current_dev, current_nnz = upload(a_op, "A")
+            stacks = device.alloc((plan.num_blocks, 2, n, dim), dtype=dtype, name="stacks")
+            partials = device.alloc((plan.num_blocks, n, n), dtype=dtype, name="partials")
+            result = device.alloc((n, n), dtype=dtype, name="mu_nm")
+
+            pv_stats = per_vector_conductivity_stats(
+                dim,
+                n,
+                nnz=nnz,
+                current_nnz=current_nnz,
+                block_size=plan.block_size,
+                precision=config.precision,
+            )
+            footprint = (
+                plan_conductivity_memory(
+                    self.spec, dim, config, nnz=nnz, current_nnz=current_nnz
+                )["hamiltonian"]
+                + min(plan.num_blocks, self.spec.sm_count) * 2 * n * dim * (8 if config.precision == "double" else 4)
+            )
+            device.launch(
+                kpm_conductivity_kernel,
+                grid=plan.num_blocks,
+                block=plan.block_size,
+                args=(
+                    matrix,
+                    current_dev,
+                    stacks,
+                    partials,
+                    plan,
+                    pv_stats,
+                    footprint,
+                    n,
+                    config.num_random_vectors,
+                    config.vector_kind,
+                    config.seed,
+                ),
+                shared_bytes_per_block=plan.block_size * 8,
+            )
+            reduce_stats = conductivity_reduce_stats(
+                n, plan.num_blocks, precision=config.precision
+            )
+            device.launch(
+                reduce_conductivity_kernel,
+                grid=1,
+                block=plan.block_size,
+                args=(partials, result, float(config.total_vectors), reduce_stats),
+            )
+            host_result = np.empty((n, n), dtype=dtype)
+            device.memcpy_dtoh(host_result, result)
+
+        breakdown = dict(device.profiler.seconds_by_kernel())
+        breakdown["setup"] = device.profiler.setup_seconds
+        breakdown["transfer"] = device.profiler.transfer_seconds
+        report = TimingReport(
+            backend="gpu-sim",
+            device=self.spec.name,
+            modeled_seconds=device.modeled_seconds,
+            wall_seconds=timer.seconds,
+            breakdown=breakdown,
+        )
+        return host_result.astype(np.float64), report
+
+
+def estimate_gpu_conductivity_seconds(
+    spec: GpuSpec,
+    dimension: int,
+    config: KPMConfig,
+    *,
+    nnz: int | None = None,
+    current_nnz: int | None = None,
+) -> float:
+    """Analytic modeled time of :meth:`GpuConductivity.run` (exact match)."""
+    if not isinstance(config, KPMConfig):
+        raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
+    dim = check_positive_int(dimension, "dimension")
+    n = config.num_moments
+    plan = plan_grid(config.total_vectors, config.block_size, spec)
+    item = _itemsize(config.precision)
+
+    memory = plan_conductivity_memory(
+        spec, dim, config, nnz=nnz, current_nnz=current_nnz
+    )
+    uploads = 0.0
+    for key, matrix_nnz in (("hamiltonian", nnz), ("current", current_nnz)):
+        if matrix_nnz is None:
+            uploads += transfer_cost(spec, memory[key])
+        else:
+            uploads += (
+                transfer_cost(spec, matrix_nnz * item)
+                + transfer_cost(spec, matrix_nnz * _INDEX)
+                + transfer_cost(spec, (dim + 1) * _INDEX)
+            )
+    download = transfer_cost(spec, n * n * item)
+
+    pv_stats = per_vector_conductivity_stats(
+        dim,
+        n,
+        nnz=nnz,
+        current_nnz=current_nnz,
+        block_size=plan.block_size,
+        precision=config.precision,
+    )
+    footprint = memory["hamiltonian"] + min(plan.num_blocks, spec.sm_count) * 2 * n * dim * item
+    launch_stats = KernelStats(
+        flops=pv_stats.flops * plan.total_vectors,
+        gmem_read_bytes=pv_stats.gmem_read_bytes * plan.total_vectors,
+        gmem_write_bytes=pv_stats.gmem_write_bytes * plan.total_vectors,
+        footprint_bytes=footprint,
+        coalescing=pv_stats.coalescing,
+        thread_efficiency=pv_stats.thread_efficiency,
+        precision=pv_stats.precision,
+    )
+    occupancy = compute_occupancy(
+        spec, plan.block_size, shared_bytes_per_block=plan.block_size * 8
+    )
+    main = kernel_cost(
+        spec, launch_stats, grid_blocks=plan.num_blocks, occupancy=occupancy
+    )
+    reduce_occupancy = compute_occupancy(spec, plan.block_size)
+    reduction = kernel_cost(
+        spec,
+        conductivity_reduce_stats(n, plan.num_blocks, precision=config.precision),
+        grid_blocks=1,
+        occupancy=reduce_occupancy,
+    )
+    return (
+        spec.setup_overhead_s
+        + uploads
+        + download
+        + main.total_seconds
+        + reduction.total_seconds
+    )

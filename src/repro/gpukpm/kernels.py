@@ -1,0 +1,142 @@
+"""Device kernels of the GPU KPM (paper Fig. 4).
+
+Two kernels, exactly the paper's two parallel parts:
+
+* :func:`kpm_recursion_kernel` — part (a): each block generates its
+  random vectors, runs the full N-order Chebyshev recursion in its
+  4-vector global-memory workspace (pointer-swapped, paper Fig. 4a), and
+  writes the per-vector moments ``mu~_n`` to global memory.
+* :func:`reduce_moments_kernel` — part (b): parallel mean of the
+  ``mu~`` table over the ``R*S`` vectors (paper Fig. 4b).
+
+Charges are the shared per-vector accounting of
+:mod:`repro.gpukpm.stats`, so an executed launch prices identically to
+the analytic estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpu.kernel import kernel
+from repro.kpm.random_vectors import random_vector
+from repro.sparse.csr import _segment_sums
+
+__all__ = ["DeviceMatrix", "kpm_recursion_kernel", "reduce_moments_kernel"]
+
+
+class DeviceMatrix:
+    """The uploaded Hamiltonian: dense buffer or CSR triple.
+
+    Thin functional wrapper the recursion kernel multiplies with; the
+    storage choice also selects the cost accounting (dense sweep vs CSR
+    gather) through ``nnz``.
+    """
+
+    def __init__(self, *, dense=None, csr_data=None, csr_indices=None, csr_indptr=None, shape=None):
+        if dense is not None:
+            self.dense = dense
+            self.csr = None
+            self.shape = dense.shape
+            self.nnz = None
+        else:
+            if csr_data is None or csr_indices is None or csr_indptr is None or shape is None:
+                raise DeviceError("CSR DeviceMatrix needs data, indices, indptr, shape")
+            self.dense = None
+            self.csr = (csr_data, csr_indices, csr_indptr)
+            self.shape = shape
+            self.nnz = int(csr_data.shape[0])
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``H~ @ x`` against the device-resident storage."""
+        if self.dense is not None:
+            return self.dense.data @ x
+        data, indices, indptr = self.csr
+        prod = data.data * x[indices.data]
+        return _segment_sums(prod, indptr.data, self.shape[0])
+
+
+@kernel("kpm_recursion")
+def kpm_recursion_kernel(
+    ctx,
+    matrix: DeviceMatrix,
+    workspace,
+    mu_tilde,
+    plan,
+    per_vector_stats,
+    footprint_bytes,
+    num_moments: int,
+    vectors_per_realization: int,
+    vector_kind: str,
+    seed,
+    first_vector: int = 0,
+):
+    """Part (a): full recursion for this block's vectors.
+
+    ``workspace.data[block_id]`` is the block's 4 x D vector store:
+    slot 0 holds ``|r>`` for the dot products; slots 1-3 rotate as
+    ``r_{n-2}, r_{n-1}, r_n`` — the paper's pointer swap.
+
+    ``first_vector`` offsets the global vector numbering so a device
+    working on a partition (multi-GPU, :mod:`repro.cluster`) consumes
+    exactly the same random streams as a single device would.
+    """
+    block_vectors = plan.vectors_of(ctx.linear_block_id)
+    if len(block_vectors) == 0:  # pragma: no cover - plan never makes these
+        return
+    ws = workspace.data[ctx.linear_block_id]
+    dim = ws.shape[1]
+    # Shared memory: the block's dot-product reduction tree.
+    ctx.shared_alloc(ctx.threads_per_block * 8)
+
+    for v in block_vectors:
+        realization, vector_index = divmod(first_vector + v, vectors_per_realization)
+        ws[0] = random_vector(
+            dim,
+            vector_kind,
+            seed=seed,
+            realization=realization,
+            vector_index=vector_index,
+        )
+        r0 = ws[0]
+        mu_tilde.data[v, 0] = r0 @ r0
+        if num_moments == 1:
+            continue
+        ws[1] = r0               # r_0
+        ws[2] = matrix.matvec(r0)  # r_1
+        mu_tilde.data[v, 1] = r0 @ ws[2]
+        prev, cur, nxt = 1, 2, 3
+        for order in range(2, num_moments):
+            ws[nxt] = 2.0 * matrix.matvec(ws[cur]) - ws[prev]
+            mu_tilde.data[v, order] = r0 @ ws[nxt]
+            prev, cur, nxt = cur, nxt, prev
+
+    ctx.charge(
+        flops=per_vector_stats.flops * len(block_vectors),
+        gmem_read=per_vector_stats.gmem_read_bytes * len(block_vectors),
+        gmem_write=per_vector_stats.gmem_write_bytes * len(block_vectors),
+        footprint=footprint_bytes,
+        coalescing=per_vector_stats.coalescing,
+        thread_efficiency=per_vector_stats.thread_efficiency,
+        precision=per_vector_stats.precision,
+    )
+
+
+@kernel("reduce_moments")
+def reduce_moments_kernel(ctx, mu_tilde, mu_out, footprint_bytes, precision="double"):
+    """Part (b): ``mu_n = mean_v mu~_{v,n}`` — one thread per order."""
+    orders = ctx.thread_range(mu_out.shape[0])
+    if orders.size == 0:
+        return
+    total_vectors = mu_tilde.shape[0]
+    item = mu_tilde.data.dtype.itemsize
+    mu_out.data[orders] = mu_tilde.data[:, orders].mean(axis=0)
+    ctx.charge(
+        flops=float(total_vectors * orders.size),
+        gmem_read=float(total_vectors * orders.size * item),
+        gmem_write=float(orders.size * item),
+        footprint=footprint_bytes,
+        coalescing=1.0,
+        precision=precision,
+    )

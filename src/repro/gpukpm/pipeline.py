@@ -1,0 +1,228 @@
+"""The full GPU KPM pipeline (host program of paper Sec. III).
+
+Host-side sequence, mirroring the CUDA original:
+
+1. allocate and upload ``H~`` (dense buffer or CSR triple) over PCIe;
+2. allocate the per-block 4-vector workspace and the ``mu~`` table;
+3. launch ``kpm_recursion`` over ``ceil(R*S / BLOCK_SIZE)`` blocks;
+4. launch ``reduce_moments``;
+5. download the moment table and assemble :class:`~repro.kpm.MomentData`.
+
+The modeled time comes from the device profiler; tests pin it against
+:func:`repro.gpukpm.estimate_gpu_kpm_seconds` (same launch schedule,
+no execution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.device import Device
+from repro.gpu.spec import TESLA_C2050, GpuSpec
+from repro.gpukpm.kernels import DeviceMatrix, kpm_recursion_kernel, reduce_moments_kernel
+from repro.gpukpm.stats import (
+    per_vector_recursion_stats,
+    plan_grid,
+    recursion_footprint_bytes,
+    reduce_launch_stats,
+)
+from repro.kpm.config import KPMConfig
+from repro.kpm.moments import MomentData
+from repro.sparse import CSRMatrix, as_operator
+from repro.timing import TimingReport, WallTimer
+
+__all__ = ["GpuKPM", "GpuSimEngine"]
+
+
+class GpuKPM:
+    """GPU KPM runner bound to one device spec.
+
+    Parameters
+    ----------
+    spec:
+        The simulated device; defaults to the paper's Tesla C2050.
+
+    After :meth:`run`, :attr:`last_device` holds the device with its full
+    profiler timeline for inspection.
+    """
+
+    def __init__(self, spec: GpuSpec = TESLA_C2050):
+        if not isinstance(spec, GpuSpec):
+            raise ValidationError(f"spec must be a GpuSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.last_device: Device | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, scaled_operator, config: KPMConfig) -> tuple[MomentData, TimingReport]:
+        """Execute the pipeline; return moments and the timing report.
+
+        ``scaled_operator`` must already have its spectrum in
+        ``[-1, 1]`` (use :func:`repro.kpm.rescale_operator`); the
+        high-level :func:`repro.kpm.compute_dos` does this for you.
+        """
+        if not isinstance(config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(config).__name__}"
+            )
+        with WallTimer() as timer:
+            host_mu_tilde, host_mu, device = self.run_partition(
+                scaled_operator, config, first_vector=0, num_vectors=config.total_vectors
+            )
+        dim = as_operator(scaled_operator).shape[0]
+        num_moments = config.num_moments
+        per_realization = (
+            host_mu_tilde.reshape(
+                config.num_realizations, config.num_random_vectors, num_moments
+            ).mean(axis=1)
+            / dim
+        )
+        data = MomentData(
+            mu=host_mu / dim,
+            per_realization=per_realization,
+            dimension=dim,
+            num_vectors=config.num_random_vectors,
+        )
+        breakdown = dict(device.profiler.seconds_by_kernel())
+        breakdown["setup"] = device.profiler.setup_seconds
+        breakdown["transfer"] = device.profiler.transfer_seconds
+        report = TimingReport(
+            backend="gpu-sim",
+            device=self.spec.name,
+            modeled_seconds=device.modeled_seconds,
+            wall_seconds=timer.seconds,
+            breakdown=breakdown,
+        )
+        return data, report
+
+    def run_partition(
+        self,
+        scaled_operator,
+        config: KPMConfig,
+        *,
+        first_vector: int,
+        num_vectors: int,
+    ) -> tuple[np.ndarray, np.ndarray, Device]:
+        """Run the pipeline for vectors ``[first_vector, first_vector + num_vectors)``.
+
+        This is the device-level worker used both by :meth:`run` (full
+        range) and by the multi-GPU extension (:mod:`repro.cluster`),
+        which assigns each simulated device one partition.  Global
+        vector numbering keeps the random streams identical to a
+        single-device run.
+
+        Returns
+        -------
+        (mu_tilde, mu, device):
+            The raw per-vector moment table ``(num_vectors, N)``, the
+            device-reduced mean over this partition ``(N,)`` (both
+            *unnormalized* by ``D``), and the device with its profiler.
+        """
+        if not isinstance(config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(config).__name__}"
+            )
+        if first_vector < 0 or num_vectors <= 0:
+            raise ValidationError(
+                "first_vector must be >= 0 and num_vectors positive, got "
+                f"{first_vector}, {num_vectors}"
+            )
+        op = as_operator(scaled_operator)
+        dim = op.shape[0]
+        num_moments = config.num_moments
+        plan = plan_grid(num_vectors, config.block_size, self.spec)
+        dtype = np.float64 if config.precision == "double" else np.float32
+
+        device = Device(self.spec)
+        self.last_device = device
+
+        # --- upload the Hamiltonian ---------------------------------
+        if isinstance(op, CSRMatrix):
+            nnz = op.nnz_stored
+            d_data = device.alloc(nnz, dtype=dtype, name="H.data")
+            d_indices = device.alloc(nnz, dtype=np.int64, name="H.indices")
+            d_indptr = device.alloc(dim + 1, dtype=np.int64, name="H.indptr")
+            device.memcpy_htod(d_data, op.data.astype(dtype))
+            device.memcpy_htod(d_indices, op.indices)
+            device.memcpy_htod(d_indptr, op.indptr)
+            matrix = DeviceMatrix(
+                csr_data=d_data,
+                csr_indices=d_indices,
+                csr_indptr=d_indptr,
+                shape=op.shape,
+            )
+        else:
+            nnz = None
+            d_matrix = device.alloc((dim, dim), dtype=dtype, name="H.dense")
+            device.memcpy_htod(d_matrix, op.to_dense().astype(dtype))
+            matrix = DeviceMatrix(dense=d_matrix)
+
+        # --- workspace + moment buffers (paper Sec. III-B2) ---------
+        workspace = device.alloc((plan.num_blocks, 4, dim), dtype=dtype, name="workspace")
+        mu_tilde = device.alloc((num_vectors, num_moments), dtype=dtype, name="mu_tilde")
+        mu_out = device.alloc(num_moments, dtype=dtype, name="mu")
+
+        # --- part (a): recursion ------------------------------------
+        pv_stats = per_vector_recursion_stats(
+            dim,
+            num_moments,
+            nnz=nnz,
+            block_size=plan.block_size,
+            precision=config.precision,
+        )
+        footprint = recursion_footprint_bytes(
+            dim, plan, self.spec, nnz=nnz, precision=config.precision
+        )
+        device.launch(
+            kpm_recursion_kernel,
+            grid=plan.num_blocks,
+            block=plan.block_size,
+            args=(
+                matrix,
+                workspace,
+                mu_tilde,
+                plan,
+                pv_stats,
+                footprint,
+                num_moments,
+                config.num_random_vectors,
+                config.vector_kind,
+                config.seed,
+                first_vector,
+            ),
+            shared_bytes_per_block=plan.block_size * 8,
+        )
+
+        # --- part (b): reduction ------------------------------------
+        reduce_stats = reduce_launch_stats(
+            num_moments, num_vectors, precision=config.precision
+        )
+        reduce_blocks = -(-num_moments // plan.block_size)
+        device.launch(
+            reduce_moments_kernel,
+            grid=reduce_blocks,
+            block=plan.block_size,
+            args=(mu_tilde, mu_out, reduce_stats.footprint_bytes, config.precision),
+        )
+
+        # --- download -------------------------------------------------
+        host_mu_tilde = np.empty((num_vectors, num_moments), dtype=dtype)
+        host_mu = np.empty(num_moments, dtype=dtype)
+        device.memcpy_dtoh(host_mu_tilde, mu_tilde)
+        device.memcpy_dtoh(host_mu, mu_out)
+        return host_mu_tilde.astype(np.float64), host_mu.astype(np.float64), device
+
+
+class GpuSimEngine:
+    """Moment-engine adapter registering :class:`GpuKPM` as ``"gpu-sim"``."""
+
+    name = "gpu-sim"
+
+    def __init__(self, spec: GpuSpec = TESLA_C2050):
+        self.runner = GpuKPM(spec)
+
+    def compute_moments(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport]:
+        """Run the GPU pipeline on the scaled operator."""
+        return self.runner.run(scaled_operator, config)

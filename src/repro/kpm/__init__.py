@@ -1,0 +1,136 @@
+"""Kernel Polynomial Method — the paper's core algorithm.
+
+Public pipeline (paper Sec. II-A):
+
+1. :func:`rescale_operator` — map the spectrum of ``H`` into ``[-1, 1]``
+   via Gerschgorin (Eq. 8–9), Lanczos, or exact bounds.
+2. :func:`stochastic_moments` — Chebyshev moments ``mu_n = Tr[T_n(H~)]/D``
+   by the stochastic trace estimator (Eq. 16–19) over ``R`` random vectors
+   and ``S`` realizations.
+3. :func:`dos_from_moments` / :func:`compute_dos` — kernel-damped
+   reconstruction of the density of states (Eq. 6).
+
+``compute_dos(H, KPMConfig(...), backend="gpu-sim")`` runs the whole
+pipeline on a chosen execution backend.
+"""
+
+from repro.kpm.config import KPMConfig
+from repro.kpm.rescale import (
+    SpectralBounds,
+    Rescaling,
+    gerschgorin_bounds,
+    lanczos_bounds,
+    exact_bounds,
+    rescale_operator,
+)
+from repro.kpm.kernels import (
+    jackson_kernel,
+    lorentz_kernel,
+    fejer_kernel,
+    dirichlet_kernel,
+    lanczos_kernel,
+    get_kernel,
+    available_kernels,
+)
+from repro.kpm.random_vectors import random_vector, random_block, available_vector_kinds
+from repro.kpm.moments import (
+    MomentData,
+    moments_single_vector,
+    moments_block,
+    stochastic_moments,
+    exact_moments,
+)
+from repro.kpm.reconstruct import (
+    apply_kernel_damping,
+    chebyshev_grid,
+    reconstruct_on_chebyshev_grid,
+    evaluate_series_at,
+    dos_from_moments,
+)
+from repro.kpm.dos import DoSResult, compute_dos
+from repro.kpm.green import greens_function, local_dos, local_dos_map
+from repro.kpm.engines import available_backends, get_engine, register_engine
+from repro.kpm.estimator import (
+    jackson_resolution,
+    moment_convergence_study,
+    required_moments_for_resolution,
+)
+from repro.kpm.observables import (
+    fermi_dirac,
+    spectral_integral,
+    electron_count,
+    chemical_potential,
+    internal_energy,
+)
+from repro.kpm.evolution import (
+    evolution_coefficients,
+    evolution_order,
+    evolve_state,
+)
+from repro.kpm.incremental import SpectralDensity
+from repro.kpm.conductivity import (
+    current_operator_from_edges,
+    lattice_current_operator,
+    conductivity_moments_single_vector,
+    stochastic_conductivity_moments,
+    conductivity_profile,
+    kubo_greenwood_conductivity,
+    finite_temperature_conductivity,
+)
+
+__all__ = [
+    "KPMConfig",
+    "SpectralBounds",
+    "Rescaling",
+    "gerschgorin_bounds",
+    "lanczos_bounds",
+    "exact_bounds",
+    "rescale_operator",
+    "jackson_kernel",
+    "lorentz_kernel",
+    "fejer_kernel",
+    "dirichlet_kernel",
+    "lanczos_kernel",
+    "get_kernel",
+    "available_kernels",
+    "random_vector",
+    "random_block",
+    "available_vector_kinds",
+    "MomentData",
+    "moments_single_vector",
+    "moments_block",
+    "stochastic_moments",
+    "exact_moments",
+    "apply_kernel_damping",
+    "chebyshev_grid",
+    "reconstruct_on_chebyshev_grid",
+    "evaluate_series_at",
+    "dos_from_moments",
+    "DoSResult",
+    "compute_dos",
+    "greens_function",
+    "local_dos",
+    "local_dos_map",
+    "available_backends",
+    "get_engine",
+    "register_engine",
+    "jackson_resolution",
+    "moment_convergence_study",
+    "required_moments_for_resolution",
+    "fermi_dirac",
+    "spectral_integral",
+    "electron_count",
+    "chemical_potential",
+    "internal_energy",
+    "evolution_coefficients",
+    "evolution_order",
+    "evolve_state",
+    "SpectralDensity",
+    "current_operator_from_edges",
+    "lattice_current_operator",
+    "conductivity_moments_single_vector",
+    "stochastic_conductivity_moments",
+    "conductivity_profile",
+    "kubo_greenwood_conductivity",
+    "finite_temperature_conductivity",
+]

@@ -1,0 +1,112 @@
+"""KPM run configuration.
+
+One frozen dataclass carries every knob of the paper's algorithm so that
+all backends (NumPy reference, CPU model, GPU simulator, multi-GPU)
+consume identical parameters.  Paper symbol mapping:
+
+=================  =========================================
+paper symbol        :class:`KPMConfig` field
+=================  =========================================
+``N``               ``num_moments``
+``R``               ``num_random_vectors``
+``S``               ``num_realizations``
+``H_SIZE`` / ``D``  taken from the matrix, not the config
+``BLOCK_SIZE``      ``block_size`` (GPU backends only)
+=================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import (
+    check_choice,
+    check_in_range,
+    check_positive_int,
+)
+
+__all__ = ["KPMConfig"]
+
+_BOUND_METHODS = ("gerschgorin", "lanczos", "exact")
+
+
+@dataclass(frozen=True)
+class KPMConfig:
+    """Parameters of one KPM computation.
+
+    Attributes
+    ----------
+    num_moments:
+        ``N`` — Chebyshev truncation order; controls energy resolution
+        (Jackson kernel resolution is ~ ``pi * a / N`` in original units).
+    num_random_vectors:
+        ``R`` — random vectors per realization of the stochastic trace.
+    num_realizations:
+        ``S`` — independent realizations averaged over (Eq. 19).
+    kernel:
+        Damping kernel name; see :func:`repro.kpm.available_kernels`.
+    vector_kind:
+        Random-vector distribution (``"rademacher"`` or ``"gaussian"``).
+    seed:
+        Base seed of the deterministic Philox stream family.
+    bounds_method:
+        How spectral bounds are obtained (``"gerschgorin"`` is the
+        paper's choice, Eq. 9).
+    epsilon:
+        Safety margin: the spectrum is mapped into
+        ``[-1/(1+epsilon), 1/(1+epsilon)]``.
+    num_energy_points:
+        Grid size of the reconstructed DoS.
+    use_doubling:
+        Use the moment-doubling identities (two moments per matvec) —
+        an optimization the paper does not implement; off by default.
+    block_size:
+        ``BLOCK_SIZE`` — threads per block on the GPU backends.
+    precision:
+        ``"double"`` (the paper's measured configuration) or
+        ``"single"`` — halves memory traffic and doubles the Fermi
+        compute peak at the cost of ~1e-6 moment accuracy (see the
+        precision ablation).
+    """
+
+    num_moments: int = 256
+    num_random_vectors: int = 16
+    num_realizations: int = 1
+    kernel: str = "jackson"
+    vector_kind: str = "rademacher"
+    seed: int | None = 0
+    bounds_method: str = "gerschgorin"
+    epsilon: float = 0.01
+    num_energy_points: int = 1024
+    use_doubling: bool = False
+    block_size: int = 256
+    precision: str = "double"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_moments, "num_moments")
+        check_positive_int(self.num_random_vectors, "num_random_vectors")
+        check_positive_int(self.num_realizations, "num_realizations")
+        check_positive_int(self.num_energy_points, "num_energy_points")
+        check_positive_int(self.block_size, "block_size")
+        check_in_range(self.epsilon, "epsilon", 0.0, 1.0, inclusive=True)
+        check_choice(self.bounds_method, "bounds_method", _BOUND_METHODS)
+        check_choice(self.precision, "precision", ("double", "single"))
+        # Kernel and vector-kind names are validated against their
+        # registries lazily (at use) to keep this module import-light; we
+        # still reject obviously wrong types here.
+        if not isinstance(self.kernel, str):
+            raise TypeError(f"kernel must be a string, got {type(self.kernel).__name__}")
+        if not isinstance(self.vector_kind, str):
+            raise TypeError(
+                f"vector_kind must be a string, got {type(self.vector_kind).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_vectors(self) -> int:
+        """``R * S`` — total random vectors, the paper's GPU thread count."""
+        return self.num_random_vectors * self.num_realizations
+
+    def with_updates(self, **changes) -> "KPMConfig":
+        """Return a copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)

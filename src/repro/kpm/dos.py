@@ -1,0 +1,144 @@
+"""High-level density-of-states pipeline — the library's front door.
+
+``compute_dos(H, KPMConfig(...), backend="gpu-sim")`` performs the whole
+paper workflow: Gerschgorin rescaling, stochastic Chebyshev moments on
+the chosen backend, Jackson-damped reconstruction, and the inverse
+energy transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kpm.config import KPMConfig
+from repro.kpm.engines import get_engine
+from repro.kpm.moments import MomentData
+from repro.kpm.reconstruct import (
+    apply_kernel_damping,
+    dos_from_moments,
+    evaluate_series_at,
+)
+from repro.kpm.rescale import Rescaling, rescale_operator
+from repro.sparse import as_operator
+from repro.timing import TimingReport
+
+__all__ = ["DoSResult", "compute_dos"]
+
+
+@dataclass
+class DoSResult:
+    """The reconstructed density of states and everything that produced it.
+
+    Attributes
+    ----------
+    energies:
+        Ascending energy grid in the Hamiltonian's original units.
+    density:
+        ``rho(omega)`` on that grid; integrates to ~1 (one state per site
+        per unit trace normalization).
+    moments:
+        The stochastic moment estimates (:class:`~repro.kpm.MomentData`).
+    rescaling:
+        The affine spectral map used (for further reconstructions).
+    config:
+        The :class:`~repro.kpm.KPMConfig` of the run.
+    timing:
+        Backend timing report (modeled + wall seconds).
+    """
+
+    energies: np.ndarray
+    density: np.ndarray
+    moments: MomentData
+    rescaling: Rescaling
+    config: KPMConfig
+    timing: TimingReport
+
+    # ------------------------------------------------------------------
+    def integrate(self) -> float:
+        """Trapezoidal integral of the density over the energy grid.
+
+        Should be close to ``mu_0`` (~1); deviations measure stochastic
+        plus truncation error.
+        """
+        return float(np.trapezoid(self.density, self.energies))
+
+    def evaluate(self, omega) -> np.ndarray:
+        """Evaluate the damped KPM series at arbitrary original energies.
+
+        Energies outside the rescaled interval raise — they are outside
+        the approximation's domain.
+        """
+        x = self.rescaling.to_scaled(np.asarray(omega, dtype=np.float64))
+        damped = apply_kernel_damping(self.moments.mu, self.config.kernel)
+        return (
+            evaluate_series_at(damped, x) * self.rescaling.density_jacobian
+        )
+
+    def mean_energy(self) -> float:
+        """First moment of the DoS, ``integral omega rho(omega) domega``.
+
+        For trace-normalized moments this equals ``Tr[H]/D`` up to
+        stochastic and kernel error.
+        """
+        return float(np.trapezoid(self.energies * self.density, self.energies))
+
+    def energy_resolution(self) -> float:
+        """Jackson-kernel energy resolution ``~ pi * a / N`` in original units."""
+        return float(np.pi * self.rescaling.scale / self.config.num_moments)
+
+
+def compute_dos(
+    hamiltonian,
+    config: KPMConfig | None = None,
+    *,
+    backend: str = "numpy",
+) -> DoSResult:
+    """Compute the density of states of ``hamiltonian`` with the KPM.
+
+    Parameters
+    ----------
+    hamiltonian:
+        The (unscaled) Hamiltonian: ``ndarray``, CSR/COO matrix, or dense
+        operator.  Must be symmetric — KPM is defined for Hermitian
+        matrices; asymmetry is rejected early because it produces
+        silently wrong spectra.
+    config:
+        KPM parameters; defaults to ``KPMConfig()``.
+    backend:
+        Execution backend name (see :func:`repro.kpm.available_backends`).
+
+    Returns
+    -------
+    DoSResult
+    """
+    config = KPMConfig() if config is None else config
+    if not isinstance(config, KPMConfig):
+        raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
+    op = as_operator(hamiltonian)
+    if not op.is_symmetric(tolerance=1e-12 * max(1.0, float(np.abs(op.diagonal()).max(initial=0.0)))):
+        raise ValidationError(
+            "hamiltonian must be symmetric; KPM spectral expansions assume a "
+            "Hermitian operator"
+        )
+    scaled, rescaling = rescale_operator(
+        op, method=config.bounds_method, epsilon=config.epsilon
+    )
+    engine = get_engine(backend)
+    moment_data, timing = engine.compute_moments(scaled, config)
+    energies, density = dos_from_moments(
+        moment_data,
+        rescaling,
+        kernel=config.kernel,
+        num_points=config.num_energy_points,
+    )
+    return DoSResult(
+        energies=energies,
+        density=density,
+        moments=moment_data,
+        rescaling=rescaling,
+        config=config,
+        timing=timing,
+    )

@@ -1,0 +1,114 @@
+"""Execution-backend registry for moment computation.
+
+A *moment engine* is anything with
+
+    compute_moments(scaled_operator, config) -> (MomentData, TimingReport)
+
+The registry decouples the KPM pipeline from the execution substrate:
+
+* ``"numpy"``     — the vectorized host reference (this module).
+* ``"cpu-model"`` — same numerics plus the Core i7 930 cost model
+  (:mod:`repro.cpu`).
+* ``"gpu-sim"``   — the paper's CUDA design on the simulated Tesla C2050
+  (:mod:`repro.gpukpm`).
+
+Backends with heavyweight imports register lazily via a factory string.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ValidationError
+from repro.kpm.config import KPMConfig
+from repro.kpm.moments import MomentData, stochastic_moments
+from repro.timing import TimingReport, WallTimer
+
+__all__ = [
+    "MomentEngine",
+    "NumpyEngine",
+    "register_engine",
+    "get_engine",
+    "available_backends",
+]
+
+
+@runtime_checkable
+class MomentEngine(Protocol):
+    """Structural type of an execution backend."""
+
+    name: str
+
+    def compute_moments(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport]: ...
+
+
+class NumpyEngine:
+    """Vectorized host reference backend (no hardware model).
+
+    Runs :func:`repro.kpm.stochastic_moments` directly; the timing report
+    carries only the measured wall clock.
+    """
+
+    name = "numpy"
+
+    def compute_moments(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport]:
+        with WallTimer() as timer:
+            data = stochastic_moments(scaled_operator, config)
+        report = TimingReport(backend=self.name, wall_seconds=timer.seconds)
+        return data, report
+
+
+_FACTORIES: dict[str, Callable[[], MomentEngine]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], MomentEngine]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    if not isinstance(name, str) or not name:
+        raise ValidationError(f"backend name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise ValidationError("factory must be callable")
+    _FACTORIES[name] = factory
+
+
+def _lazy_cpu_model() -> MomentEngine:
+    from repro.cpu.backend import CpuModelEngine
+
+    return CpuModelEngine()
+
+
+def _lazy_gpu_sim() -> MomentEngine:
+    from repro.gpukpm.pipeline import GpuSimEngine
+
+    return GpuSimEngine()
+
+
+register_engine("numpy", NumpyEngine)
+register_engine("cpu-model", _lazy_cpu_model)
+register_engine("gpu-sim", _lazy_gpu_sim)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_engine` / ``compute_dos(backend=...)``."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_engine(name: str) -> MomentEngine:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    engine = factory()
+    if not isinstance(engine, MomentEngine):
+        raise ValidationError(
+            f"backend factory for {name!r} returned an object without "
+            "compute_moments(); see repro.kpm.engines.MomentEngine"
+        )
+    return engine

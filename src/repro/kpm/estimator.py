@@ -1,0 +1,122 @@
+"""Accuracy/convergence planning utilities.
+
+The paper tunes ``N`` by eye (Fig. 6 compares N=256 vs N=512); these
+helpers make the trade-off quantitative:
+
+* :func:`jackson_resolution` — the kernel's energy resolution at given
+  ``N`` (how sharp a feature can survive truncation);
+* :func:`required_moments_for_resolution` — invert it;
+* :func:`moment_convergence_study` — measure how the stochastic error of
+  the moments shrinks with the number of random vectors (theory:
+  ``~ 1 / sqrt(R * D)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kpm.config import KPMConfig
+from repro.kpm.moments import stochastic_moments
+from repro.sparse import as_operator
+from repro.util.validation import check_positive_float, check_positive_int
+
+__all__ = [
+    "jackson_resolution",
+    "required_moments_for_resolution",
+    "ConvergencePoint",
+    "moment_convergence_study",
+]
+
+
+def jackson_resolution(num_moments: int, scale: float = 1.0) -> float:
+    """Jackson-kernel broadening ``pi * a / N`` in original energy units.
+
+    A delta function at the band center reconstructs as a near-Gaussian
+    of this standard deviation; features narrower than it are washed out.
+    """
+    num_moments = check_positive_int(num_moments, "num_moments")
+    scale = check_positive_float(scale, "scale")
+    return float(np.pi * scale / num_moments)
+
+
+def required_moments_for_resolution(resolution: float, scale: float = 1.0) -> int:
+    """Smallest ``N`` whose Jackson broadening is at most ``resolution``."""
+    resolution = check_positive_float(resolution, "resolution")
+    scale = check_positive_float(scale, "scale")
+    return int(np.ceil(np.pi * scale / resolution))
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """One row of a convergence study.
+
+    ``moment_rms_error`` is the RMS over moment orders of the deviation
+    from the reference (highest-``R``) estimate.
+    """
+
+    num_random_vectors: int
+    moment_rms_error: float
+    mu1_value: float
+
+
+def moment_convergence_study(
+    hamiltonian_scaled,
+    r_values,
+    *,
+    num_moments: int = 64,
+    seed: int | None = 0,
+    vector_kind: str = "rademacher",
+    reference_moments=None,
+) -> list[ConvergencePoint]:
+    """Stochastic-trace error versus number of random vectors.
+
+    Parameters
+    ----------
+    hamiltonian_scaled:
+        Already-rescaled operator ``H~``.
+    r_values:
+        Increasing vector counts ``R`` to test.
+    reference_moments:
+        Ground-truth moments to measure error against; defaults to
+        :func:`repro.kpm.exact_moments` of the operator (exact trace).
+
+    Returns
+    -------
+    list of :class:`ConvergencePoint`, one per ``R``, in input order.
+    """
+    op = as_operator(hamiltonian_scaled)
+    r_values = [check_positive_int(r, "r_values entry") for r in r_values]
+    if not r_values:
+        raise ValidationError("r_values must not be empty")
+    if reference_moments is None:
+        from repro.kpm.moments import exact_moments
+
+        reference_moments = exact_moments(op, num_moments)
+    reference_moments = np.asarray(reference_moments, dtype=np.float64)
+    if reference_moments.shape[0] != num_moments:
+        raise ValidationError(
+            "reference_moments length must equal num_moments "
+            f"({reference_moments.shape[0]} vs {num_moments})"
+        )
+    points = []
+    for r in r_values:
+        config = KPMConfig(
+            num_moments=num_moments,
+            num_random_vectors=r,
+            num_realizations=1,
+            seed=seed,
+            vector_kind=vector_kind,
+        )
+        data = stochastic_moments(op, config)
+        error = float(np.sqrt(np.mean((data.mu - reference_moments) ** 2)))
+        points.append(
+            ConvergencePoint(
+                num_random_vectors=r,
+                moment_rms_error=error,
+                mu1_value=float(data.mu[1]) if num_moments > 1 else float("nan"),
+            )
+        )
+    return points

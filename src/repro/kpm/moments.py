@@ -1,0 +1,276 @@
+"""Chebyshev moment computation — paper Eq. (13), (16)–(19).
+
+The heaviest part of the KPM (paper Fig. 3 step 2) is the three-term
+recursion
+
+    |r_0> = |r>,  |r_1> = H~ |r_0>,  |r_{n+2}> = 2 H~ |r_{n+1}> - |r_n>,
+
+with one dot product ``mu~_n = <r_0 | r_n>`` per order.  This module
+provides the single-vector recursion, a column-batched version (the
+vectorized equivalent of the paper's thread-block parallelism), the
+moment-doubling variant (two moments per matvec — an optimization the
+paper leaves on the table), the full stochastic trace estimator, and the
+exact trace for validation.
+
+Moments returned by the *low-level* routines are raw ``<r|T_n(H~)|r>``
+values; :func:`stochastic_moments` and :func:`exact_moments` normalize by
+the dimension ``D`` so that ``mu_0 ~= 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError, SpectrumError, ValidationError
+from repro.kpm.config import KPMConfig
+from repro.kpm.random_vectors import random_block
+from repro.sparse import as_operator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "MomentData",
+    "moments_single_vector",
+    "moments_block",
+    "stochastic_moments",
+    "exact_moments",
+]
+
+# |<r|T_n|r>| <= ||r||^2 when the spectrum is inside [-1, 1]; allow slack
+# for rounding, then diagnose divergence (bad rescaling) beyond it.
+_DIVERGENCE_FACTOR = 1e3
+
+
+@dataclass
+class MomentData:
+    """Stochastic-trace moment estimates and their dispersion.
+
+    Attributes
+    ----------
+    mu:
+        Length-``N`` grand mean, normalized so ``mu[0] ~= 1``
+        (``mu_n = Tr[T_n(H~)] / D``).
+    per_realization:
+        ``(S, N)`` array of per-realization means (each already averaged
+        over its ``R`` vectors and normalized by ``D``).
+    dimension:
+        Matrix dimension ``D``.
+    num_vectors:
+        ``R`` — vectors averaged within each realization.
+    """
+
+    mu: np.ndarray
+    per_realization: np.ndarray
+    dimension: int
+    num_vectors: int
+
+    def __post_init__(self) -> None:
+        self.mu = np.asarray(self.mu, dtype=np.float64)
+        self.per_realization = np.atleast_2d(
+            np.asarray(self.per_realization, dtype=np.float64)
+        )
+        if self.per_realization.shape[1] != self.mu.shape[0]:
+            raise ShapeError(
+                "per_realization must have one column per moment: "
+                f"{self.per_realization.shape} vs {self.mu.shape}"
+            )
+
+    @property
+    def num_moments(self) -> int:
+        """``N`` — Chebyshev truncation order."""
+        return int(self.mu.shape[0])
+
+    @property
+    def num_realizations(self) -> int:
+        """``S`` — independent realizations averaged."""
+        return int(self.per_realization.shape[0])
+
+    def standard_error(self) -> np.ndarray:
+        """Per-moment standard error of the grand mean across realizations.
+
+        Zero when ``S == 1`` (no dispersion information at this level).
+        """
+        s = self.num_realizations
+        if s < 2:
+            return np.zeros_like(self.mu)
+        return self.per_realization.std(axis=0, ddof=1) / np.sqrt(s)
+
+
+def _check_moment_magnitude(value: float, order: int) -> None:
+    if not np.isfinite(value) or abs(value) > _DIVERGENCE_FACTOR:
+        raise SpectrumError(
+            f"moment of order {order} diverged (value {value!r}); the operator's "
+            "spectrum is not contained in [-1, 1] — rescale it first "
+            "(repro.kpm.rescale_operator)"
+        )
+
+
+def moments_single_vector(
+    operator, start_vector, num_moments: int, *, use_doubling: bool = False
+) -> np.ndarray:
+    """Raw moments ``<r|T_n(H~)|r>`` for one start vector.
+
+    Parameters
+    ----------
+    operator:
+        The *rescaled* Hamiltonian ``H~`` (spectrum inside ``[-1, 1]``).
+    start_vector:
+        ``|r>`` of length ``D``.
+    num_moments:
+        ``N`` — number of moments to produce.
+    use_doubling:
+        Use ``mu_{2k} = 2<r_k|r_k> - mu_0`` and
+        ``mu_{2k+1} = 2<r_{k+1}|r_k> - mu_1`` to halve the matvec count.
+    """
+    op = as_operator(operator)
+    num_moments = check_positive_int(num_moments, "num_moments")
+    r0 = np.asarray(start_vector, dtype=np.float64)
+    if r0.ndim != 1 or r0.shape[0] != op.shape[0]:
+        raise ShapeError(
+            f"start_vector must have length {op.shape[0]}, got shape {r0.shape}"
+        )
+    mu = np.empty(num_moments, dtype=np.float64)
+    norm_sq = float(r0 @ r0)
+    mu[0] = norm_sq
+    if num_moments == 1:
+        return mu
+    r_cur = op.matvec(r0)
+    mu[1] = float(r0 @ r_cur)
+
+    if use_doubling:
+        # alpha_k = T_k(H~) r0; two moments per additional matvec.
+        a_prev, a_cur = r0, r_cur
+        k = 1
+        while 2 * k < num_moments:
+            mu[2 * k] = 2.0 * float(a_cur @ a_cur) - mu[0]
+            _check_moment_magnitude(mu[2 * k] / max(norm_sq, 1.0), 2 * k)
+            if 2 * k + 1 < num_moments:
+                a_next = 2.0 * op.matvec(a_cur) - a_prev
+                mu[2 * k + 1] = 2.0 * float(a_next @ a_cur) - mu[1]
+                a_prev, a_cur = a_cur, a_next
+            k += 1
+        return mu
+
+    r_prev = r0.copy()
+    for order in range(2, num_moments):
+        r_next = 2.0 * op.matvec(r_cur) - r_prev
+        mu[order] = float(r0 @ r_next)
+        _check_moment_magnitude(mu[order] / max(norm_sq, 1.0), order)
+        r_prev, r_cur = r_cur, r_next
+    return mu
+
+
+def moments_block(
+    operator, start_block, num_moments: int, *, use_doubling: bool = False
+) -> np.ndarray:
+    """Raw moments for a ``(D, R)`` block of start vectors, shape ``(N, R)``.
+
+    Column ``r`` of the result equals
+    ``moments_single_vector(operator, start_block[:, r], ...)`` up to
+    floating-point reduction order.
+    """
+    op = as_operator(operator)
+    num_moments = check_positive_int(num_moments, "num_moments")
+    block0 = np.asarray(start_block, dtype=np.float64)
+    if block0.ndim != 2 or block0.shape[0] != op.shape[0]:
+        raise ShapeError(
+            f"start_block must have shape ({op.shape[0]}, R), got {block0.shape}"
+        )
+    num_vectors = block0.shape[1]
+    mu = np.empty((num_moments, num_vectors), dtype=np.float64)
+    norms_sq = np.einsum("ij,ij->j", block0, block0)
+    mu[0] = norms_sq
+    if num_moments == 1:
+        return mu
+    cur = op.matmat(block0)
+    mu[1] = np.einsum("ij,ij->j", block0, cur)
+
+    scale = max(float(norms_sq.max(initial=1.0)), 1.0)
+
+    if use_doubling:
+        prev, k = block0, 1
+        while 2 * k < num_moments:
+            mu[2 * k] = 2.0 * np.einsum("ij,ij->j", cur, cur) - mu[0]
+            _check_moment_magnitude(float(np.max(np.abs(mu[2 * k]))) / scale, 2 * k)
+            if 2 * k + 1 < num_moments:
+                nxt = 2.0 * op.matmat(cur) - prev
+                mu[2 * k + 1] = 2.0 * np.einsum("ij,ij->j", nxt, cur) - mu[1]
+                prev, cur = cur, nxt
+            k += 1
+        return mu
+
+    prev = block0.copy()
+    for order in range(2, num_moments):
+        nxt = 2.0 * op.matmat(cur) - prev
+        mu[order] = np.einsum("ij,ij->j", block0, nxt)
+        _check_moment_magnitude(float(np.max(np.abs(mu[order]))) / scale, order)
+        prev, cur = cur, nxt
+    return mu
+
+
+def stochastic_moments(
+    operator,
+    config: KPMConfig,
+    *,
+    keep_per_vector: bool = False,
+) -> MomentData | tuple[MomentData, np.ndarray]:
+    """Stochastic-trace moment estimation — paper Eq. (19).
+
+    Averages raw per-vector moments over ``R`` vectors and ``S``
+    realizations and normalizes by ``D``.
+
+    Parameters
+    ----------
+    operator:
+        The *rescaled* Hamiltonian ``H~``.
+    config:
+        KPM parameters (``num_moments``, ``num_random_vectors``,
+        ``num_realizations``, ``vector_kind``, ``seed``,
+        ``use_doubling``).
+    keep_per_vector:
+        Also return the raw per-vector estimates, shape ``(S, R, N)``,
+        for convergence studies.
+    """
+    if not isinstance(config, KPMConfig):
+        raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
+    op = as_operator(operator)
+    dim = op.shape[0]
+    n, r, s = config.num_moments, config.num_random_vectors, config.num_realizations
+    per_realization = np.empty((s, n), dtype=np.float64)
+    per_vector = np.empty((s, r, n), dtype=np.float64) if keep_per_vector else None
+    for realization in range(s):
+        block = random_block(
+            dim, r, config.vector_kind, seed=config.seed, realization=realization
+        )
+        raw = moments_block(op, block, n, use_doubling=config.use_doubling)  # (N, R)
+        if per_vector is not None:
+            per_vector[realization] = raw.T / dim
+        per_realization[realization] = raw.mean(axis=1) / dim
+    data = MomentData(
+        mu=per_realization.mean(axis=0),
+        per_realization=per_realization,
+        dimension=dim,
+        num_vectors=r,
+    )
+    if keep_per_vector:
+        return data, per_vector
+    return data
+
+
+def exact_moments(operator, num_moments: int, *, chunk_size: int = 256) -> np.ndarray:
+    """Exact normalized moments ``Tr[T_n(H~)] / D`` (no stochastic error).
+
+    Runs the block recursion over all ``D`` basis vectors in chunks;
+    cost ``O(N * D * nnz)`` — intended for validation at small ``D``.
+    """
+    op = as_operator(operator)
+    num_moments = check_positive_int(num_moments, "num_moments")
+    chunk_size = check_positive_int(chunk_size, "chunk_size")
+    dim = op.shape[0]
+    total = np.zeros(num_moments, dtype=np.float64)
+    identity = np.eye(dim, dtype=np.float64)
+    for start in range(0, dim, chunk_size):
+        block = identity[:, start : start + chunk_size]
+        total += moments_block(op, block, num_moments).sum(axis=1)
+    return total / dim

@@ -1,0 +1,87 @@
+"""Random vectors for the stochastic trace estimator — paper Eq. (14)–(15).
+
+The estimator needs i.i.d. components with ``<<xi>> = 0`` and
+``<<xi xi'>> = delta``; both supported distributions satisfy this with
+unit variance:
+
+* ``"rademacher"`` — ``xi = +-1``.  The estimator variance for ``mu_0``
+  is exactly zero (``<r|r> = D`` identically) and is minimal among real
+  distributions for generic matrices; the standard KPM choice.
+* ``"gaussian"`` — ``xi ~ N(0, 1)``; useful for variance comparisons.
+
+Determinism contract (see :mod:`repro.util.rng`): vector ``(s, r)`` is a
+pure function of ``(seed, s, r)``, so every backend — looped, batched, or
+partitioned across simulated GPUs — consumes bit-identical vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.rng import philox_stream
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["random_vector", "random_block", "available_vector_kinds"]
+
+_KINDS = ("rademacher", "gaussian")
+
+
+def available_vector_kinds() -> tuple[str, ...]:
+    """Distribution names accepted by ``KPMConfig.vector_kind``."""
+    return _KINDS
+
+
+def _check_kind(kind: str) -> str:
+    if kind not in _KINDS:
+        raise ValidationError(
+            f"unknown vector kind {kind!r}; available: {', '.join(_KINDS)}"
+        )
+    return kind
+
+
+def random_vector(
+    dimension: int,
+    kind: str = "rademacher",
+    *,
+    seed: int | None = 0,
+    realization: int = 0,
+    vector_index: int = 0,
+) -> np.ndarray:
+    """The random vector ``|r>`` for stream ``(seed, realization, vector_index)``."""
+    dimension = check_positive_int(dimension, "dimension")
+    _check_kind(kind)
+    check_nonnegative_int(realization, "realization")
+    check_nonnegative_int(vector_index, "vector_index")
+    gen = philox_stream(seed, realization, vector_index)
+    if kind == "rademacher":
+        return 2.0 * gen.integers(0, 2, size=dimension).astype(np.float64) - 1.0
+    return gen.standard_normal(dimension)
+
+
+def random_block(
+    dimension: int,
+    num_vectors: int,
+    kind: str = "rademacher",
+    *,
+    seed: int | None = 0,
+    realization: int = 0,
+    first_vector: int = 0,
+) -> np.ndarray:
+    """A ``(dimension, num_vectors)`` block of random vectors as columns.
+
+    Column ``k`` equals ``random_vector(..., vector_index=first_vector + k)``
+    exactly, so batched and per-vector code paths agree bit-for-bit.
+    """
+    num_vectors = check_positive_int(num_vectors, "num_vectors")
+    check_nonnegative_int(first_vector, "first_vector")
+    block = np.empty((dimension, num_vectors), dtype=np.float64, order="F")
+    for k in range(num_vectors):
+        block[:, k] = random_vector(
+            dimension,
+            kind,
+            seed=seed,
+            realization=realization,
+            vector_index=first_vector + k,
+        )
+    return np.ascontiguousarray(block)

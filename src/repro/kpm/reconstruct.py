@@ -1,0 +1,151 @@
+"""Reconstruction of spectral functions from Chebyshev moments.
+
+Implements paper Eq. (6): the kernel-damped truncated expansion
+
+    f_KPM(x) = (1 / (pi sqrt(1 - x^2))) * [g_0 mu_0 + 2 sum_n g_n mu_n T_n(x)]
+
+evaluated either on the Chebyshev grid ``x_k = cos(pi (k + 1/2) / K)``
+via a type-III DCT (O(K log K), the production path) or at arbitrary
+points via ``T_n(x) = cos(n arccos x)`` (O(N * len(x)), for plotting at
+chosen energies).  :func:`dos_from_moments` composes damping, grid
+evaluation, and the back-transformation to original energy units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dct
+
+from repro.errors import ShapeError, ValidationError
+from repro.kpm.kernels import get_kernel
+from repro.kpm.rescale import Rescaling
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "apply_kernel_damping",
+    "chebyshev_grid",
+    "reconstruct_on_chebyshev_grid",
+    "evaluate_series_at",
+    "dos_from_moments",
+]
+
+
+def _as_moment_array(moments) -> np.ndarray:
+    """Accept a raw array or a ``MomentData`` and return the mean moments."""
+    mu = getattr(moments, "mu", moments)
+    mu = np.asarray(mu, dtype=np.float64)
+    if mu.ndim != 1 or mu.shape[0] == 0:
+        raise ShapeError(f"moments must be a non-empty 1-D array, got shape {mu.shape}")
+    return mu
+
+
+def apply_kernel_damping(moments, kernel: str | np.ndarray = "jackson", **kwargs) -> np.ndarray:
+    """Return ``g_n * mu_n`` for the named kernel (or explicit coefficients).
+
+    ``kwargs`` are forwarded to the kernel function (e.g.
+    ``resolution=4.0`` for ``"lorentz"``).
+    """
+    mu = _as_moment_array(moments)
+    if isinstance(kernel, str):
+        g = get_kernel(kernel, mu.shape[0], **kwargs)
+    else:
+        g = np.asarray(kernel, dtype=np.float64)
+        if g.shape != mu.shape:
+            raise ShapeError(
+                f"kernel coefficients must match moments shape {mu.shape}, got {g.shape}"
+            )
+    return g * mu
+
+
+def chebyshev_grid(num_points: int) -> np.ndarray:
+    """Ascending Chebyshev nodes ``x_k = cos(pi (k + 1/2) / K)`` in ``(-1, 1)``.
+
+    These nodes avoid the inverse-square-root edge singularities of the
+    reconstruction and make the cosine sum a DCT.
+    """
+    num_points = check_positive_int(num_points, "num_points")
+    k = np.arange(num_points, dtype=np.float64)
+    return np.cos(np.pi * (k + 0.5) / num_points)[::-1].copy()
+
+
+def reconstruct_on_chebyshev_grid(
+    damped_moments, num_points: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate the damped series on the Chebyshev grid via a type-III DCT.
+
+    Returns ``(x, f)`` with ``x`` ascending in ``(-1, 1)`` and
+    ``f(x_k) = [mu_0 + 2 sum_{n>=1} mu_n cos(n pi (k+1/2)/K)] / (pi sqrt(1-x_k^2))``.
+
+    ``num_points`` must be >= the number of moments (the DCT treats the
+    moments as the leading coefficients of a length-``num_points``
+    sequence).
+    """
+    mu = np.asarray(damped_moments, dtype=np.float64)
+    if mu.ndim != 1:
+        raise ShapeError(f"damped_moments must be 1-D, got shape {mu.shape}")
+    num_points = check_positive_int(num_points, "num_points")
+    if num_points < mu.shape[0]:
+        raise ValidationError(
+            f"num_points ({num_points}) must be >= number of moments ({mu.shape[0]})"
+        )
+    padded = np.zeros(num_points, dtype=np.float64)
+    padded[: mu.shape[0]] = mu
+    # scipy dct type 3 with norm=None: y_k = x_0 + 2 sum_n x_n cos(pi n (2k+1) / (2K)).
+    series = dct(padded, type=3)
+    k = np.arange(num_points, dtype=np.float64)
+    x_desc = np.cos(np.pi * (k + 0.5) / num_points)
+    f_desc = series / (np.pi * np.sqrt(1.0 - x_desc**2))
+    return x_desc[::-1].copy(), f_desc[::-1].copy()
+
+
+def evaluate_series_at(damped_moments, x) -> np.ndarray:
+    """Evaluate the damped series at arbitrary points ``x`` in ``(-1, 1)``.
+
+    Direct ``cos(n arccos x)`` evaluation; cost ``O(N * len(x))``.
+    Points must lie strictly inside the interval (the edge factor
+    diverges at ``|x| = 1``).
+    """
+    mu = np.asarray(damped_moments, dtype=np.float64)
+    if mu.ndim != 1:
+        raise ShapeError(f"damped_moments must be 1-D, got shape {mu.shape}")
+    points = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    if np.any(np.abs(points) >= 1.0):
+        raise ValidationError("evaluation points must lie strictly inside (-1, 1)")
+    theta = np.arccos(points)  # (M,)
+    orders = np.arange(mu.shape[0], dtype=np.float64)  # (N,)
+    cosines = np.cos(np.outer(orders, theta))  # (N, M)
+    weights = mu.copy()
+    weights[1:] *= 2.0
+    series = weights @ cosines
+    return series / (np.pi * np.sqrt(1.0 - points**2))
+
+
+def dos_from_moments(
+    moments,
+    rescaling: Rescaling,
+    *,
+    kernel: str | np.ndarray = "jackson",
+    num_points: int = 1024,
+    **kernel_kwargs,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Density of states in original energy units from normalized moments.
+
+    Composes :func:`apply_kernel_damping`,
+    :func:`reconstruct_on_chebyshev_grid`, and the Jacobian of the
+    rescaling: ``rho(omega_k) = f(x_k) / a`` on
+    ``omega_k = a x_k + b``.
+
+    Returns
+    -------
+    (energies, density):
+        Ascending energies and the DoS, normalized so that
+        ``integral rho(omega) d omega ~= mu_0`` (i.e. 1 for trace-
+        normalized moments).
+    """
+    if not isinstance(rescaling, Rescaling):
+        raise ValidationError(
+            f"rescaling must be a Rescaling, got {type(rescaling).__name__}"
+        )
+    damped = apply_kernel_damping(moments, kernel, **kernel_kwargs)
+    x, f = reconstruct_on_chebyshev_grid(damped, num_points)
+    return rescaling.to_original(x), f * rescaling.density_jacobian

@@ -1,0 +1,36 @@
+"""Lattice and tight-binding Hamiltonian substrate.
+
+The paper's physical workload is a 10x10x10 cubic lattice with one
+orbital per site, zero on-site energy, and hopping ``-1`` between nearest
+neighbors; in CRS storage each row then holds exactly seven elements (six
+neighbor hoppings plus the explicitly stored zero diagonal).  This package
+generalizes that construction to chains, square/cubic lattices, honeycomb
+sheets, disordered models, and arbitrary graphs.
+"""
+
+from repro.lattice.lattice import Lattice
+from repro.lattice.builders import chain, square, cubic, honeycomb_edges, kagome_edges
+from repro.lattice.hamiltonian import (
+    TightBindingModel,
+    tight_binding_hamiltonian,
+    paper_cubic_hamiltonian,
+    hamiltonian_from_edges,
+)
+from repro.lattice.disorder import anderson_onsite_energies, bond_disorder_hoppings
+from repro.lattice.graph import hamiltonian_from_graph
+
+__all__ = [
+    "Lattice",
+    "chain",
+    "square",
+    "cubic",
+    "honeycomb_edges",
+    "kagome_edges",
+    "TightBindingModel",
+    "tight_binding_hamiltonian",
+    "paper_cubic_hamiltonian",
+    "hamiltonian_from_edges",
+    "anderson_onsite_energies",
+    "bond_disorder_hoppings",
+    "hamiltonian_from_graph",
+]

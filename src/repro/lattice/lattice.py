@@ -1,0 +1,164 @@
+"""Hypercubic lattice geometry: site indexing and neighbor enumeration.
+
+A :class:`Lattice` is a ``d``-dimensional box of sites with optional
+periodic wrap-around per axis.  Sites are numbered in row-major (C) order,
+so for a 10x10x10 cube site ``(x, y, z)`` has index ``x*100 + y*10 + z``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.validation import check_positive_int
+
+__all__ = ["Lattice"]
+
+
+def _normalize_periodic(periodic, ndim: int) -> tuple[bool, ...]:
+    if isinstance(periodic, bool):
+        return (periodic,) * ndim
+    periodic = tuple(bool(p) for p in periodic)
+    if len(periodic) != ndim:
+        raise ValidationError(
+            f"periodic must be a bool or one flag per axis ({ndim}), got {len(periodic)}"
+        )
+    return periodic
+
+
+class Lattice:
+    """A finite hypercubic lattice.
+
+    Parameters
+    ----------
+    dims:
+        Number of sites along each axis, e.g. ``(10, 10, 10)``.
+    periodic:
+        One flag per axis (or a single bool for all axes).  A periodic
+        axis of length 1 or 2 is rejected for neighbor enumeration
+        purposes: wrap-around would duplicate (length 2) or self-link
+        (length 1) bonds.
+    """
+
+    __slots__ = ("dims", "periodic", "num_sites", "_strides")
+
+    def __init__(self, dims: Sequence[int], periodic: bool | Sequence[bool] = True):
+        dims = tuple(check_positive_int(d, "lattice dimension") for d in dims)
+        if not dims:
+            raise ValidationError("dims must have at least one axis")
+        self.dims = dims
+        self.periodic = _normalize_periodic(periodic, len(dims))
+        for length, per in zip(dims, self.periodic):
+            if per and length < 3:
+                raise ValidationError(
+                    "periodic axes must have length >= 3 to give well-defined "
+                    f"nearest-neighbor bonds, got length {length}"
+                )
+        self.num_sites = math.prod(dims)
+        strides = np.ones(len(dims), dtype=np.int64)
+        for axis in range(len(dims) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * dims[axis + 1]
+        self._strides = strides
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of lattice axes."""
+        return len(self.dims)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Lattice(dims={self.dims}, periodic={self.periodic})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Lattice)
+            and self.dims == other.dims
+            and self.periodic == other.periodic
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.dims, self.periodic))
+
+    # ------------------------------------------------------------------
+    def site_index(self, coords) -> np.ndarray | int:
+        """Row-major index of the site(s) at ``coords``.
+
+        ``coords`` is a length-``ndim`` sequence, or an ``(m, ndim)`` array
+        for a batch; negative/overflowing coordinates are rejected (use
+        :meth:`wrap` first for periodic arithmetic).
+        """
+        arr = np.asarray(coords, dtype=np.int64)
+        single = arr.ndim == 1
+        arr = np.atleast_2d(arr)
+        if arr.shape[1] != self.ndim:
+            raise ValidationError(
+                f"coords must have {self.ndim} components, got {arr.shape[1]}"
+            )
+        dims = np.asarray(self.dims, dtype=np.int64)
+        if np.any(arr < 0) or np.any(arr >= dims):
+            raise ValidationError("coordinate out of range; call wrap() first")
+        idx = arr @ self._strides
+        return int(idx[0]) if single else idx
+
+    def site_coords(self, index) -> np.ndarray:
+        """Coordinates of the site(s) with the given row-major index."""
+        idx = np.asarray(index, dtype=np.int64)
+        single = idx.ndim == 0
+        idx = np.atleast_1d(idx)
+        if np.any(idx < 0) or np.any(idx >= self.num_sites):
+            raise ValidationError("site index out of range")
+        coords = np.empty((idx.size, self.ndim), dtype=np.int64)
+        rem = idx.copy()
+        for axis in range(self.ndim):
+            coords[:, axis], rem = np.divmod(rem, self._strides[axis])
+        return coords[0] if single else coords
+
+    def wrap(self, coords) -> np.ndarray:
+        """Wrap coordinates into range on periodic axes (error otherwise)."""
+        arr = np.atleast_2d(np.asarray(coords, dtype=np.int64)).copy()
+        for axis, (length, per) in enumerate(zip(self.dims, self.periodic)):
+            if per:
+                arr[:, axis] %= length
+            elif np.any((arr[:, axis] < 0) | (arr[:, axis] >= length)):
+                raise ValidationError(f"coordinate out of range on open axis {axis}")
+        return arr
+
+    # ------------------------------------------------------------------
+    def neighbor_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All nearest-neighbor bonds, each counted once.
+
+        Returns ``(i, j)`` index arrays: for every axis, bonds between each
+        site and its ``+1`` neighbor along that axis (with wrap-around on
+        periodic axes).  Fully vectorized.
+        """
+        all_i: list[np.ndarray] = []
+        all_j: list[np.ndarray] = []
+        indices = np.arange(self.num_sites, dtype=np.int64)
+        coords = self.site_coords(indices)
+        for axis, (length, per) in enumerate(zip(self.dims, self.periodic)):
+            if length == 1:
+                continue
+            shifted = coords.copy()
+            shifted[:, axis] += 1
+            if per:
+                shifted[:, axis] %= length
+                keep = np.ones(self.num_sites, dtype=bool)
+            else:
+                keep = shifted[:, axis] < length
+            all_i.append(indices[keep])
+            all_j.append((shifted[keep] @ self._strides))
+        if not all_i:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(all_i), np.concatenate(all_j)
+
+    def coordination_numbers(self) -> np.ndarray:
+        """Number of nearest neighbors of each site."""
+        i, j = self.neighbor_pairs()
+        counts = np.zeros(self.num_sites, dtype=np.int64)
+        np.add.at(counts, i, 1)
+        np.add.at(counts, j, 1)
+        return counts

@@ -1,0 +1,32 @@
+"""Sparse-matrix substrate built from scratch on NumPy.
+
+The paper's Sec. II-A4 discusses the CRS (Compressed Row Storage, a.k.a.
+CSR) format for the sparse Hamiltonian and notes that the *measured* runs
+treat the matrix as dense.  This package provides both representations
+behind one small operator protocol:
+
+* :class:`COOMatrix` — coordinate triplets, the natural construction format.
+* :class:`CSRMatrix` — compressed row storage with vectorized SpMV/SpMM.
+* :class:`DenseOperator` — a plain ``float64`` matrix with the same API.
+
+All operators expose ``shape``, ``nnz_stored``, ``nbytes``, ``matvec``,
+``matmat``, ``diagonal``, ``offdiag_abs_row_sums`` (for Gerschgorin
+bounds) and ``to_dense``.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dense import DenseOperator
+from repro.sparse.ops import LinearOperatorProtocol, as_operator, is_operator
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "DenseOperator",
+    "LinearOperatorProtocol",
+    "as_operator",
+    "is_operator",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,141 @@
+"""Coordinate (COO) sparse matrix — the construction format.
+
+The lattice builders emit ``(row, col, value)`` triplets; :class:`COOMatrix`
+validates them, merges duplicates, and converts to CSR or dense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """Sparse matrix stored as coordinate triplets.
+
+    Parameters
+    ----------
+    rows, cols:
+        Integer arrays of equal length with ``0 <= rows[k] < n_rows`` and
+        ``0 <= cols[k] < n_cols``.
+    values:
+        Real values, one per triplet.  Explicit zeros are kept (they count
+        as stored entries) until :meth:`eliminate_zeros` is called.
+    shape:
+        ``(n_rows, n_cols)``.
+
+    Duplicate ``(row, col)`` pairs are allowed at construction and are
+    summed by :meth:`sum_duplicates` (conversion methods call it
+    implicitly), matching the usual COO semantics.
+    """
+
+    __slots__ = ("rows", "cols", "values", "shape", "_deduped")
+
+    def __init__(self, rows, cols, values, shape: tuple[int, int]):
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if not (rows.shape == cols.shape == values.shape):
+            raise ShapeError(
+                "rows, cols, values must have equal length, got "
+                f"{rows.shape[0]}, {cols.shape[0]}, {values.shape[0]}"
+            )
+        if len(shape) != 2:
+            raise ShapeError(f"shape must be (n_rows, n_cols), got {shape!r}")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValidationError(f"shape must be positive, got {shape!r}")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise ValidationError("row index out of range")
+            if cols.min() < 0 or cols.max() >= n_cols:
+                raise ValidationError("column index out of range")
+        if values.size and not np.all(np.isfinite(values)):
+            raise ValidationError("values must be finite")
+        self.rows = rows
+        self.cols = cols
+        self.values = values
+        self.shape = (n_rows, n_cols)
+        self._deduped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz_stored(self) -> int:
+        """Number of stored entries (including explicit zeros/duplicates)."""
+        return int(self.values.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the three triplet arrays."""
+        return int(self.rows.nbytes + self.cols.nbytes + self.values.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"COOMatrix(shape={self.shape}, nnz_stored={self.nnz_stored})"
+
+    # ------------------------------------------------------------------
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return an equivalent matrix with duplicate coordinates summed.
+
+        Entries are sorted by ``(row, col)``; the result is marked so the
+        work is not repeated.
+        """
+        if self._deduped:
+            return self
+        if self.values.size == 0:
+            out = COOMatrix(self.rows, self.cols, self.values, self.shape)
+            out._deduped = True
+            return out
+        key = self.rows * self.shape[1] + self.cols
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        vals = self.values[order]
+        boundaries = np.empty(key.size, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(key[1:], key[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        summed = np.add.reduceat(vals, starts)
+        unique_key = key[starts]
+        out = COOMatrix(
+            unique_key // self.shape[1],
+            unique_key % self.shape[1],
+            summed,
+            self.shape,
+        )
+        out._deduped = True
+        return out
+
+    def eliminate_zeros(self) -> "COOMatrix":
+        """Return a copy without entries whose (summed) value is exactly 0."""
+        merged = self.sum_duplicates()
+        keep = merged.values != 0.0
+        out = COOMatrix(
+            merged.rows[keep], merged.cols[keep], merged.values[keep], merged.shape
+        )
+        out._deduped = True
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float64 array (duplicates summed)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense
+
+    def to_csr(self):
+        """Convert to :class:`repro.sparse.CSRMatrix` (duplicates summed)."""
+        from repro.sparse.csr import CSRMatrix
+
+        merged = self.sum_duplicates()
+        n_rows = merged.shape[0]
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, merged.rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        # sum_duplicates already sorted by (row, col), so data is in order.
+        return CSRMatrix(indptr, merged.cols.copy(), merged.values.copy(), merged.shape)
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (cheap: swap row and column arrays)."""
+        return COOMatrix(self.cols, self.rows, self.values, (self.shape[1], self.shape[0]))

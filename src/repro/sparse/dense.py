@@ -1,0 +1,119 @@
+"""Dense operator with the same protocol as :class:`repro.sparse.CSRMatrix`.
+
+The paper's measured configuration stores the Hamiltonian densely
+("the CRS format is not applied"), so the benchmark figures run through
+this operator.  It is a thin wrapper over a C-contiguous float64 array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.util.validation import as_float64_array
+
+__all__ = ["DenseOperator"]
+
+
+class DenseOperator:
+    """A dense square matrix exposing the library's operator protocol."""
+
+    __slots__ = ("array", "shape")
+
+    def __init__(self, array):
+        arr = as_float64_array(array, "array")
+        if arr.ndim != 2:
+            raise ShapeError(f"array must be 2-D, got shape {arr.shape}")
+        self.array = arr
+        self.shape = arr.shape
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz_stored(self) -> int:
+        """Stored entries — all of them, dense storage keeps every element."""
+        return int(self.array.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the dense array."""
+        return int(self.array.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DenseOperator(shape={self.shape})"
+
+    # ------------------------------------------------------------------
+    def matvec(self, x) -> np.ndarray:
+        """Return ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1 or x.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"x must be a vector of length {self.shape[1]}, got shape {x.shape}"
+            )
+        return self.array @ x
+
+    def matmat(self, block) -> np.ndarray:
+        """Return ``A @ B`` for a ``(n_cols, k)`` block."""
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"block must have shape ({self.shape[1]}, k), got {block.shape}"
+            )
+        return self.array @ block
+
+    def dot(self, other) -> np.ndarray:
+        """Dispatch to :meth:`matvec` or :meth:`matmat` on ``other.ndim``."""
+        other = np.asarray(other, dtype=np.float64)
+        if other.ndim == 1:
+            return self.matvec(other)
+        if other.ndim == 2:
+            return self.matmat(other)
+        raise ShapeError(f"operand must be 1-D or 2-D, got shape {other.shape}")
+
+    __matmul__ = dot
+
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Return the underlying array (a view, not a copy)."""
+        return self.array
+
+    def to_csr(self):
+        """Convert to :class:`repro.sparse.CSRMatrix` (drops exact zeros)."""
+        from repro.sparse.csr import CSRMatrix
+
+        return CSRMatrix.from_dense(self.array)
+
+    def transpose(self) -> "DenseOperator":
+        """Return ``A.T`` (contiguous copy)."""
+        return DenseOperator(np.ascontiguousarray(self.array.T))
+
+    def scale_shift(self, scale: float, shift: float) -> "DenseOperator":
+        """Return ``scale * A + shift * I``."""
+        if self.shape[0] != self.shape[1]:
+            raise ShapeError(f"scale_shift requires a square matrix, got {self.shape}")
+        out = self.array * scale
+        out[np.diag_indices(self.shape[0])] += shift
+        return DenseOperator(out)
+
+    # ------------------------------------------------------------------
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal."""
+        if self.shape[0] != self.shape[1]:
+            raise ShapeError(f"diagonal requires a square matrix, got {self.shape}")
+        return np.ascontiguousarray(np.diagonal(self.array))
+
+    def offdiag_abs_row_sums(self) -> np.ndarray:
+        """``sum_j |a_ij|`` over off-diagonal entries of each row."""
+        if self.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"offdiag_abs_row_sums requires a square matrix, got {self.shape}"
+            )
+        sums = np.abs(self.array).sum(axis=1)
+        return sums - np.abs(np.diagonal(self.array))
+
+    def is_symmetric(self, tolerance: float = 0.0) -> bool:
+        """True if ``|A - A.T|`` never exceeds ``tolerance`` entrywise."""
+        if self.shape[0] != self.shape[1]:
+            return False
+        return bool(
+            np.max(np.abs(self.array - self.array.T), initial=0.0) <= tolerance
+        )

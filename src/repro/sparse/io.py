@@ -1,0 +1,179 @@
+"""Matrix Market (``.mtx``) serialization for the sparse substrate.
+
+Implements the coordinate and array subsets of the MatrixMarket exchange
+format (real, general/symmetric) so Hamiltonians can round-trip to disk
+and interoperate with every other sparse-matrix ecosystem.  Written from
+scratch (no ``scipy.io`` dependency) like the rest of the substrate;
+the tests cross-validate against ``scipy.io.mmread``.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dense import DenseOperator
+
+__all__ = ["write_matrix_market", "read_matrix_market"]
+
+_HEADER_COORD = "%%MatrixMarket matrix coordinate real {symmetry}\n"
+_HEADER_ARRAY = "%%MatrixMarket matrix array real general\n"
+
+
+def _open_for(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, os.PathLike)):
+        return open(path_or_file, mode, encoding="ascii"), True
+    return path_or_file, False
+
+
+def write_matrix_market(matrix, path_or_file, *, symmetric: bool | None = None) -> None:
+    """Write a matrix in MatrixMarket coordinate (sparse) or array (dense) form.
+
+    Parameters
+    ----------
+    matrix:
+        :class:`~repro.sparse.COOMatrix`, :class:`~repro.sparse.CSRMatrix`
+        (written in coordinate form), :class:`~repro.sparse.DenseOperator`
+        or ``ndarray`` (written in array form).
+    path_or_file:
+        Filename or writable text file object.
+    symmetric:
+        Store only the lower triangle with the ``symmetric`` qualifier;
+        defaults to auto-detection for square sparse matrices.
+    """
+    handle, owned = _open_for(path_or_file, "w")
+    try:
+        if isinstance(matrix, (DenseOperator, np.ndarray)):
+            dense = matrix.to_dense() if isinstance(matrix, DenseOperator) else np.asarray(matrix)
+            if dense.ndim != 2:
+                raise ValidationError("array form requires a 2-D matrix")
+            handle.write(_HEADER_ARRAY)
+            handle.write(f"{dense.shape[0]} {dense.shape[1]}\n")
+            # Array format is column-major.
+            for value in np.asarray(dense, dtype=np.float64).T.ravel():
+                handle.write(f"{float(value)!r}\n")
+            return
+
+        if isinstance(matrix, CSRMatrix):
+            coo = matrix.to_coo()
+        elif isinstance(matrix, COOMatrix):
+            coo = matrix.sum_duplicates()
+        else:
+            raise ValidationError(
+                "matrix must be COOMatrix, CSRMatrix, DenseOperator, or ndarray; "
+                f"got {type(matrix).__name__}"
+            )
+        if symmetric is None:
+            symmetric = (
+                coo.shape[0] == coo.shape[1] and coo.to_csr().is_symmetric()
+            )
+        rows, cols, values = coo.rows, coo.cols, coo.values
+        if symmetric:
+            if coo.shape[0] != coo.shape[1]:
+                raise ValidationError("symmetric storage requires a square matrix")
+            keep = rows >= cols  # lower triangle + diagonal
+            rows, cols, values = rows[keep], cols[keep], values[keep]
+        handle.write(
+            _HEADER_COORD.format(symmetry="symmetric" if symmetric else "general")
+        )
+        handle.write(f"{coo.shape[0]} {coo.shape[1]} {values.size}\n")
+        for r, c, v in zip(rows, cols, values):
+            handle.write(f"{r + 1} {c + 1} {float(v)!r}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_matrix_market(path_or_file, *, format: str = "csr"):
+    """Read a real MatrixMarket file (coordinate or array form).
+
+    Parameters
+    ----------
+    path_or_file:
+        Filename or readable text file object.
+    format:
+        ``"csr"``, ``"coo"``, or ``"dense"`` output representation.
+
+    Raises
+    ------
+    ValidationError
+        On malformed headers, non-real fields, or truncated data.
+    """
+    if format not in ("csr", "coo", "dense"):
+        raise ValidationError(f"format must be csr, coo, or dense; got {format!r}")
+    handle, owned = _open_for(path_or_file, "r")
+    try:
+        header = handle.readline()
+        parts = header.strip().split()
+        if (
+            len(parts) != 5
+            or parts[0] != "%%MatrixMarket"
+            or parts[1].lower() != "matrix"
+        ):
+            raise ValidationError(f"not a MatrixMarket header: {header.strip()!r}")
+        layout, field, symmetry = (p.lower() for p in parts[2:5])
+        if field != "real":
+            raise ValidationError(f"only real matrices supported, got field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValidationError(f"unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+
+        if layout == "array":
+            dims = line.split()
+            if len(dims) != 2:
+                raise ValidationError(f"bad array size line: {line.strip()!r}")
+            n_rows, n_cols = int(dims[0]), int(dims[1])
+            data = np.loadtxt(handle, dtype=np.float64, ndmin=1)
+            if data.size != n_rows * n_cols:
+                raise ValidationError(
+                    f"array body has {data.size} entries, expected {n_rows * n_cols}"
+                )
+            dense = data.reshape((n_cols, n_rows)).T
+            if symmetry == "symmetric":
+                dense = np.tril(dense) + np.tril(dense, -1).T
+            if format == "dense":
+                return DenseOperator(dense)
+            csr = CSRMatrix.from_dense(dense)
+            return csr if format == "csr" else csr.to_coo()
+
+        if layout != "coordinate":
+            raise ValidationError(f"unsupported layout {layout!r}")
+        dims = line.split()
+        if len(dims) != 3:
+            raise ValidationError(f"bad coordinate size line: {line.strip()!r}")
+        n_rows, n_cols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+        if nnz == 0:
+            body = np.empty((0, 3))
+        else:
+            body = np.loadtxt(handle, dtype=np.float64, ndmin=2)
+        if body.size == 0:
+            body = np.empty((0, 3))
+        if body.shape[0] != nnz or (nnz and body.shape[1] != 3):
+            raise ValidationError(
+                f"coordinate body has shape {body.shape}, expected ({nnz}, 3)"
+            )
+        rows = body[:, 0].astype(np.int64) - 1
+        cols = body[:, 1].astype(np.int64) - 1
+        values = body[:, 2]
+        if symmetry == "symmetric":
+            off = rows != cols
+            rows = np.concatenate([rows, cols[off]])
+            cols = np.concatenate([cols, body[:, 0].astype(np.int64)[off] - 1])
+            values = np.concatenate([values, values[off]])
+        coo = COOMatrix(rows, cols, values, (n_rows, n_cols))
+        if format == "coo":
+            return coo.sum_duplicates()
+        if format == "csr":
+            return coo.to_csr()
+        return DenseOperator(coo.to_dense())
+    finally:
+        if owned:
+            handle.close()

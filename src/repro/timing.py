@@ -1,0 +1,70 @@
+"""Timing containers shared by all execution backends.
+
+Backends report two distinct clocks and never conflate them:
+
+* ``modeled_seconds`` — the hardware cost model's prediction (Tesla C2050
+  / Core i7 930 in the paper's setup).  This is what the figure
+  reproductions plot, because the paper's hardware is unavailable.
+* ``wall_seconds`` — real elapsed time of the NumPy host computation in
+  *this* environment.  Reported for honesty; never compared to the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.util.format import format_seconds
+
+__all__ = ["TimingReport", "WallTimer"]
+
+
+@dataclass
+class TimingReport:
+    """Execution-time record of one backend run.
+
+    Attributes
+    ----------
+    backend:
+        Backend name, e.g. ``"gpu-sim"``.
+    device:
+        Modeled device name, e.g. ``"NVIDIA Tesla C2050"``.
+    modeled_seconds:
+        Cost-model prediction for the full computation (``None`` for
+        backends without a hardware model, e.g. the NumPy reference).
+    wall_seconds:
+        Measured wall-clock of the functional computation here.
+    breakdown:
+        Modeled seconds per phase (e.g. ``{"transfer": ..., "spmv": ...}``).
+    """
+
+    backend: str
+    device: str = ""
+    modeled_seconds: float | None = None
+    wall_seconds: float = 0.0
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"backend={self.backend}"]
+        if self.device:
+            parts.append(f"device={self.device!r}")
+        if self.modeled_seconds is not None:
+            parts.append(f"modeled={format_seconds(self.modeled_seconds)}")
+        parts.append(f"wall={format_seconds(self.wall_seconds)}")
+        return " ".join(parts)
+
+
+class WallTimer:
+    """Context manager measuring wall-clock seconds via ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start

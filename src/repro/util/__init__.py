@@ -1,0 +1,31 @@
+"""Shared utilities: argument validation, deterministic RNG, formatting."""
+
+from repro.util.validation import (
+    check_positive_int,
+    check_nonnegative_int,
+    check_positive_float,
+    check_in_range,
+    check_choice,
+    check_square_2d,
+    check_vector,
+    as_float64_array,
+)
+from repro.util.rng import philox_stream, spawn_seeds, normalize_seed
+from repro.util.format import format_bytes, format_seconds, format_count
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_in_range",
+    "check_choice",
+    "check_square_2d",
+    "check_vector",
+    "as_float64_array",
+    "philox_stream",
+    "spawn_seeds",
+    "normalize_seed",
+    "format_bytes",
+    "format_seconds",
+    "format_count",
+]

@@ -1,0 +1,55 @@
+"""Human-readable formatting of bytes, seconds, and large counts.
+
+Used by the benchmark harness reports and the GPU profiler timeline.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_bytes", "format_seconds", "format_count"]
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
+_COUNT_UNITS = ["", "K", "M", "G", "T", "P"]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count with a binary prefix, e.g. ``8.00 MiB``."""
+    if num_bytes < 0:
+        return "-" + format_bytes(-num_bytes)
+    value = float(num_bytes)
+    for unit in _BYTE_UNITS:
+        if value < 1024.0 or unit == _BYTE_UNITS[-1]:
+            return f"{value:.2f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration with an appropriate SI unit, e.g. ``3.21 ms``."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.2f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"
+
+
+def format_count(count: float) -> str:
+    """Format a large count with an SI suffix, e.g. ``1.79 G`` FLOPs."""
+    if count < 0:
+        return "-" + format_count(-count)
+    value = float(count)
+    for unit in _COUNT_UNITS:
+        if value < 1000.0 or unit == _COUNT_UNITS[-1]:
+            if unit == "":
+                return f"{value:.0f}" if value == int(value) else f"{value:.2f}"
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")

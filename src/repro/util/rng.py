@@ -1,0 +1,72 @@
+"""Deterministic random-number utilities.
+
+The KPM stochastic-trace estimator averages over ``S`` realizations of
+``R`` random vectors.  The paper generates these with a per-thread CUDA
+RNG; we reproduce the *determinism contract* that matters for testing:
+the random vector for realization ``s``, vector index ``r`` must be
+identical no matter which backend (NumPy reference, CPU model, GPU
+simulator, multi-GPU) produces it, and no matter how work is batched.
+
+We achieve this with counter-based Philox streams keyed by
+``(seed, s, r)``: each (realization, vector) pair owns an independent,
+reproducible stream, exactly like seeding a counter-based cuRAND
+generator per logical thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative_int
+
+__all__ = ["normalize_seed", "philox_stream", "spawn_seeds"]
+
+_MAX_SEED = 2**63 - 1
+
+
+def normalize_seed(seed: int | None) -> int:
+    """Map ``seed`` (or ``None``) to a canonical non-negative integer.
+
+    ``None`` maps to a fixed default (0) so that the library is
+    reproducible by default; pass entropy explicitly when you want
+    different draws.
+    """
+    if seed is None:
+        return 0
+    seed = check_nonnegative_int(seed, "seed")
+    if seed > _MAX_SEED:
+        raise ValueError(f"seed must be <= {_MAX_SEED}, got {seed}")
+    return seed
+
+
+def philox_stream(seed: int | None, *key: int) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the stream ``(seed, *key)``.
+
+    Uses the counter-based Philox bit generator, so streams with different
+    keys are statistically independent, and a given key always reproduces
+    the same stream regardless of how many other streams were consumed.
+
+    Parameters
+    ----------
+    seed:
+        Base seed (``None`` means the library default stream family).
+    *key:
+        Up to three additional non-negative integers identifying the
+        logical substream, e.g. ``(realization, vector_index)``.
+    """
+    if len(key) > 3:
+        raise ValueError(f"at most 3 key components supported, got {len(key)}")
+    base = normalize_seed(seed)
+    parts = tuple(check_nonnegative_int(k, "key component") for k in key)
+    sequence = np.random.SeedSequence(entropy=base, spawn_key=parts)
+    return np.random.Generator(np.random.Philox(seed=sequence))
+
+
+def spawn_seeds(seed: int | None, count: int) -> list[int]:
+    """Derive ``count`` independent 63-bit child seeds from ``seed``.
+
+    Deterministic: the same parent seed always yields the same children.
+    """
+    count = check_nonnegative_int(count, "count")
+    gen = philox_stream(seed, 0xC0FFEE)
+    return [int(x) for x in gen.integers(0, _MAX_SEED, size=count, dtype=np.int64)]

@@ -1,0 +1,118 @@
+"""Argument-validation helpers.
+
+Every public entry point of the library validates its arguments through
+these helpers so error messages are uniform and carry the offending value.
+They raise :class:`repro.errors.ValidationError` (a ``ValueError`` subclass)
+or :class:`repro.errors.ShapeError` for array-shape problems.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_in_range",
+    "check_choice",
+    "check_square_2d",
+    "check_vector",
+    "as_float64_array",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as ``int`` after checking it is an integer > 0."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Return ``value`` as ``int`` after checking it is an integer >= 0."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Return ``value`` as ``float`` after checking it is finite and > 0."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a number, got {value!r}") from None
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_in_range(
+    value: Any,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` as ``float`` after a closed/open range check."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a number, got {value!r}") from None
+    ok = low <= value <= high if inclusive else low < value < high
+    if not np.isfinite(value) or not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValidationError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value}"
+        )
+    return value
+
+
+def check_choice(value: Any, name: str, choices: Sequence[str]) -> str:
+    """Return ``value`` after checking it is one of ``choices`` (strings)."""
+    if value not in choices:
+        opts = ", ".join(repr(c) for c in choices)
+        raise ValidationError(f"{name} must be one of {opts}, got {value!r}")
+    return str(value)
+
+
+def check_square_2d(array: Any, name: str) -> np.ndarray:
+    """Return ``array`` as a 2-D square ``ndarray`` (no copy if possible)."""
+    arr = np.asarray(array)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ShapeError(f"{name} must be a square 2-D array, got shape {arr.shape}")
+    return arr
+
+
+def check_vector(array: Any, name: str, length: int | None = None) -> np.ndarray:
+    """Return ``array`` as a 1-D ``ndarray``, optionally of fixed ``length``."""
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be a 1-D array, got shape {arr.shape}")
+    if length is not None and arr.shape[0] != length:
+        raise ShapeError(f"{name} must have length {length}, got {arr.shape[0]}")
+    return arr
+
+
+def as_float64_array(array: Any, name: str) -> np.ndarray:
+    """Return ``array`` as a C-contiguous float64 ``ndarray``.
+
+    Complex input is rejected — the paper (and this reproduction) works in
+    double precision real arithmetic throughout.
+    """
+    arr = np.asarray(array)
+    if np.iscomplexobj(arr):
+        raise ValidationError(f"{name} must be real-valued, got complex dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=np.float64)

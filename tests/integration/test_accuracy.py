@@ -1,0 +1,153 @@
+"""Integration: KPM numerics against exact diagonalization and analytics.
+
+These are the accuracy anchors of DESIGN.md §5: the reproduction's
+physics must be right before its performance claims mean anything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ed import broadened_dos, exact_eigenvalues
+from repro.kpm import (
+    KPMConfig,
+    compute_dos,
+    dos_from_moments,
+    exact_moments,
+    jackson_resolution,
+    rescale_operator,
+)
+from repro.lattice import (
+    anderson_onsite_energies,
+    chain,
+    cubic,
+    honeycomb_edges,
+    hamiltonian_from_edges,
+    square,
+    tight_binding_hamiltonian,
+)
+
+
+class TestChainAnalytic:
+    """1D chain: rho(E) = 1/(pi sqrt(4 - E^2)) in the thermodynamic limit."""
+
+    def test_exact_moment_dos(self):
+        h = tight_binding_hamiltonian(chain(1024), format="csr")
+        scaled, rescaling = rescale_operator(h)
+        mu = exact_moments(scaled, 512)
+        energies, density = dos_from_moments(mu, rescaling, num_points=2048)
+        mask = np.abs(energies) < 1.6
+        analytic = 1.0 / (np.pi * np.sqrt(4.0 - energies[mask] ** 2))
+        np.testing.assert_allclose(density[mask], analytic, atol=0.01)
+
+    def test_stochastic_dos(self):
+        h = tight_binding_hamiltonian(chain(1024), format="csr")
+        config = KPMConfig(num_moments=256, num_random_vectors=24, seed=11)
+        result = compute_dos(h, config)
+        mask = np.abs(result.energies) < 1.5
+        analytic = 1.0 / (np.pi * np.sqrt(4.0 - result.energies[mask] ** 2))
+        # Tolerance: Jackson broadening bias of the curved 1/sqrt profile
+        # dominates the stochastic noise (~1/sqrt(R*D) ~ 0.006).
+        np.testing.assert_allclose(result.density[mask], analytic, atol=0.05)
+
+    def test_van_hove_edges_enhanced(self):
+        # The 1D DoS diverges at the band edges; the KPM density near
+        # +-2 must greatly exceed the band-center value.
+        h = tight_binding_hamiltonian(chain(1024), format="csr")
+        config = KPMConfig(num_moments=256, num_random_vectors=16, seed=0)
+        result = compute_dos(h, config)
+        center = result.evaluate(np.array([0.0]))[0]
+        edge = result.evaluate(np.array([1.95]))[0]
+        assert edge > 2.5 * center
+
+
+class TestCubicAgainstED:
+    """The paper's 10^3 workload, shrunk to 6^3 for exact diagonalization."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        h = tight_binding_hamiltonian(cubic(6), format="csr")
+        eigenvalues = exact_eigenvalues(h)
+        config = KPMConfig(num_moments=128, num_random_vectors=24, seed=5)
+        result = compute_dos(h, config)
+        return eigenvalues, result
+
+    def test_matches_broadened_exact_spectrum(self, setup):
+        eigenvalues, result = setup
+        width = jackson_resolution(
+            result.config.num_moments, result.rescaling.scale
+        )
+        mask = np.abs(result.energies) < 5.5
+        reference = broadened_dos(eigenvalues, result.energies[mask], width)
+        # The Jackson kernel is only approximately the Gaussian used by
+        # broadened_dos, so allow a modest pointwise band plus a tight
+        # mean-error band.
+        assert np.max(np.abs(result.density[mask] - reference)) < 0.1
+        assert np.mean(np.abs(result.density[mask] - reference)) < 0.015
+
+    def test_support_matches_band(self, setup):
+        eigenvalues, result = setup
+        # Density outside the band (plus resolution) must be negligible.
+        outside = np.abs(result.energies) > 6.0 + 3 * result.energy_resolution()
+        if outside.any():
+            assert np.max(np.abs(result.density[outside])) < 5e-3
+
+    def test_integral_one(self, setup):
+        _, result = setup
+        assert result.integrate() == pytest.approx(1.0, abs=0.01)
+
+
+class TestSquareLatticeVanHove:
+    def test_log_singularity_at_band_center(self):
+        # 2D square lattice has a log van Hove peak at E=0.
+        h = tight_binding_hamiltonian(square(40), format="csr")
+        config = KPMConfig(num_moments=128, num_random_vectors=16, seed=3)
+        result = compute_dos(h, config)
+        center = result.evaluate(np.array([0.0]))[0]
+        shoulder = result.evaluate(np.array([2.0]))[0]
+        assert center > 1.5 * shoulder
+
+
+class TestHoneycombDirac:
+    def test_dos_vanishes_at_dirac_point(self):
+        num_sites, i, j = honeycomb_edges(16, 16, periodic=True)
+        h = hamiltonian_from_edges(num_sites, i, j, format="csr")
+        config = KPMConfig(num_moments=128, num_random_vectors=16, seed=4)
+        result = compute_dos(h, config)
+        dirac = result.evaluate(np.array([0.0]))[0]
+        bulk = result.evaluate(np.array([1.0]))[0]
+        assert dirac < 0.5 * bulk
+
+
+class TestAndersonDisorder:
+    def test_band_broadens_with_disorder(self):
+        lattice = cubic(6)
+        clean = tight_binding_hamiltonian(lattice, format="csr")
+        eps = anderson_onsite_energies(lattice, 6.0, seed=9)
+        dirty = tight_binding_hamiltonian(lattice, onsite=eps, format="csr")
+        config = KPMConfig(num_moments=96, num_random_vectors=16, seed=2)
+        clean_result = compute_dos(clean, config)
+        dirty_result = compute_dos(dirty, config)
+        # Disorder pushes spectral weight beyond the clean band edge.
+        assert dirty_result.energies[-1] > clean_result.energies[-1]
+        tail = dirty_result.evaluate(np.array([6.5]))[0]
+        assert tail > 1e-4
+
+    def test_disordered_dos_still_normalized(self):
+        lattice = cubic(5)
+        eps = anderson_onsite_energies(lattice, 4.0, seed=1)
+        h = tight_binding_hamiltonian(lattice, onsite=eps, format="csr")
+        result = compute_dos(h, KPMConfig(num_moments=96, num_random_vectors=16, seed=0))
+        assert result.integrate() == pytest.approx(1.0, abs=0.02)
+
+
+class TestMomentConvergenceRate:
+    def test_stochastic_error_shrinks_like_sqrt_r(self):
+        from repro.kpm import moment_convergence_study
+
+        h = tight_binding_hamiltonian(cubic(4), format="csr")
+        scaled, _ = rescale_operator(h)
+        points = moment_convergence_study(
+            scaled, [4, 64], num_moments=32, seed=0
+        )
+        # R x16 should shrink the RMS error by ~4; accept any factor > 2.
+        assert points[0].moment_rms_error > 2.0 * points[1].moment_rms_error

@@ -1,0 +1,122 @@
+"""Integration: transport and dynamics cross-module consistency.
+
+These tests tie the extension modules to each other and to exact
+references: the survival amplitude from the Chebyshev propagator must be
+the Fourier transform of the KPM local DoS; conductivity must respect
+lattice symmetry and the fluctuation-dissipation temperature limits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kpm import (
+    KPMConfig,
+    conductivity_profile,
+    evolve_state,
+    exact_moments,
+    finite_temperature_conductivity,
+    kubo_greenwood_conductivity,
+    lattice_current_operator,
+    local_dos,
+    rescale_operator,
+    stochastic_conductivity_moments,
+)
+from repro.lattice import chain, square, tight_binding_hamiltonian
+
+
+class TestSurvivalAmplitudeVsLocalDos:
+    """C(t) = <psi0|psi(t)> equals the Fourier transform of the LDoS.
+
+    Exact relation: C(t) = integral rho_0(E) exp(-i E t) dE where
+    rho_0 is the local DoS of the start site.  Both sides come from
+    this library through entirely different code paths (time recursion
+    with Bessel coefficients vs moment recursion + DCT + quadrature).
+    """
+
+    def test_chain_survival(self):
+        hamiltonian = tight_binding_hamiltonian(chain(128), format="csr")
+        psi0 = np.zeros(128)
+        site = 64
+        psi0[site] = 1.0
+
+        config = KPMConfig(num_moments=512, num_energy_points=4096)
+        energies, ldos = local_dos(hamiltonian, site, config)
+
+        for time in (0.5, 2.0, 5.0):
+            evolved = evolve_state(hamiltonian, psi0, time)
+            survival = np.vdot(psi0, evolved)
+            fourier = np.trapezoid(ldos * np.exp(-1j * energies * time), energies)
+            assert survival == pytest.approx(fourier, abs=2e-3)
+
+    def test_free_particle_bessel_identity(self):
+        # On the infinite chain C(t) = J_0(2t) exactly (Bessel function).
+        from scipy.special import jv
+
+        hamiltonian = tight_binding_hamiltonian(chain(512), format="csr")
+        psi0 = np.zeros(512)
+        psi0[256] = 1.0
+        for time in (1.0, 3.0, 6.0):
+            evolved = evolve_state(hamiltonian, psi0, time)
+            survival = np.vdot(psi0, evolved)
+            assert survival.real == pytest.approx(jv(0, 2.0 * time), abs=1e-6)
+            assert survival.imag == pytest.approx(0.0, abs=1e-6)
+
+
+class TestTransportSymmetry:
+    def test_square_lattice_isotropic(self):
+        # sigma_xx == sigma_yy on the square lattice by symmetry.
+        lattice = square(12)
+        hamiltonian = tight_binding_hamiltonian(lattice, format="csr")
+        config = KPMConfig(num_moments=24, num_random_vectors=8, seed=3)
+        energies = np.array([-1.0, 0.5])
+        scaled, rescaling = rescale_operator(hamiltonian)
+        sigma = {}
+        for axis in (0, 1):
+            current = lattice_current_operator(lattice, axis)
+            mu_nm = stochastic_conductivity_moments(scaled, current, config)
+            sigma[axis] = conductivity_profile(mu_nm, rescaling, energies)
+        # Same magnitude; stochastic vectors are shared, so agreement is
+        # limited only by the lattice's finite-size anisotropy.
+        np.testing.assert_allclose(sigma[0], sigma[1], rtol=0.15)
+
+
+class TestFiniteTemperature:
+    @pytest.fixture(scope="class")
+    def system(self):
+        lattice = chain(96)
+        hamiltonian = tight_binding_hamiltonian(lattice, format="csr")
+        current = lattice_current_operator(lattice, 0)
+        scaled, rescaling = rescale_operator(hamiltonian)
+        config = KPMConfig(num_moments=32, num_random_vectors=12, seed=1)
+        mu_nm = stochastic_conductivity_moments(scaled, current, config)
+        return mu_nm, rescaling
+
+    def test_zero_temperature_limit(self, system):
+        mu_nm, rescaling = system
+        sharp = finite_temperature_conductivity(mu_nm, rescaling, 0.3, 0.0)
+        narrow = finite_temperature_conductivity(
+            mu_nm, rescaling, 0.3, 0.02, num_points=2048
+        )
+        assert narrow == pytest.approx(sharp, rel=0.05)
+
+    def test_temperature_smooths(self, system):
+        # At high T the window averages the whole band: values at
+        # different chemical potentials converge toward each other.
+        mu_nm, rescaling = system
+        cold_a = finite_temperature_conductivity(mu_nm, rescaling, 0.0, 0.05)
+        cold_b = finite_temperature_conductivity(mu_nm, rescaling, 1.5, 0.05)
+        warm_a = finite_temperature_conductivity(mu_nm, rescaling, 0.0, 2.0)
+        warm_b = finite_temperature_conductivity(mu_nm, rescaling, 1.5, 2.0)
+        assert abs(warm_a - warm_b) < abs(cold_a - cold_b)
+
+    def test_negative_temperature_rejected(self, system):
+        mu_nm, rescaling = system
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            finite_temperature_conductivity(mu_nm, rescaling, 0.0, -1.0)
+
+    def test_positive(self, system):
+        mu_nm, rescaling = system
+        value = finite_temperature_conductivity(mu_nm, rescaling, 0.0, 0.5)
+        assert value > 0

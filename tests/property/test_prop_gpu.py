@@ -1,0 +1,102 @@
+"""Property-based tests for the GPU simulator's accounting invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import (
+    Device,
+    KernelStats,
+    TESLA_C2050,
+    compute_occupancy,
+    kernel,
+    kernel_cost,
+    tiny_test_device,
+    transfer_cost,
+)
+from repro.gpukpm import plan_grid
+
+
+@kernel("prop_touch")
+def touch_kernel(ctx, arr):
+    idx = ctx.thread_range(arr.shape[0])
+    arr.data[idx] += 1.0
+    ctx.charge(flops=float(idx.size), gmem_read=8.0 * idx.size, gmem_write=8.0 * idx.size)
+
+
+class TestThreadRangeCoverage:
+    @given(
+        total=st.integers(0, 500),
+        grid=st.integers(1, 8),
+        block=st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_partition_items(self, total, grid, block):
+        device = Device(tiny_test_device(max_threads_per_block=64))
+        arr = device.alloc(max(total, 1))
+        if total == 0:
+            arr.data[:] = 1.0  # untouched marker handled below
+        device.launch(touch_kernel, grid=grid, block=block, args=(arr,))
+        if total > 0:
+            # every element incremented exactly once by exactly one block
+            np.testing.assert_array_equal(arr.data[:total], np.ones(total))
+
+
+class TestCostModelMonotonicity:
+    @given(
+        flops=st.floats(1e3, 1e12),
+        factor=st.floats(1.1, 10.0),
+        blocks=st.integers(1, 200),
+    )
+    @settings(max_examples=60)
+    def test_more_flops_never_cheaper(self, flops, factor, blocks):
+        occupancy = compute_occupancy(TESLA_C2050, 128)
+        small = kernel_cost(
+            TESLA_C2050, KernelStats(flops=flops), grid_blocks=blocks, occupancy=occupancy
+        )
+        large = kernel_cost(
+            TESLA_C2050,
+            KernelStats(flops=flops * factor),
+            grid_blocks=blocks,
+            occupancy=occupancy,
+        )
+        assert large.total_seconds >= small.total_seconds
+
+    @given(
+        nbytes=st.integers(0, 10**10),
+        extra=st.integers(1, 10**9),
+    )
+    @settings(max_examples=60)
+    def test_transfer_monotone(self, nbytes, extra):
+        assert transfer_cost(TESLA_C2050, nbytes + extra) > transfer_cost(
+            TESLA_C2050, nbytes
+        )
+
+    @given(
+        block_size=st.sampled_from((32, 64, 128, 256, 512, 1024)),
+        shared=st.integers(0, 48 * 1024),
+    )
+    @settings(max_examples=60)
+    def test_occupancy_in_unit_interval(self, block_size, shared):
+        result = compute_occupancy(
+            TESLA_C2050, block_size, shared_bytes_per_block=shared
+        )
+        assert 0.0 < result.occupancy <= 1.0
+        assert result.blocks_per_sm >= 1
+
+
+class TestGridPlanProperties:
+    @given(
+        vectors=st.integers(1, 10_000),
+        block_size=st.sampled_from((32, 64, 128, 256, 512, 1024)),
+    )
+    @settings(max_examples=60)
+    def test_plan_partitions_vectors(self, vectors, block_size):
+        plan = plan_grid(vectors, block_size, TESLA_C2050)
+        assert plan.num_blocks == math.ceil(vectors / block_size)
+        total = sum(len(plan.vectors_of(b)) for b in range(plan.num_blocks))
+        assert total == vectors
+        # all but the last block are full
+        for b in range(plan.num_blocks - 1):
+            assert len(plan.vectors_of(b)) == block_size

@@ -1,0 +1,177 @@
+"""Property-based tests for the KPM core (hypothesis).
+
+Invariants: moments of any rescaled symmetric matrix are bounded by
+``mu_0``; the recursion agrees with the spectral definition
+``mu_n = sum_i w_i T_n(lambda_i)``; kernels damp monotonically in ``n``
+and keep ``g_0 = 1``; rescaling is an exact affine bijection; the
+reconstruction integrates to ``mu_0``.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.kpm import (
+    apply_kernel_damping,
+    available_kernels,
+    get_kernel,
+    moments_single_vector,
+    reconstruct_on_chebyshev_grid,
+    rescale_operator,
+)
+from repro.kpm.rescale import Rescaling
+
+
+@st.composite
+def symmetric_matrices(draw, max_dim=10):
+    n = draw(st.integers(2, max_dim))
+    a = draw(
+        npst.arrays(
+            np.float64,
+            (n, n),
+            elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False, width=64),
+        )
+    )
+    sym = (a + a.T) / 2.0
+    # Reject (numerically) constant-spectrum matrices: rescaling is undefined.
+    eigs = np.linalg.eigvalsh(sym)
+    assume(eigs[-1] - eigs[0] > 1e-6)
+    return sym
+
+
+class TestMomentInvariants:
+    @given(matrix=symmetric_matrices(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_moments_bounded_by_mu0(self, matrix, data):
+        scaled, _ = rescale_operator(matrix, method="exact", epsilon=0.05)
+        r0 = data.draw(
+            npst.arrays(
+                np.float64,
+                matrix.shape[0],
+                elements=st.floats(-2, 2, allow_nan=False, width=64),
+            )
+        )
+        assume(np.linalg.norm(r0) > 1e-6)
+        mu = moments_single_vector(scaled, r0, 16)
+        assert np.all(np.abs(mu) <= mu[0] * (1 + 1e-9))
+
+    @given(matrix=symmetric_matrices(max_dim=8), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_recursion_matches_spectral_definition(self, matrix, data):
+        scaled, _ = rescale_operator(matrix, method="exact", epsilon=0.05)
+        r0 = data.draw(
+            npst.arrays(
+                np.float64,
+                matrix.shape[0],
+                elements=st.floats(-1, 1, allow_nan=False, width=64),
+            )
+        )
+        assume(np.linalg.norm(r0) > 1e-6)
+        mu = moments_single_vector(scaled, r0, 10)
+        eigenvalues, vectors = np.linalg.eigh(scaled.to_dense())
+        weights = (vectors.T @ r0) ** 2
+        theta = np.arccos(np.clip(eigenvalues, -1, 1))
+        reference = np.array([np.sum(weights * np.cos(n * theta)) for n in range(10)])
+        np.testing.assert_allclose(mu, reference, atol=1e-7)
+
+    @given(matrix=symmetric_matrices(max_dim=8), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_doubling_equals_plain(self, matrix, data):
+        scaled, _ = rescale_operator(matrix, method="exact", epsilon=0.05)
+        r0 = data.draw(
+            npst.arrays(
+                np.float64,
+                matrix.shape[0],
+                elements=st.floats(-1, 1, allow_nan=False, width=64),
+            )
+        )
+        assume(np.linalg.norm(r0) > 1e-6)
+        n = data.draw(st.integers(2, 20))
+        plain = moments_single_vector(scaled, r0, n)
+        doubled = moments_single_vector(scaled, r0, n, use_doubling=True)
+        np.testing.assert_allclose(doubled, plain, atol=1e-8)
+
+
+class TestKernelInvariants:
+    @given(
+        name=st.sampled_from(available_kernels()),
+        n=st.integers(2, 512),
+    )
+    @settings(max_examples=60)
+    def test_g0_one_and_bounded(self, name, n):
+        g = get_kernel(name, n)
+        assert g.shape == (n,)
+        assert g[0] == np.float64(1.0) or abs(g[0] - 1.0) < 1e-12
+        assert np.all(g <= 1.0 + 1e-12)
+        assert np.all(g >= -1e-12)
+
+    @given(
+        name=st.sampled_from(("jackson", "lorentz", "fejer", "lanczos")),
+        n=st.integers(3, 256),
+    )
+    @settings(max_examples=60)
+    def test_damping_non_increasing(self, name, n):
+        g = get_kernel(name, n)
+        assert np.all(np.diff(g) <= 1e-12)
+
+
+class TestRescalingInvariants:
+    @given(
+        scale=st.floats(0.01, 100, allow_nan=False),
+        shift=st.floats(-100, 100, allow_nan=False),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_affine_bijection(self, scale, shift, data):
+        rescaling = Rescaling(scale=scale, shift=shift)
+        omega = data.draw(
+            npst.arrays(
+                np.float64,
+                5,
+                elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+            )
+        )
+        np.testing.assert_allclose(
+            rescaling.to_original(rescaling.to_scaled(omega)), omega,
+            rtol=1e-9, atol=1e-6,
+        )
+
+    @given(matrix=symmetric_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_spectrum_lands_inside(self, matrix):
+        scaled, _ = rescale_operator(matrix, method="exact", epsilon=0.02)
+        eigs = np.linalg.eigvalsh(scaled.to_dense())
+        assert eigs[0] >= -1.0
+        assert eigs[-1] <= 1.0
+
+
+class TestReconstructionInvariants:
+    @given(
+        mu=npst.arrays(
+            np.float64,
+            st.integers(1, 32),
+            elements=st.floats(-1, 1, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=40)
+    def test_integral_equals_mu0(self, mu):
+        damped = apply_kernel_damping(mu, "jackson")
+        x, f = reconstruct_on_chebyshev_grid(damped, 1024)
+        integral = np.trapezoid(f, x)
+        assert abs(integral - mu[0]) < 0.02 * max(1.0, np.abs(mu).sum())
+
+    @given(
+        mu=npst.arrays(
+            np.float64,
+            st.integers(2, 32),
+            elements=st.floats(-1, 1, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=40)
+    def test_jackson_reconstruction_nonnegative_for_valid_moments(self, mu):
+        # Moments of a positive measure: use mu of a point mass at x0.
+        x0 = float(np.clip(mu[0], -0.9, 0.9))
+        point_mu = np.cos(np.arange(len(mu)) * np.arccos(x0))
+        damped = apply_kernel_damping(point_mu, "jackson")
+        _, f = reconstruct_on_chebyshev_grid(damped, 256)
+        assert f.min() >= -1e-9

@@ -1,0 +1,106 @@
+"""Property-based tests for lattice geometry and the RNG contract."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kpm import random_block, random_vector
+from repro.lattice import Lattice, hamiltonian_from_edges
+from repro.util.rng import philox_stream, spawn_seeds
+
+
+@st.composite
+def lattices(draw):
+    ndim = draw(st.integers(1, 3))
+    dims = tuple(draw(st.integers(3, 6)) for _ in range(ndim))
+    periodic = tuple(draw(st.booleans()) for _ in range(ndim))
+    return Lattice(dims, periodic=periodic)
+
+
+class TestLatticeProperties:
+    @given(lattice=lattices())
+    @settings(max_examples=40)
+    def test_index_coords_bijection(self, lattice):
+        indices = np.arange(lattice.num_sites)
+        np.testing.assert_array_equal(
+            lattice.site_index(lattice.site_coords(indices)), indices
+        )
+
+    @given(lattice=lattices())
+    @settings(max_examples=40)
+    def test_bond_count_formula(self, lattice):
+        # Bonds along an axis: prod(dims) if periodic else prod * (L-1)/L.
+        i, _ = lattice.neighbor_pairs()
+        expected = 0
+        for axis, (length, per) in enumerate(zip(lattice.dims, lattice.periodic)):
+            if length == 1:
+                continue
+            per_axis = lattice.num_sites if per else lattice.num_sites // length * (length - 1)
+            expected += per_axis
+        assert len(i) == expected
+
+    @given(lattice=lattices())
+    @settings(max_examples=40)
+    def test_hamiltonian_symmetric_with_correct_nnz(self, lattice):
+        i, j = lattice.neighbor_pairs()
+        if len(i) == 0:
+            return
+        h = hamiltonian_from_edges(lattice.num_sites, i, j, format="csr")
+        assert h.is_symmetric()
+        # Stored entries: one diagonal per site + two per bond.
+        assert h.nnz_stored == lattice.num_sites + 2 * len(i)
+
+    @given(lattice=lattices())
+    @settings(max_examples=40)
+    def test_coordination_bounds(self, lattice):
+        counts = lattice.coordination_numbers()
+        assert counts.max() <= 2 * lattice.ndim
+        assert counts.min() >= 0
+
+
+class TestRngProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        realization=st.integers(0, 1000),
+        vector_index=st.integers(0, 1000),
+        dim=st.integers(1, 64),
+    )
+    @settings(max_examples=40)
+    def test_vector_pure_function_of_key(self, seed, realization, vector_index, dim):
+        a = random_vector(dim, seed=seed, realization=realization, vector_index=vector_index)
+        b = random_vector(dim, seed=seed, realization=realization, vector_index=vector_index)
+        np.testing.assert_array_equal(a, b)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        dim=st.integers(1, 32),
+        count=st.integers(1, 8),
+        offset=st.integers(0, 50),
+    )
+    @settings(max_examples=40)
+    def test_block_equals_loop(self, seed, dim, count, offset):
+        block = random_block(dim, count, seed=seed, first_vector=offset)
+        for k in range(count):
+            np.testing.assert_array_equal(
+                block[:, k],
+                random_vector(dim, seed=seed, vector_index=offset + k),
+            )
+
+    @given(seed=st.integers(0, 2**31), count=st.integers(0, 64))
+    @settings(max_examples=40)
+    def test_spawn_seeds_deterministic_and_distinct(self, seed, count):
+        a = spawn_seeds(seed, count)
+        assert a == spawn_seeds(seed, count)
+        assert len(set(a)) == count
+
+    @given(
+        seed=st.integers(0, 2**31),
+        key_a=st.integers(0, 10**6),
+        key_b=st.integers(0, 10**6),
+    )
+    @settings(max_examples=40)
+    def test_distinct_keys_distinct_streams(self, seed, key_a, key_b):
+        if key_a == key_b:
+            return
+        a = philox_stream(seed, key_a).standard_normal(8)
+        b = philox_stream(seed, key_b).standard_normal(8)
+        assert not np.array_equal(a, b)

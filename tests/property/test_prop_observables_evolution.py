@@ -1,0 +1,156 @@
+"""Property-based tests for observables, evolution, and MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.kpm import (
+    electron_count,
+    evolution_coefficients,
+    evolve_state,
+    exact_moments,
+    fermi_dirac,
+    rescale_operator,
+    spectral_integral,
+)
+from repro.sparse import COOMatrix, read_matrix_market, write_matrix_market
+
+
+@st.composite
+def symmetric_matrices(draw, max_dim=8):
+    n = draw(st.integers(2, max_dim))
+    a = draw(
+        npst.arrays(
+            np.float64,
+            (n, n),
+            elements=st.floats(-3, 3, allow_nan=False, allow_infinity=False, width=64),
+        )
+    )
+    sym = (a + a.T) / 2.0
+    eigs = np.linalg.eigvalsh(sym)
+    assume(eigs[-1] - eigs[0] > 1e-4)
+    return sym
+
+
+class TestFermiDiracProperties:
+    @given(
+        energy=st.floats(-100, 100, allow_nan=False),
+        mu=st.floats(-100, 100, allow_nan=False),
+        temperature=st.floats(0.001, 50, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_occupation_in_unit_interval(self, energy, mu, temperature):
+        occupation = fermi_dirac(energy, mu, temperature)
+        assert 0.0 <= occupation <= 1.0
+
+    @given(
+        mu=st.floats(-10, 10, allow_nan=False),
+        temperature=st.floats(0.0, 10, allow_nan=False),
+        data=st.data(),
+    )
+    @settings(max_examples=40)
+    def test_monotone_decreasing_in_energy(self, mu, temperature, data):
+        energies = np.sort(
+            data.draw(
+                npst.arrays(
+                    np.float64,
+                    8,
+                    elements=st.floats(-20, 20, allow_nan=False, width=64),
+                )
+            )
+        )
+        occ = fermi_dirac(energies, mu, temperature)
+        assert np.all(np.diff(occ) <= 1e-12)
+
+
+class TestSpectralIntegralProperties:
+    @given(matrix=symmetric_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_and_constant(self, matrix):
+        scaled, rescaling = rescale_operator(matrix, method="exact", epsilon=0.05)
+        mu = exact_moments(scaled, 32)
+        one = spectral_integral(mu, rescaling, lambda e: np.ones_like(e), num_points=256)
+        assert abs(one - 1.0) < 1e-9
+        linear = spectral_integral(mu, rescaling, lambda e: 3.0 * e + 2.0, num_points=256)
+        mean = spectral_integral(mu, rescaling, lambda e: e, num_points=256)
+        assert abs(linear - (3.0 * mean + 2.0)) < 1e-9
+
+    @given(matrix=symmetric_matrices(), data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_electron_count_monotone(self, matrix, data):
+        scaled, rescaling = rescale_operator(matrix, method="exact", epsilon=0.05)
+        mu = exact_moments(scaled, 32)
+        lo = data.draw(st.floats(-0.8, 0.0))
+        hi = data.draw(st.floats(0.01, 0.8))
+        n_lo = electron_count(mu, rescaling, rescaling.to_original(lo), num_points=256)
+        n_hi = electron_count(mu, rescaling, rescaling.to_original(hi), num_points=256)
+        assert n_hi >= n_lo - 1e-9
+
+
+class TestEvolutionProperties:
+    @given(
+        matrix=symmetric_matrices(),
+        time=st.floats(-8, 8, allow_nan=False),
+        data=st.data(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_unitarity(self, matrix, time, data):
+        psi0 = data.draw(
+            npst.arrays(
+                np.float64,
+                matrix.shape[0],
+                elements=st.floats(-1, 1, allow_nan=False, width=64),
+            )
+        )
+        assume(np.linalg.norm(psi0) > 1e-3)
+        psi0 = psi0 / np.linalg.norm(psi0)
+        evolved = evolve_state(matrix, psi0, time)
+        assert np.linalg.norm(evolved) == np.float64(np.linalg.norm(evolved))
+        assert abs(np.linalg.norm(evolved) - 1.0) < 1e-9
+
+    @given(tau=st.floats(-30, 30, allow_nan=False))
+    @settings(max_examples=40)
+    def test_coefficient_l2_norm(self, tau):
+        # sum |c_n|^2 relates to 1 via the Jacobi-Anger identity:
+        # |exp(-i tau x)| = 1 pointwise; at x=0 the series telescopes.
+        from repro.kpm import evolution_order
+
+        coefficients = evolution_coefficients(tau, evolution_order(tau))
+        # Evaluate the expansion at x = 0: T_n(0) = cos(n pi / 2).
+        orders = np.arange(coefficients.size)
+        value = np.sum(coefficients * np.cos(orders * np.pi / 2))
+        assert abs(abs(value) - 1.0) < 1e-9
+
+
+class TestMatrixMarketProperties:
+    @st.composite
+    @staticmethod
+    def coo_matrices(draw):
+        n_rows = draw(st.integers(1, 8))
+        n_cols = draw(st.integers(1, 8))
+        count = draw(st.integers(0, 20))
+        rows = draw(st.lists(st.integers(0, n_rows - 1), min_size=count, max_size=count))
+        cols = draw(st.lists(st.integers(0, n_cols - 1), min_size=count, max_size=count))
+        values = draw(
+            st.lists(
+                st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False, width=64),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        return COOMatrix(rows, cols, values, (n_rows, n_cols))
+
+    @given(coo=coo_matrices())
+    @settings(max_examples=40)
+    def test_roundtrip_exact(self, coo):
+        buffer = io.StringIO()
+        write_matrix_market(coo, buffer)
+        buffer.seek(0)
+        out = read_matrix_market(buffer, format="coo")
+        # Compare against the canonical deduplicated form: the writer
+        # sums duplicates, and repr() round-trips each float exactly.
+        np.testing.assert_array_equal(
+            out.to_dense(), coo.sum_duplicates().to_dense()
+        )

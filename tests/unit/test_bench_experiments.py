@@ -1,0 +1,53 @@
+"""Unit tests for repro.bench.experiments and runner plumbing."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, get_experiment, run_experiment
+from repro.bench.runner import run_all, write_csv_outputs
+from repro.errors import ValidationError
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        assert {"fig5", "fig6", "fig7", "fig8"} <= set(EXPERIMENTS)
+
+    def test_ablations_registered(self):
+        assert {
+            "ablation-blocksize",
+            "ablation-crs",
+            "ablation-multigpu",
+            "ablation-kernel",
+        } <= set(EXPERIMENTS)
+
+    def test_kinds(self):
+        assert EXPERIMENTS["fig5"].kind == "figure"
+        assert EXPERIMENTS["ablation-crs"].kind == "ablation"
+
+    def test_get_experiment(self):
+        assert get_experiment("fig5").experiment_id == "fig5"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValidationError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_ids_consistent(self):
+        for key, spec in EXPERIMENTS.items():
+            assert spec.experiment_id == key
+
+
+class TestRunner:
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("fig5")
+        assert result.experiment_id == "fig5"
+        assert len(result.rows) == 4
+
+    def test_run_all_filters_kind(self):
+        results = run_all(kinds=("figure",))
+        assert set(results) == {"fig5", "fig6", "fig7", "fig8"}
+
+    def test_write_csv_outputs(self, tmp_path):
+        results = {"fig5": run_experiment("fig5")}
+        paths = write_csv_outputs(results, str(tmp_path))
+        assert len(paths) == 1
+        content = open(paths[0]).read()
+        assert content.startswith("N,cpu_seconds")

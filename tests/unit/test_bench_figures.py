@@ -1,0 +1,99 @@
+"""Unit tests for the figure-regeneration functions (shape-level checks).
+
+These use small/default parameters; the band assertions against the
+paper live in ``tests/integration/test_figures_end_to_end.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    block_size_ablation,
+    crs_vs_dense_ablation,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    kernel_comparison_ablation,
+    multigpu_ablation,
+)
+
+
+class TestFig5:
+    def test_columns_and_rows(self):
+        result = fig5()
+        assert result.columns == ("N", "cpu_seconds", "gpu_seconds", "speedup")
+        assert result.column("N") == [128, 256, 512, 1024]
+
+    def test_custom_sweep(self):
+        result = fig5(n_values=(64, 128))
+        assert len(result.rows) == 2
+
+    def test_times_positive_and_increasing(self):
+        result = fig5()
+        cpu = result.column("cpu_seconds")
+        assert all(t > 0 for t in cpu)
+        assert cpu == sorted(cpu)
+
+
+class TestFig6:
+    def test_dos_columns(self):
+        result = fig6(side=5, n_values=(32, 64), num_random_vectors=4,
+                      num_realizations=1, num_energy_points=128)
+        assert result.columns == ("energy", "dos_N32", "dos_N64")
+        assert len(result.rows) == 128
+
+    def test_energies_ascending(self):
+        result = fig6(side=4, n_values=(16,), num_random_vectors=2,
+                      num_realizations=1, num_energy_points=64)
+        energies = result.column("energy")
+        assert energies == sorted(energies)
+
+    def test_both_curves_normalized(self):
+        result = fig6(side=5, n_values=(32, 64), num_random_vectors=8,
+                      num_realizations=1, num_energy_points=256)
+        energies = np.array(result.column("energy"))
+        for name in ("dos_N32", "dos_N64"):
+            integral = np.trapezoid(np.array(result.column(name)), energies)
+            assert integral == pytest.approx(1.0, abs=0.03)
+
+
+class TestFig7Fig8:
+    def test_fig7_shape(self):
+        result = fig7(n_values=(128, 256))
+        assert len(result.rows) == 2
+        assert all(s > 1 for s in result.column("speedup"))
+
+    def test_fig8_shape(self):
+        result = fig8(h_sizes=(256, 512))
+        assert result.column("H_SIZE") == [256, 512]
+
+
+class TestAblations:
+    def test_blocksize_columns(self):
+        result = block_size_ablation(num_moments=64)
+        assert "seconds_D128" in result.columns
+        assert len(result.rows) >= 8
+
+    def test_crs_ablation_csr_always_wins(self):
+        result = crs_vs_dense_ablation(sides=(6, 8), num_moments=64)
+        assert all(r > 1 for r in result.column("gpu_dense_over_csr"))
+
+    def test_crs_advantage_grows(self):
+        result = crs_vs_dense_ablation(sides=(6, 10), num_moments=64)
+        ratios = result.column("gpu_dense_over_csr")
+        assert ratios[1] > ratios[0]
+
+    def test_multigpu_tuned_scales_better(self):
+        result = multigpu_ablation(device_counts=(1, 8), num_moments=64)
+        assert result.column("scaling_tuned")[1] >= result.column("scaling_bs256")[1]
+
+    def test_kernel_ablation_dirichlet_rings(self):
+        result = kernel_comparison_ablation(side=6, num_moments=64)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["dirichlet"][2] > 10 * max(rows["jackson"][2], 1e-9)
+
+    def test_kernel_ablation_integrals_one(self):
+        result = kernel_comparison_ablation(side=6, num_moments=64)
+        for row in result.rows:
+            assert row[1] == pytest.approx(1.0, abs=0.05)

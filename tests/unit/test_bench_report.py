@@ -1,0 +1,93 @@
+"""Unit tests for repro.bench.report."""
+
+import pytest
+
+from repro.bench import FigureResult, ascii_plot, ascii_table, csv_format
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def result():
+    return FigureResult(
+        experiment_id="test",
+        title="A test figure",
+        x_label="N",
+        columns=("N", "cpu", "gpu"),
+        rows=[(128, 10.0, 2.5), (256, 20.0, 5.0)],
+        paper_expectation="gpu 4x faster",
+        notes="synthetic",
+    )
+
+
+class TestAsciiTable:
+    def test_header_and_rows(self):
+        text = ascii_table(("a", "b"), [(1, 2.5)])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "2.50" in lines[2] or "2.5" in lines[2]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            ascii_table(("a",), [(1, 2)])
+
+    def test_scientific_for_tiny_values(self):
+        text = ascii_table(("x",), [(1e-9,)])
+        assert "e-09" in text
+
+    def test_empty_rows(self):
+        text = ascii_table(("a", "b"), [])
+        assert "a" in text
+
+
+class TestCsvFormat:
+    def test_repr_precision_roundtrip(self):
+        text = csv_format(("x",), [(0.1 + 0.2,)])
+        assert float(text.splitlines()[1]) == 0.1 + 0.2
+
+    def test_header(self):
+        assert csv_format(("a", "b"), []).splitlines()[0] == "a,b"
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot([1, 2, 3], {"cpu": [1.0, 2.0, 3.0], "gpu": [3.0, 2.0, 1.0]})
+        assert "* cpu" in text
+        assert "o gpu" in text
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([1], {"y": [1.0]})
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([1, 2], {"y": [1.0]})
+
+    def test_constant_series_ok(self):
+        text = ascii_plot([0, 1], {"y": [5.0, 5.0]})
+        assert "*" in text
+
+
+class TestFigureResult:
+    def test_column_access(self, result):
+        assert result.column("cpu") == [10.0, 20.0]
+
+    def test_unknown_column(self, result):
+        with pytest.raises(ValidationError, match="no column"):
+            result.column("tpu")
+
+    def test_to_table(self, result):
+        assert "cpu" in result.to_table()
+
+    def test_to_csv(self, result):
+        assert result.to_csv().splitlines()[0] == "N,cpu,gpu"
+
+    def test_to_plot_defaults_all_series(self, result):
+        text = result.to_plot()
+        assert "cpu" in text and "gpu" in text
+
+    def test_render_includes_everything(self, result):
+        text = result.render()
+        assert "test: A test figure" in text
+        assert "paper:" in text
+        assert "notes: synthetic" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDosCommand:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "dos.csv"
+        code = main([
+            "dos", "--lattice", "chain:64", "-N", "32", "-R", "4",
+            "-o", str(out),
+        ])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "energy,density"
+        assert len(lines) == 1 + 1024
+
+    def test_stdout_csv(self, capsys):
+        code = main(["dos", "--lattice", "chain:32", "-N", "16", "-R", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("energy,density")
+        assert "integral=" in captured.err
+
+    def test_gpu_backend(self, capsys):
+        code = main([
+            "dos", "--lattice", "cubic:3", "-N", "16", "-R", "4",
+            "--backend", "gpu-sim", "--block-size", "32",
+        ])
+        assert code == 0
+        assert "modeled" in capsys.readouterr().err
+
+    def test_matrix_file_input(self, tmp_path, capsys):
+        from repro.lattice import cubic, tight_binding_hamiltonian
+        from repro.sparse import write_matrix_market
+
+        path = tmp_path / "h.mtx"
+        write_matrix_market(
+            tight_binding_hamiltonian(cubic(3), format="csr"), str(path)
+        )
+        code = main(["dos", "--matrix", str(path), "-N", "16", "-R", "2"])
+        assert code == 0
+
+    def test_unknown_lattice_kind(self, capsys):
+        code = main(["dos", "--lattice", "pyrochlore:4"])
+        assert code == 2
+        assert "unknown lattice kind" in capsys.readouterr().err
+
+
+class TestTimeCommand:
+    def test_paper_workload(self, capsys):
+        code = main([
+            "time", "--lattice", "cubic:10", "--storage", "dense",
+            "-N", "512", "-R", "128", "-S", "14",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "D=1000" in out
+        assert "speedup" in out
+
+    def test_precision_flag(self, capsys):
+        code = main([
+            "time", "--lattice", "cubic:5", "--precision", "single",
+        ])
+        assert code == 0
+        assert "precision=single" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_single_figure(self, capsys):
+        code = main(["bench", "fig5", "--no-plots"])
+        assert code == 0
+        assert "fig5" in capsys.readouterr().out
+
+
+class TestArgumentValidation:
+    def test_lattice_and_matrix_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["dos", "--lattice", "chain:8", "--matrix", "x.mtx"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,126 @@
+"""Unit tests for repro.ed (dense ED + Lanczos)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ed import (
+    broadened_dos,
+    exact_dos_histogram,
+    exact_eigenvalues,
+    lanczos_extremal_eigenvalues,
+    lanczos_tridiagonal,
+)
+from repro.lattice import chain, cubic, tight_binding_hamiltonian
+
+
+class TestExactEigenvalues:
+    def test_chain_analytic(self):
+        h = tight_binding_hamiltonian(chain(8), format="csr")
+        eigs = exact_eigenvalues(h)
+        expected = np.sort(-2 * np.cos(2 * np.pi * np.arange(8) / 8))
+        np.testing.assert_allclose(eigs, expected, atol=1e-12)
+
+    def test_ascending(self):
+        h = tight_binding_hamiltonian(cubic(3), format="dense")
+        eigs = exact_eigenvalues(h)
+        assert np.all(np.diff(eigs) >= -1e-12)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError):
+            exact_eigenvalues(np.array([[0.0, 1.0], [0.0, 0.0]]))
+
+
+class TestHistogram:
+    def test_normalized(self):
+        eigs = np.linspace(-2, 2, 100)
+        centers, density = exact_dos_histogram(eigs, num_bins=20)
+        width = centers[1] - centers[0]
+        assert np.sum(density) * width == pytest.approx(1.0)
+
+    def test_span_argument(self):
+        centers, _ = exact_dos_histogram(np.zeros(5), num_bins=4, span=(-1, 1))
+        assert centers[0] > -1 and centers[-1] < 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            exact_dos_histogram(np.empty(0))
+
+
+class TestBroadenedDos:
+    def test_gaussian_integral_one(self):
+        eigs = np.array([-1.0, 0.0, 1.0])
+        energies = np.linspace(-5, 5, 4001)
+        dos = broadened_dos(eigs, energies, width=0.2, profile="gaussian")
+        assert np.trapezoid(dos, energies) == pytest.approx(1.0, abs=1e-6)
+
+    def test_lorentzian_peak_height(self):
+        dos = broadened_dos([0.0], [0.0], width=0.5, profile="lorentzian")
+        assert dos[0] == pytest.approx(1.0 / (np.pi * 0.5))
+
+    def test_gaussian_peak_height(self):
+        dos = broadened_dos([0.0], [0.0], width=0.5, profile="gaussian")
+        assert dos[0] == pytest.approx(1.0 / (0.5 * np.sqrt(2 * np.pi)))
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValidationError):
+            broadened_dos([0.0], [0.0], 0.1, profile="boxcar")
+
+
+class TestLanczos:
+    def test_tridiagonal_exact_on_small_matrix(self):
+        # With k = D and full reorthogonalization, the Ritz values are
+        # exact.  The open chain has a non-degenerate spectrum (a single
+        # Krylov run cannot resolve degenerate pairs).
+        h = tight_binding_hamiltonian(chain(12, periodic=False), format="dense")
+        alphas, betas = lanczos_tridiagonal(h, 12, seed=0)
+        tri = np.diag(alphas) + np.diag(betas, 1) + np.diag(betas, -1)
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(tri),
+            np.linalg.eigvalsh(h.to_dense()),
+            atol=1e-8,
+        )
+
+    def test_extremal_values_inside_spectrum(self):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        lo, hi = lanczos_extremal_eigenvalues(h, iterations=20, seed=0)
+        eigs = exact_eigenvalues(h)
+        assert lo >= eigs[0] - 1e-9
+        assert hi <= eigs[-1] + 1e-9
+
+    def test_extremal_values_converge(self):
+        h = tight_binding_hamiltonian(chain(64), format="csr")
+        lo, hi = lanczos_extremal_eigenvalues(h, iterations=40, seed=0)
+        eigs = exact_eigenvalues(h)
+        assert lo == pytest.approx(eigs[0], abs=1e-4)
+        assert hi == pytest.approx(eigs[-1], abs=1e-4)
+
+    def test_breakdown_handled(self):
+        # Identity matrix: Krylov space is 1-dimensional.
+        alphas, betas = lanczos_tridiagonal(np.eye(6), 6, seed=0)
+        assert alphas.shape[0] == 1
+        assert alphas[0] == pytest.approx(1.0)
+
+    def test_identity_extremal(self):
+        lo, hi = lanczos_extremal_eigenvalues(np.eye(6), iterations=6)
+        assert lo == pytest.approx(1.0)
+        assert hi == pytest.approx(1.0)
+
+    def test_explicit_start_vector(self):
+        h = tight_binding_hamiltonian(chain(16), format="dense")
+        start = np.zeros(16)
+        start[0] = 1.0
+        alphas, _ = lanczos_tridiagonal(h, 4, start_vector=start)
+        assert alphas.shape[0] == 4
+
+    def test_zero_start_vector_rejected(self):
+        with pytest.raises(ValidationError):
+            lanczos_tridiagonal(np.eye(4), 3, start_vector=np.zeros(4))
+
+    def test_wrong_start_length(self):
+        with pytest.raises(ValidationError):
+            lanczos_tridiagonal(np.eye(4), 3, start_vector=np.ones(5))
+
+    def test_iterations_capped_at_dimension(self):
+        alphas, _ = lanczos_tridiagonal(np.diag([1.0, 2.0]), 50, seed=1)
+        assert alphas.shape[0] <= 2

@@ -1,0 +1,132 @@
+"""Unit tests for repro.gpu.costmodel — the roofline's limiting behaviors."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu import (
+    KernelStats,
+    TESLA_C2050,
+    compute_occupancy,
+    kernel_cost,
+    transfer_cost,
+)
+
+
+def cost(stats, *, grid_blocks=64, block_size=256, shared=0):
+    occupancy = compute_occupancy(TESLA_C2050, block_size, shared_bytes_per_block=shared)
+    return kernel_cost(TESLA_C2050, stats, grid_blocks=grid_blocks, occupancy=occupancy)
+
+
+class TestRooflineSides:
+    def test_compute_bound_detection(self):
+        stats = KernelStats(flops=1e12, gmem_read_bytes=1e3)
+        result = cost(stats)
+        assert result.bound == "compute"
+        assert result.compute_seconds > result.memory_seconds
+
+    def test_memory_bound_detection(self):
+        stats = KernelStats(flops=1e3, gmem_read_bytes=1e12)
+        result = cost(stats)
+        assert result.bound == "memory"
+
+    def test_compute_time_scales_with_flops(self):
+        t1 = cost(KernelStats(flops=1e11)).total_seconds
+        t2 = cost(KernelStats(flops=2e11)).total_seconds
+        assert t2 == pytest.approx(2 * t1 - TESLA_C2050.kernel_launch_overhead_s, rel=1e-6)
+
+    def test_launch_overhead_floor(self):
+        result = cost(KernelStats())
+        assert result.total_seconds == pytest.approx(TESLA_C2050.kernel_launch_overhead_s)
+
+
+class TestUtilizationEffects:
+    def test_few_blocks_halve_compute(self):
+        stats = KernelStats(flops=1e12)
+        full = cost(stats, grid_blocks=14)
+        half = cost(stats, grid_blocks=7)
+        assert half.sm_utilization == pytest.approx(0.5)
+        assert half.compute_seconds == pytest.approx(2 * full.compute_seconds)
+
+    def test_thread_efficiency_scales_compute(self):
+        base = cost(KernelStats(flops=1e12))
+        degraded = cost(KernelStats(flops=1e12, thread_efficiency=0.5))
+        assert degraded.compute_seconds == pytest.approx(2 * base.compute_seconds)
+
+    def test_coalescing_scales_memory(self):
+        base = cost(KernelStats(gmem_read_bytes=1e12))
+        strided = cost(KernelStats(gmem_read_bytes=1e12, coalescing=0.5))
+        assert strided.memory_seconds == pytest.approx(2 * base.memory_seconds)
+
+    def test_wave_count(self):
+        # 256-thread blocks: 6 resident/SM, 84-wide waves on 14 SMs.
+        result = cost(KernelStats(flops=1.0), grid_blocks=85)
+        assert result.wave_count == 2
+        assert cost(KernelStats(flops=1.0), grid_blocks=84).wave_count == 1
+
+
+class TestL2Reuse:
+    def test_l2_resident_rereads_faster(self):
+        footprint = 256 * 1024  # fits the 768 KiB L2
+        traffic = 1e12
+        cached = cost(
+            KernelStats(gmem_read_bytes=traffic, footprint_bytes=footprint)
+        )
+        streaming = cost(KernelStats(gmem_read_bytes=traffic))
+        assert cached.memory_seconds < streaming.memory_seconds
+
+    def test_footprint_above_l2_streams(self):
+        traffic = 1e12
+        big_footprint = 4 * 1024 * 1024
+        result = cost(
+            KernelStats(gmem_read_bytes=traffic, footprint_bytes=big_footprint)
+        )
+        plain = cost(KernelStats(gmem_read_bytes=traffic))
+        assert result.memory_seconds == pytest.approx(plain.memory_seconds)
+
+    def test_footprint_capped_at_traffic(self):
+        # A declared footprint larger than the traffic must not go negative.
+        result = cost(
+            KernelStats(gmem_read_bytes=100.0, footprint_bytes=1e9)
+        )
+        assert result.memory_seconds > 0
+
+
+class TestValidation:
+    def test_zero_blocks_rejected(self):
+        occupancy = compute_occupancy(TESLA_C2050, 128)
+        with pytest.raises(ValidationError):
+            kernel_cost(TESLA_C2050, KernelStats(), grid_blocks=0, occupancy=occupancy)
+
+    def test_requires_spec(self):
+        occupancy = compute_occupancy(TESLA_C2050, 128)
+        with pytest.raises(ValidationError):
+            kernel_cost("gpu", KernelStats(), grid_blocks=1, occupancy=occupancy)
+
+
+class TestTransferCost:
+    def test_latency_plus_bandwidth(self):
+        seconds = transfer_cost(TESLA_C2050, 6_000_000_000)
+        assert seconds == pytest.approx(TESLA_C2050.pcie_latency_s + 1.0)
+
+    def test_zero_bytes_latency_only(self):
+        assert transfer_cost(TESLA_C2050, 0) == TESLA_C2050.pcie_latency_s
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            transfer_cost(TESLA_C2050, -1)
+
+
+class TestKernelStatsMerge:
+    def test_merge_sums_work(self):
+        a = KernelStats(flops=1.0, gmem_read_bytes=2.0, gmem_write_bytes=3.0)
+        a.merge(KernelStats(flops=10.0, gmem_read_bytes=20.0, gmem_write_bytes=30.0))
+        assert a.flops == 11.0
+        assert a.gmem_read_bytes == 22.0
+        assert a.gmem_write_bytes == 33.0
+
+    def test_merge_takes_max_footprint_min_factors(self):
+        a = KernelStats(footprint_bytes=10.0, coalescing=1.0, thread_efficiency=1.0)
+        a.merge(KernelStats(footprint_bytes=5.0, coalescing=0.5, thread_efficiency=0.8))
+        assert a.footprint_bytes == 10.0
+        assert a.coalescing == 0.5
+        assert a.thread_efficiency == 0.8

@@ -1,0 +1,153 @@
+"""Unit tests for repro.gpu.device and repro.gpu.kernel execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, LaunchError, ValidationError
+from repro.gpu import Device, KernelStats, TESLA_C2050, kernel, tiny_test_device
+
+
+@kernel("copy")
+def copy_kernel(ctx, src, dst):
+    idx = ctx.thread_range(src.shape[0])
+    dst.data[idx] = src.data[idx]
+    ctx.charge(flops=0.0, gmem_read=8.0 * idx.size, gmem_write=8.0 * idx.size)
+
+
+@kernel("shared_hog")
+def shared_hog_kernel(ctx):
+    ctx.shared_alloc(ctx.shared_limit_bytes + 1)
+
+
+def plain_function(ctx):
+    pass
+
+
+class TestLaunchValidation:
+    @pytest.fixture
+    def device(self):
+        return Device(tiny_test_device())
+
+    def test_requires_kernel_decorator(self, device):
+        with pytest.raises(LaunchError, match="@repro.gpu.kernel"):
+            device.launch(plain_function, grid=1, block=32)
+
+    def test_block_too_large(self, device):
+        with pytest.raises(LaunchError):
+            device.launch(copy_kernel, grid=1, block=4096, args=())
+
+    def test_freed_argument_rejected(self, device):
+        arr = device.alloc(8)
+        arr.free()
+        with pytest.raises(DeviceError):
+            device.launch(copy_kernel, grid=1, block=32, args=(arr, arr))
+
+    def test_shared_overflow_inside_kernel(self, device):
+        with pytest.raises(LaunchError, match="shared memory overflow"):
+            device.launch(shared_hog_kernel, grid=1, block=32)
+
+    def test_kernel_called_outside_launch(self):
+        with pytest.raises(DeviceError, match="Device.launch"):
+            copy_kernel("not a context")
+
+    def test_requires_spec(self):
+        with pytest.raises(ValidationError):
+            Device("gpu")
+
+
+class TestExecution:
+    @pytest.fixture
+    def device(self):
+        return Device(tiny_test_device())
+
+    def test_functional_result(self, device, rng):
+        host = rng.standard_normal(100)
+        src = device.alloc(100)
+        dst = device.alloc(100)
+        device.memcpy_htod(src, host)
+        device.launch(copy_kernel, grid=4, block=32, args=(src, dst))
+        out = np.empty(100)
+        device.memcpy_dtoh(out, dst)
+        np.testing.assert_array_equal(out, host)
+
+    def test_grid_stride_covers_all_items(self, device, rng):
+        # Fewer threads than items: the grid-stride loop must still cover.
+        host = rng.standard_normal(100)
+        src = device.alloc(100)
+        dst = device.alloc(100)
+        device.memcpy_htod(src, host)
+        device.launch(copy_kernel, grid=1, block=16, args=(src, dst))
+        np.testing.assert_array_equal(dst.data, host)
+
+    def test_event_records_stats(self, device):
+        src = device.alloc(64)
+        dst = device.alloc(64)
+        event = device.launch(copy_kernel, grid=2, block=32, args=(src, dst))
+        assert event.stats.gmem_read_bytes == 8 * 64
+        assert event.stats.gmem_write_bytes == 8 * 64
+        assert event.seconds > 0
+
+    def test_modeled_time_accumulates(self, device):
+        src = device.alloc(64)
+        dst = device.alloc(64)
+        device.launch(copy_kernel, grid=1, block=32, args=(src, dst))
+        t1 = device.modeled_seconds
+        device.launch(copy_kernel, grid=1, block=32, args=(src, dst))
+        assert device.modeled_seconds > t1
+
+    def test_setup_charged_once(self):
+        spec = tiny_test_device(setup_overhead_s=0.5)
+        device = Device(spec)
+        device.alloc(4)
+        device.alloc(4)
+        assert device.profiler.setup_seconds == 0.5
+
+    def test_reset_clears_state(self, device):
+        src = device.alloc(64)
+        dst = device.alloc(64)
+        device.launch(copy_kernel, grid=1, block=32, args=(src, dst))
+        device.reset()
+        assert device.modeled_seconds == 0.0
+        assert device.memory.used_bytes == 0
+
+    def test_synchronize_noop(self, device):
+        device.synchronize()
+
+
+class TestProfiler:
+    def test_seconds_by_kernel(self):
+        device = Device(tiny_test_device())
+        src = device.alloc(64)
+        dst = device.alloc(64)
+        device.launch(copy_kernel, grid=1, block=32, args=(src, dst))
+        device.launch(copy_kernel, grid=1, block=32, args=(src, dst))
+        totals = device.profiler.seconds_by_kernel()
+        assert set(totals) == {"copy"}
+        assert totals["copy"] == pytest.approx(device.profiler.kernel_seconds)
+
+    def test_launch_count(self):
+        device = Device(tiny_test_device())
+        src = device.alloc(64)
+        dst = device.alloc(64)
+        device.launch(copy_kernel, grid=1, block=32, args=(src, dst))
+        assert device.profiler.launch_count() == 1
+        assert device.profiler.launch_count("copy") == 1
+        assert device.profiler.launch_count("other") == 0
+
+    def test_timeline_renders(self):
+        device = Device(tiny_test_device())
+        src = device.alloc(8)
+        device.memcpy_htod(src, np.zeros(8))
+        dst = device.alloc(8)
+        device.launch(copy_kernel, grid=1, block=32, args=(src, dst))
+        text = device.profiler.timeline()
+        assert "memcpy_htod" in text
+        assert "copy<<<" in text
+
+    def test_timeline_limit(self):
+        device = Device(tiny_test_device())
+        src = device.alloc(8)
+        for _ in range(5):
+            device.memcpy_htod(src, np.zeros(8))
+        text = device.profiler.timeline(limit=2)
+        assert "earlier events" in text

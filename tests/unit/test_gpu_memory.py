@@ -1,0 +1,107 @@
+"""Unit tests for repro.gpu.memory (pool + device arrays)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, OutOfMemoryError, ShapeError, ValidationError
+from repro.gpu import Device, MemoryPool, tiny_test_device
+
+
+class TestMemoryPool:
+    def test_reserve_release(self):
+        pool = MemoryPool(1000)
+        pool.reserve(400)
+        assert pool.used_bytes == 400
+        pool.release(400)
+        assert pool.used_bytes == 0
+
+    def test_capacity_enforced(self):
+        pool = MemoryPool(100)
+        with pytest.raises(OutOfMemoryError, match="out of memory"):
+            pool.reserve(101)
+
+    def test_peak_tracked(self):
+        pool = MemoryPool(1000)
+        pool.reserve(600)
+        pool.release(600)
+        pool.reserve(100)
+        assert pool.peak_bytes == 600
+
+    def test_release_more_than_used(self):
+        pool = MemoryPool(100)
+        with pytest.raises(DeviceError):
+            pool.release(1)
+
+    def test_allocation_count(self):
+        pool = MemoryPool(1000)
+        pool.reserve(1)
+        pool.reserve(1)
+        assert pool.allocation_count == 2
+
+    def test_reset(self):
+        pool = MemoryPool(100)
+        pool.reserve(50)
+        pool.reset()
+        assert pool.used_bytes == 0
+        assert pool.peak_bytes == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            MemoryPool(0)
+
+
+class TestDeviceArray:
+    @pytest.fixture
+    def device(self):
+        return Device(tiny_test_device())
+
+    def test_alloc_zero_initialized(self, device):
+        arr = device.alloc((8, 8), name="a")
+        np.testing.assert_array_equal(arr.data, np.zeros((8, 8)))
+
+    def test_alloc_dtype(self, device):
+        arr = device.alloc(4, dtype=np.int64, name="idx")
+        assert arr.dtype == np.int64
+
+    def test_oom_raised(self, device):
+        with pytest.raises(OutOfMemoryError):
+            device.alloc((1024, 1024))
+
+    def test_free_returns_capacity(self, device):
+        arr = device.alloc((100,))
+        used = device.memory.used_bytes
+        arr.free()
+        assert device.memory.used_bytes == used - 800
+
+    def test_double_free_rejected(self, device):
+        arr = device.alloc(4)
+        arr.free()
+        with pytest.raises(DeviceError, match="already freed"):
+            arr.free()
+
+    def test_use_after_free_in_transfer(self, device):
+        arr = device.alloc(4)
+        arr.free()
+        with pytest.raises(DeviceError):
+            device.memcpy_htod(arr, np.zeros(4))
+
+    def test_htod_dtoh_roundtrip(self, device, rng):
+        host = rng.standard_normal(32)
+        arr = device.alloc(32)
+        device.memcpy_htod(arr, host)
+        out = np.empty(32)
+        device.memcpy_dtoh(out, arr)
+        np.testing.assert_array_equal(out, host)
+
+    def test_transfer_shape_mismatch(self, device):
+        arr = device.alloc(8)
+        with pytest.raises(ShapeError):
+            device.memcpy_htod(arr, np.zeros(9))
+
+    def test_transfers_charged_to_pcie(self, device):
+        arr = device.alloc(1000)
+        seconds = device.memcpy_htod(arr, np.zeros(1000))
+        spec = device.spec
+        expected = spec.pcie_latency_s + 8000 / spec.pcie_bandwidth_bytes_per_s
+        assert seconds == pytest.approx(expected)
+        assert device.profiler.transfer_seconds == pytest.approx(expected)

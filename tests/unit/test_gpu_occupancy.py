@@ -1,0 +1,66 @@
+"""Unit tests for repro.gpu.occupancy."""
+
+import pytest
+
+from repro.errors import LaunchError, ValidationError
+from repro.gpu import TESLA_C2050, compute_occupancy
+
+
+class TestLimits:
+    def test_block_too_large(self):
+        with pytest.raises(LaunchError, match="exceeds the device limit"):
+            compute_occupancy(TESLA_C2050, 2048)
+
+    def test_shared_memory_too_large(self):
+        with pytest.raises(LaunchError, match="shared memory"):
+            compute_occupancy(TESLA_C2050, 128, shared_bytes_per_block=64 * 1024)
+
+    def test_registers_too_large(self):
+        with pytest.raises(LaunchError, match="registers"):
+            compute_occupancy(TESLA_C2050, 1024, registers_per_thread=64)
+
+    def test_requires_spec(self):
+        with pytest.raises(ValidationError):
+            compute_occupancy("gpu", 128)
+
+
+class TestResidency:
+    def test_thread_limited(self):
+        # 1536 threads/SM / 256 = 6 blocks; block-slot limit is 8.
+        result = compute_occupancy(TESLA_C2050, 256)
+        assert result.blocks_per_sm == 6
+        assert result.limiter == "threads"
+
+    def test_block_slot_limited(self):
+        # 64-thread blocks: thread limit would allow 24, slots cap at 8.
+        result = compute_occupancy(TESLA_C2050, 64)
+        assert result.blocks_per_sm == 8
+        assert result.limiter == "blocks"
+
+    def test_shared_limited(self):
+        result = compute_occupancy(
+            TESLA_C2050, 64, shared_bytes_per_block=16 * 1024
+        )
+        assert result.blocks_per_sm == 3
+        assert result.limiter == "shared"
+
+    def test_register_limited(self):
+        result = compute_occupancy(TESLA_C2050, 256, registers_per_thread=63)
+        assert result.limiter == "registers"
+        assert result.blocks_per_sm == 2
+
+    def test_full_occupancy_case(self):
+        # 6 x 256 = 1536 threads = all 48 warps.
+        result = compute_occupancy(TESLA_C2050, 256)
+        assert result.occupancy == pytest.approx(1.0)
+
+    def test_single_large_block(self):
+        result = compute_occupancy(TESLA_C2050, 1024)
+        assert result.blocks_per_sm == 1
+        assert result.occupancy == pytest.approx(32 / 48)
+
+    def test_warp_quantization(self):
+        # 33 threads occupy 2 warps each.
+        result = compute_occupancy(TESLA_C2050, 33)
+        warps_per_block = 2
+        assert result.warps_per_sm == result.blocks_per_sm * warps_per_block

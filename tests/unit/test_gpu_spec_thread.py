@@ -1,0 +1,98 @@
+"""Unit tests for repro.gpu.spec and repro.gpu.thread."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu import Dim3, GTX_580, TESLA_C1060, TESLA_C2050, as_dim3, tiny_test_device
+
+
+class TestGpuSpec:
+    def test_c2050_datasheet_peak(self):
+        # 14 SMs x 32 DP FLOPs/cycle x 1.15 GHz = 515.2 GFLOP/s.
+        assert TESLA_C2050.peak_dp_flops == pytest.approx(515.2e9)
+
+    def test_c2050_sp_peak(self):
+        # 448 cores x 2 x 1.15 GHz = 1.03 TFLOP/s.
+        assert TESLA_C2050.peak_sp_flops == pytest.approx(1030.4e9)
+
+    def test_c2050_memory(self):
+        assert TESLA_C2050.global_mem_bytes == 3 * 1024**3
+        assert TESLA_C2050.mem_bandwidth_bytes_per_s == 144e9
+
+    def test_presets_distinct(self):
+        assert TESLA_C1060.peak_dp_flops < TESLA_C2050.peak_dp_flops
+        assert GTX_580.clock_ghz > TESLA_C2050.clock_ghz
+
+    def test_with_updates(self):
+        spec = TESLA_C2050.with_updates(mem_efficiency=0.5)
+        assert spec.mem_efficiency == 0.5
+        assert TESLA_C2050.mem_efficiency != 0.5
+
+    def test_validation_positive_fields(self):
+        with pytest.raises(ValidationError):
+            TESLA_C2050.with_updates(sm_count=0)
+
+    def test_validation_efficiency_range(self):
+        with pytest.raises(ValidationError):
+            TESLA_C2050.with_updates(flop_efficiency=1.5)
+
+    def test_validation_negative_overheads(self):
+        with pytest.raises(ValidationError):
+            TESLA_C2050.with_updates(setup_overhead_s=-1.0)
+
+    def test_tiny_device_overridable(self):
+        spec = tiny_test_device(sm_count=4)
+        assert spec.sm_count == 4
+
+
+class TestDim3:
+    def test_total(self):
+        assert Dim3(4, 3, 2).total == 24
+
+    def test_defaults(self):
+        assert Dim3(7) == (7, 1, 1)
+
+    def test_unlinearize_roundtrip(self):
+        dims = Dim3(3, 4, 2)
+        seen = set()
+        for linear in range(dims.total):
+            idx = dims.unlinearize(linear)
+            assert 0 <= idx.x < 3 and 0 <= idx.y < 4 and 0 <= idx.z < 2
+            seen.add(tuple(idx))
+        assert len(seen) == 24
+
+    def test_unlinearize_x_fastest(self):
+        assert Dim3(3, 2).unlinearize(1) == (1, 0, 0)
+        assert Dim3(3, 2).unlinearize(3) == (0, 1, 0)
+
+    def test_unlinearize_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Dim3(2).unlinearize(2)
+
+
+class TestAsDim3:
+    def test_int(self):
+        assert as_dim3(5) == Dim3(5)
+
+    def test_tuple(self):
+        assert as_dim3((2, 3)) == Dim3(2, 3)
+
+    def test_passthrough(self):
+        d = Dim3(1, 2, 3)
+        assert as_dim3(d) == d
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            as_dim3(0)
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValidationError):
+            as_dim3((1, 2, 3, 4))
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            as_dim3(True)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            as_dim3("big")

@@ -1,0 +1,80 @@
+"""Unit tests for the profiler's Chrome trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, kernel, tiny_test_device
+from repro.gpukpm import GpuKPM
+from repro.kpm import KPMConfig, rescale_operator
+from repro.lattice import cubic, tight_binding_hamiltonian
+
+
+@kernel("trace_probe")
+def probe_kernel(ctx, arr):
+    idx = ctx.thread_range(arr.shape[0])
+    arr.data[idx] += 1.0
+    ctx.charge(flops=float(idx.size), gmem_read=8.0 * idx.size)
+
+
+class TestChromeTrace:
+    def test_valid_json_with_events(self):
+        device = Device(tiny_test_device(setup_overhead_s=0.001))
+        arr = device.alloc(64)
+        device.memcpy_htod(arr, np.zeros(64))
+        device.launch(probe_kernel, grid=2, block=32, args=(arr,))
+        payload = json.loads(device.profiler.to_chrome_trace())
+        events = payload["traceEvents"]
+        names = [e["name"] for e in events]
+        assert "setup" in names
+        assert "memcpy_htod" in names
+        assert "trace_probe" in names
+
+    def test_durations_sum_to_modeled_time(self):
+        device = Device(tiny_test_device(setup_overhead_s=0.0))
+        arr = device.alloc(64)
+        device.memcpy_htod(arr, np.zeros(64))
+        device.launch(probe_kernel, grid=1, block=32, args=(arr,))
+        payload = json.loads(device.profiler.to_chrome_trace())
+        total_us = sum(e["dur"] for e in payload["traceEvents"])
+        assert total_us == pytest.approx(device.modeled_seconds * 1e6)
+
+    def test_events_end_to_end(self):
+        device = Device(tiny_test_device(setup_overhead_s=0.0))
+        arr = device.alloc(64)
+        for _ in range(3):
+            device.memcpy_htod(arr, np.zeros(64))
+        payload = json.loads(device.profiler.to_chrome_trace())
+        events = payload["traceEvents"]
+        for first, second in zip(events, events[1:]):
+            assert second["ts"] == pytest.approx(first["ts"] + first["dur"])
+
+    def test_tracks_assigned(self):
+        device = Device(tiny_test_device(setup_overhead_s=0.0))
+        arr = device.alloc(64)
+        device.memcpy_htod(arr, np.zeros(64))
+        device.launch(probe_kernel, grid=1, block=32, args=(arr,))
+        payload = json.loads(device.profiler.to_chrome_trace())
+        tids = {e["name"]: e["tid"] for e in payload["traceEvents"]}
+        assert tids["memcpy_htod"] == "PCIe"
+        assert tids["trace_probe"] == "Compute"
+
+    def test_full_pipeline_trace(self):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        scaled, _ = rescale_operator(h)
+        runner = GpuKPM()
+        runner.run(
+            scaled,
+            KPMConfig(num_moments=8, num_random_vectors=4, num_realizations=1,
+                      block_size=32),
+        )
+        payload = json.loads(runner.last_device.profiler.to_chrome_trace())
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert "kpm_recursion" in names
+        assert "reduce_moments" in names
+        kernel_event = next(
+            e for e in payload["traceEvents"] if e["name"] == "kpm_recursion"
+        )
+        assert kernel_event["args"]["flops"] > 0
+        assert kernel_event["args"]["bound"] in ("compute", "memory")

@@ -1,0 +1,182 @@
+"""Unit tests for repro.gpukpm.pipeline, estimator, and blocksize."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu import Device, TESLA_C2050, tiny_test_device
+from repro.gpukpm import (
+    GpuKPM,
+    GpuSimEngine,
+    estimate_gpu_kpm_seconds,
+    gpu_kpm_breakdown,
+    plan_memory,
+    tune_block_size,
+)
+from repro.kpm import KPMConfig, rescale_operator, stochastic_moments
+from repro.lattice import chain, cubic, tight_binding_hamiltonian
+
+
+@pytest.fixture
+def scaled_cube():
+    h = tight_binding_hamiltonian(cubic(4), format="csr")
+    scaled, _ = rescale_operator(h)
+    return scaled
+
+
+@pytest.fixture
+def scaled_cube_dense():
+    h = tight_binding_hamiltonian(cubic(4), format="dense")
+    scaled, _ = rescale_operator(h)
+    return scaled
+
+
+class TestFunctionalParity:
+    def test_csr_moments_match_numpy(self, scaled_cube, small_config):
+        gpu_data, _ = GpuKPM().run(scaled_cube, small_config)
+        reference = stochastic_moments(scaled_cube, small_config)
+        np.testing.assert_allclose(gpu_data.mu, reference.mu, atol=1e-13)
+
+    def test_dense_moments_match_numpy(self, scaled_cube_dense, small_config):
+        gpu_data, _ = GpuKPM().run(scaled_cube_dense, small_config)
+        reference = stochastic_moments(scaled_cube_dense, small_config)
+        np.testing.assert_allclose(gpu_data.mu, reference.mu, atol=1e-13)
+
+    def test_per_realization_match(self, scaled_cube, small_config):
+        gpu_data, _ = GpuKPM().run(scaled_cube, small_config)
+        reference = stochastic_moments(scaled_cube, small_config)
+        np.testing.assert_allclose(
+            gpu_data.per_realization, reference.per_realization, atol=1e-13
+        )
+
+    def test_block_size_does_not_change_numerics(self, scaled_cube, small_config):
+        a, _ = GpuKPM().run(scaled_cube, small_config)
+        b, _ = GpuKPM().run(scaled_cube, small_config.with_updates(block_size=16))
+        np.testing.assert_allclose(a.mu, b.mu, atol=1e-15)
+
+    def test_reduce_kernel_mean_matches_table(self, scaled_cube, small_config):
+        data, _ = GpuKPM().run(scaled_cube, small_config)
+        np.testing.assert_allclose(
+            data.mu, data.per_realization.mean(axis=0), atol=1e-13
+        )
+
+
+class TestTimingAndResources:
+    def test_estimator_matches_run_csr(self, scaled_cube, small_config):
+        runner = GpuKPM()
+        _, report = runner.run(scaled_cube, small_config)
+        estimate = estimate_gpu_kpm_seconds(
+            TESLA_C2050,
+            scaled_cube.shape[0],
+            small_config,
+            nnz=scaled_cube.nnz_stored,
+        )
+        assert report.modeled_seconds == pytest.approx(estimate, rel=1e-12)
+
+    def test_estimator_matches_run_dense(self, scaled_cube_dense, small_config):
+        runner = GpuKPM()
+        _, report = runner.run(scaled_cube_dense, small_config)
+        estimate = estimate_gpu_kpm_seconds(
+            TESLA_C2050, scaled_cube_dense.shape[0], small_config
+        )
+        assert report.modeled_seconds == pytest.approx(estimate, rel=1e-12)
+
+    def test_breakdown_keys_match(self, scaled_cube, small_config):
+        runner = GpuKPM()
+        _, report = runner.run(scaled_cube, small_config)
+        analytic = gpu_kpm_breakdown(
+            TESLA_C2050, scaled_cube.shape[0], small_config, nnz=scaled_cube.nnz_stored
+        )
+        assert set(report.breakdown) == set(analytic)
+        for key, value in analytic.items():
+            assert report.breakdown[key] == pytest.approx(value, rel=1e-12)
+
+    def test_memory_plan_matches_pool_peak(self, scaled_cube_dense, small_config):
+        runner = GpuKPM()
+        runner.run(scaled_cube_dense, small_config)
+        plan = plan_memory(TESLA_C2050, scaled_cube_dense.shape[0], small_config)
+        assert runner.last_device.memory.peak_bytes == plan.total_bytes
+
+    def test_two_kernel_launches(self, scaled_cube, small_config):
+        runner = GpuKPM()
+        runner.run(scaled_cube, small_config)
+        assert runner.last_device.profiler.launch_count("kpm_recursion") == 1
+        assert runner.last_device.profiler.launch_count("reduce_moments") == 1
+
+    def test_oom_on_tiny_device(self, small_config):
+        h = tight_binding_hamiltonian(cubic(7), format="dense")  # 343^2 * 8 = 919 KiB
+        scaled, _ = rescale_operator(h)
+        runner = GpuKPM(tiny_test_device(global_mem_bytes=512 * 1024))
+        from repro.errors import OutOfMemoryError
+
+        with pytest.raises(OutOfMemoryError):
+            runner.run(scaled, small_config.with_updates(num_moments=256, block_size=64))
+
+    def test_requires_config(self, scaled_cube):
+        with pytest.raises(ValidationError):
+            GpuKPM().run(scaled_cube, None)
+
+    def test_requires_spec(self):
+        with pytest.raises(ValidationError):
+            GpuKPM("gpu")
+
+
+class TestRunPartition:
+    def test_partition_streams_match_full(self, scaled_cube, small_config):
+        runner = GpuKPM()
+        full_table, _, _ = runner.run_partition(
+            scaled_cube, small_config, first_vector=0, num_vectors=16
+        )
+        part_a, _, _ = runner.run_partition(
+            scaled_cube, small_config, first_vector=0, num_vectors=6
+        )
+        part_b, _, _ = runner.run_partition(
+            scaled_cube, small_config, first_vector=6, num_vectors=10
+        )
+        np.testing.assert_allclose(
+            np.concatenate([part_a, part_b], axis=0), full_table, atol=1e-15
+        )
+
+    def test_invalid_partition(self, scaled_cube, small_config):
+        with pytest.raises(ValidationError):
+            GpuKPM().run_partition(
+                scaled_cube, small_config, first_vector=-1, num_vectors=4
+            )
+
+
+class TestEngine:
+    def test_registered_backend_runs(self, scaled_cube, small_config):
+        engine = GpuSimEngine()
+        data, report = engine.compute_moments(scaled_cube, small_config)
+        assert report.backend == "gpu-sim"
+        assert report.device == "NVIDIA Tesla C2050"
+        assert data.dimension == scaled_cube.shape[0]
+
+
+class TestTuneBlockSize:
+    def test_returns_best_and_sweep(self):
+        config = KPMConfig(num_random_vectors=64, num_realizations=1, num_moments=32)
+        best, points = tune_block_size(TESLA_C2050, 128, config)
+        assert best in points
+        assert best.modeled_seconds == min(p.modeled_seconds for p in points)
+
+    def test_oversized_candidates_skipped(self):
+        config = KPMConfig(num_random_vectors=8, num_realizations=1, num_moments=8)
+        _, points = tune_block_size(
+            TESLA_C2050, 64, config, candidates=(128, 4096)
+        )
+        assert [p.block_size for p in points] == [128]
+
+    def test_no_feasible_candidates(self):
+        config = KPMConfig(num_random_vectors=8, num_realizations=1)
+        with pytest.raises(ValidationError):
+            tune_block_size(TESLA_C2050, 64, config, candidates=(99999,))
+
+    def test_wide_blocks_penalized_for_small_vectors(self):
+        # D=128: BLOCK_SIZE=512 idles 3/4 of each block.
+        config = KPMConfig(num_random_vectors=1792, num_realizations=1, num_moments=64)
+        _, points = tune_block_size(
+            TESLA_C2050, 128, config, candidates=(128, 512)
+        )
+        by_bs = {p.block_size: p.modeled_seconds for p in points}
+        assert by_bs[512] > 2.0 * by_bs[128]

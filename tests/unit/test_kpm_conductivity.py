@@ -1,0 +1,212 @@
+"""Unit tests for the Kubo-Greenwood conductivity module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.kpm import (
+    KPMConfig,
+    conductivity_moments_single_vector,
+    conductivity_profile,
+    current_operator_from_edges,
+    get_kernel,
+    kubo_greenwood_conductivity,
+    lattice_current_operator,
+    rescale_operator,
+    stochastic_conductivity_moments,
+)
+from repro.lattice import (
+    anderson_onsite_energies,
+    chain,
+    square,
+    tight_binding_hamiltonian,
+)
+
+
+@pytest.fixture(scope="module")
+def chain_system():
+    lattice = chain(48)
+    hamiltonian = tight_binding_hamiltonian(lattice, format="csr")
+    current = lattice_current_operator(lattice, 0)
+    scaled, rescaling = rescale_operator(hamiltonian)
+    return hamiltonian, current, scaled, rescaling
+
+
+def exact_conductivity_moments(scaled, current, num_moments):
+    """Eigen-based reference for mu_nm = -Tr[A T_n A T_m]/D."""
+    eigenvalues, vectors = np.linalg.eigh(scaled.to_dense())
+    a_rotated = vectors.T @ current.to_dense() @ vectors
+    chebyshev = np.cos(
+        np.outer(np.arange(num_moments), np.arccos(np.clip(eigenvalues, -1, 1)))
+    )
+    dim = eigenvalues.size
+    return np.einsum("kl,nl,mk->nm", a_rotated**2, chebyshev, chebyshev) / dim
+
+
+def kpm_delta_reference(mu_exact, rescaling, energies, kernel, scaled, current):
+    """Self-consistent reference: the double sum with the *KPM* deltas.
+
+    With exact moments the profile is identically
+    ``pi * sum_kl |A_kl|^2 d(x, x_k) d(x, x_l) / (D a^2)`` where ``d`` is
+    the kernel-damped KPM delta — an algebraic identity this function
+    evaluates directly from the spectrum.
+    """
+    eigenvalues, vectors = np.linalg.eigh(scaled.to_dense())
+    a_rotated = vectors.T @ current.to_dense() @ vectors
+    num_moments = mu_exact.shape[0]
+    g = get_kernel(kernel, num_moments)
+    weights = g * (2.0 - (np.arange(num_moments) == 0))
+    x = rescaling.to_scaled(np.asarray(energies))
+
+    def kpm_delta(points):
+        theta_x = np.arccos(x)
+        theta_k = np.arccos(np.clip(points, -1, 1))
+        series = np.einsum(
+            "n,nk,ne->ke",
+            weights,
+            np.cos(np.outer(np.arange(num_moments), theta_k)),
+            np.cos(np.outer(np.arange(num_moments), theta_x)),
+        )
+        return series / (np.pi * np.sqrt(1 - x**2))[None, :]
+
+    deltas = kpm_delta(eigenvalues)  # (D, M)
+    dim = eigenvalues.size
+    j = np.einsum("kl,ke,le->e", a_rotated**2, deltas, deltas) / dim
+    return np.pi * j * rescaling.density_jacobian**2
+
+
+class TestCurrentOperator:
+    def test_antisymmetric(self, chain_system):
+        _, current, _, _ = chain_system
+        dense = current.to_dense()
+        np.testing.assert_allclose(dense, -dense.T, atol=1e-14)
+
+    def test_matches_commutator_open_chain(self):
+        # On an open chain X is well defined: A must equal [H, X].
+        lattice = chain(16, periodic=False)
+        hamiltonian = tight_binding_hamiltonian(lattice, format="dense").to_dense()
+        positions = np.diag(np.arange(16.0))
+        commutator = hamiltonian @ positions - positions @ hamiltonian
+        current = lattice_current_operator(lattice, 0, format="dense")
+        np.testing.assert_allclose(current.to_dense(), commutator, atol=1e-14)
+
+    def test_square_lattice_axis_selects_bonds(self):
+        lattice = square(6)
+        current_x = lattice_current_operator(lattice, 0)
+        current_y = lattice_current_operator(lattice, 1)
+        # Each axis operator holds one bond (+ conjugate) per site.
+        assert current_x.nnz_stored == 2 * 36
+        assert not np.allclose(current_x.to_dense(), current_y.to_dense())
+
+    def test_axis_out_of_range(self):
+        with pytest.raises(ValidationError):
+            lattice_current_operator(chain(8), 1)
+
+    def test_edge_builder_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            current_operator_from_edges(4, [0], [1, 2], [1.0])
+
+
+class TestMoments:
+    def test_stochastic_matches_exact(self, chain_system):
+        _, current, scaled, _ = chain_system
+        config = KPMConfig(num_moments=16, num_random_vectors=64, seed=0)
+        stochastic = stochastic_conductivity_moments(scaled, current, config)
+        exact = exact_conductivity_moments(scaled, current, 16)
+        assert np.max(np.abs(stochastic - exact)) < 0.15
+
+    def test_symmetric_in_indices(self, chain_system):
+        # Tr[A T_n A T_m] is symmetric under n <-> m.
+        _, current, scaled, _ = chain_system
+        exact = exact_conductivity_moments(scaled, current, 12)
+        np.testing.assert_allclose(exact, exact.T, atol=1e-12)
+
+    def test_single_vector_deterministic(self, chain_system):
+        _, current, scaled, _ = chain_system
+        r0 = np.ones(48)
+        a = conductivity_moments_single_vector(scaled, current, r0, 8)
+        b = conductivity_moments_single_vector(scaled, current, r0, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dimension_mismatch(self, chain_system):
+        _, current, scaled, _ = chain_system
+        with pytest.raises(ShapeError):
+            conductivity_moments_single_vector(scaled, current, np.ones(5), 8)
+
+
+class TestProfile:
+    def test_matches_kpm_delta_identity(self, chain_system):
+        # With exact moments the profile equals the eigen double sum with
+        # KPM-broadened deltas — an algebraic identity, so 1e-9 agreement.
+        _, current, scaled, rescaling = chain_system
+        mu_exact = exact_conductivity_moments(scaled, current, 24)
+        energies = np.array([-1.0, 0.0, 0.7])
+        kpm = conductivity_profile(mu_exact, rescaling, energies)
+        reference = kpm_delta_reference(
+            mu_exact, rescaling, energies, "jackson", scaled, current
+        )
+        np.testing.assert_allclose(kpm, reference, rtol=1e-9)
+
+    def test_nonnegative(self, chain_system):
+        _, current, scaled, rescaling = chain_system
+        mu_exact = exact_conductivity_moments(scaled, current, 32)
+        energies = np.linspace(-1.8, 1.8, 41)
+        sigma = conductivity_profile(mu_exact, rescaling, energies)
+        assert sigma.min() >= -1e-10
+
+    def test_particle_hole_symmetric(self, chain_system):
+        _, current, scaled, rescaling = chain_system
+        mu_exact = exact_conductivity_moments(scaled, current, 32)
+        plus = conductivity_profile(mu_exact, rescaling, np.array([0.8]))
+        minus = conductivity_profile(mu_exact, rescaling, np.array([-0.8]))
+        assert plus[0] == pytest.approx(minus[0], rel=1e-9)
+
+    def test_energy_outside_interval(self, chain_system):
+        _, _, _, rescaling = chain_system
+        with pytest.raises(ValidationError):
+            conductivity_profile(np.eye(8), rescaling, [100.0])
+
+    def test_rejects_nonsquare_moments(self, chain_system):
+        _, _, _, rescaling = chain_system
+        with pytest.raises(ShapeError):
+            conductivity_profile(np.ones((4, 5)), rescaling, [0.0])
+
+
+class TestPhysics:
+    def test_disorder_suppresses_conductivity(self):
+        lattice = chain(96)
+        current = lattice_current_operator(lattice, 0)
+        clean = tight_binding_hamiltonian(lattice, format="csr")
+        eps = anderson_onsite_energies(lattice, 3.0, seed=4)
+        dirty = tight_binding_hamiltonian(lattice, onsite=eps, format="csr")
+        config = KPMConfig(num_moments=32, num_random_vectors=12, seed=1)
+        energies = np.array([0.0])
+        sigma_clean = kubo_greenwood_conductivity(clean, current, energies, config)
+        sigma_dirty = kubo_greenwood_conductivity(dirty, current, energies, config)
+        assert sigma_dirty[0] < 0.6 * sigma_clean[0]
+
+    def test_gap_suppresses_conductivity(self):
+        # SSH dimerized chain: alternating hoppings open a gap
+        # 2|t1 - t2| around E = 0 — no states, no transport there.
+        from repro.lattice import hamiltonian_from_edges
+
+        length = 96
+        lattice = chain(length)
+        i, j = lattice.neighbor_pairs()
+        order = np.argsort(i)
+        i, j = i[order], j[order]
+        hoppings = np.where(np.arange(length) % 2 == 0, -1.0, -0.4)
+        ssh = hamiltonian_from_edges(length, i, j, hopping=hoppings)
+        current_ssh = current_operator_from_edges(
+            length, i, j, np.ones(length), hopping=hoppings
+        )
+        uniform = tight_binding_hamiltonian(lattice, format="csr")
+        current_uniform = lattice_current_operator(lattice, 0)
+
+        config = KPMConfig(num_moments=48, num_random_vectors=12, seed=2)
+        energies = np.array([0.0])
+        sigma_gapped = kubo_greenwood_conductivity(ssh, current_ssh, energies, config)
+        sigma_metal = kubo_greenwood_conductivity(
+            uniform, current_uniform, energies, config
+        )
+        assert sigma_gapped[0] < 0.1 * sigma_metal[0]

@@ -1,0 +1,63 @@
+"""Unit tests for repro.kpm.KPMConfig."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.kpm import KPMConfig
+
+
+class TestDefaults:
+    def test_default_construction(self):
+        config = KPMConfig()
+        assert config.num_moments == 256
+        assert config.kernel == "jackson"
+
+    def test_total_vectors(self):
+        config = KPMConfig(num_random_vectors=14, num_realizations=128)
+        assert config.total_vectors == 1792
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            KPMConfig().num_moments = 5
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        ["num_moments", "num_random_vectors", "num_realizations", "num_energy_points", "block_size"],
+    )
+    def test_positive_ints(self, field):
+        with pytest.raises(ValidationError):
+            KPMConfig(**{field: 0})
+
+    def test_epsilon_range(self):
+        with pytest.raises(ValidationError):
+            KPMConfig(epsilon=1.5)
+        assert KPMConfig(epsilon=0.0).epsilon == 0.0
+
+    def test_bounds_method_choice(self):
+        with pytest.raises(ValidationError):
+            KPMConfig(bounds_method="magic")
+
+    def test_kernel_type(self):
+        with pytest.raises(TypeError):
+            KPMConfig(kernel=3)
+
+    def test_vector_kind_type(self):
+        with pytest.raises(TypeError):
+            KPMConfig(vector_kind=None)
+
+
+class TestWithUpdates:
+    def test_changes_field(self):
+        config = KPMConfig().with_updates(num_moments=64)
+        assert config.num_moments == 64
+
+    def test_original_untouched(self):
+        original = KPMConfig()
+        original.with_updates(num_moments=64)
+        assert original.num_moments == 256
+
+    def test_revalidates(self):
+        with pytest.raises(ValidationError):
+            KPMConfig().with_updates(num_moments=-1)

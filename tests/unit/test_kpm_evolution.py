@@ -1,0 +1,118 @@
+"""Unit tests for repro.kpm.evolution — against dense matrix exponentials."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.errors import ValidationError
+from repro.kpm import evolution_coefficients, evolution_order, evolve_state
+from repro.lattice import chain, cubic, tight_binding_hamiltonian
+
+
+def dense_reference(hamiltonian, state, time):
+    dense = hamiltonian.to_dense()
+    return expm(-1j * dense * time) @ state
+
+
+@pytest.fixture(scope="module")
+def small_chain():
+    return tight_binding_hamiltonian(chain(24), format="csr")
+
+
+class TestCoefficients:
+    def test_zero_time_is_identity(self):
+        coefficients = evolution_coefficients(0.0, 8)
+        np.testing.assert_allclose(coefficients, np.eye(8)[0], atol=1e-15)
+
+    def test_decay_beyond_tau(self):
+        coefficients = evolution_coefficients(5.0, evolution_order(5.0))
+        assert abs(coefficients[-1]) < 1e-10
+
+    def test_order_grows_with_time(self):
+        assert evolution_order(100.0) > evolution_order(1.0)
+
+    def test_order_sufficient(self):
+        for tau in (0.5, 10.0, 80.0):
+            n = evolution_order(tau)
+            coefficients = evolution_coefficients(tau, n)
+            assert abs(coefficients[-1]) < 1e-10
+
+
+class TestEvolveState:
+    def test_matches_expm_real_state(self, small_chain, rng):
+        psi0 = rng.standard_normal(24)
+        psi0 /= np.linalg.norm(psi0)
+        for time in (0.1, 1.0, 7.5):
+            evolved = evolve_state(small_chain, psi0, time)
+            reference = dense_reference(small_chain, psi0, time)
+            np.testing.assert_allclose(evolved, reference, atol=1e-10)
+
+    def test_matches_expm_complex_state(self, small_chain, rng):
+        psi0 = rng.standard_normal(24) + 1j * rng.standard_normal(24)
+        psi0 /= np.linalg.norm(psi0)
+        evolved = evolve_state(small_chain, psi0, 2.0)
+        reference = dense_reference(small_chain, psi0, 2.0)
+        np.testing.assert_allclose(evolved, reference, atol=1e-10)
+
+    def test_norm_conserved(self, small_chain, rng):
+        psi0 = rng.standard_normal(24)
+        psi0 /= np.linalg.norm(psi0)
+        evolved = evolve_state(small_chain, psi0, 25.0)
+        assert np.linalg.norm(evolved) == pytest.approx(1.0, abs=1e-10)
+
+    def test_zero_time_identity(self, small_chain, rng):
+        psi0 = rng.standard_normal(24)
+        evolved = evolve_state(small_chain, psi0, 0.0)
+        np.testing.assert_allclose(evolved, psi0.astype(complex), atol=1e-12)
+
+    def test_composition(self, small_chain, rng):
+        psi0 = rng.standard_normal(24)
+        psi0 /= np.linalg.norm(psi0)
+        one_shot = evolve_state(small_chain, psi0, 3.0)
+        two_step = evolve_state(small_chain, evolve_state(small_chain, psi0, 1.2), 1.8)
+        np.testing.assert_allclose(two_step, one_shot, atol=1e-9)
+
+    def test_backward_evolution_inverts(self, small_chain, rng):
+        psi0 = rng.standard_normal(24)
+        roundtrip = evolve_state(small_chain, evolve_state(small_chain, psi0, 4.0), -4.0)
+        np.testing.assert_allclose(roundtrip, psi0.astype(complex), atol=1e-9)
+
+    def test_eigenstate_picks_up_phase(self):
+        h = tight_binding_hamiltonian(chain(16), format="dense")
+        eigenvalues, vectors = np.linalg.eigh(h.to_dense())
+        k = 5
+        evolved = evolve_state(h, vectors[:, k], 2.5)
+        expected = np.exp(-1j * eigenvalues[k] * 2.5) * vectors[:, k]
+        np.testing.assert_allclose(evolved, expected, atol=1e-10)
+
+    def test_energy_conserved(self, rng):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        psi0 = rng.standard_normal(27)
+        psi0 /= np.linalg.norm(psi0)
+        evolved = evolve_state(h, psi0, 6.0)
+        energy0 = psi0 @ h.matvec(psi0)
+        h_psi = h.matvec(evolved.real) + 1j * h.matvec(evolved.imag)
+        energy_t = np.vdot(evolved, h_psi).real
+        assert energy_t == pytest.approx(energy0, abs=1e-9)
+
+    def test_explicit_order(self, small_chain, rng):
+        psi0 = rng.standard_normal(24)
+        evolved = evolve_state(small_chain, psi0, 1.0, num_terms=64)
+        reference = dense_reference(small_chain, psi0, 1.0)
+        np.testing.assert_allclose(evolved, reference, atol=1e-10)
+
+    def test_wrong_state_length(self, small_chain):
+        with pytest.raises(ValidationError):
+            evolve_state(small_chain, np.ones(5), 1.0)
+
+    def test_wavepacket_spreads(self):
+        # A localized state on a chain spreads ballistically.
+        h = tight_binding_hamiltonian(chain(128), format="csr")
+        psi0 = np.zeros(128)
+        psi0[64] = 1.0
+        evolved = evolve_state(h, psi0, 10.0)
+        probabilities = np.abs(evolved) ** 2
+        assert probabilities[64] < 0.1
+        assert probabilities.sum() == pytest.approx(1.0, abs=1e-10)
+        spread = np.sqrt(np.sum(probabilities * (np.arange(128) - 64) ** 2))
+        assert spread > 5.0

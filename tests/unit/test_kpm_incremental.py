@@ -1,0 +1,123 @@
+"""Unit tests for repro.kpm.SpectralDensity (incremental refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kpm import SpectralDensity, exact_moments, rescale_operator
+from repro.lattice import chain, cubic, tight_binding_hamiltonian
+
+
+@pytest.fixture
+def hamiltonian():
+    return tight_binding_hamiltonian(cubic(4), format="csr")
+
+
+class TestAccumulation:
+    def test_starts_empty(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=16)
+        assert sd.num_vectors == 0
+        with pytest.raises(ValidationError, match="add_vectors"):
+            sd.moments()
+
+    def test_add_vectors_grows_table(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=16)
+        sd.add_vectors(4).add_vectors(3)
+        assert sd.num_vectors == 7
+
+    def test_incremental_equals_one_shot(self, hamiltonian):
+        one_shot = SpectralDensity(hamiltonian, num_moments=16, seed=5)
+        one_shot.add_vectors(10)
+        stepwise = SpectralDensity(hamiltonian, num_moments=16, seed=5)
+        for _ in range(5):
+            stepwise.add_vectors(2)
+        np.testing.assert_allclose(
+            one_shot.moments().mu, stepwise.moments().mu, atol=1e-13
+        )
+
+    def test_matvec_counter(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=16)
+        sd.add_vectors(4)
+        assert sd.matvecs_performed == 15 * 4
+
+    def test_mu0_is_one_for_rademacher(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=8)
+        sd.add_vectors(3)
+        assert sd.moments().mu[0] == pytest.approx(1.0)
+
+
+class TestAddMoments:
+    def test_extends_order(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=8, seed=2)
+        sd.add_vectors(4)
+        sd.add_moments(8)
+        assert sd.num_moments == 16
+        assert sd.moments().mu.shape == (16,)
+
+    def test_low_orders_unchanged(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=8, seed=2)
+        sd.add_vectors(4)
+        before = sd.moments().mu.copy()
+        sd.add_moments(8)
+        np.testing.assert_allclose(sd.moments().mu[:8], before, atol=1e-12)
+
+    def test_counts_replay_cost(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=8, seed=2)
+        sd.add_vectors(4)
+        cost_before = sd.matvecs_performed
+        sd.add_moments(8)
+        assert sd.matvecs_performed == cost_before + 15 * 4
+
+    def test_add_moments_before_vectors(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=8)
+        sd.add_moments(8)
+        sd.add_vectors(2)
+        assert sd.moments().mu.shape == (16,)
+
+
+class TestErrorEstimates:
+    def test_infinite_before_two_vectors(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=8)
+        sd.add_vectors(1)
+        assert sd.density_error_estimate() == float("inf")
+
+    def test_error_shrinks_with_vectors(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=32, seed=0)
+        sd.add_vectors(4)
+        coarse = sd.density_error_estimate()
+        sd.add_vectors(60)
+        fine = sd.density_error_estimate()
+        assert fine < coarse / 2
+
+    def test_refinement_loop_converges_to_exact(self, hamiltonian):
+        scaled, _ = rescale_operator(hamiltonian)
+        reference = exact_moments(scaled, 32)
+        sd = SpectralDensity(hamiltonian, num_moments=32, seed=1)
+        sd.add_vectors(8)
+        while sd.density_error_estimate() > 5e-3 and sd.num_vectors < 512:
+            sd.add_vectors(16)
+        np.testing.assert_allclose(sd.moments().mu, reference, atol=0.03)
+
+
+class TestDos:
+    def test_normalized(self, hamiltonian):
+        sd = SpectralDensity(hamiltonian, num_moments=64, seed=3)
+        sd.add_vectors(16)
+        energies, density = sd.dos(num_points=512)
+        assert np.trapezoid(density, energies) == pytest.approx(1.0, abs=0.02)
+
+    def test_matches_compute_dos_pipeline(self):
+        from repro.kpm import KPMConfig, compute_dos
+
+        h = tight_binding_hamiltonian(chain(64), format="csr")
+        sd = SpectralDensity(h, num_moments=32, seed=7)
+        sd.add_vectors(8)
+        config = KPMConfig(
+            num_moments=32, num_random_vectors=8, num_realizations=1, seed=7
+        )
+        reference = compute_dos(h, config)
+        np.testing.assert_allclose(
+            sd.moments().mu, reference.moments.mu, atol=1e-13
+        )
+        _, density = sd.dos(num_points=reference.config.num_energy_points)
+        np.testing.assert_allclose(density, reference.density, atol=1e-10)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.kpm.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kpm import (
+    available_kernels,
+    dirichlet_kernel,
+    fejer_kernel,
+    get_kernel,
+    jackson_kernel,
+    lanczos_kernel,
+    lorentz_kernel,
+)
+
+
+class TestJackson:
+    def test_g0_is_one(self):
+        assert jackson_kernel(64)[0] == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        g = jackson_kernel(128)
+        assert np.all(np.diff(g) < 0)
+
+    def test_positive(self):
+        assert np.all(jackson_kernel(256) > 0)
+
+    def test_last_coefficient_small(self):
+        g = jackson_kernel(128)
+        assert g[-1] < 0.001
+
+    def test_known_small_case(self):
+        # N=2: g1 = [2 cos(pi/3) + sin(pi/3) cot(pi/3)] / 3
+        #         = [1 + (sqrt(3)/2)(1/sqrt(3))] / 3 = 0.5.
+        g = jackson_kernel(2)
+        assert g[1] == pytest.approx(0.5)
+
+    def test_broadening_matches_theory(self):
+        # Delta at x=0 reconstructs to a peak of width ~ pi/N.
+        from repro.kpm.reconstruct import evaluate_series_at
+
+        n = 128
+        mu = np.ones(n)  # moments of delta(x): T_n(0)... actually delta at 0 has mu_n = T_n(0)
+        mu = np.array([np.cos(n_ * np.pi / 2) for n_ in range(n)])
+        damped = jackson_kernel(n) * mu
+        x = np.linspace(-0.2, 0.2, 2001)
+        f = evaluate_series_at(damped, x)
+        half_max = f.max() / 2
+        width = x[f > half_max][-1] - x[f > half_max][0]
+        sigma_theory = np.pi / n
+        fwhm_theory = 2.355 * sigma_theory
+        assert width == pytest.approx(fwhm_theory, rel=0.25)
+
+
+class TestLorentz:
+    def test_g0_is_one(self):
+        assert lorentz_kernel(64)[0] == pytest.approx(1.0)
+
+    def test_resolution_parameter(self):
+        tight = lorentz_kernel(64, resolution=2.0)
+        loose = lorentz_kernel(64, resolution=6.0)
+        # Larger lambda damps high orders harder.
+        assert loose[32] < tight[32]
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValidationError):
+            lorentz_kernel(64, resolution=0.0)
+
+
+class TestOtherKernels:
+    def test_fejer_linear(self):
+        g = fejer_kernel(4)
+        np.testing.assert_allclose(g, [1.0, 0.75, 0.5, 0.25])
+
+    def test_dirichlet_all_ones(self):
+        np.testing.assert_array_equal(dirichlet_kernel(8), np.ones(8))
+
+    def test_lanczos_bounds_between(self):
+        g = lanczos_kernel(64, smoothing=3)
+        assert g[0] == pytest.approx(1.0)
+        assert np.all(g <= 1.0)
+        assert np.all(g >= 0.0)
+
+    def test_all_kernels_shape_and_g0(self):
+        for name in available_kernels():
+            g = get_kernel(name, 32)
+            assert g.shape == (32,)
+            assert g[0] == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_available_sorted(self):
+        names = available_kernels()
+        assert list(names) == sorted(names)
+        assert "jackson" in names
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValidationError, match="unknown kernel"):
+            get_kernel("bogus", 16)
+
+    def test_kwargs_forwarded(self):
+        g = get_kernel("lorentz", 16, resolution=5.0)
+        np.testing.assert_allclose(g, lorentz_kernel(16, resolution=5.0))
+
+    def test_non_string_name(self):
+        with pytest.raises(ValidationError):
+            get_kernel(42, 16)

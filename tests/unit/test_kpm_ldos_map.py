@@ -1,0 +1,84 @@
+"""Unit tests for repro.kpm.local_dos_map."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kpm import KPMConfig, local_dos, local_dos_map
+from repro.lattice import (
+    anderson_onsite_energies,
+    chain,
+    cubic,
+    tight_binding_hamiltonian,
+)
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return tight_binding_hamiltonian(cubic(4), format="csr")
+
+
+class TestConsistency:
+    def test_matches_single_site_local_dos(self, cube):
+        config = KPMConfig(num_moments=48, num_energy_points=256)
+        energies_grid, single = local_dos(cube, 7, config)
+        probe = energies_grid[50:200:25]
+        mapped = local_dos_map(cube, probe, sites=[7], config=config)
+        reference = np.interp(probe, energies_grid, single)
+        np.testing.assert_allclose(mapped[0], reference, atol=1e-6)
+
+    def test_mean_over_sites_is_trace_dos(self, cube):
+        from repro.kpm import dos_from_moments, exact_moments, rescale_operator
+
+        config = KPMConfig(num_moments=32)
+        probe = np.array([-2.0, 0.0, 1.5])
+        full_map = local_dos_map(cube, probe, config=config)
+        assert full_map.shape == (64, 3)
+        scaled, rescaling = rescale_operator(cube)
+        mu = exact_moments(scaled, 32)
+        from repro.kpm.reconstruct import apply_kernel_damping, evaluate_series_at
+
+        damped = apply_kernel_damping(mu, "jackson")
+        x = rescaling.to_scaled(probe)
+        reference = evaluate_series_at(damped, x) * rescaling.density_jacobian
+        np.testing.assert_allclose(full_map.mean(axis=0), reference, atol=1e-10)
+
+    def test_batch_size_invariant(self, cube):
+        config = KPMConfig(num_moments=24)
+        probe = np.array([0.5])
+        small = local_dos_map(cube, probe, config=config, batch_size=3)
+        large = local_dos_map(cube, probe, config=config, batch_size=64)
+        np.testing.assert_allclose(small, large, atol=1e-12)
+
+    def test_translation_invariance_clean_lattice(self, cube):
+        config = KPMConfig(num_moments=32)
+        full_map = local_dos_map(cube, np.array([0.0, 2.0]), config=config)
+        # Periodic clean lattice: every site identical.
+        np.testing.assert_allclose(
+            full_map, np.broadcast_to(full_map[0], full_map.shape), atol=1e-10
+        )
+
+
+class TestPhysics:
+    def test_disorder_breaks_uniformity(self):
+        lattice = chain(64)
+        eps = anderson_onsite_energies(lattice, 4.0, seed=8)
+        hamiltonian = tight_binding_hamiltonian(lattice, onsite=eps, format="csr")
+        config = KPMConfig(num_moments=48)
+        full_map = local_dos_map(hamiltonian, np.array([0.0]), config=config)
+        spread = full_map[:, 0].std() / full_map[:, 0].mean()
+        assert spread > 0.3  # strongly inhomogeneous
+
+
+class TestValidation:
+    def test_site_out_of_range(self, cube):
+        with pytest.raises(ValidationError):
+            local_dos_map(cube, [0.0], sites=[1000])
+
+    def test_empty_sites(self, cube):
+        with pytest.raises(ValidationError):
+            local_dos_map(cube, [0.0], sites=[])
+
+    def test_energy_outside_band(self, cube):
+        with pytest.raises(ValidationError):
+            local_dos_map(cube, [100.0])

@@ -1,0 +1,189 @@
+"""Unit tests for repro.kpm.moments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SpectrumError, ValidationError
+from repro.kpm import (
+    KPMConfig,
+    MomentData,
+    exact_moments,
+    moments_block,
+    moments_single_vector,
+    rescale_operator,
+    stochastic_moments,
+)
+from repro.lattice import chain, cubic, tight_binding_hamiltonian
+
+
+@pytest.fixture
+def scaled_chain():
+    h = tight_binding_hamiltonian(chain(32), format="csr")
+    scaled, _ = rescale_operator(h)
+    return scaled
+
+
+def chebyshev_reference(operator, r0, n):
+    """O(N D^2) direct reference via eigendecomposition."""
+    dense = operator.to_dense()
+    eigenvalues, vectors = np.linalg.eigh(dense)
+    coeffs = vectors.T @ r0
+    return np.array(
+        [np.sum(coeffs**2 * np.cos(k * np.arccos(np.clip(eigenvalues, -1, 1)))) for k in range(n)]
+    )
+
+
+class TestSingleVector:
+    def test_matches_eigen_reference(self, scaled_chain, rng):
+        r0 = rng.standard_normal(32)
+        mu = moments_single_vector(scaled_chain, r0, 12)
+        np.testing.assert_allclose(mu, chebyshev_reference(scaled_chain, r0, 12), atol=1e-10)
+
+    def test_mu0_is_norm_squared(self, scaled_chain, rng):
+        r0 = rng.standard_normal(32)
+        mu = moments_single_vector(scaled_chain, r0, 3)
+        assert mu[0] == pytest.approx(r0 @ r0)
+
+    def test_single_moment(self, scaled_chain, rng):
+        r0 = rng.standard_normal(32)
+        assert moments_single_vector(scaled_chain, r0, 1).shape == (1,)
+
+    def test_doubling_matches_plain(self, scaled_chain, rng):
+        r0 = rng.standard_normal(32)
+        plain = moments_single_vector(scaled_chain, r0, 17)
+        doubled = moments_single_vector(scaled_chain, r0, 17, use_doubling=True)
+        np.testing.assert_allclose(doubled, plain, atol=1e-10)
+
+    def test_doubling_even_count(self, scaled_chain, rng):
+        r0 = rng.standard_normal(32)
+        plain = moments_single_vector(scaled_chain, r0, 16)
+        doubled = moments_single_vector(scaled_chain, r0, 16, use_doubling=True)
+        np.testing.assert_allclose(doubled, plain, atol=1e-10)
+
+    def test_wrong_vector_length(self, scaled_chain):
+        with pytest.raises(ShapeError):
+            moments_single_vector(scaled_chain, np.ones(5), 4)
+
+    def test_unscaled_operator_diverges(self):
+        h = tight_binding_hamiltonian(chain(32), format="csr")  # spectrum [-2, 2]
+        with pytest.raises(SpectrumError, match="rescale"):
+            moments_single_vector(h, np.ones(32), 200)
+
+
+class TestBlock:
+    def test_matches_single(self, scaled_chain, rng):
+        block = rng.standard_normal((32, 4))
+        mu_block = moments_block(scaled_chain, block, 10)
+        for k in range(4):
+            np.testing.assert_allclose(
+                mu_block[:, k],
+                moments_single_vector(scaled_chain, block[:, k], 10),
+                atol=1e-10,
+            )
+
+    def test_doubling_matches(self, scaled_chain, rng):
+        block = rng.standard_normal((32, 3))
+        plain = moments_block(scaled_chain, block, 9)
+        doubled = moments_block(scaled_chain, block, 9, use_doubling=True)
+        np.testing.assert_allclose(doubled, plain, atol=1e-10)
+
+    def test_shape_check(self, scaled_chain):
+        with pytest.raises(ShapeError):
+            moments_block(scaled_chain, np.ones(32), 4)
+
+    def test_divergence_detected(self):
+        h = tight_binding_hamiltonian(chain(32), format="csr")
+        with pytest.raises(SpectrumError):
+            moments_block(h, np.ones((32, 2)), 200)
+
+
+class TestStochastic:
+    def test_mu0_exactly_one_rademacher(self, scaled_chain):
+        config = KPMConfig(num_moments=4, num_random_vectors=8, num_realizations=2)
+        data = stochastic_moments(scaled_chain, config)
+        assert data.mu[0] == pytest.approx(1.0)
+
+    def test_converges_to_exact(self, scaled_chain):
+        config = KPMConfig(num_moments=16, num_random_vectors=64, num_realizations=4, seed=0)
+        data = stochastic_moments(scaled_chain, config)
+        exact = exact_moments(scaled_chain, 16)
+        np.testing.assert_allclose(data.mu, exact, atol=0.05)
+
+    def test_per_realization_shape(self, scaled_chain, small_config):
+        data = stochastic_moments(scaled_chain, small_config)
+        assert data.per_realization.shape == (2, 32)
+        assert data.num_realizations == 2
+        assert data.num_moments == 32
+
+    def test_grand_mean_is_mean_of_realizations(self, scaled_chain, small_config):
+        data = stochastic_moments(scaled_chain, small_config)
+        np.testing.assert_allclose(data.mu, data.per_realization.mean(axis=0))
+
+    def test_keep_per_vector(self, scaled_chain, small_config):
+        data, per_vector = stochastic_moments(
+            scaled_chain, small_config, keep_per_vector=True
+        )
+        assert per_vector.shape == (2, 8, 32)
+        np.testing.assert_allclose(per_vector.mean(axis=1), data.per_realization)
+
+    def test_seed_determinism(self, scaled_chain, small_config):
+        a = stochastic_moments(scaled_chain, small_config)
+        b = stochastic_moments(scaled_chain, small_config)
+        np.testing.assert_array_equal(a.mu, b.mu)
+
+    def test_different_seeds_differ(self, scaled_chain, small_config):
+        a = stochastic_moments(scaled_chain, small_config)
+        b = stochastic_moments(scaled_chain, small_config.with_updates(seed=99))
+        assert not np.array_equal(a.mu, b.mu)
+
+    def test_requires_config(self, scaled_chain):
+        with pytest.raises(ValidationError):
+            stochastic_moments(scaled_chain, {"num_moments": 8})
+
+    def test_standard_error_zero_single_realization(self, scaled_chain):
+        config = KPMConfig(num_moments=8, num_random_vectors=4, num_realizations=1)
+        data = stochastic_moments(scaled_chain, config)
+        np.testing.assert_array_equal(data.standard_error(), np.zeros(8))
+
+    def test_standard_error_positive(self, scaled_chain):
+        config = KPMConfig(num_moments=8, num_random_vectors=4, num_realizations=4)
+        data = stochastic_moments(scaled_chain, config)
+        assert np.any(data.standard_error() > 0)
+
+
+class TestExactMoments:
+    def test_matches_eigendecomposition(self):
+        h = tight_binding_hamiltonian(cubic(3), format="dense")
+        scaled, rescaling = rescale_operator(h)
+        mu = exact_moments(scaled, 10)
+        eigs = np.linalg.eigvalsh(h.to_dense())
+        x = rescaling.to_scaled(eigs)
+        reference = np.array(
+            [np.mean(np.cos(k * np.arccos(x))) for k in range(10)]
+        )
+        np.testing.assert_allclose(mu, reference, atol=1e-12)
+
+    def test_mu0_exactly_one(self):
+        h = tight_binding_hamiltonian(chain(16), format="csr")
+        scaled, _ = rescale_operator(h)
+        assert exact_moments(scaled, 1)[0] == pytest.approx(1.0)
+
+    def test_chunking_invariant(self):
+        h = tight_binding_hamiltonian(chain(20), format="csr")
+        scaled, _ = rescale_operator(h)
+        np.testing.assert_allclose(
+            exact_moments(scaled, 6, chunk_size=3),
+            exact_moments(scaled, 6, chunk_size=64),
+            atol=1e-12,
+        )
+
+
+class TestMomentData:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            MomentData(
+                mu=np.ones(4),
+                per_realization=np.ones((2, 5)),
+                dimension=10,
+                num_vectors=2,
+            )

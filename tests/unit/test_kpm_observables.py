@@ -1,0 +1,186 @@
+"""Unit tests for repro.kpm.observables — against exact eigen-sums."""
+
+import numpy as np
+import pytest
+
+from repro.ed import exact_eigenvalues
+from repro.errors import ConvergenceError, ValidationError
+from repro.kpm import (
+    chemical_potential,
+    electron_count,
+    exact_moments,
+    fermi_dirac,
+    internal_energy,
+    rescale_operator,
+    spectral_integral,
+)
+from repro.lattice import chain, cubic, tight_binding_hamiltonian
+
+
+@pytest.fixture(scope="module")
+def system():
+    """Exact moments + rescaling + eigenvalues of a dense-spectrum chain.
+
+    The periodic chain's spectrum is dense (spacing ~0.05), so the
+    broadened integrated DoS is smooth and strictly monotone — the
+    regime where electron counting and its inversion are well posed.
+    """
+    h = tight_binding_hamiltonian(chain(256), format="csr")
+    scaled, rescaling = rescale_operator(h)
+    mu = exact_moments(scaled, 512)
+    eigenvalues = exact_eigenvalues(h)
+    return mu, rescaling, eigenvalues
+
+
+class TestFermiDirac:
+    def test_zero_temperature_step(self):
+        occ = fermi_dirac(np.array([-1.0, 0.0, 1.0]), 0.0, 0.0)
+        np.testing.assert_array_equal(occ, [1.0, 0.5, 0.0])
+
+    def test_half_at_mu(self):
+        assert fermi_dirac(2.0, 2.0, 0.5) == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert fermi_dirac(-1e6, 0.0, 1.0) == pytest.approx(1.0)
+        assert fermi_dirac(1e6, 0.0, 1.0) == pytest.approx(0.0)
+
+    def test_no_overflow(self):
+        # Huge arguments must not warn or produce NaN.
+        occ = fermi_dirac(np.array([1e9, -1e9]), 0.0, 1e-6)
+        assert np.all(np.isfinite(occ))
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValidationError):
+            fermi_dirac(0.0, 0.0, -1.0)
+
+    def test_particle_hole_symmetry(self):
+        energies = np.linspace(-3, 3, 11)
+        occ = fermi_dirac(energies, 0.0, 0.7)
+        np.testing.assert_allclose(occ + occ[::-1], np.ones(11))
+
+
+class TestSpectralIntegral:
+    def test_constant_function_gives_mu0(self, system):
+        mu, rescaling, _ = system
+        value = spectral_integral(mu, rescaling, lambda e: np.ones_like(e))
+        assert value == pytest.approx(1.0, abs=1e-10)
+
+    def test_identity_gives_mean_energy(self, system):
+        mu, rescaling, eigenvalues = system
+        value = spectral_integral(mu, rescaling, lambda e: e)
+        assert value == pytest.approx(eigenvalues.mean(), abs=1e-6)
+
+    def test_quadratic_moment_with_jackson_bias(self, system):
+        # Jackson broadening by sigma adds exactly sigma^2 to <E^2>.
+        mu, rescaling, eigenvalues = system
+        value = spectral_integral(mu, rescaling, lambda e: e**2)
+        sigma = np.pi * rescaling.scale / mu.shape[0]
+        assert value == pytest.approx(np.mean(eigenvalues**2) + sigma**2, abs=1e-3)
+
+    def test_quadratic_moment_undamped_exact(self, system):
+        # Without damping the quadrature is exact for polynomials.
+        mu, rescaling, eigenvalues = system
+        value = spectral_integral(mu, rescaling, lambda e: e**2, kernel="dirichlet")
+        assert value == pytest.approx(np.mean(eigenvalues**2), abs=1e-9)
+
+    def test_gaussian_weight(self, system):
+        mu, rescaling, eigenvalues = system
+        value = spectral_integral(mu, rescaling, lambda e: np.exp(-(e**2)))
+        reference = np.mean(np.exp(-(eigenvalues**2)))
+        # Jackson broadening smears each level slightly under the Gaussian.
+        assert value == pytest.approx(reference, abs=5e-3)
+
+    def test_too_few_points_rejected(self, system):
+        mu, rescaling, _ = system
+        with pytest.raises(ValidationError):
+            spectral_integral(mu, rescaling, lambda e: e, num_points=8)
+
+    def test_non_vectorized_func_rejected(self, system):
+        mu, rescaling, _ = system
+        with pytest.raises(ValidationError):
+            spectral_integral(mu, rescaling, lambda e: 1.0)
+
+
+class TestElectronCount:
+    def test_empty_and_full_band(self, system):
+        mu, rescaling, _ = system
+        below = electron_count(mu, rescaling, rescaling.to_original(-0.99))
+        above = electron_count(mu, rescaling, rescaling.to_original(0.99))
+        # Jackson tails leak a little weight past the band edges.
+        assert below == pytest.approx(0.0, abs=0.01)
+        assert above == pytest.approx(1.0, abs=0.01)
+
+    def test_half_filling_at_band_center(self, system):
+        # Zero-diagonal cubic lattice: particle-hole symmetric spectrum.
+        mu, rescaling, _ = system
+        assert electron_count(mu, rescaling, 0.0) == pytest.approx(0.5, abs=2e-3)
+
+    def test_matches_eigenvalue_count(self, system):
+        mu, rescaling, eigenvalues = system
+        for fermi in (-1.0, 0.7):
+            exact = np.mean(eigenvalues < fermi)
+            kpm = electron_count(mu, rescaling, fermi)
+            assert kpm == pytest.approx(exact, abs=0.01)
+
+    def test_temperature_smears_not_shifts(self, system):
+        mu, rescaling, _ = system
+        cold = electron_count(mu, rescaling, 0.0, temperature=0.0)
+        warm = electron_count(mu, rescaling, 0.0, temperature=1.0)
+        assert warm == pytest.approx(cold, abs=5e-3)  # symmetric spectrum
+
+    def test_monotone_in_mu(self, system):
+        mu, rescaling, _ = system
+        counts = [electron_count(mu, rescaling, f) for f in (-3.0, 0.0, 3.0)]
+        assert counts[0] < counts[1] < counts[2]
+
+
+class TestChemicalPotential:
+    def test_inverts_electron_count(self, system):
+        mu, rescaling, _ = system
+        target = 0.3
+        mu_value = chemical_potential(mu, rescaling, target)
+        # n(mu) is a softly-broadened staircase (finite 256-site spectrum),
+        # so the reachable fillings are quantized at the ~1e-4 level.
+        assert electron_count(mu, rescaling, mu_value) == pytest.approx(
+            target, abs=1e-3
+        )
+
+    def test_half_filling_at_zero(self, system):
+        mu, rescaling, _ = system
+        assert chemical_potential(mu, rescaling, 0.5) == pytest.approx(0.0, abs=0.05)
+
+    def test_finite_temperature(self, system):
+        mu, rescaling, _ = system
+        mu_value = chemical_potential(mu, rescaling, 0.25, temperature=0.5)
+        assert electron_count(
+            mu, rescaling, mu_value, temperature=0.5
+        ) == pytest.approx(0.25, abs=1e-6)
+
+    def test_invalid_filling(self, system):
+        mu, rescaling, _ = system
+        with pytest.raises(ValidationError):
+            chemical_potential(mu, rescaling, 1.5)
+
+
+class TestInternalEnergy:
+    def test_full_band_is_trace(self, system):
+        mu, rescaling, eigenvalues = system
+        # The cutoff must clear the band edge (x=0.99 maps exactly onto
+        # the chain's van Hove edge at E=2 and would halve its weight).
+        energy = internal_energy(mu, rescaling, rescaling.to_original(0.999))
+        assert energy == pytest.approx(eigenvalues.mean(), abs=1e-4)
+
+    def test_half_filling_negative(self, system):
+        # Filling the lower half of a symmetric band costs negative energy.
+        mu, rescaling, eigenvalues = system
+        energy = internal_energy(mu, rescaling, 0.0)
+        exact = eigenvalues[eigenvalues < 0].sum() / eigenvalues.size
+        assert energy == pytest.approx(exact, abs=0.02)
+
+    def test_chain_ground_state_energy(self):
+        # Half-filled chain: E/site -> -2/pi in the thermodynamic limit.
+        h = tight_binding_hamiltonian(chain(512), format="csr")
+        scaled, rescaling = rescale_operator(h)
+        mu = exact_moments(scaled, 512)
+        energy = internal_energy(mu, rescaling, 0.0)
+        assert energy == pytest.approx(-2.0 / np.pi, abs=0.01)

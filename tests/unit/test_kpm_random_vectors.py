@@ -1,0 +1,66 @@
+"""Unit tests for repro.kpm.random_vectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kpm import available_vector_kinds, random_block, random_vector
+
+
+class TestRandomVector:
+    def test_rademacher_values(self):
+        v = random_vector(1000, "rademacher", seed=0)
+        assert set(np.unique(v)) <= {-1.0, 1.0}
+
+    def test_rademacher_norm_exact(self):
+        v = random_vector(500, "rademacher", seed=1)
+        assert v @ v == pytest.approx(500.0)
+
+    def test_gaussian_moments(self):
+        v = random_vector(100000, "gaussian", seed=2)
+        assert abs(v.mean()) < 0.02
+        assert v.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_deterministic(self):
+        a = random_vector(64, seed=5, realization=2, vector_index=3)
+        b = random_vector(64, seed=5, realization=2, vector_index=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_independent_of_each_other(self):
+        a = random_vector(64, seed=5, realization=0, vector_index=0)
+        b = random_vector(64, seed=5, realization=0, vector_index=1)
+        c = random_vector(64, seed=5, realization=1, vector_index=0)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown vector kind"):
+            random_vector(10, "cauchy")
+
+    def test_kinds_registry(self):
+        assert set(available_vector_kinds()) == {"rademacher", "gaussian"}
+
+
+class TestRandomBlock:
+    def test_columns_match_single_vectors(self):
+        block = random_block(32, 5, seed=9, realization=1)
+        for k in range(5):
+            np.testing.assert_array_equal(
+                block[:, k],
+                random_vector(32, seed=9, realization=1, vector_index=k),
+            )
+
+    def test_first_vector_offset(self):
+        block = random_block(16, 3, seed=0, first_vector=10)
+        np.testing.assert_array_equal(
+            block[:, 0], random_vector(16, seed=0, vector_index=10)
+        )
+
+    def test_contiguous(self):
+        assert random_block(8, 4).flags["C_CONTIGUOUS"]
+
+    def test_trace_estimator_unbiased_for_identity(self):
+        # <r|I|r>/D must equal 1 exactly for rademacher vectors.
+        block = random_block(64, 10, "rademacher", seed=3)
+        norms = np.einsum("ij,ij->j", block, block) / 64
+        np.testing.assert_allclose(norms, np.ones(10))

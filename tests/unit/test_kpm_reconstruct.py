@@ -1,0 +1,135 @@
+"""Unit tests for repro.kpm.reconstruct."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.kpm import (
+    apply_kernel_damping,
+    chebyshev_grid,
+    dos_from_moments,
+    evaluate_series_at,
+    exact_moments,
+    jackson_kernel,
+    reconstruct_on_chebyshev_grid,
+    rescale_operator,
+)
+from repro.kpm.rescale import Rescaling
+from repro.lattice import chain, tight_binding_hamiltonian
+
+
+class TestApplyKernelDamping:
+    def test_named_kernel(self):
+        mu = np.ones(16)
+        damped = apply_kernel_damping(mu, "jackson")
+        np.testing.assert_allclose(damped, jackson_kernel(16))
+
+    def test_explicit_coefficients(self):
+        mu = np.arange(4, dtype=float)
+        damped = apply_kernel_damping(mu, np.array([1.0, 0.5, 0.25, 0.0]))
+        np.testing.assert_allclose(damped, [0.0, 0.5, 0.5, 0.0])
+
+    def test_coefficient_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            apply_kernel_damping(np.ones(4), np.ones(5))
+
+    def test_accepts_moment_data(self):
+        class FakeMD:
+            mu = np.ones(8)
+
+        damped = apply_kernel_damping(FakeMD(), "dirichlet")
+        np.testing.assert_array_equal(damped, np.ones(8))
+
+    def test_empty_moments_rejected(self):
+        with pytest.raises(ShapeError):
+            apply_kernel_damping(np.empty(0), "jackson")
+
+
+class TestChebyshevGrid:
+    def test_range_and_order(self):
+        x = chebyshev_grid(64)
+        assert np.all(np.diff(x) > 0)
+        assert np.all(np.abs(x) < 1.0)
+
+    def test_symmetry(self):
+        x = chebyshev_grid(32)
+        np.testing.assert_allclose(x, -x[::-1], atol=1e-15)
+
+    def test_values(self):
+        x = chebyshev_grid(2)
+        np.testing.assert_allclose(x, [-np.cos(np.pi / 4), np.cos(np.pi / 4)])
+
+
+class TestReconstructOnGrid:
+    def test_dct_matches_direct_evaluation(self):
+        mu = np.exp(-0.3 * np.arange(24))
+        x, f = reconstruct_on_chebyshev_grid(mu, 64)
+        direct = evaluate_series_at(mu, x)
+        np.testing.assert_allclose(f, direct, atol=1e-12)
+
+    def test_constant_moments_semicircle_weight(self):
+        # mu = [1, 0, 0, ...] -> f(x) = 1 / (pi sqrt(1-x^2)).
+        mu = np.zeros(8)
+        mu[0] = 1.0
+        x, f = reconstruct_on_chebyshev_grid(mu, 128)
+        np.testing.assert_allclose(f, 1.0 / (np.pi * np.sqrt(1 - x**2)), atol=1e-12)
+
+    def test_integral_normalization(self):
+        # integral over [-1,1] of the reconstruction equals mu_0.
+        mu = np.zeros(16)
+        mu[0] = 1.0
+        mu[2] = 0.3
+        x, f = reconstruct_on_chebyshev_grid(mu, 2048)
+        assert np.trapezoid(f, x) == pytest.approx(1.0, abs=1e-3)
+
+    def test_num_points_too_small(self):
+        with pytest.raises(ValidationError):
+            reconstruct_on_chebyshev_grid(np.ones(16), 8)
+
+
+class TestEvaluateSeriesAt:
+    def test_rejects_edge_points(self):
+        with pytest.raises(ValidationError):
+            evaluate_series_at(np.ones(4), [1.0])
+
+    def test_scalar_input(self):
+        out = evaluate_series_at(np.array([1.0, 0.0]), 0.5)
+        assert out.shape == (1,)
+
+    def test_chebyshev_orthogonality(self):
+        # With mu = e_k the series is 2 T_k(x) / (pi sqrt(1-x^2)).
+        mu = np.zeros(6)
+        mu[3] = 1.0
+        x = np.linspace(-0.9, 0.9, 7)
+        expected = 2 * np.cos(3 * np.arccos(x)) / (np.pi * np.sqrt(1 - x**2))
+        np.testing.assert_allclose(evaluate_series_at(mu, x), expected, atol=1e-12)
+
+
+class TestDosFromMoments:
+    def test_chain_matches_analytic(self):
+        h = tight_binding_hamiltonian(chain(256), format="csr")
+        scaled, rescaling = rescale_operator(h)
+        mu = exact_moments(scaled, 256)
+        energies, density = dos_from_moments(mu, rescaling, num_points=1024)
+        # rho(E) = 1/(pi sqrt(4 - E^2)) for the infinite chain.
+        mask = np.abs(energies) < 1.5
+        analytic = 1.0 / (np.pi * np.sqrt(4.0 - energies[mask] ** 2))
+        np.testing.assert_allclose(density[mask], analytic, atol=0.02)
+
+    def test_integral_one(self):
+        h = tight_binding_hamiltonian(chain(64), format="csr")
+        scaled, rescaling = rescale_operator(h)
+        mu = exact_moments(scaled, 64)
+        energies, density = dos_from_moments(mu, rescaling, num_points=512)
+        assert np.trapezoid(density, energies) == pytest.approx(1.0, abs=1e-2)
+
+    def test_requires_rescaling_object(self):
+        with pytest.raises(ValidationError):
+            dos_from_moments(np.ones(8), "not-a-rescaling")
+
+    def test_jacobian_applied(self):
+        mu = np.zeros(4)
+        mu[0] = 1.0
+        _, density_wide = dos_from_moments(mu, Rescaling(4.0, 0.0), kernel="dirichlet", num_points=64)
+        _, density_narrow = dos_from_moments(mu, Rescaling(2.0, 0.0), kernel="dirichlet", num_points=64)
+        np.testing.assert_allclose(density_wide * 2, density_narrow)

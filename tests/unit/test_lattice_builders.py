@@ -1,0 +1,69 @@
+"""Unit tests for repro.lattice.builders."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import chain, cubic, honeycomb_edges, square
+
+
+class TestChain:
+    def test_sites(self):
+        assert chain(16).num_sites == 16
+
+    def test_open(self):
+        assert chain(16, periodic=False).periodic == (False,)
+
+
+class TestSquare:
+    def test_square_default_height(self):
+        assert square(5).dims == (5, 5)
+
+    def test_rectangular(self):
+        assert square(5, 3).dims == (5, 3)
+
+
+class TestCubic:
+    def test_paper_default(self):
+        lattice = cubic()
+        assert lattice.dims == (10, 10, 10)
+        assert lattice.num_sites == 1000
+        assert lattice.periodic == (True, True, True)
+
+    def test_anisotropic(self):
+        assert cubic(4, 5, 6).num_sites == 120
+
+    def test_single_arg_cubes(self):
+        assert cubic(4).dims == (4, 4, 4)
+
+
+class TestHoneycomb:
+    def test_site_count(self):
+        num_sites, i, j = honeycomb_edges(3, 4)
+        assert num_sites == 24
+
+    def test_periodic_bond_count(self):
+        # 3 bonds per unit cell.
+        num_sites, i, j = honeycomb_edges(3, 4, periodic=True)
+        assert len(i) == 3 * 12
+
+    def test_periodic_coordination_three(self):
+        num_sites, i, j = honeycomb_edges(4, 4, periodic=True)
+        counts = np.zeros(num_sites, dtype=int)
+        np.add.at(counts, i, 1)
+        np.add.at(counts, j, 1)
+        np.testing.assert_array_equal(counts, np.full(num_sites, 3))
+
+    def test_bipartite(self):
+        # Every bond connects sublattice 0 to sublattice 1.
+        _, i, j = honeycomb_edges(3, 3, periodic=True)
+        assert np.all(i % 2 == 0)
+        assert np.all(j % 2 == 1)
+
+    def test_open_has_fewer_bonds(self):
+        _, i_per, _ = honeycomb_edges(3, 3, periodic=True)
+        _, i_open, _ = honeycomb_edges(3, 3, periodic=False)
+        assert len(i_open) < len(i_per)
+
+    def test_periodic_needs_two_cells(self):
+        with pytest.raises(ValueError):
+            honeycomb_edges(1, 3, periodic=True)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.lattice.disorder and repro.lattice.graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.lattice import (
+    anderson_onsite_energies,
+    bond_disorder_hoppings,
+    chain,
+    cubic,
+    hamiltonian_from_graph,
+    tight_binding_hamiltonian,
+)
+
+
+class TestAndersonDisorder:
+    def test_shape_from_int(self):
+        eps = anderson_onsite_energies(100, 2.0, seed=1)
+        assert eps.shape == (100,)
+
+    def test_shape_from_lattice(self):
+        eps = anderson_onsite_energies(cubic(3), 2.0, seed=1)
+        assert eps.shape == (27,)
+
+    def test_bounded_by_half_width(self):
+        eps = anderson_onsite_energies(10000, 3.0, seed=2)
+        assert np.all(np.abs(eps) <= 1.5)
+
+    def test_mean_near_zero(self):
+        eps = anderson_onsite_energies(20000, 2.0, seed=3)
+        assert abs(eps.mean()) < 0.05
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            anderson_onsite_energies(50, 1.0, seed=4),
+            anderson_onsite_energies(50, 1.0, seed=4),
+        )
+
+    def test_seed_changes_draw(self):
+        a = anderson_onsite_energies(50, 1.0, seed=4)
+        b = anderson_onsite_energies(50, 1.0, seed=5)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_nonpositive_strength(self):
+        with pytest.raises(ValidationError):
+            anderson_onsite_energies(10, 0.0)
+
+    def test_feeds_hamiltonian_builder(self):
+        lattice = chain(32)
+        eps = anderson_onsite_energies(lattice, 2.0, seed=0)
+        h = tight_binding_hamiltonian(lattice, onsite=eps, format="csr")
+        np.testing.assert_allclose(h.diagonal(), eps)
+        assert h.is_symmetric()
+
+
+class TestBondDisorder:
+    def test_one_hopping_per_bond(self):
+        lattice = cubic(3)
+        hoppings = bond_disorder_hoppings(lattice, seed=0)
+        i, _ = lattice.neighbor_pairs()
+        assert hoppings.shape == i.shape
+
+    def test_range(self):
+        hoppings = bond_disorder_hoppings(chain(1000), mean=-1.0, spread=0.2, seed=1)
+        assert np.all(hoppings <= -0.9)
+        assert np.all(hoppings >= -1.1)
+
+    def test_rejects_non_lattice(self):
+        with pytest.raises(TypeError):
+            bond_disorder_hoppings("nope")
+
+
+class TestGraphHamiltonian:
+    def test_ring_graph_matches_chain(self):
+        import networkx as nx
+
+        g = nx.cycle_graph(8)
+        h_graph = hamiltonian_from_graph(g, format="dense")
+        h_chain = tight_binding_hamiltonian(chain(8), format="dense")
+        np.testing.assert_array_equal(h_graph.to_dense(), h_chain.to_dense())
+
+    def test_edge_weights(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b", t=-2.5)
+        h = hamiltonian_from_graph(g, weight_attr="t", format="dense")
+        assert h.to_dense()[0, 1] == -2.5
+
+    def test_onsite_attr(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("a", eps=1.5)
+        g.add_node("b")
+        g.add_edge("a", "b")
+        h = hamiltonian_from_graph(g, onsite_attr="eps", format="dense")
+        np.testing.assert_array_equal(np.diag(h.to_dense()), [1.5, 0.0])
+
+    def test_self_loops_ignored(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        g.add_edge(0, 1)
+        h = hamiltonian_from_graph(g, format="dense")
+        assert h.to_dense()[0, 0] == 0.0
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValidationError):
+            hamiltonian_from_graph(nx.Graph())
+
+    def test_random_regular_graph_symmetric(self):
+        import networkx as nx
+
+        g = nx.random_regular_graph(3, 20, seed=1)
+        h = hamiltonian_from_graph(g, format="csr")
+        assert h.is_symmetric()
+        np.testing.assert_array_equal(np.sort(h.row_nnz()), np.full(20, 4))

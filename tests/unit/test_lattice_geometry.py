@@ -1,0 +1,136 @@
+"""Unit tests for repro.lattice.Lattice (geometry and indexing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.lattice import Lattice
+
+
+class TestConstruction:
+    def test_num_sites(self):
+        assert Lattice((10, 10, 10)).num_sites == 1000
+
+    def test_single_bool_periodic_broadcast(self):
+        lattice = Lattice((4, 5), periodic=False)
+        assert lattice.periodic == (False, False)
+
+    def test_per_axis_periodic(self):
+        lattice = Lattice((4, 5), periodic=(True, False))
+        assert lattice.periodic == (True, False)
+
+    def test_periodic_flag_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            Lattice((4, 5), periodic=(True,))
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValidationError):
+            Lattice((0, 3))
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(ValidationError):
+            Lattice(())
+
+    def test_periodic_axis_too_short(self):
+        with pytest.raises(ValidationError, match="length >= 3"):
+            Lattice((2,), periodic=True)
+
+    def test_open_short_axis_allowed(self):
+        assert Lattice((2,), periodic=False).num_sites == 2
+
+    def test_equality_and_hash(self):
+        assert Lattice((3, 3)) == Lattice((3, 3))
+        assert Lattice((3, 3)) != Lattice((3, 3), periodic=False)
+        assert hash(Lattice((3, 3))) == hash(Lattice((3, 3)))
+
+
+class TestIndexing:
+    def test_row_major_order(self):
+        lattice = Lattice((10, 10, 10))
+        assert lattice.site_index((1, 2, 3)) == 123
+
+    def test_roundtrip_all_sites(self):
+        lattice = Lattice((3, 4, 5))
+        indices = np.arange(lattice.num_sites)
+        coords = lattice.site_coords(indices)
+        np.testing.assert_array_equal(lattice.site_index(coords), indices)
+
+    def test_scalar_coords_roundtrip(self):
+        lattice = Lattice((4, 4))
+        assert lattice.site_index(lattice.site_coords(7)) == 7
+
+    def test_out_of_range_coord(self):
+        with pytest.raises(ValidationError):
+            Lattice((3, 3)).site_index((3, 0))
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValidationError):
+            Lattice((3, 3)).site_coords(9)
+
+    def test_wrong_coord_width(self):
+        with pytest.raises(ValidationError):
+            Lattice((3, 3)).site_index((1, 2, 3))
+
+    def test_wrap_periodic(self):
+        lattice = Lattice((5,))
+        np.testing.assert_array_equal(lattice.wrap([[-1]]), [[4]])
+        np.testing.assert_array_equal(lattice.wrap([[5]]), [[0]])
+
+    def test_wrap_open_rejects(self):
+        with pytest.raises(ValidationError):
+            Lattice((5,), periodic=False).wrap([[-1]])
+
+
+class TestNeighbors:
+    def test_periodic_chain_bond_count(self):
+        # N sites, N bonds on a ring.
+        lattice = Lattice((8,))
+        i, j = lattice.neighbor_pairs()
+        assert len(i) == 8
+
+    def test_open_chain_bond_count(self):
+        lattice = Lattice((8,), periodic=False)
+        i, j = lattice.neighbor_pairs()
+        assert len(i) == 7
+
+    def test_cubic_periodic_bond_count(self):
+        # 3 bonds per site on a periodic cubic lattice.
+        lattice = Lattice((4, 4, 4))
+        i, j = lattice.neighbor_pairs()
+        assert len(i) == 3 * 64
+
+    def test_no_self_bonds(self):
+        lattice = Lattice((4, 4))
+        i, j = lattice.neighbor_pairs()
+        assert not np.any(i == j)
+
+    def test_no_duplicate_bonds(self):
+        lattice = Lattice((4, 5), periodic=(True, False))
+        i, j = lattice.neighbor_pairs()
+        keys = set(map(tuple, np.sort(np.stack([i, j], axis=1), axis=1)))
+        assert len(keys) == len(i)
+
+    def test_coordination_periodic_cube(self):
+        counts = Lattice((4, 4, 4)).coordination_numbers()
+        np.testing.assert_array_equal(counts, np.full(64, 6))
+
+    def test_coordination_open_chain(self):
+        counts = Lattice((5,), periodic=False).coordination_numbers()
+        np.testing.assert_array_equal(counts, [1, 2, 2, 2, 1])
+
+    def test_coordination_open_square_corners(self):
+        counts = Lattice((3, 3), periodic=False).coordination_numbers()
+        assert counts.min() == 2  # corners
+        assert counts.max() == 4  # center
+
+    def test_length_one_axis_contributes_no_bonds(self):
+        lattice = Lattice((1, 5), periodic=(False, True))
+        i, _ = lattice.neighbor_pairs()
+        assert len(i) == 5
+
+    def test_bonds_are_nearest_neighbors(self):
+        lattice = Lattice((4, 4), periodic=False)
+        i, j = lattice.neighbor_pairs()
+        ci, cj = lattice.site_coords(i), lattice.site_coords(j)
+        manhattan = np.abs(ci - cj).sum(axis=1)
+        np.testing.assert_array_equal(manhattan, np.ones(len(i)))

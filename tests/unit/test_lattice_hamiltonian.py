@@ -1,0 +1,146 @@
+"""Unit tests for repro.lattice.hamiltonian — including the paper's matrix facts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.lattice import (
+    TightBindingModel,
+    chain,
+    cubic,
+    hamiltonian_from_edges,
+    honeycomb_edges,
+    paper_cubic_hamiltonian,
+    tight_binding_hamiltonian,
+)
+from repro.sparse import COOMatrix, CSRMatrix, DenseOperator
+
+
+class TestPaperMatrixFacts:
+    """Pin the Sec. IV-A characterization of the workload matrix."""
+
+    def test_dimension_1000(self):
+        h = paper_cubic_hamiltonian(10, format="csr")
+        assert h.shape == (1000, 1000)
+
+    def test_seven_stored_elements_per_row(self):
+        h = paper_cubic_hamiltonian(5, format="csr")
+        np.testing.assert_array_equal(h.row_nnz(), np.full(125, 7))
+
+    def test_diagonal_all_zero(self):
+        h = paper_cubic_hamiltonian(5, format="csr")
+        np.testing.assert_array_equal(h.diagonal(), np.zeros(125))
+
+    def test_offdiagonal_entries_minus_one(self):
+        h = paper_cubic_hamiltonian(4, format="csr")
+        off = h.data[h.data != 0.0]
+        np.testing.assert_array_equal(off, np.full(off.size, -1.0))
+
+    def test_symmetric(self):
+        assert paper_cubic_hamiltonian(4, format="csr").is_symmetric()
+
+    def test_default_format_dense(self):
+        assert isinstance(paper_cubic_hamiltonian(3), DenseOperator)
+
+    def test_spectrum_in_minus6_6(self):
+        h = paper_cubic_hamiltonian(4, format="dense")
+        eigs = np.linalg.eigvalsh(h.to_dense())
+        assert eigs[0] >= -6.0 - 1e-9
+        assert eigs[-1] <= 6.0 + 1e-9
+
+
+class TestHamiltonianFromEdges:
+    def test_hermitian_partner_added(self):
+        h = hamiltonian_from_edges(3, [0], [1], hopping=-2.0, format="dense")
+        dense = h.to_dense()
+        assert dense[0, 1] == -2.0
+        assert dense[1, 0] == -2.0
+
+    def test_per_bond_hoppings(self):
+        h = hamiltonian_from_edges(
+            3, [0, 1], [1, 2], hopping=[-1.0, -3.0], format="dense"
+        )
+        assert h.to_dense()[1, 2] == -3.0
+
+    def test_per_site_onsite(self):
+        h = hamiltonian_from_edges(
+            2, [0], [1], onsite=[0.5, -0.5], format="dense"
+        )
+        np.testing.assert_array_equal(np.diag(h.to_dense()), [0.5, -0.5])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError, match="self-loop"):
+            hamiltonian_from_edges(2, [0], [0])
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(ValidationError):
+            hamiltonian_from_edges(2, [0], [5])
+
+    def test_store_diagonal_false_drops_zero_diagonal(self):
+        h = hamiltonian_from_edges(3, [0], [1], store_diagonal=False, format="csr")
+        assert h.nnz_stored == 2
+
+    def test_store_diagonal_false_keeps_nonzero_onsite(self):
+        h = hamiltonian_from_edges(
+            3, [0], [1], onsite=[0.0, 1.0, 0.0], store_diagonal=False, format="csr"
+        )
+        assert h.nnz_stored == 3
+
+    def test_format_coo(self):
+        h = hamiltonian_from_edges(2, [0], [1], format="coo")
+        assert isinstance(h, COOMatrix)
+
+    def test_unknown_format(self):
+        with pytest.raises(ValidationError):
+            hamiltonian_from_edges(2, [0], [1], format="csc")
+
+    def test_wrong_hopping_length(self):
+        with pytest.raises(ShapeError):
+            hamiltonian_from_edges(3, [0, 1], [1, 2], hopping=[1.0])
+
+    def test_duplicate_bond_amplitudes_sum(self):
+        h = hamiltonian_from_edges(2, [0, 0], [1, 1], hopping=-1.0, format="dense")
+        assert h.to_dense()[0, 1] == -2.0
+
+
+class TestTightBindingModel:
+    def test_formats_agree(self):
+        model = TightBindingModel(chain(8))
+        np.testing.assert_array_equal(
+            model.build("csr").to_dense(), model.build("dense").to_dense()
+        )
+
+    def test_chain_matrix_structure(self):
+        h = tight_binding_hamiltonian(chain(4, periodic=False), format="dense")
+        expected = np.array(
+            [
+                [0.0, -1.0, 0.0, 0.0],
+                [-1.0, 0.0, -1.0, 0.0],
+                [0.0, -1.0, 0.0, -1.0],
+                [0.0, 0.0, -1.0, 0.0],
+            ]
+        )
+        np.testing.assert_array_equal(h.to_dense(), expected)
+
+    def test_chain_eigenvalues_analytic(self):
+        # Periodic chain: E_k = -2 cos(2 pi k / L) for hopping -1.
+        h = tight_binding_hamiltonian(chain(12), format="dense")
+        eigs = np.sort(np.linalg.eigvalsh(h.to_dense()))
+        k = np.arange(12)
+        expected = np.sort(-2.0 * np.cos(2.0 * np.pi * k / 12))
+        np.testing.assert_allclose(eigs, expected, atol=1e-12)
+
+    def test_rejects_non_lattice(self):
+        with pytest.raises(ValidationError):
+            tight_binding_hamiltonian(np.eye(3))
+
+    def test_num_sites(self):
+        assert TightBindingModel(cubic(3)).num_sites() == 27
+
+    def test_honeycomb_edges_feed_builder(self):
+        num_sites, i, j = honeycomb_edges(3, 3, periodic=True)
+        h = hamiltonian_from_edges(num_sites, i, j, format="csr")
+        assert h.is_symmetric()
+        # Graphene spectrum is symmetric about zero (bipartite lattice).
+        eigs = np.linalg.eigvalsh(h.to_dense())
+        np.testing.assert_allclose(eigs, -eigs[::-1], atol=1e-10)

@@ -1,0 +1,74 @@
+"""Unit tests for the kagome builder — pinned by its exact flat band."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import hamiltonian_from_edges, kagome_edges
+
+
+class TestKagomeGeometry:
+    def test_site_count(self):
+        num_sites, _, _ = kagome_edges(4, 5)
+        assert num_sites == 60
+
+    def test_periodic_bond_count(self):
+        # 6 bonds per 3-site unit cell (coordination 4).
+        num_sites, i, _ = kagome_edges(4, 4, periodic=True)
+        assert len(i) == 6 * 16
+
+    def test_coordination_four(self):
+        num_sites, i, j = kagome_edges(5, 5, periodic=True)
+        counts = np.zeros(num_sites, dtype=int)
+        np.add.at(counts, i, 1)
+        np.add.at(counts, j, 1)
+        np.testing.assert_array_equal(counts, np.full(num_sites, 4))
+
+    def test_no_self_loops_or_duplicates(self):
+        _, i, j = kagome_edges(4, 4, periodic=True)
+        assert not np.any(i == j)
+        keys = set(map(tuple, np.sort(np.stack([i, j], axis=1), axis=1)))
+        assert len(keys) == len(i)
+
+    def test_open_has_fewer_bonds(self):
+        _, i_per, _ = kagome_edges(4, 4, periodic=True)
+        _, i_open, _ = kagome_edges(4, 4, periodic=False)
+        assert len(i_open) < len(i_per)
+
+    def test_periodic_needs_two_cells(self):
+        with pytest.raises(ValueError):
+            kagome_edges(1, 4, periodic=True)
+
+
+class TestKagomePhysics:
+    @pytest.fixture(scope="class")
+    def spectrum(self):
+        num_sites, i, j = kagome_edges(6, 6, periodic=True)
+        h = hamiltonian_from_edges(num_sites, i, j, format="dense")
+        return num_sites, np.linalg.eigvalsh(h.to_dense())
+
+    def test_flat_band_at_plus_two(self, spectrum):
+        # One third of all states sit exactly at E = -2t = +2 (plus the
+        # band-touching state of the periodic cluster).
+        num_sites, eigenvalues = spectrum
+        flat = np.sum(np.abs(eigenvalues - 2.0) < 1e-8)
+        assert flat == num_sites // 3 + 1
+
+    def test_band_bottom_at_minus_four(self, spectrum):
+        _, eigenvalues = spectrum
+        assert eigenvalues[0] == pytest.approx(-4.0, abs=1e-10)
+
+    def test_nothing_above_flat_band(self, spectrum):
+        _, eigenvalues = spectrum
+        assert eigenvalues[-1] <= 2.0 + 1e-10
+
+    def test_kpm_sees_flat_band_peak(self):
+        from repro.kpm import KPMConfig, compute_dos
+
+        num_sites, i, j = kagome_edges(12, 12, periodic=True)
+        h = hamiltonian_from_edges(num_sites, i, j, format="csr")
+        config = KPMConfig(num_moments=128, num_random_vectors=16, seed=1)
+        result = compute_dos(h, config)
+        at_flat = result.evaluate(np.array([2.0]))[0]
+        in_bulk = result.evaluate(np.array([-1.0]))[0]
+        # The delta-function band dwarfs the dispersive bands.
+        assert at_flat > 5.0 * in_bulk

@@ -1,0 +1,107 @@
+"""Edge-path tests: IO symmetric arrays, dense-input variants, CLI bench."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kpm import (
+    KPMConfig,
+    current_operator_from_edges,
+    evolve_state,
+    kubo_greenwood_conductivity,
+)
+from repro.lattice import chain, tight_binding_hamiltonian
+from repro.sparse import DenseOperator, read_matrix_market
+
+
+class TestMatrixMarketSymmetricArray:
+    def test_symmetric_array_form_expanded(self):
+        text = (
+            "%%MatrixMarket matrix array real symmetric\n"
+            "2 2\n"
+            "1.0\n"
+            "3.0\n"
+            "0.0\n"
+            "2.0\n"
+        )
+        out = read_matrix_market(io.StringIO(text), format="dense")
+        np.testing.assert_array_equal(
+            out.to_dense(), np.array([[1.0, 3.0], [3.0, 2.0]])
+        )
+
+    def test_comment_lines_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "2 2 1\n"
+            "1 2 5.0\n"
+        )
+        out = read_matrix_market(io.StringIO(text))
+        assert out.to_dense()[0, 1] == 5.0
+
+    def test_array_body_wrong_length(self):
+        text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n"
+        with pytest.raises(ValidationError):
+            read_matrix_market(io.StringIO(text), format="dense")
+
+
+class TestDenseInputVariants:
+    def test_evolution_accepts_raw_ndarray(self, rng):
+        dense = tight_binding_hamiltonian(chain(12), format="dense").to_dense()
+        psi0 = rng.standard_normal(12)
+        evolved = evolve_state(dense, psi0, 1.0)
+        assert abs(np.linalg.norm(evolved) - np.linalg.norm(psi0)) < 1e-9
+
+    def test_conductivity_dense_current(self):
+        lattice_h = tight_binding_hamiltonian(chain(24), format="csr")
+        current = current_operator_from_edges(
+            24,
+            np.arange(24),
+            (np.arange(24) + 1) % 24,
+            np.ones(24),
+            format="dense",
+        )
+        assert isinstance(current, DenseOperator)
+        config = KPMConfig(num_moments=8, num_random_vectors=4, seed=0)
+        sigma = kubo_greenwood_conductivity(
+            lattice_h, current, np.array([0.0]), config
+        )
+        assert sigma[0] > 0
+
+    def test_current_operator_bad_format(self):
+        with pytest.raises(ValidationError):
+            current_operator_from_edges(4, [0], [1], [1.0], format="csc")
+
+
+class TestCliBenchCsv:
+    def test_bench_with_csv_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "fig5", "--no-plots", "--csv-dir", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "fig5.csv").exists()
+
+
+class TestDosResultEdges:
+    def test_evaluate_rejects_out_of_band(self, chain_csr, small_config):
+        from repro.kpm import compute_dos
+
+        result = compute_dos(chain_csr, small_config)
+        with pytest.raises(ValidationError):
+            result.evaluate(np.array([50.0]))
+
+    def test_lorentz_kernel_kwargs_through_dos(self, chain_csr):
+        from repro.kpm import dos_from_moments, exact_moments, rescale_operator
+
+        scaled, rescaling = rescale_operator(chain_csr)
+        mu = exact_moments(scaled, 32)
+        _, tight = dos_from_moments(
+            mu, rescaling, kernel="lorentz", num_points=128, resolution=2.0
+        )
+        _, loose = dos_from_moments(
+            mu, rescaling, kernel="lorentz", num_points=128, resolution=6.0
+        )
+        assert not np.allclose(tight, loose)

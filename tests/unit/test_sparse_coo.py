@@ -1,0 +1,102 @@
+"""Unit tests for repro.sparse.COOMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.sparse import COOMatrix
+
+
+def make_simple():
+    # [[1, 2], [0, 3]]
+    return COOMatrix([0, 0, 1], [0, 1, 1], [1.0, 2.0, 3.0], (2, 2))
+
+
+class TestConstruction:
+    def test_basic(self):
+        coo = make_simple()
+        assert coo.shape == (2, 2)
+        assert coo.nnz_stored == 3
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ShapeError):
+            COOMatrix([0], [0, 1], [1.0, 2.0], (2, 2))
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([2], [0], [1.0], (2, 2))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([0], [5], [1.0], (2, 2))
+
+    def test_negative_index(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([-1], [0], [1.0], (2, 2))
+
+    def test_nonfinite_value(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([0], [0], [np.nan], (2, 2))
+
+    def test_bad_shape(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([], [], [], (0, 2))
+
+    def test_empty_matrix_ok(self):
+        coo = COOMatrix([], [], [], (3, 3))
+        assert coo.nnz_stored == 0
+        np.testing.assert_array_equal(coo.to_dense(), np.zeros((3, 3)))
+
+
+class TestDuplicates:
+    def test_sum_duplicates_merges(self):
+        coo = COOMatrix([0, 0, 0], [1, 1, 0], [1.0, 2.0, 5.0], (2, 2))
+        merged = coo.sum_duplicates()
+        assert merged.nnz_stored == 2
+        dense = merged.to_dense()
+        assert dense[0, 1] == 3.0
+        assert dense[0, 0] == 5.0
+
+    def test_sum_duplicates_idempotent(self):
+        merged = make_simple().sum_duplicates()
+        assert merged.sum_duplicates() is merged
+
+    def test_to_dense_sums_duplicates(self):
+        coo = COOMatrix([1, 1], [0, 0], [2.0, 3.0], (2, 2))
+        assert coo.to_dense()[1, 0] == 5.0
+
+    def test_eliminate_zeros(self):
+        coo = COOMatrix([0, 0, 1], [0, 0, 1], [1.0, -1.0, 2.0], (2, 2))
+        cleaned = coo.eliminate_zeros()
+        assert cleaned.nnz_stored == 1
+        assert cleaned.to_dense()[1, 1] == 2.0
+
+
+class TestConversions:
+    def test_to_csr_roundtrip(self):
+        coo = make_simple()
+        np.testing.assert_array_equal(coo.to_csr().to_dense(), coo.to_dense())
+
+    def test_to_csr_with_empty_rows(self):
+        coo = COOMatrix([0, 3], [1, 2], [4.0, 5.0], (4, 4))
+        csr = coo.to_csr()
+        np.testing.assert_array_equal(csr.row_nnz(), [1, 0, 0, 1])
+        np.testing.assert_array_equal(csr.to_dense(), coo.to_dense())
+
+    def test_transpose(self):
+        coo = make_simple()
+        np.testing.assert_array_equal(coo.transpose().to_dense(), coo.to_dense().T)
+
+    def test_transpose_rectangular(self):
+        coo = COOMatrix([0], [2], [1.0], (2, 3))
+        assert coo.transpose().shape == (3, 2)
+
+    def test_matches_scipy(self, rng):
+        import scipy.sparse as sp
+
+        dense = rng.random((7, 5))
+        dense[dense < 0.6] = 0.0
+        rows, cols = np.nonzero(dense)
+        coo = COOMatrix(rows, cols, dense[rows, cols], dense.shape)
+        reference = sp.coo_matrix((dense[rows, cols], (rows, cols)), shape=dense.shape)
+        np.testing.assert_allclose(coo.to_csr().to_dense(), reference.toarray())

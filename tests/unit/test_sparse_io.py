@@ -1,0 +1,152 @@
+"""Unit tests for repro.sparse.io (MatrixMarket), cross-checked vs scipy."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.lattice import cubic, tight_binding_hamiltonian
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    DenseOperator,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+def roundtrip(matrix, **read_kwargs):
+    buffer = io.StringIO()
+    write_matrix_market(matrix, buffer)
+    buffer.seek(0)
+    return read_matrix_market(buffer, **read_kwargs)
+
+
+class TestCoordinateRoundtrip:
+    def test_csr_symmetric(self):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        out = roundtrip(h)
+        np.testing.assert_array_equal(out.to_dense(), h.to_dense())
+
+    def test_general_nonsymmetric(self):
+        coo = COOMatrix([0, 1], [1, 2], [3.5, -1.25], (3, 4))
+        out = roundtrip(coo, format="coo")
+        np.testing.assert_array_equal(out.to_dense(), coo.to_dense())
+
+    def test_symmetric_header_written(self):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        buffer = io.StringIO()
+        write_matrix_market(h, buffer)
+        assert "coordinate real symmetric" in buffer.getvalue().splitlines()[0]
+
+    def test_symmetric_stores_lower_triangle_only(self):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        buffer = io.StringIO()
+        write_matrix_market(h, buffer)
+        header_counts = buffer.getvalue().splitlines()[1].split()
+        stored = int(header_counts[2])
+        # diag (27 explicit zeros) + one copy of each of 81 bonds
+        assert stored == 27 + 81
+
+    def test_forced_general(self):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        buffer = io.StringIO()
+        write_matrix_market(h, buffer, symmetric=False)
+        assert "general" in buffer.getvalue().splitlines()[0]
+        buffer.seek(0)
+        out = read_matrix_market(buffer)
+        np.testing.assert_array_equal(out.to_dense(), h.to_dense())
+
+    def test_values_exact(self):
+        coo = COOMatrix([0], [0], [0.1 + 0.2], (1, 1))
+        out = roundtrip(coo)
+        assert out.to_dense()[0, 0] == 0.1 + 0.2
+
+    def test_empty_matrix(self):
+        coo = COOMatrix([], [], [], (3, 3))
+        out = roundtrip(coo, format="coo")
+        assert out.nnz_stored == 0
+
+    def test_formats(self):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        assert isinstance(roundtrip(h, format="csr"), CSRMatrix)
+        assert isinstance(roundtrip(h, format="coo"), COOMatrix)
+        assert isinstance(roundtrip(h, format="dense"), DenseOperator)
+
+
+class TestArrayRoundtrip:
+    def test_dense_operator(self, rng):
+        dense = DenseOperator(rng.standard_normal((3, 5)))
+        out = roundtrip(dense, format="dense")
+        np.testing.assert_array_equal(out.to_dense(), dense.to_dense())
+
+    def test_raw_ndarray(self, rng):
+        arr = rng.standard_normal((4, 2))
+        buffer = io.StringIO()
+        write_matrix_market(arr, buffer)
+        buffer.seek(0)
+        out = read_matrix_market(buffer, format="dense")
+        np.testing.assert_array_equal(out.to_dense(), arr)
+
+
+class TestScipyInterop:
+    def test_scipy_reads_our_coordinate_files(self):
+        import scipy.io as sio
+
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        buffer = io.StringIO()
+        write_matrix_market(h, buffer)
+        buffer.seek(0)
+        reference = sio.mmread(buffer)
+        np.testing.assert_allclose(reference.toarray(), h.to_dense())
+
+    def test_we_read_scipy_files(self, rng):
+        import scipy.io as sio
+        import scipy.sparse as sp
+
+        dense = rng.standard_normal((6, 6))
+        dense[np.abs(dense) < 1.0] = 0.0
+        buffer = io.BytesIO()
+        sio.mmwrite(buffer, sp.coo_matrix(dense))
+        text = io.StringIO(buffer.getvalue().decode())
+        out = read_matrix_market(text)
+        np.testing.assert_allclose(out.to_dense(), dense)
+
+
+class TestFileRoundtrip:
+    def test_path_based(self, tmp_path):
+        h = tight_binding_hamiltonian(cubic(3), format="csr")
+        path = tmp_path / "h.mtx"
+        write_matrix_market(h, str(path))
+        out = read_matrix_market(str(path))
+        np.testing.assert_array_equal(out.to_dense(), h.to_dense())
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(ValidationError, match="not a MatrixMarket header"):
+            read_matrix_market(io.StringIO("nope\n"))
+
+    def test_complex_rejected(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n"
+        with pytest.raises(ValidationError, match="only real"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_bad_symmetry(self):
+        text = "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"
+        with pytest.raises(ValidationError, match="unsupported symmetry"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_truncated_body(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        with pytest.raises(ValidationError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unknown_format_arg(self):
+        with pytest.raises(ValidationError):
+            read_matrix_market(io.StringIO(""), format="csc")
+
+    def test_unwritable_type(self):
+        with pytest.raises(ValidationError):
+            write_matrix_market("nope", io.StringIO())

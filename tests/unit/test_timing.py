@@ -1,0 +1,38 @@
+"""Unit tests for repro.timing."""
+
+import time
+
+from repro.timing import TimingReport, WallTimer
+
+
+class TestWallTimer:
+    def test_measures_elapsed(self):
+        with WallTimer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+
+    def test_zero_before_use(self):
+        assert WallTimer().seconds == 0.0
+
+
+class TestTimingReport:
+    def test_summary_with_model(self):
+        report = TimingReport(
+            backend="gpu-sim",
+            device="Tesla",
+            modeled_seconds=1.5,
+            wall_seconds=0.25,
+        )
+        text = report.summary()
+        assert "backend=gpu-sim" in text
+        assert "modeled=1.50 s" in text
+        assert "wall=250.00 ms" in text
+
+    def test_summary_without_model(self):
+        report = TimingReport(backend="numpy", wall_seconds=0.001)
+        text = report.summary()
+        assert "modeled" not in text
+        assert "device" not in text
+
+    def test_breakdown_default_empty(self):
+        assert TimingReport(backend="x").breakdown == {}

@@ -1,0 +1,57 @@
+"""Unit tests for repro.util.format."""
+
+from repro.util.format import format_bytes, format_count, format_seconds
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_mib(self):
+        assert format_bytes(8 * 1024 * 1024) == "8.00 MiB"
+
+    def test_gib(self):
+        assert format_bytes(3 * 1024**3) == "3.00 GiB"
+
+    def test_negative(self):
+        assert format_bytes(-2048) == "-2.00 KiB"
+
+
+class TestFormatSeconds:
+    def test_zero(self):
+        assert format_seconds(0) == "0 s"
+
+    def test_nanoseconds(self):
+        assert format_seconds(5e-9) == "5.00 ns"
+
+    def test_microseconds(self):
+        assert format_seconds(7.5e-6) == "7.50 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0032) == "3.20 ms"
+
+    def test_seconds(self):
+        assert format_seconds(12.5) == "12.50 s"
+
+    def test_minutes(self):
+        assert format_seconds(150) == "2m30.0s"
+
+    def test_negative(self):
+        assert format_seconds(-0.001) == "-1.00 ms"
+
+
+class TestFormatCount:
+    def test_small_integer(self):
+        assert format_count(42) == "42"
+
+    def test_kilo(self):
+        assert format_count(20000) == "20.00 K"
+
+    def test_giga(self):
+        assert format_count(1.79e9) == "1.79 G"
+
+    def test_fractional(self):
+        assert format_count(0.5) == "0.50"

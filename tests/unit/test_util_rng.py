@@ -1,0 +1,71 @@
+"""Unit tests for repro.util.rng — the determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import normalize_seed, philox_stream, spawn_seeds
+
+
+class TestNormalizeSeed:
+    def test_none_maps_to_default(self):
+        assert normalize_seed(None) == 0
+
+    def test_passthrough(self):
+        assert normalize_seed(42) == 42
+
+    def test_rejects_negative(self):
+        with pytest.raises(Exception):
+            normalize_seed(-1)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            normalize_seed(2**63)
+
+
+class TestPhiloxStream:
+    def test_same_key_same_stream(self):
+        a = philox_stream(1, 2, 3).standard_normal(16)
+        b = philox_stream(1, 2, 3).standard_normal(16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_key_different_stream(self):
+        a = philox_stream(1, 2, 3).standard_normal(16)
+        b = philox_stream(1, 2, 4).standard_normal(16)
+        assert not np.array_equal(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = philox_stream(1, 2).standard_normal(16)
+        b = philox_stream(2, 2).standard_normal(16)
+        assert not np.array_equal(a, b)
+
+    def test_key_order_matters(self):
+        a = philox_stream(0, 1, 2).standard_normal(8)
+        b = philox_stream(0, 2, 1).standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_too_many_key_components(self):
+        with pytest.raises(ValueError, match="at most 3"):
+            philox_stream(0, 1, 2, 3, 4)
+
+    def test_streams_do_not_interfere(self):
+        # Consuming one stream must not advance another with the same key.
+        first = philox_stream(5, 1)
+        first.standard_normal(100)
+        again = philox_stream(5, 1).standard_normal(4)
+        reference = philox_stream(5, 1).standard_normal(4)
+        np.testing.assert_array_equal(again, reference)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(9, 5) == spawn_seeds(9, 5)
+
+    def test_distinct_children(self):
+        children = spawn_seeds(0, 50)
+        assert len(set(children)) == 50
+
+    def test_count_zero(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_all_in_range(self):
+        assert all(0 <= s < 2**63 for s in spawn_seeds(3, 20))

@@ -1,0 +1,127 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.util.validation import (
+    as_float64_array,
+    check_choice,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_square_2d,
+    check_vector,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_python_int(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="must be positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="must be positive"):
+            check_positive_int(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="must be an integer"):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError, match="must be an integer"):
+            check_positive_int(2.5, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValidationError, match="num_moments"):
+            check_positive_int(-1, "num_moments")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative_int(-1, "x")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_int_input(self):
+        assert check_positive_float(2, "x") == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_float(0.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive_float(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive_float(float("inf"), "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            check_positive_float("abc", "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_endpoints_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestCheckChoice:
+    def test_accepts_member(self):
+        assert check_choice("a", "x", ("a", "b")) == "a"
+
+    def test_rejects_non_member_and_lists_options(self):
+        with pytest.raises(ValidationError, match="'a', 'b'"):
+            check_choice("c", "x", ("a", "b"))
+
+
+class TestArrayChecks:
+    def test_square_2d_accepts_square(self):
+        arr = check_square_2d(np.eye(3), "m")
+        assert arr.shape == (3, 3)
+
+    def test_square_2d_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            check_square_2d(np.ones((2, 3)), "m")
+
+    def test_square_2d_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_square_2d(np.ones(4), "m")
+
+    def test_vector_length_check(self):
+        with pytest.raises(ShapeError, match="length 5"):
+            check_vector(np.ones(4), "v", length=5)
+
+    def test_vector_accepts(self):
+        assert check_vector([1, 2, 3], "v", length=3).shape == (3,)
+
+    def test_as_float64_converts(self):
+        out = as_float64_array([1, 2], "a")
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_as_float64_rejects_complex(self):
+        with pytest.raises(ValidationError, match="real-valued"):
+            as_float64_array(np.array([1j]), "a")
