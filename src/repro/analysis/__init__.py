@@ -1,0 +1,49 @@
+"""Static contract checker for the KPM reproduction.
+
+The library's correctness rests on invariants the test suite can only
+spot-check: the per-``(seed, s, r)`` Philox determinism contract behind
+the stochastic trace estimator, the all-float64 precision contract of
+the paper's dense GPU runs, the ``num_blocks = ceil(R*S / BLOCK_SIZE)``
+launch discipline, and the uniform error taxonomy / validated public
+surface that make failures catchable.  This package machine-checks them
+with stdlib :mod:`ast` — no third-party dependencies.
+
+Run it with ``python -m repro.analysis src/repro``; see
+``docs/ANALYSIS.md`` for the rule catalogue and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cli import main, run_analysis
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    Suppressions,
+    collect_files,
+    load_module,
+    run_rules,
+)
+from repro.analysis.report import Baseline, Report, render_json, render_text
+from repro.analysis.rules import ALL_RULES, resolve_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "Baseline",
+    "Finding",
+    "Report",
+    "Rule",
+    "SourceModule",
+    "Suppressions",
+    "collect_files",
+    "load_config",
+    "load_module",
+    "main",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "run_analysis",
+    "run_rules",
+]

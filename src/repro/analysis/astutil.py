@@ -1,0 +1,133 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "dotted_name",
+    "module_all",
+    "module_import_aliases",
+    "toplevel_defined_names",
+    "has_star_import",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_import_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Local names that refer to ``module`` (e.g. ``numpy`` -> {"np"}).
+
+    Covers ``import numpy``, ``import numpy as np``, and
+    ``from <parent> import <leaf> [as alias]`` where the joined path
+    equals ``module``.  Submodule imports (``import numpy.random``)
+    expose the *top* package name, which is what attribute chains start
+    with, so that is what gets recorded.
+    """
+    wanted_parts = module.split(".")
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == module:
+                    aliases.add(item.asname or module.split(".")[0])
+                elif item.asname is None and item.name.split(".")[0] == module:
+                    aliases.add(module)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for item in node.names:
+                full = node.module.split(".") + [item.name]
+                if full == wanted_parts:
+                    aliases.add(item.asname or item.name)
+    return aliases
+
+
+def toplevel_defined_names(tree: ast.Module) -> set[str]:
+    """Names bound at module level (defs, classes, assignments, imports).
+
+    Descends into top-level ``if``/``try`` bodies (``TYPE_CHECKING``
+    guards, optional imports) but not into functions or classes.
+    """
+    names: set[str] = set()
+
+    def visit_body(body: list[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    _collect_targets(target, names)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                _collect_targets(node.target, names)
+            elif isinstance(node, ast.Import):
+                for item in node.names:
+                    names.add(item.asname or item.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for item in node.names:
+                    if item.name != "*":
+                        names.add(item.asname or item.name)
+            elif isinstance(node, ast.If):
+                visit_body(node.body)
+                visit_body(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit_body(node.body)
+                for handler in node.handlers:
+                    visit_body(handler.body)
+                visit_body(node.orelse)
+                visit_body(node.finalbody)
+
+    visit_body(tree.body)
+    return names
+
+
+def _collect_targets(target: ast.AST, names: set[str]) -> None:
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _collect_targets(element, names)
+
+
+def module_all(tree: ast.Module) -> tuple[ast.AST, list[str]] | None:
+    """The module's ``__all__`` node and names, or ``None``.
+
+    Only literal list/tuple assignments are understood; augmented or
+    computed ``__all__`` forms return ``None`` (rules then skip the
+    checks that need it).
+    """
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            continue
+        if not isinstance(node.value, (ast.List, ast.Tuple)):
+            return None
+        names: list[str] = []
+        for element in node.value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append(element.value)
+            else:
+                return None
+        return node, names
+    return None
+
+
+def has_star_import(tree: ast.Module) -> bool:
+    """True if the module contains a ``from x import *``."""
+    return any(
+        isinstance(node, ast.ImportFrom)
+        and any(item.name == "*" for item in node.names)
+        for node in ast.walk(tree)
+    )

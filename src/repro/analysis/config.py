@@ -1,0 +1,129 @@
+"""Checker configuration, overridable from ``pyproject.toml``.
+
+The defaults encode this repository's layout; projects can re-point them
+through a ``[tool.repro-analysis]`` table::
+
+    [tool.repro-analysis]
+    select = ["RA001", "RA002"]          # enabled rules (default: all)
+    ignore = []                          # rules to drop from the selection
+    hot-path-modules = ["kpm/*", "gpukpm/*", "sparse/*", "gpu/*"]
+    rng-allowed = ["util/rng.py"]
+    validated-packages = ["kpm/*", "gpukpm/*", "sparse/*"]
+    trusted-validators = ["as_operator"]
+    baseline = "analysis-baseline.json"
+
+Path-shaped options are glob patterns matched against paths relative to
+the scan root; a pattern also matches with any leading directories, so
+``kpm/*`` covers both ``kpm/config.py`` (scanning ``src/repro``) and
+``src/repro/kpm/config.py`` (scanning the repository root).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, replace
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+__all__ = ["AnalysisConfig", "load_config", "match_path"]
+
+#: Array constructors whose missing ``dtype=`` RA003 reports.
+DEFAULT_DTYPE_FUNCTIONS = ("zeros", "empty", "ones", "asarray", "full")
+
+#: Call names RA005 accepts as validation evidence besides ``check_*``.
+#: Each is a public entry point that fully validates what it receives.
+DEFAULT_TRUSTED_VALIDATORS = (
+    "as_float64_array",
+    "as_operator",
+    "as_dim3",
+    "plan_grid",
+    "rescale_operator",
+)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Resolved checker settings (see the module docstring for the TOML form)."""
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    hot_path_modules: tuple[str, ...] = ("kpm/*", "gpukpm/*", "sparse/*", "gpu/*")
+    rng_allowed: tuple[str, ...] = ("util/rng.py",)
+    validated_packages: tuple[str, ...] = ("kpm/*", "gpukpm/*", "sparse/*")
+    dtype_functions: tuple[str, ...] = DEFAULT_DTYPE_FUNCTIONS
+    trusted_validators: tuple[str, ...] = DEFAULT_TRUSTED_VALIDATORS
+    baseline: str | None = None
+
+    def with_updates(self, **changes) -> "AnalysisConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def match_path(rel_path: str, patterns: tuple[str, ...]) -> bool:
+    """True if ``rel_path`` matches any pattern (with or without a prefix)."""
+    return any(
+        fnmatch(rel_path, pattern) or fnmatch(rel_path, f"*/{pattern}")
+        for pattern in patterns
+    )
+
+
+_KEY_MAP = {
+    "select": "select",
+    "ignore": "ignore",
+    "hot-path-modules": "hot_path_modules",
+    "rng-allowed": "rng_allowed",
+    "validated-packages": "validated_packages",
+    "dtype-functions": "dtype_functions",
+    "trusted-validators": "trusted_validators",
+    "baseline": "baseline",
+}
+
+
+def _find_pyproject(start: Path) -> Path | None:
+    for candidate in (start, *start.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(start: Path | None = None) -> AnalysisConfig:
+    """Build the config, merging ``[tool.repro-analysis]`` if present.
+
+    ``start`` is where the search for ``pyproject.toml`` begins (upward
+    through parents); it defaults to the current directory.  A missing
+    file or table yields the defaults.
+    """
+    start = Path.cwd() if start is None else Path(start)
+    if start.is_file():
+        start = start.parent
+    pyproject = _find_pyproject(start.resolve())
+    if pyproject is None:
+        return AnalysisConfig()
+    try:
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as exc:
+        raise ValidationError(f"cannot parse {pyproject}: {exc}") from exc
+    table = data.get("tool", {}).get("repro-analysis", {})
+    if not isinstance(table, dict):
+        raise ValidationError("[tool.repro-analysis] must be a table")
+    changes: dict = {}
+    for key, value in table.items():
+        if key not in _KEY_MAP:
+            raise ValidationError(f"unknown [tool.repro-analysis] key {key!r}")
+        if key == "baseline":
+            if not isinstance(value, str):
+                raise ValidationError("[tool.repro-analysis] baseline must be a string")
+            changes["baseline"] = value
+        else:
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise ValidationError(
+                    f"[tool.repro-analysis] {key} must be a list of strings"
+                )
+            changes[_KEY_MAP[key]] = tuple(value)
+    return AnalysisConfig(**changes)

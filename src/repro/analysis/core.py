@@ -1,0 +1,264 @@
+"""Rule engine of the :mod:`repro.analysis` contract checker.
+
+The checker parses each Python source file once into an :mod:`ast` tree
+(wrapped in a :class:`SourceModule` carrying path, text, and suppression
+data) and hands it to every enabled :class:`Rule`.  Rules yield
+:class:`Finding` records; the engine filters findings through the
+``# repro: noqa[...]`` suppression comments and returns the survivors
+sorted by path/line.
+
+Suppression syntax (comments, discovered with :mod:`tokenize` so string
+literals never trigger them):
+
+``# repro: noqa[RA001]``
+    Suppress RA001 findings on this line.
+``# repro: noqa[RA001,RA003]``
+    Suppress several rules on this line.
+``# repro: noqa``
+    Suppress every rule on this line.
+``# repro: noqa-file[RA005]``
+    Suppress RA005 for the whole file (conventionally near the top).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.config import AnalysisConfig
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "Suppressions",
+    "collect_files",
+    "load_module",
+    "run_rules",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?\s*(?:\[(?P<rules>[A-Za-z0-9,\s]+)\])?"
+)
+
+_ALL_RULES_MARKER = "*"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is stored relative to the scan root (POSIX separators) so
+    findings — and the baseline fingerprints derived from them — are
+    stable across machines.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline ratchet."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        """``path:line:col: RA00x message`` — the human text format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable form (schema pinned by the CLI tests)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Finding":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            path=str(obj["path"]),
+            line=int(obj["line"]),
+            col=int(obj["col"]),
+            rule=str(obj["rule"]),
+            message=str(obj["message"]),
+        )
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# repro: noqa`` comments of one file.
+
+    ``by_line`` maps a 1-based line number to the set of suppressed rule
+    ids (or ``{"*"}`` for all); ``file_wide`` holds rules suppressed for
+    the entire file.
+    """
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is silenced at ``line``."""
+        if _ALL_RULES_MARKER in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return _ALL_RULES_MARKER in rules or rule_id in rules
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        """Extract suppression comments via :mod:`tokenize`."""
+        result = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                tok for tok in tokens if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return result
+        for tok in comments:
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            spec = match.group("rules")
+            if spec is None:
+                rules = {_ALL_RULES_MARKER}
+            else:
+                rules = {part.strip().upper() for part in spec.split(",") if part.strip()}
+            if match.group("file"):
+                result.file_wide |= rules
+            else:
+                result.by_line.setdefault(tok.start[0], set()).update(rules)
+        return result
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file, as seen by every rule.
+
+    Attributes
+    ----------
+    path:
+        Absolute filesystem path.
+    rel_path:
+        POSIX-style path relative to the scan root (what findings carry).
+    source:
+        Full file text.
+    tree:
+        The parsed :class:`ast.Module`.
+    suppressions:
+        Parsed ``# repro: noqa`` data.
+    """
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class of every contract rule.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one module.  Suppression filtering happens in
+    the engine, not in the rule.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(
+        self, module: SourceModule, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        """Yield the rule's findings for ``module``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Rule {self.id} {self.name}>"
+
+
+def collect_files(root: Path) -> list[Path]:
+    """All ``.py`` files under ``root`` (or ``root`` itself if a file).
+
+    Hidden directories and ``__pycache__`` are skipped; the listing is
+    sorted for deterministic output.
+    """
+    if root.is_file():
+        if root.suffix != ".py":
+            raise ValidationError(f"not a Python file: {root}")
+        return [root]
+    if not root.is_dir():
+        raise ValidationError(f"no such file or directory: {root}")
+    files = [
+        path
+        for path in sorted(root.rglob("*.py"))
+        if "__pycache__" not in path.parts
+        and not any(part.startswith(".") for part in path.parts[len(root.parts):])
+    ]
+    return files
+
+
+def load_module(path: Path, root: Path) -> SourceModule:
+    """Read and parse ``path`` into a :class:`SourceModule`.
+
+    Raises :class:`repro.errors.ValidationError` on syntax errors — a
+    file the checker cannot parse cannot be certified.
+    """
+    source = path.read_text(encoding="utf-8")
+    if path == root:
+        rel = path.name
+    else:
+        rel = path.relative_to(root).as_posix()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ValidationError(f"cannot parse {rel}: {exc}") from exc
+    return SourceModule(
+        path=path,
+        rel_path=rel,
+        source=source,
+        tree=tree,
+        suppressions=Suppressions.parse(source),
+    )
+
+
+def run_rules(
+    modules: Iterable[SourceModule],
+    rules: Iterable[Rule],
+    config: "AnalysisConfig",
+) -> list[Finding]:
+    """Run every rule over every module; return suppression-filtered findings."""
+    rules = list(rules)
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            for finding in rule.check(module, config):
+                if module.suppressions.is_suppressed(finding.rule, finding.line):
+                    continue
+                findings.append(finding)
+    return sorted(findings)

@@ -1,0 +1,133 @@
+"""Reporters and the baseline ratchet.
+
+Two output formats (``text`` for humans, ``json`` for tooling — the JSON
+schema is pinned by the CLI tests) plus :class:`Baseline`: a JSON file
+of fingerprints for pre-existing debt.  Findings matching a baseline
+entry are reported as ``baselined`` and do not fail the run; baseline
+entries that no longer match anything are reported as ``stale`` so the
+file can be ratcheted down to empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+from repro.errors import ValidationError
+
+__all__ = ["Baseline", "Report", "render_text", "render_json"]
+
+_BASELINE_VERSION = 1
+_JSON_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint multiset of accepted pre-existing findings."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Snapshot the given findings (the ``--write-baseline`` path)."""
+        counts: dict[str, int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raises ``ValidationError`` on bad shape."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"cannot parse baseline {path}: {exc}") from exc
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != _BASELINE_VERSION
+            or not isinstance(data.get("entries"), dict)
+        ):
+            raise ValidationError(
+                f"baseline {path} must be "
+                '{"version": 1, "entries": {fingerprint: count}}'
+            )
+        counts: dict[str, int] = {}
+        for key, value in data["entries"].items():
+            if not isinstance(key, str) or not isinstance(value, int) or value <= 0:
+                raise ValidationError(
+                    f"baseline {path}: bad entry {key!r}: {value!r}"
+                )
+            counts[key] = value
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline file (sorted, trailing newline)."""
+        payload = {
+            "version": _BASELINE_VERSION,
+            "entries": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Split findings into (new, baselined) and list stale fingerprints."""
+        remaining = dict(self.counts)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(key for key, count in remaining.items() if count > 0)
+        return new, baselined, stale
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run, ready for rendering."""
+
+    findings: list[Finding]
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """True when non-baselined findings exist."""
+        return bool(self.findings)
+
+
+def render_text(report: Report) -> str:
+    """Human-readable listing, one finding per line."""
+    lines = [finding.render() for finding in report.findings]
+    for finding in report.baselined:
+        lines.append(f"{finding.render()} (baselined)")
+    for fingerprint in report.stale_baseline:
+        lines.append(f"stale baseline entry: {fingerprint}")
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.stale_baseline)} stale baseline entr(ies), "
+        f"{report.files_checked} file(s) checked"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """Machine-readable report (schema pinned by the CLI tests)."""
+    payload = {
+        "version": _JSON_VERSION,
+        "files_checked": report.files_checked,
+        "findings": [finding.to_json() for finding in report.findings],
+        "baselined": [finding.to_json() for finding in report.baselined],
+        "stale_baseline": list(report.stale_baseline),
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,61 @@
+"""The RA001–RA006 rule pack.
+
+:data:`ALL_RULES` is the ordered registry the CLI and tests consume;
+:func:`resolve_rules` applies ``--select`` / ``--ignore`` style
+filtering with validation of the requested ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.determinism import UnseededRngRule
+from repro.analysis.rules.dtype import DtypeDriftRule
+from repro.analysis.rules.errors import ErrorTaxonomyRule
+from repro.analysis.rules.exports import ExportConsistencyRule
+from repro.analysis.rules.launch import LaunchContractRule
+from repro.analysis.rules.validation import PublicApiValidationRule
+from repro.errors import ValidationError
+
+__all__ = [
+    "ALL_RULES",
+    "resolve_rules",
+    "UnseededRngRule",
+    "ErrorTaxonomyRule",
+    "DtypeDriftRule",
+    "LaunchContractRule",
+    "PublicApiValidationRule",
+    "ExportConsistencyRule",
+]
+
+#: Every shipped rule, in id order.
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededRngRule(),
+    ErrorTaxonomyRule(),
+    DtypeDriftRule(),
+    LaunchContractRule(),
+    PublicApiValidationRule(),
+    ExportConsistencyRule(),
+)
+
+
+def resolve_rules(
+    select: Iterable[str] = (), ignore: Iterable[str] = ()
+) -> list[Rule]:
+    """Filter :data:`ALL_RULES` by rule id.
+
+    An empty ``select`` means "all rules".  Unknown ids raise
+    :class:`repro.errors.ValidationError` (the CLI maps this to its
+    usage-error exit code).
+    """
+    known = {rule.id: rule for rule in ALL_RULES}
+    select = [rule_id.upper() for rule_id in select]
+    ignore = {rule_id.upper() for rule_id in ignore}
+    for rule_id in [*select, *ignore]:
+        if rule_id not in known:
+            raise ValidationError(
+                f"unknown rule id {rule_id!r}; known: {', '.join(known)}"
+            )
+    chosen = select or list(known)
+    return [known[rule_id] for rule_id in chosen if rule_id not in ignore]

@@ -1,0 +1,107 @@
+"""RA005 — public API argument validation.
+
+Every public entry point of the numeric packages must validate its
+array/scalar arguments through :mod:`repro.util.validation` (or raise
+from the :mod:`repro.errors` hierarchy itself): the KPM recursion
+silently produces garbage spectra for out-of-contract inputs instead of
+crashing, so the boundary is the only place mistakes are catchable.
+
+A public top-level function (in ``__all__`` when the module defines one,
+any non-underscore def otherwise) with at least one named parameter
+passes when its body shows *validation evidence*:
+
+* a call to any ``check_*`` helper or to a configured trusted validator
+  (``as_float64_array``, ``as_operator``, ...), or
+* a ``raise`` of a non-builtin ``*Error`` (the repro taxonomy), which
+  covers explicit ``isinstance``-then-raise guards.
+
+Functions whose only parameters are ``*args``/``**kwargs`` and
+dataclass-generated modules are out of scope.  Methods are intentionally
+not covered: instances are constructed through validated ``__init__`` /
+classmethod boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import dotted_name, module_all
+from repro.analysis.config import AnalysisConfig, match_path
+from repro.analysis.core import Finding, Rule, SourceModule
+
+__all__ = ["PublicApiValidationRule"]
+
+_BUILTIN_ERRORS = {"ValueError", "TypeError", "RuntimeError", "KeyError", "Exception"}
+
+
+def _has_validation_evidence(
+    func: ast.FunctionDef, trusted: set[str]
+) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            if tail.startswith("check_") or tail in trusted:
+                return True
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            exc_name = dotted_name(exc)
+            if exc_name is None:
+                continue
+            tail = exc_name.split(".")[-1]
+            if tail.endswith("Error") and tail not in _BUILTIN_ERRORS:
+                return True
+    return False
+
+
+def _named_parameters(func: ast.FunctionDef) -> int:
+    args = func.args
+    count = len(args.posonlyargs) + len(args.args) + len(args.kwonlyargs)
+    if count and (args.posonlyargs + args.args):
+        first = (args.posonlyargs + args.args)[0].arg
+        if first in ("self", "cls"):
+            count -= 1
+    return count
+
+
+class PublicApiValidationRule(Rule):
+    """Flag public hot-path functions that never validate their inputs."""
+
+    id = "RA005"
+    name = "public-api-validation"
+    description = (
+        "public function whose parameters never touch a "
+        "repro.util.validation helper or repro.errors raise"
+    )
+
+    def check(
+        self, module: SourceModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        if not match_path(module.rel_path, config.validated_packages):
+            return
+        exported = module_all(module.tree)
+        public_names = None if exported is None else set(exported[1])
+        trusted = set(config.trusted_validators)
+        for node in module.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if public_names is not None and node.name not in public_names:
+                continue
+            if _named_parameters(node) == 0:
+                continue
+            if _has_validation_evidence(node, trusted):
+                continue
+            yield module.finding(
+                node,
+                self.id,
+                f"public function '{node.name}' accepts arguments but shows "
+                "no validation (no check_* / trusted validator call, no "
+                "repro.errors raise)",
+            )

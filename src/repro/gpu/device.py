@@ -60,7 +60,9 @@ class Device:
     def memcpy_htod(self, device_array: DeviceArray, host_array) -> float:
         """Copy host -> device; returns the modeled PCIe seconds."""
         device_array.check_alive()
-        host = np.asarray(host_array)
+        # dtype-preserving by design: cudaMemcpy moves bytes, the device
+        # buffer's dtype decides the stored precision.
+        host = np.asarray(host_array)  # repro: noqa[RA003]
         if host.shape != device_array.shape:
             raise ShapeError(
                 f"host array shape {host.shape} != device array shape "
@@ -76,7 +78,7 @@ class Device:
     def memcpy_dtoh(self, host_array, device_array: DeviceArray) -> float:
         """Copy device -> host; returns the modeled PCIe seconds."""
         device_array.check_alive()
-        host = np.asarray(host_array)
+        host = np.asarray(host_array)  # repro: noqa[RA003] -- see memcpy_htod
         if host.shape != device_array.shape:
             raise ShapeError(
                 f"host array shape {host.shape} != device array shape "

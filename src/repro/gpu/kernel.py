@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import DeviceError, LaunchError, ValidationError
 from repro.gpu.thread import Dim3
+from repro.util.validation import check_power_of_two
 
 __all__ = ["KernelStats", "BlockContext", "kernel"]
 
@@ -196,12 +197,18 @@ class BlockContext:
         )
 
 
-def kernel(name: str):
+def kernel(name: str, *, pow2_block: bool = False):
     """Decorator marking a function as a device kernel (block program).
 
     The wrapped function gains a ``kernel_name`` attribute and a
     signature check: its first parameter must accept the
     :class:`BlockContext`.
+
+    ``pow2_block=True`` declares that the block program assumes a
+    power-of-two block size (shared-memory reduction trees do); the
+    assumption is then enforced per launch through
+    :func:`repro.util.validation.check_power_of_two` — the canonical
+    blessed check of the launch contract (rule RA004).
     """
     if not isinstance(name, str) or not name:
         raise ValidationError(f"kernel name must be a non-empty string, got {name!r}")
@@ -214,10 +221,15 @@ def kernel(name: str):
                     f"kernel {name!r} must be invoked through Device.launch "
                     "(first argument is the BlockContext)"
                 )
+            if pow2_block:
+                check_power_of_two(
+                    ctx.threads_per_block, f"BLOCK_SIZE of kernel {name!r}"
+                )
             return func(ctx, *args, **kwargs)
 
         wrapper.kernel_name = name
         wrapper.is_kernel = True
+        wrapper.pow2_block = pow2_block
         return wrapper
 
     return decorate

@@ -20,12 +20,15 @@ from repro.errors import LaunchError, ValidationError
 from repro.gpu.spec import TESLA_C2050, GpuSpec
 from repro.gpukpm.estimator import estimate_gpu_kpm_seconds
 from repro.kpm.config import KPMConfig
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_power_of_two
 
 __all__ = ["BlockSizePoint", "tune_block_size", "DEFAULT_CANDIDATES"]
 
-#: Warp-multiple candidates from one warp up to the Fermi block limit.
-DEFAULT_CANDIDATES = (32, 64, 96, 128, 192, 256, 384, 512, 768, 1024)
+#: Power-of-two candidates up to the Fermi block limit.  The launch
+#: contract (RA004 / :func:`repro.util.validation.check_power_of_two`)
+#: requires power-of-two block sizes — the shared-memory reduction trees
+#: assume it — so the sweep prices exactly the launchable geometries.
+DEFAULT_CANDIDATES = (8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 @dataclass(frozen=True)
@@ -54,7 +57,7 @@ def tune_block_size(
     config = KPMConfig() if config is None else config
     points: list[BlockSizePoint] = []
     for candidate in candidates:
-        candidate = check_positive_int(candidate, "block size candidate")
+        candidate = check_power_of_two(candidate, "block size candidate")
         if candidate > spec.max_threads_per_block:
             continue
         trial = config.with_updates(block_size=candidate)

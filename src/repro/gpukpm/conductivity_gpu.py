@@ -167,8 +167,8 @@ def plan_conductivity_memory(
 # ----------------------------------------------------------------------
 # Kernels
 # ----------------------------------------------------------------------
-@kernel("kpm_conductivity")
-def kpm_conductivity_kernel(
+@kernel("kpm_conductivity", pow2_block=True)
+def _kpm_conductivity_kernel(
     ctx,
     matrix: DeviceMatrix,
     current: DeviceMatrix,
@@ -228,8 +228,8 @@ def kpm_conductivity_kernel(
     )
 
 
-@kernel("reduce_conductivity")
-def reduce_conductivity_kernel(ctx, partials, result, vectors_per_block_weighting, reduce_stats):
+@kernel("reduce_conductivity", pow2_block=True)
+def _reduce_conductivity_kernel(ctx, partials, result, vectors_per_block_weighting, reduce_stats):
     """Average the per-block partial sums into the final ``(N, N)`` table."""
     if ctx.linear_block_id != 0:
         return
@@ -314,7 +314,7 @@ class GpuConductivity:
                 + min(plan.num_blocks, self.spec.sm_count) * 2 * n * dim * (8 if config.precision == "double" else 4)
             )
             device.launch(
-                kpm_conductivity_kernel,
+                _kpm_conductivity_kernel,
                 grid=plan.num_blocks,
                 block=plan.block_size,
                 args=(
@@ -336,8 +336,11 @@ class GpuConductivity:
                 n, plan.num_blocks, precision=config.precision
             )
             device.launch(
-                reduce_conductivity_kernel,
-                grid=1,
+                _reduce_conductivity_kernel,
+                # Single-block tree reduction over the per-block partial
+                # tables (paper Fig. 4b analogue); the geometry is fixed
+                # by the algorithm, not planned.
+                grid=1,  # repro: noqa[RA004]
                 block=plan.block_size,
                 args=(partials, result, float(config.total_vectors), reduce_stats),
             )

@@ -107,5 +107,6 @@ def estimate_gpu_kpm_seconds(
     nnz: int | None = None,
 ) -> float:
     """Total modeled GPU seconds for a KPM run (sum of the breakdown)."""
+    dimension = check_positive_int(dimension, "dimension")
     config = KPMConfig() if config is None else config
     return sum(gpu_kpm_breakdown(spec, dimension, config, nnz=nnz).values())

@@ -57,8 +57,8 @@ class DeviceMatrix:
         return _segment_sums(prod, indptr.data, self.shape[0])
 
 
-@kernel("kpm_recursion")
-def kpm_recursion_kernel(
+@kernel("kpm_recursion", pow2_block=True)
+def kpm_recursion_kernel(  # repro: noqa[RA005] -- block program; host pipeline validates the launch
     ctx,
     matrix: DeviceMatrix,
     workspace,
@@ -123,8 +123,10 @@ def kpm_recursion_kernel(
     )
 
 
-@kernel("reduce_moments")
-def reduce_moments_kernel(ctx, mu_tilde, mu_out, footprint_bytes, precision="double"):
+@kernel("reduce_moments", pow2_block=True)
+def reduce_moments_kernel(  # repro: noqa[RA005] -- block program; host pipeline validates the launch
+    ctx, mu_tilde, mu_out, footprint_bytes, precision="double"
+):
     """Part (b): ``mu_n = mean_v mu~_{v,n}`` — one thread per order."""
     orders = ctx.thread_range(mu_out.shape[0])
     if orders.size == 0:

@@ -191,6 +191,8 @@ def recursion_launch_stats(
     precision: str = "double",
 ) -> KernelStats:
     """Aggregate stats of the whole recursion launch (all vectors)."""
+    dimension = check_positive_int(dimension, "dimension")
+    num_moments = check_positive_int(num_moments, "num_moments")
     per_vector = per_vector_recursion_stats(
         dimension,
         num_moments,

@@ -57,6 +57,7 @@ __all__ = [
     "stochastic_conductivity_moments",
     "conductivity_profile",
     "kubo_greenwood_conductivity",
+    "finite_temperature_conductivity",
 ]
 
 
@@ -128,7 +129,7 @@ def lattice_current_operator(
         keep = shifted[:, axis] < length
     edge_i = indices[keep]
     edge_j = shifted[keep] @ lattice._strides
-    displacements = np.ones(edge_i.size)
+    displacements = np.ones(edge_i.size, dtype=np.float64)
     return current_operator_from_edges(
         lattice.num_sites, edge_i, edge_j, displacements, hopping=hopping, format=format
     )
@@ -195,7 +196,7 @@ def stochastic_conductivity_moments(
         raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
     scaled = as_operator(scaled_operator)
     dim = scaled.shape[0]
-    total = np.zeros((config.num_moments, config.num_moments))
+    total = np.zeros((config.num_moments, config.num_moments), dtype=np.float64)
     for realization in range(config.num_realizations):
         for index in range(config.num_random_vectors):
             r0 = random_vector(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.errors import ValidationError
 from repro.util.validation import (
     check_choice,
     check_in_range,
@@ -95,9 +96,11 @@ class KPMConfig:
         # registries lazily (at use) to keep this module import-light; we
         # still reject obviously wrong types here.
         if not isinstance(self.kernel, str):
-            raise TypeError(f"kernel must be a string, got {type(self.kernel).__name__}")
+            raise ValidationError(
+                f"kernel must be a string, got {type(self.kernel).__name__}"
+            )
         if not isinstance(self.vector_kind, str):
-            raise TypeError(
+            raise ValidationError(
                 f"vector_kind must be a string, got {type(self.vector_kind).__name__}"
             )
 

@@ -24,7 +24,7 @@ from scipy.special import jv
 from repro.errors import ValidationError
 from repro.kpm.rescale import rescale_operator
 from repro.sparse import as_operator
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_positive_float, check_positive_int
 
 __all__ = ["evolution_coefficients", "evolve_state", "evolution_order"]
 
@@ -38,6 +38,7 @@ def evolution_order(scaled_time: float, *, tolerance: float = _TAIL_TOLERANCE) -
     ``n ~ |tau| + 10``, grow until ``|J_n| < tolerance`` for several
     consecutive orders.
     """
+    tolerance = check_positive_float(tolerance, "tolerance")
     tau = abs(float(scaled_time))
     order = int(tau) + 10
     while True:
@@ -89,7 +90,8 @@ def evolve_state(
         preserved to ~1e-12 with the default order).
     """
     op = as_operator(hamiltonian)
-    psi0 = np.asarray(state)
+    psi0 = np.asarray(state)  # repro: noqa[RA003] -- complex states allowed; split below
+
     if psi0.ndim != 1 or psi0.shape[0] != op.shape[0]:
         raise ValidationError(
             f"state must be a vector of length {op.shape[0]}, got shape {psi0.shape}"

@@ -142,7 +142,7 @@ class SpectralDensity:
     def moment_error_estimate(self) -> np.ndarray:
         """Standard error of each moment over the accumulated vectors."""
         if self.num_vectors < 2:
-            return np.full(self.num_moments, np.inf)
+            return np.full(self.num_moments, np.inf, dtype=np.float64)
         return self._table.std(axis=0, ddof=1) / np.sqrt(self.num_vectors)
 
     def density_error_estimate(self) -> float:

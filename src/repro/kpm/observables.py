@@ -129,6 +129,7 @@ def electron_count(
     Per site per (spinless) orbital: multiply by ``2 D`` for the total
     electron number of a spinful ``D``-site system.
     """
+    temperature = check_in_range(temperature, "temperature", 0.0, np.inf)
     return spectral_integral(
         moments,
         rescaling,
@@ -202,6 +203,7 @@ def internal_energy(
     num_points: int = 4096,
 ) -> float:
     """Band energy per site, ``integral E f_FD(E) rho(E) dE``."""
+    temperature = check_in_range(temperature, "temperature", 0.0, np.inf)
     return spectral_integral(
         moments,
         rescaling,

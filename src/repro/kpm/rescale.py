@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import SpectrumError, ValidationError
 from repro.sparse import as_operator
-from repro.util.validation import check_choice, check_in_range
+from repro.util.validation import check_choice, check_in_range, check_positive_int
 
 __all__ = [
     "SpectralBounds",
@@ -129,6 +129,7 @@ def lanczos_bounds(
     """
     from repro.ed.lanczos import lanczos_extremal_eigenvalues
 
+    iterations = check_positive_int(iterations, "iterations")
     lo, hi = lanczos_extremal_eigenvalues(
         operator, iterations=iterations, seed=seed
     )

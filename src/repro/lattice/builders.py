@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.lattice.lattice import Lattice
 from repro.util.validation import check_positive_int
 
@@ -56,7 +57,7 @@ def honeycomb_edges(
     ncols = check_positive_int(ncols, "ncols")
     nrows = check_positive_int(nrows, "nrows")
     if periodic and (ncols < 2 or nrows < 2):
-        raise ValueError("periodic honeycomb needs at least 2x2 unit cells")
+        raise ValidationError("periodic honeycomb needs at least 2x2 unit cells")
 
     cols, rows = np.meshgrid(
         np.arange(ncols, dtype=np.int64), np.arange(nrows, dtype=np.int64), indexing="ij"
@@ -117,7 +118,7 @@ def kagome_edges(
     ncols = check_positive_int(ncols, "ncols")
     nrows = check_positive_int(nrows, "nrows")
     if periodic and (ncols < 2 or nrows < 2):
-        raise ValueError("periodic kagome needs at least 2x2 unit cells")
+        raise ValidationError("periodic kagome needs at least 2x2 unit cells")
 
     cols, rows = np.meshgrid(
         np.arange(ncols, dtype=np.int64), np.arange(nrows, dtype=np.int64), indexing="ij"

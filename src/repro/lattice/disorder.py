@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.lattice.lattice import Lattice
 from repro.util.rng import philox_stream
 from repro.util.validation import check_positive_float, check_positive_int
@@ -53,7 +54,7 @@ def bond_disorder_hoppings(
     plugs directly into ``TightBindingModel(hopping=...)``.
     """
     if not isinstance(lattice, Lattice):
-        raise TypeError(f"lattice must be a Lattice, got {type(lattice).__name__}")
+        raise ValidationError(f"lattice must be a Lattice, got {type(lattice).__name__}")
     spread = check_positive_float(spread, "spread")
     i, _ = lattice.neighbor_pairs()
     gen = philox_stream(seed, 0xD150, 1)

@@ -251,7 +251,7 @@ class CSRMatrix:
         diag_idx = np.arange(n, dtype=np.int64)
         rows = np.concatenate([coo.rows, diag_idx])
         cols = np.concatenate([coo.cols, diag_idx])
-        vals = np.concatenate([coo.values * scale, np.full(n, shift)])
+        vals = np.concatenate([coo.values * scale, np.full(n, shift, dtype=np.float64)])
         from repro.sparse.coo import COOMatrix
 
         return COOMatrix(rows, cols, vals, self.shape).to_csr()

@@ -49,7 +49,10 @@ def write_matrix_market(matrix, path_or_file, *, symmetric: bool | None = None) 
     handle, owned = _open_for(path_or_file, "w")
     try:
         if isinstance(matrix, (DenseOperator, np.ndarray)):
-            dense = matrix.to_dense() if isinstance(matrix, DenseOperator) else np.asarray(matrix)
+            if isinstance(matrix, DenseOperator):
+                dense = matrix.to_dense()
+            else:
+                dense = np.asarray(matrix, dtype=np.float64)
             if dense.ndim != 2:
                 raise ValidationError("array form requires a 2-D matrix")
             handle.write(_HEADER_ARRAY)
@@ -151,11 +154,11 @@ def read_matrix_market(path_or_file, *, format: str = "csr"):
             raise ValidationError(f"bad coordinate size line: {line.strip()!r}")
         n_rows, n_cols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
         if nnz == 0:
-            body = np.empty((0, 3))
+            body = np.empty((0, 3), dtype=np.float64)
         else:
             body = np.loadtxt(handle, dtype=np.float64, ndmin=2)
         if body.size == 0:
-            body = np.empty((0, 3))
+            body = np.empty((0, 3), dtype=np.float64)
         if body.shape[0] != nnz or (nnz and body.shape[1] != 3):
             raise ValidationError(
                 f"coordinate body has shape {body.shape}, expected ({nnz}, 3)"

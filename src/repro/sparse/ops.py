@@ -40,7 +40,7 @@ class LinearOperatorProtocol(Protocol):
     def offdiag_abs_row_sums(self) -> np.ndarray: ...
 
 
-def is_operator(obj) -> bool:
+def is_operator(obj) -> bool:  # repro: noqa[RA005] -- pure predicate, never raises
     """True if ``obj`` already implements the operator protocol."""
     return isinstance(obj, LinearOperatorProtocol)
 
@@ -65,7 +65,9 @@ def as_operator(matrix, *, require_square: bool = True):
     elif is_operator(matrix):
         op = matrix
     elif isinstance(matrix, (np.ndarray, list, tuple)) or hasattr(matrix, "__array__"):
-        op = DenseOperator(np.asarray(matrix))
+        # DenseOperator pins float64 (and rejects complex) via
+        # as_float64_array, so no conversion is needed here.
+        op = DenseOperator(matrix)
     else:
         raise ValidationError(
             "matrix must be an ndarray, COOMatrix, CSRMatrix, DenseOperator, "

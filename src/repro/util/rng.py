@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.util.validation import check_nonnegative_int
 
 __all__ = ["normalize_seed", "philox_stream", "spawn_seeds"]
@@ -35,7 +36,7 @@ def normalize_seed(seed: int | None) -> int:
         return 0
     seed = check_nonnegative_int(seed, "seed")
     if seed > _MAX_SEED:
-        raise ValueError(f"seed must be <= {_MAX_SEED}, got {seed}")
+        raise ValidationError(f"seed must be <= {_MAX_SEED}, got {seed}")
     return seed
 
 
@@ -55,7 +56,7 @@ def philox_stream(seed: int | None, *key: int) -> np.random.Generator:
         logical substream, e.g. ``(realization, vector_index)``.
     """
     if len(key) > 3:
-        raise ValueError(f"at most 3 key components supported, got {len(key)}")
+        raise ValidationError(f"at most 3 key components supported, got {len(key)}")
     base = normalize_seed(seed)
     parts = tuple(check_nonnegative_int(k, "key component") for k in key)
     sequence = np.random.SeedSequence(entropy=base, spawn_key=parts)

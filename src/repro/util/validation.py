@@ -19,6 +19,7 @@ __all__ = [
     "check_positive_int",
     "check_nonnegative_int",
     "check_positive_float",
+    "check_power_of_two",
     "check_in_range",
     "check_choice",
     "check_square_2d",
@@ -44,6 +45,21 @@ def check_nonnegative_int(value: Any, name: str) -> int:
     value = int(value)
     if value < 0:
         raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_power_of_two(value: Any, name: str) -> int:
+    """Return ``value`` as ``int`` after checking it is a positive power of two.
+
+    The canonical block-size check of the simulated CUDA launch contract:
+    the shared-memory reduction trees and the warp-multiple occupancy
+    math both assume ``BLOCK_SIZE`` is a power of two (the paper's own
+    configuration uses 256).  The static checker (rule RA004) recognizes
+    this call as blessing a block-size value.
+    """
+    value = check_positive_int(value, name)
+    if value & (value - 1):
+        raise ValidationError(f"{name} must be a power of two, got {value}")
     return value
 
 

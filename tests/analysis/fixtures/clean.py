@@ -1,0 +1,7 @@
+"""Clean fixture: zero findings under every rule."""
+
+__all__ = ["double"]
+
+
+def double(value):
+    return 2 * value

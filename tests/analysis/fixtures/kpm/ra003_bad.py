@@ -1,0 +1,16 @@
+"""RA003 fixture: dtype-less constructors in a hot-path module (three findings)."""
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["make_workspace"]
+
+
+def make_workspace(dim):
+    dim = check_positive_int(dim, "dim")
+    moments = np.zeros(dim)
+    table = np.empty((dim, dim))
+    weights = np.ones(dim, dtype=np.float64)
+    samples = np.asarray([1.0, 2.0])
+    return moments, table, weights, samples

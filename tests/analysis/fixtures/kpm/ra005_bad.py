@@ -1,0 +1,11 @@
+"""RA005 fixture: public API without validation (one finding)."""
+
+__all__ = ["estimate_seconds"]
+
+
+def estimate_seconds(dimension, num_moments=100):
+    return 1.0e-9 * dimension * num_moments
+
+
+def _helper(x):
+    return x

@@ -1,0 +1,13 @@
+"""Suppression fixture: every violation silenced with repro noqa (zero findings)."""
+
+import random  # repro: noqa[RA001]
+
+__all__ = ["draw", "shout"]
+
+
+def draw():
+    return random.random()  # repro: noqa
+
+
+def shout():
+    raise RuntimeError("boom")  # repro: noqa[RA002, RA001]

@@ -1,0 +1,14 @@
+"""RA001 fixture: RNG use outside util/rng.py (three findings)."""
+
+import random
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw():
+    """Two flagged calls plus the flagged import above."""
+    values = np.random.rand(4)
+    extra = random.random()
+    return values, extra

@@ -1,0 +1,17 @@
+"""RA002 fixture: bare builtin raises (three findings)."""
+
+__all__ = ["checked_order", "checked_kind"]
+
+
+def checked_order(order):
+    if order <= 0:
+        raise ValueError("order must be positive")
+    return order
+
+
+def checked_kind(kind):
+    if not isinstance(kind, str):
+        raise TypeError("kind must be a string")
+    if kind == "impossible":
+        raise RuntimeError("unreachable kind")
+    return kind

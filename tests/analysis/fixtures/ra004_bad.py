@@ -1,0 +1,18 @@
+"""RA004 fixture: launch-contract violations (three findings)."""
+
+from repro.util.validation import check_power_of_two
+
+__all__ = ["run"]
+
+
+def run(device, kern, plan, src, dst):
+    device.launch(kern, grid=plan.num_blocks, block=96, args=(src, dst))
+    device.launch(kern, grid=7, block=plan.block_size, args=(src, dst))
+    threads = 24
+    device.launch(kern, grid=plan.num_blocks, block=threads, args=(src, dst))
+    device.launch(
+        kern,
+        grid=plan.num_blocks,
+        block=check_power_of_two(threads, "threads"),
+        args=(src, dst),
+    )

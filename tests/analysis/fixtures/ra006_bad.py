@@ -1,0 +1,11 @@
+"""RA006 fixture: __all__ drift (three findings)."""
+
+__all__ = ["exported", "missing_def", "exported"]
+
+
+def exported():
+    return 1
+
+
+def orphan():
+    return 2

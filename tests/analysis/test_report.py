@@ -1,0 +1,92 @@
+"""Unit tests for the reporters and the baseline ratchet."""
+
+import json
+
+import pytest
+
+from repro.analysis.core import Finding
+from repro.analysis.report import Baseline, Report, render_json, render_text
+from repro.errors import ValidationError
+
+
+def finding(path="a.py", line=1, rule="RA001", message="m"):
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [finding(), finding(line=2), finding(rule="RA002", message="n")]
+        baseline = Baseline.from_findings(findings)
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        assert Baseline.load(target).counts == baseline.counts
+
+    def test_counts_are_a_multiset(self):
+        baseline = Baseline.from_findings([finding(), finding(line=9)])
+        assert baseline.counts == {"RA001::a.py::m": 2}
+
+    def test_partition(self):
+        baseline = Baseline.from_findings([finding(), finding(rule="RA009", message="gone")])
+        new, baselined, stale = baseline.partition([finding(), finding(rule="RA002")])
+        assert [f.rule for f in new] == ["RA002"]
+        assert [f.rule for f in baselined] == ["RA001"]
+        assert stale == ["RA009::a.py::gone"]
+
+    def test_partition_respects_counts(self):
+        baseline = Baseline.from_findings([finding()])
+        new, baselined, _ = baseline.partition([finding(), finding(line=5)])
+        assert len(baselined) == 1
+        assert len(new) == 1
+
+    def test_saved_file_shape(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings([finding()]).save(target)
+        data = json.loads(target.read_text())
+        assert data == {"version": 1, "entries": {"RA001::a.py::m": 1}}
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json",
+            '{"entries": {}}',
+            '{"version": 2, "entries": {}}',
+            '{"version": 1, "entries": []}',
+            '{"version": 1, "entries": {"k": 0}}',
+            '{"version": 1, "entries": {"k": "1"}}',
+        ],
+    )
+    def test_load_rejects_bad_shapes(self, tmp_path, payload):
+        target = tmp_path / "baseline.json"
+        target.write_text(payload)
+        with pytest.raises(ValidationError):
+            Baseline.load(target)
+
+
+class TestRendering:
+    def test_text_lists_findings_and_summary(self):
+        report = Report(
+            findings=[finding()],
+            baselined=[finding(rule="RA002", message="old")],
+            stale_baseline=["RA003::b.py::x"],
+            files_checked=4,
+        )
+        text = render_text(report)
+        assert "a.py:1:0: RA001 m" in text
+        assert "(baselined)" in text
+        assert "stale baseline entry: RA003::b.py::x" in text
+        assert text.endswith(
+            "1 finding(s), 1 baselined, 1 stale baseline entr(ies), 4 file(s) checked"
+        )
+
+    def test_json_schema(self):
+        report = Report(findings=[finding()], files_checked=2)
+        payload = json.loads(render_json(report))
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 2
+        assert payload["baselined"] == []
+        assert payload["stale_baseline"] == []
+        assert [Finding.from_json(item) for item in payload["findings"]] == [finding()]
+
+    def test_failed_ignores_baselined_and_stale(self):
+        assert not Report(findings=[], baselined=[finding()], stale_baseline=["x"]).failed
+        assert Report(findings=[finding()]).failed

@@ -1,0 +1,155 @@
+"""Per-rule tests over the deliberately-broken fixture tree.
+
+Each ``raNNN_bad.py`` fixture must produce *exactly* its expected
+findings — path, line, and rule — and nothing else; ``clean.py`` and
+``noqa_suppressed.py`` must produce nothing under any rule.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, run_analysis
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def scan(select=()):
+    """Run the checker over the fixture tree with the given rule selection."""
+    config = AnalysisConfig(select=tuple(select))
+    return run_analysis([FIXTURES], config)
+
+
+def locations(findings):
+    return [(f.path, f.line, f.rule) for f in findings]
+
+
+class TestRA001UnseededRng:
+    def test_exact_findings(self):
+        report = scan(["RA001"])
+        assert locations(report.findings) == [
+            ("ra001_bad.py", 3, "RA001"),
+            ("ra001_bad.py", 12, "RA001"),
+            ("ra001_bad.py", 13, "RA001"),
+        ]
+
+    def test_messages_name_the_offender(self):
+        messages = [f.message for f in scan(["RA001"]).findings]
+        assert any("stdlib 'random'" in m for m in messages)
+        assert any("np.random.rand" in m for m in messages)
+        assert all("philox_stream" in m for m in messages)
+
+
+class TestRA002ErrorTaxonomy:
+    def test_exact_findings(self):
+        report = scan(["RA002"])
+        assert locations(report.findings) == [
+            ("ra002_bad.py", 8, "RA002"),
+            ("ra002_bad.py", 14, "RA002"),
+            ("ra002_bad.py", 16, "RA002"),
+        ]
+
+    def test_messages_point_at_the_taxonomy(self):
+        messages = [f.message for f in scan(["RA002"]).findings]
+        assert any("raise ValueError" in m for m in messages)
+        assert any("raise TypeError" in m for m in messages)
+        assert any("raise RuntimeError" in m for m in messages)
+        assert all("repro.errors" in m for m in messages)
+
+
+class TestRA003DtypeDrift:
+    def test_exact_findings(self):
+        report = scan(["RA003"])
+        assert locations(report.findings) == [
+            ("kpm/ra003_bad.py", 12, "RA003"),
+            ("kpm/ra003_bad.py", 13, "RA003"),
+            ("kpm/ra003_bad.py", 15, "RA003"),
+        ]
+
+    def test_only_fires_in_hot_path_modules(self):
+        # The same constructors in a non-hot-path file stay legal: the
+        # fixture root itself holds numpy-using files that never trigger.
+        paths = {f.path for f in scan(["RA003"]).findings}
+        assert paths == {"kpm/ra003_bad.py"}
+
+
+class TestRA004LaunchContract:
+    def test_exact_findings(self):
+        report = scan(["RA004"])
+        assert locations(report.findings) == [
+            ("ra004_bad.py", 9, "RA004"),
+            ("ra004_bad.py", 10, "RA004"),
+            ("ra004_bad.py", 12, "RA004"),
+        ]
+
+    def test_messages_distinguish_the_violations(self):
+        messages = [f.message for f in scan(["RA004"]).findings]
+        assert any("literal block size 96" in m for m in messages)
+        assert any("hard-coded grid dimension 7" in m for m in messages)
+        assert any("planning layer" in m for m in messages)
+
+
+class TestRA005PublicApiValidation:
+    def test_exact_findings(self):
+        report = scan(["RA005"])
+        assert locations(report.findings) == [
+            ("kpm/ra005_bad.py", 6, "RA005"),
+        ]
+
+    def test_message_names_the_function(self):
+        (finding,) = scan(["RA005"]).findings
+        assert "estimate_seconds" in finding.message
+
+    def test_validated_function_passes(self):
+        # make_workspace in kpm/ra003_bad.py calls check_positive_int,
+        # which is validation evidence — no RA005 finding for it.
+        paths = {f.path for f in scan(["RA005"]).findings}
+        assert "kpm/ra003_bad.py" not in paths
+
+
+class TestRA006ExportConsistency:
+    def test_exact_findings(self):
+        report = scan(["RA006"])
+        assert locations(report.findings) == [
+            ("ra006_bad.py", 3, "RA006"),
+            ("ra006_bad.py", 3, "RA006"),
+            ("ra006_bad.py", 10, "RA006"),
+        ]
+
+    def test_messages_cover_all_three_drift_modes(self):
+        messages = [f.message for f in scan(["RA006"]).findings]
+        assert any("twice" in m for m in messages)
+        assert any("'missing_def' is not defined" in m for m in messages)
+        assert any("'orphan' is missing from __all__" in m for m in messages)
+
+
+class TestFullSweep:
+    def test_rule_totals(self):
+        report = scan()
+        counts: dict[str, int] = {}
+        for finding in report.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        assert counts == {
+            "RA001": 3,
+            "RA002": 3,
+            "RA003": 3,
+            "RA004": 3,
+            "RA005": 1,
+            "RA006": 3,
+        }
+
+    def test_clean_and_suppressed_files_stay_silent(self):
+        paths = {f.path for f in scan().findings}
+        assert "clean.py" not in paths
+        assert "noqa_suppressed.py" not in paths
+
+    def test_ignore_drops_rules(self):
+        config = AnalysisConfig(ignore=("RA001", "RA002", "RA004", "RA006"))
+        report = run_analysis([FIXTURES], config)
+        assert {f.rule for f in report.findings} == {"RA003", "RA005"}
+
+    def test_unknown_rule_id_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="RA999"):
+            scan(["RA999"])

@@ -1,0 +1,26 @@
+"""The library must pass its own contract checker with zero findings.
+
+This is the acceptance gate of the checker itself: every rule enabled,
+no baseline, scanned exactly as CI runs it.
+"""
+
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_is_clean():
+    report = run_analysis([REPO_ROOT / "src" / "repro"], AnalysisConfig())
+    assert report.findings == [], "\n".join(f.render() for f in report.findings)
+    assert report.files_checked > 50
+
+
+def test_shipped_baseline_is_empty():
+    # The repo ships an empty ratchet file: new findings can be accepted
+    # temporarily, but the tree starts debt-free.
+    import json
+
+    baseline = json.loads((REPO_ROOT / "analysis-baseline.json").read_text())
+    assert baseline == {"version": 1, "entries": {}}

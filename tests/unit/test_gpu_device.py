@@ -19,6 +19,13 @@ def shared_hog_kernel(ctx):
     ctx.shared_alloc(ctx.shared_limit_bytes + 1)
 
 
+@kernel("tree_reduce", pow2_block=True)
+def tree_reduce_kernel(ctx, src, dst):
+    idx = ctx.thread_range(src.shape[0])
+    dst.data[idx] = src.data[idx]
+    ctx.charge(flops=0.0, gmem_read=8.0 * idx.size, gmem_write=8.0 * idx.size)
+
+
 def plain_function(ctx):
     pass
 
@@ -53,6 +60,21 @@ class TestLaunchValidation:
     def test_requires_spec(self):
         with pytest.raises(ValidationError):
             Device("gpu")
+
+    def test_pow2_block_kernel_rejects_non_power_of_two(self, device):
+        src = device.alloc(8 * 16)
+        dst = device.alloc(8 * 16)
+        with pytest.raises(ValidationError, match="power of two"):
+            device.launch(tree_reduce_kernel, grid=1, block=24, args=(src, dst))
+
+    def test_pow2_block_kernel_accepts_power_of_two(self, device):
+        src = device.alloc(8 * 16)
+        dst = device.alloc(8 * 16)
+        device.launch(tree_reduce_kernel, grid=1, block=16, args=(src, dst))
+
+    def test_pow2_block_attribute(self):
+        assert tree_reduce_kernel.pow2_block is True
+        assert copy_kernel.pow2_block is False
 
 
 class TestExecution:

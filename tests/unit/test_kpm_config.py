@@ -40,11 +40,11 @@ class TestValidation:
             KPMConfig(bounds_method="magic")
 
     def test_kernel_type(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(ValidationError):
             KPMConfig(kernel=3)
 
     def test_vector_kind_type(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(ValidationError):
             KPMConfig(vector_kind=None)
 
 

@@ -67,7 +67,7 @@ class TestBondDisorder:
         assert np.all(hoppings >= -1.1)
 
     def test_rejects_non_lattice(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(ValidationError):
             bond_disorder_hoppings("nope")
 
 

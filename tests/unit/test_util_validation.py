@@ -11,6 +11,7 @@ from repro.util.validation import (
     check_nonnegative_int,
     check_positive_float,
     check_positive_int,
+    check_power_of_two,
     check_square_2d,
     check_vector,
 )
@@ -51,6 +52,38 @@ class TestCheckNonnegativeInt:
     def test_rejects_negative(self):
         with pytest.raises(ValidationError):
             check_nonnegative_int(-1, "x")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 8, 256, 1024, 2**20])
+    def test_accepts_powers_of_two(self, value):
+        assert check_power_of_two(value, "x") == value
+
+    def test_accepts_numpy_int(self):
+        assert check_power_of_two(np.int64(64), "x") == 64
+
+    @pytest.mark.parametrize("value", [3, 6, 96, 192, 768, 1000])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValidationError, match="power of two"):
+            check_power_of_two(value, "x")
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValidationError, match="must be positive"):
+            check_power_of_two(0, "x")
+        with pytest.raises(ValidationError, match="must be positive"):
+            check_power_of_two(-4, "x")
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValidationError, match="must be an integer"):
+            check_power_of_two(4.0, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValidationError, match="BLOCK_SIZE"):
+            check_power_of_two(96, "BLOCK_SIZE")
+
+    def test_is_validation_and_value_error(self):
+        with pytest.raises(ValueError):
+            check_power_of_two(12, "x")
 
 
 class TestCheckPositiveFloat:
