@@ -10,6 +10,7 @@ from repro.bench import (
     kernel_comparison_ablation,
     multigpu_ablation,
     precision_ablation,
+    resilience_ablation,
     transport_ablation,
 )
 
@@ -113,6 +114,28 @@ class TestTransportAblation:
         assert speedups[-1] > 10.0
         # Memory budget stays within the C2050's 3 GB at these sizes.
         assert max(result.column("gpu_mib")) < 3 * 1024
+
+
+class TestResilienceAblation:
+    """Extension: paper §V plans the cluster but assumes fault-free nodes."""
+
+    def test_regenerate(self, run_once, benchmark):
+        result = run_once(benchmark, resilience_ablation)
+        print()
+        print(result.render())
+
+        rates = result.column("fault_rate")
+        recovery = result.column("recovery_s")
+        overhead = result.column("overhead")
+        # Fault-free baseline row: no recovery work, unit overhead.
+        assert rates[0] == 0.0
+        assert recovery[0] == 0.0
+        assert overhead[0] == 1.0
+        # The heaviest campaign pays real recovery time ...
+        assert recovery[-1] > 0.0
+        assert overhead[-1] > 1.0
+        # ... while every campaign recovers the bit-identical moments.
+        assert all(d == 0.0 for d in result.column("max_mu_diff"))
 
 
 class TestKernelAblation:

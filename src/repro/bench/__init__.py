@@ -18,6 +18,7 @@ from repro.bench.figures import (
     block_size_ablation,
     crs_vs_dense_ablation,
     multigpu_ablation,
+    resilience_ablation,
     kernel_comparison_ablation,
     precision_ablation,
     cpu_threads_ablation,
@@ -38,6 +39,7 @@ __all__ = [
     "block_size_ablation",
     "crs_vs_dense_ablation",
     "multigpu_ablation",
+    "resilience_ablation",
     "kernel_comparison_ablation",
     "precision_ablation",
     "cpu_threads_ablation",

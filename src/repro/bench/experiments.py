@@ -82,6 +82,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         "paper Sec. V: GPU-cluster extension left as future work",
         figures.multigpu_ablation,
     ),
+    "ablation-resilience": ExperimentSpec(
+        "ablation-resilience",
+        "ablation",
+        "extension: paper Sec. V plans the cluster but assumes fault-free nodes",
+        figures.resilience_ablation,
+    ),
     "ablation-kernel": ExperimentSpec(
         "ablation-kernel",
         "ablation",

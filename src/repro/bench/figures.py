@@ -23,11 +23,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench.report import FigureResult
-from repro.cluster import INFINIBAND_QDR, estimate_multigpu_seconds
+from repro.cluster import (
+    INFINIBAND_QDR,
+    FaultSchedule,
+    MultiGpuKPM,
+    RetryPolicy,
+    estimate_multigpu_seconds,
+)
 from repro.cpu import CORE_I7_930, CpuSpec, estimate_cpu_kpm_seconds
 from repro.gpu.spec import TESLA_C2050, GpuSpec
 from repro.gpukpm import estimate_gpu_kpm_seconds, tune_block_size
-from repro.kpm import KPMConfig, compute_dos
+from repro.kpm import KPMConfig, compute_dos, rescale_operator
 from repro.lattice import cubic, tight_binding_hamiltonian
 from repro.util.validation import check_positive_int
 
@@ -41,6 +47,7 @@ __all__ = [
     "block_size_ablation",
     "crs_vs_dense_ablation",
     "multigpu_ablation",
+    "resilience_ablation",
     "kernel_comparison_ablation",
     "precision_ablation",
     "cpu_threads_ablation",
@@ -382,6 +389,96 @@ def multigpu_ablation(
         notes=(
             "scaling stalls with BLOCK_SIZE=256 because per-device block "
             "counts fall below the SM count; re-tuning restores scaling"
+        ),
+    )
+
+
+def resilience_ablation(
+    *,
+    fault_rates=(0.0, 0.125, 0.25, 0.5),
+    num_devices: int = 8,
+    lattice_size: int = 4,
+    num_moments: int = 64,
+    num_vectors: int = 32,
+    checkpoint_every: int = 2,
+    gpu: GpuSpec = TESLA_C2050,
+    interconnect=INFINIBAND_QDR,
+    seed: int = 2011,
+) -> FigureResult:
+    """Resilience-overhead curve: fault-rate sweep on the cluster driver.
+
+    Functional runs (not analytic estimates) at miniature scale: each
+    rate samples a deterministic :class:`~repro.cluster.FaultSchedule`
+    (crash + straggler + transfer corruption, all at the same per-node
+    rate), recovers, and reports the modeled-time overhead against the
+    fault-free checkpointed baseline.  The ``max_mu_diff`` column is the
+    recovery correctness check — it must be exactly 0.0 at every rate
+    (bit-identical moments, docs/RESILIENCE.md).
+    """
+    check_positive_int(num_devices, "num_devices")
+    hamiltonian = tight_binding_hamiltonian(cubic(lattice_size), format="csr")
+    scaled, _ = rescale_operator(hamiltonian)
+    config = KPMConfig(
+        num_moments=num_moments,
+        num_random_vectors=num_vectors,
+        num_realizations=1,
+        block_size=32,
+        seed=seed,
+    )
+    baseline_data, baseline_report = MultiGpuKPM(
+        num_devices, gpu, interconnect=interconnect, checkpoint_every=checkpoint_every
+    ).run(scaled, config)
+
+    rows = []
+    for index, rate in enumerate(fault_rates):
+        schedule = FaultSchedule.sample(
+            seed + index,
+            num_devices,
+            crash_rate=rate,
+            straggler_rate=rate,
+            transfer_rate=rate,
+        )
+        data, report = MultiGpuKPM(
+            num_devices,
+            gpu,
+            interconnect=interconnect,
+            fault_schedule=schedule,
+            policy=RetryPolicy(max_retries=4 * num_devices),
+            checkpoint_every=checkpoint_every,
+        ).run(scaled, config)
+        rows.append(
+            (
+                rate,
+                schedule.num_faults,
+                report.phase_seconds("recovery"),
+                report.phase_seconds("rebalance"),
+                report.modeled_seconds / baseline_report.modeled_seconds,
+                float(np.max(np.abs(data.mu - baseline_data.mu), initial=0.0)),
+            )
+        )
+    return FigureResult(
+        experiment_id="ablation-resilience",
+        title=(
+            f"Fault-tolerance overhead ({num_devices} nodes, "
+            f"D={scaled.shape[0]}, N={num_moments}, {interconnect.name})"
+        ),
+        x_label="fault_rate",
+        columns=(
+            "fault_rate",
+            "faults",
+            "recovery_s",
+            "rebalance_s",
+            "overhead",
+            "max_mu_diff",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "extension beyond the paper: Sec. V plans the cluster but "
+            "assumes fault-free nodes"
+        ),
+        notes=(
+            "recovery is bit-exact at every fault rate (max_mu_diff == 0); "
+            "overhead grows with the injected fault count"
         ),
     )
 

@@ -19,11 +19,18 @@ import numpy as np
 
 from repro import KPMConfig, compute_dos
 from repro.bench.report import ascii_table
+from repro.cluster import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_QDR,
+    FaultSchedule,
+    MultiGpuKPM,
+    RetryPolicy,
+)
 from repro.cpu import CORE_I7_930, estimate_cpu_kpm_seconds
 from repro.errors import ReproError
 from repro.gpu import TESLA_C2050
 from repro.gpukpm import estimate_gpu_kpm_seconds
-from repro.kpm import available_backends, available_kernels
+from repro.kpm import available_backends, available_kernels, rescale_operator
 from repro.lattice import (
     chain,
     cubic,
@@ -148,6 +155,50 @@ def _cmd_time(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    hamiltonian = build_hamiltonian_from_args(args)
+    config = _config_from_args(args)
+    scaled, _ = rescale_operator(hamiltonian)
+    interconnect = (
+        INFINIBAND_QDR if args.interconnect == "infiniband" else GIGABIT_ETHERNET
+    )
+    schedule = FaultSchedule.sample(
+        args.fault_seed,
+        args.devices,
+        crash_rate=args.fault_rate,
+        straggler_rate=args.fault_rate,
+        transfer_rate=args.fault_rate,
+    )
+    driver = MultiGpuKPM(
+        args.devices,
+        interconnect=interconnect,
+        fault_schedule=schedule,
+        policy=RetryPolicy(max_retries=args.max_retries),
+        checkpoint_every=args.checkpoint_every,
+    )
+    data, report = driver.run(scaled, config)
+    print(
+        f"D={scaled.shape[0]} N={config.num_moments} R*S={config.total_vectors} "
+        f"devices={args.devices} faults={schedule.num_faults} "
+        f"(rate {args.fault_rate}, seed {args.fault_seed})"
+    )
+    print(ascii_table(("phase", "modeled_seconds"), list(report.breakdown.items())))
+    print(f"mu_0 = {data.mu[0]:.6f} (should be ~1)")
+    print(report.summary())
+    if args.verify:
+        reference, _ = MultiGpuKPM(args.devices, interconnect=interconnect).run(
+            scaled, config
+        )
+        identical = bool(
+            np.array_equal(reference.mu, data.mu)
+            and np.array_equal(reference.per_realization, data.per_realization)
+        )
+        print(f"bit-identical to the fault-free run: {identical}")
+        if not identical:
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -169,6 +220,44 @@ def main(argv=None) -> int:
     _add_matrix_arguments(time_cmd)
     _add_config_arguments(time_cmd)
     time_cmd.set_defaults(func=_cmd_time)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="fault-tolerant multi-GPU run with a seeded fault campaign",
+    )
+    _add_matrix_arguments(cluster)
+    _add_config_arguments(cluster)
+    cluster.add_argument("--devices", "-G", type=int, default=4, help="cluster size")
+    cluster.add_argument(
+        "--interconnect",
+        default="infiniband",
+        choices=("infiniband", "ethernet"),
+        help="network model between nodes",
+    )
+    cluster.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-node Bernoulli rate for each fault kind (crash/straggler/transfer)",
+    )
+    cluster.add_argument(
+        "--fault-seed", type=int, default=0, help="seed of the sampled fault schedule"
+    )
+    cluster.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="vectors per checkpoint chunk (default: one chunk per partition)",
+    )
+    cluster.add_argument(
+        "--max-retries", type=int, default=8, help="recovery-action budget"
+    )
+    cluster.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run fault-free and check the moments are bit-identical",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     bench = subparsers.add_parser("bench", help="regenerate the paper's figures")
     bench.add_argument("ids", nargs="*", help="experiment ids (default: all)")

@@ -7,16 +7,28 @@ parallel over random vectors, so the cluster design partitions the
 ``N`` moments at the end.  :class:`MultiGpuKPM` runs this functionally on
 simulated devices; :func:`estimate_multigpu_seconds` prices the schedule
 analytically for scaling studies.
+
+Production clusters also fail: :mod:`repro.cluster.faults` models node
+crashes, stragglers, and transient transfer corruption as deterministic,
+seedable schedules, and :class:`MultiGpuKPM` recovers from them —
+checkpointing per-partition moment tables, rebalancing dead nodes' work
+over survivors, and retrying under the capped
+:class:`~repro.cluster.RetryPolicy` budget — while reproducing the
+bit-identical moments of a fault-free run (see docs/RESILIENCE.md).
 """
 
+from repro.cluster.faults import FAULT_KINDS, FaultEvent, FaultSchedule
 from repro.cluster.multigpu import (
     InterconnectSpec,
     GIGABIT_ETHERNET,
     INFINIBAND_QDR,
     MultiGpuKPM,
+    allreduce_seconds,
+    broadcast_seconds,
     estimate_multigpu_seconds,
     multigpu_breakdown,
 )
+from repro.cluster.policy import RetryBudget, RetryPolicy
 
 __all__ = [
     "InterconnectSpec",
@@ -25,4 +37,11 @@ __all__ = [
     "MultiGpuKPM",
     "estimate_multigpu_seconds",
     "multigpu_breakdown",
+    "broadcast_seconds",
+    "allreduce_seconds",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryPolicy",
+    "RetryBudget",
 ]

@@ -1,0 +1,226 @@
+"""Deterministic, injectable fault model for the simulated GPU cluster.
+
+Real clusters lose nodes, stall on stragglers, and corrupt frames in
+transit; a reproduction that only models the happy path overstates its
+own robustness.  This module describes faults as *data*: a
+:class:`FaultSchedule` is an immutable, validated set of
+:class:`FaultEvent` records that the resilient driver
+(:class:`repro.cluster.MultiGpuKPM`) consults at well-defined points of
+the run.  Because the schedule is plain data — either written explicitly
+or sampled from a seeded Philox stream — every faulty run is exactly
+reproducible, which is what lets the tests assert *bit-identical*
+recovery.
+
+Three fault kinds cover the classic failure taxonomy:
+
+* ``"crash"`` — fail-stop: the node dies during a compute round after
+  checkpointing ``completed_chunks`` chunks; work past the last
+  checkpoint is lost and the unfinished vector range is rebalanced over
+  the survivors.  A node crashes at most once and never comes back.
+* ``"straggler"`` — performance fault: the node finishes its round
+  ``slowdown``-times slower than modeled.  Results are unaffected; the
+  excess time is charged to the ``"recovery"`` phase.
+* ``"transfer"`` — transient corruption of the node's moment-table
+  message at the all-reduce, detected by checksum and retransmitted
+  after a policy backoff, ``count`` times.  The sender's data is intact,
+  so only time (never correctness) is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.util.rng import philox_stream
+from repro.util.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+)
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule"]
+
+#: The supported fault kinds, in the order documented above.
+FAULT_KINDS = ("crash", "straggler", "transfer")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    node:
+        Cluster node (device index) the fault afflicts.
+    round:
+        Compute round the fault fires in: 0 is the initial partition
+        round, ``r >= 1`` the r-th rebalance round.  Ignored for
+        ``"transfer"`` faults, which fire at the final all-reduce.
+    completed_chunks:
+        (``"crash"`` only) checkpoint chunks the node completes — and
+        persists — before dying.  The chunk it dies in is recomputed
+        elsewhere; a crash scheduled after the node's last chunk never
+        fires.
+    slowdown:
+        (``"straggler"`` only) wall-time multiplier, ``>= 1``.
+    count:
+        (``"transfer"`` only) how many consecutive sends are corrupted
+        before one goes through.
+    """
+
+    kind: str
+    node: int
+    round: int = 0
+    completed_chunks: int = 0
+    slowdown: float = 2.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; available: {', '.join(FAULT_KINDS)}"
+            )
+        check_nonnegative_int(self.node, "node")
+        check_nonnegative_int(self.round, "round")
+        check_nonnegative_int(self.completed_chunks, "completed_chunks")
+        check_positive_int(self.count, "count")
+        if not self.slowdown >= 1.0:
+            raise ValidationError(
+                f"slowdown must be >= 1 (a straggler is slow, not fast), "
+                f"got {self.slowdown!r}"
+            )
+
+
+class FaultSchedule:
+    """An immutable, validated collection of :class:`FaultEvent` records.
+
+    Consistency rules enforced at construction:
+
+    * at most one ``"crash"`` per node (fail-stop — a dead node stays
+      dead);
+    * at most one ``"straggler"`` per ``(node, round)``;
+    * at most one ``"transfer"`` per node (``count`` carries
+      multiplicity).
+    """
+
+    def __init__(self, events=()):
+        events = tuple(events)
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise ValidationError(
+                    f"events must be FaultEvent instances, got {type(event).__name__}"
+                )
+        crashes = [e.node for e in events if e.kind == "crash"]
+        if len(crashes) != len(set(crashes)):
+            raise ValidationError("at most one crash per node (fail-stop model)")
+        stragglers = [(e.node, e.round) for e in events if e.kind == "straggler"]
+        if len(stragglers) != len(set(stragglers)):
+            raise ValidationError("at most one straggler event per (node, round)")
+        transfers = [e.node for e in events if e.kind == "transfer"]
+        if len(transfers) != len(set(transfers)):
+            raise ValidationError(
+                "at most one transfer event per node (use count for multiplicity)"
+            )
+        self._events = events
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """The schedule's events, in construction order."""
+        return self._events
+
+    @property
+    def num_faults(self) -> int:
+        """Total individual fault occurrences (transfer counts expanded)."""
+        return sum(e.count if e.kind == "transfer" else 1 for e in self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultSchedule({list(self._events)!r})"
+
+    # ------------------------------------------------------------------
+    def max_node(self) -> int:
+        """Largest node index referenced (-1 for an empty schedule)."""
+        return max((e.node for e in self._events), default=-1)
+
+    def crash_for(self, node: int, round: int) -> FaultEvent | None:
+        """The crash afflicting ``node`` in ``round``, if scheduled."""
+        for event in self._events:
+            if event.kind == "crash" and event.node == node and event.round == round:
+                return event
+        return None
+
+    def straggler_for(self, node: int, round: int) -> FaultEvent | None:
+        """The straggler slowdown of ``node`` in ``round``, if scheduled."""
+        for event in self._events:
+            if (
+                event.kind == "straggler"
+                and event.node == node
+                and event.round == round
+            ):
+                return event
+        return None
+
+    def transfer_for(self, node: int) -> FaultEvent | None:
+        """The transfer-corruption event of ``node``, if scheduled."""
+        for event in self._events:
+            if event.kind == "transfer" and event.node == node:
+                return event
+        return None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        seed: int | None,
+        num_nodes: int,
+        *,
+        crash_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        transfer_rate: float = 0.0,
+        slowdown: float = 2.0,
+        max_completed_chunks: int = 2,
+    ) -> "FaultSchedule":
+        """Draw a schedule from independent per-node Bernoulli trials.
+
+        Deterministic: the schedule is a pure function of the arguments
+        (Philox stream keyed by ``seed``), so sampled fault campaigns are
+        as reproducible as explicit ones.  If every node drew a crash,
+        the last node's crash is dropped — a schedule that kills the
+        whole cluster cannot be recovered from and is never useful as a
+        *recoverable* campaign.
+        """
+        num_nodes = check_positive_int(num_nodes, "num_nodes")
+        for name, rate in (
+            ("crash_rate", crash_rate),
+            ("straggler_rate", straggler_rate),
+            ("transfer_rate", transfer_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1], got {rate!r}")
+        check_nonnegative_int(max_completed_chunks, "max_completed_chunks")
+        gen = philox_stream(seed, 0xFA017)
+        draws = gen.random((num_nodes, 3))
+        chunk_draws = gen.integers(0, max_completed_chunks + 1, size=num_nodes)
+        events: list[FaultEvent] = []
+        crashed = [bool(draws[n, 0] < crash_rate) for n in range(num_nodes)]
+        if all(crashed):
+            crashed[-1] = False
+        for node in range(num_nodes):
+            if crashed[node]:
+                events.append(
+                    FaultEvent(
+                        "crash", node, completed_chunks=int(chunk_draws[node])
+                    )
+                )
+            if draws[node, 1] < straggler_rate:
+                events.append(FaultEvent("straggler", node, slowdown=slowdown))
+            if draws[node, 2] < transfer_rate:
+                events.append(FaultEvent("transfer", node))
+        return cls(events)

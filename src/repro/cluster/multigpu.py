@@ -14,6 +14,18 @@ The modeled wall time is ``broadcast + max_g(node time) + allreduce``;
 because the compute term shrinks like ``1/G`` while the communication
 terms do not, the model exhibits the expected strong-scaling knee — the
 ablation benchmark locates it.
+
+**Fault tolerance** (docs/RESILIENCE.md): when a
+:class:`~repro.cluster.FaultSchedule` and/or ``checkpoint_every`` is
+given, :class:`MultiGpuKPM` runs in *resilient* mode — per-partition
+moment tables are checkpointed in chunks, crashed nodes' unfinished
+vector ranges are rebalanced over the survivors, corrupted transfers are
+retransmitted under a capped :class:`~repro.cluster.RetryPolicy` budget,
+and the recovered run reproduces the **bit-identical**
+:class:`~repro.kpm.MomentData` of a fault-free run (each moment row is a
+pure function of its global Philox stream index).  The overhead is
+honestly charged to the ``"recovery"`` and ``"rebalance"`` phases of the
+:class:`~repro.timing.TimingReport`.
 """
 
 from __future__ import annotations
@@ -23,10 +35,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.policy import RetryBudget, RetryPolicy
+from repro.errors import DeviceError, DeviceLostError, FaultError, ValidationError
 from repro.gpu.spec import TESLA_C2050, GpuSpec
 from repro.gpukpm.estimator import gpu_kpm_breakdown
-from repro.gpukpm.pipeline import GpuKPM
+from repro.gpukpm.pipeline import CheckpointChunk, GpuKPM
 from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData
 from repro.sparse import CSRMatrix, as_operator
@@ -40,10 +54,14 @@ __all__ = [
     "MultiGpuKPM",
     "multigpu_breakdown",
     "estimate_multigpu_seconds",
+    "broadcast_seconds",
+    "allreduce_seconds",
 ]
 
 _FLOAT = 8
 _INDEX = 8
+#: Payload of one rebalance coordination message: (start, count, node).
+_RANGE_MSG_BYTES = 24
 
 
 @dataclass(frozen=True)
@@ -89,6 +107,39 @@ def _matrix_bytes(dimension: int, nnz: int | None) -> float:
     return nnz * (_FLOAT + _INDEX) + (dimension + 1) * _INDEX
 
 
+def _tree_stages(num_devices: int) -> int:
+    return math.ceil(math.log2(num_devices)) if num_devices > 1 else 0
+
+
+def broadcast_seconds(
+    interconnect: InterconnectSpec,
+    dimension: int,
+    num_devices: int,
+    *,
+    nnz: int | None = None,
+) -> float:
+    """Binomial-tree broadcast of ``H~`` to ``num_devices`` nodes.
+
+    The single source of the broadcast cost formula: the functional
+    driver, the analytic estimator, and the recovery accounting all call
+    this helper, so they cannot drift apart.
+    """
+    stages = _tree_stages(num_devices)
+    return stages * interconnect.message_seconds(_matrix_bytes(dimension, nnz))
+
+
+def allreduce_seconds(
+    interconnect: InterconnectSpec, num_moments: int, num_devices: int
+) -> float:
+    """Tree all-reduce of the ``N`` moment sums over ``num_devices`` nodes.
+
+    Shared by the functional driver and the analytic estimator (see
+    :func:`broadcast_seconds`).
+    """
+    stages = _tree_stages(num_devices)
+    return 2 * stages * interconnect.message_seconds(num_moments * _FLOAT)
+
+
 def multigpu_breakdown(
     spec: GpuSpec,
     dimension: int,
@@ -98,7 +149,7 @@ def multigpu_breakdown(
     interconnect: InterconnectSpec = INFINIBAND_QDR,
     nnz: int | None = None,
 ) -> dict[str, float]:
-    """Modeled seconds per phase of the cluster run.
+    """Modeled seconds per phase of the (fault-free) cluster run.
 
     Keys: ``"broadcast"``, ``"compute"`` (slowest node), ``"allreduce"``.
     """
@@ -109,9 +160,8 @@ def multigpu_breakdown(
             f"vectors ({config.total_vectors}); idle devices are a "
             "configuration error"
         )
-    stages = math.ceil(math.log2(num_devices)) if num_devices > 1 else 0
-    broadcast = stages * interconnect.message_seconds(_matrix_bytes(dimension, nnz))
-    allreduce = 2 * stages * interconnect.message_seconds(config.num_moments * _FLOAT)
+    broadcast = broadcast_seconds(interconnect, dimension, num_devices, nnz=nnz)
+    allreduce = allreduce_seconds(interconnect, config.num_moments, num_devices)
 
     slices = _partition(config.total_vectors, num_devices)
     compute = 0.0
@@ -141,12 +191,44 @@ def estimate_multigpu_seconds(
     )
 
 
+class _NodeRun:
+    """Outcome of one node executing one assigned vector range."""
+
+    __slots__ = ("useful_seconds", "wasted_seconds", "survived", "leftover")
+
+    def __init__(self, useful, wasted, survived, leftover):
+        self.useful_seconds = useful
+        self.wasted_seconds = wasted
+        self.survived = survived
+        self.leftover = leftover  # (start, count) still to compute, or None
+
+
 class MultiGpuKPM:
     """Functional multi-device KPM over simulated GPUs.
 
     Each device executes its vector partition through the unmodified
     single-GPU pipeline; the host plays the role of the MPI layer
     (broadcast + all-reduce are charged to the interconnect model).
+
+    Parameters
+    ----------
+    num_devices:
+        Cluster size ``G``.
+    spec:
+        Per-node device model.
+    interconnect:
+        Network model for the collectives (and recovery traffic).
+    fault_schedule:
+        Deterministic fault campaign to inject
+        (:class:`~repro.cluster.FaultSchedule`).  Enables resilient mode.
+    policy:
+        Retry/backoff knobs (:class:`~repro.cluster.RetryPolicy`);
+        defaults to ``RetryPolicy()`` in resilient mode.
+    checkpoint_every:
+        Vectors per checkpoint chunk in resilient mode (default: one
+        chunk per partition — a crash then loses the whole partition's
+        work, but recovery still succeeds).  Also enables resilient mode
+        on its own, for measuring pure checkpoint overhead.
     """
 
     def __init__(
@@ -155,25 +237,60 @@ class MultiGpuKPM:
         spec: GpuSpec = TESLA_C2050,
         *,
         interconnect: InterconnectSpec = INFINIBAND_QDR,
+        fault_schedule: FaultSchedule | None = None,
+        policy: RetryPolicy | None = None,
+        checkpoint_every: int | None = None,
     ):
         self.num_devices = check_positive_int(num_devices, "num_devices")
         self.spec = spec
         self.interconnect = interconnect
+        if fault_schedule is not None and not isinstance(fault_schedule, FaultSchedule):
+            raise ValidationError(
+                "fault_schedule must be a FaultSchedule, got "
+                f"{type(fault_schedule).__name__}"
+            )
+        if policy is not None and not isinstance(policy, RetryPolicy):
+            raise ValidationError(
+                f"policy must be a RetryPolicy, got {type(policy).__name__}"
+            )
+        if checkpoint_every is not None:
+            checkpoint_every = check_positive_int(checkpoint_every, "checkpoint_every")
+        self.fault_schedule = fault_schedule
+        self.policy = policy
+        self.checkpoint_every = checkpoint_every
+
+    # ------------------------------------------------------------------
+    @property
+    def resilient(self) -> bool:
+        """True when the driver runs with checkpoint/recovery machinery."""
+        return self.fault_schedule is not None or self.checkpoint_every is not None
 
     def run(self, scaled_operator, config: KPMConfig) -> tuple[MomentData, TimingReport]:
-        """Run the partitioned pipeline; moments match a single-device run."""
+        """Run the partitioned pipeline; moments match a single-device run.
+
+        In resilient mode the returned ``MomentData`` is *bit-identical*
+        to the fault-free run and the report's breakdown carries the
+        extra ``"recovery"`` and ``"rebalance"`` phases.
+        """
         if not isinstance(config, KPMConfig):
             raise ValidationError(
                 f"config must be a KPMConfig, got {type(config).__name__}"
             )
         op = as_operator(scaled_operator)
-        dim = op.shape[0]
         total = config.total_vectors
         if self.num_devices > total:
             raise ValidationError(
                 f"num_devices ({self.num_devices}) exceeds the number of "
                 f"random vectors ({total})"
             )
+        if self.resilient:
+            return self._run_resilient(op, config)
+        return self._run_fault_free(op, config)
+
+    # ------------------------------------------------------------------
+    def _run_fault_free(self, op, config: KPMConfig) -> tuple[MomentData, TimingReport]:
+        dim = op.shape[0]
+        total = config.total_vectors
         nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
 
         with WallTimer() as timer:
@@ -188,13 +305,204 @@ class MultiGpuKPM:
                 node_seconds.append(device.modeled_seconds)
             full_table = np.concatenate(tables, axis=0)
 
-        stages = math.ceil(math.log2(self.num_devices)) if self.num_devices > 1 else 0
-        broadcast = stages * self.interconnect.message_seconds(_matrix_bytes(dim, nnz))
-        allreduce = 2 * stages * self.interconnect.message_seconds(
-            config.num_moments * _FLOAT
+        broadcast = broadcast_seconds(
+            self.interconnect, dim, self.num_devices, nnz=nnz
         )
-        modeled = broadcast + max(node_seconds) + allreduce
+        allreduce = allreduce_seconds(
+            self.interconnect, config.num_moments, self.num_devices
+        )
+        breakdown = {
+            "broadcast": broadcast,
+            "compute": max(node_seconds),
+            "allreduce": allreduce,
+        }
+        return self._assemble(
+            full_table, config, dim, breakdown, timer.seconds, resilient=False
+        )
 
+    # ------------------------------------------------------------------
+    def _run_resilient(self, op, config: KPMConfig) -> tuple[MomentData, TimingReport]:
+        """Checkpointed execution with fault injection and recovery.
+
+        Accounting convention (docs/RESILIENCE.md): ``"compute"`` is the
+        slowest node's *useful* (checkpointed) work in the initial round;
+        ``"rebalance"`` is coordination messages plus the slowest
+        survivor's work per recovery round; ``"recovery"`` collects every
+        other fault-induced cost — work lost past the last checkpoint,
+        straggler excess, retry backoffs, and retransmissions.
+        """
+        dim = op.shape[0]
+        total = config.total_vectors
+        num_moments = config.num_moments
+        nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
+        schedule = self.fault_schedule if self.fault_schedule is not None else FaultSchedule()
+        policy = self.policy if self.policy is not None else RetryPolicy()
+        if schedule.max_node() >= self.num_devices:
+            raise ValidationError(
+                f"fault schedule references node {schedule.max_node()} but the "
+                f"cluster has {self.num_devices} node(s)"
+            )
+        budget = policy.budget()
+
+        table = np.zeros((total, num_moments), dtype=np.float64)
+        filled = np.zeros(total, dtype=bool)
+        compute = 0.0
+        rebalance = 0.0
+        recovery = 0.0
+
+        with WallTimer() as timer:
+            runner = GpuKPM(self.spec)
+            alive = list(range(self.num_devices))
+            assignments = [
+                (node, span)
+                for node, span in zip(alive, _partition(total, self.num_devices))
+            ]
+            round_idx = 0
+            while assignments:
+                if round_idx > 0:
+                    budget.spend(f"rebalance round {round_idx}")
+                    recovery += policy.backoff_seconds(round_idx - 1)
+                    rebalance += len(assignments) * self.interconnect.message_seconds(
+                        _RANGE_MSG_BYTES
+                    )
+                node_useful: dict[int, float] = {}
+                lost: list[tuple[int, int]] = []
+                for node, span in assignments:
+                    outcome = self._run_node(
+                        runner, op, config, schedule,
+                        node=node, span=span, round_idx=round_idx,
+                        table=table, filled=filled,
+                    )
+                    node_useful[node] = (
+                        node_useful.get(node, 0.0) + outcome.useful_seconds
+                    )
+                    recovery += outcome.wasted_seconds
+                    straggler = schedule.straggler_for(node, round_idx)
+                    if straggler is not None:
+                        busy = outcome.useful_seconds + outcome.wasted_seconds
+                        recovery += busy * (straggler.slowdown - 1.0)
+                    if not outcome.survived:
+                        alive.remove(node)
+                        if outcome.leftover is not None:
+                            lost.append(outcome.leftover)
+                round_busy = max(node_useful.values(), default=0.0)
+                if round_idx == 0:
+                    compute = round_busy
+                else:
+                    rebalance += round_busy
+                if lost and not alive:
+                    raise FaultError(
+                        "all cluster nodes crashed; no survivor to rebalance "
+                        f"{len(lost)} unfinished vector range(s) onto"
+                    )
+                assignments = []
+                for lstart, lcount in lost:
+                    parts = _partition(lcount, min(len(alive), lcount))
+                    for idx, (off, cnt) in enumerate(parts):
+                        assignments.append((alive[idx], (lstart + off, cnt)))
+                round_idx += 1
+
+            # Transient transfer corruption at the all-reduce: detected by
+            # checksum, retransmitted after backoff.  Sender data is
+            # intact, so only time is lost.
+            for node in alive:
+                event = schedule.transfer_for(node)
+                if event is None:
+                    continue
+                for attempt in range(event.count):
+                    budget.spend(f"retransmission from node {node}")
+                    recovery += policy.backoff_seconds(attempt)
+                    recovery += self.interconnect.message_seconds(
+                        num_moments * _FLOAT
+                    )
+
+        if not bool(filled.all()):  # pragma: no cover - driver invariant
+            raise DeviceError(
+                "resilient driver finished with unfilled moment rows; this is "
+                "a bug in the rebalancing bookkeeping"
+            )
+        breakdown = {
+            "broadcast": broadcast_seconds(
+                self.interconnect, dim, self.num_devices, nnz=nnz
+            ),
+            "compute": compute,
+            "rebalance": rebalance,
+            "recovery": recovery,
+            "allreduce": allreduce_seconds(
+                self.interconnect, num_moments, len(alive)
+            ),
+        }
+        return self._assemble(
+            table, config, dim, breakdown, timer.seconds, resilient=True
+        )
+
+    def _run_node(
+        self,
+        runner: GpuKPM,
+        op,
+        config: KPMConfig,
+        schedule: FaultSchedule,
+        *,
+        node: int,
+        span: tuple[int, int],
+        round_idx: int,
+        table: np.ndarray,
+        filled: np.ndarray,
+    ) -> _NodeRun:
+        """Execute one assigned range on ``node``, injecting its faults."""
+        start, count = span
+        crash = schedule.crash_for(node, round_idx)
+        chunk_size = self.checkpoint_every or count
+        state = {"chunks": 0, "chunk_seconds": 0.0, "wasted": 0.0, "next": start}
+
+        def on_chunk(chunk: CheckpointChunk) -> None:
+            if crash is not None and state["chunks"] >= crash.completed_chunks:
+                # Died mid-chunk: the chunk was computed but never
+                # checkpointed, so its time is pure loss.
+                state["wasted"] += chunk.modeled_seconds
+                raise DeviceLostError(
+                    f"node {node} crashed in round {round_idx} after "
+                    f"{state['chunks']} checkpointed chunk(s)"
+                )
+            stop = chunk.first_vector + chunk.num_vectors
+            table[chunk.first_vector : stop] = chunk.rows
+            filled[chunk.first_vector : stop] = True
+            state["chunks"] += 1
+            state["chunk_seconds"] += chunk.modeled_seconds
+            state["next"] = stop
+
+        try:
+            runner.run_partition(
+                op,
+                config,
+                first_vector=start,
+                num_vectors=count,
+                checkpoint_every=chunk_size,
+                on_chunk=on_chunk,
+            )
+            survived = True
+        except DeviceLostError:
+            survived = False
+        device_total = runner.last_device.modeled_seconds
+        # Fixed overhead (setup + H~ upload) is required work even
+        # fault-free; only the un-checkpointed chunk counts as waste.
+        useful = device_total - state["wasted"]
+        leftover = None
+        if not survived and state["next"] < start + count:
+            leftover = (state["next"], start + count - state["next"])
+        return _NodeRun(useful, state["wasted"], survived, leftover)
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        full_table: np.ndarray,
+        config: KPMConfig,
+        dim: int,
+        breakdown: dict[str, float],
+        wall_seconds: float,
+        *,
+        resilient: bool,
+    ) -> tuple[MomentData, TimingReport]:
         per_realization = (
             full_table.reshape(
                 config.num_realizations, config.num_random_vectors, config.num_moments
@@ -207,15 +515,12 @@ class MultiGpuKPM:
             dimension=dim,
             num_vectors=config.num_random_vectors,
         )
+        suffix = ",resilient" if resilient else ""
         report = TimingReport(
-            backend=f"multi-gpu-sim(x{self.num_devices})",
+            backend=f"multi-gpu-sim(x{self.num_devices}{suffix})",
             device=f"{self.num_devices} x {self.spec.name} over {self.interconnect.name}",
-            modeled_seconds=modeled,
-            wall_seconds=timer.seconds,
-            breakdown={
-                "broadcast": broadcast,
-                "compute": max(node_seconds),
-                "allreduce": allreduce,
-            },
+            modeled_seconds=sum(breakdown.values()),
+            wall_seconds=wall_seconds,
+            breakdown=dict(breakdown),
         )
         return data, report

@@ -1,0 +1,88 @@
+"""Retry/backoff policy of the fault-tolerant cluster driver.
+
+Recovery actions are not free: every rebalance round and every
+retransmission consumes one unit of a capped budget, and waits an
+exponential backoff first.  The cap is what turns an adversarial fault
+schedule into a clean :class:`repro.errors.FaultError` instead of an
+unbounded recovery loop; the backoff is the honest wall-time price of
+detection and coordination, charged to the ``"recovery"`` phase of the
+:class:`repro.timing.TimingReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultError, ValidationError
+from repro.util.validation import check_nonnegative_int
+
+__all__ = ["RetryPolicy", "RetryBudget"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the recovery behaviour.
+
+    Attributes
+    ----------
+    max_retries:
+        Total recovery actions (rebalance rounds + transfer
+        retransmissions) allowed per run; exceeding it raises
+        :class:`repro.errors.FaultError`.
+    backoff_base_s:
+        Wait before the first retry of an action, in modeled seconds.
+    backoff_factor:
+        Multiplier applied per subsequent retry of the same action
+        (exponential backoff).
+    """
+
+    max_retries: int = 8
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.max_retries, "max_retries")
+        if not self.backoff_base_s >= 0.0:
+            raise ValidationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s!r}"
+            )
+        if not self.backoff_factor >= 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based) of one action."""
+        attempt = check_nonnegative_int(attempt, "attempt")
+        return self.backoff_base_s * self.backoff_factor**attempt
+
+    def budget(self) -> "RetryBudget":
+        """A fresh per-run budget counter for this policy."""
+        return RetryBudget(self)
+
+
+class RetryBudget:
+    """Per-run consumption counter against a :class:`RetryPolicy` cap."""
+
+    def __init__(self, policy: RetryPolicy):
+        if not isinstance(policy, RetryPolicy):
+            raise ValidationError(
+                f"policy must be a RetryPolicy, got {type(policy).__name__}"
+            )
+        self.policy = policy
+        self.used = 0
+
+    @property
+    def remaining(self) -> int:
+        """Recovery actions still allowed."""
+        return self.policy.max_retries - self.used
+
+    def spend(self, action: str) -> None:
+        """Consume one recovery action; raise once the cap is exceeded."""
+        if self.used >= self.policy.max_retries:
+            raise FaultError(
+                f"retry budget exhausted ({self.policy.max_retries} recovery "
+                f"action(s)) attempting {action}; raise RetryPolicy.max_retries "
+                "or fix the cluster"
+            )
+        self.used += 1

@@ -15,6 +15,8 @@ __all__ = [
     "DeviceError",
     "OutOfMemoryError",
     "LaunchError",
+    "FaultError",
+    "DeviceLostError",
     "ConvergenceError",
 ]
 
@@ -50,6 +52,25 @@ class OutOfMemoryError(DeviceError):
 
 class LaunchError(DeviceError):
     """A kernel launch was configured outside the device's limits."""
+
+
+class FaultError(DeviceError):
+    """A cluster fault could not be recovered.
+
+    Raised by the resilient multi-GPU driver (:mod:`repro.cluster`) when
+    the retry budget of the :class:`~repro.cluster.RetryPolicy` is
+    exhausted or when no surviving node remains to rebalance onto.
+    """
+
+
+class DeviceLostError(FaultError):
+    """A simulated cluster node crashed mid-run.
+
+    Internal recovery signal of :mod:`repro.cluster`: the resilient
+    driver catches it, restores the node's checkpointed moment rows, and
+    rebalances the unfinished vector range over the survivors.  It
+    escapes to the caller only when recovery is impossible.
+    """
 
 
 class ConvergenceError(ReproError):

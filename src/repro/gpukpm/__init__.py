@@ -25,7 +25,7 @@ from repro.gpukpm.stats import (
     per_vector_recursion_stats,
 )
 from repro.gpukpm.memory_plan import MemoryPlan, plan_memory, paper_memory_bytes
-from repro.gpukpm.pipeline import GpuKPM, GpuSimEngine
+from repro.gpukpm.pipeline import CheckpointChunk, GpuKPM, GpuSimEngine
 from repro.gpukpm.estimator import estimate_gpu_kpm_seconds, gpu_kpm_breakdown
 from repro.gpukpm.blocksize import BlockSizePoint, tune_block_size
 from repro.gpukpm.conductivity_gpu import (
@@ -44,6 +44,7 @@ __all__ = [
     "MemoryPlan",
     "plan_memory",
     "paper_memory_bytes",
+    "CheckpointChunk",
     "GpuKPM",
     "GpuSimEngine",
     "estimate_gpu_kpm_seconds",

@@ -15,6 +15,9 @@ no execution).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
 import numpy as np
 
 from repro.errors import ValidationError
@@ -31,8 +34,36 @@ from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData
 from repro.sparse import CSRMatrix, as_operator
 from repro.timing import TimingReport, WallTimer
+from repro.util.validation import check_positive_int
 
-__all__ = ["GpuKPM", "GpuSimEngine"]
+__all__ = ["CheckpointChunk", "GpuKPM", "GpuSimEngine"]
+
+
+@dataclass(frozen=True)
+class CheckpointChunk:
+    """One checkpointed slice of a partition's moment table.
+
+    Handed to the ``on_chunk`` hook of :meth:`GpuKPM.run_partition` after
+    each chunk of vectors finishes and its rows are downloaded.  The
+    fault-tolerant cluster driver (:mod:`repro.cluster`) persists these
+    rows so a node crash only loses work since the last checkpoint.
+
+    Attributes
+    ----------
+    first_vector:
+        Global index of the chunk's first vector row.
+    num_vectors:
+        Number of rows in the chunk.
+    rows:
+        ``(num_vectors, N)`` float64 copy of the raw moment rows.
+    modeled_seconds:
+        Modeled device seconds this chunk cost (launch + download).
+    """
+
+    first_vector: int
+    num_vectors: int
+    rows: np.ndarray
+    modeled_seconds: float
 
 
 class GpuKPM:
@@ -102,6 +133,8 @@ class GpuKPM:
         *,
         first_vector: int,
         num_vectors: int,
+        checkpoint_every: int | None = None,
+        on_chunk: Callable[[CheckpointChunk], None] | None = None,
     ) -> tuple[np.ndarray, np.ndarray, Device]:
         """Run the pipeline for vectors ``[first_vector, first_vector + num_vectors)``.
 
@@ -111,11 +144,30 @@ class GpuKPM:
         vector numbering keeps the random streams identical to a
         single-device run.
 
+        Parameters
+        ----------
+        checkpoint_every:
+            When set, split the recursion into launches of at most this
+            many vectors and download each chunk's rows as soon as it
+            finishes (checkpoint mode).  Each chunk costs an extra
+            download, honestly charged to the device; the partition mean
+            is then reduced on the host (the cluster driver re-reduces
+            globally anyway).  Per-vector moment rows are bit-identical
+            to the single-launch path because every row depends only on
+            its own global random stream.
+        on_chunk:
+            Hook invoked with a :class:`CheckpointChunk` after each chunk
+            (implies checkpoint mode with one chunk if
+            ``checkpoint_every`` is unset).  The hook may raise — e.g.
+            :class:`repro.errors.DeviceLostError` from an injected fault
+            schedule — which aborts the partition mid-run; rows already
+            handed to the hook remain valid checkpoints.
+
         Returns
         -------
         (mu_tilde, mu, device):
             The raw per-vector moment table ``(num_vectors, N)``, the
-            device-reduced mean over this partition ``(N,)`` (both
+            reduced mean over this partition ``(N,)`` (both
             *unnormalized* by ``D``), and the device with its profiler.
         """
         if not isinstance(config, KPMConfig):
@@ -159,6 +211,22 @@ class GpuKPM:
 
         # --- workspace + moment buffers (paper Sec. III-B2) ---------
         workspace = device.alloc((plan.num_blocks, 4, dim), dtype=dtype, name="workspace")
+
+        if checkpoint_every is not None or on_chunk is not None:
+            return self._run_chunked(
+                device,
+                matrix,
+                workspace,
+                config,
+                nnz=nnz,
+                dim=dim,
+                dtype=dtype,
+                first_vector=first_vector,
+                num_vectors=num_vectors,
+                checkpoint_every=checkpoint_every,
+                on_chunk=on_chunk,
+            )
+
         mu_tilde = device.alloc((num_vectors, num_moments), dtype=dtype, name="mu_tilde")
         mu_out = device.alloc(num_moments, dtype=dtype, name="mu")
 
@@ -210,6 +278,84 @@ class GpuKPM:
         host_mu = np.empty(num_moments, dtype=dtype)
         device.memcpy_dtoh(host_mu_tilde, mu_tilde)
         device.memcpy_dtoh(host_mu, mu_out)
+        return host_mu_tilde.astype(np.float64), host_mu.astype(np.float64), device
+
+    def _run_chunked(
+        self,
+        device: Device,
+        matrix: DeviceMatrix,
+        workspace,
+        config: KPMConfig,
+        *,
+        nnz: int | None,
+        dim: int,
+        dtype,
+        first_vector: int,
+        num_vectors: int,
+        checkpoint_every: int | None,
+        on_chunk: Callable[[CheckpointChunk], None] | None,
+    ) -> tuple[np.ndarray, np.ndarray, Device]:
+        """Checkpoint-mode recursion: one launch + download per chunk.
+
+        Every chunk launch uses the same per-vector accounting as the
+        single-launch path, so the only modeled-cost difference is the
+        finer-grained downloads — the honest price of checkpointing.
+        """
+        if checkpoint_every is None:
+            checkpoint_every = num_vectors
+        checkpoint_every = check_positive_int(checkpoint_every, "checkpoint_every")
+        num_moments = config.num_moments
+        host_mu_tilde = np.empty((num_vectors, num_moments), dtype=dtype)
+        for start in range(0, num_vectors, checkpoint_every):
+            count = min(checkpoint_every, num_vectors - start)
+            sub_plan = plan_grid(count, config.block_size, self.spec)
+            pv_stats = per_vector_recursion_stats(
+                dim,
+                num_moments,
+                nnz=nnz,
+                block_size=sub_plan.block_size,
+                precision=config.precision,
+            )
+            footprint = recursion_footprint_bytes(
+                dim, sub_plan, self.spec, nnz=nnz, precision=config.precision
+            )
+            mu_chunk = device.alloc(
+                (count, num_moments), dtype=dtype, name="mu_tilde.chunk"
+            )
+            seconds_before = device.modeled_seconds
+            device.launch(
+                kpm_recursion_kernel,
+                grid=sub_plan.num_blocks,
+                block=sub_plan.block_size,
+                args=(
+                    matrix,
+                    workspace,
+                    mu_chunk,
+                    sub_plan,
+                    pv_stats,
+                    footprint,
+                    num_moments,
+                    config.num_random_vectors,
+                    config.vector_kind,
+                    config.seed,
+                    first_vector + start,
+                ),
+                shared_bytes_per_block=sub_plan.block_size * 8,
+            )
+            rows = np.empty((count, num_moments), dtype=dtype)
+            device.memcpy_dtoh(rows, mu_chunk)
+            mu_chunk.free()
+            host_mu_tilde[start : start + count] = rows
+            if on_chunk is not None:
+                on_chunk(
+                    CheckpointChunk(
+                        first_vector=first_vector + start,
+                        num_vectors=count,
+                        rows=rows.astype(np.float64),
+                        modeled_seconds=device.modeled_seconds - seconds_before,
+                    )
+                )
+        host_mu = host_mu_tilde.mean(axis=0)
         return host_mu_tilde.astype(np.float64), host_mu.astype(np.float64), device
 
 

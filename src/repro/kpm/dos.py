@@ -118,7 +118,16 @@ def compute_dos(
     if not isinstance(config, KPMConfig):
         raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
     op = as_operator(hamiltonian)
-    if not op.is_symmetric(tolerance=1e-12 * max(1.0, float(np.abs(op.diagonal()).max(initial=0.0)))):
+    # Tolerance must scale with the overall matrix magnitude (an
+    # O(nnz) infinity-norm bound: |diag| + off-diagonal row sums).  The
+    # paper's hopping Hamiltonians have a zero diagonal, so a
+    # diagonal-only scale collapses to an absolute 1e-12 and spuriously
+    # rejects symmetric operators whose entries carry roundoff-level
+    # asymmetry.
+    magnitude = float(
+        np.max(np.abs(op.diagonal()) + op.offdiag_abs_row_sums(), initial=0.0)
+    )
+    if not op.is_symmetric(tolerance=1e-12 * max(1.0, magnitude)):
         raise ValidationError(
             "hamiltonian must be symmetric; KPM spectral expansions assume a "
             "Hermitian operator"

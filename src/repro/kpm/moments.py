@@ -137,6 +137,7 @@ def moments_single_vector(
         return mu
     r_cur = op.matvec(r0)
     mu[1] = float(r0 @ r_cur)
+    _check_moment_magnitude(mu[1] / max(norm_sq, 1.0), 1)
 
     if use_doubling:
         # alpha_k = T_k(H~) r0; two moments per additional matvec.
@@ -148,6 +149,7 @@ def moments_single_vector(
             if 2 * k + 1 < num_moments:
                 a_next = 2.0 * op.matvec(a_cur) - a_prev
                 mu[2 * k + 1] = 2.0 * float(a_next @ a_cur) - mu[1]
+                _check_moment_magnitude(mu[2 * k + 1] / max(norm_sq, 1.0), 2 * k + 1)
                 a_prev, a_cur = a_cur, a_next
             k += 1
         return mu
@@ -187,6 +189,7 @@ def moments_block(
     mu[1] = np.einsum("ij,ij->j", block0, cur)
 
     scale = max(float(norms_sq.max(initial=1.0)), 1.0)
+    _check_moment_magnitude(float(np.max(np.abs(mu[1]))) / scale, 1)
 
     if use_doubling:
         prev, k = block0, 1
@@ -196,6 +199,9 @@ def moments_block(
             if 2 * k + 1 < num_moments:
                 nxt = 2.0 * op.matmat(cur) - prev
                 mu[2 * k + 1] = 2.0 * np.einsum("ij,ij->j", nxt, cur) - mu[1]
+                _check_moment_magnitude(
+                    float(np.max(np.abs(mu[2 * k + 1]))) / scale, 2 * k + 1
+                )
                 prev, cur = cur, nxt
             k += 1
         return mu
@@ -269,8 +275,12 @@ def exact_moments(operator, num_moments: int, *, chunk_size: int = 256) -> np.nd
     chunk_size = check_positive_int(chunk_size, "chunk_size")
     dim = op.shape[0]
     total = np.zeros(num_moments, dtype=np.float64)
-    identity = np.eye(dim, dtype=np.float64)
+    # Build each chunk's identity slab directly — materializing the full
+    # D x D identity would defeat the O(D * chunk_size) memory purpose
+    # of chunking in the first place.
     for start in range(0, dim, chunk_size):
-        block = identity[:, start : start + chunk_size]
+        count = min(chunk_size, dim - start)
+        block = np.zeros((dim, count), dtype=np.float64)
+        block[start + np.arange(count), np.arange(count)] = 1.0
         total += moments_block(op, block, num_moments).sum(axis=1)
     return total / dim

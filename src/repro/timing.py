@@ -44,6 +44,26 @@ class TimingReport:
     wall_seconds: float = 0.0
     breakdown: dict[str, float] = field(default_factory=dict)
 
+    def phase_seconds(self, *phases: str) -> float:
+        """Total modeled seconds of the named breakdown phases.
+
+        Unknown phase names count as zero, so callers can ask for e.g.
+        ``phase_seconds("recovery", "rebalance")`` on reports from
+        backends that never fault.
+        """
+        return float(sum(self.breakdown.get(name, 0.0) for name in phases))
+
+    def phase_fraction(self, *phases: str) -> float:
+        """Fraction of the total breakdown spent in the named phases.
+
+        Zero when the breakdown is empty or sums to zero.  Used by the
+        resilience ablation to report fault overhead shares.
+        """
+        total = sum(self.breakdown.values())
+        if total <= 0.0:
+            return 0.0
+        return self.phase_seconds(*phases) / total
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         parts = [f"backend={self.backend}"]

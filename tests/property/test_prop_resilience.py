@@ -1,0 +1,94 @@
+"""Property-based tests of the fault-tolerance contract.
+
+The resilient driver's guarantee is universal, not anecdotal: *any*
+recoverable fault campaign — whatever mix of crashes, stragglers, and
+transfer corruptions, at any checkpoint granularity — must reproduce the
+bit-identical moments of a fault-free run.  Hypothesis sweeps the
+campaign space at small scale; `FaultSchedule.sample` guarantees at
+least one survivor, which is the only condition recovery needs (given a
+generous retry budget).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import FaultSchedule, MultiGpuKPM, RetryPolicy
+from repro.kpm import KPMConfig, rescale_operator
+from repro.lattice import cubic, tight_binding_hamiltonian
+
+
+@pytest.fixture(scope="module")
+def scaled():
+    csr = tight_binding_hamiltonian(cubic(3), format="csr")
+    s, _ = rescale_operator(csr)
+    return s
+
+
+configs = st.builds(
+    KPMConfig,
+    num_moments=st.integers(2, 12),
+    num_random_vectors=st.integers(4, 8),
+    num_realizations=st.integers(1, 2),
+    seed=st.integers(0, 50),
+    block_size=st.just(32),
+)
+
+
+class TestRecoveryIsExact:
+    @given(
+        config=configs,
+        devices=st.integers(2, 4),
+        fault_seed=st.integers(0, 200),
+        crash_rate=st.floats(0.0, 1.0),
+        straggler_rate=st.floats(0.0, 1.0),
+        transfer_rate=st.floats(0.0, 1.0),
+        checkpoint_every=st.one_of(st.none(), st.integers(1, 4)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_recoverable_campaign_is_bit_identical(
+        self,
+        scaled,
+        config,
+        devices,
+        fault_seed,
+        crash_rate,
+        straggler_rate,
+        transfer_rate,
+        checkpoint_every,
+    ):
+        baseline, _ = MultiGpuKPM(devices).run(scaled, config)
+        schedule = FaultSchedule.sample(
+            fault_seed,
+            devices,
+            crash_rate=crash_rate,
+            straggler_rate=straggler_rate,
+            transfer_rate=transfer_rate,
+        )
+        data, report = MultiGpuKPM(
+            devices,
+            fault_schedule=schedule,
+            policy=RetryPolicy(max_retries=8 * devices),
+            checkpoint_every=checkpoint_every,
+        ).run(scaled, config)
+        assert np.array_equal(data.mu, baseline.mu)
+        assert np.array_equal(data.per_realization, baseline.per_realization)
+        assert report.breakdown["recovery"] >= 0.0
+        assert report.modeled_seconds == pytest.approx(
+            sum(report.breakdown.values())
+        )
+
+    @given(config=configs, devices=st.integers(1, 4), every=st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_checkpoint_granularity_never_changes_moments(
+        self, scaled, config, devices, every
+    ):
+        baseline, _ = MultiGpuKPM(devices).run(scaled, config)
+        data, report = MultiGpuKPM(devices, checkpoint_every=every).run(
+            scaled, config
+        )
+        assert np.array_equal(data.mu, baseline.mu)
+        assert np.array_equal(data.per_realization, baseline.per_realization)
+        # No faults: all fault phases stay at exactly zero.
+        assert report.breakdown["recovery"] == 0.0
+        assert report.breakdown["rebalance"] == 0.0

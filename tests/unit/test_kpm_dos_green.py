@@ -73,6 +73,49 @@ class TestComputeDos:
         assert 2.0 <= result.rescaling.scale <= 2.12
 
 
+class TestSymmetryTolerance:
+    """Regression: the symmetry tolerance must scale with the matrix.
+
+    It used to scale with the *diagonal* magnitude only; the paper's
+    hopping Hamiltonians have a zero diagonal, so the tolerance
+    collapsed to an absolute 1e-12 and roundoff-level asymmetry in
+    large off-diagonal entries was spuriously rejected.
+    """
+
+    @staticmethod
+    def _hopping_chain(n, t):
+        h = np.zeros((n, n))
+        for i in range(n - 1):
+            h[i, i + 1] = h[i + 1, i] = -t
+        return h
+
+    def test_zero_diagonal_roundoff_accepted(self, small_config):
+        h = self._hopping_chain(8, 1.0)
+        h[2, 3] += 1e-15
+        result = compute_dos(h, small_config)
+        assert np.isfinite(result.density).all()
+
+    def test_large_hopping_roundoff_accepted(self, small_config):
+        # t = 1e4 with 1e-11 roundoff asymmetry: above the old absolute
+        # 1e-12 cutoff, far below any genuine asymmetry at this scale.
+        h = self._hopping_chain(8, 1e4)
+        h[0, 1] += 1e-11
+        result = compute_dos(h, small_config)
+        assert np.isfinite(result.density).all()
+
+    def test_genuine_asymmetry_still_rejected(self, small_config):
+        h = self._hopping_chain(4, 1.0)
+        h[0, 1] = -0.9
+        with pytest.raises(ValidationError, match="symmetric"):
+            compute_dos(h, small_config)
+
+    def test_genuine_asymmetry_rejected_at_scale(self, small_config):
+        h = self._hopping_chain(4, 1e4)
+        h[0, 1] += 1.0
+        with pytest.raises(ValidationError, match="symmetric"):
+            compute_dos(h, small_config)
+
+
 class TestGreensFunction:
     @pytest.fixture
     def chain_result(self):

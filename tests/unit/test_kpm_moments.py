@@ -177,6 +177,65 @@ class TestExactMoments:
             atol=1e-12,
         )
 
+    def test_bounded_peak_allocation(self):
+        # Regression: the basis block used to be sliced out of a full
+        # np.eye(D) — an O(D^2) allocation that defeated chunking.  Peak
+        # traced memory must stay far below the dense identity.
+        import tracemalloc
+
+        dim = 1024
+        h = tight_binding_hamiltonian(chain(dim), format="csr")
+        scaled, _ = rescale_operator(h)
+        dense_identity_bytes = dim * dim * 8
+        tracemalloc.start()
+        try:
+            exact_moments(scaled, 4, chunk_size=8)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < dense_identity_bytes // 4
+
+
+class TestDivergenceChecks:
+    """Every moment order must be checked, on every recursion path.
+
+    Regression: the doubling paths skipped all odd orders and mu_1 was
+    never checked anywhere, so operators whose divergence shows first in
+    an unchecked order sailed through.
+    """
+
+    # Spectrum {10, 0.5, -0.5, 0.3} with start vector e0: the order-2
+    # doubled moment (199) stays under the divergence threshold while
+    # order 3 (3970) trips it — only the odd-order check can catch this.
+    _DIAG = (10.0, 0.5, -0.5, 0.3)
+
+    def test_doubling_checks_odd_orders_single(self):
+        op = np.diag(self._DIAG)
+        r0 = np.array([1.0, 0.0, 0.0, 0.0])
+        moments_single_vector(op, r0, 3, use_doubling=True)  # order 2 passes
+        with pytest.raises(SpectrumError, match="order 3 "):
+            moments_single_vector(op, r0, 4, use_doubling=True)
+
+    def test_doubling_checks_odd_orders_block(self):
+        op = np.diag(self._DIAG)
+        block = np.zeros((4, 2))
+        block[0, 0] = 1.0
+        block[1, 1] = 1.0
+        moments_block(op, block, 3, use_doubling=True)
+        with pytest.raises(SpectrumError, match="order 3 "):
+            moments_block(op, block, 4, use_doubling=True)
+
+    def test_first_moment_checked_single(self):
+        op = np.diag([2000.0, 0.0])
+        with pytest.raises(SpectrumError, match="order 1 "):
+            moments_single_vector(op, np.array([1.0, 0.0]), 2)
+
+    def test_first_moment_checked_block(self):
+        op = np.diag([2000.0, 0.0])
+        block = np.array([[1.0], [0.0]])
+        with pytest.raises(SpectrumError, match="order 1 "):
+            moments_block(op, block, 2)
+
 
 class TestMomentData:
     def test_shape_mismatch_rejected(self):
