@@ -1,0 +1,135 @@
+"""Serving-layer benches: batched + cached throughput vs naive per-request runs.
+
+The service's claim is architectural, not numerical: on a repeat-heavy
+trace, coalescing compatible requests into one engine run and caching
+moments across flush windows must cut the modeled engine time by a
+multiple, while every response stays bit-identical to a fresh
+``compute_dos`` call (the identity half lives in the test-suite; here we
+pin the throughput half).
+"""
+
+import numpy as np
+
+from repro.kpm import compute_dos
+from repro.serve import (
+    DoSRequest,
+    GreenRequest,
+    LDoSRequest,
+    SpectralService,
+    synthetic_trace,
+)
+
+TRACE_LENGTH = 120
+WINDOW = 20
+
+
+def _naive_modeled_seconds(trace) -> float:
+    """Modeled engine time of the pre-serve workflow: one run per request.
+
+    LDoS requests have no modeled hardware cost on the host path, so the
+    naive loop (like the service's own accounting) counts only the
+    engine-served trace requests — the comparison is conservative.
+    """
+    total = 0.0
+    for request in trace:
+        if isinstance(request, LDoSRequest):
+            continue
+        result = compute_dos(request.hamiltonian, request.config, backend="gpu-sim")
+        total += result.timing.modeled_seconds
+    return total
+
+
+def _serve_trace(trace):
+    service = SpectralService(backends=("gpu-sim",))
+    responses = []
+    for start in range(0, len(trace), WINDOW):
+        for request in trace[start : start + WINDOW]:
+            service.submit(request)
+        responses.extend(service.flush())
+    return service, responses
+
+
+class TestServeThroughput:
+    """Batching + caching vs the naive per-request workflow."""
+
+    def test_modeled_speedup(self, run_once, benchmark):
+        trace = synthetic_trace(TRACE_LENGTH, seed=0)
+        service, responses = run_once(benchmark, _serve_trace, trace)
+        metrics = service.metrics()
+        print()
+        print(metrics.summary())
+
+        assert len(responses) == TRACE_LENGTH
+        naive = _naive_modeled_seconds(trace)
+        # The service's own naive accounting must agree with an actual
+        # per-request replay (same engine, same modeled costs).
+        assert np.isclose(metrics.modeled_naive_seconds, naive, rtol=1e-12)
+        # Acceptance floor: >= 2x modeled throughput on a repeat-heavy
+        # trace.  (Measured: ~12x with default knobs.)
+        assert naive / metrics.modeled_served_seconds >= 2.0
+        assert metrics.modeled_speedup() >= 2.0
+        # Both mechanisms must contribute, or the win is one-legged.
+        assert metrics.coalesced_requests > 0
+        assert metrics.cache_hits > 0
+
+    def test_cache_disabled_still_batches(self, benchmark):
+        trace = synthetic_trace(TRACE_LENGTH, seed=0)
+
+        def run():
+            service = SpectralService(backends=("gpu-sim",), cache_capacity=0)
+            for start in range(0, len(trace), WINDOW):
+                for request in trace[start : start + WINDOW]:
+                    service.submit(request)
+                service.flush()
+            return service
+
+        service = benchmark.pedantic(run, rounds=1, iterations=1)
+        metrics = service.metrics()
+        print()
+        print(metrics.summary())
+        # Coalescing alone still wins on a repeat-heavy trace, but less
+        # than with the cache (every window recomputes its workloads).
+        assert metrics.cache_hits == 0
+        assert metrics.modeled_speedup() > 1.5
+
+
+class TestServeOverhead:
+    """Service bookkeeping must be negligible next to one engine run."""
+
+    def test_wall_overhead_small(self, benchmark):
+        trace = synthetic_trace(40, seed=1, ldos_fraction=0.0)
+
+        def run():
+            service = SpectralService(backends=("gpu-sim",))
+            service.serve(trace)
+            return service
+
+        service = benchmark.pedantic(run, rounds=3, iterations=1)
+        metrics = service.metrics()
+        # Wall time of the whole replay (host moment math included) stays
+        # well under the modeled engine seconds it dispatches.
+        assert metrics.wall_seconds < metrics.modeled_served_seconds
+
+
+class TestGreenCoalescing:
+    """DoS and Green requests of one workload share a single engine run."""
+
+    def test_shared_moments(self, benchmark):
+        trace = synthetic_trace(1, seed=0, green_fraction=0.0, ldos_fraction=0.0)
+        request = trace[0]
+        green = GreenRequest(
+            request.hamiltonian, energies=(-0.4, 0.3), config=request.config
+        )
+
+        def run():
+            service = SpectralService(backends=("gpu-sim",))
+            return service, service.serve([request, green])
+
+        service, responses = benchmark.pedantic(run, rounds=1, iterations=1)
+        metrics = service.metrics()
+        assert isinstance(request, DoSRequest)
+        assert metrics.batches_total == 1
+        assert metrics.engine_dispatches == 1
+        assert responses[0].source == "computed"
+        assert responses[1].source == "coalesced"
+        assert responses[1].values.dtype == np.complex128

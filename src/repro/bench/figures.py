@@ -427,7 +427,7 @@ def resilience_ablation(
     )
     baseline_data, baseline_report = MultiGpuKPM(
         num_devices, gpu, interconnect=interconnect, checkpoint_every=checkpoint_every
-    ).run(scaled, config)
+    ).compute_moments(scaled, config)
 
     rows = []
     for index, rate in enumerate(fault_rates):
@@ -445,7 +445,7 @@ def resilience_ablation(
             fault_schedule=schedule,
             policy=RetryPolicy(max_retries=4 * num_devices),
             checkpoint_every=checkpoint_every,
-        ).run(scaled, config)
+        ).compute_moments(scaled, config)
         rows.append(
             (
                 rate,

@@ -8,6 +8,8 @@ Python:
 * ``time``   — modeled CPU/GPU execution times for a parameter set
   (the paper's tables for arbitrary workloads).
 * ``bench``  — alias of :mod:`repro.bench`'s figure harness.
+* ``serve-sim`` — replay a synthetic request trace through the
+  :mod:`repro.serve` service layer and report batching/caching wins.
 """
 
 from __future__ import annotations
@@ -176,7 +178,7 @@ def _cmd_cluster(args) -> int:
         policy=RetryPolicy(max_retries=args.max_retries),
         checkpoint_every=args.checkpoint_every,
     )
-    data, report = driver.run(scaled, config)
+    data, report = driver.compute_moments(scaled, config)
     print(
         f"D={scaled.shape[0]} N={config.num_moments} R*S={config.total_vectors} "
         f"devices={args.devices} faults={schedule.num_faults} "
@@ -186,9 +188,9 @@ def _cmd_cluster(args) -> int:
     print(f"mu_0 = {data.mu[0]:.6f} (should be ~1)")
     print(report.summary())
     if args.verify:
-        reference, _ = MultiGpuKPM(args.devices, interconnect=interconnect).run(
-            scaled, config
-        )
+        reference, _ = MultiGpuKPM(
+            args.devices, interconnect=interconnect
+        ).compute_moments(scaled, config)
         identical = bool(
             np.array_equal(reference.mu, data.mu)
             and np.array_equal(reference.per_realization, data.per_realization)
@@ -196,6 +198,50 @@ def _cmd_cluster(args) -> int:
         print(f"bit-identical to the fault-free run: {identical}")
         if not identical:
             return 1
+    return 0
+
+
+def _cmd_serve_sim(args) -> int:
+    from repro.serve import SpectralService, synthetic_trace
+
+    trace = synthetic_trace(
+        args.requests,
+        seed=args.seed,
+        repeat_bias=args.repeat_bias,
+        green_fraction=args.green_fraction,
+        ldos_fraction=args.ldos_fraction,
+    )
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    service = SpectralService(
+        backends,
+        cache_capacity=args.cache_capacity,
+        max_batch_size=args.max_batch_size,
+    )
+    window = args.window if args.window else len(trace)
+    served = 0
+    for start in range(0, len(trace), window):
+        for request in trace[start : start + window]:
+            service.submit(request)
+        served += len(service.flush())
+    metrics = service.metrics()
+    print(
+        f"replayed {served} requests (seed {args.seed}, repeat bias "
+        f"{args.repeat_bias}) over backends: {', '.join(backends)}"
+    )
+    rows = [
+        ("requests", metrics.requests_total),
+        ("batches", metrics.batches_total),
+        ("coalesced requests", metrics.coalesced_requests),
+        ("cache hits", metrics.cache_hits),
+        ("cache misses", metrics.cache_misses),
+        ("cache hit rate", metrics.cache_hit_rate()),
+        ("engine dispatches", metrics.engine_dispatches),
+        ("modeled served (s)", metrics.modeled_served_seconds),
+        ("modeled naive (s)", metrics.modeled_naive_seconds),
+        ("modeled speedup (x)", metrics.modeled_speedup()),
+    ]
+    print(ascii_table(("metric", "value"), rows))
+    print(metrics.summary())
     return 0
 
 
@@ -258,6 +304,46 @@ def main(argv=None) -> int:
         help="re-run fault-free and check the moments are bit-identical",
     )
     cluster.set_defaults(func=_cmd_cluster)
+
+    serve_sim = subparsers.add_parser(
+        "serve-sim",
+        help="replay a synthetic request trace through the serving layer",
+    )
+    serve_sim.add_argument(
+        "--requests", "-n", type=int, default=200, help="trace length"
+    )
+    serve_sim.add_argument("--seed", type=int, default=0, help="trace seed")
+    serve_sim.add_argument(
+        "--repeat-bias",
+        type=float,
+        default=0.75,
+        help="probability a request repeats an already-seen workload",
+    )
+    serve_sim.add_argument(
+        "--green-fraction", type=float, default=0.15, help="Green's-function share"
+    )
+    serve_sim.add_argument(
+        "--ldos-fraction", type=float, default=0.1, help="local-DoS share"
+    )
+    serve_sim.add_argument(
+        "--backends",
+        default="gpu-sim",
+        help="comma-separated engine pool (e.g. gpu-sim,numpy,cluster)",
+    )
+    serve_sim.add_argument(
+        "--cache-capacity", type=int, default=128, help="moment-cache entries (0 disables)"
+    )
+    serve_sim.add_argument(
+        "--max-batch-size", type=int, default=None, help="largest coalesced batch"
+    )
+    serve_sim.add_argument(
+        "--window",
+        type=int,
+        default=25,
+        help="requests admitted per flush (0 = single flush; smaller windows "
+        "exercise the cache, larger ones the coalescer)",
+    )
+    serve_sim.set_defaults(func=_cmd_serve_sim)
 
     bench = subparsers.add_parser("bench", help="regenerate the paper's figures")
     bench.add_argument("ids", nargs="*", help="experiment ids (default: all)")

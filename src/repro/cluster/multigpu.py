@@ -31,6 +31,7 @@ honestly charged to the ``"recovery"`` and ``"rebalance"`` phases of the
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -210,6 +211,12 @@ class MultiGpuKPM:
     single-GPU pipeline; the host plays the role of the MPI layer
     (broadcast + all-reduce are charged to the interconnect model).
 
+    Implements the :class:`~repro.kpm.engines.MomentEngine` protocol
+    (``name`` + :meth:`compute_moments`); the default geometry is
+    registered as the ``"cluster"`` backend, and configured instances can
+    be passed to ``compute_dos(..., backend=MultiGpuKPM(8))`` or pooled
+    by :mod:`repro.serve`.
+
     Parameters
     ----------
     num_devices:
@@ -230,6 +237,8 @@ class MultiGpuKPM:
         work, but recovery still succeeds).  Also enables resilient mode
         on its own, for measuring pure checkpoint overhead.
     """
+
+    name = "cluster"
 
     def __init__(
         self,
@@ -266,6 +275,18 @@ class MultiGpuKPM:
         return self.fault_schedule is not None or self.checkpoint_every is not None
 
     def run(self, scaled_operator, config: KPMConfig) -> tuple[MomentData, TimingReport]:
+        """Deprecated alias of :meth:`compute_moments`."""
+        warnings.warn(
+            "MultiGpuKPM.run() is deprecated; use "
+            "MultiGpuKPM.compute_moments() (the MomentEngine protocol method)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.compute_moments(scaled_operator, config)
+
+    def compute_moments(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport]:
         """Run the partitioned pipeline; moments match a single-device run.
 
         In resilient mode the returned ``MomentData`` is *bit-identical*

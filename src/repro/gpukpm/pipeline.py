@@ -15,6 +15,7 @@ no execution).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -69,14 +70,21 @@ class CheckpointChunk:
 class GpuKPM:
     """GPU KPM runner bound to one device spec.
 
+    Implements the :class:`~repro.kpm.engines.MomentEngine` protocol
+    directly (``name`` + :meth:`compute_moments`), so an instance can be
+    passed to ``compute_dos(..., backend=GpuKPM(GTX_580))`` or scheduled
+    by the :mod:`repro.serve` engine pool.
+
     Parameters
     ----------
     spec:
         The simulated device; defaults to the paper's Tesla C2050.
 
-    After :meth:`run`, :attr:`last_device` holds the device with its full
-    profiler timeline for inspection.
+    After :meth:`compute_moments`, :attr:`last_device` holds the device
+    with its full profiler timeline for inspection.
     """
+
+    name = "gpu-sim"
 
     def __init__(self, spec: GpuSpec = TESLA_C2050):
         if not isinstance(spec, GpuSpec):
@@ -86,6 +94,18 @@ class GpuKPM:
 
     # ------------------------------------------------------------------
     def run(self, scaled_operator, config: KPMConfig) -> tuple[MomentData, TimingReport]:
+        """Deprecated alias of :meth:`compute_moments`."""
+        warnings.warn(
+            "GpuKPM.run() is deprecated; use GpuKPM.compute_moments() "
+            "(the MomentEngine protocol method)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.compute_moments(scaled_operator, config)
+
+    def compute_moments(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport]:
         """Execute the pipeline; return moments and the timing report.
 
         ``scaled_operator`` must already have its spectrum in
@@ -118,7 +138,7 @@ class GpuKPM:
         breakdown["setup"] = device.profiler.setup_seconds
         breakdown["transfer"] = device.profiler.transfer_seconds
         report = TimingReport(
-            backend="gpu-sim",
+            backend=self.name,
             device=self.spec.name,
             modeled_seconds=device.modeled_seconds,
             wall_seconds=timer.seconds,
@@ -360,7 +380,9 @@ class GpuKPM:
 
 
 class GpuSimEngine:
-    """Moment-engine adapter registering :class:`GpuKPM` as ``"gpu-sim"``."""
+    """Legacy adapter kept for compatibility — :class:`GpuKPM` now
+    implements the :class:`~repro.kpm.engines.MomentEngine` protocol
+    itself and is what ``get_engine("gpu-sim")`` returns."""
 
     name = "gpu-sim"
 
@@ -371,4 +393,4 @@ class GpuSimEngine:
         self, scaled_operator, config: KPMConfig
     ) -> tuple[MomentData, TimingReport]:
         """Run the GPU pipeline on the scaled operator."""
-        return self.runner.run(scaled_operator, config)
+        return self.runner.compute_moments(scaled_operator, config)

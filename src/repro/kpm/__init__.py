@@ -47,7 +47,7 @@ from repro.kpm.reconstruct import (
     evaluate_series_at,
     dos_from_moments,
 )
-from repro.kpm.dos import DoSResult, compute_dos
+from repro.kpm.dos import DoSResult, compute_dos, validate_spectral_operator
 from repro.kpm.green import greens_function, local_dos, local_dos_map
 from repro.kpm.engines import available_backends, get_engine, register_engine
 from repro.kpm.estimator import (
@@ -108,6 +108,7 @@ __all__ = [
     "dos_from_moments",
     "DoSResult",
     "compute_dos",
+    "validate_spectral_operator",
     "greens_function",
     "local_dos",
     "local_dos_map",

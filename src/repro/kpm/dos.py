@@ -25,7 +25,7 @@ from repro.kpm.rescale import Rescaling, rescale_operator
 from repro.sparse import as_operator
 from repro.timing import TimingReport
 
-__all__ = ["DoSResult", "compute_dos"]
+__all__ = ["DoSResult", "compute_dos", "validate_spectral_operator"]
 
 
 @dataclass
@@ -90,33 +90,14 @@ class DoSResult:
         return float(np.pi * self.rescaling.scale / self.config.num_moments)
 
 
-def compute_dos(
-    hamiltonian,
-    config: KPMConfig | None = None,
-    *,
-    backend: str = "numpy",
-) -> DoSResult:
-    """Compute the density of states of ``hamiltonian`` with the KPM.
+def validate_spectral_operator(hamiltonian):
+    """Coerce ``hamiltonian`` to the operator protocol and require symmetry.
 
-    Parameters
-    ----------
-    hamiltonian:
-        The (unscaled) Hamiltonian: ``ndarray``, CSR/COO matrix, or dense
-        operator.  Must be symmetric — KPM is defined for Hermitian
-        matrices; asymmetry is rejected early because it produces
-        silently wrong spectra.
-    config:
-        KPM parameters; defaults to ``KPMConfig()``.
-    backend:
-        Execution backend name (see :func:`repro.kpm.available_backends`).
-
-    Returns
-    -------
-    DoSResult
+    The shared admission check of :func:`compute_dos` and the
+    :mod:`repro.serve` service layer: KPM is defined for Hermitian
+    matrices, and asymmetry is rejected early because it produces
+    silently wrong spectra instead of crashing.
     """
-    config = KPMConfig() if config is None else config
-    if not isinstance(config, KPMConfig):
-        raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
     op = as_operator(hamiltonian)
     # Tolerance must scale with the overall matrix magnitude (an
     # O(nnz) infinity-norm bound: |diag| + off-diagonal row sums).  The
@@ -132,6 +113,39 @@ def compute_dos(
             "hamiltonian must be symmetric; KPM spectral expansions assume a "
             "Hermitian operator"
         )
+    return op
+
+
+def compute_dos(
+    hamiltonian,
+    config: KPMConfig | None = None,
+    *,
+    backend="numpy",
+) -> DoSResult:
+    """Compute the density of states of ``hamiltonian`` with the KPM.
+
+    Parameters
+    ----------
+    hamiltonian:
+        The (unscaled) Hamiltonian: ``ndarray``, CSR/COO matrix, or dense
+        operator.  Must be symmetric — KPM is defined for Hermitian
+        matrices; asymmetry is rejected early because it produces
+        silently wrong spectra.
+    config:
+        KPM parameters; defaults to ``KPMConfig()``.
+    backend:
+        Execution backend name (see :func:`repro.kpm.available_backends`)
+        or a ready :class:`~repro.kpm.engines.MomentEngine` instance,
+        e.g. ``GpuKPM(GTX_580)``.
+
+    Returns
+    -------
+    DoSResult
+    """
+    config = KPMConfig() if config is None else config
+    if not isinstance(config, KPMConfig):
+        raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
+    op = validate_spectral_operator(hamiltonian)
     scaled, rescaling = rescale_operator(
         op, method=config.bounds_method, epsilon=config.epsilon
     )

@@ -11,8 +11,13 @@ The registry decouples the KPM pipeline from the execution substrate:
   (:mod:`repro.cpu`).
 * ``"gpu-sim"``   — the paper's CUDA design on the simulated Tesla C2050
   (:mod:`repro.gpukpm`).
+* ``"cluster"``   — the multi-GPU driver over the default interconnect
+  (:mod:`repro.cluster`).
 
 Backends with heavyweight imports register lazily via a factory string.
+:func:`get_engine` also passes through a ready-made engine *instance*, so
+``compute_dos(H, cfg, backend=GpuKPM(GTX_580))`` works without touching
+the registry.
 """
 
 from __future__ import annotations
@@ -82,14 +87,26 @@ def _lazy_cpu_model() -> MomentEngine:
 
 
 def _lazy_gpu_sim() -> MomentEngine:
-    from repro.gpukpm.pipeline import GpuSimEngine
+    from repro.gpukpm.pipeline import GpuKPM
 
-    return GpuSimEngine()
+    return GpuKPM()
+
+
+#: Cluster size of the default ``"cluster"`` registry entry; workloads
+#: needing another geometry pass a configured ``MultiGpuKPM`` instance.
+DEFAULT_CLUSTER_DEVICES = 4
+
+
+def _lazy_cluster() -> MomentEngine:
+    from repro.cluster.multigpu import MultiGpuKPM
+
+    return MultiGpuKPM(DEFAULT_CLUSTER_DEVICES)
 
 
 register_engine("numpy", NumpyEngine)
 register_engine("cpu-model", _lazy_cpu_model)
 register_engine("gpu-sim", _lazy_gpu_sim)
+register_engine("cluster", _lazy_cluster)
 
 
 def available_backends() -> tuple[str, ...]:
@@ -97,18 +114,35 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_FACTORIES))
 
 
-def get_engine(name: str) -> MomentEngine:
-    """Instantiate the backend registered under ``name``."""
+def get_engine(backend: str | MomentEngine) -> MomentEngine:
+    """Resolve ``backend`` — a registry name or an engine instance.
+
+    A non-string object implementing the :class:`MomentEngine` protocol
+    is returned unchanged, so callers can hand a configured engine (e.g.
+    ``GpuKPM(GTX_580)`` or ``MultiGpuKPM(8)``) anywhere a backend name is
+    accepted.
+    """
+    if not isinstance(backend, str):
+        if isinstance(backend, MomentEngine):
+            return backend
+        raise ValidationError(
+            f"backend must be one of {', '.join(available_backends())} or a "
+            "MomentEngine instance (an object with a 'name' and "
+            "compute_moments(scaled_operator, config)); got "
+            f"{type(backend).__name__}"
+        )
     try:
-        factory = _FACTORIES[name]
+        factory = _FACTORIES[backend]
     except KeyError:
         raise ValidationError(
-            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+            f"unknown backend {backend!r}; available names: "
+            f"{', '.join(available_backends())} (a MomentEngine instance is "
+            "also accepted)"
         ) from None
     engine = factory()
     if not isinstance(engine, MomentEngine):
         raise ValidationError(
-            f"backend factory for {name!r} returned an object without "
+            f"backend factory for {backend!r} returned an object without "
             "compute_moments(); see repro.kpm.engines.MomentEngine"
         )
     return engine

@@ -140,7 +140,18 @@ def lanczos_bounds(
 def exact_bounds(operator) -> SpectralBounds:
     """Exact extremal eigenvalues via dense diagonalization (small D only)."""
     op = as_operator(operator)
-    eigenvalues = np.linalg.eigvalsh(op.to_dense())
+    dense = op.to_dense()
+    # LAPACK's symmetric-eigensolver reduction loses accuracy when an
+    # entry's square underflows (a coupling ~1e-161 next to O(1) entries
+    # can shift the reported extremal eigenvalues by percents, making the
+    # "exact" bounds too narrow and the rescaled spectrum escape [-1, 1]).
+    # Entries that far below the matrix scale perturb eigenvalues by at
+    # most their norm (Weyl), so flushing them is exact at double
+    # precision and sidesteps the underflow path.
+    magnitude = np.abs(dense).max()
+    if magnitude > 0.0:
+        dense = np.where(np.abs(dense) >= magnitude * 1e-30, dense, 0.0)
+    eigenvalues = np.linalg.eigvalsh(dense)
     return SpectralBounds(float(eigenvalues[0]), float(eigenvalues[-1]))
 
 

@@ -1,0 +1,56 @@
+"""repro.serve — batching + caching spectral service layer.
+
+The production-facing front-end the ROADMAP's heavy-traffic north star
+calls for: DoS, local-DoS, and Green's-function requests are admitted
+into a deterministic FIFO queue, coalesced when they share an operator
+fingerprint and moment configuration, served from a bounded LRU moment
+cache on repeats, and dispatched across a health-tracked pool of
+:class:`~repro.kpm.engines.MomentEngine` backends.
+
+Quick start::
+
+    from repro.serve import DoSRequest, SpectralService
+
+    service = SpectralService(backends=("gpu-sim",))
+    responses = service.serve([DoSRequest(H), DoSRequest(H)])
+    # second response is coalesced: one engine run, bit-identical moments
+    print(service.metrics().summary())
+
+Everything here is deterministic by construction (counter-based state,
+no wall-clock or RNG in scheduling) — replies are bit-identical to
+direct :func:`repro.kpm.compute_dos` / :func:`repro.kpm.local_dos`
+calls, which the test-suite property checks pin.
+"""
+
+from repro.serve.cache import CacheEntry, MomentCache
+from repro.serve.health import EnginePool, EngineSlot, PoolStats
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.requests import (
+    DoSRequest,
+    GreenRequest,
+    LDoSRequest,
+    SpectralResponse,
+    moment_config_key,
+)
+from repro.serve.scheduler import Batch, FifoCoalesceScheduler, QueuedRequest
+from repro.serve.service import SpectralService
+from repro.serve.trace import synthetic_trace
+
+__all__ = [
+    "Batch",
+    "CacheEntry",
+    "DoSRequest",
+    "EnginePool",
+    "EngineSlot",
+    "FifoCoalesceScheduler",
+    "GreenRequest",
+    "LDoSRequest",
+    "MomentCache",
+    "PoolStats",
+    "QueuedRequest",
+    "ServiceMetrics",
+    "SpectralResponse",
+    "SpectralService",
+    "moment_config_key",
+    "synthetic_trace",
+]

@@ -1,0 +1,103 @@
+"""Bounded LRU cache of moment computations.
+
+Weiße et al. (RMP 2006) note that Chebyshev moments are reusable across
+reconstructions: once ``mu_n`` is known for an operator/config pair,
+every kernel, energy grid, or derived observable is a cheap host-side
+transform.  The cache therefore stores *moments* (plus the rescaling
+that produced them), keyed by ``(matrix_fingerprint, config_key)`` — see
+:func:`repro.serve.moment_config_key` — and replays are bit-identical
+because reconstruction is deterministic.
+
+Eviction is strict LRU over a fixed capacity; all bookkeeping is
+counter-based (no wall-clock timestamps), keeping the service layer's
+determinism contract.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.util.validation import check_nonnegative_int
+
+__all__ = ["CacheEntry", "MomentCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached moment computation.
+
+    Attributes
+    ----------
+    moments:
+        :class:`~repro.kpm.MomentData` (trace requests) or the raw moment
+        array (LDoS).  Treated as immutable — callers must not modify it.
+    rescaling:
+        The :class:`~repro.kpm.Rescaling` used to produce the moments.
+    engine:
+        Name of the engine that computed the entry.
+    modeled_seconds:
+        The engine's modeled cost of the computation (``None`` when the
+        backend has no hardware model).  Used for the naive-vs-served
+        throughput accounting.
+    """
+
+    moments: object
+    rescaling: object
+    engine: str
+    modeled_seconds: float | None
+
+
+class MomentCache:
+    """Bounded LRU mapping ``(fingerprint, config_key) -> CacheEntry``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; ``0`` disables caching (every lookup
+        misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = check_nonnegative_int(capacity, "capacity")
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> CacheEntry | None:
+        """Look up ``key``; count a hit/miss and refresh LRU recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: CacheEntry) -> None:
+        """Insert ``entry``, evicting least-recently-used beyond capacity."""
+        if not isinstance(entry, CacheEntry):
+            raise ValidationError(
+                f"entry must be a CacheEntry, got {type(entry).__name__}"
+            )
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()

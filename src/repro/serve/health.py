@@ -1,0 +1,151 @@
+"""Engine pool with per-engine health tracking.
+
+The service schedules moment batches across a pool of
+:class:`~repro.kpm.engines.MomentEngine` backends.  Health follows the
+PR 2 fault taxonomy (:mod:`repro.errors`): a batch that dies with a
+:class:`~repro.errors.DeviceError` — which covers
+:class:`~repro.errors.OutOfMemoryError`, :class:`~repro.errors.LaunchError`,
+:class:`~repro.errors.FaultError`, and
+:class:`~repro.errors.DeviceLostError` — counts a strike against the
+engine; ``eject_after`` strikes eject it from rotation, and after
+``readmit_after`` further dispatches it is readmitted on probation.
+Anything outside the taxonomy (e.g. a ``ValidationError`` from a bad
+request) is the *request's* fault and never penalizes the engine.
+
+All state is dispatch-counter based — no wall-clock timers — so the
+eject/readmit trajectory is a pure function of the request trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultError, ValidationError
+from repro.kpm.engines import MomentEngine, get_engine
+from repro.util.validation import check_positive_int
+
+__all__ = ["EngineSlot", "PoolStats", "EnginePool"]
+
+
+@dataclass
+class EngineSlot:
+    """One pooled engine plus its health counters."""
+
+    engine: MomentEngine
+    name: str
+    healthy: bool = True
+    strikes: int = 0
+    ejected_at: int | None = None
+    batches_served: int = 0
+    failures_total: int = 0
+
+    def describe(self) -> str:
+        """Short human-readable state, e.g. ``"gpu-sim[healthy]"``."""
+        state = "healthy" if self.healthy else "ejected"
+        return f"{self.name}[{state}]"
+
+
+@dataclass
+class PoolStats:
+    """Counters the pool exposes to the service metrics."""
+
+    dispatches: int = 0
+    ejections: int = 0
+    readmissions: int = 0
+    failures: int = 0
+    modeled_seconds_by_engine: dict[str, float] = field(default_factory=dict)
+
+
+class EnginePool:
+    """Deterministic health-tracked pool of moment engines.
+
+    Parameters
+    ----------
+    backends:
+        Registry names and/or ready engine instances (anything
+        :func:`repro.kpm.get_engine` accepts).  Duplicate names get a
+        positional suffix (``gpu-sim#1``) so health is tracked per slot.
+    eject_after:
+        Consecutive taxonomy failures before a slot leaves rotation.
+    readmit_after:
+        Pool dispatches an ejected slot sits out before probation.
+    """
+
+    def __init__(
+        self,
+        backends=("numpy",),
+        *,
+        eject_after: int = 1,
+        readmit_after: int = 4,
+    ):
+        backends = tuple(backends)
+        if not backends:
+            raise ValidationError("backends must name at least one engine")
+        self.eject_after = check_positive_int(eject_after, "eject_after")
+        self.readmit_after = check_positive_int(readmit_after, "readmit_after")
+        self.slots: list[EngineSlot] = []
+        seen: dict[str, int] = {}
+        for backend in backends:
+            engine = get_engine(backend)
+            count = seen.get(engine.name, 0)
+            seen[engine.name] = count + 1
+            label = engine.name if count == 0 else f"{engine.name}#{count}"
+            self.slots.append(EngineSlot(engine=engine, name=label))
+        self.stats = PoolStats()
+
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Readmit slots whose sit-out period has elapsed."""
+        for slot in self.slots:
+            if (
+                not slot.healthy
+                and slot.ejected_at is not None
+                and self.stats.dispatches - slot.ejected_at >= self.readmit_after
+            ):
+                slot.healthy = True
+                slot.strikes = 0
+                slot.ejected_at = None
+                self.stats.readmissions += 1
+
+    def healthy_slots(self) -> list[EngineSlot]:
+        """Slots currently in rotation (after due readmissions)."""
+        self._refresh()
+        return [slot for slot in self.slots if slot.healthy]
+
+    def select(self, affinity: int, *, excluding=()) -> EngineSlot:
+        """Pick the slot for a batch with stable ``affinity``.
+
+        ``affinity`` is any deterministic integer attached to the batch's
+        key (the service uses the key's first-appearance index), so a
+        given workload keeps hitting the same engine while the pool
+        membership is unchanged.  ``excluding`` removes slots already
+        tried for this batch.
+        """
+        candidates = [s for s in self.healthy_slots() if s not in excluding]
+        if not candidates:
+            raise FaultError(
+                "no healthy engine available: "
+                + ", ".join(slot.describe() for slot in self.slots)
+            )
+        return candidates[affinity % len(candidates)]
+
+    # ------------------------------------------------------------------
+    def report_success(self, slot: EngineSlot, modeled_seconds: float | None) -> None:
+        """Record a served batch; clears the slot's strike count."""
+        self.stats.dispatches += 1
+        slot.batches_served += 1
+        slot.strikes = 0
+        if modeled_seconds is not None:
+            totals = self.stats.modeled_seconds_by_engine
+            totals[slot.name] = totals.get(slot.name, 0.0) + float(modeled_seconds)
+
+    def report_failure(self, slot: EngineSlot) -> None:
+        """Record a taxonomy failure; ejects the slot at ``eject_after``."""
+        self.stats.dispatches += 1
+        self.stats.failures += 1
+        slot.failures_total += 1
+        slot.strikes += 1
+        if slot.healthy and slot.strikes >= self.eject_after:
+            slot.healthy = False
+            slot.ejected_at = self.stats.dispatches
+            self.stats.ejections += 1

@@ -1,0 +1,103 @@
+"""Service-level counters and their :class:`~repro.timing.TimingReport`-style summary.
+
+:class:`ServiceMetrics` is a snapshot assembled by
+:meth:`repro.serve.SpectralService.metrics` from the scheduler, cache,
+and engine pool.  Two modeled-seconds totals carry the throughput story:
+
+* ``modeled_naive_seconds`` — what the same trace would have cost with
+  one engine run per request (the pre-:mod:`repro.serve` workflow);
+* ``modeled_served_seconds`` — what the engines actually spent after
+  coalescing and caching.
+
+Their ratio is the modeled throughput win the serving bench pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.timing import TimingReport
+from repro.util.format import format_seconds
+
+__all__ = ["ServiceMetrics"]
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters describing one service lifetime (all monotonic)."""
+
+    requests_total: int = 0
+    responses_total: int = 0
+    batches_total: int = 0
+    coalesced_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_size: int = 0
+    queue_peak_depth: int = 0
+    engine_dispatches: int = 0
+    engine_failures: int = 0
+    engine_ejections: int = 0
+    engine_readmissions: int = 0
+    modeled_served_seconds: float = 0.0
+    modeled_naive_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    modeled_seconds_by_engine: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def cache_hit_rate(self) -> float:
+        """Hits over lookups (zero when nothing was looked up)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def modeled_speedup(self) -> float:
+        """Naive-over-served modeled time; 1.0 when nothing was saved.
+
+        Infinity would mean served work was entirely free — that cannot
+        happen (a fresh trace always computes at least one batch), so the
+        ratio is finite whenever any modeled engine ran.
+        """
+        if self.modeled_served_seconds <= 0.0:
+            return 1.0
+        return self.modeled_naive_seconds / self.modeled_served_seconds
+
+    def timing_report(self) -> TimingReport:
+        """The engines' modeled spend as a :class:`~repro.timing.TimingReport`.
+
+        The breakdown carries per-engine modeled seconds plus the
+        ``"saved"`` phase (naive minus served) so the usual
+        ``phase_fraction`` tooling applies to serving runs.
+        """
+        breakdown = dict(self.modeled_seconds_by_engine)
+        saved = self.modeled_naive_seconds - self.modeled_served_seconds
+        if saved > 0.0:
+            breakdown["saved"] = saved
+        return TimingReport(
+            backend="serve",
+            modeled_seconds=self.modeled_served_seconds,
+            wall_seconds=self.wall_seconds,
+            breakdown=breakdown,
+        )
+
+    def summary(self) -> str:
+        """One-line summary in the :meth:`TimingReport.summary` style."""
+        parts = [
+            f"requests={self.requests_total}",
+            f"batches={self.batches_total}",
+            f"coalesced={self.coalesced_requests}",
+            f"cache_hits={self.cache_hits}/{self.cache_hits + self.cache_misses}",
+            f"queue_peak={self.queue_peak_depth}",
+        ]
+        if self.engine_ejections or self.engine_readmissions:
+            parts.append(
+                f"ejections={self.engine_ejections}"
+                f" readmissions={self.engine_readmissions}"
+            )
+        if self.modeled_naive_seconds > 0.0:
+            parts.append(
+                f"modeled={format_seconds(self.modeled_served_seconds)}"
+                f" naive={format_seconds(self.modeled_naive_seconds)}"
+                f" speedup={self.modeled_speedup():.2f}x"
+            )
+        parts.append(f"wall={format_seconds(self.wall_seconds)}")
+        return " ".join(parts)

@@ -1,0 +1,241 @@
+"""Request/response records and cache-key derivation for :mod:`repro.serve`.
+
+The service accepts three request kinds that all feed on Chebyshev
+moments:
+
+* :class:`DoSRequest`   — density of states (stochastic trace moments);
+* :class:`GreenRequest` — retarded Green's function (same trace moments
+  as the DoS — moments are reusable across reconstructions);
+* :class:`LDoSRequest`  — local DoS at one site (deterministic
+  single-vector moments).
+
+Two requests are *compatible* (coalescible, and able to share a cache
+entry) when they would execute the same moment computation: same
+operator fingerprint and same :func:`moment_config_key`.  The key
+deliberately excludes ``kernel`` and ``num_energy_points`` — damping and
+reconstruction happen after the moments, so a Jackson DoS and a Lorentz
+Green's function of the same Hamiltonian ride on one engine run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kpm.config import KPMConfig
+from repro.kpm.moments import MomentData
+from repro.kpm.rescale import Rescaling
+from repro.util.rng import normalize_seed
+from repro.util.validation import check_nonnegative_int
+
+__all__ = [
+    "DoSRequest",
+    "LDoSRequest",
+    "GreenRequest",
+    "SpectralResponse",
+    "moment_config_key",
+]
+
+
+def moment_config_key(config: KPMConfig, *, site: int | None = None) -> tuple:
+    """The tuple of config fields that determine the moment values.
+
+    Trace moments depend on the stochastic estimator's full setup;
+    single-site (LDoS) moments are deterministic and depend only on the
+    truncation order and the rescaling options.  Neither depends on
+    ``kernel`` or ``num_energy_points``, which act downstream of the
+    moments.
+    """
+    if not isinstance(config, KPMConfig):
+        raise ValidationError(
+            f"config must be a KPMConfig, got {type(config).__name__}"
+        )
+    if site is not None:
+        site = check_nonnegative_int(site, "site")
+        return (
+            "site",
+            site,
+            config.num_moments,
+            config.bounds_method,
+            config.epsilon,
+            config.use_doubling,
+        )
+    return (
+        "trace",
+        config.num_moments,
+        config.num_random_vectors,
+        config.num_realizations,
+        config.vector_kind,
+        normalize_seed(config.seed),
+        config.bounds_method,
+        config.epsilon,
+        config.use_doubling,
+        config.block_size,
+        config.precision,
+    )
+
+
+@dataclass(frozen=True)
+class DoSRequest:
+    """Density-of-states request: the full :func:`repro.kpm.compute_dos`.
+
+    Attributes
+    ----------
+    hamiltonian:
+        Unscaled symmetric operator (``ndarray``, CSR/COO, dense
+        operator).  Must expose ``fingerprint()`` after
+        :func:`repro.sparse.as_operator` coercion — all library
+        representations do.
+    config:
+        KPM parameters; ``kernel`` and ``num_energy_points`` are applied
+        per-request even inside a coalesced batch.
+    tag:
+        Opaque caller label echoed on the response.
+    """
+
+    hamiltonian: object
+    config: KPMConfig = field(default_factory=KPMConfig)
+    tag: str = ""
+
+    kind = "dos"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(self.config).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class LDoSRequest:
+    """Local-DoS request: ``rho_site(omega)`` via deterministic moments.
+
+    Served on the host through the same path as
+    :func:`repro.kpm.local_dos` (single basis-vector recursion), so a
+    service response is bit-identical to a direct call.
+    """
+
+    hamiltonian: object
+    site: int
+    config: KPMConfig = field(default_factory=KPMConfig)
+    tag: str = ""
+
+    kind = "ldos"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(self.config).__name__}"
+            )
+        check_nonnegative_int(self.site, "site")
+
+
+@dataclass(frozen=True)
+class GreenRequest:
+    """Green's-function request: ``G(omega + i0+)`` at chosen energies.
+
+    Shares trace moments with :class:`DoSRequest` — a Green request whose
+    config matches a DoS request coalesces into the same engine batch and
+    hits the same cache entry.
+    """
+
+    hamiltonian: object
+    energies: tuple[float, ...]
+    config: KPMConfig = field(default_factory=KPMConfig)
+    kernel: str = "lorentz"
+    tag: str = ""
+
+    kind = "green"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(self.config).__name__}"
+            )
+        energies = tuple(float(e) for e in np.atleast_1d(
+            np.asarray(self.energies, dtype=np.float64)
+        ))
+        if not energies:
+            raise ValidationError("energies must not be empty")
+        object.__setattr__(self, "energies", energies)
+        if not isinstance(self.kernel, str):
+            raise ValidationError(
+                f"kernel must be a string, got {type(self.kernel).__name__}"
+            )
+
+
+@dataclass
+class SpectralResponse:
+    """One served request's result plus its provenance.
+
+    Attributes
+    ----------
+    kind:
+        ``"dos"``, ``"ldos"``, or ``"green"``.
+    tag:
+        The request's ``tag``, echoed.
+    energies:
+        Energy grid (DoS/LDoS) or the requested energies (Green).
+    values:
+        Density, local density, or complex ``G`` on ``energies``.
+    moments:
+        The moment estimates the reconstruction consumed
+        (:class:`~repro.kpm.MomentData` for trace requests, a raw moment
+        array for LDoS).
+    rescaling:
+        The affine spectral map used.
+    config:
+        The request's :class:`~repro.kpm.KPMConfig`.
+    source:
+        ``"computed"`` (this request triggered the engine run),
+        ``"coalesced"`` (rode along in the triggering batch), or
+        ``"cache"`` (served from the LRU moment cache).
+    engine:
+        Name of the engine that produced the moments (``"host"`` for
+        LDoS).
+    batch_id:
+        Sequence number of the batch that served this response.
+    modeled_seconds:
+        Modeled engine seconds the *batch* cost (``None`` for backends
+        without a hardware model); zero-cost for cache hits.
+    """
+
+    kind: str
+    tag: str
+    energies: np.ndarray
+    values: np.ndarray
+    moments: MomentData | np.ndarray
+    rescaling: Rescaling
+    config: KPMConfig
+    source: str
+    engine: str
+    batch_id: int
+    modeled_seconds: float | None
+
+    def to_dos_result(self):
+        """Repackage a ``"dos"`` response as :class:`repro.kpm.DoSResult`.
+
+        Field-for-field equal to what ``compute_dos`` would have
+        returned (the timing report is the batch's, not a per-request
+        measurement).
+        """
+        from repro.kpm.dos import DoSResult
+        from repro.timing import TimingReport
+
+        if self.kind != "dos":
+            raise ValidationError(
+                f"to_dos_result() requires a 'dos' response, got {self.kind!r}"
+            )
+        timing = TimingReport(
+            backend=self.engine, modeled_seconds=self.modeled_seconds
+        )
+        return DoSResult(
+            energies=self.energies,
+            density=self.values,
+            moments=self.moments,
+            rescaling=self.rescaling,
+            config=self.config,
+            timing=timing,
+        )

@@ -1,0 +1,124 @@
+"""Deterministic FIFO + coalesce scheduler.
+
+Queued requests are grouped by their moment key — ``(fingerprint,
+config_key)`` — and drained as batches:
+
+* batches leave in order of their key's *first arrival* (FIFO over
+  groups, so a burst of repeats cannot starve an older singleton);
+* requests within a batch keep their submission order;
+* an optional ``max_batch_size`` splits an oversized group into
+  consecutive batches (the first computes, the rest hit the cache the
+  first one filled).
+
+Every decision is a pure function of the submission sequence — no
+wall-clock reads, no random draws — so replaying a request trace yields
+the same batches, the same engine assignments, and bit-identical
+responses.  The CI contract check (RA001/RA004 over this module)
+enforces the no-RNG half of that statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.util.validation import check_positive_int
+
+__all__ = ["QueuedRequest", "Batch", "FifoCoalesceScheduler"]
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """One admitted request waiting in the queue.
+
+    Attributes
+    ----------
+    seq:
+        Submission sequence number (service-global, 0-based).
+    request:
+        The original request object (DoS/LDoS/Green).
+    operator:
+        The validated operator (:func:`repro.kpm.validate_spectral_operator`
+        output) — coerced once at submit so every batch member shares it.
+    key:
+        ``(fingerprint, config_key)`` — the coalescing/cache identity.
+    """
+
+    seq: int
+    request: object
+    operator: object
+    key: tuple
+
+
+@dataclass
+class Batch:
+    """A coalesced group of compatible requests drained together.
+
+    ``entries[0]`` is the triggering request (earliest ``seq``); the rest
+    ride along and are reported as ``"coalesced"`` in their responses.
+    """
+
+    batch_id: int
+    key: tuple
+    entries: list[QueuedRequest] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of requests served by this batch."""
+        return len(self.entries)
+
+
+class FifoCoalesceScheduler:
+    """FIFO queue with compatibility coalescing.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Largest number of requests per drained batch (``None`` =
+        unbounded).
+    """
+
+    def __init__(self, max_batch_size: int | None = None):
+        if max_batch_size is not None:
+            max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+        self.max_batch_size = max_batch_size
+        self._queue: list[QueuedRequest] = []
+        self._next_batch_id = 0
+        self.peak_depth = 0
+        self.enqueued_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting."""
+        return len(self._queue)
+
+    def enqueue(self, item: QueuedRequest) -> None:
+        """Append ``item`` to the queue."""
+        if not isinstance(item, QueuedRequest):
+            raise ValidationError(
+                f"item must be a QueuedRequest, got {type(item).__name__}"
+            )
+        self._queue.append(item)
+        self.enqueued_total += 1
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+
+    def drain(self) -> list[Batch]:
+        """Empty the queue into coalesced batches (see module docstring)."""
+        groups: dict[tuple, list[QueuedRequest]] = {}
+        for item in self._queue:
+            groups.setdefault(item.key, []).append(item)
+        self._queue.clear()
+
+        batches: list[Batch] = []
+        for key, entries in groups.items():  # dict preserves first-arrival order
+            step = self.max_batch_size or len(entries)
+            for start in range(0, len(entries), step):
+                batch = Batch(
+                    batch_id=self._next_batch_id,
+                    key=key,
+                    entries=entries[start : start + step],
+                )
+                self._next_batch_id += 1
+                batches.append(batch)
+        return batches

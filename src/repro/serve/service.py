@@ -1,0 +1,285 @@
+"""The spectral service: batching + caching front-end over the engines.
+
+``SpectralService`` is the production-facing entry point the ROADMAP's
+heavy-traffic north star asks for.  Requests are admitted (operator
+validation + fingerprinting) at :meth:`~SpectralService.submit`,
+coalesced by the deterministic FIFO scheduler at
+:meth:`~SpectralService.flush`, and served from — in order — the LRU
+moment cache, or one engine run per compatible group.  Reconstruction
+(kernel damping, energy grid, Green's phases) is always performed
+per-request, so requests that share moments may still differ in kernel
+and grid.
+
+Determinism contract: with the same request trace, pool, and knobs, the
+service produces bit-identical responses — and each DoS response is
+bit-identical to a fresh :func:`repro.kpm.compute_dos` call on the same
+backend (each LDoS response to :func:`repro.kpm.local_dos`).  The
+property suite pins both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError, ValidationError
+from repro.kpm.dos import validate_spectral_operator
+from repro.kpm.green import greens_function
+from repro.kpm.moments import moments_single_vector
+from repro.kpm.reconstruct import dos_from_moments
+from repro.kpm.rescale import rescale_operator
+from repro.serve.cache import CacheEntry, MomentCache
+from repro.serve.health import EnginePool
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.requests import (
+    DoSRequest,
+    GreenRequest,
+    LDoSRequest,
+    SpectralResponse,
+    moment_config_key,
+)
+from repro.serve.scheduler import Batch, FifoCoalesceScheduler, QueuedRequest
+from repro.timing import WallTimer
+
+__all__ = ["SpectralService"]
+
+_REQUEST_TYPES = (DoSRequest, LDoSRequest, GreenRequest)
+
+#: Engine label of host-side (non-pooled) LDoS moment computations.
+HOST_ENGINE = "host"
+
+
+class SpectralService:
+    """Batching, caching, health-tracked spectral request server.
+
+    Parameters
+    ----------
+    backends:
+        Engine pool: registry names and/or
+        :class:`~repro.kpm.engines.MomentEngine` instances.
+    cache_capacity:
+        LRU moment-cache entries (``0`` disables caching).
+    max_batch_size:
+        Largest coalesced batch (``None`` = unbounded).
+    eject_after:
+        Taxonomy failures before an engine is ejected from rotation.
+    readmit_after:
+        Dispatches an ejected engine sits out before probation.
+    """
+
+    def __init__(
+        self,
+        backends=("numpy",),
+        *,
+        cache_capacity: int = 128,
+        max_batch_size: int | None = None,
+        eject_after: int = 1,
+        readmit_after: int = 4,
+    ):
+        self.pool = EnginePool(
+            backends, eject_after=eject_after, readmit_after=readmit_after
+        )
+        self.cache = MomentCache(cache_capacity)
+        self.scheduler = FifoCoalesceScheduler(max_batch_size=max_batch_size)
+        self._key_affinity: dict[tuple, int] = {}
+        self._next_seq = 0
+        self._requests_total = 0
+        self._responses_total = 0
+        self._batches_total = 0
+        self._coalesced_requests = 0
+        self._modeled_served = 0.0
+        self._modeled_naive = 0.0
+        self._wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, request) -> int:
+        """Admit ``request`` into the queue; return its sequence number.
+
+        Validation (operator symmetry, site bounds, fingerprint
+        availability) happens here so :meth:`flush` only sees well-formed
+        work.
+        """
+        if not isinstance(request, _REQUEST_TYPES):
+            raise ValidationError(
+                "request must be a DoSRequest, LDoSRequest, or GreenRequest; "
+                f"got {type(request).__name__}"
+            )
+        op = validate_spectral_operator(request.hamiltonian)
+        fingerprint_method = getattr(op, "fingerprint", None)
+        if fingerprint_method is None:
+            raise ValidationError(
+                f"operator {type(op).__name__} does not expose fingerprint(); "
+                "the service needs a stable content hash for coalescing and "
+                "caching (CSRMatrix/COOMatrix/DenseOperator all provide one)"
+            )
+        site = None
+        if isinstance(request, LDoSRequest):
+            site = request.site
+            if site >= op.shape[0]:
+                raise ValidationError(
+                    f"site {site} out of range for dimension {op.shape[0]}"
+                )
+        key = (
+            fingerprint_method(),
+            moment_config_key(request.config, site=site),
+        )
+        if key not in self._key_affinity:
+            self._key_affinity[key] = len(self._key_affinity)
+        seq = self._next_seq
+        self._next_seq += 1
+        self._requests_total += 1
+        self.scheduler.enqueue(
+            QueuedRequest(seq=seq, request=request, operator=op, key=key)
+        )
+        return seq
+
+    def serve(self, requests) -> list[SpectralResponse]:
+        """Submit every request, then :meth:`flush` — the one-shot API."""
+        for request in requests:
+            self.submit(request)
+        return self.flush()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def flush(self) -> list[SpectralResponse]:
+        """Drain the queue; responses are returned in submission order."""
+        with WallTimer() as timer:
+            responses: dict[int, SpectralResponse] = {}
+            for batch in self.scheduler.drain():
+                self._serve_batch(batch, responses)
+        self._wall_seconds += timer.seconds
+        return [responses[seq] for seq in sorted(responses)]
+
+    def _serve_batch(self, batch: Batch, responses: dict) -> None:
+        entry = self.cache.get(batch.key)
+        cached = entry is not None
+        if entry is None:
+            entry = self._compute_entry(batch)
+            self.cache.put(batch.key, entry)
+            if entry.modeled_seconds is not None:
+                self._modeled_served += entry.modeled_seconds
+        if entry.modeled_seconds is not None:
+            # What the trace would have cost without the service: one
+            # engine run per request in the batch.
+            self._modeled_naive += entry.modeled_seconds * batch.size
+        self._batches_total += 1
+        self._coalesced_requests += batch.size - 1
+        for index, queued in enumerate(batch.entries):
+            if cached:
+                source = "cache"
+                cost = 0.0 if entry.modeled_seconds is not None else None
+            else:
+                source = "computed" if index == 0 else "coalesced"
+                cost = entry.modeled_seconds
+            responses[queued.seq] = self._reconstruct(
+                queued.request, entry, source=source,
+                batch_id=batch.batch_id, modeled_seconds=cost,
+            )
+            self._responses_total += 1
+
+    def _compute_entry(self, batch: Batch) -> CacheEntry:
+        head = batch.entries[0]
+        config = head.request.config
+        scaled, rescaling = rescale_operator(
+            head.operator, method=config.bounds_method, epsilon=config.epsilon
+        )
+        if isinstance(head.request, LDoSRequest):
+            # Deterministic single-vector moments: the same host path as
+            # repro.kpm.local_dos, bit-identical by construction.
+            start = np.zeros(head.operator.shape[0], dtype=np.float64)
+            start[head.request.site] = 1.0
+            mu = moments_single_vector(
+                scaled, start, config.num_moments, use_doubling=config.use_doubling
+            )
+            return CacheEntry(
+                moments=mu,
+                rescaling=rescaling,
+                engine=HOST_ENGINE,
+                modeled_seconds=None,
+            )
+        affinity = self._key_affinity[batch.key]
+        tried: list = []
+        while True:
+            slot = self.pool.select(affinity, excluding=tried)
+            try:
+                data, report = slot.engine.compute_moments(scaled, config)
+            except DeviceError:
+                # The fault taxonomy marks this an engine-side failure:
+                # strike the slot and retry the batch on the next healthy
+                # engine.  Request-side errors (ValidationError etc.)
+                # propagate to the caller instead.
+                self.pool.report_failure(slot)
+                tried.append(slot)
+                continue
+            self.pool.report_success(slot, report.modeled_seconds)
+            return CacheEntry(
+                moments=data,
+                rescaling=rescaling,
+                engine=slot.name,
+                modeled_seconds=report.modeled_seconds,
+            )
+
+    # ------------------------------------------------------------------
+    # Reconstruction (always per-request)
+    # ------------------------------------------------------------------
+    def _reconstruct(
+        self, request, entry: CacheEntry, *, source, batch_id, modeled_seconds
+    ) -> SpectralResponse:
+        config = request.config
+        if isinstance(request, GreenRequest):
+            energies = np.asarray(request.energies, dtype=np.float64)
+            values = greens_function(
+                entry.moments, entry.rescaling, energies, kernel=request.kernel
+            )
+        else:
+            energies, values = dos_from_moments(
+                entry.moments,
+                entry.rescaling,
+                kernel=config.kernel,
+                num_points=config.num_energy_points,
+            )
+        return SpectralResponse(
+            kind=request.kind,
+            tag=request.tag,
+            energies=energies,
+            values=values,
+            moments=entry.moments,
+            rescaling=entry.rescaling,
+            config=config,
+            source=source,
+            engine=entry.engine,
+            batch_id=batch_id,
+            modeled_seconds=modeled_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> ServiceMetrics:
+        """Snapshot of every counter (see :class:`ServiceMetrics`)."""
+        stats = self.pool.stats
+        return ServiceMetrics(
+            requests_total=self._requests_total,
+            responses_total=self._responses_total,
+            batches_total=self._batches_total,
+            coalesced_requests=self._coalesced_requests,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_evictions=self.cache.evictions,
+            cache_size=len(self.cache),
+            queue_peak_depth=self.scheduler.peak_depth,
+            engine_dispatches=stats.dispatches,
+            engine_failures=stats.failures,
+            engine_ejections=stats.ejections,
+            engine_readmissions=stats.readmissions,
+            modeled_served_seconds=self._modeled_served,
+            modeled_naive_seconds=self._modeled_naive,
+            wall_seconds=self._wall_seconds,
+            modeled_seconds_by_engine=dict(stats.modeled_seconds_by_engine),
+        )
+
+    def timing_report(self):
+        """Shortcut for ``self.metrics().timing_report()``."""
+        return self.metrics().timing_report()

@@ -75,6 +75,17 @@ class COOMatrix:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"COOMatrix(shape={self.shape}, nnz_stored={self.nnz_stored})"
 
+    def fingerprint(self) -> str:
+        """Stable content hash, computed on the canonical CSR form.
+
+        Triplet order and duplicate coordinates do not affect the digest,
+        and a COO matrix collides with the equal CSR matrix — correct for
+        caching because :func:`repro.sparse.as_operator` converts COO to
+        CSR before any computation, so the executed numerics are
+        identical.
+        """
+        return self.to_csr().fingerprint()
+
     # ------------------------------------------------------------------
     def sum_duplicates(self) -> "COOMatrix":
         """Return an equivalent matrix with duplicate coordinates summed.

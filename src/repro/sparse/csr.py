@@ -13,12 +13,32 @@ a gather ``data * x[indices]`` followed by a segmented sum over rows via
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import ShapeError, ValidationError
 from repro.util.validation import check_positive_int
 
-__all__ = ["CSRMatrix"]
+__all__ = ["CSRMatrix", "content_fingerprint"]
+
+
+def content_fingerprint(tag: str, shape: tuple[int, int], *arrays) -> str:
+    """SHA-256 hex digest of an operator's exact stored content.
+
+    The digest covers the storage ``tag`` (different storage formats run
+    different floating-point reduction orders, so they must never share a
+    cache entry), the shape, and the raw bytes of every array — equal
+    content always collides, any single-bit perturbation does not.
+    """
+    if not isinstance(tag, str) or not tag:
+        raise ValidationError(f"tag must be a non-empty string, got {tag!r}")
+    digest = hashlib.sha256()
+    digest.update(tag.encode("ascii"))
+    digest.update(np.asarray(shape, dtype=np.int64).tobytes())
+    for array in arrays:
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
 
 
 def _segment_sums(prod: np.ndarray, indptr: np.ndarray, n_rows: int) -> np.ndarray:
@@ -165,6 +185,18 @@ class CSRMatrix:
     def row_nnz(self) -> np.ndarray:
         """Stored entries per row, length ``n_rows``."""
         return np.diff(self.indptr)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the stored matrix (cache key material).
+
+        Two ``CSRMatrix`` instances holding the same ``indptr``,
+        ``indices``, and ``data`` produce the same digest; perturbing any
+        stored value changes it.  Used by :mod:`repro.serve` to key the
+        moment cache by ``(matrix_fingerprint, config_key)``.
+        """
+        return content_fingerprint(
+            "csr", self.shape, self.indptr, self.indices, self.data
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CSRMatrix(shape={self.shape}, nnz_stored={self.nnz_stored})"

@@ -38,6 +38,18 @@ class DenseOperator:
         """Bytes held by the dense array."""
         return int(self.array.nbytes)
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the dense matrix (cache key material).
+
+        Tagged ``"dense"``: a dense operator and a CSR operator holding
+        the same matrix intentionally do *not* collide, because their
+        kernels use different floating-point reduction orders and the
+        :mod:`repro.serve` cache guarantees bit-identical replays.
+        """
+        from repro.sparse.csr import content_fingerprint
+
+        return content_fingerprint("dense", self.shape, self.array)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"DenseOperator(shape={self.shape})"
 

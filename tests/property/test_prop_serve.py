@@ -1,0 +1,102 @@
+"""Property tests: serve-layer responses are bit-identical to direct calls.
+
+The service's core guarantee — coalescing and caching are pure routing,
+never numerics — must hold for *any* configuration, not just the ones
+the unit tests pick.  Hypothesis samples configs (moment counts, vector
+counts, seeds, kernels, vector kinds) and operators, and asserts that
+batch-mates and cache hits reproduce a fresh ``compute_dos`` bit for
+bit on both the bit-identical backends (numpy) and the modeled GPU
+pipeline (gpu-sim), whose reduction order differs from numpy's — which
+is exactly why the service must never substitute one engine's moments
+for another's request.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kpm import KPMConfig, compute_dos, local_dos
+from repro.lattice import chain, square, tight_binding_hamiltonian
+from repro.serve import DoSRequest, LDoSRequest, SpectralService
+
+OPERATORS = {
+    "chain32": tight_binding_hamiltonian(chain(32)),
+    "square6": tight_binding_hamiltonian(square(6)),
+}
+
+
+@st.composite
+def kpm_configs(draw):
+    return KPMConfig(
+        num_moments=draw(st.sampled_from([8, 16, 32])),
+        num_random_vectors=draw(st.integers(1, 6)),
+        num_realizations=draw(st.integers(1, 2)),
+        kernel=draw(st.sampled_from(["jackson", "lorentz", "dirichlet"])),
+        vector_kind=draw(st.sampled_from(["rademacher", "gaussian"])),
+        seed=draw(st.integers(0, 2**31)),
+        num_energy_points=draw(st.sampled_from([64, 128])),
+    )
+
+
+class TestServeBitIdentity:
+    @given(
+        config=kpm_configs(),
+        operator=st.sampled_from(sorted(OPERATORS)),
+        backend=st.sampled_from(["numpy", "gpu-sim"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_coalesced_and_cached_match_compute_dos(
+        self, config, operator, backend
+    ):
+        hamiltonian = OPERATORS[operator]
+        direct = compute_dos(hamiltonian, config, backend=backend)
+
+        service = SpectralService(backends=(backend,))
+        batch = service.serve(
+            [DoSRequest(hamiltonian, config, tag=str(i)) for i in range(3)]
+        )
+        [replay] = service.serve([DoSRequest(hamiltonian, config)])
+
+        assert [r.source for r in batch] == ["computed", "coalesced", "coalesced"]
+        assert replay.source == "cache"
+        for response in [*batch, replay]:
+            assert np.array_equal(response.values, direct.density)
+            assert np.array_equal(response.energies, direct.energies)
+            assert np.array_equal(response.moments.mu, direct.moments.mu)
+            assert np.array_equal(
+                response.moments.per_realization, direct.moments.per_realization
+            )
+
+    @given(
+        config=kpm_configs(),
+        operator=st.sampled_from(sorted(OPERATORS)),
+        site=st.integers(0, 31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_ldos_matches_local_dos(self, config, operator, site):
+        hamiltonian = OPERATORS[operator]
+        energies, density = local_dos(hamiltonian, site, config)
+
+        service = SpectralService(backends=("numpy",))
+        responses = service.serve(
+            [LDoSRequest(hamiltonian, site=site, config=config) for _ in range(2)]
+        )
+        for response in responses:
+            assert np.array_equal(response.values, density)
+            assert np.array_equal(response.energies, energies)
+
+    @given(config=kpm_configs(), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_replaying_a_trace_is_deterministic(self, config, data):
+        hamiltonian = OPERATORS["chain32"]
+        tags = data.draw(st.lists(st.sampled_from("abc"), min_size=1, max_size=6))
+
+        def run():
+            service = SpectralService(backends=("numpy",))
+            responses = service.serve(
+                [DoSRequest(hamiltonian, config, tag=t) for t in tags]
+            )
+            return [
+                (r.tag, r.source, r.batch_id, r.values.tobytes()) for r in responses
+            ]
+
+        assert run() == run()

@@ -136,3 +136,28 @@ class TestRescaling:
         eigs = np.linalg.eigvalsh(h.to_dense())
         scaled_eigs = np.linalg.eigvalsh(scaled.to_dense())
         np.testing.assert_allclose(scaled_eigs, rescaling.to_scaled(eigs), atol=1e-12)
+
+
+class TestExactBoundsUnderflowRegression:
+    """eigvalsh misreports extremal eigenvalues when an entry's square
+    underflows; exact_bounds must flush such spectrally-irrelevant
+    couplings (hypothesis-found counterexample)."""
+
+    def test_tiny_coupling_does_not_narrow_bounds(self):
+        matrix = np.zeros((5, 5))
+        matrix[0, 1] = matrix[1, 0] = 1.16535886e-161
+        matrix[1, 3] = matrix[3, 1] = 2.4375
+        matrix[2, 2] = -3.0
+        bounds = exact_bounds(matrix)
+        assert bounds.upper == pytest.approx(2.4375, abs=1e-12)
+        assert bounds.lower == pytest.approx(-3.0, abs=1e-12)
+
+    def test_rescaled_spectrum_stays_inside(self):
+        matrix = np.zeros((5, 5))
+        matrix[0, 1] = matrix[1, 0] = 1.16535886e-161
+        matrix[1, 3] = matrix[3, 1] = 2.4375
+        matrix[2, 2] = -3.0
+        scaled, _ = rescale_operator(matrix, method="exact", epsilon=0.02)
+        eigs = np.linalg.eigvalsh(scaled.to_dense())
+        assert eigs[0] >= -1.0
+        assert eigs[-1] <= 1.0

@@ -1,0 +1,61 @@
+"""Unit tests for repro.serve.cache (bounded LRU moment cache)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import CacheEntry, MomentCache
+
+
+def entry(tag: str) -> CacheEntry:
+    return CacheEntry(moments=tag, rescaling=None, engine="numpy", modeled_seconds=1.0)
+
+
+class TestMomentCache:
+    def test_miss_then_hit(self):
+        cache = MomentCache(capacity=4)
+        assert cache.get(("a",)) is None
+        cache.put(("a",), entry("a"))
+        assert cache.get(("a",)).moments == "a"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert ("a",) in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = MomentCache(capacity=2)
+        cache.put(("a",), entry("a"))
+        cache.put(("b",), entry("b"))
+        cache.get(("a",))  # refresh "a": "b" is now least-recently-used
+        cache.put(("c",), entry("c"))
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        assert ("c",) in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = MomentCache(capacity=2)
+        cache.put(("a",), entry("a"))
+        cache.put(("b",), entry("b"))
+        cache.put(("a",), entry("a2"))  # re-put refreshes, overwrites
+        cache.put(("c",), entry("c"))
+        assert cache.get(("a",)).moments == "a2"
+        assert ("b",) not in cache
+
+    def test_zero_capacity_disables(self):
+        cache = MomentCache(capacity=0)
+        cache.put(("a",), entry("a"))
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+    def test_clear_keeps_counters(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("a",), entry("a"))
+        cache.get(("a",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MomentCache(capacity=-1)
+        with pytest.raises(ValidationError):
+            MomentCache(4).put(("a",), "not-an-entry")

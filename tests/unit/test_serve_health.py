@@ -1,0 +1,102 @@
+"""Unit tests for repro.serve.health (engine pool + fault-taxonomy health)."""
+
+import pytest
+
+from repro.errors import FaultError, LaunchError, ValidationError
+from repro.kpm.engines import NumpyEngine
+from repro.serve import EnginePool
+
+
+class TestPoolConstruction:
+    def test_names_from_registry(self):
+        pool = EnginePool(("numpy", "gpu-sim"))
+        assert [slot.name for slot in pool.slots] == ["numpy", "gpu-sim"]
+
+    def test_instance_backends(self):
+        pool = EnginePool((NumpyEngine(),))
+        assert pool.slots[0].name == "numpy"
+
+    def test_duplicate_names_get_suffix(self):
+        pool = EnginePool(("numpy", "numpy"))
+        assert [slot.name for slot in pool.slots] == ["numpy", "numpy#1"]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            EnginePool(())
+        with pytest.raises(ValidationError):
+            EnginePool(("numpy",), eject_after=0)
+        with pytest.raises(ValidationError):
+            EnginePool(("no-such-backend",))
+
+
+class TestSelection:
+    def test_affinity_round_robin(self):
+        pool = EnginePool(("numpy", "cpu-model"))
+        assert pool.select(0).name == "numpy"
+        assert pool.select(1).name == "cpu-model"
+        assert pool.select(2).name == "numpy"
+
+    def test_excluding(self):
+        pool = EnginePool(("numpy", "cpu-model"))
+        first = pool.select(0)
+        assert pool.select(0, excluding=(first,)).name == "cpu-model"
+
+    def test_empty_pool_raises_fault(self):
+        pool = EnginePool(("numpy",))
+        with pytest.raises(FaultError, match="no healthy engine"):
+            pool.select(0, excluding=(pool.slots[0],))
+
+
+class TestHealthTrajectory:
+    def test_eject_then_readmit(self):
+        pool = EnginePool(("numpy", "cpu-model"), eject_after=2, readmit_after=3)
+        sick = pool.slots[0]
+        pool.report_failure(sick)
+        assert sick.healthy  # one strike, eject_after=2
+        pool.report_failure(sick)
+        assert not sick.healthy
+        assert pool.stats.ejections == 1
+        assert [s.name for s in pool.healthy_slots()] == ["cpu-model"]
+        # Three dispatches later the slot is readmitted on probation.
+        for _ in range(3):
+            pool.report_success(pool.slots[1], None)
+        assert [s.name for s in pool.healthy_slots()] == ["numpy", "cpu-model"]
+        assert sick.strikes == 0
+        assert pool.stats.readmissions == 1
+
+    def test_success_clears_strikes(self):
+        pool = EnginePool(("numpy",), eject_after=2)
+        slot = pool.slots[0]
+        pool.report_failure(slot)
+        pool.report_success(slot, 0.5)
+        pool.report_failure(slot)
+        assert slot.healthy  # never reached two consecutive strikes
+        assert pool.stats.modeled_seconds_by_engine == {"numpy": 0.5}
+
+    def test_describe(self):
+        pool = EnginePool(("numpy",), eject_after=1)
+        assert pool.slots[0].describe() == "numpy[healthy]"
+        pool.report_failure(pool.slots[0])
+        assert pool.slots[0].describe() == "numpy[ejected]"
+
+    def test_trajectory_is_replayable(self):
+        # Same failure trace, same eject/readmit history — no clocks.
+        def run():
+            pool = EnginePool(("numpy", "cpu-model"), eject_after=1, readmit_after=2)
+            events = []
+            pool.report_failure(pool.slots[0])
+            events.append([s.name for s in pool.healthy_slots()])
+            pool.report_success(pool.slots[1], None)
+            pool.report_success(pool.slots[1], None)
+            events.append([s.name for s in pool.healthy_slots()])
+            return events, pool.stats.ejections, pool.stats.readmissions
+
+        assert run() == run()
+
+
+class TestTaxonomyIntegration:
+    def test_launch_error_is_device_error(self):
+        # The pool's callers catch DeviceError; LaunchError must qualify.
+        from repro.errors import DeviceError
+
+        assert issubclass(LaunchError, DeviceError)

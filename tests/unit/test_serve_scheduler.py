@@ -1,0 +1,73 @@
+"""Unit tests for repro.serve.scheduler (FIFO + coalesce)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import FifoCoalesceScheduler, QueuedRequest
+
+
+def queued(seq: int, key: str) -> QueuedRequest:
+    return QueuedRequest(seq=seq, request=None, operator=None, key=(key,))
+
+
+class TestFifoCoalesceScheduler:
+    def test_coalesces_by_key(self):
+        sched = FifoCoalesceScheduler()
+        for seq, key in enumerate(["a", "b", "a", "a", "b"]):
+            sched.enqueue(queued(seq, key))
+        batches = sched.drain()
+        assert [b.key for b in batches] == [("a",), ("b",)]
+        assert [[q.seq for q in b.entries] for b in batches] == [[0, 2, 3], [1, 4]]
+        assert sched.depth == 0
+
+    def test_first_arrival_order(self):
+        # A late burst of "b" repeats must not jump ahead of older "a".
+        sched = FifoCoalesceScheduler()
+        for seq, key in enumerate(["b", "a", "b", "b", "b"]):
+            sched.enqueue(queued(seq, key))
+        assert [b.key for b in sched.drain()] == [("b",), ("a",)]
+
+    def test_max_batch_size_splits(self):
+        sched = FifoCoalesceScheduler(max_batch_size=2)
+        for seq in range(5):
+            sched.enqueue(queued(seq, "a"))
+        batches = sched.drain()
+        assert [b.size for b in batches] == [2, 2, 1]
+        assert [b.batch_id for b in batches] == [0, 1, 2]
+
+    def test_batch_ids_increase_across_drains(self):
+        sched = FifoCoalesceScheduler()
+        sched.enqueue(queued(0, "a"))
+        first = sched.drain()
+        sched.enqueue(queued(1, "a"))
+        second = sched.drain()
+        assert first[0].batch_id == 0
+        assert second[0].batch_id == 1
+
+    def test_depth_and_peak(self):
+        sched = FifoCoalesceScheduler()
+        for seq in range(3):
+            sched.enqueue(queued(seq, "a"))
+        assert sched.depth == 3
+        sched.drain()
+        assert sched.depth == 0
+        assert sched.peak_depth == 3
+        assert sched.enqueued_total == 3
+
+    def test_replay_determinism(self):
+        trace = ["a", "b", "a", "c", "b", "c", "c"]
+
+        def run():
+            sched = FifoCoalesceScheduler(max_batch_size=2)
+            for seq, key in enumerate(trace):
+                sched.enqueue(queued(seq, key))
+            return [(b.batch_id, b.key, [q.seq for q in b.entries])
+                    for b in sched.drain()]
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FifoCoalesceScheduler(max_batch_size=0)
+        with pytest.raises(ValidationError):
+            FifoCoalesceScheduler().enqueue("not-a-request")

@@ -1,0 +1,212 @@
+"""Unit tests for repro.serve.service (SpectralService end-to-end)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError, LaunchError, OutOfMemoryError, ValidationError
+from repro.kpm import KPMConfig, compute_dos, local_dos
+from repro.kpm.green import greens_function
+from repro.serve import (
+    DoSRequest,
+    GreenRequest,
+    LDoSRequest,
+    SpectralService,
+)
+
+
+class FlakyEngine:
+    """Engine that fails ``failures`` times, then delegates to numpy."""
+
+    name = "flaky"
+
+    def __init__(self, failures: int, exc=LaunchError):
+        from repro.kpm.engines import NumpyEngine
+
+        self.remaining = failures
+        self.exc = exc
+        self.delegate = NumpyEngine()
+        self.calls = 0
+
+    def compute_moments(self, scaled_operator, config):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc("injected fault")
+        return self.delegate.compute_moments(scaled_operator, config)
+
+
+class TestBitIdentity:
+    def test_dos_matches_compute_dos(self, chain_csr, small_config):
+        service = SpectralService(backends=("numpy",))
+        [response] = service.serve([DoSRequest(chain_csr, small_config)])
+        direct = compute_dos(chain_csr, small_config, backend="numpy")
+        assert np.array_equal(response.values, direct.density)
+        assert np.array_equal(response.energies, direct.energies)
+        assert np.array_equal(response.moments.mu, direct.moments.mu)
+
+    def test_coalesced_matches_computed(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        responses = service.serve(
+            [DoSRequest(chain_csr, small_config) for _ in range(3)]
+        )
+        assert [r.source for r in responses] == ["computed", "coalesced", "coalesced"]
+        direct = compute_dos(chain_csr, small_config, backend="gpu-sim")
+        for response in responses:
+            assert np.array_equal(response.values, direct.density)
+        assert service.metrics().engine_dispatches == 1
+
+    def test_cache_hit_matches_fresh(self, cube4_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        [first] = service.serve([DoSRequest(cube4_csr, small_config)])
+        [replay] = service.serve([DoSRequest(cube4_csr, small_config)])
+        assert replay.source == "cache"
+        assert np.array_equal(replay.values, first.values)
+        direct = compute_dos(cube4_csr, small_config, backend="gpu-sim")
+        assert np.array_equal(replay.values, direct.density)
+        assert replay.modeled_seconds == 0.0
+
+    def test_green_shares_dos_moments(self, chain_csr, small_config):
+        energies = (-0.5, 0.0, 0.5)
+        service = SpectralService(backends=("numpy",))
+        responses = service.serve([
+            DoSRequest(chain_csr, small_config),
+            GreenRequest(chain_csr, energies=energies, config=small_config),
+        ])
+        assert service.metrics().batches_total == 1
+        direct = compute_dos(chain_csr, small_config, backend="numpy")
+        expected = greens_function(
+            direct.moments, direct.rescaling, np.asarray(energies)
+        )
+        assert np.array_equal(responses[1].values, expected)
+
+    def test_ldos_matches_local_dos(self, chain_csr, small_config):
+        service = SpectralService(backends=("numpy",))
+        [response] = service.serve([LDoSRequest(chain_csr, site=5, config=small_config)])
+        energies, density = local_dos(chain_csr, 5, small_config)
+        assert np.array_equal(response.values, density)
+        assert np.array_equal(response.energies, energies)
+        assert response.engine == "host"
+
+    def test_to_dos_result_roundtrip(self, chain_csr, small_config):
+        service = SpectralService(backends=("numpy",))
+        [response] = service.serve([DoSRequest(chain_csr, small_config)])
+        result = response.to_dos_result()
+        assert np.array_equal(result.density, response.values)
+        assert result.integrate() == pytest.approx(1.0, abs=0.05)
+
+
+class TestSchedulingAndMetrics:
+    def test_responses_in_submission_order(self, chain_csr, cube4_csr, small_config):
+        service = SpectralService(backends=("numpy",))
+        tags = ["a", "b", "c", "d"]
+        requests = [
+            DoSRequest(chain_csr, small_config, tag="a"),
+            DoSRequest(cube4_csr, small_config, tag="b"),
+            DoSRequest(chain_csr, small_config, tag="c"),
+            DoSRequest(cube4_csr, small_config, tag="d"),
+        ]
+        responses = service.serve(requests)
+        assert [r.tag for r in responses] == tags
+        # ...even though execution coalesced them into two batches.
+        assert service.metrics().batches_total == 2
+
+    def test_metrics_counters(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        service.serve([DoSRequest(chain_csr, small_config)] * 2)
+        service.serve([DoSRequest(chain_csr, small_config)])
+        metrics = service.metrics()
+        assert metrics.requests_total == 3
+        assert metrics.responses_total == 3
+        assert metrics.batches_total == 2
+        assert metrics.coalesced_requests == 1
+        assert (metrics.cache_hits, metrics.cache_misses) == (1, 1)
+        assert metrics.cache_size == 1
+        assert metrics.queue_peak_depth == 2
+        assert metrics.engine_dispatches == 1
+        assert metrics.cache_hit_rate() == pytest.approx(0.5)
+        # naive = 3 modeled runs, served = 1.
+        assert metrics.modeled_speedup() == pytest.approx(3.0)
+        report = metrics.timing_report()
+        assert report.backend == "serve"
+        assert report.breakdown["saved"] == pytest.approx(
+            metrics.modeled_naive_seconds - metrics.modeled_served_seconds
+        )
+        assert "speedup" in metrics.summary()
+
+    def test_max_batch_size_first_computes_rest_hit_cache(
+        self, chain_csr, small_config
+    ):
+        service = SpectralService(backends=("gpu-sim",), max_batch_size=2)
+        responses = service.serve([DoSRequest(chain_csr, small_config)] * 5)
+        assert [r.source for r in responses] == [
+            "computed", "coalesced", "cache", "cache", "cache",
+        ]
+        assert service.metrics().engine_dispatches == 1
+
+    def test_flush_on_empty_queue(self):
+        service = SpectralService(backends=("numpy",))
+        assert service.flush() == []
+
+
+class TestHealthIntegration:
+    def test_failover_and_ejection(self, chain_csr, small_config):
+        flaky = FlakyEngine(failures=100)
+        service = SpectralService(backends=(flaky, "numpy"), eject_after=1)
+        [response] = service.serve([DoSRequest(chain_csr, small_config)])
+        assert response.engine == "numpy"
+        direct = compute_dos(chain_csr, small_config, backend="numpy")
+        assert np.array_equal(response.values, direct.density)
+        metrics = service.metrics()
+        assert metrics.engine_failures == 1
+        assert metrics.engine_ejections == 1
+
+    def test_oom_counts_as_device_fault(self, chain_csr, small_config):
+        flaky = FlakyEngine(failures=1, exc=OutOfMemoryError)
+        service = SpectralService(backends=(flaky, "numpy"), eject_after=1)
+        service.serve([DoSRequest(chain_csr, small_config)])
+        assert service.metrics().engine_ejections == 1
+
+    def test_all_engines_sick_raises_fault(self, chain_csr, small_config):
+        service = SpectralService(backends=(FlakyEngine(failures=100),))
+        with pytest.raises(FaultError, match="no healthy engine"):
+            service.serve([DoSRequest(chain_csr, small_config)])
+
+    def test_recovered_engine_serves_again(self, chain_csr, small_config):
+        flaky = FlakyEngine(failures=1)
+        # Cache disabled so the replayed key reaches the pool again.
+        service = SpectralService(
+            backends=(flaky, "numpy"),
+            cache_capacity=0,
+            eject_after=1,
+            readmit_after=1,
+        )
+        [first] = service.serve([DoSRequest(chain_csr, small_config)])
+        assert first.engine == "numpy"  # failed over after the injected fault
+        [second] = service.serve([DoSRequest(chain_csr, small_config)])
+        assert second.engine == "flaky"  # readmitted, now healthy
+        assert service.metrics().engine_readmissions == 1
+
+
+class TestValidation:
+    def test_rejects_non_request(self):
+        with pytest.raises(ValidationError, match="DoSRequest"):
+            SpectralService().submit("not a request")
+
+    def test_rejects_asymmetric_operator(self, small_config):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValidationError):
+            SpectralService().submit(DoSRequest(bad, small_config))
+
+    def test_rejects_out_of_range_site(self, chain_csr, small_config):
+        with pytest.raises(ValidationError, match="out of range"):
+            SpectralService().submit(
+                LDoSRequest(chain_csr, site=64, config=small_config)
+            )
+
+    def test_request_error_does_not_penalize_engine(self, chain_csr, small_config):
+        service = SpectralService(backends=("numpy",))
+        with pytest.raises(ValidationError):
+            service.submit("garbage")
+        [response] = service.serve([DoSRequest(chain_csr, small_config)])
+        assert response.source == "computed"
+        assert service.metrics().engine_failures == 0

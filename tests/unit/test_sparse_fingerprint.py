@@ -1,0 +1,66 @@
+"""Unit tests for the stable content fingerprints on matrix types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.lattice import chain, cubic, tight_binding_hamiltonian
+from repro.sparse import COOMatrix, CSRMatrix, DenseOperator
+from repro.sparse.csr import content_fingerprint
+
+
+class TestContentFingerprint:
+    def test_equal_matrices_collide(self):
+        a = tight_binding_hamiltonian(cubic(4), format="csr")
+        b = tight_binding_hamiltonian(cubic(4), format="csr")
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_perturbed_matrix_differs(self):
+        a = tight_binding_hamiltonian(chain(32), format="csr")
+        data = a.data.copy()
+        data[0] += 1e-12
+        b = CSRMatrix(a.indptr, a.indices, data, a.shape)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_structure_change_differs(self):
+        periodic = tight_binding_hamiltonian(chain(32), format="csr")
+        open_chain = tight_binding_hamiltonian(
+            chain(32, periodic=False), format="csr"
+        )
+        assert periodic.fingerprint() != open_chain.fingerprint()
+
+    def test_stable_across_calls(self):
+        a = tight_binding_hamiltonian(chain(16), format="csr")
+        assert a.fingerprint() == a.fingerprint()
+        assert len(a.fingerprint()) == 64  # sha256 hex
+
+    def test_coo_collides_with_equal_csr(self):
+        csr = tight_binding_hamiltonian(chain(16), format="csr")
+        rows = np.repeat(np.arange(csr.shape[0]), np.diff(csr.indptr))
+        coo = COOMatrix(rows, csr.indices, csr.data, csr.shape)
+        assert coo.fingerprint() == csr.fingerprint()
+
+    def test_dense_differs_from_csr(self):
+        # Dense matvec has a different reduction order than CSR, so the
+        # two representations must not share moment-cache entries.
+        csr = tight_binding_hamiltonian(chain(16), format="csr")
+        dense = DenseOperator(csr.to_dense())
+        assert dense.fingerprint() != csr.fingerprint()
+
+    def test_dense_content_hash(self):
+        a = DenseOperator(np.eye(4))
+        b = DenseOperator(np.eye(4))
+        c = DenseOperator(np.diag([1.0, 1.0, 1.0, 1.0 + 1e-9]))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_helper_validates_tag(self):
+        with pytest.raises(ValidationError):
+            content_fingerprint("", (2, 2), np.zeros(2))
+
+    def test_tag_separates_representations(self):
+        arr = np.arange(4, dtype=np.float64)
+        assert content_fingerprint("a", (2, 2), arr) != content_fingerprint(
+            "b", (2, 2), arr
+        )
