@@ -45,8 +45,8 @@ def main() -> None:
     scaled, _ = rescale_operator(h)
     small = KPMConfig(num_moments=64, num_random_vectors=12, num_realizations=2, seed=3,
                       block_size=32)
-    single, _ = GpuKPM().run(scaled, small)
-    multi, report = MultiGpuKPM(4).run(scaled, small)
+    single, _ = GpuKPM().compute_moments(scaled, small)
+    multi, report = MultiGpuKPM(4).compute_moments(scaled, small)
     drift = float(np.max(np.abs(single.mu - multi.mu)))
     print(f"\n4-device vs 1-device moment drift: {drift:.2e} "
           f"(same Philox streams, different partitioning)")

@@ -24,8 +24,11 @@ Subpackages
 ``repro.cpu``     the Core i7 930 cost-model backend
 ``repro.gpukpm``  the paper's GPU KPM design on the simulator
 ``repro.cluster`` multi-GPU extension (paper future work)
+``repro.serve``   batching + caching spectral service layer
 ``repro.ed``      exact diagonalization reference
 ``repro.bench``   figure-reproduction harness (Figs. 5-8 + ablations)
+``repro.analysis`` AST-based static contract checker
+``repro.obs``     deterministic tracing, metrics, perf-regression gate
 """
 
 from repro.errors import (

@@ -26,7 +26,24 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--csv-dir", default=None, help="also write CSVs to this directory")
     parser.add_argument("--no-plots", action="store_true", help="skip ASCII plots")
+    parser.add_argument(
+        "--baseline-out",
+        default=None,
+        metavar="FILE",
+        help="write the perf baseline RunRecord (Fig 5/7/8 gauges + traced "
+        "smoke run) to FILE and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.baseline_out:
+        from repro.bench.runner import write_baseline
+
+        record = write_baseline(args.baseline_out)
+        print(
+            f"wrote baseline {record.label!r} "
+            f"(fingerprint {record.fingerprint()[:12]}) to {args.baseline_out}"
+        )
+        return 0
 
     ids = args.ids or list(EXPERIMENTS)
     results = {}

@@ -1,4 +1,15 @@
-"""Harness driver: run experiments and render/export their results."""
+"""Harness driver: run experiments and render/export their results.
+
+Besides the CSV outputs, the runner can emit the repo's perf-regression
+baseline (``BENCH_PR4.json``): a :class:`~repro.obs.record.RunRecord`
+combining the modeled Fig 5/7/8 timings (as gauges) with the traced
+smoke workload (gpu + cluster + serve spans).  Refresh it with::
+
+    PYTHONPATH=src python -m repro.bench --baseline-out BENCH_PR4.json
+
+and commit the result; CI gates every run against it via
+``python -m repro obs compare --baseline BENCH_PR4.json``.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +18,16 @@ import os
 from repro.bench.experiments import EXPERIMENTS, get_experiment
 from repro.bench.report import FigureResult
 
-__all__ = ["run_experiment", "run_all", "write_csv_outputs"]
+__all__ = [
+    "run_experiment",
+    "run_all",
+    "write_csv_outputs",
+    "baseline_record",
+    "write_baseline",
+]
+
+#: Figure experiments folded into the baseline record as gauges.
+BASELINE_FIGURES = ("fig5", "fig7", "fig8")
 
 
 def run_experiment(experiment_id: str) -> FigureResult:
@@ -22,6 +42,40 @@ def run_all(*, kinds: tuple[str, ...] = ("figure", "ablation")) -> dict[str, Fig
         if spec.kind in kinds:
             results[experiment_id] = spec.build()
     return results
+
+
+def baseline_record(*, label: str = "bench-baseline"):
+    """The perf baseline: Fig 5/7/8 modeled timings + traced smoke run.
+
+    Every figure row becomes one gauge per timing column, named
+    ``bench.{fig}.{x_label}{x}.{column}`` (e.g.
+    ``bench.fig5.N512.gpu_seconds``) — the ``*_seconds`` names are what
+    :func:`repro.obs.compare.compare_records` gates.  The smoke workload
+    (:func:`repro.obs.workloads.smoke_run`) contributes the span tree.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.workloads import smoke_run
+
+    registry = MetricsRegistry()
+    for fig_id in BASELINE_FIGURES:
+        result = run_experiment(fig_id)
+        x_label = str(result.x_label)
+        for row in result.rows:
+            x_value = row[0]
+            for column, value in zip(result.columns[1:], row[1:]):
+                registry.set_gauge(
+                    f"bench.{fig_id}.{x_label}{x_value}.{column}", float(value)
+                )
+    return smoke_run(label=label, registry=registry)
+
+
+def write_baseline(path: str, *, label: str = "bench-baseline"):
+    """Record :func:`baseline_record` and write it to ``path``."""
+    from repro.obs.record import write_run_record
+
+    record = baseline_record(label=label)
+    write_run_record(record, path)
+    return record
 
 
 def write_csv_outputs(results: dict[str, FigureResult], directory: str) -> list[str]:

@@ -10,6 +10,12 @@ Python:
 * ``bench``  — alias of :mod:`repro.bench`'s figure harness.
 * ``serve-sim`` — replay a synthetic request trace through the
   :mod:`repro.serve` service layer and report batching/caching wins.
+* ``obs``    — record a traced run / gate modeled-cost regressions
+  against the committed baseline (see docs/OBSERVABILITY.md).
+
+``dos``, ``cluster``, and ``serve-sim`` accept ``--trace-out FILE`` to
+record the run's deterministic span tree as a
+:class:`~repro.obs.record.RunRecord` JSON.
 """
 
 from __future__ import annotations
@@ -69,6 +75,33 @@ def _config_from_args(args) -> KPMConfig:
         block_size=args.block_size,
         precision=args.precision,
     )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record the run's span tree as a RunRecord JSON",
+    )
+
+
+def _run_traced(args) -> int:
+    """Run the selected command under a tracer when ``--trace-out`` is set."""
+    from repro.obs import RunRecord, Tracer, write_run_record
+
+    tracer = Tracer()
+    with tracer.activate():
+        with tracer.span(f"cli.{args.command}", category="cli"):
+            status = args.func(args)
+    record = RunRecord(
+        label=f"cli-{args.command}",
+        workload={"command": args.command},
+        spans=tracer.finish(),
+    )
+    write_run_record(record, args.trace_out)
+    print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    return status
 
 
 def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
@@ -258,6 +291,7 @@ def main(argv=None) -> int:
     _add_config_arguments(dos)
     dos.add_argument("--backend", default="numpy", choices=available_backends())
     dos.add_argument("--output", "-o", default=None, help="CSV output file")
+    _add_trace_argument(dos)
     dos.set_defaults(func=_cmd_dos)
 
     time_cmd = subparsers.add_parser(
@@ -303,6 +337,7 @@ def main(argv=None) -> int:
         action="store_true",
         help="re-run fault-free and check the moments are bit-identical",
     )
+    _add_trace_argument(cluster)
     cluster.set_defaults(func=_cmd_cluster)
 
     serve_sim = subparsers.add_parser(
@@ -343,12 +378,17 @@ def main(argv=None) -> int:
         help="requests admitted per flush (0 = single flush; smaller windows "
         "exercise the cache, larger ones the coalescer)",
     )
+    _add_trace_argument(serve_sim)
     serve_sim.set_defaults(func=_cmd_serve_sim)
 
     bench = subparsers.add_parser("bench", help="regenerate the paper's figures")
     bench.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     bench.add_argument("--csv-dir", default=None)
     bench.add_argument("--no-plots", action="store_true")
+
+    from repro.obs.cli import add_obs_parser
+
+    add_obs_parser(subparsers)
 
     args = parser.parse_args(argv)
     if args.command == "bench":
@@ -361,6 +401,8 @@ def main(argv=None) -> int:
             forwarded += ["--no-plots"]
         return bench_main(forwarded)
     try:
+        if getattr(args, "trace_out", None):
+            return _run_traced(args)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

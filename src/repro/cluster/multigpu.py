@@ -44,6 +44,7 @@ from repro.gpukpm.estimator import gpu_kpm_breakdown
 from repro.gpukpm.pipeline import CheckpointChunk, GpuKPM
 from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData
+from repro.obs.tracer import current_tracer
 from repro.sparse import CSRMatrix, as_operator
 from repro.timing import TimingReport, WallTimer
 from repro.util.validation import check_positive_int
@@ -304,34 +305,57 @@ class MultiGpuKPM:
                 f"num_devices ({self.num_devices}) exceeds the number of "
                 f"random vectors ({total})"
             )
-        if self.resilient:
-            return self._run_resilient(op, config)
-        return self._run_fault_free(op, config)
+        with current_tracer().span(
+            "cluster.run",
+            category="cluster",
+            num_devices=self.num_devices,
+            interconnect=self.interconnect.name,
+            resilient=self.resilient,
+        ):
+            if self.resilient:
+                return self._run_resilient(op, config)
+            return self._run_fault_free(op, config)
 
     # ------------------------------------------------------------------
     def _run_fault_free(self, op, config: KPMConfig) -> tuple[MomentData, TimingReport]:
         dim = op.shape[0]
         total = config.total_vectors
         nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
-
-        with WallTimer() as timer:
-            tables = []
-            node_seconds = []
-            runner = GpuKPM(self.spec)
-            for start, count in _partition(total, self.num_devices):
-                mu_tilde, _, device = runner.run_partition(
-                    op, config, first_vector=start, num_vectors=count
-                )
-                tables.append(mu_tilde)
-                node_seconds.append(device.modeled_seconds)
-            full_table = np.concatenate(tables, axis=0)
-
+        tracer = current_tracer()
         broadcast = broadcast_seconds(
             self.interconnect, dim, self.num_devices, nnz=nnz
         )
         allreduce = allreduce_seconds(
             self.interconnect, config.num_moments, self.num_devices
         )
+
+        with WallTimer() as timer:
+            with tracer.span("cluster.broadcast", category="cluster"):
+                tracer.advance(broadcast)
+            tables = []
+            node_seconds = []
+            runner = GpuKPM(self.spec)
+            for node, (start, count) in enumerate(
+                _partition(total, self.num_devices)
+            ):
+                # The trace clock lays parallel node work end-to-end for
+                # attribution; the TimingReport keeps the parallel max.
+                with tracer.span(
+                    "cluster.node",
+                    category="cluster",
+                    node=node,
+                    first_vector=start,
+                    num_vectors=count,
+                ):
+                    mu_tilde, _, device = runner.run_partition(
+                        op, config, first_vector=start, num_vectors=count
+                    )
+                tables.append(mu_tilde)
+                node_seconds.append(device.modeled_seconds)
+            full_table = np.concatenate(tables, axis=0)
+            with tracer.span("cluster.allreduce", category="cluster"):
+                tracer.advance(allreduce)
+
         breakdown = {
             "broadcast": broadcast,
             "compute": max(node_seconds),
@@ -370,8 +394,12 @@ class MultiGpuKPM:
         compute = 0.0
         rebalance = 0.0
         recovery = 0.0
+        tracer = current_tracer()
+        broadcast = broadcast_seconds(self.interconnect, dim, self.num_devices, nnz=nnz)
 
         with WallTimer() as timer:
+            with tracer.span("cluster.broadcast", category="cluster"):
+                tracer.advance(broadcast)
             runner = GpuKPM(self.spec)
             alive = list(range(self.num_devices))
             assignments = [
@@ -382,26 +410,63 @@ class MultiGpuKPM:
             while assignments:
                 if round_idx > 0:
                     budget.spend(f"rebalance round {round_idx}")
-                    recovery += policy.backoff_seconds(round_idx - 1)
-                    rebalance += len(assignments) * self.interconnect.message_seconds(
+                    backoff = policy.backoff_seconds(round_idx - 1)
+                    recovery += backoff
+                    with tracer.span(
+                        "cluster.recovery",
+                        category="cluster",
+                        cause="backoff",
+                        round=round_idx,
+                    ):
+                        tracer.advance(backoff)
+                    coordination = len(assignments) * self.interconnect.message_seconds(
                         _RANGE_MSG_BYTES
                     )
+                    rebalance += coordination
+                    with tracer.span(
+                        "cluster.rebalance",
+                        category="cluster",
+                        round=round_idx,
+                        assignments=len(assignments),
+                    ):
+                        tracer.advance(coordination)
                 node_useful: dict[int, float] = {}
                 lost: list[tuple[int, int]] = []
                 for node, span in assignments:
-                    outcome = self._run_node(
-                        runner, op, config, schedule,
-                        node=node, span=span, round_idx=round_idx,
-                        table=table, filled=filled,
-                    )
+                    with tracer.span(
+                        "cluster.node",
+                        category="cluster",
+                        node=node,
+                        round=round_idx,
+                        first_vector=span[0],
+                        num_vectors=span[1],
+                    ) as node_span:
+                        outcome = self._run_node(
+                            runner, op, config, schedule,
+                            node=node, span=span, round_idx=round_idx,
+                            table=table, filled=filled,
+                        )
+                        node_span.set(survived=outcome.survived)
                     node_useful[node] = (
                         node_useful.get(node, 0.0) + outcome.useful_seconds
                     )
+                    # The wasted (un-checkpointed) chunk already advanced
+                    # the trace clock inside the node span's device work;
+                    # only the straggler excess is new modeled time.
                     recovery += outcome.wasted_seconds
                     straggler = schedule.straggler_for(node, round_idx)
                     if straggler is not None:
                         busy = outcome.useful_seconds + outcome.wasted_seconds
-                        recovery += busy * (straggler.slowdown - 1.0)
+                        excess = busy * (straggler.slowdown - 1.0)
+                        recovery += excess
+                        with tracer.span(
+                            "cluster.recovery",
+                            category="cluster",
+                            cause="straggler",
+                            node=node,
+                            round=round_idx,
+                        ):
+                            tracer.advance(excess)
                     if not outcome.survived:
                         alive.remove(node)
                         if outcome.leftover is not None:
@@ -430,12 +495,26 @@ class MultiGpuKPM:
                 event = schedule.transfer_for(node)
                 if event is None:
                     continue
+                retransmit = 0.0
                 for attempt in range(event.count):
                     budget.spend(f"retransmission from node {node}")
-                    recovery += policy.backoff_seconds(attempt)
-                    recovery += self.interconnect.message_seconds(
+                    retransmit += policy.backoff_seconds(attempt)
+                    retransmit += self.interconnect.message_seconds(
                         num_moments * _FLOAT
                     )
+                recovery += retransmit
+                with tracer.span(
+                    "cluster.recovery",
+                    category="cluster",
+                    cause="retransmit",
+                    node=node,
+                    attempts=event.count,
+                ):
+                    tracer.advance(retransmit)
+            with tracer.span("cluster.allreduce", category="cluster"):
+                tracer.advance(
+                    allreduce_seconds(self.interconnect, num_moments, len(alive))
+                )
 
         if not bool(filled.all()):  # pragma: no cover - driver invariant
             raise DeviceError(

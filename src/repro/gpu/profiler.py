@@ -18,7 +18,31 @@ from repro.gpu.kernel import KernelStats
 from repro.gpu.thread import Dim3
 from repro.util.format import format_bytes, format_count, format_seconds
 
-__all__ = ["KernelEvent", "TransferEvent", "Profiler"]
+__all__ = ["KernelEvent", "TransferEvent", "Profiler", "chrome_trace_event"]
+
+
+def chrome_trace_event(
+    name: str,
+    *,
+    ts_us: float,
+    dur_us: float,
+    tid,
+    pid: int = 0,
+    category: str | None = None,
+    args: dict | None = None,
+) -> dict:
+    """One complete ("X"-phase) Chrome trace-event dict.
+
+    Shared by :meth:`Profiler.to_chrome_trace` and
+    :func:`repro.obs.export.to_chrome_trace` so both emit the same
+    schema (timestamps/durations in microseconds of *modeled* time).
+    """
+    event = {"name": name, "ph": "X", "ts": ts_us, "dur": dur_us, "pid": pid, "tid": tid}
+    if category is not None:
+        event["cat"] = category
+    if args:
+        event["args"] = args
+    return event
 
 
 @dataclass(frozen=True)
@@ -127,14 +151,9 @@ class Profiler:
         clock_us = 0.0
         if self.setup_seconds:
             trace.append(
-                {
-                    "name": "setup",
-                    "ph": "X",
-                    "ts": 0.0,
-                    "dur": self.setup_seconds * 1e6,
-                    "pid": 0,
-                    "tid": "Setup",
-                }
+                chrome_trace_event(
+                    "setup", ts_us=0.0, dur_us=self.setup_seconds * 1e6, tid="Setup"
+                )
             )
             clock_us = self.setup_seconds * 1e6
         for event in self.events:
@@ -155,15 +174,9 @@ class Profiler:
                 tid = "PCIe"
                 args = {"bytes": event.nbytes}
             trace.append(
-                {
-                    "name": name,
-                    "ph": "X",
-                    "ts": clock_us,
-                    "dur": duration_us,
-                    "pid": 0,
-                    "tid": tid,
-                    "args": args,
-                }
+                chrome_trace_event(
+                    name, ts_us=clock_us, dur_us=duration_us, tid=tid, args=args
+                )
             )
             clock_us += duration_us
         return json.dumps({"traceEvents": trace, "displayTimeUnit": "ms"})

@@ -33,6 +33,7 @@ from repro.gpukpm.stats import (
 )
 from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData
+from repro.obs.tracer import current_tracer
 from repro.sparse import CSRMatrix, as_operator
 from repro.timing import TimingReport, WallTimer
 from repro.util.validation import check_positive_int
@@ -207,97 +208,115 @@ class GpuKPM:
 
         device = Device(self.spec)
         self.last_device = device
+        tracer = current_tracer()
 
-        # --- upload the Hamiltonian ---------------------------------
-        if isinstance(op, CSRMatrix):
-            nnz = op.nnz_stored
-            d_data = device.alloc(nnz, dtype=dtype, name="H.data")
-            d_indices = device.alloc(nnz, dtype=np.int64, name="H.indices")
-            d_indptr = device.alloc(dim + 1, dtype=np.int64, name="H.indptr")
-            device.memcpy_htod(d_data, op.data.astype(dtype))
-            device.memcpy_htod(d_indices, op.indices)
-            device.memcpy_htod(d_indptr, op.indptr)
-            matrix = DeviceMatrix(
-                csr_data=d_data,
-                csr_indices=d_indices,
-                csr_indptr=d_indptr,
-                shape=op.shape,
-            )
-        else:
-            nnz = None
-            d_matrix = device.alloc((dim, dim), dtype=dtype, name="H.dense")
-            device.memcpy_htod(d_matrix, op.to_dense().astype(dtype))
-            matrix = DeviceMatrix(dense=d_matrix)
-
-        # --- workspace + moment buffers (paper Sec. III-B2) ---------
-        workspace = device.alloc((plan.num_blocks, 4, dim), dtype=dtype, name="workspace")
-
-        if checkpoint_every is not None or on_chunk is not None:
-            return self._run_chunked(
-                device,
-                matrix,
-                workspace,
-                config,
-                nnz=nnz,
-                dim=dim,
-                dtype=dtype,
-                first_vector=first_vector,
-                num_vectors=num_vectors,
-                checkpoint_every=checkpoint_every,
-                on_chunk=on_chunk,
-            )
-
-        mu_tilde = device.alloc((num_vectors, num_moments), dtype=dtype, name="mu_tilde")
-        mu_out = device.alloc(num_moments, dtype=dtype, name="mu")
-
-        # --- part (a): recursion ------------------------------------
-        pv_stats = per_vector_recursion_stats(
-            dim,
-            num_moments,
-            nnz=nnz,
+        with tracer.span(
+            "gpu.pipeline",
+            category="pipeline",
+            device=self.spec.name,
+            dimension=dim,
+            num_vectors=num_vectors,
+            first_vector=first_vector,
             block_size=plan.block_size,
-            precision=config.precision,
-        )
-        footprint = recursion_footprint_bytes(
-            dim, plan, self.spec, nnz=nnz, precision=config.precision
-        )
-        device.launch(
-            kpm_recursion_kernel,
-            grid=plan.num_blocks,
-            block=plan.block_size,
-            args=(
-                matrix,
-                workspace,
-                mu_tilde,
-                plan,
-                pv_stats,
-                footprint,
+        ):
+            # --- upload the Hamiltonian ---------------------------------
+            with tracer.device_span("gpu.upload", device):
+                if isinstance(op, CSRMatrix):
+                    nnz = op.nnz_stored
+                    d_data = device.alloc(nnz, dtype=dtype, name="H.data")
+                    d_indices = device.alloc(nnz, dtype=np.int64, name="H.indices")
+                    d_indptr = device.alloc(dim + 1, dtype=np.int64, name="H.indptr")
+                    device.memcpy_htod(d_data, op.data.astype(dtype))
+                    device.memcpy_htod(d_indices, op.indices)
+                    device.memcpy_htod(d_indptr, op.indptr)
+                    matrix = DeviceMatrix(
+                        csr_data=d_data,
+                        csr_indices=d_indices,
+                        csr_indptr=d_indptr,
+                        shape=op.shape,
+                    )
+                else:
+                    nnz = None
+                    d_matrix = device.alloc((dim, dim), dtype=dtype, name="H.dense")
+                    device.memcpy_htod(d_matrix, op.to_dense().astype(dtype))
+                    matrix = DeviceMatrix(dense=d_matrix)
+
+                # --- workspace + moment buffers (paper Sec. III-B2) -----
+                workspace = device.alloc(
+                    (plan.num_blocks, 4, dim), dtype=dtype, name="workspace"
+                )
+
+            if checkpoint_every is not None or on_chunk is not None:
+                return self._run_chunked(
+                    device,
+                    matrix,
+                    workspace,
+                    config,
+                    nnz=nnz,
+                    dim=dim,
+                    dtype=dtype,
+                    first_vector=first_vector,
+                    num_vectors=num_vectors,
+                    checkpoint_every=checkpoint_every,
+                    on_chunk=on_chunk,
+                )
+
+            mu_tilde = device.alloc(
+                (num_vectors, num_moments), dtype=dtype, name="mu_tilde"
+            )
+            mu_out = device.alloc(num_moments, dtype=dtype, name="mu")
+
+            # --- part (a): recursion ------------------------------------
+            pv_stats = per_vector_recursion_stats(
+                dim,
                 num_moments,
-                config.num_random_vectors,
-                config.vector_kind,
-                config.seed,
-                first_vector,
-            ),
-            shared_bytes_per_block=plan.block_size * 8,
-        )
+                nnz=nnz,
+                block_size=plan.block_size,
+                precision=config.precision,
+            )
+            footprint = recursion_footprint_bytes(
+                dim, plan, self.spec, nnz=nnz, precision=config.precision
+            )
+            with tracer.device_span("gpu.moments", device):
+                device.launch(
+                    kpm_recursion_kernel,
+                    grid=plan.num_blocks,
+                    block=plan.block_size,
+                    args=(
+                        matrix,
+                        workspace,
+                        mu_tilde,
+                        plan,
+                        pv_stats,
+                        footprint,
+                        num_moments,
+                        config.num_random_vectors,
+                        config.vector_kind,
+                        config.seed,
+                        first_vector,
+                    ),
+                    shared_bytes_per_block=plan.block_size * 8,
+                )
 
-        # --- part (b): reduction ------------------------------------
-        reduce_stats = reduce_launch_stats(
-            num_moments, num_vectors, precision=config.precision
-        )
-        reduce_blocks = -(-num_moments // plan.block_size)
-        device.launch(
-            reduce_moments_kernel,
-            grid=reduce_blocks,
-            block=plan.block_size,
-            args=(mu_tilde, mu_out, reduce_stats.footprint_bytes, config.precision),
-        )
+            # --- part (b): reduction ------------------------------------
+            reduce_stats = reduce_launch_stats(
+                num_moments, num_vectors, precision=config.precision
+            )
+            reduce_blocks = -(-num_moments // plan.block_size)
+            with tracer.device_span("gpu.reduction", device):
+                device.launch(
+                    reduce_moments_kernel,
+                    grid=reduce_blocks,
+                    block=plan.block_size,
+                    args=(mu_tilde, mu_out, reduce_stats.footprint_bytes, config.precision),
+                )
 
-        # --- download -------------------------------------------------
-        host_mu_tilde = np.empty((num_vectors, num_moments), dtype=dtype)
-        host_mu = np.empty(num_moments, dtype=dtype)
-        device.memcpy_dtoh(host_mu_tilde, mu_tilde)
-        device.memcpy_dtoh(host_mu, mu_out)
+            # --- download -------------------------------------------------
+            host_mu_tilde = np.empty((num_vectors, num_moments), dtype=dtype)
+            host_mu = np.empty(num_moments, dtype=dtype)
+            with tracer.device_span("gpu.download", device):
+                device.memcpy_dtoh(host_mu_tilde, mu_tilde)
+                device.memcpy_dtoh(host_mu, mu_out)
         return host_mu_tilde.astype(np.float64), host_mu.astype(np.float64), device
 
     def _run_chunked(
@@ -324,6 +343,7 @@ class GpuKPM:
         if checkpoint_every is None:
             checkpoint_every = num_vectors
         checkpoint_every = check_positive_int(checkpoint_every, "checkpoint_every")
+        tracer = current_tracer()
         num_moments = config.num_moments
         host_mu_tilde = np.empty((num_vectors, num_moments), dtype=dtype)
         for start in range(0, num_vectors, checkpoint_every):
@@ -343,27 +363,31 @@ class GpuKPM:
                 (count, num_moments), dtype=dtype, name="mu_tilde.chunk"
             )
             seconds_before = device.modeled_seconds
-            device.launch(
-                kpm_recursion_kernel,
-                grid=sub_plan.num_blocks,
-                block=sub_plan.block_size,
-                args=(
-                    matrix,
-                    workspace,
-                    mu_chunk,
-                    sub_plan,
-                    pv_stats,
-                    footprint,
-                    num_moments,
-                    config.num_random_vectors,
-                    config.vector_kind,
-                    config.seed,
-                    first_vector + start,
-                ),
-                shared_bytes_per_block=sub_plan.block_size * 8,
-            )
+            with tracer.device_span(
+                "gpu.moments", device, chunk_start=first_vector + start
+            ):
+                device.launch(
+                    kpm_recursion_kernel,
+                    grid=sub_plan.num_blocks,
+                    block=sub_plan.block_size,
+                    args=(
+                        matrix,
+                        workspace,
+                        mu_chunk,
+                        sub_plan,
+                        pv_stats,
+                        footprint,
+                        num_moments,
+                        config.num_random_vectors,
+                        config.vector_kind,
+                        config.seed,
+                        first_vector + start,
+                    ),
+                    shared_bytes_per_block=sub_plan.block_size * 8,
+                )
             rows = np.empty((count, num_moments), dtype=dtype)
-            device.memcpy_dtoh(rows, mu_chunk)
+            with tracer.device_span("gpu.download", device):
+                device.memcpy_dtoh(rows, mu_chunk)
             mu_chunk.free()
             host_mu_tilde[start : start + count] = rows
             if on_chunk is not None:

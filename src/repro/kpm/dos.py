@@ -22,6 +22,7 @@ from repro.kpm.reconstruct import (
     evaluate_series_at,
 )
 from repro.kpm.rescale import Rescaling, rescale_operator
+from repro.obs.tracer import current_tracer
 from repro.sparse import as_operator
 from repro.timing import TimingReport
 
@@ -146,17 +147,39 @@ def compute_dos(
     if not isinstance(config, KPMConfig):
         raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
     op = validate_spectral_operator(hamiltonian)
-    scaled, rescaling = rescale_operator(
-        op, method=config.bounds_method, epsilon=config.epsilon
-    )
     engine = get_engine(backend)
-    moment_data, timing = engine.compute_moments(scaled, config)
-    energies, density = dos_from_moments(
-        moment_data,
-        rescaling,
-        kernel=config.kernel,
-        num_points=config.num_energy_points,
-    )
+    tracer = current_tracer()
+    with tracer.span(
+        "kpm.compute_dos",
+        category="pipeline",
+        backend=getattr(engine, "name", str(backend)),
+        dimension=op.shape[0],
+        num_moments=config.num_moments,
+        total_vectors=config.total_vectors,
+    ):
+        with tracer.span("kpm.rescale", category="pipeline"):
+            scaled, rescaling = rescale_operator(
+                op, method=config.bounds_method, epsilon=config.epsilon
+            )
+        with tracer.span("kpm.moments", category="pipeline") as moments_span:
+            clock_mark = getattr(tracer, "clock", 0.0)
+            moment_data, timing = engine.compute_moments(scaled, config)
+            moments_span.set(backend=timing.backend)
+            if (
+                timing.modeled_seconds is not None
+                and getattr(tracer, "clock", 0.0) == clock_mark
+            ):
+                # Engines without their own instrumentation (e.g. the
+                # cost-model backend) still contribute their modeled
+                # total to the trace clock.
+                tracer.advance(timing.modeled_seconds)
+        with tracer.span("kpm.reconstruct", category="pipeline"):
+            energies, density = dos_from_moments(
+                moment_data,
+                rescaling,
+                kernel=config.kernel,
+                num_points=config.num_energy_points,
+            )
     return DoSResult(
         energies=energies,
         density=density,

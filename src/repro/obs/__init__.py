@@ -1,0 +1,58 @@
+"""repro.obs — deterministic observability: tracing, metrics, perf gating.
+
+The paper's entire evaluation is timing (Figs. 5-8), yet the repo's
+telemetry was fragmented: :class:`repro.gpu.profiler.Profiler` sees only
+kernel launches, :class:`repro.timing.TimingReport` only backend phases,
+and :class:`repro.serve.ServiceMetrics` only the service.  This package
+unifies all three behind one schema:
+
+* :class:`Tracer` / :class:`NullTracer` — hierarchical :class:`Span`
+  trees on the *modeled* clock (cost-model seconds, counter-ordered).
+  Recorded fields are bit-reproducible across runs; optional host
+  wall-clock observations live in ``Span.annotations`` and are excluded
+  from equality, exports, and fingerprints.  ``NullTracer`` (the
+  default) makes every hook a no-op, so instrumented hot paths cost
+  nothing when tracing is off.
+* :class:`MetricsRegistry` — named counters / gauges / histograms that
+  absorb :class:`~repro.timing.TimingReport` and
+  :class:`~repro.serve.ServiceMetrics` summaries.
+* :class:`RunRecord` — one run's spans + metrics as deterministic JSON
+  (two identical runs produce byte-identical records), with JSON-lines,
+  Chrome trace-event, and human-readable tree exporters.
+* :func:`compare_records` — the perf-regression gate: modeled span /
+  metric costs against a committed baseline (``BENCH_PR4.json``),
+  tolerance-banded per label.
+
+CLI: ``python -m repro obs record|compare`` (see docs/OBSERVABILITY.md).
+"""
+
+from repro.obs.compare import ComparisonResult, CostDelta, compare_records
+from repro.obs.export import render_tree, to_chrome_trace, to_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.record import (
+    RunRecord,
+    SCHEMA_VERSION,
+    load_run_record,
+    write_run_record,
+)
+from repro.obs.span import Span
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, current_tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "MetricsRegistry",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "load_run_record",
+    "write_run_record",
+    "to_chrome_trace",
+    "to_jsonl",
+    "render_tree",
+    "compare_records",
+    "ComparisonResult",
+    "CostDelta",
+]

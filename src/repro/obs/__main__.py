@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.obs record|compare ...``."""
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

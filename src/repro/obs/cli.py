@@ -1,0 +1,192 @@
+"""``python -m repro obs`` — record runs and gate perf regressions.
+
+Two subcommands:
+
+* ``record`` — run the traced workload (the full bench baseline by
+  default, or ``--smoke`` for just the smoke pass) and write the
+  :class:`~repro.obs.record.RunRecord` JSON; optionally also export a
+  Chrome trace, JSON lines, or print the span tree.
+* ``compare`` — load a committed baseline (``BENCH_PR4.json``),
+  re-record the same workload (or load ``--current``), and fail (exit 1)
+  on any modeled-cost regression beyond tolerance.
+
+Baseline refresh::
+
+    PYTHONPATH=src python -m repro obs record --out BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import ReproError, ValidationError
+from repro.obs.compare import compare_records
+from repro.obs.export import render_tree, to_chrome_trace, to_jsonl
+from repro.obs.record import load_run_record, write_run_record
+
+__all__ = ["add_obs_parser", "main"]
+
+
+def add_obs_parser(subparsers) -> None:
+    """Register the ``obs`` subcommand tree on an argparse subparsers object."""
+    if not hasattr(subparsers, "add_parser"):
+        raise ValidationError(
+            "add_obs_parser needs an argparse subparsers object with add_parser()"
+        )
+    obs = subparsers.add_parser(
+        "obs", help="deterministic tracing: record runs, gate perf regressions"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    _add_subcommands(obs_sub)
+
+
+def _add_subcommands(obs_sub) -> None:
+    record = obs_sub.add_parser(
+        "record", help="record the traced benchmark workload to a RunRecord JSON"
+    )
+    record.add_argument("--out", "-o", required=True, help="RunRecord JSON output path")
+    record.add_argument(
+        "--label", default=None, help="record label (default: bench-baseline / smoke)"
+    )
+    record.add_argument(
+        "--smoke",
+        action="store_true",
+        help="record only the smoke workload (skip the Fig 5-8 gauges)",
+    )
+    record.add_argument(
+        "--chrome", default=None, metavar="FILE", help="also write a Chrome trace JSON"
+    )
+    record.add_argument(
+        "--jsonl", default=None, metavar="FILE", help="also write JSON-lines spans"
+    )
+    record.add_argument(
+        "--tree", action="store_true", help="print the human-readable span tree"
+    )
+    record.set_defaults(func=_cmd_record)
+
+    compare = obs_sub.add_parser(
+        "compare", help="gate modeled costs against a committed baseline"
+    )
+    compare.add_argument(
+        "--baseline", required=True, help="committed baseline RunRecord JSON"
+    )
+    compare.add_argument(
+        "--current",
+        default=None,
+        help="current RunRecord JSON (default: re-record the baseline workload now)",
+    )
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="default relative tolerance band (fraction, e.g. 0.10)",
+    )
+    compare.add_argument(
+        "--band",
+        action="append",
+        default=[],
+        metavar="PATTERN=TOL",
+        help="per-label tolerance override (fnmatch pattern), repeatable",
+    )
+    compare.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="labels to exclude from the comparison (fnmatch pattern), repeatable",
+    )
+    compare.add_argument(
+        "--smoke",
+        action="store_true",
+        help="re-record only the smoke workload and ignore bench.* labels",
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+
+def _record_workload(*, smoke: bool, label: str | None):
+    from repro.bench.runner import baseline_record
+    from repro.obs.workloads import smoke_run
+
+    if smoke:
+        return smoke_run(label=label or "smoke")
+    return baseline_record(label=label or "bench-baseline")
+
+
+def _cmd_record(args) -> int:
+    record = _record_workload(smoke=args.smoke, label=args.label)
+    write_run_record(record, args.out)
+    print(
+        f"wrote {record.label!r} ({len(record.spans)} root span(s), "
+        f"fingerprint {record.fingerprint()[:12]}) to {args.out}",
+        file=sys.stderr,
+    )
+    if args.chrome:
+        with open(args.chrome, "w", encoding="ascii", newline="\n") as handle:
+            handle.write(to_chrome_trace(record) + "\n")
+        print(f"wrote Chrome trace to {args.chrome}", file=sys.stderr)
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="ascii", newline="\n") as handle:
+            handle.write(to_jsonl(record))
+        print(f"wrote JSON lines to {args.jsonl}", file=sys.stderr)
+    if args.tree:
+        sys.stdout.write(render_tree(record))
+    return 0
+
+
+def _parse_bands(pairs) -> dict:
+    bands = {}
+    for pair in pairs:
+        pattern, sep, value = pair.partition("=")
+        if not sep or not pattern:
+            raise ValidationError(
+                f"--band needs PATTERN=TOL (e.g. 'serve.*=0.25'), got {pair!r}"
+            )
+        try:
+            bands[pattern] = float(value)
+        except ValueError:
+            raise ValidationError(
+                f"--band tolerance for {pattern!r} must be a number, got {value!r}"
+            ) from None
+    return bands
+
+
+def _cmd_compare(args) -> int:
+    baseline = load_run_record(args.baseline)
+    ignore = list(args.ignore)
+    if args.current is not None:
+        current = load_run_record(args.current)
+    else:
+        current = _record_workload(smoke=args.smoke, label=baseline.label)
+    if args.smoke:
+        # A smoke re-record cannot reproduce the Fig 5-8 gauges; keep the
+        # gate honest on what actually re-ran.
+        ignore.append("bench.*")
+    result = compare_records(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        bands=_parse_bands(args.band),
+        ignore=tuple(ignore),
+    )
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def main(argv=None) -> int:
+    """Standalone entry point of ``python -m repro.obs``."""
+    import argparse
+
+    if argv is not None and not all(isinstance(arg, str) for arg in argv):
+        raise ValidationError("argv must be a sequence of strings")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Deterministic observability: record traced runs, gate regressions.",
+    )
+    subparsers = parser.add_subparsers(dest="obs_command", required=True)
+    _add_subcommands(subparsers)
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,176 @@
+"""The perf-regression gate: modeled costs vs a committed baseline.
+
+:func:`compare_records` aggregates each record's modeled seconds per
+span label (plus any ``*seconds*`` metric) and flags regressions where
+the current cost exceeds the baseline by more than a tolerance band.
+Because both sides are on the deterministic modeled clock, the gate has
+no measurement noise — the tolerance absorbs *intentional* drift (cost
+model recalibration), not jitter.  CI runs it as::
+
+    python -m repro obs compare --baseline BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.obs.record import RunRecord
+
+__all__ = ["CostDelta", "ComparisonResult", "compare_records"]
+
+#: Absolute slack in modeled seconds, so zero-cost baseline labels don't
+#: fail on any nonzero current cost (relative tolerance alone would).
+DEFAULT_FLOOR_SECONDS = 1e-9
+
+
+@dataclass(frozen=True)
+class CostDelta:
+    """One compared label: baseline vs current modeled seconds."""
+
+    label: str
+    kind: str  # "span" | "metric"
+    baseline: float | None
+    current: float | None
+    tolerance: float
+    status: str  # "ok" | "regression" | "missing" | "new"
+
+    @property
+    def ratio(self) -> float:
+        """current/baseline (1.0 when either side is absent or zero)."""
+        if not self.baseline or self.current is None:
+            return 1.0
+        return self.current / self.baseline
+
+    def summary(self) -> str:
+        """One-line description for gate output."""
+        fmt = lambda v: "-" if v is None else f"{v:.6g}s"  # noqa: E731
+        return (
+            f"[{self.status}] {self.kind} {self.label}: "
+            f"baseline={fmt(self.baseline)} current={fmt(self.current)} "
+            f"(tolerance {self.tolerance:.0%})"
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of one baseline comparison."""
+
+    ok: bool
+    deltas: list[CostDelta] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CostDelta]:
+        """Deltas that fail the gate (regressions and missing labels)."""
+        return [d for d in self.deltas if d.status in ("regression", "missing")]
+
+    def summary(self) -> str:
+        """Multi-line report: verdict, failures first, then the rest."""
+        verdict = "PASS" if self.ok else "FAIL"
+        ordered = self.failures + [d for d in self.deltas if d not in self.failures]
+        lines = [f"{verdict}: {len(self.failures)} failure(s), {len(self.deltas)} label(s) compared"]
+        lines.extend(delta.summary() for delta in ordered)
+        return "\n".join(lines)
+
+
+def _tolerance_for(label: str, default: float, bands: dict[str, float]) -> float:
+    for pattern in sorted(bands):
+        if fnmatch.fnmatchcase(label, pattern):
+            return bands[pattern]
+    return default
+
+
+def _seconds_metrics(record: RunRecord) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for family in (record.metrics.counters, record.metrics.gauges):
+        for name, value in family.items():
+            if "seconds" in name:
+                values[name] = value
+    return values
+
+
+def compare_records(
+    baseline: RunRecord,
+    current: RunRecord,
+    *,
+    tolerance: float = 0.10,
+    bands: dict[str, float] | None = None,
+    ignore: tuple = (),
+    floor_seconds: float = DEFAULT_FLOOR_SECONDS,
+) -> ComparisonResult:
+    """Gate ``current`` against ``baseline`` on modeled costs.
+
+    Parameters
+    ----------
+    baseline, current:
+        The committed baseline record and the freshly recorded run.
+    tolerance:
+        Default relative band: a label regresses when
+        ``current > baseline * (1 + tolerance) + floor_seconds``.
+    bands:
+        Optional per-label overrides, keyed by :mod:`fnmatch` patterns
+        matched against the span label / metric name (first match in
+        sorted pattern order wins), e.g. ``{"serve.*": 0.25}``.
+    ignore:
+        :mod:`fnmatch` patterns of labels to leave out of the comparison
+        entirely (e.g. ``("bench.*",)`` when only the smoke workload was
+        re-recorded).
+    floor_seconds:
+        Absolute slack so zero-cost baseline labels tolerate rounding.
+
+    Labels present in the baseline but absent from the current run fail
+    as ``"missing"`` (a silently vanished phase is as suspect as a slow
+    one); labels new in the current run pass as ``"new"``.
+    """
+    if not isinstance(baseline, RunRecord) or not isinstance(current, RunRecord):
+        raise ValidationError("compare_records needs two RunRecord instances")
+    if not isinstance(tolerance, (int, float)) or tolerance < 0.0:
+        raise ValidationError(f"tolerance must be >= 0, got {tolerance!r}")
+    if not isinstance(floor_seconds, (int, float)) or floor_seconds < 0.0:
+        raise ValidationError(f"floor_seconds must be >= 0, got {floor_seconds!r}")
+    bands = dict(bands or {})
+    for pattern, band in bands.items():
+        if not isinstance(band, (int, float)) or band < 0.0:
+            raise ValidationError(
+                f"tolerance band for {pattern!r} must be >= 0, got {band!r}"
+            )
+    ignore = tuple(ignore)
+    for pattern in ignore:
+        if not isinstance(pattern, str) or not pattern:
+            raise ValidationError(
+                f"ignore patterns must be non-empty strings, got {pattern!r}"
+            )
+
+    deltas: list[CostDelta] = []
+    for kind, base_values, cur_values in (
+        ("span", baseline.span_costs(), current.span_costs()),
+        ("metric", _seconds_metrics(baseline), _seconds_metrics(current)),
+    ):
+        for label in sorted(set(base_values) | set(cur_values)):
+            if any(fnmatch.fnmatchcase(label, pattern) for pattern in ignore):
+                continue
+            band = _tolerance_for(label, float(tolerance), bands)
+            base = base_values.get(label)
+            cur = cur_values.get(label)
+            if base is None:
+                status = "new"
+            elif cur is None:
+                status = "missing"
+            elif cur > base * (1.0 + band) + floor_seconds:
+                status = "regression"
+            else:
+                status = "ok"
+            deltas.append(
+                CostDelta(
+                    label=label,
+                    kind=kind,
+                    baseline=base,
+                    current=cur,
+                    tolerance=band,
+                    status=status,
+                )
+            )
+    result = ComparisonResult(ok=True, deltas=deltas)
+    result.ok = not result.failures
+    return result

@@ -1,0 +1,140 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines, and a text span tree.
+
+All three render a :class:`~repro.obs.record.RunRecord` from its
+deterministic modeled-clock fields, so exports are byte-identical across
+identical runs.  The Chrome exporter subsumes
+:meth:`repro.gpu.profiler.Profiler.to_chrome_trace` (and reuses its
+:func:`~repro.gpu.profiler.chrome_trace_event` schema helper): kernel
+and transfer events captured by ``Tracer.device_span`` become trace
+events *inside* their owning pipeline/cluster/serve spans, all on one
+thread track so ``chrome://tracing`` / Perfetto nests them by
+containment.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ValidationError
+from repro.gpu.profiler import chrome_trace_event
+from repro.obs.record import RunRecord
+from repro.obs.span import Span
+from repro.util.format import format_seconds
+
+__all__ = ["to_chrome_trace", "to_jsonl", "render_tree"]
+
+#: Single thread track: Chrome/Perfetto nest same-tid "X" events by containment.
+_TRACK = "modeled"
+
+
+def _check_record(record) -> RunRecord:
+    if not isinstance(record, RunRecord):
+        raise ValidationError(
+            f"expected a RunRecord, got {type(record).__name__}"
+        )
+    return record
+
+
+def to_chrome_trace(record: RunRecord) -> str:
+    """The record's span forest as Chrome trace-event JSON.
+
+    Every span becomes an "X" event (ts/dur in microseconds of modeled
+    time) on the single ``"modeled"`` track; profiler events captured by
+    ``device_span`` become child "X" events on the same track, so the
+    viewer nests kernels under pipeline spans, pipeline spans under
+    cluster spans, and so on purely by time containment.
+    """
+    _check_record(record)
+    trace: list[dict] = []
+    for root in record.spans:
+        for span in root.walk():
+            trace.append(
+                chrome_trace_event(
+                    span.label,
+                    ts_us=span.start * 1e6,
+                    dur_us=span.duration * 1e6,
+                    tid=_TRACK,
+                    category=span.category,
+                    args=dict(span.attributes),
+                )
+            )
+            for event in span.events:
+                args = {
+                    key: value
+                    for key, value in event.items()
+                    if key not in ("name", "start", "seconds")
+                }
+                trace.append(
+                    chrome_trace_event(
+                        event["name"],
+                        ts_us=event["start"] * 1e6,
+                        dur_us=event["seconds"] * 1e6,
+                        tid=_TRACK,
+                        category=event.get("kind", "event"),
+                        args=args,
+                    )
+                )
+    payload = {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "metadata": {"label": record.label, "schema": record.schema},
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def to_jsonl(record: RunRecord) -> str:
+    """The record as JSON lines: one header line, then one line per span.
+
+    Spans are flattened depth-first; each line carries its own ``index``
+    and its parent's index (``None`` for roots) so the tree can be
+    rebuilt without nesting-aware parsing.
+    """
+    _check_record(record)
+    lines = [
+        json.dumps(
+            {
+                "schema": record.schema,
+                "label": record.label,
+                "workload": dict(record.workload),
+                "metrics": record.metrics.to_dict(),
+            },
+            sort_keys=True,
+        )
+    ]
+
+    def emit(span: Span, parent: int | None) -> None:
+        flat = span.to_dict()
+        flat.pop("children")
+        flat["parent"] = parent
+        lines.append(json.dumps(flat, sort_keys=True))
+        for child in span.children:
+            emit(child, span.index)
+
+    for root in record.spans:
+        emit(root, None)
+    return "\n".join(lines) + "\n"
+
+
+def render_tree(record: RunRecord) -> str:
+    """Human-readable span tree with modeled durations and key attributes."""
+    _check_record(record)
+    lines = [f"run {record.label!r} [{record.schema}]"]
+
+    def emit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        detail = ""
+        if span.attributes:
+            pairs = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(span.attributes.items())
+            )
+            detail = f"  ({pairs})"
+        suffix = f" [{len(span.events)} events]" if span.events else ""
+        lines.append(
+            f"{indent}{span.label}: {format_seconds(span.duration)}{suffix}{detail}"
+        )
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for root in record.spans:
+        emit(root, 1)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,158 @@
+"""MetricsRegistry: named counters, gauges, and histograms behind one schema.
+
+The registry is the union point for the repo's pre-existing telemetry:
+:meth:`MetricsRegistry.absorb_timing_report` maps a backend
+:class:`~repro.timing.TimingReport` to gauges and
+:meth:`MetricsRegistry.absorb_service_metrics` maps a
+:class:`~repro.serve.ServiceMetrics` snapshot to counters/gauges — both
+deliberately dropping ``wall_seconds`` so the registry stays on the
+deterministic modeled clock.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+__all__ = ["MetricsRegistry"]
+
+
+def _check_name(name: str) -> None:
+    if not isinstance(name, str) or not name:
+        raise ValidationError(f"metric name must be a non-empty string, got {name!r}")
+
+
+def _check_finite(name: str, value) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(
+            f"metric {name!r} needs a numeric value, got {type(value).__name__}"
+        )
+    if not math.isfinite(value):
+        raise ValidationError(f"metric {name!r} needs a finite value, got {value!r}")
+    return float(value)
+
+
+class MetricsRegistry:
+    """Three metric families keyed by dotted names.
+
+    * **counters** — monotonic totals (``inc``);
+    * **gauges** — last-write-wins values (``set_gauge``);
+    * **histograms** — running ``count/total/min/max`` summaries
+      (``observe``), enough for deterministic export without storing
+      every sample.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the named counter."""
+        _check_name(name)
+        value = _check_finite(name, amount)
+        if value < 0.0:
+            raise ValidationError(f"counter {name!r} cannot decrease (amount={amount})")
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        _check_name(name)
+        self.gauges[name] = _check_finite(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the named histogram summary."""
+        _check_name(name)
+        sample = _check_finite(name, value)
+        hist = self.histograms.get(name)
+        if hist is None:
+            self.histograms[name] = {
+                "count": 1.0,
+                "total": sample,
+                "min": sample,
+                "max": sample,
+            }
+        else:
+            hist["count"] += 1.0
+            hist["total"] += sample
+            hist["min"] = min(hist["min"], sample)
+            hist["max"] = max(hist["max"], sample)
+
+    # ------------------------------------------------------------------
+    def absorb_timing_report(self, report, *, prefix: str | None = None) -> None:
+        """Record a :class:`~repro.timing.TimingReport` as gauges.
+
+        Emits ``{prefix}.modeled_seconds`` and one
+        ``{prefix}.phase.{name}_seconds`` gauge per breakdown phase;
+        ``wall_seconds`` is intentionally not recorded (non-deterministic).
+        The default prefix is ``timing.{report.backend}``.
+        """
+        if prefix is None:
+            prefix = f"timing.{report.backend}"
+        _check_name(prefix)
+        if report.modeled_seconds is not None:
+            self.set_gauge(f"{prefix}.modeled_seconds", report.modeled_seconds)
+        for phase, seconds in report.breakdown.items():
+            self.set_gauge(f"{prefix}.phase.{phase}_seconds", seconds)
+
+    def absorb_service_metrics(self, metrics, *, prefix: str = "serve") -> None:
+        """Record a :class:`~repro.serve.ServiceMetrics` snapshot.
+
+        Monotonic service totals become counters, sizes and modeled
+        seconds become gauges; ``wall_seconds`` is dropped for the same
+        determinism reason as in :meth:`absorb_timing_report`.
+        """
+        _check_name(prefix)
+        for field_name in (
+            "requests_total",
+            "responses_total",
+            "batches_total",
+            "coalesced_requests",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "engine_dispatches",
+            "engine_failures",
+            "engine_ejections",
+            "engine_readmissions",
+        ):
+            self.inc(f"{prefix}.{field_name}", getattr(metrics, field_name))
+        self.set_gauge(f"{prefix}.cache_size", metrics.cache_size)
+        self.set_gauge(f"{prefix}.queue_peak_depth", metrics.queue_peak_depth)
+        self.set_gauge(f"{prefix}.modeled_served_seconds", metrics.modeled_served_seconds)
+        self.set_gauge(f"{prefix}.modeled_naive_seconds", metrics.modeled_naive_seconds)
+        self.set_gauge(f"{prefix}.cache_hit_rate", metrics.cache_hit_rate())
+        self.set_gauge(f"{prefix}.modeled_speedup", metrics.modeled_speedup())
+        for engine, seconds in metrics.modeled_seconds_by_engine.items():
+            self.set_gauge(f"{prefix}.engine.{engine}.modeled_seconds", seconds)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Sorted plain-dict form for deterministic JSON export."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "histograms": {
+                name: dict(self.histograms[name]) for name in sorted(self.histograms)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValidationError("metrics dict must be a mapping")
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.inc(name, value)
+        for name, value in data.get("gauges", {}).items():
+            registry.set_gauge(name, value)
+        for name, hist in data.get("histograms", {}).items():
+            _check_name(name)
+            registry.histograms[name] = {
+                key: _check_finite(name, hist[key])
+                for key in ("count", "total", "min", "max")
+            }
+        return registry

@@ -1,0 +1,139 @@
+"""RunRecord: one run's spans + metrics as deterministic JSON.
+
+A record is a pure function of the workload: spans carry only modeled-
+clock fields (annotations are excluded by default), metric maps are
+emitted key-sorted, and :meth:`RunRecord.to_json` uses a fixed
+``json.dumps`` configuration — so two identical runs produce
+byte-identical files and :meth:`RunRecord.fingerprint` is a stable
+content hash.  ``BENCH_PR4.json`` at the repo root is one committed
+:class:`RunRecord` serving as the perf-regression baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span
+
+__all__ = ["RunRecord", "SCHEMA_VERSION", "load_run_record", "write_run_record"]
+
+#: Schema tag embedded in every record; bump on breaking layout changes.
+SCHEMA_VERSION = "repro.obs/1"
+
+
+@dataclass
+class RunRecord:
+    """Everything observed in one run.
+
+    Attributes
+    ----------
+    label:
+        Human name of the run (e.g. ``"bench-baseline"``, ``"smoke"``).
+    workload:
+        Deterministic scalar description of what ran (sizes, seeds,
+        engines) so a baseline is self-describing.
+    spans:
+        Root spans from a :class:`~repro.obs.tracer.Tracer`.
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    label: str
+    workload: dict = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    schema: str = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    def span_costs(self) -> dict[str, float]:
+        """Total modeled seconds per span label, over the whole forest.
+
+        This is the aggregation the regression gate compares: repeated
+        labels (e.g. one ``serve.batch`` per batch) sum.
+        """
+        costs: dict[str, float] = {}
+        for root in self.spans:
+            for span in root.walk():
+                costs[span.label] = costs.get(span.label, 0.0) + span.duration
+        return costs
+
+    # ------------------------------------------------------------------
+    def to_dict(self, *, include_annotations: bool = False) -> dict:
+        """Plain-dict form; annotations stay out unless requested."""
+        return {
+            "schema": self.schema,
+            "label": self.label,
+            "workload": dict(self.workload),
+            "spans": [
+                span.to_dict(include_annotations=include_annotations)
+                for span in self.spans
+            ],
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def to_json(self, *, indent: int | None = 2, include_annotations: bool = False) -> str:
+        """Deterministic JSON text (sorted keys, fixed separators)."""
+        return json.dumps(
+            self.to_dict(include_annotations=include_annotations),
+            indent=indent,
+            sort_keys=True,
+            ensure_ascii=True,
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical (annotation-free, compact) JSON."""
+        canonical = json.dumps(
+            self.to_dict(include_annotations=False),
+            sort_keys=True,
+            ensure_ascii=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValidationError("run record must be a JSON object")
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValidationError(
+                f"unsupported run-record schema {schema!r} (expected {SCHEMA_VERSION!r})"
+            )
+        label = data.get("label")
+        if not isinstance(label, str) or not label:
+            raise ValidationError("run record needs a non-empty 'label'")
+        return cls(
+            label=label,
+            workload=dict(data.get("workload", {})),
+            spans=[Span.from_dict(span) for span in data.get("spans", ())],
+            metrics=MetricsRegistry.from_dict(data.get("metrics", {})),
+            schema=schema,
+        )
+
+
+def load_run_record(path) -> RunRecord:
+    """Read and validate a :class:`RunRecord` JSON file."""
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ValidationError(f"cannot read run record {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"run record {path!r} is not valid JSON: {exc}") from exc
+    return RunRecord.from_dict(data)
+
+
+def write_run_record(record: RunRecord, path, *, include_annotations: bool = False) -> None:
+    """Write a record as deterministic JSON (trailing newline included)."""
+    if not isinstance(record, RunRecord):
+        raise ValidationError(
+            f"record must be a RunRecord, got {type(record).__name__}"
+        )
+    text = record.to_json(include_annotations=include_annotations) + "\n"
+    with open(path, "w", encoding="ascii", newline="\n") as handle:
+        handle.write(text)

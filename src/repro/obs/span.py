@@ -1,0 +1,161 @@
+"""The :class:`Span` tree node — one labeled slice of the modeled clock.
+
+Spans are recorded on the tracer's *modeled* clock: ``start`` / ``end``
+are cost-model seconds, never wall time, so a span tree is a pure
+function of the workload and bit-reproducible across runs.  The one
+escape hatch is :attr:`Span.annotations` — free-form host observations
+(wall seconds, hostnames) that equality, :meth:`Span.to_dict`, and run
+fingerprints exclude by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ValidationError
+
+__all__ = ["Span", "SCALAR_TYPES"]
+
+#: Attribute / event value types allowed in recorded (deterministic) fields.
+SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _check_scalars(mapping: dict, what: str) -> None:
+    for key, value in mapping.items():
+        if not isinstance(key, str) or not key:
+            raise ValidationError(f"{what} keys must be non-empty strings, got {key!r}")
+        if not isinstance(value, SCALAR_TYPES):
+            raise ValidationError(
+                f"{what} value for {key!r} must be a JSON scalar "
+                f"(str/int/float/bool/None), got {type(value).__name__}"
+            )
+
+
+@dataclass
+class Span:
+    """One node of the trace tree.
+
+    Attributes
+    ----------
+    label:
+        Span name, e.g. ``"gpu.moments"``; the regression gate aggregates
+        modeled cost per label.
+    category:
+        Layer tag: ``"pipeline"``, ``"cluster"``, ``"serve"``, ``"cli"``,
+        ``"workload"``, or the generic ``"span"``.
+    index:
+        Global creation counter — the deterministic event order even for
+        zero-duration host spans.
+    start / end:
+        Modeled-clock seconds at entry / exit (``end`` is ``None`` while
+        the span is open).
+    attributes:
+        Deterministic scalar facts (dimension, block size, cache
+        hit/miss, ...).
+    events:
+        Point records inside the span — kernel launches and PCIe
+        transfers lifted from :class:`repro.gpu.profiler.Profiler`, each
+        a scalar dict with ``"start"`` / ``"seconds"`` on the modeled
+        clock.
+    children:
+        Nested spans, in creation order.
+    annotations:
+        Host-side observations (e.g. ``wall_seconds``).  Excluded from
+        equality and from exports unless explicitly requested.
+    """
+
+    label: str
+    category: str = "span"
+    index: int = 0
+    start: float = 0.0
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+    annotations: dict = field(default_factory=dict, compare=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Modeled seconds between entry and exit (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration not covered by child spans."""
+        return self.duration - sum(child.duration for child in self.children)
+
+    # ------------------------------------------------------------------
+    def set(self, **attributes) -> "Span":
+        """Record deterministic scalar attributes; returns ``self``."""
+        _check_scalars(attributes, "attribute")
+        self.attributes.update(attributes)
+        return self
+
+    def annotate(self, **observations) -> "Span":
+        """Record non-deterministic host observations (e.g. wall time).
+
+        Annotations never enter equality, fingerprints, or default
+        exports — this is the only place wall-clock readings may go.
+        """
+        self.annotations.update(observations)
+        return self
+
+    def add_event(self, record: dict) -> None:
+        """Append one point record (kernel launch / transfer) to the span."""
+        if not isinstance(record, dict):
+            raise ValidationError(
+                f"event record must be a dict, got {type(record).__name__}"
+            )
+        _check_scalars(record, "event")
+        self.events.append(record)
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self, *, include_annotations: bool = False) -> dict:
+        """Plain-dict form (recursive) for JSON serialization.
+
+        ``annotations`` are omitted unless asked for, keeping the default
+        output a pure function of the workload.
+        """
+        data = {
+            "label": self.label,
+            "category": self.category,
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+            "events": [dict(event) for event in self.events],
+            "children": [
+                child.to_dict(include_annotations=include_annotations)
+                for child in self.children
+            ],
+        }
+        if include_annotations:
+            data["annotations"] = dict(self.annotations)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        if not isinstance(data, dict) or "label" not in data:
+            raise ValidationError("span dict must be a mapping with a 'label'")
+        return cls(
+            label=data["label"],
+            category=data.get("category", "span"),
+            index=int(data.get("index", 0)),
+            start=float(data.get("start", 0.0)),
+            end=None if data.get("end") is None else float(data["end"]),
+            attributes=dict(data.get("attributes", {})),
+            events=[dict(event) for event in data.get("events", ())],
+            children=[cls.from_dict(child) for child in data.get("children", ())],
+            annotations=dict(data.get("annotations", {})),
+        )

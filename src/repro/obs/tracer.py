@@ -1,0 +1,233 @@
+"""Tracers: the ambient recorder of :class:`~repro.obs.span.Span` trees.
+
+Two implementations share one interface:
+
+* :class:`NullTracer` — the default.  Every hook is a no-op returning a
+  shared inert context manager, so instrumented hot paths pay one
+  attribute lookup and nothing else when tracing is off.
+* :class:`Tracer` — records spans on the *modeled* clock.  The clock
+  only moves when instrumentation calls :meth:`Tracer.advance` with
+  cost-model seconds (or :meth:`Tracer.device_span` reads them off a
+  simulated :class:`~repro.gpu.device.Device`), so the resulting tree is
+  a pure function of the workload: counter-ordered, wall-time free, and
+  byte-reproducible across runs.
+
+The active tracer travels via :mod:`contextvars`: hot paths call
+:func:`current_tracer` and get :data:`NULL_TRACER` unless a recording
+tracer was activated with ``with tracer.activate(): ...``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import math
+from typing import Iterator
+
+from repro.errors import ValidationError
+from repro.obs.span import Span
+
+__all__ = ["NullTracer", "Tracer", "NULL_TRACER", "current_tracer"]
+
+
+class _NullSpan:
+    """Inert span stand-in handed out by :class:`NullTracer`.
+
+    Supports the full recording surface (``set``/``annotate``/
+    ``add_event``) as no-ops so call sites need no ``if tracer.enabled``
+    guards around attribute recording.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def annotate(self, **observations) -> "_NullSpan":
+        return self
+
+    def add_event(self, record: dict) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every hook no-ops at near-zero cost."""
+
+    enabled: bool = False
+
+    def span(self, label: str, *, category: str = "span", **attributes):
+        """Return the shared inert span context manager."""
+        return _NULL_SPAN
+
+    def device_span(self, label: str, device, *, category: str = "pipeline", **attributes):
+        """Return the shared inert span context manager."""
+        return _NULL_SPAN
+
+    def advance(self, seconds: float) -> None:
+        """Ignore modeled-clock advancement."""
+        return None
+
+    def activate(self):
+        """Install this tracer as the ambient tracer within a ``with`` block."""
+        return _activate(self)
+
+
+class Tracer(NullTracer):
+    """Recording tracer: builds a forest of spans on the modeled clock."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.clock = 0.0
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def span(
+        self, label: str, *, category: str = "span", **attributes
+    ) -> Iterator[Span]:
+        """Open a child span under the current span (or a new root).
+
+        The span's duration is the modeled clock moved while it was open
+        — by :meth:`advance` calls or nested :meth:`device_span` blocks.
+        """
+        if not isinstance(label, str) or not label:
+            raise ValidationError(f"span label must be a non-empty string, got {label!r}")
+        node = Span(label=label, category=category, index=self._counter, start=self.clock)
+        self._counter += 1
+        if attributes:
+            node.set(**attributes)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            if not self._stack or self._stack[-1] is not node:
+                raise ValidationError(
+                    f"span {label!r} closed out of order; tracer stack corrupted"
+                )
+            self._stack.pop()
+            node.end = self.clock
+
+    @contextlib.contextmanager
+    def device_span(
+        self, label: str, device, *, category: str = "pipeline", **attributes
+    ) -> Iterator[Span]:
+        """A span that captures a device's profiler activity and cost.
+
+        On exit, every profiler event recorded while the span was open is
+        lifted into ``span.events`` (as scalar dicts positioned on the
+        modeled clock) and the clock advances by the device's modeled-
+        seconds delta — so kernel launches and PCIe transfers nest inside
+        whichever pipeline/cluster/serve span drove them.
+        """
+        profiler = device.profiler
+        event_mark = len(profiler.events)
+        setup_mark = profiler.setup_seconds
+        seconds_mark = device.modeled_seconds
+        with self.span(label, category=category, **attributes) as node:
+            try:
+                yield node
+            finally:
+                cursor = self.clock
+                new_setup = profiler.setup_seconds - setup_mark
+                if new_setup > 0.0:
+                    node.add_event(
+                        {
+                            "kind": "setup",
+                            "name": "setup",
+                            "start": cursor,
+                            "seconds": new_setup,
+                        }
+                    )
+                    cursor += new_setup
+                for event in profiler.events[event_mark:]:
+                    record = _profiler_event_record(event, start=cursor)
+                    node.add_event(record)
+                    cursor += record["seconds"]
+                self.advance(device.modeled_seconds - seconds_mark)
+
+    def advance(self, seconds: float) -> None:
+        """Move the modeled clock forward by ``seconds`` (cost-model time)."""
+        if not isinstance(seconds, (int, float)) or not math.isfinite(seconds):
+            raise ValidationError(f"advance() needs finite seconds, got {seconds!r}")
+        if seconds < 0.0:
+            raise ValidationError(f"advance() needs non-negative seconds, got {seconds}")
+        self.clock += float(seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        """Depth of the currently-open span stack."""
+        return len(self._stack)
+
+    def finish(self) -> list[Span]:
+        """Return the recorded roots; fails if any span is still open."""
+        if self._stack:
+            open_labels = ", ".join(span.label for span in self._stack)
+            raise ValidationError(f"cannot finish with open spans: {open_labels}")
+        return self.roots
+
+
+def _profiler_event_record(event, *, start: float) -> dict:
+    """Flatten one profiler event into a scalar span-event dict.
+
+    Duck-typed on the event classes in :mod:`repro.gpu.profiler`:
+    kernel events carry a priced ``cost``; transfer events carry a
+    ``kind`` and byte count.
+    """
+    if hasattr(event, "cost"):  # KernelEvent
+        return {
+            "kind": "kernel",
+            "name": event.name,
+            "start": start,
+            "seconds": event.seconds,
+            "grid": event.grid.total,
+            "block": event.block.total,
+            "flops": event.stats.flops,
+            "gmem_bytes": event.stats.gmem_read_bytes + event.stats.gmem_write_bytes,
+            "bound": event.cost.bound,
+        }
+    return {  # TransferEvent
+        "kind": "transfer",
+        "name": f"memcpy_{event.kind}",
+        "start": start,
+        "seconds": event.seconds,
+        "bytes": event.nbytes,
+    }
+
+
+#: Shared disabled tracer — the ambient default.
+NULL_TRACER = NullTracer()
+
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer() -> NullTracer:
+    """The ambient tracer (:data:`NULL_TRACER` unless one is activated)."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def _activate(tracer: NullTracer) -> Iterator[NullTracer]:
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)

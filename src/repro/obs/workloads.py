@@ -1,0 +1,111 @@
+"""The recorded smoke workload: one traced pass over every hot path.
+
+:func:`smoke_run` drives a small-N version of each subsystem — the
+single-GPU pipeline (via :func:`repro.kpm.compute_dos`), the multi-GPU
+cluster driver, and the batching/caching spectral service — under one
+:class:`~repro.obs.tracer.Tracer`, absorbs every
+:class:`~repro.timing.TimingReport` / ``ServiceMetrics`` into one
+:class:`~repro.obs.metrics.MetricsRegistry`, and returns the combined
+:class:`~repro.obs.record.RunRecord`.  Everything is seeded and modeled,
+so two calls produce byte-identical records; ``BENCH_PR4.json`` embeds
+this workload (plus the Fig 5-8 gauges) as the regression baseline.
+
+This module lives outside ``repro.obs.__init__`` imports on purpose: it
+pulls in the cluster and serve layers, which themselves import
+``repro.obs.tracer`` — importing it lazily avoids the cycle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.kpm.config import KPMConfig
+from repro.kpm.dos import compute_dos
+from repro.lattice import paper_cubic_hamiltonian
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.record import RunRecord
+from repro.obs.tracer import Tracer
+from repro.serve.service import SpectralService
+from repro.serve.trace import synthetic_trace
+
+__all__ = ["smoke_run", "SMOKE_WORKLOAD"]
+
+#: Deterministic parameters of the smoke workload (embedded in the record).
+SMOKE_WORKLOAD = {
+    "lattice_side": 4,
+    "num_moments": 32,
+    "num_random_vectors": 4,
+    "num_realizations": 1,
+    "block_size": 32,
+    "seed": 0,
+    "cluster_devices": 2,
+    "serve_requests": 8,
+    "serve_seed": 1,
+    "serve_cache_capacity": 16,
+}
+
+
+def smoke_run(
+    *,
+    label: str = "smoke",
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> RunRecord:
+    """Trace the gpu / cluster / serve smoke workload into one record.
+
+    Parameters
+    ----------
+    label:
+        Record label (``"smoke"`` by default; the bench baseline passes
+        ``"bench-baseline"``).
+    registry:
+        Optional pre-populated registry to absorb the workload metrics
+        into (the bench runner seeds it with the Fig 5-8 gauges).
+    tracer:
+        Optional tracer to record under; a fresh one by default.  Must
+        have no open spans.
+    """
+    if not isinstance(label, str) or not label:
+        raise ValidationError(f"label must be a non-empty string, got {label!r}")
+    registry = MetricsRegistry() if registry is None else registry
+    tracer = Tracer() if tracer is None else tracer
+
+    from repro.cluster.multigpu import MultiGpuKPM  # deferred: cluster imports obs
+    from repro.kpm.rescale import rescale_operator
+
+    hamiltonian = paper_cubic_hamiltonian(SMOKE_WORKLOAD["lattice_side"], format="csr")
+    config = KPMConfig(
+        num_moments=SMOKE_WORKLOAD["num_moments"],
+        num_random_vectors=SMOKE_WORKLOAD["num_random_vectors"],
+        num_realizations=SMOKE_WORKLOAD["num_realizations"],
+        block_size=SMOKE_WORKLOAD["block_size"],
+        seed=SMOKE_WORKLOAD["seed"],
+    )
+
+    with tracer.activate():
+        with tracer.span("workload.gpu", category="workload"):
+            result = compute_dos(hamiltonian, config, backend="gpu-sim")
+        registry.absorb_timing_report(result.timing)
+
+        with tracer.span("workload.cluster", category="workload"):
+            scaled, _ = rescale_operator(hamiltonian)
+            cluster = MultiGpuKPM(SMOKE_WORKLOAD["cluster_devices"])
+            _, cluster_report = cluster.compute_moments(scaled, config)
+        registry.absorb_timing_report(cluster_report, prefix="timing.cluster")
+
+        with tracer.span("workload.serve", category="workload"):
+            service = SpectralService(
+                ("gpu-sim",), cache_capacity=SMOKE_WORKLOAD["serve_cache_capacity"]
+            )
+            service.serve(
+                synthetic_trace(
+                    SMOKE_WORKLOAD["serve_requests"], seed=SMOKE_WORKLOAD["serve_seed"]
+                )
+            )
+        registry.absorb_service_metrics(service.metrics())
+
+    return RunRecord(
+        label=label,
+        workload=dict(SMOKE_WORKLOAD),
+        spans=tracer.finish(),
+        metrics=registry,
+    )

@@ -14,6 +14,7 @@ Their ratio is the modeled throughput win the serving bench pins.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.timing import TimingReport
@@ -46,18 +47,26 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------
     def cache_hit_rate(self) -> float:
-        """Hits over lookups (zero when nothing was looked up)."""
+        """Hits over lookups; never raises (zero when nothing was looked up)."""
         lookups = self.cache_hits + self.cache_misses
-        return self.cache_hits / lookups if lookups else 0.0
+        if lookups <= 0:
+            return 0.0
+        return self.cache_hits / lookups
 
     def modeled_speedup(self) -> float:
         """Naive-over-served modeled time; 1.0 when nothing was saved.
 
         Infinity would mean served work was entirely free — that cannot
         happen (a fresh trace always computes at least one batch), so the
-        ratio is finite whenever any modeled engine ran.
+        ratio is finite whenever any modeled engine ran.  Never raises:
+        a zero, negative, or non-finite served total degrades to the
+        neutral 1.0 instead of dividing by zero or propagating NaN.
         """
-        if self.modeled_served_seconds <= 0.0:
+        if (
+            not math.isfinite(self.modeled_served_seconds)
+            or self.modeled_served_seconds <= 0.0
+            or not math.isfinite(self.modeled_naive_seconds)
+        ):
             return 1.0
         return self.modeled_naive_seconds / self.modeled_served_seconds
 

@@ -27,6 +27,7 @@ from repro.kpm.green import greens_function
 from repro.kpm.moments import moments_single_vector
 from repro.kpm.reconstruct import dos_from_moments
 from repro.kpm.rescale import rescale_operator
+from repro.obs.tracer import current_tracer
 from repro.serve.cache import CacheEntry, MomentCache
 from repro.serve.health import EnginePool
 from repro.serve.metrics import ServiceMetrics
@@ -145,14 +146,33 @@ class SpectralService:
     # ------------------------------------------------------------------
     def flush(self) -> list[SpectralResponse]:
         """Drain the queue; responses are returned in submission order."""
+        tracer = current_tracer()
         with WallTimer() as timer:
-            responses: dict[int, SpectralResponse] = {}
-            for batch in self.scheduler.drain():
-                self._serve_batch(batch, responses)
+            with tracer.span(
+                "serve.flush", category="serve", queue_depth=self.scheduler.depth
+            ) as flush_span:
+                responses: dict[int, SpectralResponse] = {}
+                batches = self.scheduler.drain()
+                flush_span.set(batches=len(batches))
+                for batch in batches:
+                    self._serve_batch(batch, responses)
         self._wall_seconds += timer.seconds
         return [responses[seq] for seq in sorted(responses)]
 
     def _serve_batch(self, batch: Batch, responses: dict) -> None:
+        tracer = current_tracer()
+        head = batch.entries[0]
+        with tracer.span(
+            "serve.batch",
+            category="serve",
+            batch_id=batch.batch_id,
+            size=batch.size,
+            coalesced=batch.size - 1,
+            queue_wait=self._next_seq - 1 - head.seq,
+        ) as batch_span:
+            self._serve_batch_inner(batch, responses, batch_span)
+
+    def _serve_batch_inner(self, batch: Batch, responses: dict, batch_span) -> None:
         entry = self.cache.get(batch.key)
         cached = entry is not None
         if entry is None:
@@ -160,6 +180,9 @@ class SpectralService:
             self.cache.put(batch.key, entry)
             if entry.modeled_seconds is not None:
                 self._modeled_served += entry.modeled_seconds
+        batch_span.set(
+            cache="hit" if cached else "miss", engine=entry.engine
+        )
         if entry.modeled_seconds is not None:
             # What the trace would have cost without the service: one
             # engine run per request in the batch.
@@ -200,11 +223,20 @@ class SpectralService:
                 modeled_seconds=None,
             )
         affinity = self._key_affinity[batch.key]
+        tracer = current_tracer()
         tried: list = []
         while True:
             slot = self.pool.select(affinity, excluding=tried)
             try:
+                clock_mark = getattr(tracer, "clock", 0.0)
                 data, report = slot.engine.compute_moments(scaled, config)
+                if (
+                    report.modeled_seconds is not None
+                    and getattr(tracer, "clock", 0.0) == clock_mark
+                ):
+                    # Uninstrumented engines (e.g. the cost-model backend)
+                    # still put their modeled total on the trace clock.
+                    tracer.advance(report.modeled_seconds)
             except DeviceError:
                 # The fault taxonomy marks this an engine-side failure:
                 # strike the slot and retry the batch on the next healthy

@@ -11,6 +11,7 @@ Backends report two distinct clocks and never conflate them:
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -56,13 +57,18 @@ class TimingReport:
     def phase_fraction(self, *phases: str) -> float:
         """Fraction of the total breakdown spent in the named phases.
 
-        Zero when the breakdown is empty or sums to zero.  Used by the
+        Never raises: zero when the breakdown is empty, sums to zero, or
+        contains non-finite entries (a poisoned total would otherwise
+        propagate NaN into every downstream ratio).  Used by the
         resilience ablation to report fault overhead shares.
         """
         total = sum(self.breakdown.values())
-        if total <= 0.0:
+        if not math.isfinite(total) or total <= 0.0:
             return 0.0
-        return self.phase_seconds(*phases) / total
+        share = self.phase_seconds(*phases)
+        if not math.isfinite(share):
+            return 0.0
+        return share / total
 
     def summary(self) -> str:
         """One-line human-readable summary."""

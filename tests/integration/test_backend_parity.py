@@ -59,7 +59,7 @@ class TestMomentParity:
             hamiltonian, method=config.bounds_method, epsilon=config.epsilon
         )
         for devices in (2, 5):
-            data, _ = MultiGpuKPM(devices).run(scaled, config)
+            data, _ = MultiGpuKPM(devices).compute_moments(scaled, config)
             np.testing.assert_allclose(
                 data.mu, results["numpy"].moments.mu, atol=1e-12
             )

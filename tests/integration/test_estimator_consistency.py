@@ -37,7 +37,7 @@ class TestGpuEstimatorExactness:
     def test_csr(self, params):
         h, op = scaled("csr")
         config = KPMConfig(seed=1, **params)
-        _, report = GpuKPM().run(op, config)
+        _, report = GpuKPM().compute_moments(op, config)
         estimate = estimate_gpu_kpm_seconds(
             TESLA_C2050, h.shape[0], config, nnz=h.nnz_stored
         )
@@ -47,14 +47,14 @@ class TestGpuEstimatorExactness:
     def test_dense(self, params):
         h, op = scaled("dense")
         config = KPMConfig(seed=1, **params)
-        _, report = GpuKPM().run(op, config)
+        _, report = GpuKPM().compute_moments(op, config)
         estimate = estimate_gpu_kpm_seconds(TESLA_C2050, h.shape[0], config)
         assert report.modeled_seconds == pytest.approx(estimate, rel=1e-12)
 
     def test_other_device_spec(self):
         h, op = scaled("csr")
         config = KPMConfig(num_moments=16, num_random_vectors=4, block_size=32)
-        _, report = GpuKPM(GTX_580).run(op, config)
+        _, report = GpuKPM(GTX_580).compute_moments(op, config)
         estimate = estimate_gpu_kpm_seconds(GTX_580, h.shape[0], config, nnz=h.nnz_stored)
         assert report.modeled_seconds == pytest.approx(estimate, rel=1e-12)
 
@@ -78,7 +78,7 @@ class TestMultiGpuEstimatorExactness:
         config = KPMConfig(
             num_moments=16, num_random_vectors=8, num_realizations=1, block_size=32
         )
-        _, report = MultiGpuKPM(devices).run(op, config)
+        _, report = MultiGpuKPM(devices).compute_moments(op, config)
         estimate = estimate_multigpu_seconds(
             TESLA_C2050, h.shape[0], config, devices, nnz=h.nnz_stored
         )

@@ -1,0 +1,87 @@
+"""Integration tests against the committed perf baseline BENCH_PR4.json.
+
+This is the CI gate itself: re-record the baseline workload and compare.
+The negative test inflates one span's modeled cost beyond tolerance and
+asserts the gate catches it — proving the pass is meaningful.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import baseline_record
+from repro.obs import RunRecord, compare_records, load_run_record
+from repro.obs.workloads import smoke_run
+
+BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_PR4.json"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return load_run_record(BASELINE_PATH)
+
+
+@pytest.fixture(scope="module")
+def current():
+    return baseline_record()
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_is_canonical(self, baseline):
+        """The committed file must be byte-identical to its own re-export."""
+        text = BASELINE_PATH.read_text(encoding="ascii")
+        assert text == baseline.to_json() + "\n"
+
+    def test_compare_passes(self, baseline, current):
+        result = compare_records(baseline, current)
+        assert result.ok, result.summary()
+
+    def test_recorded_fingerprint_matches_committed(self, baseline, current):
+        """The workload is deterministic, so a re-record is not merely
+        within tolerance but identical."""
+        assert current.fingerprint() == baseline.fingerprint()
+
+    def test_smoke_subset_passes_with_bench_ignored(self, baseline):
+        result = compare_records(baseline, smoke_run(), ignore=("bench.*",))
+        assert result.ok, result.summary()
+
+    def test_baseline_covers_the_three_subsystems(self, baseline):
+        labels = {span.label for root in baseline.spans for span in root.walk()}
+        assert {"workload.gpu", "workload.cluster", "workload.serve"} <= labels
+        assert {"gpu.pipeline", "cluster.run", "serve.flush"} <= labels
+        gauges = baseline.metrics.gauges
+        assert any(name.startswith("bench.fig5.") for name in gauges)
+        assert any(name.startswith("bench.fig7.") for name in gauges)
+        assert any(name.startswith("bench.fig8.") for name in gauges)
+
+
+class TestNegativeGate:
+    def test_inflated_span_cost_fails(self, baseline):
+        """Required negative test: inflate gpu.moments beyond 10% and the
+        gate must fail on exactly that label."""
+        data = json.loads(BASELINE_PATH.read_text(encoding="ascii"))
+
+        def inflate(span):
+            if span["label"] == "gpu.moments":
+                span["end"] += (span["end"] - span["start"]) * 0.25
+            for child in span["children"]:
+                inflate(child)
+
+        for span in data["spans"]:
+            inflate(span)
+        inflated = RunRecord.from_dict(data)
+        result = compare_records(baseline, inflated, tolerance=0.10)
+        assert not result.ok
+        assert "gpu.moments" in {delta.label for delta in result.failures}
+
+    def test_vanished_span_fails(self, baseline, current):
+        pruned = RunRecord.from_dict(current.to_dict())
+        for root in pruned.spans:
+            for span in root.walk():
+                span.children = [
+                    child for child in span.children if child.label != "serve.batch"
+                ]
+        result = compare_records(baseline, pruned)
+        assert not result.ok
+        assert any(delta.status == "missing" for delta in result.failures)

@@ -1,0 +1,85 @@
+"""Property-based tests: tracing is observation, never perturbation.
+
+The observability layer's core contract is that attaching a
+:class:`~repro.obs.Tracer` changes *nothing* about the computation: the
+moments and DoS it observes must be bit-identical to an untraced run, on
+every backend, for every configuration.  Hypothesis drives that across
+the configuration space; a second property pins the trace itself as a
+deterministic function of the workload.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kpm import KPMConfig, compute_dos, rescale_operator, stochastic_moments
+from repro.lattice import cubic, tight_binding_hamiltonian
+from repro.obs import RunRecord, Tracer
+
+
+@pytest.fixture(scope="module")
+def system():
+    csr = tight_binding_hamiltonian(cubic(3), format="csr")
+    scaled, _ = rescale_operator(csr)
+    return csr, scaled
+
+
+configs = st.builds(
+    KPMConfig,
+    num_moments=st.integers(1, 24),
+    num_random_vectors=st.integers(1, 8),
+    num_realizations=st.integers(1, 3),
+    seed=st.integers(0, 1000),
+    block_size=st.sampled_from((32, 64, 128)),
+    precision=st.sampled_from(("double", "single")),
+)
+
+
+class TestTracingIsPure:
+    @given(config=configs, backend=st.sampled_from(("numpy", "gpu-sim")))
+    @settings(max_examples=20, deadline=None)
+    def test_dos_bit_identical_under_tracing(self, system, config, backend):
+        csr, _ = system
+        untraced = compute_dos(csr, config, backend=backend)
+        tracer = Tracer()
+        with tracer.activate():
+            traced = compute_dos(csr, config, backend=backend)
+        assert traced.moments.mu.tobytes() == untraced.moments.mu.tobytes()
+        assert traced.density.tobytes() == untraced.density.tobytes()
+        assert traced.timing.modeled_seconds == untraced.timing.modeled_seconds
+
+    @given(config=configs)
+    @settings(max_examples=15, deadline=None)
+    def test_moments_bit_identical_under_tracing(self, system, config):
+        _, scaled = system
+        untraced = stochastic_moments(scaled, config)
+        tracer = Tracer()
+        with tracer.activate():
+            traced = stochastic_moments(scaled, config)
+        assert traced.mu.tobytes() == untraced.mu.tobytes()
+
+
+class TestTraceDeterminism:
+    @given(config=configs)
+    @settings(max_examples=10, deadline=None)
+    def test_trace_is_a_function_of_the_workload(self, system, config):
+        csr, _ = system
+
+        def run():
+            tracer = Tracer()
+            with tracer.activate():
+                compute_dos(csr, config, backend="gpu-sim")
+            return RunRecord(label="prop", spans=tracer.finish())
+
+        first, second = run(), run()
+        assert first.to_json() == second.to_json()
+        assert first.fingerprint() == second.fingerprint()
+
+    @given(config=configs)
+    @settings(max_examples=10, deadline=None)
+    def test_trace_clock_matches_timing_report(self, system, config):
+        csr, _ = system
+        tracer = Tracer()
+        with tracer.activate():
+            result = compute_dos(csr, config, backend="gpu-sim")
+        assert tracer.clock == pytest.approx(result.timing.modeled_seconds, rel=1e-12)

@@ -46,7 +46,7 @@ class TestEstimatorContract:
     def test_estimate_equals_run(self, system, config):
         csr, scaled = system
         runner = GpuKPM()
-        _, report = runner.run(scaled, config)
+        _, report = runner.compute_moments(scaled, config)
         estimate = estimate_gpu_kpm_seconds(
             TESLA_C2050, csr.shape[0], config, nnz=scaled.nnz_stored
         )
@@ -58,7 +58,7 @@ class TestEstimatorContract:
         csr, scaled = system
         if devices > config.total_vectors:
             return
-        _, report = MultiGpuKPM(devices).run(scaled, config)
+        _, report = MultiGpuKPM(devices).compute_moments(scaled, config)
         estimate = estimate_multigpu_seconds(
             TESLA_C2050, csr.shape[0], config, devices, nnz=scaled.nnz_stored
         )
@@ -75,7 +75,7 @@ class TestPartitionInvariance:
         if devices > config.total_vectors:
             return
         reference = stochastic_moments(scaled, config)
-        partitioned, _ = MultiGpuKPM(devices).run(scaled, config)
+        partitioned, _ = MultiGpuKPM(devices).compute_moments(scaled, config)
         np.testing.assert_allclose(partitioned.mu, reference.mu, atol=1e-5)
 
     @given(

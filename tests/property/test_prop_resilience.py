@@ -57,7 +57,7 @@ class TestRecoveryIsExact:
         transfer_rate,
         checkpoint_every,
     ):
-        baseline, _ = MultiGpuKPM(devices).run(scaled, config)
+        baseline, _ = MultiGpuKPM(devices).compute_moments(scaled, config)
         schedule = FaultSchedule.sample(
             fault_seed,
             devices,
@@ -70,7 +70,7 @@ class TestRecoveryIsExact:
             fault_schedule=schedule,
             policy=RetryPolicy(max_retries=8 * devices),
             checkpoint_every=checkpoint_every,
-        ).run(scaled, config)
+        ).compute_moments(scaled, config)
         assert np.array_equal(data.mu, baseline.mu)
         assert np.array_equal(data.per_realization, baseline.per_realization)
         assert report.breakdown["recovery"] >= 0.0
@@ -83,8 +83,8 @@ class TestRecoveryIsExact:
     def test_checkpoint_granularity_never_changes_moments(
         self, scaled, config, devices, every
     ):
-        baseline, _ = MultiGpuKPM(devices).run(scaled, config)
-        data, report = MultiGpuKPM(devices, checkpoint_every=every).run(
+        baseline, _ = MultiGpuKPM(devices).compute_moments(scaled, config)
+        data, report = MultiGpuKPM(devices, checkpoint_every=every).compute_moments(
             scaled, config
         )
         assert np.array_equal(data.mu, baseline.mu)

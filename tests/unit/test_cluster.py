@@ -51,8 +51,8 @@ class TestPartition:
 
 class TestFunctional:
     def test_moments_match_single_device(self, scaled_cube, small_config):
-        single, _ = GpuKPM().run(scaled_cube, small_config)
-        multi, _ = MultiGpuKPM(4).run(scaled_cube, small_config)
+        single, _ = GpuKPM().compute_moments(scaled_cube, small_config)
+        multi, _ = MultiGpuKPM(4).compute_moments(scaled_cube, small_config)
         np.testing.assert_allclose(multi.mu, single.mu, atol=1e-14)
         np.testing.assert_allclose(
             multi.per_realization, single.per_realization, atol=1e-14
@@ -60,26 +60,26 @@ class TestFunctional:
 
     def test_uneven_partition_still_matches(self, scaled_cube, small_config):
         # 16 vectors over 3 devices -> 6/5/5.
-        single, _ = GpuKPM().run(scaled_cube, small_config)
-        multi, _ = MultiGpuKPM(3).run(scaled_cube, small_config)
+        single, _ = GpuKPM().compute_moments(scaled_cube, small_config)
+        multi, _ = MultiGpuKPM(3).compute_moments(scaled_cube, small_config)
         np.testing.assert_allclose(multi.mu, single.mu, atol=1e-14)
 
     def test_report_breakdown(self, scaled_cube, small_config):
-        _, report = MultiGpuKPM(2).run(scaled_cube, small_config)
+        _, report = MultiGpuKPM(2).compute_moments(scaled_cube, small_config)
         assert set(report.breakdown) == {"broadcast", "compute", "allreduce"}
         assert report.modeled_seconds == pytest.approx(sum(report.breakdown.values()))
 
     def test_single_device_no_communication(self, scaled_cube, small_config):
-        _, report = MultiGpuKPM(1).run(scaled_cube, small_config)
+        _, report = MultiGpuKPM(1).compute_moments(scaled_cube, small_config)
         assert report.breakdown["broadcast"] == 0.0
         assert report.breakdown["allreduce"] == 0.0
 
     def test_too_many_devices_rejected(self, scaled_cube, small_config):
         with pytest.raises(ValidationError, match="exceeds"):
-            MultiGpuKPM(1000).run(scaled_cube, small_config)
+            MultiGpuKPM(1000).compute_moments(scaled_cube, small_config)
 
     def test_modeled_matches_estimate(self, scaled_cube, small_config):
-        _, report = MultiGpuKPM(3).run(scaled_cube, small_config)
+        _, report = MultiGpuKPM(3).compute_moments(scaled_cube, small_config)
         estimate = estimate_multigpu_seconds(
             TESLA_C2050,
             scaled_cube.shape[0],

@@ -154,8 +154,8 @@ class TestRetryPolicy:
 
 class TestResilientRun:
     def test_checkpointing_alone_is_bit_identical(self, scaled_cube, small_config):
-        baseline, _ = MultiGpuKPM(4).run(scaled_cube, small_config)
-        chk, report = MultiGpuKPM(4, checkpoint_every=2).run(
+        baseline, _ = MultiGpuKPM(4).compute_moments(scaled_cube, small_config)
+        chk, report = MultiGpuKPM(4, checkpoint_every=2).compute_moments(
             scaled_cube, small_config
         )
         assert np.array_equal(chk.mu, baseline.mu)
@@ -169,7 +169,7 @@ class TestResilientRun:
         # The PR's acceptance scenario: >=1 node crash plus >=1 transient
         # transfer fault must recover bit-identical moments with a
         # nonzero "recovery" phase.
-        baseline, base_report = MultiGpuKPM(4).run(scaled_cube, small_config)
+        baseline, base_report = MultiGpuKPM(4).compute_moments(scaled_cube, small_config)
         schedule = FaultSchedule(
             [
                 FaultEvent("crash", 1, completed_chunks=1),
@@ -178,7 +178,7 @@ class TestResilientRun:
         )
         data, report = MultiGpuKPM(
             4, fault_schedule=schedule, checkpoint_every=2
-        ).run(scaled_cube, small_config)
+        ).compute_moments(scaled_cube, small_config)
         assert np.array_equal(data.mu, baseline.mu)
         assert np.array_equal(data.per_realization, baseline.per_realization)
         assert report.breakdown["recovery"] > 0.0
@@ -187,7 +187,7 @@ class TestResilientRun:
 
     def test_resilient_breakdown_keys_and_total(self, scaled_cube, small_config):
         schedule = FaultSchedule([FaultEvent("straggler", 0, slowdown=2.0)])
-        _, report = MultiGpuKPM(2, fault_schedule=schedule).run(
+        _, report = MultiGpuKPM(2, fault_schedule=schedule).compute_moments(
             scaled_cube, small_config
         )
         assert set(report.breakdown) == {
@@ -203,23 +203,23 @@ class TestResilientRun:
         assert report.backend.endswith(",resilient)")
 
     def test_straggler_costs_time_not_correctness(self, scaled_cube, small_config):
-        baseline, _ = MultiGpuKPM(2).run(scaled_cube, small_config)
+        baseline, _ = MultiGpuKPM(2).compute_moments(scaled_cube, small_config)
         schedule = FaultSchedule([FaultEvent("straggler", 1, slowdown=3.0)])
-        data, report = MultiGpuKPM(2, fault_schedule=schedule).run(
+        data, report = MultiGpuKPM(2, fault_schedule=schedule).compute_moments(
             scaled_cube, small_config
         )
         assert np.array_equal(data.mu, baseline.mu)
         assert report.breakdown["recovery"] > 0.0
 
     def test_sampled_campaign_recovers(self, scaled_cube, small_config):
-        baseline, _ = MultiGpuKPM(4).run(scaled_cube, small_config)
+        baseline, _ = MultiGpuKPM(4).compute_moments(scaled_cube, small_config)
         schedule = FaultSchedule.sample(
             3, 4, crash_rate=0.3, straggler_rate=0.3, transfer_rate=0.3
         )
         assert schedule.num_faults > 0  # seed chosen to actually fault
         data, _ = MultiGpuKPM(
             4, fault_schedule=schedule, checkpoint_every=2
-        ).run(scaled_cube, small_config)
+        ).compute_moments(scaled_cube, small_config)
         assert np.array_equal(data.mu, baseline.mu)
 
     def test_all_nodes_crashing_raises(self, scaled_cube, small_config):
@@ -227,7 +227,7 @@ class TestResilientRun:
             [FaultEvent("crash", n, completed_chunks=0) for n in range(2)]
         )
         with pytest.raises(FaultError, match="all cluster nodes crashed"):
-            MultiGpuKPM(2, fault_schedule=schedule).run(scaled_cube, small_config)
+            MultiGpuKPM(2, fault_schedule=schedule).compute_moments(scaled_cube, small_config)
 
     def test_rebalance_budget_exhaustion(self, scaled_cube, small_config):
         schedule = FaultSchedule([FaultEvent("crash", 0, completed_chunks=0)])
@@ -235,7 +235,7 @@ class TestResilientRun:
             2, fault_schedule=schedule, policy=RetryPolicy(max_retries=0)
         )
         with pytest.raises(FaultError, match="rebalance round 1"):
-            driver.run(scaled_cube, small_config)
+            driver.compute_moments(scaled_cube, small_config)
 
     def test_retransmission_budget_exhaustion(self, scaled_cube, small_config):
         schedule = FaultSchedule([FaultEvent("transfer", 0, count=3)])
@@ -243,12 +243,12 @@ class TestResilientRun:
             2, fault_schedule=schedule, policy=RetryPolicy(max_retries=2)
         )
         with pytest.raises(FaultError, match="retransmission"):
-            driver.run(scaled_cube, small_config)
+            driver.compute_moments(scaled_cube, small_config)
 
     def test_schedule_node_out_of_range(self, scaled_cube, small_config):
         schedule = FaultSchedule([FaultEvent("crash", 5)])
         with pytest.raises(ValidationError, match="references node 5"):
-            MultiGpuKPM(2, fault_schedule=schedule).run(scaled_cube, small_config)
+            MultiGpuKPM(2, fault_schedule=schedule).compute_moments(scaled_cube, small_config)
 
     def test_constructor_type_validation(self):
         with pytest.raises(ValidationError, match="FaultSchedule"):

@@ -64,7 +64,7 @@ class TestChromeTrace:
         h = tight_binding_hamiltonian(cubic(3), format="csr")
         scaled, _ = rescale_operator(h)
         runner = GpuKPM()
-        runner.run(
+        runner.compute_moments(
             scaled,
             KPMConfig(num_moments=8, num_random_vectors=4, num_realizations=1,
                       block_size=32),

@@ -33,29 +33,29 @@ def scaled_cube_dense():
 
 class TestFunctionalParity:
     def test_csr_moments_match_numpy(self, scaled_cube, small_config):
-        gpu_data, _ = GpuKPM().run(scaled_cube, small_config)
+        gpu_data, _ = GpuKPM().compute_moments(scaled_cube, small_config)
         reference = stochastic_moments(scaled_cube, small_config)
         np.testing.assert_allclose(gpu_data.mu, reference.mu, atol=1e-13)
 
     def test_dense_moments_match_numpy(self, scaled_cube_dense, small_config):
-        gpu_data, _ = GpuKPM().run(scaled_cube_dense, small_config)
+        gpu_data, _ = GpuKPM().compute_moments(scaled_cube_dense, small_config)
         reference = stochastic_moments(scaled_cube_dense, small_config)
         np.testing.assert_allclose(gpu_data.mu, reference.mu, atol=1e-13)
 
     def test_per_realization_match(self, scaled_cube, small_config):
-        gpu_data, _ = GpuKPM().run(scaled_cube, small_config)
+        gpu_data, _ = GpuKPM().compute_moments(scaled_cube, small_config)
         reference = stochastic_moments(scaled_cube, small_config)
         np.testing.assert_allclose(
             gpu_data.per_realization, reference.per_realization, atol=1e-13
         )
 
     def test_block_size_does_not_change_numerics(self, scaled_cube, small_config):
-        a, _ = GpuKPM().run(scaled_cube, small_config)
-        b, _ = GpuKPM().run(scaled_cube, small_config.with_updates(block_size=16))
+        a, _ = GpuKPM().compute_moments(scaled_cube, small_config)
+        b, _ = GpuKPM().compute_moments(scaled_cube, small_config.with_updates(block_size=16))
         np.testing.assert_allclose(a.mu, b.mu, atol=1e-15)
 
     def test_reduce_kernel_mean_matches_table(self, scaled_cube, small_config):
-        data, _ = GpuKPM().run(scaled_cube, small_config)
+        data, _ = GpuKPM().compute_moments(scaled_cube, small_config)
         np.testing.assert_allclose(
             data.mu, data.per_realization.mean(axis=0), atol=1e-13
         )
@@ -64,7 +64,7 @@ class TestFunctionalParity:
 class TestTimingAndResources:
     def test_estimator_matches_run_csr(self, scaled_cube, small_config):
         runner = GpuKPM()
-        _, report = runner.run(scaled_cube, small_config)
+        _, report = runner.compute_moments(scaled_cube, small_config)
         estimate = estimate_gpu_kpm_seconds(
             TESLA_C2050,
             scaled_cube.shape[0],
@@ -75,7 +75,7 @@ class TestTimingAndResources:
 
     def test_estimator_matches_run_dense(self, scaled_cube_dense, small_config):
         runner = GpuKPM()
-        _, report = runner.run(scaled_cube_dense, small_config)
+        _, report = runner.compute_moments(scaled_cube_dense, small_config)
         estimate = estimate_gpu_kpm_seconds(
             TESLA_C2050, scaled_cube_dense.shape[0], small_config
         )
@@ -83,7 +83,7 @@ class TestTimingAndResources:
 
     def test_breakdown_keys_match(self, scaled_cube, small_config):
         runner = GpuKPM()
-        _, report = runner.run(scaled_cube, small_config)
+        _, report = runner.compute_moments(scaled_cube, small_config)
         analytic = gpu_kpm_breakdown(
             TESLA_C2050, scaled_cube.shape[0], small_config, nnz=scaled_cube.nnz_stored
         )
@@ -93,13 +93,13 @@ class TestTimingAndResources:
 
     def test_memory_plan_matches_pool_peak(self, scaled_cube_dense, small_config):
         runner = GpuKPM()
-        runner.run(scaled_cube_dense, small_config)
+        runner.compute_moments(scaled_cube_dense, small_config)
         plan = plan_memory(TESLA_C2050, scaled_cube_dense.shape[0], small_config)
         assert runner.last_device.memory.peak_bytes == plan.total_bytes
 
     def test_two_kernel_launches(self, scaled_cube, small_config):
         runner = GpuKPM()
-        runner.run(scaled_cube, small_config)
+        runner.compute_moments(scaled_cube, small_config)
         assert runner.last_device.profiler.launch_count("kpm_recursion") == 1
         assert runner.last_device.profiler.launch_count("reduce_moments") == 1
 
@@ -110,11 +110,11 @@ class TestTimingAndResources:
         from repro.errors import OutOfMemoryError
 
         with pytest.raises(OutOfMemoryError):
-            runner.run(scaled, small_config.with_updates(num_moments=256, block_size=64))
+            runner.compute_moments(scaled, small_config.with_updates(num_moments=256, block_size=64))
 
     def test_requires_config(self, scaled_cube):
         with pytest.raises(ValidationError):
-            GpuKPM().run(scaled_cube, None)
+            GpuKPM().compute_moments(scaled_cube, None)
 
     def test_requires_spec(self):
         with pytest.raises(ValidationError):

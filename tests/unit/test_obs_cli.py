@@ -1,0 +1,136 @@
+"""Unit tests for the obs CLI (python -m repro.obs / repro obs / --trace-out)."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs import load_run_record
+from repro.obs.cli import main as obs_main
+
+
+class TestRecord:
+    def test_smoke_record_writes_everything(self, tmp_path, capsys):
+        out = tmp_path / "record.json"
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "spans.jsonl"
+        code = obs_main([
+            "record", "--smoke", "--out", str(out),
+            "--chrome", str(chrome), "--jsonl", str(jsonl), "--tree",
+        ])
+        assert code == 0
+        record = load_run_record(out)
+        assert record.label == "smoke"
+        labels = {span.label for root in record.spans for span in root.walk()}
+        assert {"workload.gpu", "workload.cluster", "workload.serve"} <= labels
+        trace = json.loads(chrome.read_text(encoding="ascii"))
+        assert trace["traceEvents"]
+        assert jsonl.read_text(encoding="ascii").count("\n") >= 2
+        captured = capsys.readouterr()
+        assert "run 'smoke'" in captured.out
+        assert "fingerprint" in captured.err
+
+    def test_smoke_record_is_reproducible(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert obs_main(["record", "--smoke", "--out", str(first)]) == 0
+        assert obs_main(["record", "--smoke", "--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_custom_label(self, tmp_path):
+        out = tmp_path / "record.json"
+        assert obs_main(["record", "--smoke", "--label", "pr4", "--out", str(out)]) == 0
+        assert load_run_record(out).label == "pr4"
+
+
+class TestCompare:
+    def test_self_compare_passes(self, tmp_path, capsys):
+        out = tmp_path / "baseline.json"
+        assert obs_main(["record", "--smoke", "--out", str(out)]) == 0
+        code = obs_main([
+            "compare", "--baseline", str(out), "--current", str(out),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_inflated_span_fails(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        assert obs_main(["record", "--smoke", "--out", str(baseline_path)]) == 0
+        data = json.loads(baseline_path.read_text(encoding="ascii"))
+
+        def inflate(span):
+            if span["label"] == "gpu.moments":
+                span["end"] = span["end"] + (span["end"] - span["start"]) * 0.5
+            for child in span["children"]:
+                inflate(child)
+
+        for span in data["spans"]:
+            inflate(span)
+        current_path.write_text(json.dumps(data), encoding="ascii")
+        code = obs_main([
+            "compare", "--baseline", str(baseline_path), "--current", str(current_path),
+        ])
+        assert code == 1
+        summary = capsys.readouterr().out
+        assert "FAIL" in summary
+        assert "gpu.moments" in summary
+
+    def test_band_override_rescues_regression(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        assert obs_main(["record", "--smoke", "--out", str(baseline_path)]) == 0
+        data = json.loads(baseline_path.read_text(encoding="ascii"))
+        data["metrics"]["gauges"]["serve.modeled_served_seconds"] *= 1.2
+        current_path.write_text(json.dumps(data), encoding="ascii")
+        argv = ["compare", "--baseline", str(baseline_path), "--current", str(current_path)]
+        assert obs_main(argv) == 1
+        assert obs_main(argv + ["--band", "serve.*=0.5"]) == 0
+        assert obs_main(argv + ["--ignore", "serve.*"]) == 0
+
+    def test_bad_band_syntax_errors(self, tmp_path, capsys):
+        out = tmp_path / "baseline.json"
+        assert obs_main(["record", "--smoke", "--out", str(out)]) == 0
+        code = obs_main([
+            "compare", "--baseline", str(out), "--current", str(out), "--band", "oops",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_baseline_errors(self, tmp_path, capsys):
+        code = obs_main(["compare", "--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReproCliIntegration:
+    def test_obs_subcommand_reachable(self, tmp_path, capsys):
+        out = tmp_path / "record.json"
+        code = repro_main(["obs", "record", "--smoke", "--out", str(out)])
+        assert code == 0
+        assert load_run_record(out).label == "smoke"
+
+    def test_dos_trace_out(self, tmp_path, capsys):
+        trace_out = tmp_path / "trace.json"
+        code = repro_main([
+            "dos", "--lattice", "chain:32", "-N", "16", "-R", "2",
+            "--backend", "gpu-sim", "--trace-out", str(trace_out),
+        ])
+        assert code == 0
+        record = load_run_record(trace_out)
+        assert record.label == "cli-dos"
+        assert record.workload == {"command": "dos"}
+        labels = [span.label for root in record.spans for span in root.walk()]
+        assert labels[0] == "cli.dos"
+        assert "kpm.compute_dos" in labels
+        assert "gpu.pipeline" in labels
+
+    def test_trace_out_is_deterministic(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            code = repro_main([
+                "dos", "--lattice", "chain:32", "-N", "16", "-R", "2",
+                "--backend", "gpu-sim", "--trace-out", str(path),
+            ])
+            assert code == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()

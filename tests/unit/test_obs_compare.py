@@ -1,0 +1,109 @@
+"""Unit tests for repro.obs.compare (the perf-regression gate)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import MetricsRegistry, RunRecord, Tracer, compare_records
+
+
+def record_with(costs, metrics=None, label="run"):
+    """Build a RunRecord whose span labels carry the given modeled costs."""
+    tracer = Tracer()
+    for span_label, seconds in costs.items():
+        with tracer.span(span_label):
+            tracer.advance(seconds)
+    registry = MetricsRegistry()
+    for name, value in (metrics or {}).items():
+        registry.set_gauge(name, value)
+    return RunRecord(label=label, spans=tracer.finish(), metrics=registry)
+
+
+class TestGate:
+    def test_identical_records_pass(self):
+        baseline = record_with({"a": 1.0, "b": 2.0})
+        result = compare_records(baseline, record_with({"a": 1.0, "b": 2.0}))
+        assert result.ok
+        assert [d.status for d in result.deltas] == ["ok", "ok"]
+
+    def test_within_tolerance_passes(self):
+        baseline = record_with({"a": 1.0})
+        result = compare_records(baseline, record_with({"a": 1.05}), tolerance=0.10)
+        assert result.ok
+
+    def test_regression_fails(self):
+        baseline = record_with({"a": 1.0, "b": 1.0})
+        result = compare_records(
+            baseline, record_with({"a": 1.5, "b": 1.0}), tolerance=0.10
+        )
+        assert not result.ok
+        assert [d.label for d in result.failures] == ["a"]
+        assert result.failures[0].status == "regression"
+        assert result.failures[0].ratio == pytest.approx(1.5)
+        assert "FAIL" in result.summary()
+
+    def test_missing_label_fails(self):
+        result = compare_records(record_with({"a": 1.0, "b": 1.0}), record_with({"a": 1.0}))
+        assert not result.ok
+        assert result.failures[0].status == "missing"
+        assert result.failures[0].label == "b"
+
+    def test_new_label_passes(self):
+        result = compare_records(record_with({"a": 1.0}), record_with({"a": 1.0, "c": 9.0}))
+        assert result.ok
+        assert {d.label: d.status for d in result.deltas}["c"] == "new"
+
+    def test_floor_absorbs_zero_baseline(self):
+        baseline = record_with({"a": 0.0})
+        assert compare_records(baseline, record_with({"a": 5e-10})).ok
+        assert not compare_records(baseline, record_with({"a": 1e-6})).ok
+
+    def test_improvement_always_passes(self):
+        result = compare_records(record_with({"a": 2.0}), record_with({"a": 0.1}))
+        assert result.ok
+
+
+class TestBandsAndIgnore:
+    def test_band_override_widens_tolerance(self):
+        baseline = record_with({"serve.batch": 1.0, "gpu.moments": 1.0})
+        current = record_with({"serve.batch": 1.2, "gpu.moments": 1.2})
+        strict = compare_records(baseline, current, tolerance=0.10)
+        assert {d.label for d in strict.failures} == {"serve.batch", "gpu.moments"}
+        banded = compare_records(
+            baseline, current, tolerance=0.10, bands={"serve.*": 0.30}
+        )
+        assert {d.label for d in banded.failures} == {"gpu.moments"}
+
+    def test_ignore_drops_labels_entirely(self):
+        baseline = record_with({"a": 1.0}, metrics={"bench.fig5.N512.gpu_seconds": 1.0})
+        current = record_with({"a": 1.0})
+        assert not compare_records(baseline, current).ok
+        ignored = compare_records(baseline, current, ignore=("bench.*",))
+        assert ignored.ok
+        assert all(not d.label.startswith("bench.") for d in ignored.deltas)
+
+
+class TestMetrics:
+    def test_seconds_metrics_compared(self):
+        baseline = record_with({}, metrics={"x.modeled_seconds": 1.0, "x.depth": 1.0})
+        current = record_with({}, metrics={"x.modeled_seconds": 2.0, "x.depth": 99.0})
+        result = compare_records(baseline, current)
+        # Only *seconds* metrics participate; the depth gauge is ignored.
+        assert [d.label for d in result.deltas] == ["x.modeled_seconds"]
+        assert not result.ok
+
+
+class TestValidation:
+    def test_rejects_non_records(self):
+        with pytest.raises(ValidationError):
+            compare_records({}, record_with({}))
+
+    def test_rejects_bad_tolerance_and_bands(self):
+        baseline = record_with({"a": 1.0})
+        with pytest.raises(ValidationError):
+            compare_records(baseline, baseline, tolerance=-0.1)
+        with pytest.raises(ValidationError):
+            compare_records(baseline, baseline, bands={"a": -1.0})
+        with pytest.raises(ValidationError):
+            compare_records(baseline, baseline, ignore=("",))
+        with pytest.raises(ValidationError):
+            compare_records(baseline, baseline, floor_seconds=-1.0)

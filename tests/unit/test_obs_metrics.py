@@ -1,0 +1,158 @@
+"""Unit tests for repro.obs.metrics plus the telemetry-hardening fixes."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import MetricsRegistry
+from repro.serve.metrics import ServiceMetrics
+from repro.timing import TimingReport
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 2.5)
+        assert registry.counters["a"] == pytest.approx(3.5)
+
+    def test_inc_rejects_negative_and_nonfinite(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.inc("a", -1.0)
+        with pytest.raises(ValidationError):
+            registry.inc("a", float("inf"))
+        with pytest.raises(ValidationError):
+            registry.inc("a", True)
+        with pytest.raises(ValidationError):
+            registry.inc("", 1.0)
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.0)
+        registry.set_gauge("g", -2.0)
+        assert registry.gauges["g"] == pytest.approx(-2.0)
+
+    def test_gauge_rejects_nonfinite(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.set_gauge("g", float("nan"))
+
+    def test_observe_summary(self):
+        registry = MetricsRegistry()
+        for sample in (3.0, 1.0, 2.0):
+            registry.observe("h", sample)
+        hist = registry.histograms["h"]
+        assert hist == {"count": 3.0, "total": 6.0, "min": 1.0, "max": 3.0}
+
+
+class TestAbsorb:
+    def test_timing_report_drops_wall(self):
+        report = TimingReport(
+            backend="gpu-sim",
+            modeled_seconds=2.0,
+            wall_seconds=99.0,
+            breakdown={"spmv": 1.5, "transfer": 0.5},
+        )
+        registry = MetricsRegistry()
+        registry.absorb_timing_report(report)
+        assert registry.gauges["timing.gpu-sim.modeled_seconds"] == pytest.approx(2.0)
+        assert registry.gauges["timing.gpu-sim.phase.spmv_seconds"] == pytest.approx(1.5)
+        assert not any("wall" in name for name in registry.gauges)
+
+    def test_timing_report_without_model(self):
+        registry = MetricsRegistry()
+        registry.absorb_timing_report(
+            TimingReport(backend="numpy", wall_seconds=1.0), prefix="ref"
+        )
+        assert "ref.modeled_seconds" not in registry.gauges
+
+    def test_service_metrics(self):
+        metrics = ServiceMetrics(
+            requests_total=8,
+            responses_total=8,
+            batches_total=2,
+            coalesced_requests=3,
+            cache_hits=4,
+            cache_misses=4,
+            cache_size=4,
+            queue_peak_depth=5,
+            engine_dispatches=2,
+            modeled_served_seconds=1.0,
+            modeled_naive_seconds=4.0,
+            wall_seconds=77.0,
+            modeled_seconds_by_engine={"gpu-sim": 1.0},
+        )
+        registry = MetricsRegistry()
+        registry.absorb_service_metrics(metrics)
+        assert registry.counters["serve.requests_total"] == pytest.approx(8.0)
+        assert registry.gauges["serve.cache_hit_rate"] == pytest.approx(0.5)
+        assert registry.gauges["serve.modeled_speedup"] == pytest.approx(4.0)
+        assert registry.gauges["serve.engine.gpu-sim.modeled_seconds"] == pytest.approx(1.0)
+        all_names = set(registry.counters) | set(registry.gauges)
+        assert not any("wall" in name for name in all_names)
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("z.count", 2)
+        registry.inc("a.count", 1)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 2.0)
+        data = registry.to_dict()
+        assert list(data["counters"]) == ["a.count", "z.count"]
+        rebuilt = MetricsRegistry.from_dict(data)
+        assert rebuilt.to_dict() == data
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry.from_dict([1, 2])
+        with pytest.raises(ValidationError):
+            MetricsRegistry.from_dict({"counters": {"a": float("nan")}})
+
+
+class TestTimingHardening:
+    """phase_fraction must degrade gracefully instead of poisoning ratios."""
+
+    def test_empty_breakdown(self):
+        assert TimingReport(backend="x").phase_fraction("spmv") == 0.0
+
+    def test_zero_total(self):
+        report = TimingReport(backend="x", breakdown={"a": 0.0, "b": 0.0})
+        assert report.phase_fraction("a") == 0.0
+
+    def test_nonfinite_total(self):
+        report = TimingReport(backend="x", breakdown={"a": float("inf"), "b": 1.0})
+        assert report.phase_fraction("b") == 0.0
+
+    def test_nonfinite_share(self):
+        report = TimingReport(backend="x", breakdown={"a": float("nan"), "b": 1.0})
+        assert report.phase_fraction("a") == 0.0
+
+    def test_normal_fraction(self):
+        report = TimingReport(backend="x", breakdown={"a": 1.0, "b": 3.0})
+        assert report.phase_fraction("a") == pytest.approx(0.25)
+
+
+class TestServiceMetricsHardening:
+    def test_cache_hit_rate_no_lookups(self):
+        assert ServiceMetrics().cache_hit_rate() == 0.0
+
+    def test_modeled_speedup_neutral_on_zero_served(self):
+        assert ServiceMetrics(modeled_naive_seconds=3.0).modeled_speedup() == 1.0
+
+    def test_modeled_speedup_neutral_on_nonfinite(self):
+        bad = ServiceMetrics(
+            modeled_served_seconds=float("nan"), modeled_naive_seconds=2.0
+        )
+        assert bad.modeled_speedup() == 1.0
+        bad = ServiceMetrics(
+            modeled_served_seconds=1.0, modeled_naive_seconds=float("inf")
+        )
+        assert bad.modeled_speedup() == 1.0
+
+    def test_modeled_speedup_normal(self):
+        metrics = ServiceMetrics(modeled_served_seconds=2.0, modeled_naive_seconds=6.0)
+        assert metrics.modeled_speedup() == pytest.approx(3.0)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.obs.record and repro.obs.export (deterministic output)."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import (
+    MetricsRegistry,
+    RunRecord,
+    SCHEMA_VERSION,
+    Tracer,
+    load_run_record,
+    render_tree,
+    to_chrome_trace,
+    to_jsonl,
+    write_run_record,
+)
+
+
+def make_record(label="test-run"):
+    tracer = Tracer()
+    with tracer.span("pipeline", category="gpu", device="C2050") as pipeline:
+        pipeline.add_event(
+            {"kind": "kernel", "name": "spmv", "start": 0.0, "seconds": 0.25}
+        )
+        tracer.advance(0.25)
+        with tracer.span("reduction"):
+            tracer.advance(0.125)
+    registry = MetricsRegistry()
+    registry.inc("runs_total")
+    registry.set_gauge("timing.gpu.modeled_seconds", 0.375)
+    return RunRecord(
+        label=label,
+        workload={"dimension": 64, "seed": 0},
+        spans=tracer.finish(),
+        metrics=registry,
+    )
+
+
+class TestRunRecord:
+    def test_span_costs_sum_repeated_labels(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("batch"):
+                tracer.advance(1.0)
+        record = RunRecord(label="x", spans=tracer.finish())
+        assert record.span_costs() == {"batch": pytest.approx(3.0)}
+
+    def test_dict_roundtrip_preserves_fingerprint(self):
+        record = make_record()
+        rebuilt = RunRecord.from_dict(record.to_dict())
+        assert rebuilt.fingerprint() == record.fingerprint()
+
+    def test_from_dict_rejects_wrong_schema(self):
+        data = make_record().to_dict()
+        data["schema"] = "repro.obs/999"
+        with pytest.raises(ValidationError):
+            RunRecord.from_dict(data)
+
+    def test_annotations_do_not_change_fingerprint(self):
+        clean = make_record()
+        annotated = make_record()
+        annotated.spans[0].annotate(wall_seconds=123.456)
+        assert annotated.fingerprint() == clean.fingerprint()
+        assert "annotations" not in annotated.to_json()
+
+    def test_two_runs_byte_identical(self):
+        assert make_record().to_json() == make_record().to_json()
+
+    def test_file_roundtrip(self, tmp_path):
+        record = make_record()
+        path = tmp_path / "record.json"
+        write_run_record(record, path)
+        text = path.read_text(encoding="ascii")
+        assert text.endswith("\n")
+        loaded = load_run_record(path)
+        assert loaded.fingerprint() == record.fingerprint()
+        # A second write is byte-identical.
+        write_run_record(loaded, path)
+        assert path.read_text(encoding="ascii") == text
+
+    def test_load_rejects_missing_and_invalid(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_run_record(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="ascii")
+        with pytest.raises(ValidationError):
+            load_run_record(bad)
+
+    def test_write_rejects_non_record(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_run_record({"label": "x"}, tmp_path / "x.json")
+
+
+class TestChromeTrace:
+    def test_valid_and_nested(self):
+        record = make_record()
+        payload = json.loads(to_chrome_trace(record))
+        events = payload["traceEvents"]
+        assert payload["metadata"]["schema"] == SCHEMA_VERSION
+        assert all(event["ph"] == "X" for event in events)
+        # All events share one track so the viewer nests by containment.
+        assert len({(event["pid"], event["tid"]) for event in events}) == 1
+        by_name = {event["name"]: event for event in events}
+        pipeline, kernel, reduction = (
+            by_name["pipeline"],
+            by_name["spmv"],
+            by_name["reduction"],
+        )
+        for child in (kernel, reduction):
+            assert child["ts"] >= pipeline["ts"]
+            assert child["ts"] + child["dur"] <= pipeline["ts"] + pipeline["dur"] + 1e-6
+        assert kernel["cat"] == "kernel"
+        assert pipeline["args"]["device"] == "C2050"
+
+    def test_deterministic(self):
+        assert to_chrome_trace(make_record()) == to_chrome_trace(make_record())
+
+    def test_rejects_non_record(self):
+        with pytest.raises(ValidationError):
+            to_chrome_trace({"spans": []})
+
+
+class TestJsonl:
+    def test_header_plus_flat_spans(self):
+        lines = to_jsonl(make_record()).splitlines()
+        header = json.loads(lines[0])
+        assert header["label"] == "test-run"
+        assert header["metrics"]["counters"]["runs_total"] == 1.0
+        spans = [json.loads(line) for line in lines[1:]]
+        assert [span["label"] for span in spans] == ["pipeline", "reduction"]
+        assert spans[0]["parent"] is None
+        assert spans[1]["parent"] == spans[0]["index"]
+        assert all("children" not in span for span in spans)
+
+
+class TestRenderTree:
+    def test_tree_shows_labels_durations_events(self):
+        text = render_tree(make_record())
+        assert "run 'test-run'" in text
+        assert "pipeline:" in text
+        assert "[1 events]" in text
+        assert "device='C2050'" in text
+        # Child is indented one level deeper than its parent.
+        parent_line = next(line for line in text.splitlines() if "pipeline:" in line)
+        child_line = next(line for line in text.splitlines() if "reduction:" in line)
+        indent = lambda line: len(line) - len(line.lstrip())  # noqa: E731
+        assert indent(child_line) == indent(parent_line) + 2

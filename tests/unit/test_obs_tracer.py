@@ -1,0 +1,168 @@
+"""Unit tests for repro.obs.span / repro.obs.tracer (the modeled-clock recorder)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu import TESLA_C2050
+from repro.gpu.device import Device
+from repro.gpu.kernel import kernel
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer, current_tracer
+
+import numpy as np
+
+
+@kernel("obs_probe")
+def probe_kernel(ctx, arr):
+    ctx.charge(flops=10.0, gmem_read=80.0)
+
+
+class TestSpan:
+    def test_nesting_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("mid"):
+                with tracer.span("inner"):
+                    tracer.advance(1.0)
+            with tracer.span("sibling"):
+                tracer.advance(0.5)
+        labels = [span.label for span in outer.walk()]
+        assert labels == ["outer", "mid", "inner", "sibling"]
+        assert outer.duration == pytest.approx(1.5)
+        assert outer.children[0].children[0].duration == pytest.approx(1.0)
+
+    def test_indices_are_creation_ordered(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        indices = [span.index for root in tracer.finish() for span in root.walk()]
+        assert indices == [0, 1, 2]
+
+    def test_self_seconds_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.advance(1.0)
+            with tracer.span("inner"):
+                tracer.advance(2.0)
+        root = tracer.finish()[0]
+        assert root.self_seconds == pytest.approx(1.0)
+
+    def test_attribute_scalars_only(self):
+        span = Span(label="x")
+        span.set(dim=4, label="y", flag=True, ratio=0.5, none=None)
+        with pytest.raises(ValidationError):
+            span.set(bad=[1, 2])
+        with pytest.raises(ValidationError):
+            span.add_event({"seconds": [1]})
+        with pytest.raises(ValidationError):
+            span.add_event("not a dict")
+
+    def test_annotations_excluded_from_equality_and_dict(self):
+        a = Span(label="x", end=1.0)
+        b = Span(label="x", end=1.0)
+        a.annotate(wall_seconds=123.0)
+        assert a == b
+        assert "annotations" not in a.to_dict()
+        assert a.to_dict(include_annotations=True)["annotations"] == {
+            "wall_seconds": 123.0
+        }
+
+    def test_dict_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="pipeline", dim=8) as outer:
+            outer.add_event({"kind": "kernel", "name": "k", "start": 0.0, "seconds": 1.0})
+            with tracer.span("inner"):
+                tracer.advance(2.0)
+        rebuilt = Span.from_dict(outer.to_dict())
+        assert rebuilt == outer
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            Span.from_dict({"no_label": True})
+
+
+class TestTracer:
+    def test_advance_validation(self):
+        tracer = Tracer()
+        with pytest.raises(ValidationError):
+            tracer.advance(-1.0)
+        with pytest.raises(ValidationError):
+            tracer.advance(float("nan"))
+        with pytest.raises(ValidationError):
+            tracer.advance("fast")
+
+    def test_empty_label_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValidationError):
+            with tracer.span(""):
+                pass
+
+    def test_finish_rejects_open_spans(self):
+        tracer = Tracer()
+        cm = tracer.span("open")
+        cm.__enter__()
+        with pytest.raises(ValidationError):
+            tracer.finish()
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        root = tracer.finish()[0]
+        assert root.end is not None
+
+    def test_device_span_captures_events_and_advances(self):
+        tracer = Tracer()
+        device = Device(TESLA_C2050)
+        with tracer.span("root"):
+            with tracer.device_span("work", device) as span:
+                arr = device.alloc(16)
+                device.memcpy_htod(arr, np.zeros(16))
+                device.launch(probe_kernel, grid=1, block=32, args=(arr,))
+        assert tracer.clock == pytest.approx(device.modeled_seconds)
+        kinds = [event["kind"] for event in span.events]
+        assert kinds == ["setup", "transfer", "kernel"]
+        # Events tile the span contiguously on the modeled clock.
+        cursor = span.start
+        for event in span.events:
+            assert event["start"] == pytest.approx(cursor)
+            cursor += event["seconds"]
+        assert cursor == pytest.approx(span.end)
+
+    def test_device_span_only_captures_new_events(self):
+        tracer = Tracer()
+        device = Device(TESLA_C2050)
+        arr = device.alloc(16)
+        device.launch(probe_kernel, grid=1, block=32, args=(arr,))
+        before = device.modeled_seconds
+        with tracer.device_span("later", device) as span:
+            device.launch(probe_kernel, grid=1, block=32, args=(arr,))
+        assert len(span.events) == 1
+        assert tracer.clock == pytest.approx(device.modeled_seconds - before)
+
+
+class TestAmbientTracer:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_activate_scopes_the_tracer(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        with null.span("x", category="cli", attr=1) as span:
+            span.set(a=1).annotate(b=2)
+            span.add_event({"kind": "kernel"})
+        null.advance(5.0)
+        device = Device(TESLA_C2050)
+        with null.device_span("y", device):
+            pass
+        # Same shared inert span object, nothing recorded anywhere.
+        assert null.span("z") is null.device_span("w", device)

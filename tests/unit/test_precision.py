@@ -89,8 +89,8 @@ class TestPipelinePrecision:
             num_moments=48, num_random_vectors=8, num_realizations=1,
             seed=3, block_size=32,
         )
-        dp_data, _ = GpuKPM().run(scaled_cube, config)
-        sp_data, _ = GpuKPM().run(
+        dp_data, _ = GpuKPM().compute_moments(scaled_cube, config)
+        sp_data, _ = GpuKPM().compute_moments(
             scaled_cube, config.with_updates(precision="single")
         )
         drift = np.max(np.abs(dp_data.mu - sp_data.mu))
@@ -101,8 +101,8 @@ class TestPipelinePrecision:
             num_moments=48, num_random_vectors=8, num_realizations=1,
             seed=3, block_size=32,
         )
-        _, dp_report = GpuKPM().run(scaled_cube, config)
-        _, sp_report = GpuKPM().run(
+        _, dp_report = GpuKPM().compute_moments(scaled_cube, config)
+        _, sp_report = GpuKPM().compute_moments(
             scaled_cube, config.with_updates(precision="single")
         )
         assert sp_report.modeled_seconds < dp_report.modeled_seconds
@@ -112,7 +112,7 @@ class TestPipelinePrecision:
             num_moments=32, num_random_vectors=8, num_realizations=1,
             seed=1, block_size=32, precision="single",
         )
-        _, report = GpuKPM().run(scaled_cube, config)
+        _, report = GpuKPM().compute_moments(scaled_cube, config)
         estimate = estimate_gpu_kpm_seconds(
             TESLA_C2050, scaled_cube.shape[0], config, nnz=scaled_cube.nnz_stored
         )
@@ -124,7 +124,7 @@ class TestPipelinePrecision:
             block_size=32, precision="single",
         )
         runner = GpuKPM()
-        runner.run(scaled_cube, config)
+        runner.compute_moments(scaled_cube, config)
         # Peak memory halves relative to the plan of the double config.
         sp_plan = plan_memory(
             TESLA_C2050, scaled_cube.shape[0], config, nnz=scaled_cube.nnz_stored
