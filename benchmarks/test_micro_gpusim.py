@@ -24,7 +24,7 @@ class TestSimulatorOverhead:
         config = KPMConfig(
             num_moments=64, num_random_vectors=16, num_realizations=1, block_size=32
         )
-        data, report = run_once(benchmark, GpuKPM().run, scaled_cube, config)
+        data, report = run_once(benchmark, GpuKPM().compute_moments, scaled_cube, config)
         assert report.modeled_seconds > 0
 
     def test_analytic_estimator_speed(self, benchmark):

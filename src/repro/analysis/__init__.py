@@ -8,16 +8,24 @@ launch discipline, and the uniform error taxonomy / validated public
 surface that make failures catchable.  This package machine-checks them
 with stdlib :mod:`ast` — no third-party dependencies.
 
+Since v2 the checker is two-phase: phase one runs the per-module rules
+(RA001–RA006, RA008–RA011) over each file; phase two resolves the
+project-wide import graph (:class:`ProjectGraph`) and runs the
+:class:`ProjectRule` subclasses (RA007 layering/cycles) over it, then
+audits the suppression comments themselves (RA012).
+
 Run it with ``python -m repro.analysis src/repro``; see
-``docs/ANALYSIS.md`` for the rule catalogue and suppression syntax.
+``docs/ANALYSIS.md`` for the rule catalogue, the layer DAG, and the
+suppression syntax.
 """
 
 from __future__ import annotations
 
-from repro.analysis.cli import main, run_analysis
+from repro.analysis.cli import load_project, main, run_analysis
 from repro.analysis.config import AnalysisConfig, load_config
 from repro.analysis.core import (
     Finding,
+    ProjectRule,
     Rule,
     SourceModule,
     Suppressions,
@@ -25,6 +33,7 @@ from repro.analysis.core import (
     load_module,
     run_rules,
 )
+from repro.analysis.graph import ProjectGraph
 from repro.analysis.report import Baseline, Report, render_json, render_text
 from repro.analysis.rules import ALL_RULES, resolve_rules
 
@@ -33,6 +42,8 @@ __all__ = [
     "AnalysisConfig",
     "Baseline",
     "Finding",
+    "ProjectGraph",
+    "ProjectRule",
     "Report",
     "Rule",
     "SourceModule",
@@ -40,6 +51,7 @@ __all__ = [
     "collect_files",
     "load_config",
     "load_module",
+    "load_project",
     "main",
     "render_json",
     "render_text",

@@ -2,8 +2,9 @@
 
 Exit codes (pinned by the test suite and the CI job):
 
-* ``0`` — clean (no findings beyond the baseline),
-* ``1`` — findings,
+* ``0`` — clean (no findings beyond the baseline), also ``--graph-out``
+  / ``--explain`` / ``--list-rules`` output,
+* ``1`` — error-severity findings,
 * ``2`` — usage error (bad arguments, unknown rule, unreadable path or
   baseline).
 """
@@ -15,12 +16,13 @@ import sys
 from pathlib import Path
 
 from repro.analysis.config import AnalysisConfig, load_config
-from repro.analysis.core import collect_files, load_module, run_rules
+from repro.analysis.core import SourceModule, collect_files, load_module, run_rules
+from repro.analysis.graph import ProjectGraph
 from repro.analysis.report import Baseline, Report, render_json, render_text
 from repro.analysis.rules import ALL_RULES, resolve_rules
 from repro.errors import ReproError
 
-__all__ = ["main", "build_parser", "run_analysis"]
+__all__ = ["main", "build_parser", "load_project", "run_analysis"]
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -34,7 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based contract checker: determinism (RA001), error "
             "taxonomy (RA002), dtype discipline (RA003), launch contract "
-            "(RA004), API validation (RA005), export consistency (RA006)."
+            "(RA004), API validation (RA005), export consistency (RA006), "
+            "layering over the project import graph (RA007), modeled-clock "
+            "purity (RA008), hot-path perf lint (RA009), deprecated APIs "
+            "(RA010), resource hygiene (RA011), stale suppressions (RA012)."
         ),
     )
     parser.add_argument(
@@ -76,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule pack and exit",
     )
+    parser.add_argument(
+        "--graph-out",
+        choices=("dot", "json"),
+        metavar="{dot,json}",
+        help="print the resolved project import graph and exit 0",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RAXXX",
+        help="print the long-form rationale of one rule and exit 0",
+    )
     return parser
 
 
@@ -83,17 +99,26 @@ def _split_ids(spec: str) -> list[str]:
     return [part.strip() for part in spec.split(",") if part.strip()]
 
 
+def load_project(
+    paths: list[Path],
+) -> tuple[list[SourceModule], ProjectGraph]:
+    """Parse every file under ``paths`` and build the project graph."""
+    pairs: list[tuple[SourceModule, Path]] = []
+    for root in paths:
+        root = root.resolve()
+        for path in collect_files(root):
+            pairs.append((load_module(path, root), root))
+    modules = [module for module, _ in pairs]
+    return modules, ProjectGraph.build(pairs)
+
+
 def run_analysis(
     paths: list[Path], config: AnalysisConfig
 ) -> Report:
     """Scan ``paths`` with the configured rules; no baseline applied yet."""
     rules = resolve_rules(config.select, config.ignore)
-    modules = []
-    for root in paths:
-        root = root.resolve()
-        for path in collect_files(root):
-            modules.append(load_module(path, root))
-    findings = run_rules(modules, rules, config)
+    modules, project = load_project(paths)
+    findings = run_rules(modules, rules, config, project=project)
     return Report(findings=findings, files_checked=len(modules))
 
 
@@ -107,12 +132,31 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule.id} {rule.name}: {rule.description}")
         return EXIT_CLEAN
 
+    if args.explain:
+        wanted = args.explain.strip().upper()
+        for rule in ALL_RULES:
+            if rule.id == wanted:
+                print(f"{rule.id} {rule.name}")
+                print(rule.explain or rule.description)
+                return EXIT_CLEAN
+        known = ", ".join(rule.id for rule in ALL_RULES)
+        print(f"error: unknown rule id {wanted!r}; known: {known}", file=sys.stderr)
+        return EXIT_USAGE
+
     try:
         config = load_config(Path(args.paths[0]) if args.paths else None)
         if args.select:
             config = config.with_updates(select=tuple(_split_ids(args.select)))
         if args.ignore:
             config = config.with_updates(ignore=tuple(_split_ids(args.ignore)))
+
+        if args.graph_out:
+            _, project = load_project([Path(p) for p in args.paths])
+            graph_text = (
+                project.to_dot() if args.graph_out == "dot" else project.to_json()
+            )
+            print(graph_text, end="" if graph_text.endswith("\n") else "\n")
+            return EXIT_CLEAN
 
         report = run_analysis([Path(p) for p in args.paths], config)
 

@@ -10,12 +10,32 @@ through a ``[tool.repro-analysis]`` table::
     rng-allowed = ["util/rng.py"]
     validated-packages = ["kpm/*", "gpukpm/*", "sparse/*"]
     trusted-validators = ["as_operator"]
+    wall-clock-allowed = ["timing.py"]
+    layers = [
+        "errors", "util", "timing", "trace", "sparse",
+        ["lattice", "ed"], "kpm", ["cpu", "gpu"],
+        "gpukpm", "cluster", "serve", "obs",
+        ["bench", "analysis"], "cli",
+    ]
     baseline = "analysis-baseline.json"
+
+    [tool.repro-analysis.deprecations]
+    "GpuKPM.run" = "call GpuKPM.compute_moments() instead"
+
+    [tool.repro-analysis.severity]
+    RA009 = "warning"
 
 Path-shaped options are glob patterns matched against paths relative to
 the scan root; a pattern also matches with any leading directories, so
 ``kpm/*`` covers both ``kpm/config.py`` (scanning ``src/repro``) and
 ``src/repro/kpm/config.py`` (scanning the repository root).
+
+``layers`` declares the architecture bottom-up: each entry is a layer
+name (the first path segment of a module, or the stem of a top-level
+file) or a list of same-rank sibling layers.  A module may import only
+layers at a strictly lower rank; siblings may not import each other;
+layers not listed are unconstrained.  RA007 enforces the declaration
+over the resolved project import graph.
 """
 
 from __future__ import annotations
@@ -25,6 +45,7 @@ from dataclasses import dataclass, replace
 from fnmatch import fnmatch
 from pathlib import Path
 
+from repro.analysis.core import SEVERITIES
 from repro.errors import ValidationError
 
 __all__ = ["AnalysisConfig", "load_config", "match_path"]
@@ -42,6 +63,38 @@ DEFAULT_TRUSTED_VALIDATORS = (
     "rescale_operator",
 )
 
+#: The repository's layer DAG, bottom-up.  Tuples group same-rank
+#: siblings (which may not import each other).  RA007's ground truth.
+DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
+    ("errors",),
+    ("util",),
+    ("timing",),
+    ("trace",),
+    ("sparse",),
+    ("lattice", "ed"),
+    ("kpm",),
+    ("cpu", "gpu"),
+    ("gpukpm",),
+    ("cluster",),
+    ("serve",),
+    ("obs",),
+    ("bench", "analysis"),
+    ("cli",),
+)
+
+#: Modules allowed to read the host wall clock (RA008).  Everything else
+#: must run on the modeled clock so runs stay bit-reproducible.
+DEFAULT_WALL_CLOCK_ALLOWED = ("timing.py",)
+
+#: Deprecated ``Class.method`` call targets and the advice RA010 prints.
+DEFAULT_DEPRECATIONS: tuple[tuple[str, str], ...] = (
+    ("GpuKPM.run", "call GpuKPM.compute_moments() instead"),
+    ("MultiGpuKPM.run", "call MultiGpuKPM.compute_moments() instead"),
+)
+
+#: Allocating numpy constructors RA009 flags inside hot-path for-loops.
+DEFAULT_LOOP_ALLOCATORS = ("zeros", "empty", "ones", "full", "eye")
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -54,11 +107,30 @@ class AnalysisConfig:
     validated_packages: tuple[str, ...] = ("kpm/*", "gpukpm/*", "sparse/*")
     dtype_functions: tuple[str, ...] = DEFAULT_DTYPE_FUNCTIONS
     trusted_validators: tuple[str, ...] = DEFAULT_TRUSTED_VALIDATORS
+    layers: tuple[tuple[str, ...], ...] = DEFAULT_LAYERS
+    wall_clock_allowed: tuple[str, ...] = DEFAULT_WALL_CLOCK_ALLOWED
+    deprecations: tuple[tuple[str, str], ...] = DEFAULT_DEPRECATIONS
+    loop_allocators: tuple[str, ...] = DEFAULT_LOOP_ALLOCATORS
+    severity: tuple[tuple[str, str], ...] = ()
     baseline: str | None = None
 
     def with_updates(self, **changes) -> "AnalysisConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def severity_for(self, rule_id: str) -> str:
+        """The configured severity for a rule (``"error"`` by default)."""
+        for rule, level in self.severity:
+            if rule == rule_id:
+                return level
+        return "error"
+
+    def layer_rank(self, layer: str) -> int | None:
+        """The rank of a layer in the declared DAG (``None`` if unlisted)."""
+        for rank, group in enumerate(self.layers):
+            if layer in group:
+                return rank
+        return None
 
 
 def match_path(rel_path: str, patterns: tuple[str, ...]) -> bool:
@@ -77,8 +149,52 @@ _KEY_MAP = {
     "validated-packages": "validated_packages",
     "dtype-functions": "dtype_functions",
     "trusted-validators": "trusted_validators",
+    "wall-clock-allowed": "wall_clock_allowed",
+    "loop-allocators": "loop_allocators",
     "baseline": "baseline",
+    "layers": "layers",
+    "deprecations": "deprecations",
+    "severity": "severity",
 }
+
+
+def _parse_layers(value) -> tuple[tuple[str, ...], ...]:
+    """Validate the TOML ``layers`` list (strings or lists of strings)."""
+    if not isinstance(value, list):
+        raise ValidationError("[tool.repro-analysis] layers must be a list")
+    groups: list[tuple[str, ...]] = []
+    seen: set[str] = set()
+    for entry in value:
+        if isinstance(entry, str):
+            group = (entry,)
+        elif isinstance(entry, list) and entry and all(
+            isinstance(item, str) for item in entry
+        ):
+            group = tuple(entry)
+        else:
+            raise ValidationError(
+                "[tool.repro-analysis] layers entries must be strings or "
+                f"non-empty lists of strings, got {entry!r}"
+            )
+        for name in group:
+            if name in seen:
+                raise ValidationError(
+                    f"[tool.repro-analysis] layers lists {name!r} twice"
+                )
+            seen.add(name)
+        groups.append(group)
+    return tuple(groups)
+
+
+def _parse_str_table(value, key: str) -> tuple[tuple[str, str], ...]:
+    """Validate a TOML sub-table of string keys to string values."""
+    if not isinstance(value, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in value.items()
+    ):
+        raise ValidationError(
+            f"[tool.repro-analysis] {key} must be a table of strings"
+        )
+    return tuple(sorted(value.items()))
 
 
 def _find_pyproject(start: Path) -> Path | None:
@@ -118,6 +234,19 @@ def load_config(start: Path | None = None) -> AnalysisConfig:
             if not isinstance(value, str):
                 raise ValidationError("[tool.repro-analysis] baseline must be a string")
             changes["baseline"] = value
+        elif key == "layers":
+            changes["layers"] = _parse_layers(value)
+        elif key == "deprecations":
+            changes["deprecations"] = _parse_str_table(value, key)
+        elif key == "severity":
+            pairs = _parse_str_table(value, key)
+            for rule, level in pairs:
+                if level not in SEVERITIES:
+                    raise ValidationError(
+                        f"[tool.repro-analysis] severity for {rule} must be one "
+                        f"of {', '.join(SEVERITIES)}, got {level!r}"
+                    )
+            changes["severity"] = pairs
         else:
             if not isinstance(value, list) or not all(
                 isinstance(item, str) for item in value

@@ -26,7 +26,7 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -34,16 +34,28 @@ from repro.errors import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.config import AnalysisConfig
+    from repro.analysis.graph import ProjectGraph
 
 __all__ = [
     "Finding",
+    "ProjectRule",
     "Rule",
+    "SEVERITIES",
     "SourceModule",
+    "SuppressionEntry",
     "Suppressions",
     "collect_files",
     "load_module",
     "run_rules",
 ]
+
+#: Recognized per-rule severities (``error`` fails the run, ``warning``
+#: is reported but does not).
+SEVERITIES = ("error", "warning")
+
+#: Rule id of the stale-suppression audit, which the engine itself
+#: implements (it needs to see which suppressions every other rule used).
+STALE_SUPPRESSION_RULE_ID = "RA012"
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?P<file>-file)?\s*(?:\[(?P<rules>[A-Za-z0-9,\s]+)\])?"
@@ -66,14 +78,22 @@ class Finding:
     col: int
     rule: str
     message: str
+    severity: str = "error"
 
     def fingerprint(self) -> str:
-        """Line-independent identity used by the baseline ratchet."""
+        """Line-independent identity used by the baseline ratchet.
+
+        Severity is deliberately excluded: re-classifying a rule must not
+        invalidate accepted baseline entries.
+        """
         return f"{self.rule}::{self.path}::{self.message}"
 
     def render(self) -> str:
         """``path:line:col: RA00x message`` — the human text format."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.severity != "error":
+            text += f" [{self.severity}]"
+        return text
 
     def to_json(self) -> dict:
         """JSON-serializable form (schema pinned by the CLI tests)."""
@@ -83,6 +103,7 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "severity": self.severity,
         }
 
     @classmethod
@@ -94,7 +115,17 @@ class Finding:
             col=int(obj["col"]),
             rule=str(obj["rule"]),
             message=str(obj["message"]),
+            severity=str(obj.get("severity", "error")),
         )
+
+
+@dataclass(frozen=True)
+class SuppressionEntry:
+    """One declared rule token of one ``# repro: noqa`` comment."""
+
+    line: int
+    rule: str  # a rule id, or "*" for a bare noqa
+    file_wide: bool
 
 
 @dataclass
@@ -103,11 +134,16 @@ class Suppressions:
 
     ``by_line`` maps a 1-based line number to the set of suppressed rule
     ids (or ``{"*"}`` for all); ``file_wide`` holds rules suppressed for
-    the entire file.
+    the entire file.  ``entries`` retains each declaration with the line
+    of its comment so the engine's stale-suppression audit (RA012) can
+    report the ones that never matched a finding; :meth:`consume` is the
+    usage-recording variant of :meth:`is_suppressed`.
     """
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     file_wide: set[str] = field(default_factory=set)
+    entries: list[SuppressionEntry] = field(default_factory=list)
+    _used: set[SuppressionEntry] = field(default_factory=set)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """True if ``rule_id`` is silenced at ``line``."""
@@ -117,6 +153,24 @@ class Suppressions:
         if rules is None:
             return False
         return _ALL_RULES_MARKER in rules or rule_id in rules
+
+    def consume(self, rule_id: str, line: int) -> bool:
+        """Like :meth:`is_suppressed`, but mark the matching declarations used."""
+        if not self.is_suppressed(rule_id, line):
+            return False
+        for entry in self.entries:
+            if entry.rule not in (rule_id, _ALL_RULES_MARKER):
+                continue
+            if entry.file_wide or entry.line == line:
+                self._used.add(entry)
+        return True
+
+    def stale_entries(self) -> list[SuppressionEntry]:
+        """Declarations no :meth:`consume` call ever matched, in file order."""
+        return sorted(
+            (entry for entry in self.entries if entry not in self._used),
+            key=lambda entry: (entry.line, entry.rule),
+        )
 
     @classmethod
     def parse(cls, source: str) -> "Suppressions":
@@ -138,10 +192,15 @@ class Suppressions:
                 rules = {_ALL_RULES_MARKER}
             else:
                 rules = {part.strip().upper() for part in spec.split(",") if part.strip()}
-            if match.group("file"):
+            file_wide = bool(match.group("file"))
+            if file_wide:
                 result.file_wide |= rules
             else:
                 result.by_line.setdefault(tok.start[0], set()).update(rules)
+            for rule in sorted(rules):
+                result.entries.append(
+                    SuppressionEntry(line=tok.start[0], rule=rule, file_wide=file_wide)
+                )
         return result
 
 
@@ -185,12 +244,14 @@ class Rule:
 
     Subclasses set the class attributes and implement :meth:`check`,
     yielding findings for one module.  Suppression filtering happens in
-    the engine, not in the rule.
+    the engine, not in the rule.  ``explain`` holds the long-form text
+    behind the CLI's ``--explain RAxxx`` (falls back to ``description``).
     """
 
     id: str = ""
     name: str = ""
     description: str = ""
+    explain: str = ""
 
     def check(
         self, module: SourceModule, config: "AnalysisConfig"
@@ -200,6 +261,29 @@ class Rule:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Rule {self.id} {self.name}>"
+
+
+class ProjectRule(Rule):
+    """A rule of the second (whole-program) phase.
+
+    Phase one hands every :class:`SourceModule` to :meth:`Rule.check`;
+    phase two hands the resolved
+    :class:`~repro.analysis.graph.ProjectGraph` to
+    :meth:`check_project`.  Findings still carry the source file's
+    relative path, so ``# repro: noqa`` suppression works unchanged.
+    """
+
+    def check(
+        self, module: SourceModule, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        """Project rules contribute nothing in the per-module phase."""
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectGraph", config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        """Yield the rule's findings for the whole project."""
+        raise NotImplementedError  # pragma: no cover - abstract
 
 
 def collect_files(root: Path) -> list[Path]:
@@ -251,14 +335,77 @@ def run_rules(
     modules: Iterable[SourceModule],
     rules: Iterable[Rule],
     config: "AnalysisConfig",
+    project: "ProjectGraph | None" = None,
 ) -> list[Finding]:
-    """Run every rule over every module; return suppression-filtered findings."""
+    """Run the two-phase rule pack; return suppression-filtered findings.
+
+    Phase one runs every per-module rule over every module; phase two
+    runs the :class:`ProjectRule` subclasses over ``project`` (skipped
+    when no graph was built).  Afterwards, if the stale-suppression
+    audit (RA012) is enabled, every ``# repro: noqa`` declaration that
+    suppressed nothing becomes a finding of its own.
+    """
+    modules = list(modules)
     rules = list(rules)
+    module_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    audit_stale = any(rule.id == STALE_SUPPRESSION_RULE_ID for rule in rules)
+    by_path = {module.rel_path: module for module in modules}
+
     findings: list[Finding] = []
+
+    def admit(module: SourceModule | None, finding: Finding) -> None:
+        if module is not None and module.suppressions.consume(
+            finding.rule, finding.line
+        ):
+            return
+        severity = config.severity_for(finding.rule)
+        if severity != finding.severity:
+            finding = replace(finding, severity=severity)
+        findings.append(finding)
+
     for module in modules:
-        for rule in rules:
+        for rule in module_rules:
             for finding in rule.check(module, config):
-                if module.suppressions.is_suppressed(finding.rule, finding.line):
+                admit(module, finding)
+
+    if project is not None:
+        for rule in project_rules:
+            for finding in rule.check_project(project, config):
+                admit(by_path.get(finding.path), finding)
+
+    if audit_stale:
+        for module in modules:
+            suppressions = module.suppressions
+            for entry in suppressions.stale_entries():
+                # A noqa[RA012] (or its file-wide form) silences the
+                # audit, but a stale entry must not silence its *own*
+                # report — a bare all-rules suppression that suppresses
+                # nothing would otherwise be invisible by construction.
+                shields = [
+                    other
+                    for other in suppressions.entries
+                    if other is not entry
+                    and other.rule in (STALE_SUPPRESSION_RULE_ID, _ALL_RULES_MARKER)
+                    and (other.file_wide or other.line == entry.line)
+                ]
+                if shields:
+                    suppressions._used.update(shields)
                     continue
+                scope = "file-wide " if entry.file_wide else ""
+                target = "every rule" if entry.rule == _ALL_RULES_MARKER else entry.rule
+                finding = Finding(
+                    path=module.rel_path,
+                    line=entry.line,
+                    col=0,
+                    rule=STALE_SUPPRESSION_RULE_ID,
+                    message=(
+                        f"{scope}noqa for {target} suppresses nothing; "
+                        "remove the stale suppression"
+                    ),
+                )
+                severity = config.severity_for(finding.rule)
+                if severity != finding.severity:
+                    finding = replace(finding, severity=severity)
                 findings.append(finding)
     return sorted(findings)

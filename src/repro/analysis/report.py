@@ -20,7 +20,7 @@ from repro.errors import ValidationError
 __all__ = ["Baseline", "Report", "render_text", "render_json"]
 
 _BASELINE_VERSION = 1
-_JSON_VERSION = 1
+_JSON_VERSION = 2  # v2: findings carry a "severity" field
 
 
 @dataclass
@@ -100,8 +100,12 @@ class Report:
 
     @property
     def failed(self) -> bool:
-        """True when non-baselined findings exist."""
-        return bool(self.findings)
+        """True when non-baselined *error* findings exist.
+
+        Warning-severity findings (per-rule ``severity`` config) are
+        reported but do not fail the run.
+        """
+        return any(finding.severity == "error" for finding in self.findings)
 
 
 def render_text(report: Report) -> str:

@@ -1,8 +1,13 @@
-"""The RA001–RA006 rule pack.
+"""The RA001–RA012 rule pack.
 
 :data:`ALL_RULES` is the ordered registry the CLI and tests consume;
 :func:`resolve_rules` applies ``--select`` / ``--ignore`` style
 filtering with validation of the requested ids.
+
+RA001–RA006 are per-module rules; RA007 is a project rule running over
+the resolved import graph (phase two of the engine); RA008–RA011 are
+per-module dataflow rules; RA012 is the engine-implemented
+stale-suppression audit.
 """
 
 from __future__ import annotations
@@ -10,11 +15,17 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.analysis.core import Rule
+from repro.analysis.rules.clock import ModeledClockRule
+from repro.analysis.rules.deprecated import DeprecatedApiRule
 from repro.analysis.rules.determinism import UnseededRngRule
 from repro.analysis.rules.dtype import DtypeDriftRule
 from repro.analysis.rules.errors import ErrorTaxonomyRule
 from repro.analysis.rules.exports import ExportConsistencyRule
+from repro.analysis.rules.hotpath import HotPathPerfRule
 from repro.analysis.rules.launch import LaunchContractRule
+from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.resources import ResourceHygieneRule
+from repro.analysis.rules.suppressions import StaleSuppressionRule
 from repro.analysis.rules.validation import PublicApiValidationRule
 from repro.errors import ValidationError
 
@@ -27,6 +38,12 @@ __all__ = [
     "LaunchContractRule",
     "PublicApiValidationRule",
     "ExportConsistencyRule",
+    "LayeringRule",
+    "ModeledClockRule",
+    "HotPathPerfRule",
+    "DeprecatedApiRule",
+    "ResourceHygieneRule",
+    "StaleSuppressionRule",
 ]
 
 #: Every shipped rule, in id order.
@@ -37,6 +54,12 @@ ALL_RULES: tuple[Rule, ...] = (
     LaunchContractRule(),
     PublicApiValidationRule(),
     ExportConsistencyRule(),
+    LayeringRule(),
+    ModeledClockRule(),
+    HotPathPerfRule(),
+    DeprecatedApiRule(),
+    ResourceHygieneRule(),
+    StaleSuppressionRule(),
 )
 
 

@@ -1,0 +1,144 @@
+"""RA010 — callers of deprecated APIs (``Class.method`` shims).
+
+PR 3 renamed the engines' entry point to ``compute_moments`` and kept
+``GpuKPM.run`` / ``MultiGpuKPM.run`` as warning shims for one
+deprecation cycle.  Runtime ``DeprecationWarning`` only fires on paths
+that execute; this rule finds the *call sites* statically so the shims
+can eventually be deleted without breaking anyone.
+
+The deprecated surface is configured as a ``Class.method`` → advice
+table (``[tool.repro-analysis.deprecations]``).  Matching is
+dataflow-lite, per function scope:
+
+* direct chains — ``GpuKPM(device).run(H, config)``;
+* single-assignment locals — ``engine = GpuKPM(device)`` followed by
+  ``engine.run(...)`` in the same function.
+
+No type inference is attempted beyond that: an ``engine.run()`` on a
+parameter of unknown type is not flagged (and conversely cannot be
+caught — keep shims warning at runtime until removal).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Finding, Rule, SourceModule
+
+__all__ = ["DeprecatedApiRule"]
+
+
+class DeprecatedApiRule(Rule):
+    """Flag static call sites of configured ``Class.method`` deprecations."""
+
+    id = "RA010"
+    name = "deprecated-api"
+    description = (
+        "call site of a deprecated Class.method shim; migrate per the "
+        "configured advice"
+    )
+    explain = (
+        "RA010 reads the [tool.repro-analysis.deprecations] table "
+        "(Class.method -> advice; defaults cover GpuKPM.run and "
+        "MultiGpuKPM.run -> compute_moments) and reports every call site "
+        "it can prove statically: direct Class(...).method(...) chains, "
+        "and method calls on a local variable assigned from Class(...) "
+        "within the same function scope. It does no type inference beyond "
+        "that single-scope dataflow, so runtime DeprecationWarnings in "
+        "the shims remain the backstop for dynamic callers. Migrate the "
+        "call per the advice; the shim itself stays suppressed with "
+        "'# repro: noqa[RA010]' until its removal PR."
+    )
+
+    def check(
+        self, module: SourceModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        deprecations = dict(config.deprecations)
+        if not deprecations:
+            return
+        by_class: dict[str, dict[str, str]] = {}
+        for target, advice in deprecations.items():
+            if "." not in target:
+                continue
+            cls, method = target.rsplit(".", 1)
+            cls = cls.rsplit(".", 1)[-1]  # bare class name matches any import form
+            by_class.setdefault(cls, {})[method] = advice
+
+        for scope in _scopes(module.tree):
+            # locals assigned from a deprecated class's constructor
+            constructed: dict[str, str] = {}
+            for node in scope:
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    callee = dotted_name(node.value.func)
+                    if callee is not None:
+                        cls = callee.rsplit(".", 1)[-1]
+                        if cls in by_class:
+                            constructed[node.targets[0].id] = cls
+            for node in scope:
+                if not isinstance(node, ast.Call) or not isinstance(
+                    node.func, ast.Attribute
+                ):
+                    continue
+                method = node.func.attr
+                cls = _receiver_class(node.func.value, constructed, by_class)
+                if cls is None:
+                    continue
+                advice = by_class[cls].get(method)
+                if advice is None:
+                    continue
+                yield module.finding(
+                    node,
+                    self.id,
+                    f"call to deprecated {cls}.{method}(); {advice}",
+                )
+
+
+def _receiver_class(
+    receiver: ast.AST,
+    constructed: dict[str, str],
+    by_class: dict[str, dict[str, str]],
+) -> str | None:
+    """The deprecated class a method receiver provably is, if any."""
+    if isinstance(receiver, ast.Call):
+        callee = dotted_name(receiver.func)
+        if callee is not None:
+            cls = callee.rsplit(".", 1)[-1]
+            if cls in by_class:
+                return cls
+        return None
+    if isinstance(receiver, ast.Name):
+        return constructed.get(receiver.id)
+    return None
+
+
+def _scopes(tree: ast.Module) -> Iterator[list[ast.AST]]:
+    """Flat node lists per scope: the module body, then each function.
+
+    Each scope's list stops at nested function boundaries, so a call
+    site belongs to exactly one scope and is reported exactly once.
+    """
+    yield _shallow_walk(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield _shallow_walk(node)
+
+
+def _shallow_walk(owner: ast.AST) -> list[ast.AST]:
+    """All descendants of ``owner`` without entering nested functions."""
+    out: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(owner))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out

@@ -36,6 +36,18 @@ class UnseededRngRule(Rule):
         "RNG construction outside util/rng.py; route every draw through "
         "repro.util.rng.philox_stream / spawn_seeds"
     )
+    explain = (
+        "RA001 enforces the determinism contract behind the stochastic "
+        "trace estimator (paper Eq. 19): every random draw must come from "
+        "the counter-based Philox streams in repro.util.rng, keyed by "
+        "(seed, realization, vector_index), so all backends and batchings "
+        "reproduce the same vectors bit-for-bit. It flags imports of "
+        "stdlib random, imports from numpy.random, and calls through "
+        "numpy.random — anywhere outside the modules listed in "
+        "[tool.repro-analysis] rng-allowed (default: util/rng.py). Type "
+        "annotations like '-> np.random.Generator' are references, not "
+        "constructions, and stay legal."
+    )
 
     def check(
         self, module: SourceModule, config: AnalysisConfig

@@ -30,6 +30,16 @@ class DtypeDriftRule(Rule):
         "array construction without explicit dtype= in a hot-path module "
         "(all-float64 precision contract)"
     )
+    explain = (
+        "RA003 pins the all-float64 precision contract in the hot-path "
+        "packages (hot-path-modules config): every "
+        "np.zeros/empty/ones/asarray/full call must pass dtype= "
+        "(keyword or the documented positional slot). NumPy's default "
+        "dtype depends on input values and platform; a silently promoted "
+        "float32 moment accumulator corrupts spectra instead of "
+        "crashing, which is why the rule demands the intent be written "
+        "down even when the default would happen to be right."
+    )
 
     def check(
         self, module: SourceModule, config: AnalysisConfig

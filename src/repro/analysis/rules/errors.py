@@ -30,6 +30,15 @@ class ErrorTaxonomyRule(Rule):
         "bare builtin exception raised instead of the repro.errors "
         "hierarchy (ValidationError keeps ValueError compatibility)"
     )
+    explain = (
+        "RA002 keeps the exception surface catchable in one place: "
+        "library code must raise from the repro.errors hierarchy so "
+        "callers (the CLI, pipeline drivers, the cluster retry loop) can "
+        "fence failures with a single 'except ReproError'. It flags any "
+        "'raise ValueError/TypeError/RuntimeError(...)'. Converting to "
+        "repro.errors.ValidationError is always safe for callers because "
+        "ValidationError keeps ValueError in its MRO."
+    )
 
     def check(
         self, module: SourceModule, config: AnalysisConfig

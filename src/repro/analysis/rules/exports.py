@@ -36,6 +36,15 @@ class ExportConsistencyRule(Rule):
         "__all__ names that do not exist, or public defs/classes missing "
         "from __all__"
     )
+    explain = (
+        "RA006 cross-checks each module's __all__ against what the "
+        "module actually defines, in both directions: an __all__ entry "
+        "naming nothing (rename/deletion drift) breaks 'import *' and "
+        "docs links at a distance, and a public def/class missing from "
+        "__all__ is invisible to the re-export chains the docs are "
+        "generated from. __main__.py entry points are exempt; modules "
+        "with a star import skip the existence direction."
+    )
 
     def check(
         self, module: SourceModule, config: AnalysisConfig

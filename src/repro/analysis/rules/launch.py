@@ -61,6 +61,16 @@ class LaunchContractRule(Rule):
         "kernel launch with a non-power-of-two literal block size or a "
         "hard-coded grid that bypasses the planning layer"
     )
+    explain = (
+        "RA004 audits every '*.launch(...)' call site against the "
+        "paper's launch geometry: block sizes must be positive powers "
+        "of two (the shared-memory reduction trees and warp-occupancy "
+        "math assume it) and grids must come from the planning layer "
+        "(plan_grid / tune_block_size), never integer literals. A "
+        "block= argument passes as a power-of-two literal, any "
+        "expression mentioning block_size, or a check_power_of_two() "
+        "call; a grid= argument passes as any non-literal expression."
+    )
 
     def check(
         self, module: SourceModule, config: AnalysisConfig

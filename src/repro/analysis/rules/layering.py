@@ -1,0 +1,125 @@
+"""RA007 — architectural layering over the resolved import graph.
+
+The repository is a stack: ``errors`` at the bottom, the numerics
+(``sparse``, ``kpm``), then the backends (``cpu``/``gpu``/``gpukpm``),
+then the orchestration layers (``cluster``, ``serve``, ``obs``), with
+``bench``/``analysis``/``cli`` on top.  The paper's speedup claims are
+only auditable if the hot numeric layers stay importable — and testable
+— without dragging in the service or observability stack, so a ``kpm``
+module importing ``repro.serve`` is an architecture bug even when it
+happens to run.
+
+The DAG is declared bottom-up in ``[tool.repro-analysis] layers`` (see
+:mod:`repro.analysis.config`).  A module's layer is the first segment of
+its path relative to the scan root (``kpm/dos.py`` → ``kpm``; a
+top-level ``timing.py`` → ``timing``).  The rule checks every *eager*
+edge of the :class:`~repro.analysis.graph.ProjectGraph`:
+
+* imports must point **strictly downward** in rank;
+* same-rank **siblings** (e.g. ``cpu`` and ``gpu``) may not import each
+  other;
+* layers not listed in the DAG are unconstrained;
+* lazy (function-body) and ``TYPE_CHECKING`` imports are exempt — they
+  do not execute at import time — but they are still recorded in the
+  graph export for review.
+
+Import **cycles** among eager edges are findings regardless of layer
+declarations: a cycle means import order decides behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Finding, ProjectRule
+from repro.analysis.graph import ModuleNode, ProjectGraph
+
+__all__ = ["LayeringRule"]
+
+
+class LayeringRule(ProjectRule):
+    """Enforce the declared layer DAG and reject eager import cycles."""
+
+    id = "RA007"
+    name = "layering"
+    description = (
+        "import crosses the declared layer DAG upward, between same-rank "
+        "siblings, or around a cycle"
+    )
+    explain = (
+        "RA007 checks every eager (module-level, non-TYPE_CHECKING) import "
+        "edge of the resolved project graph against the layer DAG declared "
+        "in [tool.repro-analysis] layers. A module's layer is the first "
+        "path segment under the scan root. Imports must point strictly "
+        "downward in rank; same-rank siblings may not import each other; "
+        "unlisted layers are unconstrained. Lazy (function-body) and "
+        "TYPE_CHECKING imports are exempt. Any eager import cycle is a "
+        "finding on its own: cyclic modules make behavior depend on import "
+        "order. Fix by moving shared code down the stack (as repro.trace "
+        "does for the tracer primitives) or by deferring the import into "
+        "the function that needs it."
+    )
+
+    def check_project(
+        self, project: ProjectGraph, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        by_name = project.modules
+        for edge in project.edges(eager_only=True):
+            source = by_name[edge.source]
+            target = by_name[edge.target]
+            src_layer, tgt_layer = source.layer, target.layer
+            if src_layer == tgt_layer:
+                continue
+            src_rank = config.layer_rank(src_layer)
+            tgt_rank = config.layer_rank(tgt_layer)
+            if src_rank is None or tgt_rank is None:
+                continue
+            if src_rank == tgt_rank:
+                yield _edge_finding(
+                    self.id,
+                    source,
+                    edge.lineno,
+                    edge.col,
+                    f"import of {edge.target}: layers '{src_layer}' and "
+                    f"'{tgt_layer}' are same-rank siblings and may not "
+                    "import each other",
+                )
+            elif src_rank < tgt_rank:
+                yield _edge_finding(
+                    self.id,
+                    source,
+                    edge.lineno,
+                    edge.col,
+                    f"import of {edge.target}: layer '{src_layer}' (rank "
+                    f"{src_rank}) is below layer '{tgt_layer}' (rank "
+                    f"{tgt_rank}) in the declared DAG",
+                )
+
+        for cycle in project.cycles():
+            anchor = by_name[cycle[0]]
+            line, col = _edge_position(anchor, set(cycle[1:]))
+            loop = " -> ".join([*cycle, cycle[0]])
+            yield Finding(
+                path=anchor.rel_path,
+                line=line,
+                col=col,
+                rule=self.id,
+                message=f"eager import cycle: {loop}",
+            )
+
+
+def _edge_finding(
+    rule_id: str, source: ModuleNode, line: int, col: int, message: str
+) -> Finding:
+    return Finding(
+        path=source.rel_path, line=line, col=col, rule=rule_id, message=message
+    )
+
+
+def _edge_position(node: ModuleNode, members: set[str]) -> tuple[int, int]:
+    """Line/col of ``node``'s first eager edge into ``members`` (1,0 fallback)."""
+    for edge in sorted(node.imports, key=lambda e: (e.lineno, e.col)):
+        if edge.target in members and edge.eager:
+            return edge.lineno, edge.col
+    return 1, 0

@@ -1,0 +1,60 @@
+"""RA012 — stale-suppression audit: every ``noqa`` must earn its keep.
+
+A ``# repro: noqa[RA00x]`` is a standing exception to a contract; once
+the code it excuses is refactored away, the leftover comment silently
+disables the rule for whatever lands on that line next.  This audit
+reports every suppression declaration — per-line or file-wide, targeted
+or bare — that silenced no finding in the current run.
+
+Unlike the other rules, RA012 is implemented inside the engine
+(:func:`repro.analysis.core.run_rules`): it has to observe which
+declarations the suppression filter actually consumed across *all*
+rules, including the project-phase ones.  This class is the registry
+entry — it carries the id, description and ``--explain`` text, and
+selecting or ignoring it switches the audit on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    STALE_SUPPRESSION_RULE_ID,
+)
+
+__all__ = ["StaleSuppressionRule"]
+
+
+class StaleSuppressionRule(Rule):
+    """Registry marker for the engine-implemented stale-noqa audit."""
+
+    id = STALE_SUPPRESSION_RULE_ID
+    name = "stale-suppression"
+    description = (
+        "a '# repro: noqa' declaration suppressed no finding this run; "
+        "remove it"
+    )
+    explain = (
+        "RA012 audits the suppression comments themselves. After all "
+        "other rules (both per-module and project phases) have run, any "
+        "'# repro: noqa[RAxxx]' / '# repro: noqa-file[RAxxx]' / bare "
+        "'# repro: noqa' declaration that matched no finding is reported "
+        "as stale: the code it excused is gone, and the comment now only "
+        "masks future violations on that line. The audit runs inside the "
+        "engine because it must observe which declarations the filter "
+        "consumed across every rule; this class is its registry entry. A "
+        "stale entry cannot hide behind itself — only a separate "
+        "noqa[RA012] silences the audit, and that one is counted as used "
+        "by doing so. Fix by deleting the stale comment (or the whole "
+        "line of a bare noqa that no longer suppresses anything)."
+    )
+
+    def check(
+        self, module: SourceModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        """Nothing per-module; the engine emits RA012 findings itself."""
+        return iter(())

@@ -78,6 +78,16 @@ class PublicApiValidationRule(Rule):
         "public function whose parameters never touch a "
         "repro.util.validation helper or repro.errors raise"
     )
+    explain = (
+        "RA005 requires every public top-level function in the "
+        "validated-packages modules to show validation evidence in its "
+        "body: a call to a check_* helper or configured trusted "
+        "validator (as_operator, plan_grid, ...), or a raise from the "
+        "repro error taxonomy. The KPM recursion produces garbage "
+        "spectra, not exceptions, for out-of-contract inputs — the "
+        "public boundary is the only place mistakes are catchable. "
+        "Methods and *args/**kwargs-only functions are out of scope."
+    )
 
     def check(
         self, module: SourceModule, config: AnalysisConfig

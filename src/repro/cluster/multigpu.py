@@ -44,7 +44,7 @@ from repro.gpukpm.estimator import gpu_kpm_breakdown
 from repro.gpukpm.pipeline import CheckpointChunk, GpuKPM
 from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData
-from repro.obs.tracer import current_tracer
+from repro.trace.tracer import current_tracer
 from repro.sparse import CSRMatrix, as_operator
 from repro.timing import TimingReport, WallTimer
 from repro.util.validation import check_positive_int

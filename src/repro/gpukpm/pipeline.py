@@ -33,7 +33,7 @@ from repro.gpukpm.stats import (
 )
 from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData
-from repro.obs.tracer import current_tracer
+from repro.trace.tracer import current_tracer
 from repro.sparse import CSRMatrix, as_operator
 from repro.timing import TimingReport, WallTimer
 from repro.util.validation import check_positive_int
@@ -385,7 +385,9 @@ class GpuKPM:
                     ),
                     shared_bytes_per_block=sub_plan.block_size * 8,
                 )
-            rows = np.empty((count, num_moments), dtype=dtype)
+            # Per-chunk download buffer (final chunk can be narrower),
+            # overwritten by memcpy_dtoh — once per chunk, not per moment.
+            rows = np.empty((count, num_moments), dtype=dtype)  # repro: noqa[RA009]
             with tracer.device_span("gpu.download", device):
                 device.memcpy_dtoh(rows, mu_chunk)
             mu_chunk.free()

@@ -22,7 +22,7 @@ from repro.kpm.reconstruct import (
     evaluate_series_at,
 )
 from repro.kpm.rescale import Rescaling, rescale_operator
-from repro.obs.tracer import current_tracer
+from repro.trace.tracer import current_tracer
 from repro.sparse import as_operator
 from repro.timing import TimingReport
 

@@ -168,7 +168,9 @@ def local_dos_map(
     result = np.empty((site_indices.size, x.size), dtype=np.float64)
     for start in range(0, site_indices.size, batch_size):
         batch = site_indices[start : start + batch_size]
-        block = np.zeros((dim, batch.size), dtype=np.float64)
+        # Per-batch unit-vector slab, not per-recursion churn; the final
+        # batch can be narrower, so the shape is loop-dependent.
+        block = np.zeros((dim, batch.size), dtype=np.float64)  # repro: noqa[RA009]
         block[batch, np.arange(batch.size)] = 1.0
         raw = moments_block(scaled, block, config.num_moments)  # (N, B)
         for k in range(batch.size):

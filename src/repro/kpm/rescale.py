@@ -31,6 +31,7 @@ from repro.util.validation import check_choice, check_in_range, check_positive_i
 __all__ = [
     "SpectralBounds",
     "Rescaling",
+    "EXACT_BOUNDS_MAX_DIM",
     "gerschgorin_bounds",
     "lanczos_bounds",
     "exact_bounds",
@@ -137,9 +138,28 @@ def lanczos_bounds(
     return SpectralBounds(lo - pad * width, hi + pad * width)
 
 
+#: Largest dimension ``exact_bounds`` will densify.  Dense ``eigvalsh``
+#: is O(D^2) memory / O(D^3) time; beyond this the sparse estimators
+#: (``gerschgorin``, ``lanczos``) are strictly better and the guard
+#: keeps a stray ``bounds="exact"`` from materializing a lattice-sized
+#: matrix on the hot path.
+EXACT_BOUNDS_MAX_DIM = 4096
+
+
 def exact_bounds(operator) -> SpectralBounds:
-    """Exact extremal eigenvalues via dense diagonalization (small D only)."""
+    """Exact extremal eigenvalues via dense diagonalization (small D only).
+
+    Raises :class:`~repro.errors.ValidationError` for operators larger
+    than :data:`EXACT_BOUNDS_MAX_DIM` — use ``gerschgorin_bounds`` or
+    ``lanczos_bounds`` there instead.
+    """
     op = as_operator(operator)
+    if op.shape[0] > EXACT_BOUNDS_MAX_DIM:
+        raise ValidationError(
+            f"exact_bounds is dense O(D^3); got D={op.shape[0]} > "
+            f"{EXACT_BOUNDS_MAX_DIM} — use bounds='gerschgorin' or "
+            "'lanczos' for large operators"
+        )
     dense = op.to_dense()
     # LAPACK's symmetric-eigensolver reduction loses accuracy when an
     # entry's square underflows (a coupling ~1e-161 next to O(1) entries
@@ -151,7 +171,7 @@ def exact_bounds(operator) -> SpectralBounds:
     magnitude = np.abs(dense).max()
     if magnitude > 0.0:
         dense = np.where(np.abs(dense) >= magnitude * 1e-30, dense, 0.0)
-    eigenvalues = np.linalg.eigvalsh(dense)
+    eigenvalues = np.linalg.eigvalsh(dense)  # repro: noqa[RA009] — size-gated above
     return SpectralBounds(float(eigenvalues[0]), float(eigenvalues[-1]))
 
 

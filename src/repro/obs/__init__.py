@@ -23,6 +23,13 @@ unifies all three behind one schema:
   metric costs against a committed baseline (``BENCH_PR4.json``),
   tolerance-banded per label.
 
+The tracing primitives (:class:`Span`, :class:`Tracer`,
+:func:`current_tracer`) are defined in :mod:`repro.trace`, at the bottom
+of the layer stack, so the instrumented layers (``kpm``, ``gpukpm``,
+``cluster``, ``serve``) never import this package; they are re-exported
+here as the stable public surface.  Rule RA007 of :mod:`repro.analysis`
+enforces that layering.
+
 CLI: ``python -m repro obs record|compare`` (see docs/OBSERVABILITY.md).
 """
 
@@ -35,8 +42,7 @@ from repro.obs.record import (
     load_run_record,
     write_run_record,
 )
-from repro.obs.span import Span
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, current_tracer
+from repro.trace import NULL_TRACER, NullTracer, Span, Tracer, current_tracer
 
 __all__ = [
     "Span",

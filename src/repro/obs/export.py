@@ -18,7 +18,7 @@ import json
 from repro.errors import ValidationError
 from repro.gpu.profiler import chrome_trace_event
 from repro.obs.record import RunRecord
-from repro.obs.span import Span
+from repro.trace.span import Span
 from repro.util.format import format_seconds
 
 __all__ = ["to_chrome_trace", "to_jsonl", "render_tree"]

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.span import Span
+from repro.trace.span import Span
 
 __all__ = ["RunRecord", "SCHEMA_VERSION", "load_run_record", "write_run_record"]
 
@@ -37,7 +37,7 @@ class RunRecord:
         Deterministic scalar description of what ran (sizes, seeds,
         engines) so a baseline is self-describing.
     spans:
-        Root spans from a :class:`~repro.obs.tracer.Tracer`.
+        Root spans from a :class:`~repro.trace.tracer.Tracer`.
     metrics:
         The run's :class:`~repro.obs.metrics.MetricsRegistry`.
     """

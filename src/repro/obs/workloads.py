@@ -3,7 +3,7 @@
 :func:`smoke_run` drives a small-N version of each subsystem — the
 single-GPU pipeline (via :func:`repro.kpm.compute_dos`), the multi-GPU
 cluster driver, and the batching/caching spectral service — under one
-:class:`~repro.obs.tracer.Tracer`, absorbs every
+:class:`~repro.trace.tracer.Tracer`, absorbs every
 :class:`~repro.timing.TimingReport` / ``ServiceMetrics`` into one
 :class:`~repro.obs.metrics.MetricsRegistry`, and returns the combined
 :class:`~repro.obs.record.RunRecord`.  Everything is seeded and modeled,
@@ -11,8 +11,8 @@ so two calls produce byte-identical records; ``BENCH_PR4.json`` embeds
 this workload (plus the Fig 5-8 gauges) as the regression baseline.
 
 This module lives outside ``repro.obs.__init__`` imports on purpose: it
-pulls in the cluster and serve layers, which themselves import
-``repro.obs.tracer`` — importing it lazily avoids the cycle.
+pulls in the cluster and serve layers, keeping ``repro.obs`` itself
+import-light and the package boundary acyclic.
 """
 
 from __future__ import annotations
@@ -23,7 +23,7 @@ from repro.kpm.dos import compute_dos
 from repro.lattice import paper_cubic_hamiltonian
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.record import RunRecord
-from repro.obs.tracer import Tracer
+from repro.trace.tracer import Tracer
 from repro.serve.service import SpectralService
 from repro.serve.trace import synthetic_trace
 
@@ -69,7 +69,7 @@ def smoke_run(
     registry = MetricsRegistry() if registry is None else registry
     tracer = Tracer() if tracer is None else tracer
 
-    from repro.cluster.multigpu import MultiGpuKPM  # deferred: cluster imports obs
+    from repro.cluster.multigpu import MultiGpuKPM  # deferred: keep repro.obs import-light
     from repro.kpm.rescale import rescale_operator
 
     hamiltonian = paper_cubic_hamiltonian(SMOKE_WORKLOAD["lattice_side"], format="csr")

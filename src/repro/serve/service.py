@@ -27,7 +27,7 @@ from repro.kpm.green import greens_function
 from repro.kpm.moments import moments_single_vector
 from repro.kpm.reconstruct import dos_from_moments
 from repro.kpm.rescale import rescale_operator
-from repro.obs.tracer import current_tracer
+from repro.trace.tracer import current_tracer
 from repro.serve.cache import CacheEntry, MomentCache
 from repro.serve.health import EnginePool
 from repro.serve.metrics import ServiceMetrics

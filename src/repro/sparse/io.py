@@ -27,7 +27,9 @@ _HEADER_ARRAY = "%%MatrixMarket matrix array real general\n"
 
 def _open_for(path_or_file, mode: str):
     if isinstance(path_or_file, (str, os.PathLike)):
-        return open(path_or_file, mode, encoding="ascii"), True
+        # Deliberate handle-returning factory: the (handle, owned) pair
+        # tells the caller to close, and both callers do so in finally.
+        return open(path_or_file, mode, encoding="ascii"), True  # repro: noqa[RA011]
     return path_or_file, False
 
 

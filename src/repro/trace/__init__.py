@@ -1,0 +1,26 @@
+"""Ambient modeled-clock tracing primitives (the bottom of the stack).
+
+:class:`Span`, :class:`Tracer`, and the :func:`current_tracer` ambient
+lookup live *below* every execution layer so that ``kpm``, ``gpukpm``,
+``cluster``, and ``serve`` can instrument their hot paths without
+importing the observability layer (:mod:`repro.obs`) — which sits at the
+top of the stack and depends on them.  ``repro.obs`` re-exports these
+names, so user code keeps importing them from there.
+
+The layering contract (``kpm`` and friends never import ``obs``) is
+machine-checked by rule RA007 of :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from repro.trace.span import SCALAR_TYPES, Span
+from repro.trace.tracer import NULL_TRACER, NullTracer, Tracer, current_tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SCALAR_TYPES",
+    "Span",
+    "Tracer",
+    "current_tracer",
+]

@@ -1,4 +1,4 @@
-"""Tracers: the ambient recorder of :class:`~repro.obs.span.Span` trees.
+"""Tracers: the ambient recorder of :class:`~repro.trace.span.Span` trees.
 
 Two implementations share one interface:
 
@@ -25,7 +25,7 @@ import math
 from typing import Iterator
 
 from repro.errors import ValidationError
-from repro.obs.span import Span
+from repro.trace.span import Span
 
 __all__ = ["NullTracer", "Tracer", "NULL_TRACER", "current_tracer"]
 
@@ -215,7 +215,7 @@ def _profiler_event_record(event, *, start: float) -> dict:
 NULL_TRACER = NullTracer()
 
 _CURRENT: contextvars.ContextVar = contextvars.ContextVar(
-    "repro_obs_tracer", default=NULL_TRACER
+    "repro_trace_tracer", default=NULL_TRACER
 )
 
 

@@ -1,0 +1,1 @@
+"""Layer fixture: a 'cpu'-layer package for the RA007 sibling test."""

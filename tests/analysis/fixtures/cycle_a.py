@@ -1,0 +1,5 @@
+"""RA007 cycle fixture, half one: imports cycle_b (one cycle finding)."""
+
+import cycle_b
+
+__all__ = []

@@ -1,0 +1,5 @@
+"""RA007 cycle fixture, half two: imports cycle_a back."""
+
+import cycle_a
+
+__all__ = []

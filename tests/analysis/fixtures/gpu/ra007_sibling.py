@@ -1,0 +1,5 @@
+"""RA007 fixture: same-rank sibling import, gpu -> cpu (one finding)."""
+
+import cpu
+
+__all__ = []

@@ -1,0 +1,22 @@
+"""RA007 fixture: an upward import from the kpm layer (one finding).
+
+The eager ``import serve`` below crosses the declared layer DAG upward
+(kpm rank < serve rank).  The lazy and TYPE_CHECKING imports of the same
+target are exempt and must stay silent.
+"""
+
+from typing import TYPE_CHECKING
+
+import serve
+
+if TYPE_CHECKING:
+    import serve as _serve_types
+
+__all__ = ["deferred"]
+
+
+def deferred():
+    """A function-body import is lazy: recorded, never a finding."""
+    import serve as serve_lazy
+
+    return serve_lazy

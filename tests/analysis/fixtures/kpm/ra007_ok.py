@@ -1,0 +1,5 @@
+"""RA007 suppression fixture: the upward import is noqa'd (zero findings)."""
+
+import serve  # repro: noqa[RA007]
+
+__all__ = []

@@ -1,0 +1,31 @@
+"""RA009 fixture: dense materialization + loop-body allocation (four findings).
+
+``np.eye``, ``np.linalg.eigvalsh`` and ``.todense()`` are dense
+materializations; the ``np.zeros`` inside the loop *body* is
+per-iteration churn.  The allocation in the loop's *iterator* expression
+runs once and must stay silent, as must the suppressed allocation.
+"""
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["densify", "accumulate"]
+
+
+def densify(operator, dim):
+    dim = check_positive_int(dim, "dim")
+    identity = np.eye(dim, dtype=np.float64)
+    spectrum = np.linalg.eigvalsh(identity)
+    dense = operator.todense()
+    return identity, spectrum, dense
+
+
+def accumulate(dim):
+    dim = check_positive_int(dim, "dim")
+    total = np.zeros(dim, dtype=np.float64)
+    for _ in np.zeros(3, dtype=np.float64):
+        churn = np.zeros(dim, dtype=np.float64)
+        quiet = np.zeros(dim, dtype=np.float64)  # repro: noqa[RA009]
+        total += churn + quiet
+    return total

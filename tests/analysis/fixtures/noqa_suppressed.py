@@ -10,4 +10,4 @@ def draw():
 
 
 def shout():
-    raise RuntimeError("boom")  # repro: noqa[RA002, RA001]
+    raise RuntimeError("boom")  # repro: noqa[RA002]

@@ -1,0 +1,21 @@
+"""RA008 fixture: host wall-clock and entropy reads (five findings).
+
+One flagged from-import plus four flagged calls; the suppressed call at
+the end must stay silent.
+"""
+
+import os
+import time
+from datetime import datetime
+from time import perf_counter
+
+__all__ = ["stamp"]
+
+
+def stamp():
+    started = time.time()
+    tick = time.monotonic()
+    entropy = os.urandom(4)
+    when = datetime.now()
+    allowed = time.time()  # repro: noqa[RA008]
+    return started, tick, entropy, when, allowed, perf_counter

@@ -1,0 +1,39 @@
+"""RA010 fixture: deprecated ``GpuKPM.run`` call sites (two findings).
+
+A direct constructor chain and a same-scope local both resolve
+statically; the migrated call and the unknown-receiver call must stay
+silent, as must the suppressed shim exercise.
+"""
+
+__all__ = ["GpuKPM", "direct", "via_local", "migrated", "unknown", "pinned"]
+
+
+class GpuKPM:
+    def run(self, operator, config):
+        return self.compute_moments(operator, config)
+
+    def compute_moments(self, operator, config):
+        return operator, config
+
+
+def direct(operator, config):
+    return GpuKPM().run(operator, config)
+
+
+def via_local(operator, config):
+    engine = GpuKPM()
+    return engine.run(operator, config)
+
+
+def migrated(operator, config):
+    return GpuKPM().compute_moments(operator, config)
+
+
+def unknown(engine, operator, config):
+    # ``engine`` is a parameter of unknown type: dataflow-lite cannot
+    # prove the class, so the runtime DeprecationWarning is the backstop.
+    return engine.run(operator, config)
+
+
+def pinned(operator, config):
+    return GpuKPM().run(operator, config)  # repro: noqa[RA010]

@@ -1,0 +1,34 @@
+"""RA011 fixture: leaked resources and an unbalanced ContextVar (four findings).
+
+``leaky`` shows all four shapes; ``balanced`` is the hygienic mirror
+(with-blocks, token reset) and must stay silent, as must the suppressed
+factory return.
+"""
+
+import contextvars
+import tempfile
+
+__all__ = ["STATE", "leaky", "balanced", "factory"]
+
+STATE = contextvars.ContextVar("ra011_state")
+
+
+def leaky(path, tracer):
+    handle = open(path)
+    scratch = tempfile.NamedTemporaryFile()
+    tracer.span("never-entered")
+    STATE.set(1)
+    return handle, scratch
+
+
+def balanced(path, tracer):
+    token = STATE.set(2)
+    try:
+        with open(path) as handle, tracer.span("entered"):
+            return handle.read()
+    finally:
+        STATE.reset(token)
+
+
+def factory(path):
+    return open(path)  # repro: noqa[RA011]

@@ -1,0 +1,17 @@
+"""RA012 fixture: stale suppressions (three findings under the full pack).
+
+The file-wide RA004 noqa, the bare noqa on a clean line, and the RA003
+token of the comma list all suppress nothing; the RA001 tokens are
+consumed by real findings and must stay silent.
+"""
+# repro: noqa-file[RA004]
+
+import random  # repro: noqa[RA001]
+import random as rng2  # repro: noqa[RA001, RA003]
+
+__all__ = ["quiet"]
+
+
+def quiet():
+    value = 1  # repro: noqa
+    return value, random, rng2

@@ -1,0 +1,1 @@
+"""Layer fixture: a 'serve'-layer package for the RA007 tests."""

@@ -1,0 +1,13 @@
+"""RA008 negative fixture: this module IS the wall-clock bridge.
+
+``timing.py`` matches the default ``wall-clock-allowed`` list, so the
+host-clock reads below are legal (zero findings).
+"""
+
+import time
+
+__all__ = ["host_seconds"]
+
+
+def host_seconds():
+    return time.perf_counter() - time.monotonic()

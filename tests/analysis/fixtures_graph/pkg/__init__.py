@@ -1,0 +1,1 @@
+"""Golden-test package: a tiny project with every import flavour."""

@@ -1,0 +1,5 @@
+"""Leaf module: imports nothing from the project."""
+
+__all__ = ["ANSWER"]
+
+ANSWER = 42

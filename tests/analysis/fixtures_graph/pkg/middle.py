@@ -1,0 +1,15 @@
+"""Middle module: eager absolute, eager relative, and TYPE_CHECKING imports."""
+
+from typing import TYPE_CHECKING
+
+import pkg.base
+from . import base
+
+if TYPE_CHECKING:
+    from pkg import top
+
+__all__ = ["double"]
+
+
+def double():
+    return pkg.base.ANSWER + base.ANSWER

@@ -1,0 +1,11 @@
+"""Top module: one eager and one lazy (function-body) project import."""
+
+from pkg.middle import double
+
+__all__ = ["combine"]
+
+
+def combine():
+    from pkg import base
+
+    return double() + base.ANSWER

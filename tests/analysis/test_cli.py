@@ -94,15 +94,61 @@ class TestSelectIgnore:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for rule_id in ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006"):
-            assert rule_id in out
+        for index in range(1, 13):
+            assert f"RA{index:03d}" in out
+
+
+class TestExplain:
+    def test_known_rule_exits_clean_with_prose(self, capsys):
+        assert main(["--explain", "RA007"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert out.startswith("RA007 ")
+        assert "layer" in out
+
+    def test_lowercase_rule_id_accepted(self, capsys):
+        assert main(["--explain", "ra008"]) == EXIT_CLEAN
+        assert "RA008" in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--explain", "RA999"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "RA999" in err
+        assert "RA001" in err  # the error lists the known rule ids
+
+    def test_explain_needs_no_paths(self, capsys):
+        # --explain is a documentation query: no scan root required.
+        assert main(["--explain", "RA012"]) == EXIT_CLEAN
+
+
+class TestGraphOut:
+    def test_dot_export(self, project, capsys):
+        assert main([str(project), "--graph-out", "dot"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert out.startswith("digraph project {")
+        assert '"mod"' in out
+
+    def test_json_export(self, project, capsys):
+        assert main([str(project), "--graph-out", "json"]) == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert [m["name"] for m in payload["modules"]] == ["mod"]
+
+    def test_graph_out_skips_rule_findings(self, project, capsys):
+        # The project fixture has an RA002 finding, but a graph export is
+        # a query, not a scan: it must still exit 0.
+        assert main([str(project), "--graph-out", "dot"]) == EXIT_CLEAN
+
+    def test_bad_graph_format_is_argparse_usage_error(self, project):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(project), "--graph-out", "svg"])
+        assert excinfo.value.code == EXIT_USAGE
 
 
 class TestJsonFormat:
     def test_schema_round_trip(self, project, capsys):
         assert main([str(project), "--format", "json"]) == EXIT_FINDINGS
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_checked"] == 1
         assert payload["baselined"] == []
         assert payload["stale_baseline"] == []

@@ -96,3 +96,79 @@ class TestLoadConfig:
         self.write_pyproject(tmp_path, "[tool.repro-analysis\n")
         with pytest.raises(ValidationError, match="cannot parse"):
             load_config(tmp_path)
+
+
+class TestLayerDag:
+    def test_default_dag_ranks(self):
+        config = AnalysisConfig()
+        assert config.layer_rank("errors") == 0
+        assert config.layer_rank("kpm") == 6
+        assert config.layer_rank("serve") == 10
+        # cpu and gpu are same-rank siblings.
+        assert config.layer_rank("cpu") == config.layer_rank("gpu")
+        assert config.layer_rank("not-a-layer") is None
+
+    def test_layers_key_parses_strings_and_sibling_lists(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-analysis]\n"
+            'layers = ["base", ["left", "right"], "top"]\n',
+            encoding="utf-8",
+        )
+        config = load_config(tmp_path)
+        assert config.layers == (("base",), ("left", "right"), ("top",))
+        assert config.layer_rank("left") == config.layer_rank("right") == 1
+
+    def test_duplicate_layer_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-analysis]\nlayers = ["base", ["base", "top"]]\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ValidationError, match="twice"):
+            load_config(tmp_path)
+
+    def test_non_list_layers_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-analysis]\nlayers = "base"\n', encoding="utf-8"
+        )
+        with pytest.raises(ValidationError, match="layers"):
+            load_config(tmp_path)
+
+
+class TestSeverityAndTables:
+    def test_severity_defaults_to_error(self):
+        assert AnalysisConfig().severity_for("RA001") == "error"
+
+    def test_severity_table_overrides_one_rule(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-analysis.severity]\nRA009 = \"warning\"\n",
+            encoding="utf-8",
+        )
+        config = load_config(tmp_path)
+        assert config.severity_for("RA009") == "warning"
+        assert config.severity_for("RA001") == "error"
+
+    def test_bad_severity_level_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-analysis.severity]\nRA009 = \"info\"\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValidationError, match="severity"):
+            load_config(tmp_path)
+
+    def test_deprecations_table(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-analysis.deprecations]\n"
+            '"Old.run" = "call Old.go() instead"\n',
+            encoding="utf-8",
+        )
+        config = load_config(tmp_path)
+        assert config.deprecations == (("Old.run", "call Old.go() instead"),)
+
+    def test_default_deprecations_cover_the_gpu_engines(self):
+        classes = {entry[0] for entry in AnalysisConfig().deprecations}
+        assert classes == {"GpuKPM.run", "MultiGpuKPM.run"}
+
+    def test_wall_clock_and_loop_allocator_defaults(self):
+        config = AnalysisConfig()
+        assert config.wall_clock_allowed == ("timing.py",)
+        assert "zeros" in config.loop_allocators

@@ -76,6 +76,23 @@ class TestSuppressions:
         supp = Suppressions.parse("x = 1  # repro: noqa[RA003] -- complex allowed\n")
         assert supp.is_suppressed("RA003", 1)
 
+    def test_consume_marks_entries_used(self):
+        supp = Suppressions.parse("x = 1  # repro: noqa[RA001]\ny = 2  # repro: noqa[RA002]\n")
+        supp.consume("RA001", 1)
+        stale = supp.stale_entries()
+        assert [(e.line, e.rule) for e in stale] == [(2, "RA002")]
+
+    def test_unconsumed_entries_are_stale(self):
+        supp = Suppressions.parse("x = 1  # repro: noqa[RA001]\n")
+        assert [(e.line, e.rule) for e in supp.stale_entries()] == [(1, "RA001")]
+
+    def test_file_wide_entry_tracked(self):
+        supp = Suppressions.parse('"""doc."""\n# repro: noqa-file[RA005]\n')
+        (entry,) = supp.stale_entries()
+        assert entry.file_wide
+        supp.consume("RA005", 40)
+        assert supp.stale_entries() == []
+
 
 class TestCollectFiles:
     def test_walks_fixture_tree_sorted(self):

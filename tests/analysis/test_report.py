@@ -81,12 +81,26 @@ class TestRendering:
     def test_json_schema(self):
         report = Report(findings=[finding()], files_checked=2)
         payload = json.loads(render_json(report))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_checked"] == 2
         assert payload["baselined"] == []
         assert payload["stale_baseline"] == []
         assert [Finding.from_json(item) for item in payload["findings"]] == [finding()]
+        assert payload["findings"][0]["severity"] == "error"
 
     def test_failed_ignores_baselined_and_stale(self):
         assert not Report(findings=[], baselined=[finding()], stale_baseline=["x"]).failed
         assert Report(findings=[finding()]).failed
+
+    def test_warning_severity_does_not_fail_the_run(self):
+        import dataclasses
+
+        warning = dataclasses.replace(finding(), severity="warning")
+        assert not Report(findings=[warning]).failed
+        assert Report(findings=[warning, finding(line=2)]).failed
+
+    def test_severity_is_not_part_of_the_fingerprint(self):
+        import dataclasses
+
+        warning = dataclasses.replace(finding(), severity="warning")
+        assert warning.fingerprint() == finding().fingerprint()

@@ -123,6 +123,145 @@ class TestRA006ExportConsistency:
         assert any("'orphan' is missing from __all__" in m for m in messages)
 
 
+class TestRA007Layering:
+    def test_exact_findings(self):
+        report = scan(["RA007"])
+        assert locations(report.findings) == [
+            ("cycle_a.py", 3, "RA007"),
+            ("gpu/ra007_sibling.py", 3, "RA007"),
+            ("kpm/ra007_bad.py", 10, "RA007"),
+        ]
+
+    def test_messages_cover_all_three_shapes(self):
+        messages = [f.message for f in scan(["RA007"]).findings]
+        assert any("eager import cycle: cycle_a -> cycle_b -> cycle_a" in m for m in messages)
+        assert any("same-rank siblings" in m for m in messages)
+        assert any("layer 'kpm' (rank 6) is below layer 'serve' (rank 10)" in m for m in messages)
+
+    def test_lazy_and_type_checking_imports_are_exempt(self):
+        # kpm/ra007_bad.py also imports serve lazily (function body) and
+        # under TYPE_CHECKING; only the eager module-level import fires.
+        paths = [loc for loc in locations(scan(["RA007"]).findings) if loc[0] == "kpm/ra007_bad.py"]
+        assert paths == [("kpm/ra007_bad.py", 10, "RA007")]
+
+    def test_noqa_silences_the_upward_import(self):
+        paths = {f.path for f in scan(["RA007"]).findings}
+        assert "kpm/ra007_ok.py" not in paths
+
+
+class TestRA008ModeledClock:
+    def test_exact_findings(self):
+        report = scan(["RA008"])
+        assert locations(report.findings) == [
+            ("ra008_bad.py", 10, "RA008"),
+            ("ra008_bad.py", 16, "RA008"),
+            ("ra008_bad.py", 17, "RA008"),
+            ("ra008_bad.py", 18, "RA008"),
+            ("ra008_bad.py", 19, "RA008"),
+        ]
+
+    def test_messages_name_the_clock_source(self):
+        messages = [f.message for f in scan(["RA008"]).findings]
+        assert any("time.perf_counter" in m for m in messages)
+        assert any("os.urandom" in m for m in messages)
+        assert any("datetime.now" in m for m in messages)
+
+    def test_wall_clock_allowed_module_is_exempt(self):
+        paths = {f.path for f in scan(["RA008"]).findings}
+        assert "timing.py" not in paths
+
+
+class TestRA009HotPathPerf:
+    def test_exact_findings(self):
+        report = scan(["RA009"])
+        assert locations(report.findings) == [
+            ("kpm/ra009_bad.py", 18, "RA009"),
+            ("kpm/ra009_bad.py", 19, "RA009"),
+            ("kpm/ra009_bad.py", 20, "RA009"),
+            ("kpm/ra009_bad.py", 28, "RA009"),
+        ]
+
+    def test_iterator_expression_allocation_is_exempt(self):
+        # The np.zeros in the for-loop's *iterator* runs once, not per
+        # iteration; only the loop-body allocation at line 28 fires.
+        lines = [f.line for f in scan(["RA009"]).findings if "allocat" in f.message]
+        assert lines == [28]
+
+    def test_only_fires_in_hot_path_modules(self):
+        paths = {f.path for f in scan(["RA009"]).findings}
+        assert paths == {"kpm/ra009_bad.py"}
+
+
+class TestRA010DeprecatedApi:
+    def test_exact_findings(self):
+        report = scan(["RA010"])
+        assert locations(report.findings) == [
+            ("ra010_bad.py", 20, "RA010"),
+            ("ra010_bad.py", 25, "RA010"),
+        ]
+
+    def test_messages_carry_the_migration_advice(self):
+        messages = [f.message for f in scan(["RA010"]).findings]
+        assert all("GpuKPM.run" in m for m in messages)
+        assert all("compute_moments" in m for m in messages)
+
+    def test_unknown_receiver_stays_silent(self):
+        # ``engine.run(...)`` where ``engine`` is a parameter cannot be
+        # resolved statically — the runtime DeprecationWarning covers it.
+        lines = {f.line for f in scan(["RA010"]).findings}
+        assert 35 not in lines
+
+
+class TestRA011ResourceHygiene:
+    def test_exact_findings(self):
+        report = scan(["RA011"])
+        assert locations(report.findings) == [
+            ("ra011_bad.py", 17, "RA011"),
+            ("ra011_bad.py", 18, "RA011"),
+            ("ra011_bad.py", 19, "RA011"),
+            ("ra011_bad.py", 20, "RA011"),
+        ]
+
+    def test_messages_cover_all_four_shapes(self):
+        messages = [f.message for f in scan(["RA011"]).findings]
+        assert any("open(" in m for m in messages)
+        assert any("NamedTemporaryFile" in m for m in messages)
+        assert any("span" in m for m in messages)
+        assert any("without a matching STATE.reset()" in m for m in messages)
+
+    def test_with_blocks_and_reset_stay_silent(self):
+        lines = {f.line for f in scan(["RA011"]).findings}
+        # balanced() spans lines 24-30: everything entered via with or reset.
+        assert all(line < 24 for line in lines)
+
+
+class TestRA012StaleSuppressions:
+    # RA012 only makes sense under the full pack: a narrower selection
+    # leaves every other rule's noqa unconsumed and therefore "stale".
+    def findings(self):
+        return [f for f in scan().findings if f.rule == "RA012"]
+
+    def test_exact_findings(self):
+        assert [(f.path, f.line) for f in self.findings()] == [
+            ("ra012_bad.py", 7),
+            ("ra012_bad.py", 10),
+            ("ra012_bad.py", 16),
+        ]
+
+    def test_messages_distinguish_the_three_shapes(self):
+        messages = [f.message for f in self.findings()]
+        assert any("file-wide noqa for RA004 suppresses nothing" in m for m in messages)
+        assert any("noqa for RA003 suppresses nothing" in m for m in messages)
+        assert any("noqa for every rule suppresses nothing" in m for m in messages)
+
+    def test_consumed_tokens_stay_silent(self):
+        # The RA001 tokens on lines 9-10 shield real findings and are
+        # consumed — only the RA003 token of line 10 is reported.
+        line_10 = [f for f in self.findings() if f.line == 10]
+        assert len(line_10) == 1
+        assert "RA003" in line_10[0].message
+
+
 class TestFullSweep:
     def test_rule_totals(self):
         report = scan()
@@ -136,6 +275,12 @@ class TestFullSweep:
             "RA004": 3,
             "RA005": 1,
             "RA006": 3,
+            "RA007": 3,
+            "RA008": 5,
+            "RA009": 4,
+            "RA010": 2,
+            "RA011": 4,
+            "RA012": 3,
         }
 
     def test_clean_and_suppressed_files_stay_silent(self):
@@ -144,9 +289,31 @@ class TestFullSweep:
         assert "noqa_suppressed.py" not in paths
 
     def test_ignore_drops_rules(self):
-        config = AnalysisConfig(ignore=("RA001", "RA002", "RA004", "RA006"))
+        config = AnalysisConfig(
+            ignore=(
+                "RA001",
+                "RA002",
+                "RA004",
+                "RA006",
+                "RA007",
+                "RA008",
+                "RA010",
+                "RA011",
+                "RA012",
+            )
+        )
         report = run_analysis([FIXTURES], config)
-        assert {f.rule for f in report.findings} == {"RA003", "RA005"}
+        assert {f.rule for f in report.findings} == {"RA003", "RA005", "RA009"}
+
+    def test_severity_downgrade_keeps_finding_but_not_failure(self):
+        config = AnalysisConfig(
+            select=("RA009",),
+            severity=(("RA009", "warning"),),
+        )
+        report = run_analysis([FIXTURES], config)
+        assert len(report.findings) == 4
+        assert all(f.severity == "warning" for f in report.findings)
+        assert not report.failed
 
     def test_unknown_rule_id_rejected(self):
         from repro.errors import ValidationError

@@ -1,0 +1,68 @@
+"""Acceptance tests: seeded violations in a copy of the real tree must fail.
+
+The issue pins two scenarios end-to-end through the CLI: an upward
+``import repro.serve`` inside ``kpm/`` (RA007) and a host-clock read in
+``gpukpm/pipeline.py`` (RA008).  The tree is copied to a directory named
+``repro`` so module names resolve exactly as in the real package; the
+copy has no ``pyproject.toml`` above it, so the built-in defaults (which
+encode the same layer DAG) apply.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    # The destination directory MUST be named ``repro``: the module-name
+    # resolver prefixes the scan root's directory name, so ``repro.serve``
+    # only resolves against a root called ``repro``.
+    dest = tmp_path / "repro"
+    shutil.copytree(SRC, dest, ignore=shutil.ignore_patterns("__pycache__"))
+    return dest
+
+
+def run(tree, capsys):
+    code = main([str(tree)])
+    return code, capsys.readouterr().out
+
+
+def test_pristine_copy_is_clean(tree, capsys):
+    code, _ = run(tree, capsys)
+    assert code == EXIT_CLEAN
+
+
+def test_layering_violation_in_kpm_fails(tree, capsys):
+    target = tree / "kpm" / "dos.py"
+    lines = target.read_text(encoding="utf-8").count("\n")
+    target.write_text(
+        target.read_text(encoding="utf-8") + "\nimport repro.serve\n",
+        encoding="utf-8",
+    )
+    code, out = run(tree, capsys)
+    assert code == EXIT_FINDINGS
+    assert f"kpm/dos.py:{lines + 2}" in out
+    assert "RA007" in out
+    assert "layer 'kpm' (rank 6) is below layer 'serve' (rank 10)" in out
+
+
+def test_wall_clock_in_gpukpm_pipeline_fails(tree, capsys):
+    target = tree / "gpukpm" / "pipeline.py"
+    lines = target.read_text(encoding="utf-8").count("\n")
+    target.write_text(
+        target.read_text(encoding="utf-8")
+        + "\nimport time\n_SEEDED_T0 = time.perf_counter()\n",
+        encoding="utf-8",
+    )
+    code, out = run(tree, capsys)
+    assert code == EXIT_FINDINGS
+    assert f"gpukpm/pipeline.py:{lines + 3}" in out
+    assert "RA008" in out
+    assert "time.perf_counter" in out
