@@ -39,7 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(RA004), API validation (RA005), export consistency (RA006), "
             "layering over the project import graph (RA007), modeled-clock "
             "purity (RA008), hot-path perf lint (RA009), deprecated APIs "
-            "(RA010), resource hygiene (RA011), stale suppressions (RA012)."
+            "(RA010), resource hygiene (RA011), stale suppressions (RA012), "
+            "device-array lifetime (RA013), kernel write-set hygiene "
+            "(RA014), sanitizer-suppression audit (RA015)."
         ),
     )
     parser.add_argument(

@@ -69,7 +69,7 @@ DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
     ("errors",),
     ("util",),
     ("timing",),
-    ("trace",),
+    ("trace", "sanitize"),
     ("sparse",),
     ("lattice", "ed"),
     ("kpm",),

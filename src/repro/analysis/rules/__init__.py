@@ -1,4 +1,4 @@
-"""The RA001–RA012 rule pack.
+"""The RA001–RA015 rule pack.
 
 :data:`ALL_RULES` is the ordered registry the CLI and tests consume;
 :func:`resolve_rules` applies ``--select`` / ``--ignore`` style
@@ -7,7 +7,8 @@ filtering with validation of the requested ids.
 RA001–RA006 are per-module rules; RA007 is a project rule running over
 the resolved import graph (phase two of the engine); RA008–RA011 are
 per-module dataflow rules; RA012 is the engine-implemented
-stale-suppression audit.
+stale-suppression audit; RA013–RA015 are the device-lifetime pack that
+complements the runtime sanitizer (:mod:`repro.sanitize`).
 """
 
 from __future__ import annotations
@@ -24,9 +25,12 @@ from repro.analysis.rules.exports import ExportConsistencyRule
 from repro.analysis.rules.hotpath import HotPathPerfRule
 from repro.analysis.rules.launch import LaunchContractRule
 from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.lifetime import DeviceArrayLifetimeRule
 from repro.analysis.rules.resources import ResourceHygieneRule
+from repro.analysis.rules.suppress_audit import SanitizerSuppressionRule
 from repro.analysis.rules.suppressions import StaleSuppressionRule
 from repro.analysis.rules.validation import PublicApiValidationRule
+from repro.analysis.rules.writeset import KernelWriteSetRule
 from repro.errors import ValidationError
 
 __all__ = [
@@ -44,6 +48,9 @@ __all__ = [
     "DeprecatedApiRule",
     "ResourceHygieneRule",
     "StaleSuppressionRule",
+    "DeviceArrayLifetimeRule",
+    "KernelWriteSetRule",
+    "SanitizerSuppressionRule",
 ]
 
 #: Every shipped rule, in id order.
@@ -60,6 +67,9 @@ ALL_RULES: tuple[Rule, ...] = (
     DeprecatedApiRule(),
     ResourceHygieneRule(),
     StaleSuppressionRule(),
+    DeviceArrayLifetimeRule(),
+    KernelWriteSetRule(),
+    SanitizerSuppressionRule(),
 )
 
 

@@ -12,6 +12,9 @@ Python:
   :mod:`repro.serve` service layer and report batching/caching wins.
 * ``obs``    — record a traced run / gate modeled-cost regressions
   against the committed baseline (see docs/OBSERVABILITY.md).
+* ``sanitize`` — run the pinned workloads under the device memory/race
+  sanitizer and compare against ``sanitize-baseline.json`` (see
+  docs/SANITIZER.md).
 
 ``dos``, ``cluster``, and ``serve-sim`` accept ``--trace-out FILE`` to
 record the run's deterministic span tree as a
@@ -278,6 +281,42 @@ def _cmd_serve_sim(args) -> int:
     return 0
 
 
+def _cmd_sanitize(args) -> int:
+    from repro.obs.sanitize_run import SANITIZE_WORKLOAD_NAMES, sanitized_run
+    from repro.sanitize import load_sanitizer_report, write_sanitizer_report
+
+    names = (
+        SANITIZE_WORKLOAD_NAMES if args.workload == "all" else (args.workload,)
+    )
+    report = sanitized_run(
+        workloads=tuple(names), suppress=tuple(args.suppress)
+    )
+    counts = report.counts_by_code()
+    rows = [(code, counts[code]) for code in sorted(counts)]
+    rows += sorted(report.stats.items())
+    print(
+        f"sanitized workloads: {', '.join(names)} -> "
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed"
+    )
+    print(ascii_table(("check", "count"), rows))
+    for finding in report.findings:
+        print(finding.render())
+    if args.out:
+        write_sanitizer_report(report, args.out)
+        print(f"wrote sanitizer report to {args.out}", file=sys.stderr)
+    if args.check_baseline:
+        baseline = load_sanitizer_report(args.check_baseline)
+        if baseline.fingerprint() != report.fingerprint():
+            print(
+                f"sanitizer report drifted from baseline {args.check_baseline}: "
+                f"{report.fingerprint()} != {baseline.fingerprint()}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"matches baseline {args.check_baseline}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
 def main(argv=None) -> int:
     """Entry point of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -380,6 +419,36 @@ def main(argv=None) -> int:
     )
     _add_trace_argument(serve_sim)
     serve_sim.set_defaults(func=_cmd_serve_sim)
+
+    sanitize = subparsers.add_parser(
+        "sanitize",
+        help="run the pinned workloads under the device memory/race sanitizer",
+    )
+    sanitize.add_argument(
+        "--workload",
+        default="all",
+        choices=("all", "dos", "serve", "cluster", "conductivity"),
+        help="which pinned workload to instrument (default: all)",
+    )
+    sanitize.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="route findings with this SANxxx code to the suppressed list "
+        "(repeatable)",
+    )
+    sanitize.add_argument(
+        "--out", default=None, metavar="FILE", help="write the report JSON here"
+    )
+    sanitize.add_argument(
+        "--check-baseline",
+        default=None,
+        metavar="FILE",
+        help="fail (exit 1) unless the report fingerprint matches this "
+        "committed report",
+    )
+    sanitize.set_defaults(func=_cmd_sanitize)
 
     bench = subparsers.add_parser("bench", help="regenerate the paper's figures")
     bench.add_argument("ids", nargs="*", help="experiment ids (default: all)")

@@ -27,6 +27,7 @@ from repro.gpu.occupancy import compute_occupancy
 from repro.gpu.profiler import KernelEvent, Profiler, TransferEvent
 from repro.gpu.spec import GpuSpec
 from repro.gpu.thread import Dim3, as_dim3
+from repro.sanitize.sanitizer import current_sanitizer
 
 __all__ = ["Device"]
 
@@ -158,15 +159,21 @@ class Device:
         # Aggregate starts "single" so the merge rule (any DP charge
         # promotes the launch to DP pricing) works from a neutral state.
         stats = KernelStats(precision="single")
-        for linear in range(grid_dim.total):
-            ctx = BlockContext(
-                grid_dim=grid_dim,
-                block_dim=block_dim,
-                block_idx=grid_dim.unlinearize(linear),
-                shared_limit_bytes=self.spec.shared_mem_per_sm_bytes,
-                stats=stats,
-            )
-            kernel_fn(ctx, *args)
+        sanitizer = current_sanitizer()
+        sanitizer.begin_launch(kernel_fn.kernel_name, grid_dim.total)
+        try:
+            for linear in range(grid_dim.total):
+                sanitizer.begin_block(linear)
+                ctx = BlockContext(
+                    grid_dim=grid_dim,
+                    block_dim=block_dim,
+                    block_idx=grid_dim.unlinearize(linear),
+                    shared_limit_bytes=self.spec.shared_mem_per_sm_bytes,
+                    stats=stats,
+                )
+                kernel_fn(ctx, *args)
+        finally:
+            sanitizer.end_launch()
 
         cost = kernel_cost(
             self.spec, stats, grid_blocks=grid_dim.total, occupancy=occupancy

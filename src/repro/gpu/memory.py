@@ -9,13 +9,23 @@ A :class:`DeviceArray` owns a NumPy buffer ("VRAM contents") plus its
 pool registration.  Host code must go through ``Device.memcpy_htod`` /
 ``memcpy_dtoh`` so PCIe traffic is charged; kernels access ``.data``
 directly through their :class:`~repro.gpu.BlockContext`.
+
+Sanitizer coupling: ``.data`` is the single instrumentation point.
+With no ambient :class:`~repro.sanitize.DeviceSanitizer` it returns the
+raw ndarray; under one it returns an instrumented
+:class:`~repro.sanitize.view.SanitizedView` that reports element-exact
+reads/writes.  The pool also tracks live arrays so a reset can name
+what leaked (``cudaDeviceReset`` with outstanding allocations).
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.errors import DeviceError, OutOfMemoryError, ValidationError
+from repro.sanitize.sanitizer import current_sanitizer
 from repro.util.format import format_bytes
 
 __all__ = ["DeviceArray", "MemoryPool"]
@@ -28,29 +38,44 @@ class DeviceArray:
     with :meth:`free` or implicitly when the device resets.
     """
 
-    __slots__ = ("data", "name", "_pool", "_freed")
+    __slots__ = ("_data", "name", "_pool", "_freed")
 
     def __init__(self, data: np.ndarray, name: str, pool: "MemoryPool"):
-        self.data = data
+        self._data = data
         self.name = name
         self._pool = pool
         self._freed = False
+        pool.track(self)
+        current_sanitizer().on_alloc(self)
 
     # ------------------------------------------------------------------
     @property
+    def data(self) -> np.ndarray:
+        """The buffer — raw, or an instrumented view under the sanitizer."""
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            return sanitizer.view(self)
+        return self._data
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The raw ndarray, bypassing sanitizer instrumentation."""
+        return self._data
+
+    @property
     def shape(self) -> tuple[int, ...]:
         """Array shape."""
-        return self.data.shape
+        return self._data.shape
 
     @property
     def dtype(self) -> np.dtype:
         """Array dtype."""
-        return self.data.dtype
+        return self._data.dtype
 
     @property
     def nbytes(self) -> int:
         """Bytes occupied in device memory."""
-        return int(self.data.nbytes)
+        return int(self._data.nbytes)
 
     @property
     def is_freed(self) -> bool:
@@ -65,6 +90,7 @@ class DeviceArray:
     def check_alive(self) -> None:
         """Raise :class:`DeviceError` if the array was freed (use-after-free)."""
         if self._freed:
+            current_sanitizer().on_use_after_free(self)
             raise DeviceError(f"device array {self.name!r} was already freed")
 
     def free(self) -> None:
@@ -72,9 +98,13 @@ class DeviceArray:
 
         Mirrors ``cudaFree``: freeing twice is a bug and raises.
         """
-        self.check_alive()
+        if self._freed:
+            current_sanitizer().on_double_free(self)
+            raise DeviceError(f"device array {self.name!r} was already freed")
         self._pool.release(self.nbytes)
+        self._pool.untrack(self)
         self._freed = True
+        current_sanitizer().on_free(self)
 
 
 class MemoryPool:
@@ -88,12 +118,26 @@ class MemoryPool:
         self.used_bytes = 0
         self.peak_bytes = 0
         self.allocation_count = 0
+        self._live: dict[int, DeviceArray] = {}
 
     # ------------------------------------------------------------------
     @property
     def free_bytes(self) -> int:
         """Remaining capacity."""
         return self.capacity_bytes - self.used_bytes
+
+    @property
+    def live_arrays(self) -> tuple[DeviceArray, ...]:
+        """Tracked arrays not yet freed, in allocation order."""
+        return tuple(self._live.values())
+
+    def track(self, array: DeviceArray) -> None:
+        """Register a live array so :meth:`reset` can report leaks."""
+        self._live[id(array)] = array
+
+    def untrack(self, array: DeviceArray) -> None:
+        """Drop a freed array from leak tracking."""
+        self._live.pop(id(array), None)
 
     def reserve(self, nbytes: int) -> None:
         """Account for an allocation of ``nbytes``; raise if over capacity."""
@@ -120,7 +164,27 @@ class MemoryPool:
         self.used_bytes -= nbytes
 
     def reset(self) -> None:
-        """Drop all accounting (device reset); capacity is kept."""
+        """Drop all accounting (device reset); capacity is kept.
+
+        Never-freed allocations are a leak: they are named in a
+        :class:`ResourceWarning` (warning by default) and reported as
+        SAN005 findings when a sanitizer is active (error: the findings
+        fail the sanitized run).
+        """
+        leaked = tuple(self._live.values())
+        if leaked:
+            sanitizer = current_sanitizer()
+            for array in leaked:
+                sanitizer.on_leak(array)
+            summary = ", ".join(
+                f"{array.name!r} ({format_bytes(array.nbytes)})" for array in leaked
+            )
+            warnings.warn(
+                f"device reset with {len(leaked)} leaked allocation(s): {summary}",
+                ResourceWarning,
+                stacklevel=2,
+            )
+        self._live.clear()
         self.used_bytes = 0
         self.peak_bytes = 0
         self.allocation_count = 0

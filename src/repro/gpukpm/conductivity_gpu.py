@@ -194,6 +194,9 @@ def _kpm_conductivity_kernel(
     accumulator = partials.data[ctx.linear_block_id]
     dim = workspace.shape[2]
     ctx.shared_alloc(ctx.threads_per_block * 8)
+    # Fresh VRAM is not zero on real hardware: the accumulator must be
+    # written before the += below reads it (sanitizer SAN001).
+    accumulator[...] = 0.0
 
     def chebyshev_fill(out, start):
         out[0] = start
@@ -346,6 +349,11 @@ class GpuConductivity:
             )
             host_result = np.empty((n, n), dtype=dtype)
             device.memcpy_dtoh(host_result, result)
+            result.free()
+            partials.free()
+            stacks.free()
+            current_dev.free()
+            matrix.free()
 
         breakdown = dict(device.profiler.seconds_by_kernel())
         breakdown["setup"] = device.profiler.setup_seconds

@@ -56,6 +56,14 @@ class DeviceMatrix:
         prod = data.data * x[indices.data]
         return _segment_sums(prod, indptr.data, self.shape[0])
 
+    def free(self) -> None:
+        """Release the device buffers backing this matrix."""
+        if self.dense is not None:
+            self.dense.free()
+        else:
+            for buffer in self.csr:
+                buffer.free()
+
 
 @kernel("kpm_recursion", pow2_block=True)
 def kpm_recursion_kernel(  # repro: noqa[RA005] -- block program; host pipeline validates the launch

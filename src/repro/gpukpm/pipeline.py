@@ -247,19 +247,26 @@ class GpuKPM:
                 )
 
             if checkpoint_every is not None or on_chunk is not None:
-                return self._run_chunked(
-                    device,
-                    matrix,
-                    workspace,
-                    config,
-                    nnz=nnz,
-                    dim=dim,
-                    dtype=dtype,
-                    first_vector=first_vector,
-                    num_vectors=num_vectors,
-                    checkpoint_every=checkpoint_every,
-                    on_chunk=on_chunk,
-                )
+                try:
+                    return self._run_chunked(
+                        device,
+                        matrix,
+                        workspace,
+                        config,
+                        nnz=nnz,
+                        dim=dim,
+                        dtype=dtype,
+                        first_vector=first_vector,
+                        num_vectors=num_vectors,
+                        checkpoint_every=checkpoint_every,
+                        on_chunk=on_chunk,
+                    )
+                finally:
+                    # Free even when a fault schedule aborts mid-chunk: the
+                    # device object outlives the run (profiler is read by
+                    # the cluster driver) and must not leak VRAM.
+                    workspace.free()
+                    matrix.free()
 
             mu_tilde = device.alloc(
                 (num_vectors, num_moments), dtype=dtype, name="mu_tilde"
@@ -317,6 +324,10 @@ class GpuKPM:
             with tracer.device_span("gpu.download", device):
                 device.memcpy_dtoh(host_mu_tilde, mu_tilde)
                 device.memcpy_dtoh(host_mu, mu_out)
+            mu_out.free()
+            mu_tilde.free()
+            workspace.free()
+            matrix.free()
         return host_mu_tilde.astype(np.float64), host_mu.astype(np.float64), device
 
     def _run_chunked(

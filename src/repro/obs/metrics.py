@@ -128,6 +128,27 @@ class MetricsRegistry:
         for engine, seconds in metrics.modeled_seconds_by_engine.items():
             self.set_gauge(f"{prefix}.engine.{engine}.modeled_seconds", seconds)
 
+    def absorb_sanitizer_report(self, report, *, prefix: str = "sanitize") -> None:
+        """Record a :class:`~repro.sanitize.SanitizerReport`.
+
+        Finding totals become counters — one ``{prefix}.findings.SANxxx``
+        per known code (zeros included, so a clean run still writes the
+        full counter family) plus ``{prefix}.findings_total`` and
+        ``{prefix}.suppressed_total`` — and the sanitizer's work stats
+        (launches/blocks/arrays/bytes/accesses checked) become gauges.
+        Everything absorbed derives from the deterministic report, so
+        registry snapshots stay byte-reproducible.
+        """
+        _check_name(prefix)
+        for code, count in sorted(report.counts_by_code().items()):
+            self.inc(f"{prefix}.findings.{code}", count)
+        self.inc(f"{prefix}.findings_total", len(report.findings))
+        self.inc(f"{prefix}.suppressed_total", len(report.suppressed))
+        for stat, value in sorted(report.stats.items()):
+            if stat in ("findings", "suppressed"):
+                continue  # already counted above
+            self.set_gauge(f"{prefix}.{stat}", value)
+
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """Sorted plain-dict form for deterministic JSON export."""

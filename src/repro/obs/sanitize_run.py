@@ -1,0 +1,168 @@
+"""The pinned sanitizer workload: every hot path under instrumentation.
+
+:func:`sanitized_run` drives small pinned versions of the library's
+device workloads — the single-GPU DoS pipeline in both storages, the
+batching/caching spectral service, the fault-injected multi-GPU cluster
+driver, and the Kubo–Greenwood conductivity runner — under one
+:class:`~repro.sanitize.DeviceSanitizer`, and returns the combined
+:class:`~repro.sanitize.SanitizerReport`.  Everything is seeded and the
+simulator executes blocks serially, so two calls produce byte-identical
+reports; ``sanitize-baseline.json`` commits the clean report and CI
+compares fingerprints against it.
+
+Like :mod:`repro.obs.workloads`, this module stays outside
+``repro.obs.__init__`` and defers its cluster/serve/gpukpm imports so
+``repro.obs`` itself remains import-light.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.kpm.config import KPMConfig
+from repro.kpm.dos import compute_dos
+from repro.lattice import paper_cubic_hamiltonian
+from repro.sanitize import DeviceSanitizer, SanitizerReport
+
+__all__ = ["sanitized_run", "SANITIZE_WORKLOAD", "SANITIZE_WORKLOAD_NAMES"]
+
+#: Deterministic parameters of the sanitized workloads (embedded in the
+#: report, so a fingerprint pins the exact configuration).
+SANITIZE_WORKLOAD = {
+    "lattice_side": 4,
+    "num_moments": 32,
+    "num_random_vectors": 4,
+    "num_realizations": 1,
+    "block_size": 32,
+    "seed": 0,
+    "serve_requests": 8,
+    "serve_seed": 1,
+    "serve_cache_capacity": 16,
+    "cluster_devices": 2,
+    "cluster_fault_seed": 3,
+    "cluster_fault_rate": 0.25,
+    "cluster_checkpoint_every": 2,
+    "conductivity_side": 3,
+    "conductivity_moments": 8,
+    "conductivity_vectors": 2,
+}
+
+#: The runnable workload names, in execution order.
+SANITIZE_WORKLOAD_NAMES = ("dos", "serve", "cluster", "conductivity")
+
+
+def _dos_config() -> KPMConfig:
+    return KPMConfig(
+        num_moments=SANITIZE_WORKLOAD["num_moments"],
+        num_random_vectors=SANITIZE_WORKLOAD["num_random_vectors"],
+        num_realizations=SANITIZE_WORKLOAD["num_realizations"],
+        block_size=SANITIZE_WORKLOAD["block_size"],
+        seed=SANITIZE_WORKLOAD["seed"],
+    )
+
+
+def _run_dos() -> None:
+    for storage in ("csr", "dense"):
+        hamiltonian = paper_cubic_hamiltonian(
+            SANITIZE_WORKLOAD["lattice_side"], format=storage
+        )
+        compute_dos(hamiltonian, _dos_config(), backend="gpu-sim")
+
+
+def _run_serve() -> None:
+    from repro.serve.service import SpectralService
+    from repro.serve.trace import synthetic_trace
+
+    service = SpectralService(
+        ("gpu-sim",), cache_capacity=SANITIZE_WORKLOAD["serve_cache_capacity"]
+    )
+    service.serve(
+        synthetic_trace(
+            SANITIZE_WORKLOAD["serve_requests"], seed=SANITIZE_WORKLOAD["serve_seed"]
+        )
+    )
+
+
+def _run_cluster() -> None:
+    from repro.cluster.faults import FaultSchedule
+    from repro.cluster.multigpu import MultiGpuKPM
+    from repro.kpm.rescale import rescale_operator
+
+    hamiltonian = paper_cubic_hamiltonian(
+        SANITIZE_WORKLOAD["lattice_side"], format="csr"
+    )
+    scaled, _ = rescale_operator(hamiltonian)
+    rate = SANITIZE_WORKLOAD["cluster_fault_rate"]
+    schedule = FaultSchedule.sample(
+        SANITIZE_WORKLOAD["cluster_fault_seed"],
+        SANITIZE_WORKLOAD["cluster_devices"],
+        crash_rate=rate,
+        straggler_rate=rate,
+        transfer_rate=rate,
+    )
+    driver = MultiGpuKPM(
+        SANITIZE_WORKLOAD["cluster_devices"],
+        fault_schedule=schedule,
+        checkpoint_every=SANITIZE_WORKLOAD["cluster_checkpoint_every"],
+    )
+    driver.compute_moments(scaled, _dos_config())
+
+
+def _run_conductivity() -> None:
+    from repro.gpukpm.conductivity_gpu import GpuConductivity
+    from repro.kpm.rescale import rescale_operator
+
+    hamiltonian = paper_cubic_hamiltonian(
+        SANITIZE_WORKLOAD["conductivity_side"], format="csr"
+    )
+    scaled, _ = rescale_operator(hamiltonian)
+    config = KPMConfig(
+        num_moments=SANITIZE_WORKLOAD["conductivity_moments"],
+        num_random_vectors=SANITIZE_WORKLOAD["conductivity_vectors"],
+        num_realizations=SANITIZE_WORKLOAD["num_realizations"],
+        block_size=SANITIZE_WORKLOAD["block_size"],
+        seed=SANITIZE_WORKLOAD["seed"],
+    )
+    GpuConductivity().run(scaled, scaled, config)
+
+
+_RUNNERS = {
+    "dos": _run_dos,
+    "serve": _run_serve,
+    "cluster": _run_cluster,
+    "conductivity": _run_conductivity,
+}
+
+
+def sanitized_run(
+    *,
+    workloads: tuple[str, ...] = SANITIZE_WORKLOAD_NAMES,
+    suppress: tuple[str, ...] = (),
+    label: str = "sanitize",
+) -> SanitizerReport:
+    """Run the pinned workloads under a device sanitizer; return the report.
+
+    Parameters
+    ----------
+    workloads:
+        Names from :data:`SANITIZE_WORKLOAD_NAMES`, executed in the
+        canonical order regardless of the order given.
+    suppress:
+        Finding codes (``SANxxx``) routed to the report's suppressed
+        list instead of its findings.
+    label:
+        Report label (embedded in the JSON and its fingerprint).
+    """
+    for name in workloads:
+        if name not in _RUNNERS:
+            raise ValidationError(
+                f"unknown sanitize workload {name!r}; known: "
+                f"{', '.join(SANITIZE_WORKLOAD_NAMES)}"
+            )
+    sanitizer = DeviceSanitizer(suppress=suppress)
+    selected = [name for name in SANITIZE_WORKLOAD_NAMES if name in set(workloads)]
+    with sanitizer.activate():
+        for name in selected:
+            _RUNNERS[name]()
+    workload = dict(SANITIZE_WORKLOAD)
+    workload["workloads"] = selected
+    return sanitizer.report(label=label, workload=workload)

@@ -1,0 +1,53 @@
+"""repro.sanitize — memory/race sanitizer for the simulated GPU.
+
+A deterministic analogue of ``compute-sanitizer`` for the simulator in
+:mod:`repro.gpu`: shadow-state memory checking (uninitialized reads,
+use-after-free, double-free, out-of-bounds slices, leaks at reset) plus
+inter-block hazard detection (write-write and read-write overlaps
+between blocks of one launch).  Enabled ambiently::
+
+    from repro.sanitize import DeviceSanitizer
+
+    san = DeviceSanitizer()
+    with san.activate():
+        result = compute_dos(hamiltonian, config, backend="gpu-sim")
+    report = san.report(label="my-run")
+    assert report.clean, report.to_json()
+
+When no sanitizer is active (:data:`NULL_SANITIZER`), the hooks in
+:mod:`repro.gpu` are no-ops and ``DeviceArray.data`` returns the raw
+buffer — zero overhead, bit-identical results either way.
+
+See ``docs/SANITIZER.md`` for the finding codes (SAN001–SAN007), the
+suppression policy, and the ``python -m repro sanitize`` CLI.
+"""
+
+from repro.sanitize.findings import (
+    FINDING_CODES,
+    SanitizerFinding,
+    SanitizerReport,
+    check_finding_code,
+    load_sanitizer_report,
+    write_sanitizer_report,
+)
+from repro.sanitize.sanitizer import (
+    DeviceSanitizer,
+    NULL_SANITIZER,
+    NullSanitizer,
+    current_sanitizer,
+)
+from repro.sanitize.view import SanitizedView
+
+__all__ = [
+    "DeviceSanitizer",
+    "FINDING_CODES",
+    "NULL_SANITIZER",
+    "NullSanitizer",
+    "SanitizedView",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "check_finding_code",
+    "current_sanitizer",
+    "load_sanitizer_report",
+    "write_sanitizer_report",
+]

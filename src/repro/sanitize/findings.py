@@ -1,0 +1,236 @@
+"""Sanitizer finding codes and the deterministic findings report.
+
+A :class:`SanitizerFinding` is one detected memory/race defect on the
+simulated device; a :class:`SanitizerReport` is the full outcome of one
+instrumented run.  The report follows the :mod:`repro.obs.record`
+RunRecord idiom exactly — sorted keys, fixed separators, ASCII-only
+JSON, SHA-256 fingerprint over the compact canonical form — so two
+identical sanitized runs produce byte-identical files and the committed
+``sanitize-baseline.json`` can be compared by fingerprint in CI.
+
+Finding codes (the stable public vocabulary; ``# sanitize: ignore``
+comments and the runtime ``suppress=`` list must name one of these):
+
+======== ======================= =========================================
+code     name                    detector
+======== ======================= =========================================
+SAN001   uninitialized-read      read of device elements never written
+SAN002   out-of-bounds-slice     slice past the end of a device buffer
+SAN003   use-after-free          access to a freed :class:`DeviceArray`
+SAN004   double-free             second ``free()`` of the same array
+SAN005   device-memory-leak      live allocation at device/pool reset
+SAN006   write-write-hazard      two blocks of one launch write one element
+SAN007   read-write-hazard       one block reads what another block writes
+======== ======================= =========================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "FINDING_CODES",
+    "SCHEMA_VERSION",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "check_finding_code",
+    "load_sanitizer_report",
+    "write_sanitizer_report",
+]
+
+#: Schema tag embedded in every report; bump on breaking layout changes.
+SCHEMA_VERSION = "repro.sanitize/1"
+
+#: Every finding code the sanitizer can emit, with its short name.
+FINDING_CODES: dict[str, str] = {
+    "SAN001": "uninitialized-read",
+    "SAN002": "out-of-bounds-slice",
+    "SAN003": "use-after-free",
+    "SAN004": "double-free",
+    "SAN005": "device-memory-leak",
+    "SAN006": "write-write-hazard",
+    "SAN007": "read-write-hazard",
+}
+
+
+def check_finding_code(code: str) -> str:
+    """Validate a finding code; returns it unchanged."""
+    if code not in FINDING_CODES:
+        raise ValidationError(
+            f"unknown sanitizer finding code {code!r}; known: "
+            f"{', '.join(sorted(FINDING_CODES))}"
+        )
+    return code
+
+
+@dataclass(frozen=True, order=True)
+class SanitizerFinding:
+    """One detected defect, anchored to its device-side context.
+
+    ``kernel`` and ``launch_index``/``block`` locate the owning kernel
+    launch and block; host-side accesses (transfers, direct ``.data``
+    use outside a launch) carry ``kernel=""`` and ``-1`` indices.
+    """
+
+    code: str
+    array: str
+    kernel: str = ""
+    launch_index: int = -1
+    block: int = -1
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        check_finding_code(self.code)
+
+    @property
+    def name(self) -> str:
+        """The code's short name (``uninitialized-read``, ...)."""
+        return FINDING_CODES[self.code]
+
+    def render(self) -> str:
+        """One human-readable line."""
+        where = f" in {self.kernel!r} block {self.block}" if self.kernel else ""
+        return f"{self.code} {self.name}: array {self.array!r}{where}: {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "code": self.code,
+            "name": self.name,
+            "array": self.array,
+            "kernel": self.kernel,
+            "launch_index": self.launch_index,
+            "block": self.block,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "SanitizerFinding":
+        """Inverse of :meth:`to_json` (the redundant ``name`` is ignored)."""
+        if not isinstance(obj, dict):
+            raise ValidationError("sanitizer finding must be a JSON object")
+        return cls(
+            code=str(obj["code"]),
+            array=str(obj["array"]),
+            kernel=str(obj.get("kernel", "")),
+            launch_index=int(obj.get("launch_index", -1)),
+            block=int(obj.get("block", -1)),
+            message=str(obj.get("message", "")),
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one instrumented run detected, as deterministic JSON.
+
+    Attributes
+    ----------
+    label:
+        Human name of the sanitized run (e.g. ``"sanitize-baseline"``).
+    workload:
+        Deterministic scalar description of what ran, so a committed
+        baseline is self-describing.
+    findings:
+        Reported defects, sorted.
+    suppressed:
+        Defects matched by the runtime ``suppress=`` code list — still
+        recorded so a suppression that stops matching is visible.
+    stats:
+        Integer instrumentation counters (launches/blocks checked,
+        bytes shadowed, ...).
+    """
+
+    label: str
+    workload: dict = field(default_factory=dict)
+    findings: list[SanitizerFinding] = field(default_factory=list)
+    suppressed: list[SanitizerFinding] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    schema: str = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        """True when no (unsuppressed) finding was reported."""
+        return not self.findings
+
+    def counts_by_code(self) -> dict[str, int]:
+        """``{code: count}`` over the reported findings (zeros included)."""
+        counts = {code: 0 for code in FINDING_CODES}
+        for finding in self.findings:
+            counts[finding.code] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form with sorted finding lists."""
+        return {
+            "schema": self.schema,
+            "label": self.label,
+            "workload": dict(self.workload),
+            "findings": [finding.to_json() for finding in sorted(self.findings)],
+            "suppressed": [finding.to_json() for finding in sorted(self.suppressed)],
+            "stats": {key: self.stats[key] for key in sorted(self.stats)},
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Deterministic JSON text (sorted keys, ASCII, fixed separators)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, ensure_ascii=True)
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the compact canonical JSON."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, ensure_ascii=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SanitizerReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValidationError("sanitizer report must be a JSON object")
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValidationError(
+                f"unsupported sanitizer-report schema {schema!r} "
+                f"(expected {SCHEMA_VERSION!r})"
+            )
+        label = data.get("label")
+        if not isinstance(label, str) or not label:
+            raise ValidationError("sanitizer report needs a non-empty 'label'")
+        return cls(
+            label=label,
+            workload=dict(data.get("workload", {})),
+            findings=[SanitizerFinding.from_json(f) for f in data.get("findings", ())],
+            suppressed=[SanitizerFinding.from_json(f) for f in data.get("suppressed", ())],
+            stats=dict(data.get("stats", {})),
+            schema=schema,
+        )
+
+
+def load_sanitizer_report(path) -> SanitizerReport:
+    """Read and validate a :class:`SanitizerReport` JSON file."""
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ValidationError(f"cannot read sanitizer report {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"sanitizer report {path!r} is not valid JSON: {exc}"
+        ) from exc
+    return SanitizerReport.from_dict(data)
+
+
+def write_sanitizer_report(report: SanitizerReport, path) -> None:
+    """Write a report as deterministic JSON (trailing newline included)."""
+    if not isinstance(report, SanitizerReport):
+        raise ValidationError(
+            f"report must be a SanitizerReport, got {type(report).__name__}"
+        )
+    text = report.to_json() + "\n"
+    with open(path, "w", encoding="ascii", newline="\n") as handle:
+        handle.write(text)

@@ -1,0 +1,373 @@
+"""The ambient device sanitizer (contextvar-switched, like the tracer).
+
+Two implementations share one hook interface:
+
+* :class:`NullSanitizer` — the default.  Every hook is a no-op, so the
+  instrumented paths in :mod:`repro.gpu` pay one attribute lookup and
+  nothing else when sanitizing is off; ``DeviceArray.data`` returns the
+  raw buffer.
+* :class:`DeviceSanitizer` — shadow-state checking.  Every allocation
+  gets a per-element init map plus an address array; accesses flow in
+  through :class:`~repro.sanitize.view.SanitizedView` and the
+  :class:`~repro.gpu.device.Device` launch hooks, and defects are
+  recorded as :class:`~repro.sanitize.findings.SanitizerFinding` data
+  (never exceptions — the run completes and reports).
+
+The active sanitizer travels via :mod:`contextvars`: device code calls
+:func:`current_sanitizer` and gets :data:`NULL_SANITIZER` unless one was
+activated with ``with sanitizer.activate(): ...`` — the exact
+``NULL_TRACER`` pattern from :mod:`repro.trace.tracer`.
+
+Detection model (per launch, per block, per allocation):
+
+* reads/writes are logged as **exact flat-element index sets** (not
+  min/max spans, which would alias block-cyclic ``thread_range``
+  tilings into false overlaps);
+* at ``end_launch`` the per-block write sets are intersected pairwise
+  for write-write hazards (SAN006) and each block's read set is checked
+  against every *other* block's write set for read-write hazards
+  (SAN007) — the simulator's serial block execution hides both, real
+  hardware does not;
+* reads also check the allocation's init map (SAN001): fresh VRAM is
+  treated as uninitialized even though the simulator zero-fills, the
+  same strictness as ``compute-sanitizer --tool initcheck``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sanitize.findings import (
+    SanitizerFinding,
+    SanitizerReport,
+    check_finding_code,
+)
+from repro.sanitize.view import SanitizedView
+
+__all__ = [
+    "DeviceSanitizer",
+    "NULL_SANITIZER",
+    "NullSanitizer",
+    "current_sanitizer",
+]
+
+
+class NullSanitizer:
+    """Disabled sanitizer: every hook no-ops at near-zero cost."""
+
+    enabled: bool = False
+
+    # Allocation lifecycle ------------------------------------------------
+    def on_alloc(self, array) -> None:
+        return None
+
+    def on_free(self, array) -> None:
+        return None
+
+    def on_double_free(self, array) -> None:
+        return None
+
+    def on_use_after_free(self, array) -> None:
+        return None
+
+    def on_leak(self, array) -> None:
+        return None
+
+    # Launch lifecycle ----------------------------------------------------
+    def begin_launch(self, kernel_name: str, grid_blocks: int) -> None:
+        return None
+
+    def begin_block(self, linear_block_id: int) -> None:
+        return None
+
+    def end_launch(self) -> None:
+        return None
+
+    # Views ---------------------------------------------------------------
+    def view(self, array):
+        """The raw buffer — no instrumentation when disabled."""
+        return array.raw
+
+    def activate(self):
+        """Install this sanitizer as ambient within a ``with`` block."""
+        return _activate(self)
+
+
+class _Shadow:
+    """Shadow state of one allocation: init map + flat addresses."""
+
+    __slots__ = ("array", "name", "seq", "init", "addr", "freed")
+
+    def __init__(self, array, seq: int, *, initialized: bool):
+        base = array.raw
+        self.array = array
+        self.name = array.name
+        self.seq = seq
+        self.init = np.full(base.size, initialized, dtype=bool)
+        self.addr = np.arange(base.size, dtype=np.int64).reshape(base.shape)
+        self.freed = False
+
+
+class _LaunchLog:
+    """Per-launch access log: ``{shadow-seq: {block: [index arrays]}}``."""
+
+    __slots__ = ("kernel", "index", "block", "reads", "writes", "shadows")
+
+    def __init__(self, kernel: str, index: int):
+        self.kernel = kernel
+        self.index = index
+        self.block = -1
+        self.reads: dict[int, dict[int, list[np.ndarray]]] = {}
+        self.writes: dict[int, dict[int, list[np.ndarray]]] = {}
+        self.shadows: dict[int, _Shadow] = {}
+
+    def log(self, table: dict, shadow: _Shadow, idx: np.ndarray) -> None:
+        self.shadows[shadow.seq] = shadow
+        table.setdefault(shadow.seq, {}).setdefault(self.block, []).append(idx)
+
+
+class DeviceSanitizer(NullSanitizer):
+    """Recording sanitizer: shadow memory + inter-block hazard detection."""
+
+    enabled = True
+
+    def __init__(self, *, suppress: tuple = ()) -> None:
+        self.findings: list[SanitizerFinding] = []
+        self.suppressed: list[SanitizerFinding] = []
+        self._suppress = frozenset(check_finding_code(code) for code in suppress)
+        self._shadows: dict[int, _Shadow] = {}
+        self._seen: set[tuple] = set()
+        self._launch: _LaunchLog | None = None
+        self._launch_count = 0
+        self.launches_checked = 0
+        self.blocks_checked = 0
+        self.bytes_shadowed = 0
+        self.accesses_checked = 0
+
+    # -- shadow registry ------------------------------------------------
+    def _shadow_for(self, array, *, initialized: bool) -> _Shadow:
+        shadow = self._shadows.get(id(array))
+        if shadow is None:
+            shadow = _Shadow(array, len(self._shadows), initialized=initialized)
+            self._shadows[id(array)] = shadow
+            self.bytes_shadowed += int(shadow.init.nbytes + shadow.addr.nbytes)
+        return shadow
+
+    def on_alloc(self, array) -> None:
+        """Register a fresh allocation; its contents start uninitialized."""
+        self._shadow_for(array, initialized=False)
+
+    def on_free(self, array) -> None:
+        """Mark the allocation freed so later access reports SAN003."""
+        self._shadow_for(array, initialized=True).freed = True
+
+    def on_double_free(self, array) -> None:
+        self._emit("SAN004", array.name, "free() called twice on this allocation")
+
+    def on_use_after_free(self, array) -> None:
+        self._emit("SAN003", array.name, "access to a freed device allocation")
+
+    def on_leak(self, array) -> None:
+        self._emit(
+            "SAN005",
+            array.name,
+            f"allocation of {array.nbytes} bytes still live at device reset",
+        )
+
+    def view(self, array) -> SanitizedView:
+        """The instrumented view; lazily adopts pre-sanitizer allocations.
+
+        Arrays allocated before activation were filled by un-instrumented
+        code, so they register as fully initialized (no false SAN001).
+        A freed array still hands out a view — the access itself is the
+        SAN003 finding, mirroring a dangling device pointer.
+        """
+        shadow = self._shadow_for(array, initialized=True)
+        if shadow.freed:
+            self.on_use_after_free(array)
+        return SanitizedView(self, shadow, array.raw, shadow.addr)
+
+    # -- launch lifecycle -----------------------------------------------
+    def begin_launch(self, kernel_name: str, grid_blocks: int) -> None:
+        self._launch = _LaunchLog(kernel_name, self._launch_count)
+        self._launch_count += 1
+        self.launches_checked += 1
+
+    def begin_block(self, linear_block_id: int) -> None:
+        if self._launch is not None:
+            self._launch.block = int(linear_block_id)
+            self.blocks_checked += 1
+
+    def end_launch(self) -> None:
+        log, self._launch = self._launch, None
+        if log is not None:
+            self._analyze_hazards(log)
+
+    # -- access hooks (called by SanitizedView) --------------------------
+    def on_read(self, shadow: _Shadow, idx: np.ndarray) -> None:
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        self.accesses_checked += 1
+        if shadow.freed:
+            self.on_use_after_free(shadow.array)
+            return
+        if idx.size:
+            known = shadow.init[idx]
+            if not known.all():
+                bad = idx[~known]
+                self._emit(
+                    "SAN001",
+                    shadow.name,
+                    f"read of {bad.size} uninitialized element(s), first at "
+                    f"flat index {int(bad.min())}",
+                )
+        if self._launch is not None:
+            self._launch.log(self._launch.reads, shadow, idx)
+
+    def on_write(self, shadow: _Shadow, idx: np.ndarray) -> None:
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        self.accesses_checked += 1
+        if shadow.freed:
+            self.on_use_after_free(shadow.array)
+            return
+        if idx.size:
+            shadow.init[idx] = True
+        if self._launch is not None:
+            self._launch.log(self._launch.writes, shadow, idx)
+
+    def on_oob(self, shadow: _Shadow, detail: str) -> None:
+        self._emit("SAN002", shadow.name, detail)
+
+    # -- key/value unwrapping (SanitizedView helpers) ---------------------
+    def unwrap_value(self, value):
+        """Consume a :class:`SanitizedView` operand into its raw buffer."""
+        if isinstance(value, SanitizedView):
+            return value._consume()
+        return value
+
+    def unwrap_key(self, key):
+        """Unwrap index expressions; a view used as an index is a read."""
+        if isinstance(key, tuple):
+            return tuple(self.unwrap_value(part) for part in key)
+        return self.unwrap_value(key)
+
+    # -- hazard analysis --------------------------------------------------
+    def _analyze_hazards(self, log: _LaunchLog) -> None:
+        def per_block_sets(table: dict[int, list[np.ndarray]]) -> dict[int, np.ndarray]:
+            return {
+                block: np.unique(np.concatenate(chunks))
+                for block, chunks in sorted(table.items())
+                if chunks
+            }
+
+        for seq in sorted(log.shadows):
+            shadow = log.shadows[seq]
+            writes = per_block_sets(log.writes.get(seq, {}))
+            reads = per_block_sets(log.reads.get(seq, {}))
+            blocks = sorted(writes)
+            # Write-write: two distinct blocks touching one element.
+            for i, left in enumerate(blocks):
+                for right in blocks[i + 1 :]:
+                    overlap = np.intersect1d(
+                        writes[left], writes[right], assume_unique=True
+                    )
+                    if overlap.size:
+                        self._emit(
+                            "SAN006",
+                            shadow.name,
+                            f"blocks {left} and {right} both write "
+                            f"{overlap.size} element(s), first at flat index "
+                            f"{int(overlap[0])}",
+                            block=left,
+                        )
+            # Read-write: one block reading what another block writes.
+            for reader, read_set in sorted(reads.items()):
+                for writer in blocks:
+                    if writer == reader:
+                        continue
+                    overlap = np.intersect1d(
+                        read_set, writes[writer], assume_unique=True
+                    )
+                    if overlap.size:
+                        self._emit(
+                            "SAN007",
+                            shadow.name,
+                            f"block {reader} reads {overlap.size} element(s) "
+                            f"written by block {writer}, first at flat index "
+                            f"{int(overlap[0])}",
+                            block=reader,
+                        )
+
+    # -- finding emission -------------------------------------------------
+    def _emit(self, code: str, array: str, message: str, *, block: int | None = None) -> None:
+        kernel = self._launch.kernel if self._launch is not None else ""
+        launch_index = self._launch.index if self._launch is not None else -1
+        if block is None:
+            block = self._launch.block if self._launch is not None else -1
+        dedup = (code, array, kernel, launch_index, block)
+        if dedup in self._seen:
+            return
+        self._seen.add(dedup)
+        finding = SanitizerFinding(
+            code=code,
+            array=array,
+            kernel=kernel,
+            launch_index=launch_index,
+            block=block,
+            message=message,
+        )
+        if code in self._suppress:
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Integer instrumentation counters (deterministic)."""
+        return {
+            "launches_checked": self.launches_checked,
+            "blocks_checked": self.blocks_checked,
+            "arrays_tracked": len(self._shadows),
+            "bytes_shadowed": self.bytes_shadowed,
+            "accesses_checked": self.accesses_checked,
+            "findings": len(self.findings),
+            "suppressed": len(self.suppressed),
+        }
+
+    def report(self, *, label: str, workload: dict | None = None) -> SanitizerReport:
+        """Wrap the recorded findings into a deterministic report."""
+        if not isinstance(label, str) or not label:
+            raise ValidationError(f"label must be a non-empty string, got {label!r}")
+        return SanitizerReport(
+            label=label,
+            workload=dict(workload or {}),
+            findings=sorted(self.findings),
+            suppressed=sorted(self.suppressed),
+            stats=self.stats(),
+        )
+
+
+#: Shared disabled sanitizer — the ambient default.
+NULL_SANITIZER = NullSanitizer()
+
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_sanitize_sanitizer", default=NULL_SANITIZER
+)
+
+
+def current_sanitizer() -> NullSanitizer:
+    """The ambient sanitizer (:data:`NULL_SANITIZER` unless activated)."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def _activate(sanitizer: NullSanitizer) -> Iterator[NullSanitizer]:
+    token = _CURRENT.set(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        _CURRENT.reset(token)

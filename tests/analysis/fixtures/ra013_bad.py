@@ -1,0 +1,35 @@
+"""RA013 fixtures: device allocations that never find an owner."""
+
+__all__ = [
+    "leaks_buffer",
+    "escapes_buffer",
+    "freed_is_fine",
+    "transferred_is_fine",
+    "stored_is_fine",
+]
+
+
+def leaks_buffer(device, host):
+    buf = device.alloc((64,), name="leaky")
+    device.memcpy_htod(buf, host)
+    return device.modeled_seconds
+
+
+def escapes_buffer(device):
+    out = device.alloc((64,), name="escapee")
+    return out
+
+
+def freed_is_fine(device):
+    tmp = device.alloc((64,))
+    tmp.free()
+
+
+def transferred_is_fine(device):
+    data = device.alloc((64,))
+    return DeviceMatrix(dense=data)
+
+
+def stored_is_fine(holder, device):
+    buf = device.alloc((64,))
+    holder.buffer = buf

@@ -1,0 +1,42 @@
+"""RA014 fixtures: kernels whose write-sets ignore the block identity."""
+
+from repro.gpu.kernel import kernel
+
+__all__ = [
+    "broadcast_store_kernel",
+    "view_update_kernel",
+    "tiled_kernel",
+    "block_view_kernel",
+    "guarded_kernel",
+]
+
+
+@kernel("broadcast_store")
+def broadcast_store_kernel(ctx, out):
+    out.data[...] = 1.0
+
+
+@kernel("view_update")
+def view_update_kernel(ctx, out):
+    acc = out.data[0]
+    acc += 1.0
+
+
+@kernel("tiled_is_fine")
+def tiled_kernel(ctx, out):
+    idx = ctx.thread_range(out.shape[0])
+    out.data[idx] = 1.0
+
+
+@kernel("block_view_is_fine")
+def block_view_kernel(ctx, workspace):
+    ws = workspace.data[ctx.linear_block_id]
+    ws[0] = 1.0
+    ws += 1.0
+
+
+@kernel("guarded_is_fine")
+def guarded_kernel(ctx, partials, out):
+    if ctx.linear_block_id != 0:
+        return
+    out.data[...] = partials.data.sum(axis=0)

@@ -1,0 +1,6 @@
+"""RA015 fixtures: sanitizer suppressions that cannot be audited."""
+
+BARE = 1  # sanitize: ignore
+TYPO = 2  # sanitize: ignore[SAN999]
+MIXED = 3  # sanitize: ignore[SAN001, SAN042]
+NAMED = 4  # sanitize: ignore[SAN005] -- intentional leak exercised by a test

@@ -262,6 +262,69 @@ class TestRA012StaleSuppressions:
         assert "RA003" in line_10[0].message
 
 
+class TestRA013DeviceArrayLifetime:
+    def test_exact_findings(self):
+        report = scan(["RA013"])
+        assert locations(report.findings) == [
+            ("ra013_bad.py", 13, "RA013"),
+            ("ra013_bad.py", 19, "RA013"),
+        ]
+
+    def test_messages_distinguish_leak_from_escape(self):
+        messages = [f.message for f in scan(["RA013"]).findings]
+        assert any("'buf' is neither freed nor transferred" in m for m in messages)
+        assert any("'out' escapes its device scope via return" in m for m in messages)
+
+    def test_free_transfer_and_store_stay_silent(self):
+        # freed_is_fine / transferred_is_fine / stored_is_fine cover the
+        # three legitimate endings; only the first two functions fire.
+        lines = {f.line for f in scan(["RA013"]).findings}
+        assert lines == {13, 19}
+
+
+class TestRA014KernelWriteSet:
+    def test_exact_findings(self):
+        report = scan(["RA014"])
+        assert locations(report.findings) == [
+            ("ra014_bad.py", 16, "RA014"),
+            ("ra014_bad.py", 22, "RA014"),
+        ]
+
+    def test_messages_cover_both_store_shapes(self):
+        messages = [f.message for f in scan(["RA014"]).findings]
+        assert any("writes 'out.data' with indices not derived" in m for m in messages)
+        assert any("updates device view 'acc' identically" in m for m in messages)
+
+    def test_tiled_block_view_and_guarded_kernels_stay_silent(self):
+        # thread_range tiling, a linear_block_id-derived view, and the
+        # single-writer guard are the three legitimate write shapes.
+        lines = {f.line for f in scan(["RA014"]).findings}
+        assert lines == {16, 22}
+
+
+class TestRA015SanitizerSuppressionAudit:
+    def test_exact_findings(self):
+        report = scan(["RA015"])
+        assert locations(report.findings) == [
+            ("ra015_bad.py", 3, "RA015"),
+            ("ra015_bad.py", 4, "RA015"),
+            ("ra015_bad.py", 5, "RA015"),
+        ]
+
+    def test_messages_distinguish_bare_from_unknown(self):
+        messages = [f.message for f in scan(["RA015"]).findings]
+        assert any("names no finding code" in m for m in messages)
+        assert any("unknown finding code 'SAN999'" in m for m in messages)
+        assert any("unknown finding code 'SAN042'" in m for m in messages)
+
+    def test_named_known_code_stays_silent(self):
+        # Line 5 mixes SAN001 (known) with SAN042 (unknown): only the
+        # unknown code fires; line 6's well-formed ignore is silent.
+        lines = [f.line for f in scan(["RA015"]).findings]
+        assert lines.count(5) == 1
+        assert 6 not in lines
+
+
 class TestFullSweep:
     def test_rule_totals(self):
         report = scan()
@@ -281,6 +344,9 @@ class TestFullSweep:
             "RA010": 2,
             "RA011": 4,
             "RA012": 3,
+            "RA013": 2,
+            "RA014": 2,
+            "RA015": 3,
         }
 
     def test_clean_and_suppressed_files_stay_silent(self):
@@ -300,6 +366,9 @@ class TestFullSweep:
                 "RA010",
                 "RA011",
                 "RA012",
+                "RA013",
+                "RA014",
+                "RA015",
             )
         )
         report = run_analysis([FIXTURES], config)

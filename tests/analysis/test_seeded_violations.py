@@ -53,6 +53,55 @@ def test_layering_violation_in_kpm_fails(tree, capsys):
     assert "layer 'kpm' (rank 6) is below layer 'serve' (rank 10)" in out
 
 
+def test_leaked_device_allocation_in_gpukpm_fails(tree, capsys):
+    target = tree / "gpukpm" / "pipeline.py"
+    lines = target.read_text(encoding="utf-8").count("\n")
+    target.write_text(
+        target.read_text(encoding="utf-8")
+        + "\ndef _seeded_leak(device):\n"
+        + "    scratch = device.alloc((64,))\n"
+        + "    return device.modeled_seconds\n",
+        encoding="utf-8",
+    )
+    code, out = run(tree, capsys)
+    assert code == EXIT_FINDINGS
+    assert f"gpukpm/pipeline.py:{lines + 3}" in out
+    assert "RA013" in out
+    assert "'scratch' is neither freed nor transferred" in out
+
+
+def test_unpartitioned_kernel_write_in_kernels_fails(tree, capsys):
+    target = tree / "gpukpm" / "kernels.py"
+    lines = target.read_text(encoding="utf-8").count("\n")
+    target.write_text(
+        target.read_text(encoding="utf-8")
+        + '\n@kernel("seeded_broadcast")\n'
+        + "def _seeded_broadcast_kernel(ctx, out):\n"
+        + "    out.data[...] = 1.0\n",
+        encoding="utf-8",
+    )
+    code, out = run(tree, capsys)
+    assert code == EXIT_FINDINGS
+    assert f"gpukpm/kernels.py:{lines + 4}" in out
+    assert "RA014" in out
+    assert "indices not derived from ctx.thread_range" in out
+
+
+def test_bare_sanitizer_ignore_in_gpu_memory_fails(tree, capsys):
+    target = tree / "gpu" / "memory.py"
+    lines = target.read_text(encoding="utf-8").count("\n")
+    target.write_text(
+        target.read_text(encoding="utf-8")
+        + "\n_SEEDED_FLAG = True  # sanitize: ignore\n",
+        encoding="utf-8",
+    )
+    code, out = run(tree, capsys)
+    assert code == EXIT_FINDINGS
+    assert f"gpu/memory.py:{lines + 2}" in out
+    assert "RA015" in out
+    assert "names no finding code" in out
+
+
 def test_wall_clock_in_gpukpm_pipeline_fails(tree, capsys):
     target = tree / "gpukpm" / "pipeline.py"
     lines = target.read_text(encoding="utf-8").count("\n")

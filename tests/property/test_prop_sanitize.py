@@ -1,0 +1,122 @@
+"""Property-based tests: the sanitizer is numerically invisible.
+
+Instrumentation must never perturb a computation — the sanitized and
+unsanitized runs of any workload must be bit-identical, across seeds,
+storages (dense/CSR), and fault campaigns — and the pinned production
+paths must be finding-free.  Hypothesis sweeps the parameter space at
+small scale.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import FaultSchedule, MultiGpuKPM
+from repro.kpm import KPMConfig, compute_dos, rescale_operator
+from repro.lattice import cubic, tight_binding_hamiltonian
+from repro.sanitize import DeviceSanitizer
+
+configs = st.builds(
+    KPMConfig,
+    num_moments=st.integers(2, 16),
+    num_random_vectors=st.integers(1, 6),
+    num_realizations=st.integers(1, 2),
+    seed=st.integers(0, 50),
+    block_size=st.just(32),
+)
+
+
+@pytest.fixture(scope="module")
+def hamiltonians():
+    return {
+        "csr": tight_binding_hamiltonian(cubic(3), format="csr"),
+        "dense": tight_binding_hamiltonian(cubic(3), format="dense"),
+    }
+
+
+class TestDosInvisibility:
+    @given(config=configs, storage=st.sampled_from(["csr", "dense"]))
+    @settings(max_examples=12, deadline=None)
+    def test_sanitized_dos_is_bit_identical_and_clean(
+        self, hamiltonians, config, storage
+    ):
+        hamiltonian = hamiltonians[storage]
+        plain = compute_dos(hamiltonian, config, backend="gpu-sim")
+        sanitizer = DeviceSanitizer()
+        with sanitizer.activate():
+            checked = compute_dos(hamiltonian, config, backend="gpu-sim")
+        assert sanitizer.findings == []
+        assert np.array_equal(plain.density, checked.density)
+        assert np.array_equal(plain.moments.mu, checked.moments.mu)
+        assert plain.timing.modeled_seconds == checked.timing.modeled_seconds
+
+
+cluster_configs = st.builds(
+    KPMConfig,
+    num_moments=st.integers(2, 12),
+    num_random_vectors=st.integers(4, 8),  # >= the largest device count
+    num_realizations=st.integers(1, 2),
+    seed=st.integers(0, 50),
+    block_size=st.just(32),
+)
+
+
+class TestClusterInvisibility:
+    @given(
+        config=cluster_configs,
+        devices=st.integers(2, 3),
+        fault_seed=st.integers(0, 100),
+        rate=st.floats(0.0, 0.8),
+        checkpoint_every=st.one_of(st.none(), st.integers(1, 4)),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_sanitized_faulty_run_is_bit_identical_and_clean(
+        self, hamiltonians, config, devices, fault_seed, rate, checkpoint_every
+    ):
+        scaled, _ = rescale_operator(hamiltonians["csr"])
+        schedule = FaultSchedule.sample(
+            fault_seed,
+            devices,
+            crash_rate=rate,
+            straggler_rate=rate,
+            transfer_rate=rate,
+        )
+
+        def run():
+            driver = MultiGpuKPM(
+                devices,
+                fault_schedule=schedule,
+                checkpoint_every=checkpoint_every,
+            )
+            data, _ = driver.compute_moments(scaled, config)
+            return data
+
+        plain = run()
+        sanitizer = DeviceSanitizer()
+        with sanitizer.activate():
+            checked = run()
+        assert sanitizer.findings == []
+        assert np.array_equal(plain.mu, checked.mu)
+        assert np.array_equal(plain.per_realization, checked.per_realization)
+
+
+class TestServeInvisibility:
+    @given(requests=st.integers(1, 12), seed=st.integers(0, 50))
+    @settings(max_examples=8, deadline=None)
+    def test_sanitized_service_replay_is_identical_and_clean(self, requests, seed):
+        from repro.serve import SpectralService, synthetic_trace
+
+        def run():
+            service = SpectralService(("gpu-sim",), cache_capacity=16)
+            service.serve(synthetic_trace(requests, seed=seed))
+            return service.metrics()
+
+        plain = run()
+        sanitizer = DeviceSanitizer()
+        with sanitizer.activate():
+            checked = run()
+        assert sanitizer.findings == []
+        assert plain.modeled_served_seconds == checked.modeled_served_seconds
+        assert plain.requests_total == checked.requests_total
+        assert plain.cache_hits == checked.cache_hits
+        assert plain.batches_total == checked.batches_total

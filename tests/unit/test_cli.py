@@ -78,6 +78,55 @@ class TestBenchCommand:
         assert "fig5" in capsys.readouterr().out
 
 
+class TestSanitizeCommand:
+    def test_dos_workload_is_clean(self, capsys):
+        code = main(["sanitize", "--workload", "dos"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "SAN001" in out  # the full counter table prints every code
+        assert "launches_checked" in out
+
+    def test_out_writes_a_loadable_report(self, tmp_path, capsys):
+        from repro.sanitize import load_sanitizer_report
+
+        path = tmp_path / "report.json"
+        code = main(["sanitize", "--workload", "dos", "--out", str(path)])
+        assert code == 0
+        report = load_sanitizer_report(path)
+        assert report.clean
+        assert report.workload["workloads"] == ["dos"]
+        assert report.stats["launches_checked"] > 0
+
+    def test_check_baseline_matches_itself(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        assert main(["sanitize", "--workload", "dos", "--out", str(path)]) == 0
+        code = main(
+            ["sanitize", "--workload", "dos", "--check-baseline", str(path)]
+        )
+        assert code == 0
+        assert "matches baseline" in capsys.readouterr().err
+
+    def test_check_baseline_detects_drift(self, tmp_path, capsys):
+        from repro.sanitize import load_sanitizer_report, write_sanitizer_report
+
+        path = tmp_path / "baseline.json"
+        assert main(["sanitize", "--workload", "dos", "--out", str(path)]) == 0
+        doctored = load_sanitizer_report(path)
+        doctored.stats["launches_checked"] += 1
+        write_sanitizer_report(doctored, path)
+        code = main(
+            ["sanitize", "--workload", "dos", "--check-baseline", str(path)]
+        )
+        assert code == 1
+        assert "drifted from baseline" in capsys.readouterr().err
+
+    def test_unknown_suppress_code_is_usage_error(self, capsys):
+        code = main(["sanitize", "--workload", "dos", "--suppress", "SAN042"])
+        assert code == 2
+        assert "unknown sanitizer finding code" in capsys.readouterr().err
+
+
 class TestArgumentValidation:
     def test_lattice_and_matrix_exclusive(self):
         with pytest.raises(SystemExit):

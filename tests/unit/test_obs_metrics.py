@@ -93,6 +93,40 @@ class TestAbsorb:
         all_names = set(registry.counters) | set(registry.gauges)
         assert not any("wall" in name for name in all_names)
 
+    def test_sanitizer_report(self):
+        from repro.sanitize import FINDING_CODES, SanitizerFinding, SanitizerReport
+
+        report = SanitizerReport(
+            label="unit",
+            findings=[
+                SanitizerFinding(code="SAN006", array="mu", message="overlap"),
+                SanitizerFinding(code="SAN006", array="ws", message="overlap"),
+            ],
+            suppressed=[SanitizerFinding(code="SAN005", array="tmp", message="leak")],
+            stats={"launches_checked": 3, "findings": 2, "suppressed": 1},
+        )
+        registry = MetricsRegistry()
+        registry.absorb_sanitizer_report(report)
+        assert registry.counters["sanitize.findings.SAN006"] == pytest.approx(2.0)
+        assert registry.counters["sanitize.findings.SAN001"] == pytest.approx(0.0)
+        assert registry.counters["sanitize.findings_total"] == pytest.approx(2.0)
+        assert registry.counters["sanitize.suppressed_total"] == pytest.approx(1.0)
+        assert registry.gauges["sanitize.launches_checked"] == pytest.approx(3.0)
+        # The full counter family exists even for codes never seen.
+        for code in FINDING_CODES:
+            assert f"sanitize.findings.{code}" in registry.counters
+
+    def test_sanitizer_report_clean_run_still_writes_counters(self):
+        from repro.sanitize import SanitizerReport
+
+        registry = MetricsRegistry()
+        registry.absorb_sanitizer_report(
+            SanitizerReport(label="clean", stats={"blocks_checked": 4}),
+            prefix="san",
+        )
+        assert registry.counters["san.findings_total"] == pytest.approx(0.0)
+        assert registry.gauges["san.blocks_checked"] == pytest.approx(4.0)
+
 
 class TestRoundtrip:
     def test_dict_roundtrip_is_sorted(self):

@@ -1,0 +1,151 @@
+"""Unit tests for repro.sanitize.findings (codes, findings, report JSON)."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sanitize import (
+    FINDING_CODES,
+    SanitizerFinding,
+    SanitizerReport,
+    check_finding_code,
+    load_sanitizer_report,
+    write_sanitizer_report,
+)
+
+
+def make_report(label="test"):
+    findings = [
+        SanitizerFinding(
+            code="SAN006",
+            array="mu",
+            kernel="k",
+            launch_index=1,
+            block=2,
+            message="overlap",
+        ),
+        SanitizerFinding(code="SAN001", array="ws", message="uninit"),
+    ]
+    return SanitizerReport(
+        label=label,
+        workload={"n": 4},
+        findings=findings,
+        suppressed=[SanitizerFinding(code="SAN005", array="tmp", message="leak")],
+        stats={"launches_checked": 3, "findings": 2, "suppressed": 1},
+    )
+
+
+class TestFindingCodes:
+    def test_seven_stable_codes(self):
+        assert sorted(FINDING_CODES) == [f"SAN00{i}" for i in range(1, 8)]
+
+    def test_check_finding_code_roundtrips(self):
+        assert check_finding_code("SAN003") == "SAN003"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValidationError, match="SAN999"):
+            check_finding_code("SAN999")
+
+    def test_finding_validates_its_code(self):
+        with pytest.raises(ValidationError, match="SAN000"):
+            SanitizerFinding(code="SAN000", array="x")
+
+
+class TestSanitizerFinding:
+    def test_render_names_the_context(self):
+        finding = SanitizerFinding(
+            code="SAN006", array="mu", kernel="k", launch_index=0, block=2, message="m"
+        )
+        line = finding.render()
+        assert "SAN006" in line
+        assert "write-write-hazard" in line
+        assert "'mu'" in line
+        assert "block 2" in line
+
+    def test_host_side_finding_renders_without_kernel(self):
+        line = SanitizerFinding(code="SAN004", array="a", message="m").render()
+        assert "block" not in line
+
+    def test_json_roundtrip(self):
+        finding = SanitizerFinding(
+            code="SAN007", array="a", kernel="k", launch_index=3, block=1, message="m"
+        )
+        assert SanitizerFinding.from_json(finding.to_json()) == finding
+
+
+class TestSanitizerReport:
+    def test_clean_flag(self):
+        assert SanitizerReport(label="x").clean
+        assert not make_report().clean
+
+    def test_counts_by_code_includes_zeros(self):
+        counts = make_report().counts_by_code()
+        assert counts["SAN001"] == 1
+        assert counts["SAN006"] == 1
+        assert counts["SAN002"] == 0
+        assert set(counts) == set(FINDING_CODES)
+
+    def test_findings_serialized_sorted(self):
+        data = make_report().to_dict()
+        codes = [f["code"] for f in data["findings"]]
+        assert codes == sorted(codes)
+
+    def test_json_is_deterministic(self):
+        assert make_report().to_json() == make_report().to_json()
+        assert make_report().fingerprint() == make_report().fingerprint()
+
+    def test_fingerprint_sees_every_field(self):
+        base = make_report().fingerprint()
+        assert make_report(label="other").fingerprint() != base
+        relabeled = make_report()
+        relabeled.stats["launches_checked"] += 1
+        assert relabeled.fingerprint() != base
+
+    def test_dict_roundtrip_preserves_fingerprint(self):
+        report = make_report()
+        rebuilt = SanitizerReport.from_dict(json.loads(report.to_json()))
+        assert rebuilt.fingerprint() == report.fingerprint()
+        assert rebuilt.findings == sorted(report.findings)
+
+    def test_schema_mismatch_rejected(self):
+        data = make_report().to_dict()
+        data["schema"] = "repro.sanitize/99"
+        with pytest.raises(ValidationError, match="schema"):
+            SanitizerReport.from_dict(data)
+
+    def test_missing_label_rejected(self):
+        data = make_report().to_dict()
+        data["label"] = ""
+        with pytest.raises(ValidationError, match="label"):
+            SanitizerReport.from_dict(data)
+
+
+class TestReportFiles:
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "report.json"
+        report = make_report()
+        write_sanitizer_report(report, path)
+        loaded = load_sanitizer_report(path)
+        assert loaded.fingerprint() == report.fingerprint()
+
+    def test_written_file_is_byte_stable(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_sanitizer_report(make_report(), first)
+        write_sanitizer_report(make_report(), second)
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_bytes().endswith(b"\n")
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            load_sanitizer_report(tmp_path / "absent.json")
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="ascii")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_sanitizer_report(path)
+
+    def test_write_rejects_non_report(self, tmp_path):
+        with pytest.raises(ValidationError, match="SanitizerReport"):
+            write_sanitizer_report({"label": "x"}, tmp_path / "x.json")
