@@ -79,6 +79,9 @@ def kpm_recursion_kernel(  # repro: noqa[RA005] -- block program; host pipeline 
     vector_kind: str,
     seed,
     first_vector: int = 0,
+    start_moment: int = 0,
+    resume_state=None,
+    state_out=None,
 ):
     """Part (a): full recursion for this block's vectors.
 
@@ -89,6 +92,17 @@ def kpm_recursion_kernel(  # repro: noqa[RA005] -- block program; host pipeline 
     ``first_vector`` offsets the global vector numbering so a device
     working on a partition (multi-GPU, :mod:`repro.cluster`) consumes
     exactly the same random streams as a single device would.
+
+    Resume mode (``start_moment >= 2`` with ``resume_state``): slots 1-2
+    are seeded from the uploaded per-vector state ``(r_{start-2},
+    r_{start-1})`` instead of ``(r_0, H r_0)``, ``|r>`` is regenerated
+    from its Philox stream, and only the new orders
+    ``start_moment..num_moments-1`` run — writing ``mu~`` at column
+    ``order - start_moment``.  The recursion steps are the same
+    expressions as the cold path, so the emitted moments are
+    bit-identical to a cold run at the higher order.  ``state_out``
+    (requires ``num_moments >= 2``) captures the final
+    ``(r_{N-2}, r_{N-1})`` pair per vector for a later resume.
     """
     block_vectors = plan.vectors_of(ctx.linear_block_id)
     if len(block_vectors) == 0:  # pragma: no cover - plan never makes these
@@ -108,17 +122,29 @@ def kpm_recursion_kernel(  # repro: noqa[RA005] -- block program; host pipeline 
             vector_index=vector_index,
         )
         r0 = ws[0]
-        mu_tilde.data[v, 0] = r0 @ r0
-        if num_moments == 1:
-            continue
-        ws[1] = r0               # r_0
-        ws[2] = matrix.matvec(r0)  # r_1
-        mu_tilde.data[v, 1] = r0 @ ws[2]
-        prev, cur, nxt = 1, 2, 3
-        for order in range(2, num_moments):
-            ws[nxt] = 2.0 * matrix.matvec(ws[cur]) - ws[prev]
-            mu_tilde.data[v, order] = r0 @ ws[nxt]
-            prev, cur, nxt = cur, nxt, prev
+        if resume_state is None:
+            mu_tilde.data[v, 0] = r0 @ r0
+            if num_moments == 1:
+                continue
+            ws[1] = r0               # r_0
+            ws[2] = matrix.matvec(r0)  # r_1
+            mu_tilde.data[v, 1] = r0 @ ws[2]
+            prev, cur, nxt = 1, 2, 3
+            for order in range(2, num_moments):
+                ws[nxt] = 2.0 * matrix.matvec(ws[cur]) - ws[prev]
+                mu_tilde.data[v, order] = r0 @ ws[nxt]
+                prev, cur, nxt = cur, nxt, prev
+        else:
+            ws[1] = resume_state.data[v, 0]  # r_{start-2}
+            ws[2] = resume_state.data[v, 1]  # r_{start-1}
+            prev, cur, nxt = 1, 2, 3
+            for order in range(start_moment, num_moments):
+                ws[nxt] = 2.0 * matrix.matvec(ws[cur]) - ws[prev]
+                mu_tilde.data[v, order - start_moment] = r0 @ ws[nxt]
+                prev, cur, nxt = cur, nxt, prev
+        if state_out is not None:
+            state_out.data[v, 0] = ws[prev]  # r_{N-2}
+            state_out.data[v, 1] = ws[cur]   # r_{N-1}
 
     ctx.charge(
         flops=per_vector_stats.flops * len(block_vectors),

@@ -27,6 +27,7 @@ from repro.gpu.spec import TESLA_C2050, GpuSpec
 from repro.gpukpm.kernels import DeviceMatrix, kpm_recursion_kernel, reduce_moments_kernel
 from repro.gpukpm.stats import (
     per_vector_recursion_stats,
+    per_vector_resume_stats,
     plan_grid,
     recursion_footprint_bytes,
     reduce_launch_stats,
@@ -38,7 +39,36 @@ from repro.sparse import CSRMatrix, as_operator
 from repro.timing import TimingReport, WallTimer
 from repro.util.validation import check_positive_int
 
-__all__ = ["CheckpointChunk", "GpuKPM", "GpuSimEngine"]
+__all__ = ["CheckpointChunk", "GpuMomentState", "GpuKPM", "GpuSimEngine"]
+
+
+@dataclass(frozen=True)
+class GpuMomentState:
+    """Host-side recursion checkpoint of a GPU moment run.
+
+    Holds the last two Chebyshev vectors ``(r_{N-2}, r_{N-1})`` of every
+    random vector, downloaded after the recursion launch (the download
+    is charged to the device — checkpointing is not free).  Feeding it
+    back through :meth:`GpuKPM.extend_moments` resumes the recursion at
+    order ``num_moments`` without replaying, bit-identical to a cold run
+    at the higher order.
+
+    Attributes
+    ----------
+    vectors:
+        Total random vectors (``R * S``) the state covers.
+    num_moments:
+        Truncation order the state was captured at.
+    precision:
+        Device precision the vectors are stored in.
+    data:
+        ``(vectors, 2, D)`` array in the device dtype.
+    """
+
+    vectors: int
+    num_moments: int
+    precision: str
+    data: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -135,17 +165,155 @@ class GpuKPM:
             dimension=dim,
             num_vectors=config.num_random_vectors,
         )
+        report = self._timing_report(device, timer.seconds)
+        return data, report
+
+    def _timing_report(self, device: Device, wall_seconds: float) -> TimingReport:
         breakdown = dict(device.profiler.seconds_by_kernel())
         breakdown["setup"] = device.profiler.setup_seconds
         breakdown["transfer"] = device.profiler.transfer_seconds
-        report = TimingReport(
+        return TimingReport(
             backend=self.name,
             device=self.spec.name,
             modeled_seconds=device.modeled_seconds,
-            wall_seconds=timer.seconds,
+            wall_seconds=wall_seconds,
             breakdown=breakdown,
         )
-        return data, report
+
+    # ------------------------------------------------------------------
+    # ResumableMomentEngine protocol
+    def compute_moments_resumable(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport, GpuMomentState | None]:
+        """Like :meth:`compute_moments`, also capturing a recursion state.
+
+        The state download is honestly charged to the device, so a
+        resumable run costs slightly more than a plain one — the price
+        of checkpointing.  Returns ``state=None`` when
+        ``num_moments < 2`` (nothing to checkpoint).
+        """
+        if not isinstance(config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(config).__name__}"
+            )
+        captured: list[np.ndarray] = []
+        sink = captured.append if config.num_moments >= 2 else None
+        with WallTimer() as timer:
+            host_mu_tilde, host_mu, device = self.run_partition(
+                scaled_operator,
+                config,
+                first_vector=0,
+                num_vectors=config.total_vectors,
+                state_sink=sink,
+            )
+        dim = as_operator(scaled_operator).shape[0]
+        per_realization = (
+            host_mu_tilde.reshape(
+                config.num_realizations, config.num_random_vectors, config.num_moments
+            ).mean(axis=1)
+            / dim
+        )
+        data = MomentData(
+            mu=host_mu / dim,
+            per_realization=per_realization,
+            dimension=dim,
+            num_vectors=config.num_random_vectors,
+        )
+        state = None
+        if captured:
+            state = GpuMomentState(
+                vectors=config.total_vectors,
+                num_moments=config.num_moments,
+                precision=config.precision,
+                data=captured[0],
+            )
+        return data, self._timing_report(device, timer.seconds), state
+
+    def extend_moments(
+        self, scaled_operator, config: KPMConfig, data: MomentData, state
+    ) -> tuple[MomentData, TimingReport, GpuMomentState]:
+        """Resume the recursion from ``state`` up to ``config.num_moments``.
+
+        The new moment columns come out of the same kernel expressions a
+        cold run would execute, so the extended :class:`MomentData` is
+        bit-identical to :meth:`compute_moments` at the higher order.
+        """
+        if not isinstance(config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(config).__name__}"
+            )
+        if not isinstance(state, GpuMomentState):
+            raise ValidationError(
+                f"state must be a GpuMomentState, got {type(state).__name__}"
+            )
+        base = state.num_moments
+        if data.num_moments != base:
+            raise ValidationError(
+                f"data has {data.num_moments} moments but the state was "
+                f"captured at {base}"
+            )
+        if config.num_moments <= base:
+            raise ValidationError(
+                f"extension target must exceed the checkpointed order: "
+                f"{config.num_moments} <= {base}"
+            )
+        if config.total_vectors != state.vectors:
+            raise ValidationError(
+                f"config covers {config.total_vectors} vectors but the state "
+                f"holds {state.vectors}"
+            )
+        if config.precision != state.precision:
+            raise ValidationError(
+                f"precision mismatch: config {config.precision!r} vs state "
+                f"{state.precision!r}"
+            )
+        captured: list[np.ndarray] = []
+        with WallTimer() as timer:
+            narrow_tilde, narrow_mu, device = self.run_partition(
+                scaled_operator,
+                config,
+                first_vector=0,
+                num_vectors=config.total_vectors,
+                start_moment=base,
+                resume_state=state.data,
+                state_sink=captured.append,
+            )
+        dim = as_operator(scaled_operator).shape[0]
+        extra = config.num_moments - base
+        new_columns = (
+            narrow_tilde.reshape(
+                config.num_realizations, config.num_random_vectors, extra
+            ).mean(axis=1)
+            / dim
+        )
+        extended = MomentData(
+            mu=np.concatenate([data.mu, narrow_mu / dim]),
+            per_realization=np.concatenate(
+                [data.per_realization, new_columns], axis=1
+            ),
+            dimension=dim,
+            num_vectors=config.num_random_vectors,
+        )
+        new_state = GpuMomentState(
+            vectors=config.total_vectors,
+            num_moments=config.num_moments,
+            precision=config.precision,
+            data=captured[0],
+        )
+        return extended, self._timing_report(device, timer.seconds), new_state
+
+    def estimate_modeled_seconds(self, scaled_operator, config: KPMConfig) -> float:
+        """Analytic modeled seconds of a cold run — no execution.
+
+        Same launch schedule as :meth:`compute_moments` (the tests pin
+        their equality); the serving layer uses this for naive-cost
+        accounting without running anything.
+        """
+        from repro.gpukpm.estimator import estimate_gpu_kpm_seconds
+
+        op = as_operator(scaled_operator)
+        nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
+        return estimate_gpu_kpm_seconds(self.spec, op.shape[0], config, nnz=nnz)
 
     def run_partition(
         self,
@@ -156,6 +324,9 @@ class GpuKPM:
         num_vectors: int,
         checkpoint_every: int | None = None,
         on_chunk: Callable[[CheckpointChunk], None] | None = None,
+        start_moment: int = 0,
+        resume_state: np.ndarray | None = None,
+        state_sink: Callable[[np.ndarray], None] | None = None,
     ) -> tuple[np.ndarray, np.ndarray, Device]:
         """Run the pipeline for vectors ``[first_vector, first_vector + num_vectors)``.
 
@@ -183,6 +354,21 @@ class GpuKPM:
             :class:`repro.errors.DeviceLostError` from an injected fault
             schedule — which aborts the partition mid-run; rows already
             handed to the hook remain valid checkpoints.
+        start_moment, resume_state:
+            Resume mode: skip orders below ``start_moment`` (>= 2) by
+            seeding the recursion from ``resume_state`` — a host
+            ``(num_vectors, 2, D)`` array of checkpointed
+            ``(r_{start-2}, r_{start-1})`` pairs (uploaded over PCIe,
+            honestly charged).  The returned table then has
+            ``num_moments - start_moment`` columns — only the new
+            orders — bit-identical to the corresponding columns of a
+            cold run at ``num_moments``.
+        state_sink:
+            When set, capture the final recursion vectors after the
+            launch and call ``state_sink(state)`` with the host
+            ``(num_vectors, 2, D)`` array (the download is charged to
+            the device).  Requires ``num_moments >= 2``.  Resume and
+            capture are mutually exclusive with checkpoint mode.
 
         Returns
         -------
@@ -205,6 +391,36 @@ class GpuKPM:
         num_moments = config.num_moments
         plan = plan_grid(num_vectors, config.block_size, self.spec)
         dtype = np.float64 if config.precision == "double" else np.float32
+
+        resuming = resume_state is not None
+        if (resuming or start_moment or state_sink is not None) and (
+            checkpoint_every is not None or on_chunk is not None
+        ):
+            raise ValidationError(
+                "resume/state-capture mode is incompatible with checkpoint "
+                "mode (checkpoint_every/on_chunk)"
+            )
+        if resuming:
+            if start_moment < 2 or start_moment >= num_moments:
+                raise ValidationError(
+                    "resume needs 2 <= start_moment < num_moments, got "
+                    f"start_moment={start_moment}, num_moments={num_moments}"
+                )
+            expected = (num_vectors, 2, dim)
+            if tuple(resume_state.shape) != expected:
+                raise ValidationError(
+                    f"resume_state must have shape {expected}, got "
+                    f"{tuple(resume_state.shape)}"
+                )
+        elif start_moment:
+            raise ValidationError("start_moment > 0 requires resume_state")
+        if state_sink is not None and num_moments < 2:
+            raise ValidationError(
+                "state capture needs num_moments >= 2 (two recursion "
+                "vectors to checkpoint)"
+            )
+        # Columns the launch produces: all orders cold, new orders on resume.
+        width = num_moments - start_moment
 
         device = Device(self.spec)
         self.last_device = device
@@ -245,6 +461,14 @@ class GpuKPM:
                 workspace = device.alloc(
                     (plan.num_blocks, 4, dim), dtype=dtype, name="workspace"
                 )
+                d_state_in = None
+                if resuming:
+                    d_state_in = device.alloc(
+                        (num_vectors, 2, dim), dtype=dtype, name="state.in"
+                    )
+                    device.memcpy_htod(
+                        d_state_in, np.asarray(resume_state, dtype=dtype)
+                    )
 
             if checkpoint_every is not None or on_chunk is not None:
                 try:
@@ -269,18 +493,33 @@ class GpuKPM:
                     matrix.free()
 
             mu_tilde = device.alloc(
-                (num_vectors, num_moments), dtype=dtype, name="mu_tilde"
+                (num_vectors, width), dtype=dtype, name="mu_tilde"
             )
-            mu_out = device.alloc(num_moments, dtype=dtype, name="mu")
+            mu_out = device.alloc(width, dtype=dtype, name="mu")
+            d_state_out = None
+            if state_sink is not None:
+                d_state_out = device.alloc(
+                    (num_vectors, 2, dim), dtype=dtype, name="state.out"
+                )
 
             # --- part (a): recursion ------------------------------------
-            pv_stats = per_vector_recursion_stats(
-                dim,
-                num_moments,
-                nnz=nnz,
-                block_size=plan.block_size,
-                precision=config.precision,
-            )
+            if resuming:
+                pv_stats = per_vector_resume_stats(
+                    dim,
+                    start_moment,
+                    num_moments,
+                    nnz=nnz,
+                    block_size=plan.block_size,
+                    precision=config.precision,
+                )
+            else:
+                pv_stats = per_vector_recursion_stats(
+                    dim,
+                    num_moments,
+                    nnz=nnz,
+                    block_size=plan.block_size,
+                    precision=config.precision,
+                )
             footprint = recursion_footprint_bytes(
                 dim, plan, self.spec, nnz=nnz, precision=config.precision
             )
@@ -301,15 +540,18 @@ class GpuKPM:
                         config.vector_kind,
                         config.seed,
                         first_vector,
+                        start_moment,
+                        d_state_in,
+                        d_state_out,
                     ),
                     shared_bytes_per_block=plan.block_size * 8,
                 )
 
             # --- part (b): reduction ------------------------------------
             reduce_stats = reduce_launch_stats(
-                num_moments, num_vectors, precision=config.precision
+                width, num_vectors, precision=config.precision
             )
-            reduce_blocks = -(-num_moments // plan.block_size)
+            reduce_blocks = -(-width // plan.block_size)
             with tracer.device_span("gpu.reduction", device):
                 device.launch(
                     reduce_moments_kernel,
@@ -319,15 +561,25 @@ class GpuKPM:
                 )
 
             # --- download -------------------------------------------------
-            host_mu_tilde = np.empty((num_vectors, num_moments), dtype=dtype)
-            host_mu = np.empty(num_moments, dtype=dtype)
+            host_mu_tilde = np.empty((num_vectors, width), dtype=dtype)
+            host_mu = np.empty(width, dtype=dtype)
+            host_state = None
             with tracer.device_span("gpu.download", device):
                 device.memcpy_dtoh(host_mu_tilde, mu_tilde)
                 device.memcpy_dtoh(host_mu, mu_out)
+                if d_state_out is not None:
+                    host_state = np.empty((num_vectors, 2, dim), dtype=dtype)
+                    device.memcpy_dtoh(host_state, d_state_out)
             mu_out.free()
             mu_tilde.free()
+            if d_state_out is not None:
+                d_state_out.free()
+            if d_state_in is not None:
+                d_state_in.free()
             workspace.free()
             matrix.free()
+        if state_sink is not None:
+            state_sink(host_state)
         return host_mu_tilde.astype(np.float64), host_mu.astype(np.float64), device
 
     def _run_chunked(
@@ -431,3 +683,19 @@ class GpuSimEngine:
     ) -> tuple[MomentData, TimingReport]:
         """Run the GPU pipeline on the scaled operator."""
         return self.runner.compute_moments(scaled_operator, config)
+
+    def compute_moments_resumable(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport, GpuMomentState | None]:
+        """Delegate to :meth:`GpuKPM.compute_moments_resumable`."""
+        return self.runner.compute_moments_resumable(scaled_operator, config)
+
+    def extend_moments(
+        self, scaled_operator, config: KPMConfig, data: MomentData, state
+    ) -> tuple[MomentData, TimingReport, GpuMomentState]:
+        """Delegate to :meth:`GpuKPM.extend_moments`."""
+        return self.runner.extend_moments(scaled_operator, config, data, state)
+
+    def estimate_modeled_seconds(self, scaled_operator, config: KPMConfig) -> float:
+        """Delegate to :meth:`GpuKPM.estimate_modeled_seconds`."""
+        return self.runner.estimate_modeled_seconds(scaled_operator, config)

@@ -38,6 +38,7 @@ __all__ = [
     "GridPlan",
     "plan_grid",
     "per_vector_recursion_stats",
+    "per_vector_resume_stats",
     "recursion_footprint_bytes",
     "recursion_launch_stats",
     "reduce_launch_stats",
@@ -148,6 +149,74 @@ def per_vector_recursion_stats(
     flops += n * 2.0 * dim                               # dots
     read += n * 2.0 * vec_bytes
     write += n * item
+    return KernelStats(
+        flops=flops,
+        gmem_read_bytes=read,
+        gmem_write_bytes=write,
+        coalescing=coalescing,
+        thread_efficiency=thread_efficiency,
+        precision=precision,
+    )
+
+
+def per_vector_resume_stats(
+    dimension: int,
+    start_moment: int,
+    num_moments: int,
+    *,
+    nnz: int | None = None,
+    block_size: int | None = None,
+    precision: str = "double",
+) -> KernelStats:
+    """Work of resuming the recursion from order ``start_moment`` for ONE vector.
+
+    The resume launch regenerates ``|r>`` from its Philox stream (the
+    random vector is a pure function of its index — cheaper than
+    round-tripping it through PCIe), loads the two checkpointed
+    recursion vectors ``r_{start-2}, r_{start-1}`` from the uploaded
+    state buffer, then runs ``num_moments - start_moment`` recursion
+    steps (matvec + axpy + dot each).  ``start_moment >= 2`` because the
+    three-term recursion needs two prior vectors.
+    """
+    dim = check_positive_int(dimension, "dimension")
+    n = check_positive_int(num_moments, "num_moments")
+    start = check_positive_int(start_moment, "start_moment")
+    if start < 2:
+        raise ValidationError(
+            f"start_moment must be >= 2 (two recursion vectors are "
+            f"checkpointed), got {start}"
+        )
+    if start >= n:
+        raise ValidationError(
+            f"resume needs num_moments > start_moment, got {n} <= {start}"
+        )
+    item = _itemsize(precision)
+    if block_size is None:
+        thread_efficiency = 1.0
+    else:
+        block_size = check_positive_int(block_size, "block_size")
+        thread_efficiency = min(1.0, dim / block_size)
+    steps = n - start
+    vec_bytes = dim * item
+
+    flops = _RNG_FLOPS_PER_ELEMENT * dim  # RNG (regenerate |r>)
+    read = 2.0 * vec_bytes  # checkpointed r_{start-2}, r_{start-1}
+    write = float(vec_bytes)  # RNG output
+    if nnz is None:
+        matvec_flops = 2.0 * dim * dim
+        matvec_read = dim * dim * item + vec_bytes
+        coalescing = DENSE_MATVEC_COALESCING
+    else:
+        nnz = check_positive_int(nnz, "nnz")
+        matvec_flops = 2.0 * nnz
+        matvec_read = nnz * (item + _INDEX) + (dim + 1) * _INDEX + vec_bytes
+        coalescing = CSR_MATVEC_COALESCING
+    flops += steps * (matvec_flops + 2.0 * dim)          # matvec + axpy
+    read += steps * (matvec_read + 2.0 * vec_bytes)      # matvec + axpy reads
+    write += steps * 2.0 * vec_bytes                     # matvec out + axpy out
+    flops += steps * 2.0 * dim                           # dots (new orders only)
+    read += steps * 2.0 * vec_bytes
+    write += steps * item
     return KernelStats(
         flops=flops,
         gmem_read_bytes=read,

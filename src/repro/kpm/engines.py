@@ -27,11 +27,17 @@ from typing import Protocol, runtime_checkable
 
 from repro.errors import ValidationError
 from repro.kpm.config import KPMConfig
-from repro.kpm.moments import MomentData, stochastic_moments
+from repro.kpm.moments import (
+    MomentData,
+    extend_stochastic_moments,
+    stochastic_moments,
+    stochastic_moments_resumable,
+)
 from repro.timing import TimingReport, WallTimer
 
 __all__ = [
     "MomentEngine",
+    "ResumableMomentEngine",
     "NumpyEngine",
     "register_engine",
     "get_engine",
@@ -50,11 +56,37 @@ class MomentEngine(Protocol):
     ) -> tuple[MomentData, TimingReport]: ...
 
 
+@runtime_checkable
+class ResumableMomentEngine(Protocol):
+    """Backend that can checkpoint and extend the Chebyshev recursion.
+
+    ``compute_moments_resumable`` behaves like ``compute_moments`` but
+    additionally returns an opaque recursion *state*;
+    ``extend_moments`` resumes from that state to a higher truncation
+    order, returning the full extended :class:`MomentData` (whose
+    columns are bit-identical to a cold run at the higher order on the
+    same backend) plus the advanced state.  The serving layer feature-
+    detects this protocol to extend cached moments in place instead of
+    recomputing from ``mu_0``.
+    """
+
+    name: str
+
+    def compute_moments_resumable(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport, object]: ...
+
+    def extend_moments(
+        self, scaled_operator, config: KPMConfig, data: MomentData, state
+    ) -> tuple[MomentData, TimingReport, object]: ...
+
+
 class NumpyEngine:
     """Vectorized host reference backend (no hardware model).
 
     Runs :func:`repro.kpm.stochastic_moments` directly; the timing report
-    carries only the measured wall clock.
+    carries only the measured wall clock.  Implements
+    :class:`ResumableMomentEngine` via the checkpointed host recursion.
     """
 
     name = "numpy"
@@ -66,6 +98,24 @@ class NumpyEngine:
             data = stochastic_moments(scaled_operator, config)
         report = TimingReport(backend=self.name, wall_seconds=timer.seconds)
         return data, report
+
+    def compute_moments_resumable(
+        self, scaled_operator, config: KPMConfig
+    ) -> tuple[MomentData, TimingReport, object]:
+        with WallTimer() as timer:
+            data, state = stochastic_moments_resumable(scaled_operator, config)
+        report = TimingReport(backend=self.name, wall_seconds=timer.seconds)
+        return data, report, state
+
+    def extend_moments(
+        self, scaled_operator, config: KPMConfig, data: MomentData, state
+    ) -> tuple[MomentData, TimingReport, object]:
+        with WallTimer() as timer:
+            extended, advanced = extend_stochastic_moments(
+                scaled_operator, config, data, state
+            )
+        report = TimingReport(backend=self.name, wall_seconds=timer.seconds)
+        return extended, report, advanced
 
 
 _FACTORIES: dict[str, Callable[[], MomentEngine]] = {}

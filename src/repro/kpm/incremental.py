@@ -16,10 +16,14 @@ substrate:
 * ``add_vectors`` computes moments for *new* Philox streams only; the
   accumulated table grows and all previous work is reused.  The result
   is bit-identical to a one-shot run with the final vector count.
-* ``add_moments`` raises the truncation order, which requires replaying
-  the recursion for every vector (the Chebyshev recursion keeps no
-  state) — the cost is reported honestly via the ``matvecs_performed``
-  counter.
+* ``add_moments`` raises the truncation order by *resuming* the
+  three-term recursion from per-group checkpoints
+  (:class:`~repro.kpm.moments.RecursionCheckpoint`) instead of
+  replaying it from ``mu_0`` — the marginal cost is one matvec per new
+  order per vector, reported honestly via ``matvecs_performed``.  The
+  extension is exception-safe: every group's segment is computed before
+  any state is committed, so a failing operator leaves the object
+  exactly as it was.
 """
 
 from __future__ import annotations
@@ -27,14 +31,42 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.kpm.moments import MomentData, moments_block
+from repro.kpm.moments import (
+    MomentData,
+    extend_moments_block,
+    moments_block_resumable,
+)
 from repro.kpm.random_vectors import available_vector_kinds, random_block
 from repro.kpm.reconstruct import dos_from_moments
 from repro.kpm.rescale import rescale_operator
 from repro.sparse import as_operator
 from repro.util.validation import check_choice, check_positive_int
 
-__all__ = ["SpectralDensity"]
+__all__ = ["SpectralDensity", "moment_convergence_estimate"]
+
+
+def moment_convergence_estimate(data: MomentData) -> float:
+    """Scalar convergence proxy for a :class:`MomentData` estimate.
+
+    With two or more realizations this is the RMS per-moment standard
+    error (the same statistic :meth:`SpectralDensity.density_error_estimate`
+    tracks); with a single realization there is no dispersion
+    information, so the tail magnitude ``rms(mu[-N//4:])`` stands in —
+    damped Chebyshev series converge when their high-order moments stop
+    contributing.  Used by the serving layer's refinement loop to stop
+    streaming tiers once the estimate is converged.
+    """
+    if not isinstance(data, MomentData):
+        raise ValidationError(
+            f"data must be a MomentData, got {type(data).__name__}"
+        )
+    if data.num_realizations >= 2:
+        errors = data.standard_error()
+        if not np.all(np.isfinite(errors)):
+            return float("inf")
+        return float(np.sqrt(np.mean(errors**2)))
+    tail = data.mu[-max(1, data.num_moments // 4) :]
+    return float(np.sqrt(np.mean(tail**2)))
 
 
 class SpectralDensity:
@@ -79,6 +111,9 @@ class SpectralDensity:
         self.seed = seed
         #: Raw per-vector moments ``<r|T_n|r>/D``, shape (vectors, N).
         self._table = np.empty((0, self.num_moments), dtype=np.float64)
+        #: One recursion checkpoint per ``add_vectors`` group, in call
+        #: order; ``add_moments`` resumes each instead of replaying.
+        self._checkpoints: list = []
         #: Total matrix-vector products executed so far (cost meter).
         self.matvecs_performed = 0
 
@@ -88,7 +123,7 @@ class SpectralDensity:
         """Random vectors accumulated so far."""
         return int(self._table.shape[0])
 
-    def _compute_vectors(self, first: int, count: int, num_moments: int) -> np.ndarray:
+    def _compute_vectors(self, first: int, count: int, num_moments: int):
         block = random_block(
             self.dimension,
             count,
@@ -97,32 +132,52 @@ class SpectralDensity:
             realization=0,
             first_vector=first,
         )
-        raw = moments_block(self.scaled, block, num_moments)  # (N, count)
+        raw, checkpoint = moments_block_resumable(self.scaled, block, num_moments)
         self.matvecs_performed += max(num_moments - 1, 0) * count
-        return raw.T / self.dimension
+        return raw.T / self.dimension, checkpoint
 
     # ------------------------------------------------------------------
     def add_vectors(self, count: int) -> "SpectralDensity":
         """Accumulate ``count`` new random vectors (previous work reused)."""
         count = check_positive_int(count, "count")
-        new_rows = self._compute_vectors(self.num_vectors, count, self.num_moments)
+        new_rows, checkpoint = self._compute_vectors(
+            self.num_vectors, count, self.num_moments
+        )
         self._table = np.vstack([self._table, new_rows])
+        self._checkpoints.append(checkpoint)
         return self
 
     def add_moments(self, extra: int) -> "SpectralDensity":
-        """Raise the truncation order by ``extra`` (replays all vectors).
+        """Raise the truncation order by ``extra`` (resumes, never replays).
 
-        The recursion keeps no state, so every accumulated vector is
-        re-run at the new order; the stochastic estimate stays
-        bit-consistent because the vectors are pure functions of their
-        stream indices.
+        Each ``add_vectors`` group left a recursion checkpoint holding
+        its last two Chebyshev vectors; extending costs one matvec per
+        new order per vector instead of a full replay, and the new
+        columns are bit-identical to what a fresh run at the higher
+        order would have produced.
+
+        Exception-safe: all segments are computed *before* any state is
+        committed, so a failure (e.g. an operator raising mid-matvec)
+        leaves ``num_moments``, the table, the checkpoints, and the
+        matvec counter untouched.
         """
         extra = check_positive_int(extra, "extra")
-        self.num_moments += extra
-        vectors = self.num_vectors
-        self._table = np.empty((0, self.num_moments), dtype=np.float64)
-        if vectors:
-            self._table = self._compute_vectors(0, vectors, self.num_moments)
+        target = self.num_moments + extra
+        # Phase 1: compute every group's extension (no mutation yet).
+        segments = []
+        advanced = []
+        for checkpoint in self._checkpoints:
+            segment, state = extend_moments_block(self.scaled, checkpoint, target)
+            segments.append(segment.T / self.dimension)  # (count, extra)
+            advanced.append(state)
+        # Phase 2: commit.
+        if segments:
+            self._table = np.hstack([self._table, np.vstack(segments)])
+        else:
+            self._table = np.empty((0, target), dtype=np.float64)
+        self._checkpoints = advanced
+        self.matvecs_performed += extra * self.num_vectors
+        self.num_moments = target
         return self
 
     # ------------------------------------------------------------------

@@ -15,6 +15,17 @@ exact trace for validation.
 Moments returned by the *low-level* routines are raw ``<r|T_n(H~)|r>``
 values; :func:`stochastic_moments` and :func:`exact_moments` normalize by
 the dimension ``D`` so that ``mu_0 ~= 1``.
+
+**Prefix closedness and checkpointed resume.**  ``mu_n`` depends only on
+``r_0 .. r_n`` — never on the truncation order ``N`` — so a moment
+sequence computed at order ``N`` contains, bit-for-bit, the sequence any
+smaller order would have produced.  The ``*_resumable`` variants exploit
+the converse direction: they return a :class:`RecursionCheckpoint`
+holding the recursion's tail vectors, and :func:`extend_moments_block` /
+:func:`extend_moments_single_vector` continue the *identical* loop from
+that state, producing orders ``[N, M)`` bit-identical to a cold run at
+``M`` without replaying orders ``0 .. N-1``.  The serve layer's
+prefix-closed moment cache is built on exactly this contract.
 """
 
 from __future__ import annotations
@@ -31,9 +42,17 @@ from repro.util.validation import check_positive_int
 
 __all__ = [
     "MomentData",
+    "RecursionCheckpoint",
+    "TraceCheckpoint",
     "moments_single_vector",
     "moments_block",
+    "moments_single_vector_resumable",
+    "moments_block_resumable",
+    "extend_moments_single_vector",
+    "extend_moments_block",
     "stochastic_moments",
+    "stochastic_moments_resumable",
+    "extend_stochastic_moments",
     "exact_moments",
 ]
 
@@ -95,6 +114,30 @@ class MomentData:
         if s < 2:
             return np.zeros_like(self.mu)
         return self.per_realization.std(axis=0, ddof=1) / np.sqrt(s)
+
+    def prefix(self, num_moments: int) -> "MomentData":
+        """The first ``num_moments`` orders, as views of this data.
+
+        Moments are prefix-closed (``mu_n`` never depends on the
+        truncation order), so the slice is bit-identical to what a fresh
+        run at ``num_moments`` would have produced on the same backend.
+        The views inherit this array's writeability — a cache handing out
+        read-only moments hands out read-only prefixes.
+        """
+        num_moments = check_positive_int(num_moments, "num_moments")
+        if num_moments > self.num_moments:
+            raise ValidationError(
+                f"prefix of {num_moments} moments exceeds the stored "
+                f"{self.num_moments}"
+            )
+        if num_moments == self.num_moments:
+            return self
+        return MomentData(
+            mu=self.mu[:num_moments],
+            per_realization=self.per_realization[:, :num_moments],
+            dimension=self.dimension,
+            num_vectors=self.num_vectors,
+        )
 
 
 def _check_moment_magnitude(value: float, order: int) -> None:
@@ -215,6 +258,283 @@ def moments_block(
     return mu
 
 
+@dataclass
+class RecursionCheckpoint:
+    """Resumable tail state of one three-term recursion.
+
+    Everything :func:`extend_moments_single_vector` /
+    :func:`extend_moments_block` need to continue the loop exactly where
+    a cold run stopped.  ``start`` is ``|r_0>`` (or the ``(D, R)`` start
+    block); in the plain path ``prev``/``cur`` are ``r_{N-2}``/``r_{N-1}``
+    and ``k == N - 1``; in the doubling path they are ``a_{k-1}``/``a_k``
+    with ``k`` the Chebyshev index of ``cur`` (for odd ``N`` the last
+    half-step produces no new ``a``, so ``k`` can lag ``N``).  ``mu0`` /
+    ``mu1`` are the raw order-0/1 moments the doubling corrections
+    reference; ``scale`` is the divergence-check normalization.  At
+    ``num_moments == 1`` the recursion has not started: ``prev``, ``cur``
+    and ``mu1`` are ``None``.
+    """
+
+    start: np.ndarray
+    prev: np.ndarray | None
+    cur: np.ndarray | None
+    k: int
+    num_moments: int
+    scale: float
+    use_doubling: bool
+    mu0: object
+    mu1: object
+
+
+def _checkpoint_matches(checkpoint, ndim: int, op) -> None:
+    if not isinstance(checkpoint, RecursionCheckpoint):
+        raise ValidationError(
+            f"checkpoint must be a RecursionCheckpoint, got {type(checkpoint).__name__}"
+        )
+    if checkpoint.start.ndim != ndim:
+        raise ShapeError(
+            f"checkpoint start vector must be {ndim}-dimensional, got "
+            f"shape {checkpoint.start.shape}"
+        )
+    if checkpoint.start.shape[0] != op.shape[0]:
+        raise ShapeError(
+            f"checkpoint dimension {checkpoint.start.shape[0]} does not match "
+            f"operator dimension {op.shape[0]}"
+        )
+
+
+def moments_single_vector_resumable(
+    operator, start_vector, num_moments: int, *, use_doubling: bool = False
+) -> tuple[np.ndarray, RecursionCheckpoint]:
+    """:func:`moments_single_vector` plus a resumable checkpoint.
+
+    The returned moments are bit-identical to
+    :func:`moments_single_vector` (the loop body is shared with
+    :func:`extend_moments_single_vector`, which performs the same
+    floating-point operations in the same order); the checkpoint lets a
+    later call extend the sequence without replaying from ``mu_0``.
+    """
+    op = as_operator(operator)
+    num_moments = check_positive_int(num_moments, "num_moments")
+    r0 = np.asarray(start_vector, dtype=np.float64)
+    if r0.ndim != 1 or r0.shape[0] != op.shape[0]:
+        raise ShapeError(
+            f"start_vector must have length {op.shape[0]}, got shape {r0.shape}"
+        )
+    norm_sq = float(r0 @ r0)
+    mu = np.empty(num_moments, dtype=np.float64)
+    mu[0] = norm_sq
+    checkpoint = RecursionCheckpoint(
+        start=r0,
+        prev=None,
+        cur=None,
+        k=0,
+        num_moments=1,
+        scale=max(norm_sq, 1.0),
+        use_doubling=bool(use_doubling),
+        mu0=norm_sq,
+        mu1=None,
+    )
+    if num_moments == 1:
+        return mu, checkpoint
+    segment, checkpoint = extend_moments_single_vector(op, checkpoint, num_moments)
+    mu[1:] = segment
+    return mu, checkpoint
+
+
+def extend_moments_single_vector(
+    operator, checkpoint: RecursionCheckpoint, num_moments: int
+) -> tuple[np.ndarray, RecursionCheckpoint]:
+    """Resume a single-vector recursion up to ``num_moments`` orders.
+
+    Returns the *new segment* — raw moments of orders
+    ``[checkpoint.num_moments, num_moments)`` — and the advanced
+    checkpoint.  Because the loop body repeats the cold path's operations
+    exactly, ``concat(old, segment)`` is bit-identical to a cold
+    :func:`moments_single_vector` run at ``num_moments``.
+    """
+    op = as_operator(operator)
+    num_moments = check_positive_int(num_moments, "num_moments")
+    _checkpoint_matches(checkpoint, 1, op)
+    base = checkpoint.num_moments
+    if num_moments <= base:
+        raise ValidationError(
+            f"extension target {num_moments} must exceed the checkpoint's "
+            f"{base} moments"
+        )
+    r0 = checkpoint.start
+    scale = checkpoint.scale
+    segment = np.empty(num_moments - base, dtype=np.float64)
+
+    def emit(order: int, value: float) -> None:
+        segment[order - base] = value
+        _check_moment_magnitude(value / scale, order)
+
+    prev, cur, k = checkpoint.prev, checkpoint.cur, checkpoint.k
+    mu1 = checkpoint.mu1
+    known = base
+    if cur is None:
+        # Only mu_0 is known: bootstrap exactly like the cold path.
+        cur = op.matvec(r0)
+        mu1 = float(r0 @ cur)
+        emit(1, mu1)
+        prev = r0 if checkpoint.use_doubling else r0.copy()
+        k = 1
+        known = 2
+    if checkpoint.use_doubling:
+        mu0 = checkpoint.mu0
+        while 2 * k < num_moments:
+            if 2 * k >= known:
+                emit(2 * k, 2.0 * float(cur @ cur) - mu0)
+            if 2 * k + 1 < num_moments:
+                nxt = 2.0 * op.matvec(cur) - prev
+                if 2 * k + 1 >= known:
+                    emit(2 * k + 1, 2.0 * float(nxt @ cur) - mu1)
+                prev, cur = cur, nxt
+                k += 1
+            else:
+                break
+    else:
+        for order in range(max(known, 2), num_moments):
+            nxt = 2.0 * op.matvec(cur) - prev
+            emit(order, float(r0 @ nxt))
+            prev, cur = cur, nxt
+        k = num_moments - 1
+    advanced = RecursionCheckpoint(
+        start=r0,
+        prev=prev,
+        cur=cur,
+        k=k,
+        num_moments=num_moments,
+        scale=scale,
+        use_doubling=checkpoint.use_doubling,
+        mu0=checkpoint.mu0,
+        mu1=mu1,
+    )
+    return segment, advanced
+
+
+def moments_block_resumable(
+    operator, start_block, num_moments: int, *, use_doubling: bool = False
+) -> tuple[np.ndarray, RecursionCheckpoint]:
+    """:func:`moments_block` plus a resumable checkpoint (see above)."""
+    op = as_operator(operator)
+    num_moments = check_positive_int(num_moments, "num_moments")
+    block0 = np.asarray(start_block, dtype=np.float64)
+    if block0.ndim != 2 or block0.shape[0] != op.shape[0]:
+        raise ShapeError(
+            f"start_block must have shape ({op.shape[0]}, R), got {block0.shape}"
+        )
+    num_vectors = block0.shape[1]
+    mu = np.empty((num_moments, num_vectors), dtype=np.float64)
+    norms_sq = np.einsum("ij,ij->j", block0, block0)
+    mu[0] = norms_sq
+    checkpoint = RecursionCheckpoint(
+        start=block0,
+        prev=None,
+        cur=None,
+        k=0,
+        num_moments=1,
+        scale=max(float(norms_sq.max(initial=1.0)), 1.0),
+        use_doubling=bool(use_doubling),
+        mu0=norms_sq,
+        mu1=None,
+    )
+    if num_moments == 1:
+        return mu, checkpoint
+    segment, checkpoint = extend_moments_block(op, checkpoint, num_moments)
+    mu[1:] = segment
+    return mu, checkpoint
+
+
+def extend_moments_block(
+    operator, checkpoint: RecursionCheckpoint, num_moments: int
+) -> tuple[np.ndarray, RecursionCheckpoint]:
+    """Resume a block recursion; returns the ``(new_orders, R)`` segment.
+
+    Block analogue of :func:`extend_moments_single_vector` — same
+    contract: the segment stacked under the cold prefix is bit-identical
+    to a cold :func:`moments_block` run at ``num_moments``.
+    """
+    op = as_operator(operator)
+    num_moments = check_positive_int(num_moments, "num_moments")
+    _checkpoint_matches(checkpoint, 2, op)
+    base = checkpoint.num_moments
+    if num_moments <= base:
+        raise ValidationError(
+            f"extension target {num_moments} must exceed the checkpoint's "
+            f"{base} moments"
+        )
+    block0 = checkpoint.start
+    scale = checkpoint.scale
+    segment = np.empty((num_moments - base, block0.shape[1]), dtype=np.float64)
+
+    def emit(order: int, row: np.ndarray) -> None:
+        segment[order - base] = row
+        _check_moment_magnitude(float(np.max(np.abs(row))) / scale, order)
+
+    prev, cur, k = checkpoint.prev, checkpoint.cur, checkpoint.k
+    mu1 = checkpoint.mu1
+    known = base
+    if cur is None:
+        cur = op.matmat(block0)
+        mu1 = np.einsum("ij,ij->j", block0, cur)
+        emit(1, mu1)
+        prev = block0 if checkpoint.use_doubling else block0.copy()
+        k = 1
+        known = 2
+    if checkpoint.use_doubling:
+        mu0 = checkpoint.mu0
+        while 2 * k < num_moments:
+            if 2 * k >= known:
+                emit(2 * k, 2.0 * np.einsum("ij,ij->j", cur, cur) - mu0)
+            if 2 * k + 1 < num_moments:
+                nxt = 2.0 * op.matmat(cur) - prev
+                if 2 * k + 1 >= known:
+                    emit(2 * k + 1, 2.0 * np.einsum("ij,ij->j", nxt, cur) - mu1)
+                prev, cur = cur, nxt
+                k += 1
+            else:
+                break
+    else:
+        for order in range(max(known, 2), num_moments):
+            nxt = 2.0 * op.matmat(cur) - prev
+            emit(order, np.einsum("ij,ij->j", block0, nxt))
+            prev, cur = cur, nxt
+        k = num_moments - 1
+    advanced = RecursionCheckpoint(
+        start=block0,
+        prev=prev,
+        cur=cur,
+        k=k,
+        num_moments=num_moments,
+        scale=scale,
+        use_doubling=checkpoint.use_doubling,
+        mu0=checkpoint.mu0,
+        mu1=mu1,
+    )
+    return segment, advanced
+
+
+@dataclass
+class TraceCheckpoint:
+    """Resumable state of a :func:`stochastic_moments` run.
+
+    One :class:`RecursionCheckpoint` per realization, in realization
+    order.  Opaque to callers — hand it back to
+    :func:`extend_stochastic_moments` unchanged.
+    """
+
+    checkpoints: list
+
+    @property
+    def num_moments(self) -> int:
+        """Orders already produced (0 when the checkpoint list is empty)."""
+        if not self.checkpoints:
+            return 0
+        return int(self.checkpoints[0].num_moments)
+
+
 def stochastic_moments(
     operator,
     config: KPMConfig,
@@ -262,6 +582,98 @@ def stochastic_moments(
     if keep_per_vector:
         return data, per_vector
     return data
+
+
+def stochastic_moments_resumable(
+    operator, config: KPMConfig
+) -> tuple[MomentData, TraceCheckpoint]:
+    """:func:`stochastic_moments` plus a :class:`TraceCheckpoint`.
+
+    Bit-identical to :func:`stochastic_moments` (the per-realization
+    block recursions go through :func:`moments_block_resumable`, whose
+    cold path repeats :func:`moments_block` exactly); the checkpoint lets
+    :func:`extend_stochastic_moments` raise the truncation order later
+    without replaying the recursion from ``mu_0``.
+    """
+    if not isinstance(config, KPMConfig):
+        raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
+    op = as_operator(operator)
+    dim = op.shape[0]
+    n, r, s = config.num_moments, config.num_random_vectors, config.num_realizations
+    per_realization = np.empty((s, n), dtype=np.float64)
+    checkpoints = []
+    for realization in range(s):
+        block = random_block(
+            dim, r, config.vector_kind, seed=config.seed, realization=realization
+        )
+        raw, checkpoint = moments_block_resumable(
+            op, block, n, use_doubling=config.use_doubling
+        )
+        per_realization[realization] = raw.mean(axis=1) / dim
+        checkpoints.append(checkpoint)
+    data = MomentData(
+        mu=per_realization.mean(axis=0),
+        per_realization=per_realization,
+        dimension=dim,
+        num_vectors=r,
+    )
+    return data, TraceCheckpoint(checkpoints=checkpoints)
+
+
+def extend_stochastic_moments(
+    operator, config: KPMConfig, data: MomentData, checkpoint: TraceCheckpoint
+) -> tuple[MomentData, TraceCheckpoint]:
+    """Extend a checkpointed stochastic run to ``config.num_moments`` orders.
+
+    ``data``/``checkpoint`` must come from
+    :func:`stochastic_moments_resumable` (or a previous extension) with
+    the same operator and config identity; only ``config.num_moments``
+    may differ, and must be larger.  The result is bit-identical to a
+    cold :func:`stochastic_moments` at the new order: the stored prefix
+    columns are reused as-is and the new columns are produced by the
+    resumed recursion, whose per-order values never depended on the
+    truncation order in the first place.
+    """
+    if not isinstance(config, KPMConfig):
+        raise ValidationError(f"config must be a KPMConfig, got {type(config).__name__}")
+    if not isinstance(data, MomentData):
+        raise ValidationError(f"data must be a MomentData, got {type(data).__name__}")
+    if not isinstance(checkpoint, TraceCheckpoint):
+        raise ValidationError(
+            f"checkpoint must be a TraceCheckpoint, got {type(checkpoint).__name__}"
+        )
+    op = as_operator(operator)
+    base = checkpoint.num_moments
+    target = config.num_moments
+    if len(checkpoint.checkpoints) != config.num_realizations:
+        raise ValidationError(
+            f"checkpoint has {len(checkpoint.checkpoints)} realizations, "
+            f"config asks for {config.num_realizations}"
+        )
+    if data.num_moments != base:
+        raise ValidationError(
+            f"data carries {data.num_moments} moments but the checkpoint "
+            f"stopped at {base}; they must match"
+        )
+    if target <= base:
+        raise ValidationError(
+            f"extension target {target} must exceed the checkpointed {base} moments"
+        )
+    dim = data.dimension
+    new_columns = np.empty((config.num_realizations, target - base), dtype=np.float64)
+    advanced = []
+    for realization, state in enumerate(checkpoint.checkpoints):
+        segment, state = extend_moments_block(op, state, target)
+        new_columns[realization] = segment.mean(axis=1) / dim
+        advanced.append(state)
+    per_realization = np.concatenate([data.per_realization, new_columns], axis=1)
+    extended = MomentData(
+        mu=per_realization.mean(axis=0),
+        per_realization=per_realization,
+        dimension=dim,
+        num_vectors=data.num_vectors,
+    )
+    return extended, TraceCheckpoint(checkpoints=advanced)
 
 
 def exact_moments(operator, num_moments: int, *, chunk_size: int = 256) -> np.ndarray:

@@ -51,7 +51,14 @@ def _add_subcommands(obs_sub) -> None:
     record.add_argument(
         "--smoke",
         action="store_true",
-        help="record only the smoke workload (skip the Fig 5-8 gauges)",
+        help="record only the smoke workload (alias for --workload smoke)",
+    )
+    record.add_argument(
+        "--workload",
+        choices=("bench", "smoke", "serve-prefix"),
+        default=None,
+        help="which traced workload to record (default: bench; "
+        "serve-prefix is the prefix-vs-exact cache A/B)",
     )
     record.add_argument(
         "--chrome", default=None, metavar="FILE", help="also write a Chrome trace JSON"
@@ -100,20 +107,38 @@ def _add_subcommands(obs_sub) -> None:
         action="store_true",
         help="re-record only the smoke workload and ignore bench.* labels",
     )
+    compare.add_argument(
+        "--workload",
+        choices=("bench", "smoke", "serve-prefix"),
+        default=None,
+        help="workload to re-record for the comparison (default: bench)",
+    )
     compare.set_defaults(func=_cmd_compare)
 
 
-def _record_workload(*, smoke: bool, label: str | None):
-    from repro.bench.runner import baseline_record
-    from repro.obs.workloads import smoke_run
+def _resolve_workload(args) -> str:
+    if args.workload is not None:
+        if args.smoke and args.workload != "smoke":
+            raise ValidationError(
+                f"--smoke conflicts with --workload {args.workload}"
+            )
+        return args.workload
+    return "smoke" if args.smoke else "bench"
 
-    if smoke:
+
+def _record_workload(*, workload: str, label: str | None):
+    from repro.bench.runner import baseline_record
+    from repro.obs.workloads import serve_prefix_run, smoke_run
+
+    if workload == "smoke":
         return smoke_run(label=label or "smoke")
+    if workload == "serve-prefix":
+        return serve_prefix_run(label=label or "serve-prefix")
     return baseline_record(label=label or "bench-baseline")
 
 
 def _cmd_record(args) -> int:
-    record = _record_workload(smoke=args.smoke, label=args.label)
+    record = _record_workload(workload=_resolve_workload(args), label=args.label)
     write_run_record(record, args.out)
     print(
         f"wrote {record.label!r} ({len(record.spans)} root span(s), "
@@ -156,7 +181,9 @@ def _cmd_compare(args) -> int:
     if args.current is not None:
         current = load_run_record(args.current)
     else:
-        current = _record_workload(smoke=args.smoke, label=baseline.label)
+        current = _record_workload(
+            workload=_resolve_workload(args), label=baseline.label
+        )
     if args.smoke:
         # A smoke re-record cannot reproduce the Fig 5-8 gauges; keep the
         # gate honest on what actually re-ran.

@@ -3,6 +3,10 @@
 :func:`compare_records` aggregates each record's modeled seconds per
 span label (plus any ``*seconds*`` metric) and flags regressions where
 the current cost exceeds the baseline by more than a tolerance band.
+Quality metrics — names containing ``rate``, ``ratio``, or ``speedup``
+— are gated in the *opposite* direction: they regress when the current
+value falls below the baseline band (a cache whose hit-rate drops is as
+broken as an engine that got slower).
 Because both sides are on the deterministic modeled clock, the gate has
 no measurement noise — the tolerance absorbs *intentional* drift (cost
 model recalibration), not jitter.  CI runs it as::
@@ -25,6 +29,14 @@ __all__ = ["CostDelta", "ComparisonResult", "compare_records"]
 DEFAULT_FLOOR_SECONDS = 1e-9
 
 
+#: Metric-name fragments gated in the higher-is-better direction.
+_HIGHER_IS_BETTER = ("rate", "ratio", "speedup")
+
+
+def _is_higher_better(label: str) -> bool:
+    return any(fragment in label for fragment in _HIGHER_IS_BETTER)
+
+
 @dataclass(frozen=True)
 class CostDelta:
     """One compared label: baseline vs current modeled seconds."""
@@ -35,6 +47,7 @@ class CostDelta:
     current: float | None
     tolerance: float
     status: str  # "ok" | "regression" | "missing" | "new"
+    direction: str = "lower"  # "lower" | "higher" — which way is better
 
     @property
     def ratio(self) -> float:
@@ -45,11 +58,12 @@ class CostDelta:
 
     def summary(self) -> str:
         """One-line description for gate output."""
-        fmt = lambda v: "-" if v is None else f"{v:.6g}s"  # noqa: E731
+        unit = "s" if self.direction == "lower" else ""
+        fmt = lambda v: "-" if v is None else f"{v:.6g}{unit}"  # noqa: E731
         return (
             f"[{self.status}] {self.kind} {self.label}: "
             f"baseline={fmt(self.baseline)} current={fmt(self.current)} "
-            f"(tolerance {self.tolerance:.0%})"
+            f"(tolerance {self.tolerance:.0%}, {self.direction} is better)"
         )
 
 
@@ -85,7 +99,7 @@ def _seconds_metrics(record: RunRecord) -> dict[str, float]:
     values: dict[str, float] = {}
     for family in (record.metrics.counters, record.metrics.gauges):
         for name, value in family.items():
-            if "seconds" in name:
+            if "seconds" in name or _is_higher_better(name):
                 values[name] = value
     return values
 
@@ -151,12 +165,19 @@ def compare_records(
             if any(fnmatch.fnmatchcase(label, pattern) for pattern in ignore):
                 continue
             band = _tolerance_for(label, float(tolerance), bands)
+            higher_better = kind == "metric" and _is_higher_better(label)
             base = base_values.get(label)
             cur = cur_values.get(label)
             if base is None:
                 status = "new"
             elif cur is None:
                 status = "missing"
+            elif higher_better:
+                status = (
+                    "regression"
+                    if cur < base * (1.0 - band) - floor_seconds
+                    else "ok"
+                )
             elif cur > base * (1.0 + band) + floor_seconds:
                 status = "regression"
             else:
@@ -169,6 +190,7 @@ def compare_records(
                     current=cur,
                     tolerance=band,
                     status=status,
+                    direction="higher" if higher_better else "lower",
                 )
             )
     result = ComparisonResult(ok=True, deltas=deltas)

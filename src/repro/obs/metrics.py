@@ -113,6 +113,11 @@ class MetricsRegistry:
             "cache_hits",
             "cache_misses",
             "cache_evictions",
+            "cache_prefix_hits",
+            "cache_extensions",
+            "cache_forwards",
+            "refined_tiers",
+            "early_stops",
             "engine_dispatches",
             "engine_failures",
             "engine_ejections",

@@ -27,7 +27,7 @@ from repro.trace.tracer import Tracer
 from repro.serve.service import SpectralService
 from repro.serve.trace import synthetic_trace
 
-__all__ = ["smoke_run", "SMOKE_WORKLOAD"]
+__all__ = ["smoke_run", "serve_prefix_run", "SMOKE_WORKLOAD", "SERVE_PREFIX_WORKLOAD"]
 
 #: Deterministic parameters of the smoke workload (embedded in the record).
 SMOKE_WORKLOAD = {
@@ -42,6 +42,70 @@ SMOKE_WORKLOAD = {
     "serve_seed": 1,
     "serve_cache_capacity": 16,
 }
+
+
+#: Deterministic parameters of the prefix-vs-exact cache A/B workload.
+SERVE_PREFIX_WORKLOAD = {
+    "requests": 24,
+    "seed": 2,
+    "cache_capacity": 16,
+}
+
+
+def serve_prefix_run(
+    *,
+    label: str = "serve-prefix",
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> RunRecord:
+    """A/B the prefix moment cache against exact-order matching.
+
+    Replays one synthetic trace through two otherwise identical services
+    — the default prefix cache and the PR 3 exact-order matcher
+    (``prefix_cache=False``) — and records both metric families plus the
+    headline ``serve_ab.hit_rate_advantage`` gauge (prefix minus exact
+    hit-rate).  The trace's workload pool contains same-identity configs
+    differing only in ``num_moments``, so the advantage is structurally
+    positive; ``BENCH_PR7.json`` embeds this record and the CI gate pins
+    the rates (higher-is-better direction), so the prefix cache can
+    never silently stop out-hitting exact matching on mixed orders.
+    """
+    if not isinstance(label, str) or not label:
+        raise ValidationError(f"label must be a non-empty string, got {label!r}")
+    registry = MetricsRegistry() if registry is None else registry
+    tracer = Tracer() if tracer is None else tracer
+
+    rates: dict[str, float] = {}
+    with tracer.activate():
+        for mode, prefix in (("prefix", True), ("exact", False)):
+            with tracer.span(f"workload.serve_{mode}", category="workload"):
+                service = SpectralService(
+                    ("gpu-sim",),
+                    cache_capacity=SERVE_PREFIX_WORKLOAD["cache_capacity"],
+                    prefix_cache=prefix,
+                )
+                # Sequential arrival (one flush per request): repeats
+                # must go through the cache, not batch coalescing — the
+                # regime the prefix-vs-exact comparison is about.
+                for request in synthetic_trace(
+                    SERVE_PREFIX_WORKLOAD["requests"],
+                    seed=SERVE_PREFIX_WORKLOAD["seed"],
+                ):
+                    service.submit(request)
+                    service.flush()
+            metrics = service.metrics()
+            rates[mode] = metrics.cache_hit_rate()
+            registry.absorb_service_metrics(metrics, prefix=f"serve_{mode}")
+    registry.set_gauge(
+        "serve_ab.hit_rate_advantage", rates["prefix"] - rates["exact"]
+    )
+
+    return RunRecord(
+        label=label,
+        workload=dict(SERVE_PREFIX_WORKLOAD),
+        spans=tracer.finish(),
+        metrics=registry,
+    )
 
 
 def smoke_run(

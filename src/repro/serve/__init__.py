@@ -3,8 +3,10 @@
 The production-facing front-end the ROADMAP's heavy-traffic north star
 calls for: DoS, local-DoS, and Green's-function requests are admitted
 into a deterministic FIFO queue, coalesced when they share an operator
-fingerprint and moment configuration, served from a bounded LRU moment
-cache on repeats, and dispatched across a health-tracked pool of
+fingerprint and moment *identity* (truncation order excluded), served
+from a bounded LRU prefix moment cache on repeats — lower orders are
+bit-identical slices, higher orders resume the cached recursion from
+its checkpoint — and dispatched across a health-tracked pool of
 :class:`~repro.kpm.engines.MomentEngine` backends.
 
 Quick start::
@@ -31,6 +33,7 @@ from repro.serve.requests import (
     LDoSRequest,
     SpectralResponse,
     moment_config_key,
+    moment_identity_key,
 )
 from repro.serve.scheduler import Batch, FifoCoalesceScheduler, QueuedRequest
 from repro.serve.service import SpectralService
@@ -52,5 +55,6 @@ __all__ = [
     "SpectralResponse",
     "SpectralService",
     "moment_config_key",
+    "moment_identity_key",
     "synthetic_trace",
 ]

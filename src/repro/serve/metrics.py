@@ -34,6 +34,11 @@ class ServiceMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_prefix_hits: int = 0
+    cache_extensions: int = 0
+    cache_forwards: int = 0
+    refined_tiers: int = 0
+    early_stops: int = 0
     cache_size: int = 0
     queue_peak_depth: int = 0
     engine_dispatches: int = 0
@@ -97,12 +102,25 @@ class ServiceMetrics:
             f"cache_hits={self.cache_hits}/{self.cache_hits + self.cache_misses}",
             f"queue_peak={self.queue_peak_depth}",
         ]
+        if self.cache_prefix_hits:
+            parts.append(f"prefix_hits={self.cache_prefix_hits}")
+        if self.cache_extensions:
+            parts.append(f"extensions={self.cache_extensions}")
+        if self.cache_forwards:
+            parts.append(f"forwards={self.cache_forwards}")
+        if self.refined_tiers or self.early_stops:
+            parts.append(
+                f"tiers={self.refined_tiers} early_stops={self.early_stops}"
+            )
         if self.engine_ejections or self.engine_readmissions:
             parts.append(
                 f"ejections={self.engine_ejections}"
                 f" readmissions={self.engine_readmissions}"
             )
-        if self.modeled_naive_seconds > 0.0:
+        if (
+            math.isfinite(self.modeled_naive_seconds)
+            and self.modeled_naive_seconds > 0.0
+        ):
             parts.append(
                 f"modeled={format_seconds(self.modeled_served_seconds)}"
                 f" naive={format_seconds(self.modeled_naive_seconds)}"

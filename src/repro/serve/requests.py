@@ -11,10 +11,17 @@ moments:
 
 Two requests are *compatible* (coalescible, and able to share a cache
 entry) when they would execute the same moment computation: same
-operator fingerprint and same :func:`moment_config_key`.  The key
-deliberately excludes ``kernel`` and ``num_energy_points`` — damping and
-reconstruction happen after the moments, so a Jackson DoS and a Lorentz
-Green's function of the same Hamiltonian ride on one engine run.
+operator fingerprint and same :func:`moment_identity_key`.  The
+identity key deliberately excludes ``kernel`` and ``num_energy_points``
+— damping and reconstruction happen after the moments, so a Jackson DoS
+and a Lorentz Green's function of the same Hamiltonian ride on one
+engine run — and, since moments are *prefix-closed* (``mu_n`` never
+depends on the truncation order), it also excludes ``num_moments``:
+requests differing only in ``N`` share a batch and a cache entry, the
+longest order wins, and shorter members are served bit-identical
+prefix slices.  :func:`moment_config_key` is the historical
+order-including key (identity plus ``num_moments``), kept for exact-
+match comparisons.
 """
 
 from __future__ import annotations
@@ -36,17 +43,23 @@ __all__ = [
     "GreenRequest",
     "SpectralResponse",
     "moment_config_key",
+    "moment_identity_key",
 ]
 
 
-def moment_config_key(config: KPMConfig, *, site: int | None = None) -> tuple:
-    """The tuple of config fields that determine the moment values.
+def moment_identity_key(config: KPMConfig, *, site: int | None = None) -> tuple:
+    """The config fields that determine the moment *values* — minus ``N``.
+
+    Moments are prefix-closed: ``mu_n`` depends only on the operator,
+    the random streams, and the rescaling — never on the truncation
+    order.  Everything that shares this key can share one recursion; the
+    truncation order is stored per cache entry and compared at lookup
+    (``N' <= N_cached`` is a hit served as a slice).
 
     Trace moments depend on the stochastic estimator's full setup;
     single-site (LDoS) moments are deterministic and depend only on the
-    truncation order and the rescaling options.  Neither depends on
-    ``kernel`` or ``num_energy_points``, which act downstream of the
-    moments.
+    site and the rescaling options.  Neither depends on ``kernel`` or
+    ``num_energy_points``, which act downstream of the moments.
     """
     if not isinstance(config, KPMConfig):
         raise ValidationError(
@@ -57,14 +70,12 @@ def moment_config_key(config: KPMConfig, *, site: int | None = None) -> tuple:
         return (
             "site",
             site,
-            config.num_moments,
             config.bounds_method,
             config.epsilon,
             config.use_doubling,
         )
     return (
         "trace",
-        config.num_moments,
         config.num_random_vectors,
         config.num_realizations,
         config.vector_kind,
@@ -75,6 +86,20 @@ def moment_config_key(config: KPMConfig, *, site: int | None = None) -> tuple:
         config.block_size,
         config.precision,
     )
+
+
+def moment_config_key(config: KPMConfig, *, site: int | None = None) -> tuple:
+    """The moment identity *including* the truncation order.
+
+    This is :func:`moment_identity_key` plus ``num_moments`` — the
+    exact-match key the PR 3 cache used.  Kept for comparisons and for
+    callers that genuinely need order-sensitive equality.
+    """
+    if not isinstance(config, KPMConfig):
+        raise ValidationError(
+            f"config must be a KPMConfig, got {type(config).__name__}"
+        )
+    return moment_identity_key(config, site=site) + (config.num_moments,)
 
 
 @dataclass(frozen=True)
@@ -190,16 +215,32 @@ class SpectralResponse:
         The request's :class:`~repro.kpm.KPMConfig`.
     source:
         ``"computed"`` (this request triggered the engine run),
-        ``"coalesced"`` (rode along in the triggering batch), or
-        ``"cache"`` (served from the LRU moment cache).
+        ``"coalesced"`` (rode along in the triggering batch),
+        ``"cache"`` (served from the moment cache — exact or prefix),
+        ``"extended"`` (the cached entry was resumed to a higher order
+        for this batch), or ``"forwarded"`` (served from a sibling
+        batch's entry within the same flush when the cache is disabled).
     engine:
         Name of the engine that produced the moments (``"host"`` for
         LDoS).
     batch_id:
         Sequence number of the batch that served this response.
     modeled_seconds:
-        Modeled engine seconds the *batch* cost (``None`` for backends
-        without a hardware model); zero-cost for cache hits.
+        Marginal modeled engine seconds the batch spent for this answer
+        (``None`` for backends without a hardware model): the full run
+        for ``"computed"``/``"coalesced"``, the resume cost for
+        ``"extended"``, zero for ``"cache"``/``"forwarded"``.
+    num_moments_served:
+        Truncation order of the moments this response was reconstructed
+        from (equals ``config.num_moments`` except for refinement tiers
+        stopped early).
+    tier:
+        Refinement tier index (0 for one-shot serving and the immediate
+        prefix answer; increments per streamed refinement).
+    final:
+        ``False`` only for intermediate refinement tiers streamed via
+        ``on_tier``; every response returned by ``flush`` /
+        ``flush_refined`` is final.
     """
 
     kind: str
@@ -213,6 +254,9 @@ class SpectralResponse:
     engine: str
     batch_id: int
     modeled_seconds: float | None
+    num_moments_served: int | None = None
+    tier: int = 0
+    final: bool = True
 
     def to_dos_result(self):
         """Repackage a ``"dos"`` response as :class:`repro.kpm.DoSResult`.

@@ -7,8 +7,15 @@ config_key)`` — and drained as batches:
   groups, so a burst of repeats cannot starve an older singleton);
 * requests within a batch keep their submission order;
 * an optional ``max_batch_size`` splits an oversized group into
-  consecutive batches (the first computes, the rest hit the cache the
-  first one filled).
+  consecutive batches — the first computes, and the service hands its
+  entry to the sibling batches through the cache when one is enabled or
+  through a flush-local forward table at ``cache_capacity=0``, so split
+  siblings never silently recompute.
+
+The service keys groups on :func:`repro.serve.moment_identity_key`
+(truncation order excluded), so requests differing only in ``N``
+coalesce: the batch computes at :attr:`Batch.num_moments` — the largest
+member order — and shorter members are served prefix slices.
 
 Every decision is a pure function of the submission sequence — no
 wall-clock reads, no random draws — so replaying a request trace yields
@@ -66,6 +73,15 @@ class Batch:
     def size(self) -> int:
         """Number of requests served by this batch."""
         return len(self.entries)
+
+    @property
+    def num_moments(self) -> int:
+        """Largest member truncation order — what the batch computes at.
+
+        Moments are prefix-closed, so one run at the maximum ``N``
+        serves every member; shorter members get bit-identical slices.
+        """
+        return max(entry.request.config.num_moments for entry in self.entries)
 
 
 class FifoCoalesceScheduler:

@@ -12,9 +12,10 @@ import pytest
 
 from repro.bench.runner import baseline_record
 from repro.obs import RunRecord, compare_records, load_run_record
-from repro.obs.workloads import smoke_run
+from repro.obs.workloads import serve_prefix_run, smoke_run
 
 BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_PR4.json"
+PREFIX_BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_PR7.json"
 
 
 @pytest.fixture(scope="module")
@@ -54,6 +55,57 @@ class TestCommittedBaseline:
         assert any(name.startswith("bench.fig5.") for name in gauges)
         assert any(name.startswith("bench.fig7.") for name in gauges)
         assert any(name.startswith("bench.fig8.") for name in gauges)
+
+
+class TestPrefixCacheBaseline:
+    """BENCH_PR7.json: the prefix-vs-exact cache A/B gate."""
+
+    @pytest.fixture(scope="class")
+    def prefix_baseline(self):
+        return load_run_record(PREFIX_BASELINE_PATH)
+
+    @pytest.fixture(scope="class")
+    def prefix_current(self):
+        return serve_prefix_run()
+
+    def test_baseline_file_is_canonical(self, prefix_baseline):
+        text = PREFIX_BASELINE_PATH.read_text(encoding="ascii")
+        assert text == prefix_baseline.to_json() + "\n"
+
+    def test_recorded_fingerprint_matches_committed(
+        self, prefix_baseline, prefix_current
+    ):
+        assert prefix_current.fingerprint() == prefix_baseline.fingerprint()
+
+    def test_prefix_hit_rate_strictly_beats_exact(self, prefix_baseline):
+        gauges = prefix_baseline.metrics.gauges
+        assert (
+            gauges["serve_prefix.cache_hit_rate"]
+            > gauges["serve_exact.cache_hit_rate"]
+        )
+        assert gauges["serve_ab.hit_rate_advantage"] > 0.0
+        # The prefix cache also wins on modeled throughput, not just hits.
+        assert (
+            gauges["serve_prefix.modeled_speedup"]
+            > gauges["serve_exact.modeled_speedup"]
+        )
+
+    def test_compare_passes(self, prefix_baseline, prefix_current):
+        result = compare_records(prefix_baseline, prefix_current)
+        assert result.ok, result.summary()
+
+    def test_hit_rate_drop_fails_the_gate(self, prefix_baseline, prefix_current):
+        """Negative test: the gate is directional — a lower hit rate must
+        fail even though every modeled cost is unchanged or better."""
+        degraded = RunRecord.from_dict(prefix_current.to_dict())
+        degraded.metrics.gauges["serve_prefix.cache_hit_rate"] = (
+            prefix_baseline.metrics.gauges["serve_exact.cache_hit_rate"] * 0.5
+        )
+        result = compare_records(prefix_baseline, degraded)
+        assert not result.ok
+        assert "serve_prefix.cache_hit_rate" in {
+            delta.label for delta in result.failures
+        }
 
 
 class TestNegativeGate:

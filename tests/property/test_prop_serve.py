@@ -84,6 +84,114 @@ class TestServeBitIdentity:
             assert np.array_equal(response.values, density)
             assert np.array_equal(response.energies, energies)
 
+class TestPrefixClosedServing:
+    """Tentpole property: a cached high-order entry serves any lower
+    order bit-identically to a cold one-shot run at that order, and an
+    in-place extension is bit-identical to a cold run at the higher
+    order — for random ``(N_small < N_large)`` pairs, both kernels,
+    both backends, and both trace and LDoS request kinds."""
+
+    @given(
+        config=kpm_configs(),
+        operator=st.sampled_from(sorted(OPERATORS)),
+        backend=st.sampled_from(["numpy", "gpu-sim"]),
+        orders=st.tuples(st.integers(2, 48), st.integers(2, 48)).filter(
+            lambda pair: pair[0] != pair[1]
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_prefix_hit_matches_cold_one_shot(
+        self, config, operator, backend, orders
+    ):
+        n_small, n_large = sorted(orders)
+        hamiltonian = OPERATORS[operator]
+        small = config.with_updates(num_moments=n_small)
+
+        service = SpectralService(backends=(backend,))
+        service.serve(
+            [DoSRequest(hamiltonian, config.with_updates(num_moments=n_large))]
+        )
+        [response] = service.serve([DoSRequest(hamiltonian, small)])
+
+        assert response.source == "cache"
+        assert response.num_moments_served == n_small
+        assert service.metrics().cache_prefix_hits == 1
+        assert service.metrics().engine_dispatches == 1
+
+        direct = compute_dos(hamiltonian, small, backend=backend)
+        assert np.array_equal(response.moments.mu, direct.moments.mu)
+        assert np.array_equal(
+            response.moments.per_realization, direct.moments.per_realization
+        )
+        assert np.array_equal(response.values, direct.density)
+
+    @given(
+        config=kpm_configs(),
+        operator=st.sampled_from(sorted(OPERATORS)),
+        backend=st.sampled_from(["numpy", "gpu-sim"]),
+        orders=st.tuples(st.integers(2, 48), st.integers(2, 48)).filter(
+            lambda pair: pair[0] != pair[1]
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_extension_matches_cold_one_shot(
+        self, config, operator, backend, orders
+    ):
+        n_small, n_large = sorted(orders)
+        hamiltonian = OPERATORS[operator]
+        large = config.with_updates(num_moments=n_large)
+
+        service = SpectralService(backends=(backend,))
+        service.serve(
+            [DoSRequest(hamiltonian, config.with_updates(num_moments=n_small))]
+        )
+        [response] = service.serve([DoSRequest(hamiltonian, large)])
+
+        assert response.source == "extended"
+        assert response.num_moments_served == n_large
+
+        direct = compute_dos(hamiltonian, large, backend=backend)
+        assert np.array_equal(response.moments.mu, direct.moments.mu)
+        assert np.array_equal(
+            response.moments.per_realization, direct.moments.per_realization
+        )
+        assert np.array_equal(response.values, direct.density)
+
+    @given(
+        config=kpm_configs(),
+        operator=st.sampled_from(sorted(OPERATORS)),
+        site=st.integers(0, 31),
+        orders=st.tuples(st.integers(2, 48), st.integers(2, 48)).filter(
+            lambda pair: pair[0] != pair[1]
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_ldos_prefix_and_extension_match_local_dos(
+        self, config, operator, site, orders
+    ):
+        n_small, n_large = sorted(orders)
+        hamiltonian = OPERATORS[operator]
+        small = config.with_updates(num_moments=n_small)
+        large = config.with_updates(num_moments=n_large)
+
+        service = SpectralService(backends=("numpy",))
+        service.serve([LDoSRequest(hamiltonian, site=site, config=large)])
+        [low] = service.serve([LDoSRequest(hamiltonian, site=site, config=small)])
+        assert low.source == "cache"
+        energies, density = local_dos(hamiltonian, site, small)
+        assert np.array_equal(low.values, density)
+        assert np.array_equal(low.energies, energies)
+
+        fresh = SpectralService(backends=("numpy",))
+        fresh.serve([LDoSRequest(hamiltonian, site=site, config=small)])
+        [ext] = fresh.serve([LDoSRequest(hamiltonian, site=site, config=large)])
+        assert ext.source == "extended"
+        energies, density = local_dos(hamiltonian, site, large)
+        assert np.array_equal(ext.values, density)
+        assert np.array_equal(ext.energies, energies)
+
+
+class TestServeDeterminism:
     @given(config=kpm_configs(), data=st.data())
     @settings(max_examples=15, deadline=None)
     def test_replaying_a_trace_is_deterministic(self, config, data):

@@ -180,3 +180,84 @@ class TestTuneBlockSize:
         )
         by_bs = {p.block_size: p.modeled_seconds for p in points}
         assert by_bs[512] > 2.0 * by_bs[128]
+
+
+class TestResumableGpu:
+    """Checkpoint capture + resume on the simulated device."""
+
+    def test_resumable_matches_plain(self, scaled_cube, small_config):
+        plain, _ = GpuKPM().compute_moments(scaled_cube, small_config)
+        warm, _, state = GpuKPM().compute_moments_resumable(
+            scaled_cube, small_config
+        )
+        assert np.array_equal(plain.mu, warm.mu)
+        assert np.array_equal(plain.per_realization, warm.per_realization)
+        assert state is not None
+        assert state.num_moments == small_config.num_moments
+
+    def test_capture_costs_more_than_plain(self, scaled_cube, small_config):
+        _, plain_report = GpuKPM().compute_moments(scaled_cube, small_config)
+        _, warm_report, _ = GpuKPM().compute_moments_resumable(
+            scaled_cube, small_config
+        )
+        assert warm_report.modeled_seconds > plain_report.modeled_seconds
+
+    @pytest.mark.parametrize("fmt", ["csr", "dense"])
+    def test_extension_bitwise_matches_cold(self, fmt, small_config):
+        h = tight_binding_hamiltonian(cubic(4), format=fmt)
+        scaled, _ = rescale_operator(h)
+        engine = GpuKPM()
+        warm, _, state = engine.compute_moments_resumable(scaled, small_config)
+        bigger = small_config.with_updates(
+            num_moments=2 * small_config.num_moments + 3
+        )
+        extended, report, new_state = engine.extend_moments(
+            scaled, bigger, warm, state
+        )
+        cold, _ = engine.compute_moments(scaled, bigger)
+        assert np.array_equal(extended.mu, cold.mu)
+        assert np.array_equal(extended.per_realization, cold.per_realization)
+        assert new_state.num_moments == bigger.num_moments
+        # Resuming is cheaper than a cold run at the target order.
+        assert report.modeled_seconds < engine.estimate_modeled_seconds(
+            scaled, bigger
+        )
+
+    def test_extension_validates_state(self, scaled_cube, small_config):
+        engine = GpuKPM()
+        warm, _, state = engine.compute_moments_resumable(
+            scaled_cube, small_config
+        )
+        with pytest.raises(ValidationError, match="exceed"):
+            engine.extend_moments(scaled_cube, small_config, warm, state)
+        mismatched = small_config.with_updates(
+            num_moments=small_config.num_moments * 2,
+            num_random_vectors=small_config.num_random_vectors + 1,
+        )
+        with pytest.raises(ValidationError, match="vectors"):
+            engine.extend_moments(scaled_cube, mismatched, warm, state)
+
+    def test_estimator_capability_matches_execution(
+        self, scaled_cube, small_config
+    ):
+        engine = GpuKPM()
+        _, report = engine.compute_moments(scaled_cube, small_config)
+        estimate = engine.estimate_modeled_seconds(scaled_cube, small_config)
+        np.testing.assert_allclose(report.modeled_seconds, estimate, rtol=1e-12)
+
+    def test_resume_rejected_in_checkpoint_mode(self, scaled_cube, small_config):
+        engine = GpuKPM()
+        _, _, state = engine.compute_moments_resumable(scaled_cube, small_config)
+        bigger = small_config.with_updates(
+            num_moments=small_config.num_moments + 4
+        )
+        with pytest.raises(ValidationError, match="incompatible"):
+            engine.run_partition(
+                scaled_cube,
+                bigger,
+                first_vector=0,
+                num_vectors=bigger.total_vectors,
+                start_moment=state.num_moments,
+                resume_state=state.data,
+                checkpoint_every=2,
+            )

@@ -61,17 +61,72 @@ class TestAddMoments:
         sd.add_moments(8)
         np.testing.assert_allclose(sd.moments().mu[:8], before, atol=1e-12)
 
-    def test_counts_replay_cost(self, hamiltonian):
+    def test_counts_resume_cost(self, hamiltonian):
+        # Resuming from the checkpoint costs one matvec per new order
+        # per vector — not a full replay from mu_0.
         sd = SpectralDensity(hamiltonian, num_moments=8, seed=2)
         sd.add_vectors(4)
         cost_before = sd.matvecs_performed
         sd.add_moments(8)
-        assert sd.matvecs_performed == cost_before + 15 * 4
+        assert sd.matvecs_performed == cost_before + 8 * 4
+
+    def test_extension_bitwise_equals_one_shot(self, hamiltonian):
+        extended = SpectralDensity(hamiltonian, num_moments=8, seed=2)
+        extended.add_vectors(4)
+        extended.add_moments(8)
+        one_shot = SpectralDensity(hamiltonian, num_moments=16, seed=2)
+        one_shot.add_vectors(4)
+        assert np.array_equal(extended.moments().mu, one_shot.moments().mu)
+
+    def test_extension_across_groups(self, hamiltonian):
+        # Each add_vectors group resumes from its own checkpoint.
+        extended = SpectralDensity(hamiltonian, num_moments=8, seed=2)
+        extended.add_vectors(3).add_vectors(2)
+        extended.add_moments(8).add_moments(4)
+        one_shot = SpectralDensity(hamiltonian, num_moments=20, seed=2)
+        one_shot.add_vectors(3).add_vectors(2)
+        assert np.array_equal(extended.moments().mu, one_shot.moments().mu)
 
     def test_add_moments_before_vectors(self, hamiltonian):
         sd = SpectralDensity(hamiltonian, num_moments=8)
         sd.add_moments(8)
         sd.add_vectors(2)
+        assert sd.moments().mu.shape == (16,)
+
+    def test_failure_leaves_state_untouched(self, hamiltonian):
+        # Satellite regression: an exception mid-extension must not
+        # corrupt the accumulated state (previously num_moments was
+        # bumped and the table wiped *before* recomputing).
+        sd = SpectralDensity(hamiltonian, num_moments=8, seed=2)
+        sd.add_vectors(4)
+        table_before = sd.moments().mu.copy()
+        cost_before = sd.matvecs_performed
+
+        class ExplodingOperator:
+            # Delegates the operator protocol but fails every product.
+            def __init__(self, inner):
+                self._inner = inner
+                self.shape = inner.shape
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def matvec(self, x):
+                raise RuntimeError("device lost")
+
+            def matmat(self, x):
+                raise RuntimeError("device lost")
+
+        healthy = sd.scaled
+        sd.scaled = ExplodingOperator(healthy)
+        with pytest.raises(RuntimeError, match="device lost"):
+            sd.add_moments(8)
+        sd.scaled = healthy
+        assert sd.num_moments == 8
+        assert sd.matvecs_performed == cost_before
+        np.testing.assert_array_equal(sd.moments().mu, table_before)
+        # The object is still fully usable afterwards.
+        sd.add_moments(8)
         assert sd.moments().mu.shape == (16,)
 
 

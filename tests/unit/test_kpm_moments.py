@@ -246,3 +246,106 @@ class TestMomentData:
                 dimension=10,
                 num_vectors=2,
             )
+
+    def test_prefix_slices_bitwise(self):
+        data = MomentData(
+            mu=np.arange(8.0),
+            per_realization=np.arange(16.0).reshape(2, 8),
+            dimension=10,
+            num_vectors=2,
+        )
+        short = data.prefix(5)
+        assert np.array_equal(short.mu, data.mu[:5])
+        assert np.array_equal(short.per_realization, data.per_realization[:, :5])
+        assert short.dimension == data.dimension
+        assert short.num_vectors == data.num_vectors
+        assert data.prefix(8) is data
+
+    def test_prefix_rejects_longer(self):
+        data = MomentData(
+            mu=np.ones(4), per_realization=np.ones((1, 4)), dimension=4, num_vectors=1
+        )
+        with pytest.raises(ValidationError, match="exceeds"):
+            data.prefix(5)
+
+
+class TestResumable:
+    """Checkpointed resume must be bit-identical to cold runs."""
+
+    @pytest.mark.parametrize("use_doubling", [False, True])
+    @pytest.mark.parametrize("base", [1, 2, 3, 8])
+    def test_single_vector_roundtrip(self, scaled_chain, base, use_doubling):
+        from repro.kpm.moments import (
+            extend_moments_single_vector,
+            moments_single_vector_resumable,
+        )
+
+        rng = np.random.default_rng(0)
+        r0 = rng.standard_normal(32)
+        cold = moments_single_vector(
+            scaled_chain, r0, base, use_doubling=use_doubling
+        )
+        warm, checkpoint = moments_single_vector_resumable(
+            scaled_chain, r0, base, use_doubling=use_doubling
+        )
+        assert np.array_equal(cold, warm)
+        for target in (base + 1, base + 5, 2 * base + 3):
+            segment, _ = extend_moments_single_vector(
+                scaled_chain, checkpoint, target
+            )
+            full = np.concatenate([warm, segment])
+            reference = moments_single_vector(
+                scaled_chain, r0, target, use_doubling=use_doubling
+            )
+            assert np.array_equal(full, reference)
+
+    @pytest.mark.parametrize("use_doubling", [False, True])
+    def test_block_chained_extension(self, scaled_chain, use_doubling):
+        from repro.kpm.moments import (
+            extend_moments_block,
+            moments_block_resumable,
+        )
+
+        rng = np.random.default_rng(1)
+        block = rng.standard_normal((32, 3))
+        warm, checkpoint = moments_block_resumable(
+            scaled_chain, block, 6, use_doubling=use_doubling
+        )
+        seg1, checkpoint = extend_moments_block(scaled_chain, checkpoint, 9)
+        seg2, checkpoint = extend_moments_block(scaled_chain, checkpoint, 21)
+        full = np.vstack([warm, seg1, seg2])
+        reference = moments_block(scaled_chain, block, 21, use_doubling=use_doubling)
+        assert np.array_equal(full, reference)
+
+    def test_extend_rejects_non_increasing(self, scaled_chain):
+        from repro.kpm.moments import (
+            extend_moments_single_vector,
+            moments_single_vector_resumable,
+        )
+
+        rng = np.random.default_rng(2)
+        r0 = rng.standard_normal(32)
+        _, checkpoint = moments_single_vector_resumable(scaled_chain, r0, 8)
+        with pytest.raises(ValidationError):
+            extend_moments_single_vector(scaled_chain, checkpoint, 8)
+
+    def test_stochastic_extension_matches_cold(self, scaled_chain):
+        from repro.kpm.moments import (
+            extend_stochastic_moments,
+            stochastic_moments_resumable,
+        )
+
+        config = KPMConfig(
+            num_moments=8, num_random_vectors=4, num_realizations=3, seed=5
+        )
+        cold = stochastic_moments(scaled_chain, config)
+        warm, checkpoint = stochastic_moments_resumable(scaled_chain, config)
+        assert np.array_equal(cold.mu, warm.mu)
+        assert np.array_equal(cold.per_realization, warm.per_realization)
+        bigger = config.with_updates(num_moments=19)
+        extended, _ = extend_stochastic_moments(
+            scaled_chain, bigger, warm, checkpoint
+        )
+        reference = stochastic_moments(scaled_chain, bigger)
+        assert np.array_equal(extended.mu, reference.mu)
+        assert np.array_equal(extended.per_realization, reference.per_realization)

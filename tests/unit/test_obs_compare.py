@@ -87,9 +87,50 @@ class TestMetrics:
         baseline = record_with({}, metrics={"x.modeled_seconds": 1.0, "x.depth": 1.0})
         current = record_with({}, metrics={"x.modeled_seconds": 2.0, "x.depth": 99.0})
         result = compare_records(baseline, current)
-        # Only *seconds* metrics participate; the depth gauge is ignored.
+        # Only *seconds* and quality metrics participate; depth is ignored.
         assert [d.label for d in result.deltas] == ["x.modeled_seconds"]
         assert not result.ok
+
+
+class TestHigherIsBetterMetrics:
+    def test_rate_drop_is_a_regression(self):
+        baseline = record_with({}, metrics={"serve.cache_hit_rate": 0.8})
+        current = record_with({}, metrics={"serve.cache_hit_rate": 0.5})
+        result = compare_records(baseline, current, tolerance=0.10)
+        assert not result.ok
+        [delta] = result.failures
+        assert delta.label == "serve.cache_hit_rate"
+        assert delta.direction == "higher"
+        assert "higher is better" in delta.summary()
+
+    def test_rate_rise_passes(self):
+        baseline = record_with({}, metrics={"serve.cache_hit_rate": 0.5})
+        current = record_with({}, metrics={"serve.cache_hit_rate": 0.9})
+        assert compare_records(baseline, current).ok
+
+    def test_rate_within_band_passes(self):
+        baseline = record_with({}, metrics={"serve.modeled_speedup": 2.0})
+        current = record_with({}, metrics={"serve.modeled_speedup": 1.85})
+        assert compare_records(baseline, current, tolerance=0.10).ok
+        assert not compare_records(baseline, current, tolerance=0.05).ok
+
+    def test_speedup_and_ratio_names_gated(self):
+        baseline = record_with(
+            {}, metrics={"a.speedup": 3.0, "b.efficiency_ratio": 1.0}
+        )
+        current = record_with(
+            {}, metrics={"a.speedup": 1.0, "b.efficiency_ratio": 0.2}
+        )
+        result = compare_records(baseline, current)
+        assert {d.label for d in result.failures} == {
+            "a.speedup", "b.efficiency_ratio",
+        }
+
+    def test_span_labels_stay_lower_is_better(self):
+        # A span named like a quality metric is still a cost.
+        baseline = record_with({"compute.rate_limiter": 1.0})
+        current = record_with({"compute.rate_limiter": 2.0})
+        assert not compare_records(baseline, current).ok
 
 
 class TestValidation:

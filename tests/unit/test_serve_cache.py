@@ -1,13 +1,35 @@
-"""Unit tests for repro.serve.cache (bounded LRU moment cache)."""
+"""Unit tests for repro.serve.cache (bounded LRU prefix moment cache)."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ValidationError
+from repro.kpm.moments import MomentData
 from repro.serve import CacheEntry, MomentCache
 
 
 def entry(tag: str) -> CacheEntry:
     return CacheEntry(moments=tag, rescaling=None, engine="numpy", modeled_seconds=1.0)
+
+
+def array_entry(num_moments: int, state=None) -> CacheEntry:
+    return CacheEntry(
+        moments=np.arange(num_moments, dtype=np.float64),
+        rescaling=None,
+        engine="numpy",
+        modeled_seconds=1.0,
+        state=state,
+    )
+
+
+def moment_data_entry(num_moments: int) -> CacheEntry:
+    per = np.ones((2, num_moments), dtype=np.float64)
+    data = MomentData(
+        mu=per.mean(axis=0), per_realization=per, dimension=8, num_vectors=4
+    )
+    return CacheEntry(
+        moments=data, rescaling=None, engine="gpu-sim", modeled_seconds=1.0
+    )
 
 
 class TestMomentCache:
@@ -59,3 +81,121 @@ class TestMomentCache:
             MomentCache(capacity=-1)
         with pytest.raises(ValidationError):
             MomentCache(4).put(("a",), "not-an-entry")
+
+
+class TestPrefixLookup:
+    def test_shorter_order_hits_as_slice(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), array_entry(16))
+        hit = cache.get(("k",), num_moments=10)
+        assert hit is not None
+        assert hit.num_moments == 10
+        assert np.array_equal(hit.moments, np.arange(10, dtype=np.float64))
+        assert (cache.hits, cache.misses, cache.prefix_hits) == (1, 0, 1)
+        # The stored entry keeps its full length.
+        assert cache.entry_at(("k",)).num_moments == 16
+
+    def test_exact_order_hits_without_prefix_counter(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), array_entry(16))
+        hit = cache.get(("k",), num_moments=16)
+        assert hit.num_moments == 16
+        assert (cache.hits, cache.prefix_hits) == (1, 0)
+
+    def test_longer_order_misses(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), array_entry(16))
+        assert cache.get(("k",), num_moments=17) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_exact_mode_rejects_prefix(self):
+        cache = MomentCache(capacity=4, prefix=False)
+        cache.put(("k",), array_entry(16))
+        assert cache.get(("k",), num_moments=10) is None
+        assert cache.get(("k",), num_moments=16) is not None
+        assert (cache.hits, cache.misses, cache.prefix_hits) == (1, 1, 0)
+
+    def test_prefix_slices_drop_recursion_state(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), array_entry(16, state=object()))
+        hit = cache.get(("k",), num_moments=10)
+        assert hit.state is None
+        assert cache.entry_at(("k",)).state is not None
+
+    def test_prefix_of_moment_data_slices_both_tables(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), moment_data_entry(12))
+        hit = cache.get(("k",), num_moments=5)
+        assert hit.moments.num_moments == 5
+        assert hit.moments.per_realization.shape == (2, 5)
+
+    def test_prefix_beyond_stored_raises(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            array_entry(8).prefix(9)
+
+    def test_keep_longer_on_collision(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), array_entry(16))
+        cache.put(("k",), array_entry(8))  # stale short recompute
+        assert cache.entry_at(("k",)).num_moments == 16
+        cache.put(("k",), array_entry(24))  # extension wins
+        assert cache.entry_at(("k",)).num_moments == 24
+
+    def test_extended_put_counts(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), array_entry(8, state=object()))
+        cache.put(("k",), array_entry(16), extended=True)
+        assert cache.extensions == 1
+
+
+class TestPeekExtendable:
+    def test_finds_resumable_strict_prefix(self):
+        cache = MomentCache(capacity=4)
+        stored = array_entry(8, state=object())
+        cache.put(("k",), stored)
+        peek = cache.peek_extendable(("k",), 16)
+        assert peek is not None
+        assert peek.num_moments == 8
+        assert peek.state is stored.state
+        # peek never counts a lookup.
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_requires_state_and_strictness(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("a",), array_entry(8))  # no checkpoint
+        cache.put(("b",), array_entry(16, state=object()))  # already long enough
+        assert cache.peek_extendable(("a",), 16) is None
+        assert cache.peek_extendable(("b",), 16) is None
+        assert cache.peek_extendable(("missing",), 16) is None
+
+    def test_disabled_in_exact_mode(self):
+        cache = MomentCache(capacity=4, prefix=False)
+        cache.put(("k",), array_entry(8, state=object()))
+        assert cache.peek_extendable(("k",), 16) is None
+
+
+class TestFrozenEntries:
+    """Satellite: cached arrays are shared — mutation must fail loudly."""
+
+    def test_cached_ndarray_is_read_only(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), array_entry(8))
+        hit = cache.get(("k",))
+        with pytest.raises(ValueError, match="read-only"):
+            hit.moments[0] = 99.0
+
+    def test_cached_moment_data_is_read_only(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), moment_data_entry(8))
+        hit = cache.get(("k",))
+        with pytest.raises(ValueError, match="read-only"):
+            hit.moments.mu[0] = 99.0
+        with pytest.raises(ValueError, match="read-only"):
+            hit.moments.per_realization[0, 0] = 99.0
+
+    def test_prefix_slice_inherits_read_only(self):
+        cache = MomentCache(capacity=4)
+        cache.put(("k",), array_entry(8))
+        hit = cache.get(("k",), num_moments=4)
+        with pytest.raises(ValueError, match="read-only"):
+            hit.moments[0] = 99.0

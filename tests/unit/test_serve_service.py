@@ -124,8 +124,10 @@ class TestSchedulingAndMetrics:
         assert metrics.queue_peak_depth == 2
         assert metrics.engine_dispatches == 1
         assert metrics.cache_hit_rate() == pytest.approx(0.5)
-        # naive = 3 modeled runs, served = 1.
-        assert metrics.modeled_speedup() == pytest.approx(3.0)
+        # naive = 3 plain modeled runs, served = 1 resumable run (which
+        # pays a small checkpoint-capture surcharge the plain runs do
+        # not) — so the speedup sits just below the ideal 3x.
+        assert 2.9 < metrics.modeled_speedup() <= 3.0
         report = metrics.timing_report()
         assert report.backend == "serve"
         assert report.breakdown["saved"] == pytest.approx(
@@ -210,3 +212,220 @@ class TestValidation:
         [response] = service.serve([DoSRequest(chain_csr, small_config)])
         assert response.source == "computed"
         assert service.metrics().engine_failures == 0
+
+
+class TestPrefixServing:
+    """The tentpole: order-free keys, prefix hits, in-place extensions."""
+
+    def test_lower_order_repeat_is_prefix_hit(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        service.serve([DoSRequest(chain_csr, small_config)])  # N=32
+        low = small_config.with_updates(num_moments=16)
+        [response] = service.serve([DoSRequest(chain_csr, low)])
+        assert response.source == "cache"
+        assert response.num_moments_served == 16
+        direct = compute_dos(chain_csr, low, backend="gpu-sim")
+        assert np.array_equal(response.moments.mu, direct.moments.mu)
+        assert np.array_equal(response.values, direct.density)
+        metrics = service.metrics()
+        assert metrics.cache_prefix_hits == 1
+        assert metrics.engine_dispatches == 1  # the repeat never ran an engine
+
+    def test_higher_order_repeat_extends_in_place(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        service.serve([DoSRequest(chain_csr, small_config)])  # N=32
+        high = small_config.with_updates(num_moments=48)
+        [response] = service.serve([DoSRequest(chain_csr, high)])
+        assert response.source == "extended"
+        assert response.num_moments_served == 48
+        direct = compute_dos(chain_csr, high, backend="gpu-sim")
+        assert np.array_equal(response.moments.mu, direct.moments.mu)
+        assert np.array_equal(
+            response.moments.per_realization, direct.moments.per_realization
+        )
+        assert np.array_equal(response.values, direct.density)
+        # The resume only pays for the new orders.
+        assert response.modeled_seconds < direct.timing.modeled_seconds
+        assert service.metrics().cache_extensions == 1
+
+    def test_mixed_orders_coalesce_into_one_run(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        orders = [16, 32, 24]
+        responses = service.serve(
+            [
+                DoSRequest(chain_csr, small_config.with_updates(num_moments=n))
+                for n in orders
+            ]
+        )
+        assert service.metrics().engine_dispatches == 1
+        assert service.metrics().batches_total == 1
+        for response, n in zip(responses, orders):
+            assert response.num_moments_served == n
+            direct = compute_dos(
+                chain_csr,
+                small_config.with_updates(num_moments=n),
+                backend="gpu-sim",
+            )
+            assert np.array_equal(response.moments.mu, direct.moments.mu)
+            assert np.array_equal(response.values, direct.density)
+
+    def test_ldos_extends_on_host(self, chain_csr, small_config):
+        service = SpectralService(backends=("numpy",))
+        service.serve([LDoSRequest(chain_csr, site=3, config=small_config)])
+        high = small_config.with_updates(num_moments=48)
+        [response] = service.serve(
+            [LDoSRequest(chain_csr, site=3, config=high)]
+        )
+        assert response.source == "extended"
+        energies, density = local_dos(chain_csr, 3, high)
+        assert np.array_equal(response.values, density)
+        assert np.array_equal(response.energies, energies)
+
+    def test_exact_mode_knob_disables_prefix_serving(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",), prefix_cache=False)
+        service.serve([DoSRequest(chain_csr, small_config)])
+        low = small_config.with_updates(num_moments=16)
+        [response] = service.serve([DoSRequest(chain_csr, low)])
+        assert response.source == "computed"
+        assert service.metrics().cache_prefix_hits == 0
+        assert service.metrics().engine_dispatches == 2
+
+
+class TestRefinement:
+    def test_flush_refined_streams_tiers(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        low = small_config.with_updates(num_moments=8)
+        service.serve([DoSRequest(chain_csr, low)])
+        tiers = []
+        high = small_config.with_updates(num_moments=32)
+        [response] = service.serve_refined(
+            [DoSRequest(chain_csr, high)], on_tier=tiers.append
+        )
+        # growth=2 from the cached N=8 prefix: tiers at 8 and 16, final 32.
+        assert [t[0].num_moments_served for t in tiers] == [8, 16]
+        assert all(not t[0].final for t in tiers)
+        assert [t[0].tier for t in tiers] == [0, 1]
+        assert response.final and response.tier == 2
+        assert response.num_moments_served == 32
+        # Every tier is bit-identical to a one-shot run at its order.
+        for tier in tiers:
+            order = tier[0].num_moments_served
+            direct = compute_dos(
+                chain_csr,
+                small_config.with_updates(num_moments=order),
+                backend="gpu-sim",
+            )
+            assert np.array_equal(tier[0].values, direct.density)
+        direct = compute_dos(chain_csr, high, backend="gpu-sim")
+        assert np.array_equal(response.values, direct.density)
+        metrics = service.metrics()
+        assert metrics.refined_tiers == 2
+        assert metrics.early_stops == 0
+
+    def test_flush_refined_early_stop(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        low = small_config.with_updates(num_moments=8)
+        service.serve([DoSRequest(chain_csr, low)])
+        high = small_config.with_updates(num_moments=64)
+        [response] = service.serve_refined(
+            [DoSRequest(chain_csr, high)], tolerance=1e3
+        )
+        # The huge tolerance converges at tier 0: served straight from
+        # the cached prefix, bit-identical to a one-shot N=8 run.
+        assert response.final and response.tier == 0
+        assert response.num_moments_served == 8
+        direct = compute_dos(chain_csr, low, backend="gpu-sim")
+        assert np.array_equal(response.values, direct.density)
+        metrics = service.metrics()
+        assert metrics.early_stops == 1
+        assert metrics.engine_dispatches == 1  # nothing recomputed
+
+    def test_flush_refined_cold_key_falls_back(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        [response] = service.serve_refined([DoSRequest(chain_csr, small_config)])
+        assert response.source == "computed"
+        assert response.final and response.tier == 0
+        direct = compute_dos(chain_csr, small_config, backend="gpu-sim")
+        assert np.array_equal(response.values, direct.density)
+
+    def test_flush_refined_validation(self):
+        service = SpectralService(backends=("numpy",))
+        with pytest.raises(ValidationError, match="growth"):
+            service.flush_refined(growth=1.0)
+        with pytest.raises(ValidationError, match="tolerance"):
+            service.flush_refined(tolerance=0.0)
+
+
+class TestCapacityZeroForwarding:
+    """Satellite: split-oversized siblings must not silently recompute."""
+
+    def test_split_batches_forward_without_cache(self, chain_csr, small_config):
+        service = SpectralService(
+            backends=("gpu-sim",), cache_capacity=0, max_batch_size=2
+        )
+        responses = service.serve([DoSRequest(chain_csr, small_config)] * 5)
+        assert [r.source for r in responses] == [
+            "computed", "coalesced", "forwarded", "forwarded", "forwarded",
+        ]
+        assert service.metrics().engine_dispatches == 1
+        assert service.metrics().cache_forwards == 2  # two sibling batches
+        direct = compute_dos(chain_csr, small_config, backend="gpu-sim")
+        for response in responses:
+            assert np.array_equal(response.values, direct.density)
+        assert responses[2].modeled_seconds == 0.0
+
+    def test_forwarding_is_flush_local(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",), cache_capacity=0)
+        service.serve([DoSRequest(chain_csr, small_config)])
+        [replay] = service.serve([DoSRequest(chain_csr, small_config)])
+        # A later flush has no cache and no forward table: honest recompute.
+        assert replay.source == "computed"
+        assert service.metrics().engine_dispatches == 2
+
+
+class TestFreshServiceMetrics:
+    """Satellite: rate/speedup guards on a service that served nothing."""
+
+    def test_fresh_service_summary_never_raises(self):
+        metrics = SpectralService(backends=("numpy",)).metrics()
+        assert metrics.cache_hit_rate() == 0.0
+        assert metrics.modeled_speedup() == 1.0
+        text = metrics.summary()
+        assert "nan" not in text and "inf" not in text
+
+    def test_unmodeled_backend_summary_is_finite(self, chain_csr, small_config):
+        service = SpectralService(backends=("numpy",))
+        service.serve([DoSRequest(chain_csr, small_config)] * 2)
+        metrics = service.metrics()
+        # numpy has no hardware model: naive/served stay zero, the ratio
+        # degrades to neutral 1.0 and the summary omits the modeled part.
+        assert metrics.modeled_speedup() == 1.0
+        text = metrics.summary()
+        assert "nan" not in text and "inf" not in text
+        assert "speedup" not in text
+
+
+class TestResponseAliasing:
+    """Satellite: responses share the cached arrays — mutation fails loudly."""
+
+    def test_mutating_a_response_cannot_poison_the_cache(
+        self, chain_csr, small_config
+    ):
+        service = SpectralService(backends=("gpu-sim",))
+        [first] = service.serve([DoSRequest(chain_csr, small_config)])
+        with pytest.raises(ValueError, match="read-only"):
+            first.moments.mu[:] = 0.0
+        with pytest.raises(ValueError, match="read-only"):
+            first.moments.per_realization[:] = 0.0
+        [replay] = service.serve([DoSRequest(chain_csr, small_config)])
+        direct = compute_dos(chain_csr, small_config, backend="gpu-sim")
+        assert np.array_equal(replay.moments.mu, direct.moments.mu)
+        assert np.array_equal(replay.values, direct.density)
+
+    def test_prefix_slice_response_is_read_only(self, chain_csr, small_config):
+        service = SpectralService(backends=("gpu-sim",))
+        service.serve([DoSRequest(chain_csr, small_config)])
+        low = small_config.with_updates(num_moments=16)
+        [response] = service.serve([DoSRequest(chain_csr, low)])
+        with pytest.raises(ValueError, match="read-only"):
+            response.moments.mu[0] = 99.0
