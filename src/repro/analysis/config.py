@@ -20,7 +20,7 @@ through a ``[tool.repro-analysis]`` table::
     baseline = "analysis-baseline.json"
 
     [tool.repro-analysis.deprecations]
-    "GpuKPM.run" = "call GpuKPM.compute_moments() instead"
+    "MultiGpuKPM.run" = "call MultiGpuKPM.compute_moments() instead"
 
     [tool.repro-analysis.severity]
     RA009 = "warning"
@@ -87,8 +87,8 @@ DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
 DEFAULT_WALL_CLOCK_ALLOWED = ("timing.py",)
 
 #: Deprecated ``Class.method`` call targets and the advice RA010 prints.
+#: (``GpuKPM.run`` completed its deprecation cycle and was removed.)
 DEFAULT_DEPRECATIONS: tuple[tuple[str, str], ...] = (
-    ("GpuKPM.run", "call GpuKPM.compute_moments() instead"),
     ("MultiGpuKPM.run", "call MultiGpuKPM.compute_moments() instead"),
 )
 

@@ -2,9 +2,11 @@
 
 PR 3 renamed the engines' entry point to ``compute_moments`` and kept
 ``GpuKPM.run`` / ``MultiGpuKPM.run`` as warning shims for one
-deprecation cycle.  Runtime ``DeprecationWarning`` only fires on paths
-that execute; this rule finds the *call sites* statically so the shims
-can eventually be deleted without breaking anyone.
+deprecation cycle (``GpuKPM.run`` has since completed the cycle and was
+removed; ``MultiGpuKPM.run`` remains a shim).  Runtime
+``DeprecationWarning`` only fires on paths that execute; this rule finds
+the *call sites* statically so the shims can eventually be deleted
+without breaking anyone.
 
 The deprecated surface is configured as a ``Class.method`` → advice
 table (``[tool.repro-analysis.deprecations]``).  Matching is
@@ -42,7 +44,7 @@ class DeprecatedApiRule(Rule):
     )
     explain = (
         "RA010 reads the [tool.repro-analysis.deprecations] table "
-        "(Class.method -> advice; defaults cover GpuKPM.run and "
+        "(Class.method -> advice; defaults cover "
         "MultiGpuKPM.run -> compute_moments) and reports every call site "
         "it can prove statically: direct Class(...).method(...) chains, "
         "and method calls on a local variable assigned from Class(...) "

@@ -240,6 +240,8 @@ def _cmd_cluster(args) -> int:
 def _cmd_serve_sim(args) -> int:
     from repro.serve import SpectralService, synthetic_trace
 
+    if args.trace == "gateway":
+        return _serve_sim_gateway(args)
     trace = synthetic_trace(
         args.requests,
         seed=args.seed,
@@ -277,6 +279,56 @@ def _cmd_serve_sim(args) -> int:
         ("modeled speedup (x)", metrics.modeled_speedup()),
     ]
     print(ascii_table(("metric", "value"), rows))
+    print(metrics.summary())
+    return 0
+
+
+def _serve_sim_gateway(args) -> int:
+    """The ``--trace gateway`` arm: timed multi-tenant replay."""
+    from repro.serve import Gateway, timed_trace
+
+    arrivals = timed_trace(
+        args.requests,
+        seed=args.seed,
+        tenants=args.tenants,
+        repeat_bias=args.repeat_bias,
+        green_fraction=args.green_fraction,
+        ldos_fraction=args.ldos_fraction,
+    )
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    gateway = Gateway(
+        template=backends,
+        cache_capacity=args.cache_capacity,
+        max_batch_size=args.max_batch_size,
+    )
+    responses = gateway.run_trace(arrivals)
+    metrics = gateway.gateway_metrics()
+    print(
+        f"replayed {len(responses)} timed requests across {args.tenants} "
+        f"tenant(s) (seed {args.seed}) over template: {', '.join(backends)}"
+    )
+    rows = [
+        ("offered", metrics.offered),
+        ("served", metrics.served),
+        ("degraded", metrics.degraded),
+        ("rejected", metrics.rejected),
+        ("cancelled", metrics.cancelled),
+        ("deadline misses", metrics.deadline_misses),
+        ("goodput ratio", metrics.goodput_ratio),
+        ("p50 latency (s)", metrics.p50_latency_seconds),
+        ("p99 latency (s)", metrics.p99_latency_seconds),
+        ("modeled clock (s)", metrics.clock_seconds),
+        ("active engines", metrics.active_engines),
+        ("peak engines", metrics.peak_active_engines),
+    ]
+    print(ascii_table(("metric", "value"), rows))
+    for tenant in sorted(metrics.per_tenant):
+        counters = metrics.per_tenant[tenant]
+        print(
+            f"  {tenant}: admitted={counters['admitted']:.0f} "
+            f"rejected={counters['rejected']:.0f} "
+            f"consumed={counters['consumed_seconds']:.3f}s"
+        )
     print(metrics.summary())
     return 0
 
@@ -416,6 +468,20 @@ def main(argv=None) -> int:
         default=25,
         help="requests admitted per flush (0 = single flush; smaller windows "
         "exercise the cache, larger ones the coalescer)",
+    )
+    serve_sim.add_argument(
+        "--trace",
+        default="fifo",
+        choices=("fifo", "gateway"),
+        help="fifo = v1 untimed trace through SpectralService; gateway = "
+        "timed multi-tenant trace through the v2 Gateway (EDF, admission, "
+        "degradation, elastic pool)",
+    )
+    serve_sim.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="tenant population of the gateway trace (Zipf-skewed volume)",
     )
     _add_trace_argument(serve_sim)
     serve_sim.set_defaults(func=_cmd_serve_sim)

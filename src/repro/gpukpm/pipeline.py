@@ -15,7 +15,6 @@ no execution).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -124,16 +123,6 @@ class GpuKPM:
         self.last_device: Device | None = None
 
     # ------------------------------------------------------------------
-    def run(self, scaled_operator, config: KPMConfig) -> tuple[MomentData, TimingReport]:
-        """Deprecated alias of :meth:`compute_moments`."""
-        warnings.warn(
-            "GpuKPM.run() is deprecated; use GpuKPM.compute_moments() "
-            "(the MomentEngine protocol method)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.compute_moments(scaled_operator, config)
-
     def compute_moments(
         self, scaled_operator, config: KPMConfig
     ) -> tuple[MomentData, TimingReport]:

@@ -55,10 +55,11 @@ def _add_subcommands(obs_sub) -> None:
     )
     record.add_argument(
         "--workload",
-        choices=("bench", "smoke", "serve-prefix"),
+        choices=("bench", "smoke", "serve-prefix", "gateway"),
         default=None,
         help="which traced workload to record (default: bench; "
-        "serve-prefix is the prefix-vs-exact cache A/B)",
+        "serve-prefix is the prefix-vs-exact cache A/B; gateway is the "
+        "v2 gateway-vs-FIFO overload A/B)",
     )
     record.add_argument(
         "--chrome", default=None, metavar="FILE", help="also write a Chrome trace JSON"
@@ -109,7 +110,7 @@ def _add_subcommands(obs_sub) -> None:
     )
     compare.add_argument(
         "--workload",
-        choices=("bench", "smoke", "serve-prefix"),
+        choices=("bench", "smoke", "serve-prefix", "gateway"),
         default=None,
         help="workload to re-record for the comparison (default: bench)",
     )
@@ -128,12 +129,14 @@ def _resolve_workload(args) -> str:
 
 def _record_workload(*, workload: str, label: str | None):
     from repro.bench.runner import baseline_record
-    from repro.obs.workloads import serve_prefix_run, smoke_run
+    from repro.obs.workloads import gateway_run, serve_prefix_run, smoke_run
 
     if workload == "smoke":
         return smoke_run(label=label or "smoke")
     if workload == "serve-prefix":
         return serve_prefix_run(label=label or "serve-prefix")
+    if workload == "gateway":
+        return gateway_run(label=label or "gateway")
     return baseline_record(label=label or "bench-baseline")
 
 

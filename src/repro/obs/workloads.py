@@ -27,7 +27,14 @@ from repro.trace.tracer import Tracer
 from repro.serve.service import SpectralService
 from repro.serve.trace import synthetic_trace
 
-__all__ = ["smoke_run", "serve_prefix_run", "SMOKE_WORKLOAD", "SERVE_PREFIX_WORKLOAD"]
+__all__ = [
+    "smoke_run",
+    "serve_prefix_run",
+    "gateway_run",
+    "SMOKE_WORKLOAD",
+    "SERVE_PREFIX_WORKLOAD",
+    "GATEWAY_WORKLOAD",
+]
 
 #: Deterministic parameters of the smoke workload (embedded in the record).
 SMOKE_WORKLOAD = {
@@ -50,6 +57,121 @@ SERVE_PREFIX_WORKLOAD = {
     "seed": 2,
     "cache_capacity": 16,
 }
+
+
+#: Deterministic parameters of the gateway-vs-FIFO overload A/B workload.
+#: Deliberately overloaded: two flash crowds at 8x the diurnal rate with
+#: ~0.5s deadline slack, so both arms miss deadlines and the gateway's
+#: EDF + degradation margin is visible in the goodput gauges.
+GATEWAY_WORKLOAD = {
+    "requests": 150,
+    "seed": 6,
+    "tenants": 3,
+    "duration": 12.0,
+    "deadline_slack": 0.5,
+    "flash_crowds": 2,
+    "flash_multiplier": 8.0,
+    "repeat_bias": 0.85,
+    "flush_interval": 1.0,
+    "max_active": 3,
+    "tenant_rate": 0.8,
+    "tenant_burst": 2.0,
+}
+
+
+def gateway_run(
+    *,
+    label: str = "gateway",
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> RunRecord:
+    """A/B the v2 gateway against the FIFO baseline under overload.
+
+    Replays one overloaded timed trace through two gateways sharing
+    every knob except the serving-v2 levers: the full gateway (EDF +
+    degradation) and the v1 baseline (``edf=False, degrade=False`` —
+    FIFO order, always full precision, late if need be).  Admission and
+    the elastic pool are identical on both sides, so the goodput gap is
+    attributable to scheduling and degradation alone.  Records per-arm
+    ``goodput_ratio`` / ``p50``/``p99`` modeled latency gauges plus the
+    headline ``gateway_ab.goodput_advantage_ratio`` (gateway minus
+    FIFO); ``BENCH_PR8.json`` embeds this record and the CI gate pins
+    the ratios higher-is-better and the latencies lower-is-better, so
+    the gateway can never silently stop out-serving FIFO under
+    overload.
+    """
+    if not isinstance(label, str) or not label:
+        raise ValidationError(f"label must be a non-empty string, got {label!r}")
+    registry = MetricsRegistry() if registry is None else registry
+    tracer = Tracer() if tracer is None else tracer
+
+    from repro.serve.admission import TenantPolicy  # deferred: obs stays import-light
+    from repro.serve.gateway import Gateway
+    from repro.serve.traffic import timed_trace
+
+    arrivals = timed_trace(
+        GATEWAY_WORKLOAD["requests"],
+        seed=GATEWAY_WORKLOAD["seed"],
+        tenants=GATEWAY_WORKLOAD["tenants"],
+        duration=GATEWAY_WORKLOAD["duration"],
+        deadline_slack=GATEWAY_WORKLOAD["deadline_slack"],
+        flash_crowds=GATEWAY_WORKLOAD["flash_crowds"],
+        flash_multiplier=GATEWAY_WORKLOAD["flash_multiplier"],
+        repeat_bias=GATEWAY_WORKLOAD["repeat_bias"],
+    )
+    policy = TenantPolicy(
+        rate=GATEWAY_WORKLOAD["tenant_rate"],
+        burst=GATEWAY_WORKLOAD["tenant_burst"],
+    )
+
+    goodput: dict[str, float] = {}
+    with tracer.activate():
+        for mode, edf, degrade in (
+            ("gateway", True, True),
+            ("fifo", False, False),
+        ):
+            with tracer.span(f"workload.serve_{mode}", category="workload"):
+                gateway = Gateway(
+                    template=("gpu-sim", "cpu-model"),
+                    max_active=GATEWAY_WORKLOAD["max_active"],
+                    default_policy=policy,
+                    edf=edf,
+                    degrade=degrade,
+                )
+                gateway.run_trace(
+                    arrivals,
+                    flush_interval=GATEWAY_WORKLOAD["flush_interval"],
+                )
+            metrics = gateway.gateway_metrics()
+            goodput[mode] = metrics.goodput_ratio
+            registry.set_gauge(f"{mode}.goodput_ratio", metrics.goodput_ratio)
+            registry.set_gauge(
+                f"{mode}.p50_latency_seconds", metrics.p50_latency_seconds
+            )
+            registry.set_gauge(
+                f"{mode}.p99_latency_seconds", metrics.p99_latency_seconds
+            )
+            # Context gauges (no seconds/ratio fragment: recorded for
+            # humans, not gated).
+            registry.set_gauge(f"{mode}.degraded_requests", float(metrics.degraded))
+            registry.set_gauge(f"{mode}.rejected_requests", float(metrics.rejected))
+            registry.set_gauge(
+                f"{mode}.deadline_miss_requests", float(metrics.deadline_misses)
+            )
+            registry.set_gauge(
+                f"{mode}.peak_engines", float(metrics.peak_active_engines)
+            )
+    registry.set_gauge(
+        "gateway_ab.goodput_advantage_ratio",
+        goodput["gateway"] - goodput["fifo"],
+    )
+
+    return RunRecord(
+        label=label,
+        workload=dict(GATEWAY_WORKLOAD),
+        spans=tracer.finish(),
+        metrics=registry,
+    )
 
 
 def serve_prefix_run(

@@ -1,0 +1,254 @@
+"""Per-tenant admission control on the modeled clock.
+
+The gateway prices every request *before* running it — engines expose
+the analytic ``estimate_modeled_seconds`` capability, so the cost of a
+request is known at admission time without touching a device — and
+charges that cost against two per-tenant budgets:
+
+* a **token bucket** bounding sustained rate: ``rate`` modeled-seconds
+  of engine work per modeled second, with ``burst`` modeled-seconds of
+  headroom, refilled lazily from the modeled clock;
+* a hard **quota** bounding lifetime consumption (``None`` = unmetered).
+
+Admission is deterministic: buckets refill from the modeled clock the
+caller passes in (never the wall clock — RA001 applies to this module),
+and a denied request leaves every budget untouched, so replaying a
+timed trace reproduces the same admit/reject sequence exactly.
+
+Denials carry a structured reason (``"rate"`` or ``"quota"``) that the
+gateway copies into the response's ``reason`` field.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.util.validation import check_positive_float
+
+__all__ = [
+    "TokenBucket",
+    "TenantPolicy",
+    "AdmissionDecision",
+    "AdmissionController",
+]
+
+
+def _check_clock(now) -> float:
+    now = float(now)
+    if not math.isfinite(now) or now < 0.0:
+        raise ValidationError(
+            f"modeled clock must be a non-negative finite number, got {now}"
+        )
+    return now
+
+
+def _check_cost(cost) -> float:
+    cost = float(cost)
+    if not math.isfinite(cost) or cost < 0.0:
+        raise ValidationError(
+            f"cost must be a non-negative finite number of modeled seconds, "
+            f"got {cost}"
+        )
+    return cost
+
+
+class TokenBucket:
+    """Deterministic token bucket metering modeled-seconds of work.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate — modeled-seconds of engine budget earned per
+        modeled second of clock.
+    burst:
+        Bucket capacity — the largest debt a quiet tenant can spend at
+        once.  Buckets start full.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = check_positive_float(rate, "rate")
+        self.burst = check_positive_float(burst, "burst")
+        self.level = self.burst
+        self._last_refill = 0.0
+
+    def refill(self, now: float) -> None:
+        """Advance the bucket to modeled time ``now`` (monotone)."""
+        now = _check_clock(now)
+        if now < self._last_refill:
+            raise ValidationError(
+                f"modeled clock moved backwards: {now} < {self._last_refill}"
+            )
+        self.level = min(self.burst, self.level + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+
+    def try_consume(self, cost: float, now: float) -> bool:
+        """Charge ``cost`` if covered; a denial leaves the level intact."""
+        cost = _check_cost(cost)
+        self.refill(now)
+        if cost > self.level:
+            return False
+        self.level -= cost
+        return True
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Budget envelope for one tenant.
+
+    Attributes
+    ----------
+    rate:
+        Sustained modeled-seconds of engine work per modeled second.
+    burst:
+        Token-bucket capacity in modeled seconds.
+    quota:
+        Lifetime modeled-seconds cap (``None`` = unmetered).
+    """
+
+    rate: float = 1.0
+    burst: float = 10.0
+    quota: float | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_float(self.rate, "rate")
+        check_positive_float(self.burst, "burst")
+        if self.quota is not None:
+            check_positive_float(self.quota, "quota")
+
+    def bucket(self) -> TokenBucket:
+        """A fresh full bucket for this policy."""
+        return TokenBucket(self.rate, self.burst)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``admitted`` with an empty ``reason``, or denied with ``reason`` in
+    ``("rate", "quota")`` — the gateway copies the reason into the
+    rejected response.
+    """
+
+    admitted: bool
+    tenant: str
+    cost: float
+    reason: str = ""
+
+
+@dataclass
+class _TenantState:
+    bucket: TokenBucket
+    policy: TenantPolicy
+    consumed: float = 0.0
+    admitted: int = 0
+    rejected: int = 0
+
+
+class AdmissionController:
+    """Token buckets + quotas over a tenant map.
+
+    Parameters
+    ----------
+    policies:
+        Mapping of tenant name to :class:`TenantPolicy`.  Unknown
+        tenants fall back to ``default_policy``.
+    default_policy:
+        Envelope applied to tenants without an explicit policy.
+    """
+
+    def __init__(
+        self,
+        policies: dict[str, TenantPolicy] | None = None,
+        *,
+        default_policy: TenantPolicy | None = None,
+    ):
+        policies = dict(policies or {})
+        for tenant, policy in policies.items():
+            if not isinstance(tenant, str) or not tenant:
+                raise ValidationError(
+                    f"tenant names must be non-empty strings, got {tenant!r}"
+                )
+            if not isinstance(policy, TenantPolicy):
+                raise ValidationError(
+                    f"policy for tenant {tenant!r} must be a TenantPolicy, "
+                    f"got {type(policy).__name__}"
+                )
+        self.default_policy = default_policy or TenantPolicy()
+        if not isinstance(self.default_policy, TenantPolicy):
+            raise ValidationError(
+                "default_policy must be a TenantPolicy, "
+                f"got {type(self.default_policy).__name__}"
+            )
+        self._policies = policies
+        self._tenants: dict[str, _TenantState] = {}
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            policy = self._policies.get(tenant, self.default_policy)
+            state = _TenantState(bucket=policy.bucket(), policy=policy)
+            self._tenants[tenant] = state
+        return state
+
+    def admit(self, tenant: str, cost: float, now: float) -> AdmissionDecision:
+        """Charge ``cost`` modeled-seconds to ``tenant`` at modeled ``now``.
+
+        Quota is checked before the bucket so a quota-exhausted tenant
+        cannot drain bucket level with doomed requests; a denial leaves
+        both budgets untouched.
+        """
+        if not isinstance(tenant, str) or not tenant:
+            raise ValidationError(
+                f"tenant must be a non-empty string, got {tenant!r}"
+            )
+        cost = _check_cost(cost)
+        state = self._state(tenant)
+        quota = state.policy.quota
+        if quota is not None and state.consumed + cost > quota:
+            state.rejected += 1
+            return AdmissionDecision(False, tenant, cost, reason="quota")
+        if not state.bucket.try_consume(cost, now):
+            state.rejected += 1
+            return AdmissionDecision(False, tenant, cost, reason="rate")
+        state.consumed += cost
+        state.admitted += 1
+        return AdmissionDecision(True, tenant, cost)
+
+    def refund(self, tenant: str, cost: float) -> None:
+        """Return ``cost`` to a tenant whose admitted request was cancelled.
+
+        The bucket is topped back up (capped at burst) and the quota
+        consumption rolled back, so a cancelled request costs nothing.
+        """
+        cost = _check_cost(cost)
+        state = self._tenants.get(str(tenant))
+        if state is None:
+            return
+        state.bucket.level = min(state.bucket.burst, state.bucket.level + cost)
+        state.consumed = max(0.0, state.consumed - cost)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants seen so far, first-appearance order."""
+        return tuple(self._tenants)
+
+    def consumed(self, tenant: str) -> float:
+        """Lifetime modeled-seconds charged to ``tenant``."""
+        state = self._tenants.get(tenant)
+        return 0.0 if state is None else state.consumed
+
+    def counters(self) -> dict[str, dict[str, float]]:
+        """Per-tenant ``{admitted, rejected, consumed_seconds}`` snapshot."""
+        return {
+            tenant: {
+                "admitted": float(state.admitted),
+                "rejected": float(state.rejected),
+                "consumed_seconds": state.consumed,
+            }
+            for tenant, state in self._tenants.items()
+        }

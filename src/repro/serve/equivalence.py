@@ -1,0 +1,189 @@
+"""Result-equivalence oracle: gateway vs. a serial FIFO reference.
+
+The serving-v2 contract is that *scheduling is not allowed to touch
+numerics*: admission, EDF ordering, elastic capacity, and overload
+degradation may change **when** (or whether) a request is answered, but
+never **what** the answer is.  :func:`check_equivalence` proves that for
+a concrete timed trace by replaying it twice:
+
+1. through a :class:`~repro.serve.Gateway` built on a *homogeneous*
+   engine template (so elastic scaling cannot move work between device
+   classes — all slots produce bit-identical moments), and
+2. through a plain :class:`~repro.serve.SpectralService` on a single
+   engine of the same backend, submitted serially in arrival order and
+   flushed once — the v1 FIFO semantics.
+
+Every gateway response is then checked against the reference answer for
+the same request:
+
+* ``served``  — moments, energies, and values must be **bit-identical**
+  to the reference (``np.array_equal``, no tolerance);
+* ``degraded`` — the moments must be a **bit-identical prefix** of the
+  reference moments (prefix closure is what makes a degraded answer an
+  honest truncation rather than an approximation);
+* ``rejected`` / ``cancelled`` — the response must carry no values at
+  all.
+
+Any deviation is recorded as a human-readable mismatch in the returned
+:class:`EquivalenceReport`; the Hypothesis property suite drives this
+over random traces on the ``numpy`` and ``gpu-sim`` backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kpm.moments import MomentData
+from repro.serve.gateway import Gateway
+from repro.serve.requests import SpectralResponse
+from repro.serve.service import SpectralService
+from repro.serve.traffic import TimedArrival
+
+__all__ = ["EquivalenceReport", "check_equivalence"]
+
+
+def _moment_array(moments) -> np.ndarray:
+    """The raw moment vector (MomentData or ndarray) as a float64 array."""
+    if isinstance(moments, MomentData):
+        return np.asarray(moments.mu, dtype=np.float64)
+    return np.asarray(moments, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome tally plus every detected deviation.
+
+    ``ok`` means the gateway run was result-equivalent to the serial
+    FIFO reference: all full-precision answers bit-identical, all
+    degraded answers bit-identical prefixes, all refusals valueless.
+    """
+
+    total: int
+    served: int
+    degraded: int
+    rejected: int
+    cancelled: int
+    mismatches: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no response deviated from the reference."""
+        return not self.mismatches
+
+    def summary(self) -> str:
+        """One-line digest for logs and CLI output."""
+        verdict = "equivalent" if self.ok else (
+            f"{len(self.mismatches)} MISMATCH(ES)"
+        )
+        return (
+            f"{self.total} requests: {self.served} served, "
+            f"{self.degraded} degraded, {self.rejected} rejected, "
+            f"{self.cancelled} cancelled — {verdict}"
+        )
+
+
+def _compare(index: int, ours: SpectralResponse, ref: SpectralResponse):
+    """Mismatch strings for one gateway/reference response pair."""
+    label = f"#{index} tag={ours.tag!r} outcome={ours.outcome}"
+    problems = []
+    if ours.outcome in ("rejected", "cancelled"):
+        if ours.values is not None or ours.moments is not None:
+            problems.append(f"{label}: refused response carries values")
+        return problems
+    ref_mu = _moment_array(ref.moments)
+    our_mu = _moment_array(ours.moments)
+    if ours.outcome == "served":
+        if not np.array_equal(our_mu, ref_mu):
+            problems.append(f"{label}: moments differ from FIFO reference")
+        if not np.array_equal(ours.energies, ref.energies):
+            problems.append(f"{label}: energy grid differs")
+        if not np.array_equal(ours.values, ref.values):
+            problems.append(f"{label}: values differ from FIFO reference")
+    elif ours.outcome == "degraded":
+        n = len(our_mu)
+        if n > len(ref_mu):
+            problems.append(
+                f"{label}: degraded order {n} exceeds reference {len(ref_mu)}"
+            )
+        elif not np.array_equal(our_mu, ref_mu[:n]):
+            problems.append(
+                f"{label}: degraded moments are not a reference prefix"
+            )
+        if ours.final:
+            problems.append(f"{label}: degraded response marked final")
+    else:
+        problems.append(f"{label}: unknown outcome")
+    return problems
+
+
+def check_equivalence(
+    arrivals,
+    *,
+    backend: str = "gpu-sim",
+    flush_interval: float = 1.0,
+    gateway: Gateway | None = None,
+    **gateway_kwargs,
+) -> EquivalenceReport:
+    """Replay ``arrivals`` through gateway and FIFO reference; compare.
+
+    Parameters
+    ----------
+    arrivals:
+        Ascending :class:`~repro.serve.TimedArrival` items (e.g. from
+        :func:`repro.serve.timed_trace`).
+    backend:
+        Engine registry name used for *both* sides — the gateway gets a
+        homogeneous template of it, the reference a single slot, so any
+        numeric difference is attributable to scheduling alone.
+    flush_interval:
+        Gateway replay window (modeled seconds).
+    gateway:
+        A pre-built gateway to check instead of constructing one — the
+        caller then owns keeping its template homogeneous.
+    gateway_kwargs:
+        Forwarded to the :class:`~repro.serve.Gateway` constructor
+        (policies, thresholds, cache size, …).
+
+    Returns
+    -------
+    :class:`EquivalenceReport`
+    """
+    arrivals = list(arrivals)
+    for arrival in arrivals:
+        if not isinstance(arrival, TimedArrival):
+            raise ValidationError(
+                "check_equivalence expects TimedArrival items, got "
+                f"{type(arrival).__name__}"
+            )
+    if gateway is None:
+        gateway = Gateway(template=(backend,), **gateway_kwargs)
+    responses = gateway.run_trace(arrivals, flush_interval=flush_interval)
+
+    reference = SpectralService((backend,))
+    for arrival in arrivals:
+        reference.submit(arrival.request)
+    ref_responses = reference.flush()
+
+    if len(responses) != len(arrivals) or len(ref_responses) != len(arrivals):
+        raise ValidationError(
+            f"response count mismatch: {len(arrivals)} arrivals, "
+            f"{len(responses)} gateway responses, "
+            f"{len(ref_responses)} reference responses"
+        )
+
+    tally = {"served": 0, "degraded": 0, "rejected": 0, "cancelled": 0}
+    mismatches: list[str] = []
+    for index, (ours, ref) in enumerate(zip(responses, ref_responses)):
+        tally[ours.outcome] += 1
+        mismatches.extend(_compare(index, ours, ref))
+    return EquivalenceReport(
+        total=len(arrivals),
+        served=tally["served"],
+        degraded=tally["degraded"],
+        rejected=tally["rejected"],
+        cancelled=tally["cancelled"],
+        mismatches=tuple(mismatches),
+    )

@@ -14,9 +14,22 @@ request) is the *request's* fault and never penalizes the engine.
 
 All state is dispatch-counter based — no wall-clock timers — so the
 eject/readmit trajectory is a pure function of the request trace.
+
+:class:`ElasticEnginePool` (serving v2) adds capacity scaling on top:
+the pool pre-instantiates ``max_active`` slots by cycling a
+heterogeneous *template* (by default C2050-class ``gpu-sim`` devices
+with a ``cpu-model`` fallback interleaved) but keeps only a prefix of
+them in rotation.  The gateway feeds it the modeled demand rate —
+admitted modeled-seconds of engine work per modeled second of clock —
+and :meth:`~ElasticEnginePool.rebalance` grows or shrinks the active
+prefix against utilization thresholds.  Scaling decisions are a pure
+function of the ``rebalance`` call sequence, keeping the replay
+deterministic.
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass, field
 
@@ -24,7 +37,7 @@ from repro.errors import FaultError, ValidationError
 from repro.kpm.engines import MomentEngine, get_engine
 from repro.util.validation import check_positive_int
 
-__all__ = ["EngineSlot", "PoolStats", "EnginePool"]
+__all__ = ["EngineSlot", "PoolStats", "EnginePool", "ElasticEnginePool"]
 
 
 @dataclass
@@ -149,3 +162,105 @@ class EnginePool:
             slot.healthy = False
             slot.ejected_at = self.stats.dispatches
             self.stats.ejections += 1
+
+
+class ElasticEnginePool(EnginePool):
+    """Health-tracked pool whose capacity follows modeled demand.
+
+    Parameters
+    ----------
+    template:
+        Backend specs cycled to build the slot ladder — heterogeneous by
+        default: simulated C2050-class devices with the CPU cost model
+        interleaved as overflow capacity.  Slot ``i`` is
+        ``template[i % len(template)]``, so which device class joins at
+        each scale step is fixed at construction.
+    min_active / max_active:
+        Bounds on the in-rotation prefix.  All ``max_active`` slots are
+        instantiated up front (simulated devices are free to hold);
+        scaling only moves the prefix boundary, never re-creates
+        engines, so health counters survive scale-downs.
+    scale_up_at / scale_down_at:
+        Utilization thresholds (demand rate / active slots).  Crossing
+        ``scale_up_at`` adds one slot per rebalance; dropping below
+        ``scale_down_at`` retires the newest.  ``scale_down_at`` must
+        stay below ``scale_up_at`` to rule out flapping on a constant
+        load.
+    """
+
+    def __init__(
+        self,
+        template=("gpu-sim", "cpu-model"),
+        *,
+        min_active: int = 1,
+        max_active: int = 4,
+        scale_up_at: float = 0.8,
+        scale_down_at: float = 0.3,
+        eject_after: int = 1,
+        readmit_after: int = 4,
+    ):
+        template = tuple(template)
+        if not template:
+            raise ValidationError("template must name at least one backend")
+        self.min_active = check_positive_int(min_active, "min_active")
+        self.max_active = check_positive_int(max_active, "max_active")
+        if self.min_active > self.max_active:
+            raise ValidationError(
+                f"min_active ({self.min_active}) must not exceed "
+                f"max_active ({self.max_active})"
+            )
+        self.scale_up_at = float(scale_up_at)
+        self.scale_down_at = float(scale_down_at)
+        if not (
+            math.isfinite(self.scale_up_at)
+            and math.isfinite(self.scale_down_at)
+            and 0.0 <= self.scale_down_at < self.scale_up_at
+        ):
+            raise ValidationError(
+                "need 0 <= scale_down_at < scale_up_at, got "
+                f"scale_down_at={scale_down_at}, scale_up_at={scale_up_at}"
+            )
+        ladder = [template[i % len(template)] for i in range(self.max_active)]
+        super().__init__(
+            ladder, eject_after=eject_after, readmit_after=readmit_after
+        )
+        self._active = self.min_active
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.peak_active = self._active
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Slots currently in rotation (prefix length)."""
+        return self._active
+
+    def healthy_slots(self) -> list[EngineSlot]:
+        """Healthy slots within the active prefix."""
+        self._refresh()
+        return [slot for slot in self.slots[: self._active] if slot.healthy]
+
+    def rebalance(self, demand_rate: float) -> int:
+        """Adjust capacity to ``demand_rate``; returns the active count.
+
+        ``demand_rate`` is the gateway's running estimate of admitted
+        engine work per modeled second.  Each slot retires roughly one
+        modeled-second of work per modeled second, so utilization is
+        ``demand_rate / active``; one rebalance moves the boundary at
+        most one step, so capacity ramps rather than jumps.
+        """
+        demand_rate = float(demand_rate)
+        if not math.isfinite(demand_rate) or demand_rate < 0.0:
+            raise ValidationError(
+                f"demand_rate must be a non-negative finite number, "
+                f"got {demand_rate}"
+            )
+        utilization = demand_rate / self._active
+        if utilization > self.scale_up_at and self._active < self.max_active:
+            self._active += 1
+            self.scale_ups += 1
+            self.peak_active = max(self.peak_active, self._active)
+        elif utilization < self.scale_down_at and self._active > self.min_active:
+            self._active -= 1
+            self.scale_downs += 1
+        return self._active

@@ -26,6 +26,7 @@ match comparisons.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +39,9 @@ from repro.util.rng import normalize_seed
 from repro.util.validation import check_nonnegative_int
 
 __all__ = [
+    "REQUEST_API_VERSION",
+    "RESPONSE_OUTCOMES",
+    "SpectralRequest",
     "DoSRequest",
     "LDoSRequest",
     "GreenRequest",
@@ -45,6 +49,81 @@ __all__ = [
     "moment_config_key",
     "moment_identity_key",
 ]
+
+#: Version of the request/response surface.  v1 (PR 3) had no tenancy or
+#: scheduling fields; v2 adds ``tenant`` / ``deadline`` / ``priority`` on
+#: every request and the structured ``outcome`` on every response.  All
+#: v1 call sites remain valid — the new fields default to the v1
+#: semantics (anonymous tenant, no deadline, neutral priority).
+REQUEST_API_VERSION = 2
+
+#: The structured disposition taxonomy carried by
+#: :attr:`SpectralResponse.outcome`.
+RESPONSE_OUTCOMES = ("served", "degraded", "rejected", "cancelled")
+
+
+class SpectralRequest:
+    """Versioned base of every request kind (``api_version`` 2).
+
+    Concrete requests (:class:`DoSRequest`, :class:`LDoSRequest`,
+    :class:`GreenRequest`) are frozen dataclasses that share — besides
+    ``hamiltonian`` / ``config`` / ``tag`` — the v2 multi-tenant fields:
+
+    tenant:
+        Logical principal the request is billed to.  Admission control
+        (token buckets, modeled-second quotas) is keyed on it; the
+        default ``"default"`` tenant keeps v1 call sites working.
+    deadline:
+        Absolute *modeled-clock* second by which an answer is useful
+        (``None`` = no deadline).  The EDF scheduler orders batches by
+        it, and the gateway degrades to a cached prefix instead of
+        queueing past it.
+    priority:
+        Deadline tie-breaker (higher is more urgent); ties after that
+        fall back to submission order, keeping scheduling deterministic.
+
+    The shared ``__post_init__`` validation lives here so every request
+    kind rejects malformed tenancy fields identically with
+    :class:`~repro.errors.ValidationError`, per the error taxonomy.
+    """
+
+    api_version = REQUEST_API_VERSION
+
+    def _validate_service_fields(self) -> None:
+        if not isinstance(self.config, KPMConfig):
+            raise ValidationError(
+                f"config must be a KPMConfig, got {type(self.config).__name__}"
+            )
+        if not isinstance(self.tag, str):
+            raise ValidationError(
+                f"tag must be a string, got {type(self.tag).__name__}"
+            )
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ValidationError(
+                f"tenant must be a non-empty string, got {self.tenant!r}"
+            )
+        if self.deadline is not None:
+            try:
+                deadline = float(self.deadline)
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"deadline must be a number or None, got {self.deadline!r}"
+                ) from None
+            if not math.isfinite(deadline) or deadline < 0.0:
+                raise ValidationError(
+                    "deadline must be a non-negative finite modeled-clock "
+                    f"second, got {deadline}"
+                )
+            object.__setattr__(self, "deadline", deadline)
+        if isinstance(self.priority, bool) or not isinstance(self.priority, int):
+            raise ValidationError(
+                f"priority must be an integer, got {self.priority!r}"
+            )
+
+    @property
+    def effective_deadline(self) -> float:
+        """The deadline as a sortable float (``inf`` when unset)."""
+        return math.inf if self.deadline is None else self.deadline
 
 
 def moment_identity_key(config: KPMConfig, *, site: int | None = None) -> tuple:
@@ -103,7 +182,7 @@ def moment_config_key(config: KPMConfig, *, site: int | None = None) -> tuple:
 
 
 @dataclass(frozen=True)
-class DoSRequest:
+class DoSRequest(SpectralRequest):
     """Density-of-states request: the full :func:`repro.kpm.compute_dos`.
 
     Attributes
@@ -118,23 +197,25 @@ class DoSRequest:
         per-request even inside a coalesced batch.
     tag:
         Opaque caller label echoed on the response.
+    tenant / deadline / priority:
+        The v2 multi-tenant fields — see :class:`SpectralRequest`.
     """
 
     hamiltonian: object
     config: KPMConfig = field(default_factory=KPMConfig)
     tag: str = ""
+    tenant: str = "default"
+    deadline: float | None = None
+    priority: int = 0
 
     kind = "dos"
 
     def __post_init__(self) -> None:
-        if not isinstance(self.config, KPMConfig):
-            raise ValidationError(
-                f"config must be a KPMConfig, got {type(self.config).__name__}"
-            )
+        self._validate_service_fields()
 
 
 @dataclass(frozen=True)
-class LDoSRequest:
+class LDoSRequest(SpectralRequest):
     """Local-DoS request: ``rho_site(omega)`` via deterministic moments.
 
     Served on the host through the same path as
@@ -146,19 +227,19 @@ class LDoSRequest:
     site: int
     config: KPMConfig = field(default_factory=KPMConfig)
     tag: str = ""
+    tenant: str = "default"
+    deadline: float | None = None
+    priority: int = 0
 
     kind = "ldos"
 
     def __post_init__(self) -> None:
-        if not isinstance(self.config, KPMConfig):
-            raise ValidationError(
-                f"config must be a KPMConfig, got {type(self.config).__name__}"
-            )
+        self._validate_service_fields()
         check_nonnegative_int(self.site, "site")
 
 
 @dataclass(frozen=True)
-class GreenRequest:
+class GreenRequest(SpectralRequest):
     """Green's-function request: ``G(omega + i0+)`` at chosen energies.
 
     Shares trace moments with :class:`DoSRequest` — a Green request whose
@@ -171,14 +252,14 @@ class GreenRequest:
     config: KPMConfig = field(default_factory=KPMConfig)
     kernel: str = "lorentz"
     tag: str = ""
+    tenant: str = "default"
+    deadline: float | None = None
+    priority: int = 0
 
     kind = "green"
 
     def __post_init__(self) -> None:
-        if not isinstance(self.config, KPMConfig):
-            raise ValidationError(
-                f"config must be a KPMConfig, got {type(self.config).__name__}"
-            )
+        self._validate_service_fields()
         energies = tuple(float(e) for e in np.atleast_1d(
             np.asarray(self.energies, dtype=np.float64)
         ))
@@ -238,17 +319,37 @@ class SpectralResponse:
         Refinement tier index (0 for one-shot serving and the immediate
         prefix answer; increments per streamed refinement).
     final:
-        ``False`` only for intermediate refinement tiers streamed via
-        ``on_tier``; every response returned by ``flush`` /
-        ``flush_refined`` is final.
+        ``False`` for intermediate refinement tiers streamed via
+        ``on_tier`` and for gateway *degraded* answers (a degraded
+        response is exactly an unfinished refinement: the low-``N``
+        prefix tier, cut off by the deadline instead of convergence);
+        every response returned by ``flush`` / ``flush_refined`` is
+        final.
+    outcome:
+        Structured disposition (v2 surface): ``"served"`` (full
+        precision at the request's own ``N``), ``"degraded"`` (answered
+        from a cached lower-``N`` prefix under overload), ``"rejected"``
+        (admission refused it — no values), or ``"cancelled"``
+        (withdrawn before dispatch — no values).
+    reason:
+        Human-readable cause for ``rejected`` / ``degraded`` /
+        ``cancelled`` outcomes (empty for ``served``).
+    tenant:
+        The request's tenant, echoed.
+    deadline:
+        The request's absolute modeled-clock deadline, echoed
+        (``None`` when it had none).
+    deadline_missed:
+        ``True`` when the answer was produced after the deadline had
+        passed on the modeled clock (late full-precision service).
     """
 
     kind: str
     tag: str
-    energies: np.ndarray
-    values: np.ndarray
-    moments: MomentData | np.ndarray
-    rescaling: Rescaling
+    energies: np.ndarray | None
+    values: np.ndarray | None
+    moments: MomentData | np.ndarray | None
+    rescaling: Rescaling | None
     config: KPMConfig
     source: str
     engine: str
@@ -257,6 +358,65 @@ class SpectralResponse:
     num_moments_served: int | None = None
     tier: int = 0
     final: bool = True
+    outcome: str = "served"
+    reason: str = ""
+    tenant: str = "default"
+    deadline: float | None = None
+    deadline_missed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.outcome not in RESPONSE_OUTCOMES:
+            raise ValidationError(
+                f"outcome must be one of {', '.join(RESPONSE_OUTCOMES)}, "
+                f"got {self.outcome!r}"
+            )
+
+    @property
+    def answered(self) -> bool:
+        """True when the response carries values (served or degraded)."""
+        return self.outcome in ("served", "degraded")
+
+    @classmethod
+    def unserved(
+        cls,
+        request: SpectralRequest,
+        *,
+        outcome: str,
+        reason: str,
+        batch_id: int = -1,
+    ) -> "SpectralResponse":
+        """A valueless terminal response (``rejected`` / ``cancelled``).
+
+        Echoes the request's identity fields; ``energies`` / ``values`` /
+        ``moments`` / ``rescaling`` are ``None`` and ``batch_id`` is
+        ``-1`` unless the caller attributes it to a batch.
+        """
+        if not isinstance(request, SpectralRequest):
+            raise ValidationError(
+                f"request must be a SpectralRequest, got {type(request).__name__}"
+            )
+        if outcome not in ("rejected", "cancelled"):
+            raise ValidationError(
+                f"unserved outcome must be 'rejected' or 'cancelled', got {outcome!r}"
+            )
+        return cls(
+            kind=request.kind,
+            tag=request.tag,
+            energies=None,
+            values=None,
+            moments=None,
+            rescaling=None,
+            config=request.config,
+            source="gateway",
+            engine="",
+            batch_id=batch_id,
+            modeled_seconds=0.0,
+            num_moments_served=0,
+            outcome=outcome,
+            reason=str(reason),
+            tenant=request.tenant,
+            deadline=request.deadline,
+        )
 
     def to_dos_result(self):
         """Repackage a ``"dos"`` response as :class:`repro.kpm.DoSResult`.

@@ -17,6 +17,21 @@ The service keys groups on :func:`repro.serve.moment_identity_key`
 coalesce: the batch computes at :attr:`Batch.num_moments` — the largest
 member order — and shorter members are served prefix slices.
 
+:class:`EdfCoalesceScheduler` (serving v2) keeps the identical
+coalescing — same groups, same membership, same within-batch member
+order — but drains groups earliest-deadline-first instead of
+first-arrival-first: batches leave ordered by ``(earliest member
+deadline, -highest member priority, first member seq)``.  Deadlines are
+modeled-clock absolutes (requests without one sort last via ``+inf``),
+and the trailing ``seq`` makes every tie-break total, so the order is
+still a pure function of the submitted trace.  Because only the *order*
+of batches changes — never their contents — full-precision results stay
+bit-identical to the FIFO drain (the equivalence property pins this).
+
+Both schedulers support :meth:`~FifoCoalesceScheduler.cancel`: a queued
+request may be withdrawn by sequence number any time before the drain
+that would have served it.
+
 Every decision is a pure function of the submission sequence — no
 wall-clock reads, no random draws — so replaying a request trace yields
 the same batches, the same engine assignments, and bit-identical
@@ -31,7 +46,12 @@ from dataclasses import dataclass, field
 from repro.errors import ValidationError
 from repro.util.validation import check_positive_int
 
-__all__ = ["QueuedRequest", "Batch", "FifoCoalesceScheduler"]
+__all__ = [
+    "QueuedRequest",
+    "Batch",
+    "FifoCoalesceScheduler",
+    "EdfCoalesceScheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +103,21 @@ class Batch:
         """
         return max(entry.request.config.num_moments for entry in self.entries)
 
+    @property
+    def earliest_deadline(self) -> float:
+        """Tightest member deadline (``+inf`` when no member has one)."""
+        return min(
+            getattr(entry.request, "effective_deadline", float("inf"))
+            for entry in self.entries
+        )
+
+    @property
+    def max_priority(self) -> int:
+        """Highest member priority (``0`` for legacy requests)."""
+        return max(
+            getattr(entry.request, "priority", 0) for entry in self.entries
+        )
+
 
 class FifoCoalesceScheduler:
     """FIFO queue with compatibility coalescing.
@@ -102,6 +137,7 @@ class FifoCoalesceScheduler:
         self._next_batch_id = 0
         self.peak_depth = 0
         self.enqueued_total = 0
+        self.cancelled_total = 0
 
     # ------------------------------------------------------------------
     @property
@@ -119,20 +155,80 @@ class FifoCoalesceScheduler:
         self.enqueued_total += 1
         self.peak_depth = max(self.peak_depth, len(self._queue))
 
+    def cancel(self, seq: int) -> QueuedRequest | None:
+        """Withdraw the queued request with sequence ``seq``.
+
+        Returns the removed :class:`QueuedRequest`, or ``None`` when no
+        waiting request carries that sequence number (already drained,
+        already cancelled, or never enqueued) — cancellation after
+        service is not an error, just a no-op.
+        """
+        for index, item in enumerate(self._queue):
+            if item.seq == seq:
+                del self._queue[index]
+                self.cancelled_total += 1
+                return item
+        return None
+
     def drain(self) -> list[Batch]:
         """Empty the queue into coalesced batches (see module docstring)."""
-        groups: dict[tuple, list[QueuedRequest]] = {}
-        for item in self._queue:
-            groups.setdefault(item.key, []).append(item)
-        self._queue.clear()
-
         batches: list[Batch] = []
-        for key, entries in groups.items():  # dict preserves first-arrival order
+        for entries in self._grouped():
             step = self.max_batch_size or len(entries)
             for start in range(0, len(entries), step):
                 batch = Batch(
                     batch_id=self._next_batch_id,
-                    key=key,
+                    key=entries[0].key,
+                    entries=entries[start : start + step],
+                )
+                self._next_batch_id += 1
+                batches.append(batch)
+        return batches
+
+    def _grouped(self) -> list[list[QueuedRequest]]:
+        """Coalesce the queue into per-key groups, first-arrival order."""
+        groups: dict[tuple, list[QueuedRequest]] = {}
+        for item in self._queue:
+            groups.setdefault(item.key, []).append(item)
+        self._queue.clear()
+        # dict preserves first-arrival order
+        return list(groups.values())
+
+
+class EdfCoalesceScheduler(FifoCoalesceScheduler):
+    """Earliest-deadline-first drain over the same coalesced groups.
+
+    Group membership and within-group member order are identical to
+    :class:`FifoCoalesceScheduler` — only the order in which groups
+    leave changes, so every response stays bit-identical to the FIFO
+    drain.  Groups are ordered by ``(earliest member deadline, -highest
+    member priority, first member seq)``: tightest deadline first,
+    higher priority breaks deadline ties, and the submission sequence
+    makes the order total and deterministic.  ``max_batch_size``
+    splitting happens after ordering, so an oversized group's sibling
+    batches stay adjacent (the first computes, siblings forward).
+    """
+
+    def drain(self) -> list[Batch]:
+        """Empty the queue, tightest deadline first (see class docstring)."""
+        groups = self._grouped()
+        groups.sort(
+            key=lambda entries: (
+                min(
+                    getattr(e.request, "effective_deadline", float("inf"))
+                    for e in entries
+                ),
+                -max(getattr(e.request, "priority", 0) for e in entries),
+                entries[0].seq,
+            )
+        )
+        batches: list[Batch] = []
+        for entries in groups:
+            step = self.max_batch_size or len(entries)
+            for start in range(0, len(entries), step):
+                batch = Batch(
+                    batch_id=self._next_batch_id,
+                    key=entries[0].key,
                     entries=entries[start : start + step],
                 )
                 self._next_batch_id += 1

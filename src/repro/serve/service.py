@@ -131,13 +131,15 @@ class SpectralService:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def submit(self, request) -> int:
-        """Admit ``request`` into the queue; return its sequence number.
+    def _prepare(self, request) -> tuple:
+        """Validate ``request`` and derive its coalescing identity.
 
-        Validation (operator symmetry, site bounds, fingerprint
-        availability) happens here so :meth:`flush` only sees well-formed
-        work.  The queue key is the *identity* key — truncation order
-        excluded — so mixed-``N`` requests coalesce.
+        Returns ``(operator, key)`` and registers the key's engine
+        affinity on first appearance.  Shared by :meth:`submit` and the
+        gateway front door, which runs admission *between* preparation
+        and enqueue — affinity registration stays pre-admission so the
+        key→engine map is a pure function of the offered trace,
+        independent of admission outcomes.
         """
         if not isinstance(request, _REQUEST_TYPES):
             raise ValidationError(
@@ -165,6 +167,17 @@ class SpectralService:
         )
         if key not in self._key_affinity:
             self._key_affinity[key] = len(self._key_affinity)
+        return op, key
+
+    def submit(self, request) -> int:
+        """Admit ``request`` into the queue; return its sequence number.
+
+        Validation (operator symmetry, site bounds, fingerprint
+        availability) happens here so :meth:`flush` only sees well-formed
+        work.  The queue key is the *identity* key — truncation order
+        excluded — so mixed-``N`` requests coalesce.
+        """
+        op, key = self._prepare(request)
         seq = self._next_seq
         self._next_seq += 1
         self._requests_total += 1
@@ -411,22 +424,26 @@ class SpectralService:
     # ------------------------------------------------------------------
     # Moment production
     # ------------------------------------------------------------------
-    def _scaled_for(self, batch: Batch) -> tuple:
-        """The (scaled, rescaling) pair for the batch's key, memoized.
+    def _scaled_for_key(self, key: tuple, operator, config) -> tuple:
+        """The (scaled, rescaling) pair for ``key``, memoized.
 
         Rescaling is a deterministic function of the operator and the
         bounds options — both part of the key — so one rescale serves
-        every compute, extension, and naive-cost estimate for the key.
+        every compute, extension, naive-cost estimate, and gateway
+        admission price for the key.
         """
-        cached = self._scaled_by_key.get(batch.key)
+        cached = self._scaled_by_key.get(key)
         if cached is None:
-            head = batch.entries[0]
-            config = head.request.config
             cached = rescale_operator(
-                head.operator, method=config.bounds_method, epsilon=config.epsilon
+                operator, method=config.bounds_method, epsilon=config.epsilon
             )
-            self._scaled_by_key[batch.key] = cached
+            self._scaled_by_key[key] = cached
         return cached
+
+    def _scaled_for(self, batch: Batch) -> tuple:
+        """The (scaled, rescaling) pair for the batch's key, memoized."""
+        head = batch.entries[0]
+        return self._scaled_for_key(batch.key, head.operator, head.request.config)
 
     def _compute_entry(self, batch: Batch, target_n: int) -> CacheEntry:
         head = batch.entries[0]
@@ -621,7 +638,8 @@ class SpectralService:
     # ------------------------------------------------------------------
     def _reconstruct(
         self, request, entry: CacheEntry, *, source, batch_id, modeled_seconds,
-        tier: int = 0, final: bool = True,
+        tier: int = 0, final: bool = True, outcome: str = "served",
+        reason: str = "", deadline_missed: bool = False,
     ) -> SpectralResponse:
         config = request.config
         if isinstance(request, GreenRequest):
@@ -651,6 +669,11 @@ class SpectralService:
             num_moments_served=entry.num_moments,
             tier=tier,
             final=final,
+            outcome=outcome,
+            reason=reason,
+            tenant=request.tenant,
+            deadline=request.deadline,
+            deadline_missed=deadline_missed,
         )
 
     # ------------------------------------------------------------------

@@ -1,14 +1,14 @@
-"""RA010 fixture: deprecated ``GpuKPM.run`` call sites (two findings).
+"""RA010 fixture: deprecated ``MultiGpuKPM.run`` call sites (two findings).
 
 A direct constructor chain and a same-scope local both resolve
 statically; the migrated call and the unknown-receiver call must stay
 silent, as must the suppressed shim exercise.
 """
 
-__all__ = ["GpuKPM", "direct", "via_local", "migrated", "unknown", "pinned"]
+__all__ = ["MultiGpuKPM", "direct", "via_local", "migrated", "unknown", "pinned"]
 
 
-class GpuKPM:
+class MultiGpuKPM:
     def run(self, operator, config):
         return self.compute_moments(operator, config)
 
@@ -17,16 +17,16 @@ class GpuKPM:
 
 
 def direct(operator, config):
-    return GpuKPM().run(operator, config)
+    return MultiGpuKPM().run(operator, config)
 
 
 def via_local(operator, config):
-    engine = GpuKPM()
+    engine = MultiGpuKPM()
     return engine.run(operator, config)
 
 
 def migrated(operator, config):
-    return GpuKPM().compute_moments(operator, config)
+    return MultiGpuKPM().compute_moments(operator, config)
 
 
 def unknown(engine, operator, config):
@@ -36,4 +36,4 @@ def unknown(engine, operator, config):
 
 
 def pinned(operator, config):
-    return GpuKPM().run(operator, config)  # repro: noqa[RA010]
+    return MultiGpuKPM().run(operator, config)  # repro: noqa[RA010]

@@ -165,8 +165,10 @@ class TestSeverityAndTables:
         assert config.deprecations == (("Old.run", "call Old.go() instead"),)
 
     def test_default_deprecations_cover_the_gpu_engines(self):
+        # GpuKPM.run was removed after its deprecation cycle; only the
+        # MultiGpuKPM shim remains in the default table.
         classes = {entry[0] for entry in AnalysisConfig().deprecations}
-        assert classes == {"GpuKPM.run", "MultiGpuKPM.run"}
+        assert classes == {"MultiGpuKPM.run"}
 
     def test_wall_clock_and_loop_allocator_defaults(self):
         config = AnalysisConfig()

@@ -202,7 +202,7 @@ class TestRA010DeprecatedApi:
 
     def test_messages_carry_the_migration_advice(self):
         messages = [f.message for f in scan(["RA010"]).findings]
-        assert all("GpuKPM.run" in m for m in messages)
+        assert all("MultiGpuKPM.run" in m for m in messages)
         assert all("compute_moments" in m for m in messages)
 
     def test_unknown_receiver_stays_silent(self):

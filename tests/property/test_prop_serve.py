@@ -16,7 +16,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.kpm import KPMConfig, compute_dos, local_dos
 from repro.lattice import chain, square, tight_binding_hamiltonian
-from repro.serve import DoSRequest, LDoSRequest, SpectralService
+from repro.serve import (
+    DoSRequest,
+    LDoSRequest,
+    SpectralService,
+    TenantPolicy,
+    check_equivalence,
+    timed_trace,
+)
 
 OPERATORS = {
     "chain32": tight_binding_hamiltonian(chain(32)),
@@ -189,6 +196,70 @@ class TestPrefixClosedServing:
         energies, density = local_dos(hamiltonian, site, large)
         assert np.array_equal(ext.values, density)
         assert np.array_equal(ext.energies, energies)
+
+
+class TestGatewayEquivalence:
+    """Serving-v2 property: admission, EDF ordering, elastic capacity,
+    and overload degradation may change *when* (or whether) a request is
+    answered — never *what* the answer is.  For random multi-tenant
+    timed traces on both bit-exact backends, every full-precision
+    gateway answer must be bit-identical to a serial FIFO reference run,
+    every degraded answer a bit-identical prefix of it, and every
+    refusal valueless (:func:`repro.serve.check_equivalence`)."""
+
+    @given(
+        seed=st.integers(0, 2**31),
+        backend=st.sampled_from(["numpy", "gpu-sim"]),
+        num_requests=st.integers(4, 18),
+        deadline_slack=st.sampled_from([0.3, 1.0, 50.0]),
+        rate=st.sampled_from([0.2, 1.0, 100.0]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_gateway_equivalent_to_serial_fifo(
+        self, seed, backend, num_requests, deadline_slack, rate
+    ):
+        arrivals = timed_trace(
+            num_requests,
+            seed=seed,
+            duration=6.0,
+            deadline_slack=deadline_slack,
+            flash_crowds=1,
+            flash_multiplier=6.0,
+        )
+        report = check_equivalence(
+            arrivals,
+            backend=backend,
+            default_policy=TenantPolicy(rate=rate, burst=2.0 * rate),
+        )
+        assert report.ok, "\n".join(report.mismatches)
+        assert report.total == num_requests
+        assert (
+            report.served + report.degraded + report.rejected + report.cancelled
+            == num_requests
+        )
+
+    @given(seed=st.integers(0, 2**31), num_requests=st.integers(4, 14))
+    @settings(max_examples=10, deadline=None)
+    def test_gateway_replay_is_deterministic(self, seed, num_requests):
+        arrivals = timed_trace(
+            num_requests, seed=seed, duration=4.0, deadline_slack=0.5
+        )
+
+        def run():
+            report = check_equivalence(
+                arrivals,
+                backend="gpu-sim",
+                default_policy=TenantPolicy(rate=0.5, burst=1.0),
+            )
+            return (
+                report.served,
+                report.degraded,
+                report.rejected,
+                report.cancelled,
+                report.mismatches,
+            )
+
+        assert run() == run()
 
 
 class TestServeDeterminism:

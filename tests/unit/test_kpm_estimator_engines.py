@@ -164,15 +164,12 @@ class TestEngineUnification:
         assert isinstance(GpuKPM(), MomentEngine)
         assert isinstance(MultiGpuKPM(2), MomentEngine)
 
-    def test_gpukpm_run_shim_deprecated(self, chain_csr, small_config):
+    def test_gpukpm_run_shim_removed(self):
+        # GpuKPM.run completed its deprecation cycle in PR 8; the only
+        # entry point is the MomentEngine protocol method.
         from repro.gpukpm import GpuKPM
 
-        scaled, _ = rescale_operator(chain_csr)
-        runner = GpuKPM()
-        with pytest.warns(DeprecationWarning, match="compute_moments"):
-            shim_data, _ = runner.run(scaled, small_config)
-        direct_data, _ = runner.compute_moments(scaled, small_config)
-        assert np.array_equal(shim_data.mu, direct_data.mu)
+        assert not hasattr(GpuKPM, "run")
 
     def test_multigpu_run_shim_deprecated(self, chain_csr, small_config):
         from repro.cluster import MultiGpuKPM

@@ -1,0 +1,150 @@
+"""Unit tests for repro.serve.admission (token buckets + quotas)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import AdmissionController, TenantPolicy, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_consumes(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0)
+        assert bucket.level == 5.0
+        assert bucket.try_consume(3.0, now=0.0)
+        assert bucket.level == 2.0
+
+    def test_denial_leaves_level_intact(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert not bucket.try_consume(3.0, now=0.0)
+        assert bucket.level == 2.0
+
+    def test_refill_is_capped_at_burst(self):
+        bucket = TokenBucket(rate=2.0, burst=4.0)
+        assert bucket.try_consume(4.0, now=0.0)
+        bucket.refill(1.0)
+        assert bucket.level == 2.0
+        bucket.refill(100.0)
+        assert bucket.level == 4.0
+
+    def test_clock_must_be_monotone(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.refill(5.0)
+        with pytest.raises(ValidationError):
+            bucket.refill(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=1.0, burst=-1.0)
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(ValidationError):
+            bucket.try_consume(-1.0, now=0.0)
+        with pytest.raises(ValidationError):
+            bucket.refill(float("nan"))
+
+
+class TestTenantPolicy:
+    def test_defaults_and_bucket(self):
+        policy = TenantPolicy()
+        assert policy.quota is None
+        bucket = policy.bucket()
+        assert bucket.rate == policy.rate
+        assert bucket.level == policy.burst
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TenantPolicy(rate=0.0)
+        with pytest.raises(ValidationError):
+            TenantPolicy(burst=-1.0)
+        with pytest.raises(ValidationError):
+            TenantPolicy(quota=0.0)
+
+
+class TestAdmissionController:
+    def test_default_policy_applies_to_unknown_tenants(self):
+        controller = AdmissionController(
+            default_policy=TenantPolicy(rate=1.0, burst=2.0)
+        )
+        assert controller.admit("alice", 2.0, now=0.0).admitted
+        denied = controller.admit("alice", 0.5, now=0.0)
+        assert not denied.admitted and denied.reason == "rate"
+        # A different tenant gets its own full bucket.
+        assert controller.admit("bob", 2.0, now=0.0).admitted
+
+    def test_named_policy_overrides_default(self):
+        controller = AdmissionController(
+            {"vip": TenantPolicy(rate=10.0, burst=100.0)},
+            default_policy=TenantPolicy(rate=0.1, burst=0.1),
+        )
+        assert controller.admit("vip", 50.0, now=0.0).admitted
+        assert not controller.admit("anon", 50.0, now=0.0).admitted
+
+    def test_bucket_refills_with_modeled_clock(self):
+        controller = AdmissionController(
+            default_policy=TenantPolicy(rate=1.0, burst=1.0)
+        )
+        assert controller.admit("t", 1.0, now=0.0).admitted
+        assert not controller.admit("t", 1.0, now=0.5).admitted
+        assert controller.admit("t", 1.0, now=2.0).admitted
+
+    def test_quota_checked_before_bucket(self):
+        controller = AdmissionController(
+            default_policy=TenantPolicy(rate=100.0, burst=100.0, quota=3.0)
+        )
+        assert controller.admit("t", 3.0, now=0.0).admitted
+        denied = controller.admit("t", 0.1, now=1000.0)
+        assert not denied.admitted and denied.reason == "quota"
+        # The doomed request drained neither budget.
+        assert controller.consumed("t") == 3.0
+
+    def test_refund_rolls_back_both_budgets(self):
+        controller = AdmissionController(
+            default_policy=TenantPolicy(rate=1.0, burst=4.0, quota=10.0)
+        )
+        assert controller.admit("t", 4.0, now=0.0).admitted
+        controller.refund("t", 4.0)
+        assert controller.consumed("t") == 0.0
+        # Bucket back at burst: the full charge fits again immediately.
+        assert controller.admit("t", 4.0, now=0.0).admitted
+
+    def test_refund_unknown_tenant_is_noop(self):
+        AdmissionController().refund("ghost", 1.0)
+
+    def test_counters_snapshot(self):
+        controller = AdmissionController(
+            default_policy=TenantPolicy(rate=1.0, burst=1.0)
+        )
+        controller.admit("a", 1.0, now=0.0)
+        controller.admit("a", 1.0, now=0.0)
+        controller.admit("b", 0.5, now=0.0)
+        assert controller.tenants == ("a", "b")
+        counters = controller.counters()
+        assert counters["a"] == {
+            "admitted": 1.0,
+            "rejected": 1.0,
+            "consumed_seconds": 1.0,
+        }
+        assert counters["b"]["consumed_seconds"] == 0.5
+
+    def test_zero_cost_requests_always_admit(self):
+        controller = AdmissionController(
+            default_policy=TenantPolicy(rate=0.001, burst=0.001)
+        )
+        for _ in range(10):
+            assert controller.admit("t", 0.0, now=0.0).admitted
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AdmissionController({"": TenantPolicy()})
+        with pytest.raises(ValidationError):
+            AdmissionController({"t": "not-a-policy"})
+        with pytest.raises(ValidationError):
+            AdmissionController(default_policy="not-a-policy")
+        controller = AdmissionController()
+        with pytest.raises(ValidationError):
+            controller.admit("", 1.0, now=0.0)
+        with pytest.raises(ValidationError):
+            controller.admit("t", -1.0, now=0.0)
+        with pytest.raises(ValidationError):
+            controller.admit("t", 1.0, now=-1.0)

@@ -1,0 +1,254 @@
+"""Unit tests for repro.serve.gateway (admission → EDF → degrade) and
+the repro.serve.equivalence checker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kpm import KPMConfig, compute_dos
+from repro.lattice import chain, tight_binding_hamiltonian
+from repro.serve import (
+    DoSRequest,
+    EdfCoalesceScheduler,
+    FifoCoalesceScheduler,
+    Gateway,
+    TenantPolicy,
+    TimedArrival,
+    check_equivalence,
+    timed_trace,
+)
+
+H = tight_binding_hamiltonian(chain(32))
+CONFIG = KPMConfig(num_moments=16, num_random_vectors=2, seed=3)
+
+
+def gateway(**kwargs):
+    kwargs.setdefault("template", ("gpu-sim",))
+    return Gateway(**kwargs)
+
+
+class TestOffer:
+    def test_admitted_request_is_queued(self):
+        gw = gateway()
+        seq, response = gw.offer(DoSRequest(H, CONFIG))
+        assert seq == 0 and response is None
+        assert gw.scheduler.depth == 1
+        [served] = gw.pump().values()
+        assert served.outcome == "served" and served.final
+
+    def test_rejection_is_immediate_and_terminal(self):
+        gw = gateway(default_policy=TenantPolicy(rate=1e-9, burst=1e-9))
+        seq, response = gw.offer(DoSRequest(H, CONFIG, tenant="broke"))
+        assert response is not None
+        assert response.outcome == "rejected"
+        assert response.reason == "admission:rate"
+        assert response.tenant == "broke"
+        assert response.values is None
+        assert gw.scheduler.depth == 0
+
+    def test_quota_denial_reason(self):
+        gw = gateway(default_policy=TenantPolicy(rate=100.0, burst=100.0,
+                                                 quota=1e-9))
+        _, response = gw.offer(DoSRequest(H, CONFIG))
+        assert response.outcome == "rejected"
+        assert response.reason == "admission:quota"
+
+    def test_seq_assigned_to_every_offer(self):
+        gw = gateway(default_policy=TenantPolicy(rate=1e-9, burst=1e-9))
+        first, _ = gw.offer(DoSRequest(H, CONFIG))
+        second, _ = gw.offer(DoSRequest(H, CONFIG))
+        assert (first, second) == (0, 1)
+
+    def test_now_advances_monotone_clock(self):
+        gw = gateway()
+        gw.offer(DoSRequest(H, CONFIG), now=4.0)
+        assert gw.clock == 4.0
+        gw.offer(DoSRequest(H, CONFIG), now=1.0)  # stale stamp: no rewind
+        assert gw.clock == 4.0
+        with pytest.raises(ValidationError):
+            gw.offer(DoSRequest(H, CONFIG), now=-1.0)
+
+    def test_malformed_request_raises(self):
+        with pytest.raises(ValidationError):
+            gateway().offer(DoSRequest(H, CONFIG, tenant=""))
+
+
+class TestCancel:
+    def test_cancel_refunds_and_records(self):
+        gw = gateway()
+        seq, _ = gw.offer(DoSRequest(H, CONFIG, tenant="acme"))
+        charged = gw.admission.consumed("acme")
+        assert charged > 0.0
+        response = gw.cancel(seq)
+        assert response.outcome == "cancelled"
+        assert gw.admission.consumed("acme") == 0.0
+        assert gw.scheduler.depth == 0
+        assert gw.pump() == {}
+        assert gw.gateway_metrics().cancelled == 1
+
+    def test_cancel_after_dispatch_is_noop(self):
+        gw = gateway()
+        seq, _ = gw.offer(DoSRequest(H, CONFIG))
+        gw.pump()
+        assert gw.cancel(seq) is None
+        assert gw.cancel(999) is None
+
+
+class TestDegradation:
+    def warm(self, gw, num_moments=16):
+        gw.offer(DoSRequest(H, CONFIG.with_updates(num_moments=num_moments)))
+        gw.pump()
+
+    def test_hopeless_deadline_served_from_prefix(self):
+        gw = gateway()
+        self.warm(gw)
+        high = CONFIG.with_updates(num_moments=64)
+        seq, _ = gw.offer(DoSRequest(H, high, deadline=gw.clock))
+        [response] = gw.pump().values()
+        assert response.outcome == "degraded"
+        assert not response.final
+        assert response.source == "cache"
+        assert response.num_moments_served == 16
+        assert response.modeled_seconds == 0.0
+        assert "deadline" in response.reason
+
+    def test_degraded_prefix_is_bit_identical(self):
+        gw = gateway()
+        self.warm(gw)
+        seq, _ = gw.offer(
+            DoSRequest(H, CONFIG.with_updates(num_moments=64), deadline=gw.clock)
+        )
+        [response] = gw.pump().values()
+        direct = compute_dos(H, CONFIG, backend="gpu-sim")
+        assert np.array_equal(response.moments.mu, direct.moments.mu)
+        assert np.array_equal(response.values, direct.density)
+
+    def test_no_prefix_means_late_full_service(self):
+        gw = gateway()
+        seq, _ = gw.offer(DoSRequest(H, CONFIG, deadline=gw.clock))
+        [response] = gw.pump().values()
+        assert response.outcome == "served" and response.final
+        assert response.deadline_missed
+        assert gw.gateway_metrics().deadline_misses == 1
+
+    def test_degrade_false_always_serves_full(self):
+        gw = gateway(degrade=False)
+        self.warm(gw)
+        seq, _ = gw.offer(
+            DoSRequest(H, CONFIG.with_updates(num_moments=64), deadline=gw.clock)
+        )
+        [response] = gw.pump().values()
+        assert response.outcome == "served"
+        assert response.num_moments_served == 64
+        assert response.deadline_missed
+
+    def test_generous_deadline_not_degraded(self):
+        gw = gateway()
+        self.warm(gw)
+        seq, _ = gw.offer(
+            DoSRequest(H, CONFIG.with_updates(num_moments=64), deadline=1e6)
+        )
+        [response] = gw.pump().values()
+        assert response.outcome == "served"
+        assert response.num_moments_served == 64
+
+
+class TestSchedulerKnob:
+    def test_edf_default_fifo_optional(self):
+        assert isinstance(gateway().scheduler, EdfCoalesceScheduler)
+        fifo = gateway(edf=False).scheduler
+        assert isinstance(fifo, FifoCoalesceScheduler)
+        assert not isinstance(fifo, EdfCoalesceScheduler)
+
+
+class TestRunTrace:
+    def test_every_offer_answered_in_order(self):
+        arrivals = timed_trace(30, seed=4, duration=10.0, deadline_slack=1.0)
+        gw = gateway(template=("gpu-sim", "cpu-model"))
+        responses = gw.run_trace(arrivals)
+        assert len(responses) == 30
+        metrics = gw.gateway_metrics()
+        assert metrics.offered == 30
+        assert (
+            metrics.served + metrics.degraded + metrics.rejected
+            + metrics.cancelled
+        ) == 30
+        outcomes = {r.outcome for r in responses}
+        assert outcomes <= {"served", "degraded", "rejected", "cancelled"}
+
+    def test_replay_is_deterministic(self):
+        arrivals = timed_trace(25, seed=5, duration=8.0, deadline_slack=0.5)
+
+        def run():
+            gw = gateway(template=("gpu-sim", "cpu-model"),
+                         default_policy=TenantPolicy(rate=0.5, burst=1.0))
+            responses = gw.run_trace(arrivals)
+            digest = []
+            for r in responses:
+                values = None if r.values is None else r.values.tobytes()
+                digest.append((r.outcome, r.tenant, r.deadline_missed, values))
+            return digest, gw.gateway_metrics().summary()
+
+        assert run() == run()
+
+    def test_validation(self):
+        gw = gateway()
+        with pytest.raises(ValidationError):
+            gw.run_trace([DoSRequest(H, CONFIG)])
+        descending = [
+            TimedArrival(at=2.0, request=DoSRequest(H, CONFIG)),
+            TimedArrival(at=1.0, request=DoSRequest(H, CONFIG)),
+        ]
+        with pytest.raises(ValidationError):
+            gw.run_trace(descending)
+        with pytest.raises(ValidationError):
+            gw.run_trace([], flush_interval=0.0)
+
+
+class TestGatewayMetrics:
+    def test_per_tenant_counters_flow_through(self):
+        arrivals = timed_trace(20, seed=6, tenants=2, duration=5.0)
+        gw = gateway()
+        gw.run_trace(arrivals)
+        metrics = gw.gateway_metrics()
+        assert set(metrics.per_tenant) <= {"tenant-0", "tenant-1"}
+        total = sum(
+            t["admitted"] + t["rejected"] for t in metrics.per_tenant.values()
+        )
+        assert total == metrics.offered
+        assert 0.0 <= metrics.goodput_ratio <= 1.0
+        assert "goodput=" in metrics.summary()
+
+    def test_elastic_pool_reacts_to_load(self):
+        arrivals = timed_trace(
+            60, seed=7, duration=4.0, flash_crowds=2, flash_multiplier=8.0
+        )
+        gw = gateway(template=("gpu-sim", "cpu-model"), max_active=3)
+        gw.run_trace(arrivals, flush_interval=0.5)
+        metrics = gw.gateway_metrics()
+        assert metrics.peak_active_engines >= metrics.active_engines
+        assert metrics.scale_ups >= metrics.peak_active_engines - 1
+
+
+class TestEquivalence:
+    def test_calm_trace_matches_fifo_reference(self):
+        arrivals = timed_trace(16, seed=8, duration=4.0, deadline_slack=50.0)
+        report = check_equivalence(arrivals, backend="gpu-sim")
+        assert report.ok
+        assert report.total == 16
+        assert report.mismatches == ()
+        assert "equivalent" in report.summary()
+
+    def test_overloaded_trace_still_equivalent(self):
+        arrivals = timed_trace(
+            30, seed=9, duration=3.0, deadline_slack=0.3, flash_crowds=2,
+            flash_multiplier=8.0,
+        )
+        report = check_equivalence(
+            arrivals,
+            backend="gpu-sim",
+            default_policy=TenantPolicy(rate=0.5, burst=1.0),
+        )
+        assert report.ok
+        # The levers must actually have engaged for this to mean much.
+        assert report.degraded + report.rejected > 0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import FaultError, LaunchError, ValidationError
 from repro.kpm.engines import NumpyEngine
-from repro.serve import EnginePool
+from repro.serve import ElasticEnginePool, EnginePool
 
 
 class TestPoolConstruction:
@@ -92,6 +92,81 @@ class TestHealthTrajectory:
             return events, pool.stats.ejections, pool.stats.readmissions
 
         assert run() == run()
+
+
+class TestElasticEnginePool:
+    def test_ladder_cycles_template(self):
+        pool = ElasticEnginePool(("gpu-sim", "cpu-model"), max_active=4)
+        assert [s.name for s in pool.slots] == [
+            "gpu-sim",
+            "cpu-model",
+            "gpu-sim#1",
+            "cpu-model#1",
+        ]
+
+    def test_starts_at_min_active(self):
+        pool = ElasticEnginePool(("gpu-sim",), min_active=2, max_active=4)
+        assert pool.active == 2
+        assert len(pool.healthy_slots()) == 2
+
+    def test_scale_up_one_step_per_rebalance(self):
+        pool = ElasticEnginePool(("gpu-sim",), min_active=1, max_active=3)
+        assert pool.rebalance(10.0) == 2
+        assert pool.rebalance(10.0) == 3
+        # Bounded at max_active even under unbounded demand.
+        assert pool.rebalance(100.0) == 3
+        assert pool.scale_ups == 2
+        assert pool.peak_active == 3
+
+    def test_scale_down_when_demand_ebbs(self):
+        pool = ElasticEnginePool(("gpu-sim",), min_active=1, max_active=3)
+        pool.rebalance(10.0)
+        pool.rebalance(10.0)
+        assert pool.rebalance(0.0) == 2
+        assert pool.rebalance(0.0) == 1
+        # Floor at min_active.
+        assert pool.rebalance(0.0) == 1
+        assert pool.scale_downs == 2
+
+    def test_hysteresis_band_holds_steady(self):
+        pool = ElasticEnginePool(
+            ("gpu-sim",), min_active=1, max_active=4,
+            scale_up_at=0.8, scale_down_at=0.3,
+        )
+        # Utilization 0.5 sits inside the band: no flapping.
+        for _ in range(5):
+            assert pool.rebalance(0.5) == 1
+        assert pool.scale_ups == 0 and pool.scale_downs == 0
+
+    def test_health_counters_survive_scaling(self):
+        pool = ElasticEnginePool(("gpu-sim",), min_active=1, max_active=2,
+                                 eject_after=1)
+        pool.rebalance(10.0)
+        sick = pool.slots[1]
+        pool.report_failure(sick)
+        assert [s.name for s in pool.healthy_slots()] == ["gpu-sim"]
+        pool.rebalance(0.0)  # retire the (ejected) newest slot
+        pool.rebalance(10.0)  # bring it back: still ejected
+        assert sick.failures_total == 1
+        assert [s.name for s in pool.healthy_slots()] == ["gpu-sim"]
+
+    def test_replayable(self):
+        def run():
+            pool = ElasticEnginePool(("gpu-sim", "cpu-model"), max_active=4)
+            return [pool.rebalance(r) for r in (2.0, 5.0, 1.0, 0.0, 0.0, 3.0)]
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ElasticEnginePool(())
+        with pytest.raises(ValidationError):
+            ElasticEnginePool(("gpu-sim",), min_active=3, max_active=2)
+        with pytest.raises(ValidationError):
+            ElasticEnginePool(("gpu-sim",), scale_up_at=0.3, scale_down_at=0.5)
+        pool = ElasticEnginePool(("gpu-sim",))
+        with pytest.raises(ValidationError):
+            pool.rebalance(-1.0)
 
 
 class TestTaxonomyIntegration:

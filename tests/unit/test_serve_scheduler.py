@@ -1,13 +1,32 @@
-"""Unit tests for repro.serve.scheduler (FIFO + coalesce)."""
+"""Unit tests for repro.serve.scheduler (FIFO/EDF + coalesce + cancel)."""
+
+from dataclasses import dataclass
 
 import pytest
 
 from repro.errors import ValidationError
-from repro.serve import FifoCoalesceScheduler, QueuedRequest
+from repro.serve import EdfCoalesceScheduler, FifoCoalesceScheduler, QueuedRequest
 
 
 def queued(seq: int, key: str) -> QueuedRequest:
     return QueuedRequest(seq=seq, request=None, operator=None, key=(key,))
+
+
+@dataclass(frozen=True)
+class FakeRequest:
+    """Just the scheduling-relevant surface of a v2 request."""
+
+    effective_deadline: float = float("inf")
+    priority: int = 0
+
+
+def timed(seq: int, key: str, deadline=float("inf"), priority=0) -> QueuedRequest:
+    return QueuedRequest(
+        seq=seq,
+        request=FakeRequest(effective_deadline=deadline, priority=priority),
+        operator=None,
+        key=(key,),
+    )
 
 
 class TestFifoCoalesceScheduler:
@@ -71,3 +90,104 @@ class TestFifoCoalesceScheduler:
             FifoCoalesceScheduler(max_batch_size=0)
         with pytest.raises(ValidationError):
             FifoCoalesceScheduler().enqueue("not-a-request")
+
+
+class TestCancellation:
+    def test_cancel_removes_before_drain(self):
+        sched = FifoCoalesceScheduler()
+        for seq, key in enumerate(["a", "b", "a"]):
+            sched.enqueue(queued(seq, key))
+        removed = sched.cancel(1)
+        assert removed is not None and removed.seq == 1
+        assert sched.cancelled_total == 1
+        batches = sched.drain()
+        assert [b.key for b in batches] == [("a",)]
+        assert [q.seq for q in batches[0].entries] == [0, 2]
+
+    def test_cancel_unknown_is_noop(self):
+        sched = FifoCoalesceScheduler()
+        sched.enqueue(queued(0, "a"))
+        assert sched.cancel(99) is None
+        sched.drain()
+        # Already drained: cancelling served work is a no-op, not an error.
+        assert sched.cancel(0) is None
+        assert sched.cancelled_total == 0
+
+    def test_cancel_works_on_edf_too(self):
+        sched = EdfCoalesceScheduler()
+        sched.enqueue(timed(0, "a", deadline=5.0))
+        sched.enqueue(timed(1, "b", deadline=1.0))
+        assert sched.cancel(1).seq == 1
+        assert [b.key for b in sched.drain()] == [("a",)]
+
+
+class TestEdfCoalesceScheduler:
+    def test_tightest_deadline_first(self):
+        sched = EdfCoalesceScheduler()
+        sched.enqueue(timed(0, "late", deadline=9.0))
+        sched.enqueue(timed(1, "tight", deadline=2.0))
+        sched.enqueue(timed(2, "mid", deadline=5.0))
+        assert [b.key for b in sched.drain()] == [("tight",), ("mid",), ("late",)]
+
+    def test_group_deadline_is_earliest_member(self):
+        # A late repeat with a tight deadline pulls its whole group forward.
+        sched = EdfCoalesceScheduler()
+        sched.enqueue(timed(0, "a", deadline=8.0))
+        sched.enqueue(timed(1, "b", deadline=4.0))
+        sched.enqueue(timed(2, "a", deadline=1.0))
+        batches = sched.drain()
+        assert [b.key for b in batches] == [("a",), ("b",)]
+        assert batches[0].earliest_deadline == 1.0
+
+    def test_no_deadline_sorts_last(self):
+        sched = EdfCoalesceScheduler()
+        sched.enqueue(timed(0, "none"))
+        sched.enqueue(timed(1, "dated", deadline=100.0))
+        assert [b.key for b in sched.drain()] == [("dated",), ("none",)]
+
+    def test_priority_breaks_deadline_ties(self):
+        sched = EdfCoalesceScheduler()
+        sched.enqueue(timed(0, "low", deadline=3.0, priority=0))
+        sched.enqueue(timed(1, "high", deadline=3.0, priority=2))
+        assert [b.key for b in sched.drain()] == [("high",), ("low",)]
+
+    def test_seq_breaks_remaining_ties(self):
+        sched = EdfCoalesceScheduler()
+        sched.enqueue(timed(0, "first", deadline=3.0, priority=1))
+        sched.enqueue(timed(1, "second", deadline=3.0, priority=1))
+        assert [b.key for b in sched.drain()] == [("first",), ("second",)]
+
+    def test_membership_identical_to_fifo(self):
+        # Only batch *order* may differ from FIFO — never the grouping or
+        # the within-group member order (the equivalence property's crux).
+        entries = [
+            timed(0, "a", deadline=9.0),
+            timed(1, "b", deadline=2.0),
+            timed(2, "a", deadline=7.0),
+            timed(3, "c"),
+            timed(4, "b", deadline=3.0),
+        ]
+        fifo, edf = FifoCoalesceScheduler(), EdfCoalesceScheduler()
+        for item in entries:
+            fifo.enqueue(item)
+            edf.enqueue(item)
+        by_key_fifo = {b.key: [q.seq for q in b.entries] for b in fifo.drain()}
+        by_key_edf = {b.key: [q.seq for q in b.entries] for b in edf.drain()}
+        assert by_key_fifo == by_key_edf
+
+    def test_max_batch_size_siblings_stay_adjacent(self):
+        sched = EdfCoalesceScheduler(max_batch_size=2)
+        for seq in range(3):
+            sched.enqueue(timed(seq, "big", deadline=1.0))
+        sched.enqueue(timed(3, "small", deadline=50.0))
+        batches = sched.drain()
+        assert [b.key for b in batches] == [("big",), ("big",), ("small",)]
+        assert [b.size for b in batches] == [2, 1, 1]
+
+    def test_legacy_requests_schedule_fine(self):
+        # QueuedRequest with request=None (no deadline/priority attrs)
+        # must still drain — getattr defaults keep v1 traffic valid.
+        sched = EdfCoalesceScheduler()
+        sched.enqueue(queued(0, "legacy"))
+        sched.enqueue(timed(1, "dated", deadline=1.0))
+        assert [b.key for b in sched.drain()] == [("dated",), ("legacy",)]

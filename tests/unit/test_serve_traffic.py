@@ -1,0 +1,117 @@
+"""Unit tests for repro.serve.traffic (timed multi-tenant traces)."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import DoSRequest, TimedArrival, timed_trace
+
+
+class TestTimedArrival:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TimedArrival(at=-1.0, request=None)
+        with pytest.raises(ValidationError):
+            TimedArrival(at=math.inf, request=None)
+        with pytest.raises(ValidationError):
+            TimedArrival(at=1.0, request="not-a-request")
+
+
+class TestTimedTrace:
+    def test_deterministic_replay(self):
+        def snapshot():
+            return [
+                (
+                    a.at,
+                    a.request.kind,
+                    a.request.tag,
+                    a.request.tenant,
+                    a.request.deadline,
+                    a.request.priority,
+                )
+                for a in timed_trace(40, seed=7)
+            ]
+
+        assert snapshot() == snapshot()
+
+    def test_different_seeds_differ(self):
+        first = [a.at for a in timed_trace(40, seed=0)]
+        second = [a.at for a in timed_trace(40, seed=1)]
+        assert first != second
+
+    def test_arrivals_ascending_within_duration(self):
+        arrivals = timed_trace(60, seed=3, duration=20.0)
+        times = [a.at for a in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 20.0 for t in times)
+        assert len(arrivals) == 60
+
+    def test_tenant_population_and_skew(self):
+        arrivals = timed_trace(200, seed=1, tenants=4, tenant_skew=2.0)
+        counts = {}
+        for arrival in arrivals:
+            counts[arrival.request.tenant] = counts.get(arrival.request.tenant, 0) + 1
+        assert set(counts) <= {f"tenant-{i}" for i in range(4)}
+        # Zipf skew: the head tenant dominates the tail.
+        assert counts["tenant-0"] == max(counts.values())
+        assert counts["tenant-0"] > counts.get("tenant-3", 0)
+
+    def test_deadlines_follow_slack_envelope(self):
+        arrivals = timed_trace(
+            100, seed=2, deadline_slack=4.0, no_deadline_fraction=0.3
+        )
+        dated = [a for a in arrivals if a.request.deadline is not None]
+        undated = [a for a in arrivals if a.request.deadline is None]
+        assert dated and undated  # both populations present at 0.3
+        for arrival in dated:
+            slack = arrival.request.deadline - arrival.at
+            assert 0.5 * 4.0 <= slack <= 1.5 * 4.0
+
+    def test_no_deadline_fraction_extremes(self):
+        none_at_all = timed_trace(30, seed=0, no_deadline_fraction=1.0)
+        assert all(a.request.deadline is None for a in none_at_all)
+        always = timed_trace(30, seed=0, no_deadline_fraction=0.0)
+        assert all(a.request.deadline is not None for a in always)
+
+    def test_priorities_within_levels(self):
+        arrivals = timed_trace(80, seed=4, priority_levels=3)
+        priorities = {a.request.priority for a in arrivals}
+        assert priorities <= {0, 1, 2}
+        assert len(priorities) > 1
+
+    def test_workload_mix_fractions(self):
+        pure_dos = timed_trace(30, seed=5, green_fraction=0.0, ldos_fraction=0.0)
+        assert all(isinstance(a.request, DoSRequest) for a in pure_dos)
+        mixed = timed_trace(120, seed=5, green_fraction=0.3, ldos_fraction=0.2)
+        kinds = {a.request.kind for a in mixed}
+        assert kinds == {"dos", "green", "ldos"}
+
+    def test_repeat_bias_reuses_workloads(self):
+        arrivals = timed_trace(
+            60, seed=6, repeat_bias=0.9, green_fraction=0.0, ldos_fraction=0.0
+        )
+        names = [a.request.tag.split("/")[0] for a in arrivals]
+        assert len(set(names)) < len(names)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            timed_trace(0)
+        with pytest.raises(ValidationError):
+            timed_trace(10, tenants=0)
+        with pytest.raises(ValidationError):
+            timed_trace(10, duration=0.0)
+        with pytest.raises(ValidationError):
+            timed_trace(10, diurnal_amplitude=1.5)
+        with pytest.raises(ValidationError):
+            timed_trace(10, flash_crowds=-1)
+        with pytest.raises(ValidationError):
+            timed_trace(10, tenant_skew=-0.5)
+        with pytest.raises(ValidationError):
+            timed_trace(10, green_fraction=0.7, ldos_fraction=0.7)
+        with pytest.raises(ValidationError):
+            timed_trace(10, deadline_slack=0.0)
+        with pytest.raises(ValidationError):
+            timed_trace(10, no_deadline_fraction=2.0)
+        with pytest.raises(ValidationError):
+            timed_trace(10, priority_levels=0)
