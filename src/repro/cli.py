@@ -15,6 +15,8 @@ Python:
 * ``sanitize`` — run the pinned workloads under the device memory/race
   sanitizer and compare against ``sanitize-baseline.json`` (see
   docs/SANITIZER.md).
+* ``tune``   — inspect matrix structure, sweep SpMV kernel candidates,
+  and maintain a persistent tuning cache (see docs/TUNING.md).
 
 ``dos``, ``cluster``, and ``serve-sim`` accept ``--trace-out FILE`` to
 record the run's deterministic span tree as a
@@ -493,7 +495,7 @@ def main(argv=None) -> int:
     sanitize.add_argument(
         "--workload",
         default="all",
-        choices=("all", "dos", "serve", "cluster", "conductivity"),
+        choices=("all", "dos", "serve", "cluster", "conductivity", "tune"),
         help="which pinned workload to instrument (default: all)",
     )
     sanitize.add_argument(
@@ -524,6 +526,10 @@ def main(argv=None) -> int:
     from repro.obs.cli import add_obs_parser
 
     add_obs_parser(subparsers)
+
+    from repro.tune.cli import add_tune_parser
+
+    add_tune_parser(subparsers)
 
     args = parser.parse_args(argv)
     if args.command == "bench":

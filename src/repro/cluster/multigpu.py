@@ -45,7 +45,7 @@ from repro.gpukpm.pipeline import CheckpointChunk, GpuKPM
 from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData
 from repro.trace.tracer import current_tracer
-from repro.sparse import CSRMatrix, as_operator
+from repro.sparse import as_operator
 from repro.timing import TimingReport, WallTimer
 from repro.util.validation import check_positive_int
 
@@ -103,10 +103,17 @@ def _partition(total: int, parts: int) -> list[tuple[int, int]]:
     return slices
 
 
-def _matrix_bytes(dimension: int, nnz: int | None) -> float:
+def _matrix_bytes(
+    dimension: int, nnz: int | None, spmv=None, *, precision: str = "double"
+) -> float:
+    # Value arrays shrink with the precision (matching the pipeline's
+    # uploads); index arrays stay 8-byte regardless.
+    item = _FLOAT if precision == "double" else 4
+    if spmv is not None:
+        return float(sum(spmv.upload_bytes))
     if nnz is None:
-        return dimension * dimension * _FLOAT
-    return nnz * (_FLOAT + _INDEX) + (dimension + 1) * _INDEX
+        return dimension * dimension * item
+    return nnz * (item + _INDEX) + (dimension + 1) * _INDEX
 
 
 def _tree_stages(num_devices: int) -> int:
@@ -119,15 +126,22 @@ def broadcast_seconds(
     num_devices: int,
     *,
     nnz: int | None = None,
+    spmv=None,
+    precision: str = "double",
 ) -> float:
     """Binomial-tree broadcast of ``H~`` to ``num_devices`` nodes.
 
     The single source of the broadcast cost formula: the functional
     driver, the analytic estimator, and the recovery accounting all call
-    this helper, so they cannot drift apart.
+    this helper, so they cannot drift apart.  ``spmv`` (a
+    :class:`~repro.gpukpm.spmv.SpmvModel`) prices the exact per-format
+    upload arrays; ``nnz`` keeps the legacy scalar-CSR accounting with
+    ``precision``-sized values.
     """
     stages = _tree_stages(num_devices)
-    return stages * interconnect.message_seconds(_matrix_bytes(dimension, nnz))
+    return stages * interconnect.message_seconds(
+        _matrix_bytes(dimension, nnz, spmv, precision=precision)
+    )
 
 
 def allreduce_seconds(
@@ -150,6 +164,7 @@ def multigpu_breakdown(
     *,
     interconnect: InterconnectSpec = INFINIBAND_QDR,
     nnz: int | None = None,
+    spmv=None,
 ) -> dict[str, float]:
     """Modeled seconds per phase of the (fault-free) cluster run.
 
@@ -162,7 +177,14 @@ def multigpu_breakdown(
             f"vectors ({config.total_vectors}); idle devices are a "
             "configuration error"
         )
-    broadcast = broadcast_seconds(interconnect, dimension, num_devices, nnz=nnz)
+    broadcast = broadcast_seconds(
+        interconnect,
+        dimension,
+        num_devices,
+        nnz=nnz,
+        spmv=spmv,
+        precision=config.precision,
+    )
     allreduce = allreduce_seconds(interconnect, config.num_moments, num_devices)
 
     slices = _partition(config.total_vectors, num_devices)
@@ -171,7 +193,9 @@ def multigpu_breakdown(
         node_cfg = config.with_updates(
             num_random_vectors=count, num_realizations=1
         )
-        node = sum(gpu_kpm_breakdown(spec, dimension, node_cfg, nnz=nnz).values())
+        node = sum(
+            gpu_kpm_breakdown(spec, dimension, node_cfg, nnz=nnz, spmv=spmv).values()
+        )
         compute = max(compute, node)
     return {"broadcast": broadcast, "compute": compute, "allreduce": allreduce}
 
@@ -184,11 +208,18 @@ def estimate_multigpu_seconds(
     *,
     interconnect: InterconnectSpec = INFINIBAND_QDR,
     nnz: int | None = None,
+    spmv=None,
 ) -> float:
     """Total modeled cluster wall time (sum of the breakdown)."""
     return sum(
         multigpu_breakdown(
-            spec, dimension, config, num_devices, interconnect=interconnect, nnz=nnz
+            spec,
+            dimension,
+            config,
+            num_devices,
+            interconnect=interconnect,
+            nnz=nnz,
+            spmv=spmv,
         ).values()
     )
 
@@ -250,10 +281,16 @@ class MultiGpuKPM:
         fault_schedule: FaultSchedule | None = None,
         policy: RetryPolicy | None = None,
         checkpoint_every: int | None = None,
+        tuner=None,
+        spmv_format: str | None = None,
+        vector_width: int | None = None,
     ):
         self.num_devices = check_positive_int(num_devices, "num_devices")
         self.spec = spec
         self.interconnect = interconnect
+        self.tuner = tuner
+        self.spmv_format = spmv_format
+        self.vector_width = vector_width
         if fault_schedule is not None and not isinstance(fault_schedule, FaultSchedule):
             raise ValidationError(
                 "fault_schedule must be a FaultSchedule, got "
@@ -274,6 +311,20 @@ class MultiGpuKPM:
     def resilient(self) -> bool:
         """True when the driver runs with checkpoint/recovery machinery."""
         return self.fault_schedule is not None or self.checkpoint_every is not None
+
+    def _make_runner(self) -> GpuKPM:
+        """One per-node pipeline carrying the cluster's tuning policy.
+
+        Every node runs the same (format, block, width) choice — the
+        broadcast ships one storage layout, and bit-identity across
+        partitionings requires identical per-node numerics anyway.
+        """
+        return GpuKPM(
+            self.spec,
+            tuner=self.tuner,
+            spmv_format=self.spmv_format,
+            vector_width=self.vector_width,
+        )
 
     def run(self, scaled_operator, config: KPMConfig) -> tuple[MomentData, TimingReport]:
         """Deprecated alias of :meth:`compute_moments`."""
@@ -320,10 +371,11 @@ class MultiGpuKPM:
     def _run_fault_free(self, op, config: KPMConfig) -> tuple[MomentData, TimingReport]:
         dim = op.shape[0]
         total = config.total_vectors
-        nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
+        runner = self._make_runner()
+        spmv, config = runner.resolve_spmv(op, config)
         tracer = current_tracer()
         broadcast = broadcast_seconds(
-            self.interconnect, dim, self.num_devices, nnz=nnz
+            self.interconnect, dim, self.num_devices, spmv=spmv
         )
         allreduce = allreduce_seconds(
             self.interconnect, config.num_moments, self.num_devices
@@ -334,7 +386,6 @@ class MultiGpuKPM:
                 tracer.advance(broadcast)
             tables = []
             node_seconds = []
-            runner = GpuKPM(self.spec)
             for node, (start, count) in enumerate(
                 _partition(total, self.num_devices)
             ):
@@ -379,7 +430,8 @@ class MultiGpuKPM:
         dim = op.shape[0]
         total = config.total_vectors
         num_moments = config.num_moments
-        nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
+        runner = self._make_runner()
+        spmv, config = runner.resolve_spmv(op, config)
         schedule = self.fault_schedule if self.fault_schedule is not None else FaultSchedule()
         policy = self.policy if self.policy is not None else RetryPolicy()
         if schedule.max_node() >= self.num_devices:
@@ -395,12 +447,13 @@ class MultiGpuKPM:
         rebalance = 0.0
         recovery = 0.0
         tracer = current_tracer()
-        broadcast = broadcast_seconds(self.interconnect, dim, self.num_devices, nnz=nnz)
+        broadcast = broadcast_seconds(
+            self.interconnect, dim, self.num_devices, spmv=spmv
+        )
 
         with WallTimer() as timer:
             with tracer.span("cluster.broadcast", category="cluster"):
                 tracer.advance(broadcast)
-            runner = GpuKPM(self.spec)
             alive = list(range(self.num_devices))
             assignments = [
                 (node, span)
@@ -523,7 +576,7 @@ class MultiGpuKPM:
             )
         breakdown = {
             "broadcast": broadcast_seconds(
-                self.interconnect, dim, self.num_devices, nnz=nnz
+                self.interconnect, dim, self.num_devices, spmv=spmv
             ),
             "compute": compute,
             "rebalance": rebalance,

@@ -26,7 +26,7 @@ from repro.cpu.spec import CORE_I7_930, CpuSpec
 from repro.errors import ValidationError
 from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData, stochastic_moments
-from repro.sparse import CSRMatrix, as_operator
+from repro.sparse import CSRMatrix, ELLMatrix, as_operator
 from repro.timing import TimingReport, WallTimer
 from repro.util.validation import check_positive_int
 
@@ -146,7 +146,9 @@ class CpuModelEngine:
     ) -> tuple[MomentData, TimingReport]:
         """Compute stochastic moments; report modeled + wall time."""
         op = as_operator(scaled_operator)
-        nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
+        # Sparse storage (CSR or ELL) prices as sparse SpMV; dense
+        # operators pay the full O(D^2) sweep.
+        nnz = op.nnz_stored if isinstance(op, (CSRMatrix, ELLMatrix)) else None
         with WallTimer() as timer:
             data = stochastic_moments(op, config)
         breakdown = cpu_kpm_breakdown(self.spec, op.shape[0], config, nnz=nnz)

@@ -35,7 +35,19 @@ from repro.gpu.kernel import KernelStats
 from repro.gpu.occupancy import OccupancyResult
 from repro.gpu.spec import GpuSpec
 
-__all__ = ["CostBreakdown", "kernel_cost", "transfer_cost"]
+__all__ = [
+    "CostBreakdown",
+    "kernel_cost",
+    "transfer_cost",
+    "gather_miss_fraction",
+    "row_imbalance_efficiency",
+    "ell_padding_fraction",
+]
+
+#: Column offsets within this many elements of the row index are assumed
+#: to hit the cache line(s) the row's own output/diagonal already pulled
+#: in — the regime of narrow-stencil lattice Hamiltonians.
+GATHER_NEAR_WINDOW = 16.0
 
 
 @dataclass(frozen=True)
@@ -133,3 +145,72 @@ def transfer_cost(spec: GpuSpec, nbytes: int) -> float:
     if nbytes < 0:
         raise ValidationError(f"nbytes must be >= 0, got {nbytes}")
     return spec.pcie_latency_s + nbytes / spec.pcie_bandwidth_bytes_per_s
+
+
+# ----------------------------------------------------------------------
+# Irregular-access extensions (sparse SpMV block programs)
+# ----------------------------------------------------------------------
+def gather_miss_fraction(dimension: int, mean_abs_offset: float) -> float:
+    """Fraction of ``x[indices]`` gather loads that miss nearby cache lines.
+
+    The SpMV gather's locality is governed by how far the stored columns
+    sit from their row: offsets within :data:`GATHER_NEAR_WINDOW`
+    elements ride the cache lines the row already touched (banded
+    lattice stencils — zero extra traffic), while offsets approaching
+    ``dimension / 4`` scatter across the whole vector and each pull a
+    fresh line.  The ramp between the two regimes is linear in the mean
+    absolute offset — a first-order model matching the documented style
+    of the roofline terms above.
+    """
+    dim = float(dimension)
+    if dim <= 0:
+        raise ValidationError(f"dimension must be positive, got {dimension}")
+    if mean_abs_offset < 0:
+        raise ValidationError(
+            f"mean_abs_offset must be >= 0, got {mean_abs_offset}"
+        )
+    far = dim / 4.0
+    if mean_abs_offset <= GATHER_NEAR_WINDOW or far <= GATHER_NEAR_WINDOW:
+        return 0.0
+    return min(1.0, (mean_abs_offset - GATHER_NEAR_WINDOW) / (far - GATHER_NEAR_WINDOW))
+
+
+def row_imbalance_efficiency(
+    row_nnz_max: float, row_nnz_mean: float, *, granularity: int = 1
+) -> float:
+    """Lockstep efficiency of a row-parallel SpMV under skewed row lengths.
+
+    Threads (or warp teams of ``granularity`` lanes) assigned to short
+    rows idle while the longest row finishes its sweep, so the useful
+    fraction of lanes is ``ceil(mean/g) / ceil(max/g)``.  Uniform rows
+    give 1.0; one long row among short ones drags every team down.
+    """
+    if granularity < 1:
+        raise ValidationError(f"granularity must be >= 1, got {granularity}")
+    if row_nnz_max < row_nnz_mean or row_nnz_mean < 0:
+        raise ValidationError(
+            f"need row_nnz_max >= row_nnz_mean >= 0, got "
+            f"{row_nnz_max}, {row_nnz_mean}"
+        )
+    if row_nnz_max <= 0:
+        return 1.0
+    mean_passes = math.ceil(row_nnz_mean / granularity)
+    max_passes = math.ceil(row_nnz_max / granularity)
+    return max(mean_passes, 1) / max(max_passes, 1)
+
+
+def ell_padding_fraction(row_nnz_max: float, row_nnz_mean: float) -> float:
+    """Fraction of ELL slots wasted on padding: ``(max - mean) / max``.
+
+    Every byte and FLOP of the ELL sweep is proportional to
+    ``rows * max_row_nnz``, so this is exactly the traffic overhead the
+    format pays for its perfectly coalesced streams.
+    """
+    if row_nnz_max < row_nnz_mean or row_nnz_mean < 0:
+        raise ValidationError(
+            f"need row_nnz_max >= row_nnz_mean >= 0, got "
+            f"{row_nnz_max}, {row_nnz_mean}"
+        )
+    if row_nnz_max <= 0:
+        return 0.0
+    return (row_nnz_max - row_nnz_mean) / row_nnz_max

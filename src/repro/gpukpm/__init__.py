@@ -26,6 +26,13 @@ from repro.gpukpm.stats import (
 )
 from repro.gpukpm.memory_plan import MemoryPlan, plan_memory, paper_memory_bytes
 from repro.gpukpm.pipeline import CheckpointChunk, GpuKPM, GpuSimEngine
+from repro.gpukpm.spmv import (
+    SPMV_FORMATS,
+    VECTOR_WIDTHS,
+    SpmvModel,
+    default_spmv_format,
+    spmv_model_for,
+)
 from repro.gpukpm.estimator import estimate_gpu_kpm_seconds, gpu_kpm_breakdown
 from repro.gpukpm.blocksize import BlockSizePoint, tune_block_size
 from repro.gpukpm.conductivity_gpu import (
@@ -47,6 +54,11 @@ __all__ = [
     "CheckpointChunk",
     "GpuKPM",
     "GpuSimEngine",
+    "SPMV_FORMATS",
+    "VECTOR_WIDTHS",
+    "SpmvModel",
+    "default_spmv_format",
+    "spmv_model_for",
     "estimate_gpu_kpm_seconds",
     "gpu_kpm_breakdown",
     "BlockSizePoint",

@@ -37,11 +37,16 @@ def gpu_kpm_breakdown(
     config: KPMConfig,
     *,
     nnz: int | None = None,
+    spmv=None,
 ) -> dict[str, float]:
     """Modeled seconds per phase of the GPU pipeline.
 
     Parameters mirror :func:`repro.cpu.cpu_kpm_breakdown`: ``nnz=None``
-    prices the dense path.
+    prices the dense path, ``nnz`` the legacy scalar-CSR accounting, and
+    ``spmv`` (an :class:`repro.gpukpm.spmv.SpmvModel`) the format-aware
+    accounting — upload arrays, SpMV work, and irregular-access
+    penalties all come from the model, matching what the executed
+    pipeline charges for that format.
 
     Returns
     -------
@@ -58,9 +63,14 @@ def gpu_kpm_breakdown(
     plan = plan_grid(total_vectors, config.block_size, spec)
     item = 8 if config.precision == "double" else 4
 
-    # Transfers: upload H~ (1 dense buffer or 3 CSR arrays), download the
-    # mu~ table and the reduced moments — matching the pipeline exactly.
-    if nnz is None:
+    # Transfers: upload H~ (1 dense buffer, 3 CSR arrays, or the model's
+    # exact array list), download the mu~ table and the reduced moments —
+    # matching the pipeline exactly.
+    if spmv is not None:
+        if nnz is not None:
+            raise ValidationError("pass either nnz or spmv, not both")
+        upload = sum(transfer_cost(spec, b) for b in spmv.upload_bytes)
+    elif nnz is None:
         upload = transfer_cost(spec, dim * dim * item)
     else:
         nnz = check_positive_int(nnz, "nnz")
@@ -78,7 +88,13 @@ def gpu_kpm_breakdown(
     recursion = kernel_cost(
         spec,
         recursion_launch_stats(
-            dim, num_moments, plan, spec, nnz=nnz, precision=config.precision
+            dim,
+            num_moments,
+            plan,
+            spec,
+            nnz=nnz,
+            spmv=spmv,
+            precision=config.precision,
         ),
         grid_blocks=plan.num_blocks,
         occupancy=recursion_occupancy,
@@ -105,8 +121,11 @@ def estimate_gpu_kpm_seconds(
     config: KPMConfig | None = None,
     *,
     nnz: int | None = None,
+    spmv=None,
 ) -> float:
     """Total modeled GPU seconds for a KPM run (sum of the breakdown)."""
     dimension = check_positive_int(dimension, "dimension")
     config = KPMConfig() if config is None else config
-    return sum(gpu_kpm_breakdown(spec, dimension, config, nnz=nnz).values())
+    return sum(
+        gpu_kpm_breakdown(spec, dimension, config, nnz=nnz, spmv=spmv).values()
+    )

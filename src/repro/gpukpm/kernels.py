@@ -1,6 +1,6 @@
-"""Device kernels of the GPU KPM (paper Fig. 4).
+"""Device kernels of the GPU KPM (paper Fig. 4) and the SpMV programs.
 
-Two kernels, exactly the paper's two parallel parts:
+The recursion/reduction pair is exactly the paper's two parallel parts:
 
 * :func:`kpm_recursion_kernel` — part (a): each block generates its
   random vectors, runs the full N-order Chebyshev recursion in its
@@ -9,8 +9,24 @@ Two kernels, exactly the paper's two parallel parts:
 * :func:`reduce_moments_kernel` — part (b): parallel mean of the
   ``mu~`` table over the ``R*S`` vectors (paper Fig. 4b).
 
-Charges are the shared per-vector accounting of
-:mod:`repro.gpukpm.stats`, so an executed launch prices identically to
+The standalone SpMV block programs (:func:`spmv_csr_scalar_kernel`,
+:func:`spmv_csr_vector_kernel`, :func:`spmv_ell_kernel`) compute one
+``y = H~ @ x`` with rows partitioned across blocks — the probe kernels
+the autotuner (:mod:`repro.tune`) launches to confirm its analytic
+scores on the modeled clock.
+
+Every matrix product — device-resident or host-side — runs the
+*canonical contraction order* of :mod:`repro.sparse.sweep`, so the
+storage format (dense, CSR, ELL) and the program flavor (scalar vs
+warp-vector) change modeled cost but never numerics.  On real hardware
+a warp-per-row program would reduce partial sums in a tree; here the
+tree lives only in the cost model (``SpmvModel`` FLOPs/coalescing) while
+the functional semantics stay canonical — that is what lets the tuner
+switch programs per matrix under the serving layer's bit-identical
+replay guarantee.
+
+Charges are the shared accounting of :mod:`repro.gpukpm.stats` /
+:mod:`repro.gpukpm.spmv`, so an executed launch prices identically to
 the analytic estimator.
 """
 
@@ -21,47 +37,105 @@ import numpy as np
 from repro.errors import DeviceError
 from repro.gpu.kernel import kernel
 from repro.kpm.random_vectors import random_vector
-from repro.sparse.csr import _segment_sums
+from repro.sparse.sweep import (
+    build_sweep_plan,
+    csr_sweep_matvec,
+    dense_sweep_matvec,
+    ell_sweep_matvec,
+)
 
-__all__ = ["DeviceMatrix", "kpm_recursion_kernel", "reduce_moments_kernel"]
+__all__ = [
+    "DeviceMatrix",
+    "kpm_recursion_kernel",
+    "reduce_moments_kernel",
+    "spmv_csr_scalar_kernel",
+    "spmv_csr_vector_kernel",
+    "spmv_ell_kernel",
+]
 
 
 class DeviceMatrix:
-    """The uploaded Hamiltonian: dense buffer or CSR triple.
+    """The uploaded Hamiltonian: dense buffer, CSR triple, or ELL pair.
 
-    Thin functional wrapper the recursion kernel multiplies with; the
-    storage choice also selects the cost accounting (dense sweep vs CSR
-    gather) through ``nnz``.
+    Thin functional wrapper the kernels multiply with; the storage
+    choice also selects the cost accounting (dense sweep vs CSR gather
+    vs padded ELL stream) through the pipeline's ``SpmvModel``.
+
+    For CSR storage, pass the *host-side* ``host_indptr`` so the
+    canonical :class:`~repro.sparse.sweep.SweepPlan` is built without
+    touching device memory outside a launch (the device sanitizer
+    tracks every device-buffer access); without it the plan is built
+    lazily from the device row pointer on first use inside a launch.
     """
 
-    def __init__(self, *, dense=None, csr_data=None, csr_indices=None, csr_indptr=None, shape=None):
+    def __init__(
+        self,
+        *,
+        dense=None,
+        csr_data=None,
+        csr_indices=None,
+        csr_indptr=None,
+        ell_data=None,
+        ell_indices=None,
+        shape=None,
+        host_indptr=None,
+        nnz=None,
+    ):
+        self.dense = None
+        self.csr = None
+        self.ell = None
+        self._plan = None
         if dense is not None:
             self.dense = dense
-            self.csr = None
             self.shape = dense.shape
             self.nnz = None
-        else:
-            if csr_data is None or csr_indices is None or csr_indptr is None or shape is None:
+            self.format = "dense"
+        elif csr_data is not None:
+            if csr_indices is None or csr_indptr is None or shape is None:
                 raise DeviceError("CSR DeviceMatrix needs data, indices, indptr, shape")
-            self.dense = None
             self.csr = (csr_data, csr_indices, csr_indptr)
             self.shape = shape
             self.nnz = int(csr_data.shape[0])
+            self.format = "csr"
+            if host_indptr is not None:
+                self._plan = build_sweep_plan(host_indptr, shape[0])
+        elif ell_data is not None:
+            if ell_indices is None or shape is None:
+                raise DeviceError("ELL DeviceMatrix needs data, indices, shape")
+            self.ell = (ell_data, ell_indices)
+            self.shape = shape
+            self.nnz = int(nnz) if nnz is not None else None
+            self.format = "ell"
+        else:
+            raise DeviceError("DeviceMatrix needs dense, CSR, or ELL storage")
+
+    @property
+    def sweep_plan(self):
+        """Canonical slot schedule of the CSR storage (built on demand)."""
+        if self._plan is None:
+            _, _, indptr = self.csr
+            self._plan = build_sweep_plan(np.asarray(indptr.data, dtype=np.int64), self.shape[0])
+        return self._plan
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """``H~ @ x`` against the device-resident storage."""
+        """``H~ @ x`` against the device-resident storage (canonical order)."""
         if self.dense is not None:
-            return self.dense.data @ x
-        data, indices, indptr = self.csr
-        prod = data.data * x[indices.data]
-        return _segment_sums(prod, indptr.data, self.shape[0])
+            return dense_sweep_matvec(self.dense.data, x)
+        if self.csr is not None:
+            data, indices, _ = self.csr
+            return csr_sweep_matvec(data.data, indices.data, self.sweep_plan, x)
+        ell_data, ell_indices = self.ell
+        return ell_sweep_matvec(ell_data.data, ell_indices.data, x)
 
     def free(self) -> None:
         """Release the device buffers backing this matrix."""
         if self.dense is not None:
             self.dense.free()
-        else:
+        elif self.csr is not None:
             for buffer in self.csr:
+                buffer.free()
+        else:
+            for buffer in self.ell:
                 buffer.free()
 
 
@@ -176,3 +250,96 @@ def reduce_moments_kernel(  # repro: noqa[RA005] -- block program; host pipeline
         coalescing=1.0,
         precision=precision,
     )
+
+
+def _charge_spmv_rows(ctx, spmv, n_rows: int, rows: int, footprint_bytes) -> None:
+    """Charge this block's row share of one matvec priced by ``spmv``."""
+    share = rows / n_rows
+    item = 8  # output write in the device dtype; models carry the read bytes
+    ctx.charge(
+        flops=spmv.flops_per_matvec * share,
+        gmem_read=spmv.read_bytes_per_matvec * share,
+        gmem_write=float(rows * item),
+        footprint=footprint_bytes,
+        coalescing=spmv.coalescing,
+        thread_efficiency=spmv.thread_efficiency,
+        precision="double",
+    )
+
+
+@kernel("spmv_csr_scalar", pow2_block=True)
+def spmv_csr_scalar_kernel(  # repro: noqa[RA005] -- block program; tune.probe validates the launch
+    ctx, matrix: DeviceMatrix, x, y, spmv, footprint_bytes
+):
+    """Scalar CSR SpMV: one thread walks one row's gather.
+
+    Rows are tiled across blocks with the grid-stride idiom; each row
+    accumulates its stored entries left-to-right from ``+0.0`` — the
+    canonical contraction order restricted to this block's rows.
+    """
+    n_rows = matrix.shape[0]
+    rows = ctx.thread_range(n_rows)
+    if rows.size == 0:
+        return
+    data, indices, indptr = matrix.csr
+    starts = np.asarray(indptr.data, dtype=np.int64)[rows]
+    lengths = np.asarray(indptr.data, dtype=np.int64)[rows + 1] - starts
+    acc = np.zeros(rows.size, dtype=y.data.dtype)
+    for k in range(int(lengths.max(initial=0))):
+        active = lengths > k
+        pos = starts[active] + k
+        acc[active] += data.data[pos] * x.data[indices.data[pos]]
+    y.data[rows] = acc
+    _charge_spmv_rows(ctx, spmv, n_rows, rows.size, footprint_bytes)
+
+
+@kernel("spmv_csr_vector", pow2_block=True)
+def spmv_csr_vector_kernel(  # repro: noqa[RA005] -- block program; tune.probe validates the launch
+    ctx, matrix: DeviceMatrix, x, y, spmv, footprint_bytes
+):
+    """Vector CSR SpMV: a ``vector_width``-lane warp team per row.
+
+    On hardware the team strides the row and combines lane partials in a
+    shared-memory tree; here the tree is priced by ``spmv`` (extra
+    ``log2(w)`` FLOPs per row, lane-fill coalescing/efficiency) while
+    the functional result stays in the canonical order — the whole point
+    of the program split being a pure cost choice.
+    """
+    n_rows = matrix.shape[0]
+    rows = ctx.thread_range(n_rows)
+    if rows.size == 0:
+        return
+    ctx.shared_alloc(ctx.threads_per_block * 8)  # lane-partial tree
+    data, indices, indptr = matrix.csr
+    starts = np.asarray(indptr.data, dtype=np.int64)[rows]
+    lengths = np.asarray(indptr.data, dtype=np.int64)[rows + 1] - starts
+    acc = np.zeros(rows.size, dtype=y.data.dtype)
+    for k in range(int(lengths.max(initial=0))):
+        active = lengths > k
+        pos = starts[active] + k
+        acc[active] += data.data[pos] * x.data[indices.data[pos]]
+    y.data[rows] = acc
+    _charge_spmv_rows(ctx, spmv, n_rows, rows.size, footprint_bytes)
+
+
+@kernel("spmv_ell", pow2_block=True)
+def spmv_ell_kernel(  # repro: noqa[RA005] -- block program; tune.probe validates the launch
+    ctx, matrix: DeviceMatrix, x, y, spmv, footprint_bytes
+):
+    """ELL SpMV: one thread per row streaming the padded slot columns.
+
+    Padded slots contribute exact ``0.0 * x[0]`` products that the
+    canonical accumulation absorbs bit-exactly (see
+    :mod:`repro.sparse.sweep`), while the cost model charges their full
+    memory traffic — padding waste is a price, never a perturbation.
+    """
+    n_rows = matrix.shape[0]
+    rows = ctx.thread_range(n_rows)
+    if rows.size == 0:
+        return
+    ell_data, ell_indices = matrix.ell
+    acc = np.zeros(rows.size, dtype=y.data.dtype)
+    for k in range(ell_data.shape[1]):
+        acc += ell_data.data[rows, k] * x.data[ell_indices.data[rows, k]]
+    y.data[rows] = acc
+    _charge_spmv_rows(ctx, spmv, n_rows, rows.size, footprint_bytes)

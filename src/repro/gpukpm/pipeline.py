@@ -15,7 +15,7 @@ no execution).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -24,6 +24,7 @@ from repro.errors import ValidationError
 from repro.gpu.device import Device
 from repro.gpu.spec import TESLA_C2050, GpuSpec
 from repro.gpukpm.kernels import DeviceMatrix, kpm_recursion_kernel, reduce_moments_kernel
+from repro.gpukpm.spmv import SPMV_FORMATS, SpmvModel, default_spmv_format, spmv_model_for
 from repro.gpukpm.stats import (
     per_vector_recursion_stats,
     per_vector_resume_stats,
@@ -34,11 +35,28 @@ from repro.gpukpm.stats import (
 from repro.kpm.config import KPMConfig
 from repro.kpm.moments import MomentData
 from repro.trace.tracer import current_tracer
-from repro.sparse import CSRMatrix, as_operator
+from repro.sparse import CSRMatrix, ELLMatrix, as_operator
 from repro.timing import TimingReport, WallTimer
 from repro.util.validation import check_positive_int
 
 __all__ = ["CheckpointChunk", "GpuMomentState", "GpuKPM", "GpuSimEngine"]
+
+
+def _as_csr(op) -> CSRMatrix:
+    """Host-side CSR view of any operator (cheap when already CSR)."""
+    if isinstance(op, CSRMatrix):
+        return op
+    to_csr = getattr(op, "to_csr", None)
+    if to_csr is not None:
+        return to_csr()
+    return CSRMatrix.from_dense(op.to_dense())
+
+
+def _as_ell(op) -> ELLMatrix:
+    """Host-side ELL view of any operator (cheap when already ELL)."""
+    if isinstance(op, ELLMatrix):
+        return op
+    return _as_csr(op).to_ell()
 
 
 @dataclass(frozen=True)
@@ -109,18 +127,128 @@ class GpuKPM:
     ----------
     spec:
         The simulated device; defaults to the paper's Tesla C2050.
+    tuner:
+        Optional autotuner (duck-typed to
+        :class:`repro.tune.Autotuner`): consulted per request to pick
+        the SpMV format, block size, and vector width for the operator's
+        structure.  Tuning is a pure cost/layout choice — results stay
+        bit-identical across every choice.
+    spmv_format:
+        Pin the SpMV format explicitly (one of
+        :data:`repro.gpukpm.spmv.SPMV_FORMATS`), bypassing both the
+        tuner and the storage-preserving default.
+    vector_width:
+        Warp-team lanes for a pinned ``csr-vector`` format.
 
     After :meth:`compute_moments`, :attr:`last_device` holds the device
-    with its full profiler timeline for inspection.
+    with its full profiler timeline for inspection, and
+    :attr:`last_spmv` the :class:`~repro.gpukpm.spmv.SpmvModel` the run
+    was charged with.
     """
 
     name = "gpu-sim"
 
-    def __init__(self, spec: GpuSpec = TESLA_C2050):
+    def __init__(
+        self,
+        spec: GpuSpec = TESLA_C2050,
+        *,
+        tuner=None,
+        spmv_format: str | None = None,
+        vector_width: int | None = None,
+    ):
         if not isinstance(spec, GpuSpec):
             raise ValidationError(f"spec must be a GpuSpec, got {type(spec).__name__}")
+        if spmv_format is not None and spmv_format not in SPMV_FORMATS:
+            raise ValidationError(
+                f"spmv_format must be one of {SPMV_FORMATS}, got {spmv_format!r}"
+            )
         self.spec = spec
+        self.tuner = tuner
+        self.spmv_format = spmv_format
+        self.vector_width = vector_width
         self.last_device: Device | None = None
+        self.last_spmv: SpmvModel | None = None
+
+    # ------------------------------------------------------------------
+    def resolve_spmv(self, op, config: KPMConfig) -> tuple[SpmvModel, KPMConfig]:
+        """Pick the SpMV model and effective config for this request.
+
+        Resolution order: pinned ``spmv_format`` > tuner choice >
+        storage-preserving default.  The returned config only ever
+        differs in ``block_size`` (a tuner override), which is
+        numerics-invariant: random streams are keyed by global vector
+        index and the reduction is a mean over the same table.
+
+        Both :meth:`run_partition` and :meth:`estimate_modeled_seconds`
+        resolve through here, so executed and analytic modeled times
+        stay exactly equal for every choice.
+        """
+        fmt = self.spmv_format
+        width = self.vector_width or 1
+        block_size = None
+        if fmt is None and self.tuner is not None:
+            choice = self.tuner.choose(op, config, self.spec)
+            fmt = choice.format
+            width = choice.vector_width
+            block_size = choice.block_size
+        if fmt is None:
+            fmt = default_spmv_format(op)
+        if fmt == "csr-vector" and width == 1:
+            width = 32  # a full warp per row unless told otherwise
+        model = spmv_model_for(
+            op,
+            fmt,
+            precision=config.precision,
+            vector_width=width if fmt == "csr-vector" else 1,
+        )
+        if block_size is not None and block_size != config.block_size:
+            config = replace(config, block_size=block_size)
+        return model, config
+
+    def _upload_matrix(
+        self, device: Device, op, spmv: SpmvModel, dim: int, dtype
+    ) -> DeviceMatrix:
+        """Upload ``op`` in the storage the resolved format requires.
+
+        Converts host-side when the operator's storage differs from the
+        chosen format (e.g. a CSR operator tuned onto the ELL program);
+        the PCIe transfers below match ``spmv.upload_bytes`` exactly,
+        which is what the estimator prices.
+        """
+        fmt = spmv.format
+        if fmt in ("csr", "csr-vector"):
+            csr = _as_csr(op)
+            nnz = csr.nnz_stored
+            d_data = device.alloc(nnz, dtype=dtype, name="H.data")
+            d_indices = device.alloc(nnz, dtype=np.int64, name="H.indices")
+            d_indptr = device.alloc(dim + 1, dtype=np.int64, name="H.indptr")
+            device.memcpy_htod(d_data, csr.data.astype(dtype))
+            device.memcpy_htod(d_indices, csr.indices)
+            device.memcpy_htod(d_indptr, csr.indptr)
+            return DeviceMatrix(
+                csr_data=d_data,
+                csr_indices=d_indices,
+                csr_indptr=d_indptr,
+                shape=csr.shape,
+                host_indptr=csr.indptr,
+            )
+        if fmt == "ell":
+            ell = _as_ell(op)
+            d_data = device.alloc((dim, ell.width), dtype=dtype, name="H.ell_data")
+            d_indices = device.alloc(
+                (dim, ell.width), dtype=np.int64, name="H.ell_indices"
+            )
+            device.memcpy_htod(d_data, ell.data.astype(dtype))
+            device.memcpy_htod(d_indices, ell.indices)
+            return DeviceMatrix(
+                ell_data=d_data,
+                ell_indices=d_indices,
+                shape=ell.shape,
+                nnz=ell.nnz_stored,
+            )
+        d_matrix = device.alloc((dim, dim), dtype=dtype, name="H.dense")
+        device.memcpy_htod(d_matrix, op.to_dense().astype(dtype))
+        return DeviceMatrix(dense=d_matrix)
 
     # ------------------------------------------------------------------
     def compute_moments(
@@ -301,8 +429,8 @@ class GpuKPM:
         from repro.gpukpm.estimator import estimate_gpu_kpm_seconds
 
         op = as_operator(scaled_operator)
-        nnz = op.nnz_stored if isinstance(op, CSRMatrix) else None
-        return estimate_gpu_kpm_seconds(self.spec, op.shape[0], config, nnz=nnz)
+        spmv, config = self.resolve_spmv(op, config)
+        return estimate_gpu_kpm_seconds(self.spec, op.shape[0], config, spmv=spmv)
 
     def run_partition(
         self,
@@ -376,6 +504,8 @@ class GpuKPM:
                 f"{first_vector}, {num_vectors}"
             )
         op = as_operator(scaled_operator)
+        spmv, config = self.resolve_spmv(op, config)
+        self.last_spmv = spmv
         dim = op.shape[0]
         num_moments = config.num_moments
         plan = plan_grid(num_vectors, config.block_size, self.spec)
@@ -423,28 +553,11 @@ class GpuKPM:
             num_vectors=num_vectors,
             first_vector=first_vector,
             block_size=plan.block_size,
+            spmv_format=spmv.format,
         ):
             # --- upload the Hamiltonian ---------------------------------
             with tracer.device_span("gpu.upload", device):
-                if isinstance(op, CSRMatrix):
-                    nnz = op.nnz_stored
-                    d_data = device.alloc(nnz, dtype=dtype, name="H.data")
-                    d_indices = device.alloc(nnz, dtype=np.int64, name="H.indices")
-                    d_indptr = device.alloc(dim + 1, dtype=np.int64, name="H.indptr")
-                    device.memcpy_htod(d_data, op.data.astype(dtype))
-                    device.memcpy_htod(d_indices, op.indices)
-                    device.memcpy_htod(d_indptr, op.indptr)
-                    matrix = DeviceMatrix(
-                        csr_data=d_data,
-                        csr_indices=d_indices,
-                        csr_indptr=d_indptr,
-                        shape=op.shape,
-                    )
-                else:
-                    nnz = None
-                    d_matrix = device.alloc((dim, dim), dtype=dtype, name="H.dense")
-                    device.memcpy_htod(d_matrix, op.to_dense().astype(dtype))
-                    matrix = DeviceMatrix(dense=d_matrix)
+                matrix = self._upload_matrix(device, op, spmv, dim, dtype)
 
                 # --- workspace + moment buffers (paper Sec. III-B2) -----
                 workspace = device.alloc(
@@ -466,7 +579,7 @@ class GpuKPM:
                         matrix,
                         workspace,
                         config,
-                        nnz=nnz,
+                        spmv=spmv,
                         dim=dim,
                         dtype=dtype,
                         first_vector=first_vector,
@@ -497,7 +610,7 @@ class GpuKPM:
                     dim,
                     start_moment,
                     num_moments,
-                    nnz=nnz,
+                    spmv=spmv,
                     block_size=plan.block_size,
                     precision=config.precision,
                 )
@@ -505,12 +618,12 @@ class GpuKPM:
                 pv_stats = per_vector_recursion_stats(
                     dim,
                     num_moments,
-                    nnz=nnz,
+                    spmv=spmv,
                     block_size=plan.block_size,
                     precision=config.precision,
                 )
             footprint = recursion_footprint_bytes(
-                dim, plan, self.spec, nnz=nnz, precision=config.precision
+                dim, plan, self.spec, spmv=spmv, precision=config.precision
             )
             with tracer.device_span("gpu.moments", device):
                 device.launch(
@@ -578,7 +691,7 @@ class GpuKPM:
         workspace,
         config: KPMConfig,
         *,
-        nnz: int | None,
+        spmv: SpmvModel,
         dim: int,
         dtype,
         first_vector: int,
@@ -604,12 +717,12 @@ class GpuKPM:
             pv_stats = per_vector_recursion_stats(
                 dim,
                 num_moments,
-                nnz=nnz,
+                spmv=spmv,
                 block_size=sub_plan.block_size,
                 precision=config.precision,
             )
             footprint = recursion_footprint_bytes(
-                dim, sub_plan, self.spec, nnz=nnz, precision=config.precision
+                dim, sub_plan, self.spec, spmv=spmv, precision=config.precision
             )
             mu_chunk = device.alloc(
                 (count, num_moments), dtype=dtype, name="mu_tilde.chunk"
@@ -664,8 +777,17 @@ class GpuSimEngine:
 
     name = "gpu-sim"
 
-    def __init__(self, spec: GpuSpec = TESLA_C2050):
-        self.runner = GpuKPM(spec)
+    def __init__(
+        self,
+        spec: GpuSpec = TESLA_C2050,
+        *,
+        tuner=None,
+        spmv_format: str | None = None,
+        vector_width: int | None = None,
+    ):
+        self.runner = GpuKPM(
+            spec, tuner=tuner, spmv_format=spmv_format, vector_width=vector_width
+        )
 
     def compute_moments(
         self, scaled_operator, config: KPMConfig

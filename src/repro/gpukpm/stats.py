@@ -22,6 +22,12 @@ The dense matvec is charged with ``coalescing = 0.5``: the paper's
 row-per-thread sweep over a row-major matrix produces strided (partially
 coalesced) loads, one of the documented reasons its measured speedup sits
 near 4x rather than at the bandwidth ratio.
+
+Every function accepts either the legacy ``nnz`` switch (dense vs scalar
+CSR, the table above) or an explicit :class:`repro.gpukpm.spmv.SpmvModel`
+via ``spmv=`` — the format-aware accounting the autotuner scores.  For a
+uniform-row, narrow-band matrix the ``csr`` model reproduces the legacy
+CSR numbers exactly, so the two paths agree where they overlap.
 """
 
 from __future__ import annotations
@@ -103,17 +109,46 @@ def _itemsize(precision: str) -> int:
     raise ValidationError(f"precision must be 'double' or 'single', got {precision!r}")
 
 
+def _matvec_terms(dim: int, item: int, nnz, spmv):
+    """Per-matvec (flops, read_bytes, coalescing, format_efficiency).
+
+    ``spmv`` (an :class:`repro.gpukpm.spmv.SpmvModel`) takes precedence
+    over the legacy ``nnz`` switch; passing both is an error.
+    """
+    if spmv is not None:
+        if nnz is not None:
+            raise ValidationError("pass either nnz or spmv, not both")
+        return (
+            spmv.flops_per_matvec,
+            spmv.read_bytes_per_matvec,
+            spmv.coalescing,
+            spmv.thread_efficiency,
+        )
+    vec_bytes = dim * item
+    if nnz is None:
+        return 2.0 * dim * dim, dim * dim * item + vec_bytes, DENSE_MATVEC_COALESCING, 1.0
+    nnz = check_positive_int(nnz, "nnz")
+    return (
+        2.0 * nnz,
+        nnz * (item + _INDEX) + (dim + 1) * _INDEX + vec_bytes,
+        CSR_MATVEC_COALESCING,
+        1.0,
+    )
+
+
 def per_vector_recursion_stats(
     dimension: int,
     num_moments: int,
     *,
     nnz: int | None = None,
+    spmv=None,
     block_size: int | None = None,
     precision: str = "double",
 ) -> KernelStats:
     """Work of the full N-order recursion for ONE random vector.
 
-    ``nnz=None`` selects the dense path (the paper's measured runs).
+    ``nnz=None`` selects the dense path (the paper's measured runs);
+    ``spmv`` selects an explicit per-format model instead.
     ``block_size`` sets the thread efficiency: in the paper's design the
     block's threads tile the ``H_SIZE`` vector elements, so a block wider
     than the vector idles its excess lanes.  ``precision`` scales every
@@ -134,15 +169,9 @@ def per_vector_recursion_stats(
     flops = _RNG_FLOPS_PER_ELEMENT * dim  # RNG
     read = 0.0
     write = float(vec_bytes)  # RNG output
-    if nnz is None:
-        matvec_flops = 2.0 * dim * dim
-        matvec_read = dim * dim * item + vec_bytes
-        coalescing = DENSE_MATVEC_COALESCING
-    else:
-        nnz = check_positive_int(nnz, "nnz")
-        matvec_flops = 2.0 * nnz
-        matvec_read = nnz * (item + _INDEX) + (dim + 1) * _INDEX + vec_bytes
-        coalescing = CSR_MATVEC_COALESCING
+    matvec_flops, matvec_read, coalescing, fmt_efficiency = _matvec_terms(
+        dim, item, nnz, spmv
+    )
     flops += steps * (matvec_flops + 2.0 * dim)          # matvec + axpy
     read += steps * (matvec_read + 2.0 * vec_bytes)      # matvec + axpy reads
     write += steps * 2.0 * vec_bytes                     # matvec out + axpy out
@@ -154,7 +183,7 @@ def per_vector_recursion_stats(
         gmem_read_bytes=read,
         gmem_write_bytes=write,
         coalescing=coalescing,
-        thread_efficiency=thread_efficiency,
+        thread_efficiency=thread_efficiency * fmt_efficiency,
         precision=precision,
     )
 
@@ -165,6 +194,7 @@ def per_vector_resume_stats(
     num_moments: int,
     *,
     nnz: int | None = None,
+    spmv=None,
     block_size: int | None = None,
     precision: str = "double",
 ) -> KernelStats:
@@ -202,15 +232,9 @@ def per_vector_resume_stats(
     flops = _RNG_FLOPS_PER_ELEMENT * dim  # RNG (regenerate |r>)
     read = 2.0 * vec_bytes  # checkpointed r_{start-2}, r_{start-1}
     write = float(vec_bytes)  # RNG output
-    if nnz is None:
-        matvec_flops = 2.0 * dim * dim
-        matvec_read = dim * dim * item + vec_bytes
-        coalescing = DENSE_MATVEC_COALESCING
-    else:
-        nnz = check_positive_int(nnz, "nnz")
-        matvec_flops = 2.0 * nnz
-        matvec_read = nnz * (item + _INDEX) + (dim + 1) * _INDEX + vec_bytes
-        coalescing = CSR_MATVEC_COALESCING
+    matvec_flops, matvec_read, coalescing, fmt_efficiency = _matvec_terms(
+        dim, item, nnz, spmv
+    )
     flops += steps * (matvec_flops + 2.0 * dim)          # matvec + axpy
     read += steps * (matvec_read + 2.0 * vec_bytes)      # matvec + axpy reads
     write += steps * 2.0 * vec_bytes                     # matvec out + axpy out
@@ -222,7 +246,7 @@ def per_vector_resume_stats(
         gmem_read_bytes=read,
         gmem_write_bytes=write,
         coalescing=coalescing,
-        thread_efficiency=thread_efficiency,
+        thread_efficiency=thread_efficiency * fmt_efficiency,
         precision=precision,
     )
 
@@ -233,6 +257,7 @@ def recursion_footprint_bytes(
     spec: GpuSpec,
     *,
     nnz: int | None = None,
+    spmv=None,
     precision: str = "double",
 ) -> float:
     """Working set of the recursion launch for the L2-reuse decision.
@@ -242,7 +267,11 @@ def recursion_footprint_bytes(
     """
     dim = check_positive_int(dimension, "dimension")
     item = _itemsize(precision)
-    if nnz is None:
+    if spmv is not None:
+        if nnz is not None:
+            raise ValidationError("pass either nnz or spmv, not both")
+        matrix_bytes = spmv.matrix_bytes
+    elif nnz is None:
         matrix_bytes = dim * dim * item
     else:
         matrix_bytes = nnz * (item + _INDEX) + (dim + 1) * _INDEX
@@ -257,6 +286,7 @@ def recursion_launch_stats(
     spec: GpuSpec,
     *,
     nnz: int | None = None,
+    spmv=None,
     precision: str = "double",
 ) -> KernelStats:
     """Aggregate stats of the whole recursion launch (all vectors)."""
@@ -266,6 +296,7 @@ def recursion_launch_stats(
         dimension,
         num_moments,
         nnz=nnz,
+        spmv=spmv,
         block_size=plan.block_size,
         precision=precision,
     )
@@ -274,7 +305,7 @@ def recursion_launch_stats(
         gmem_read_bytes=per_vector.gmem_read_bytes * plan.total_vectors,
         gmem_write_bytes=per_vector.gmem_write_bytes * plan.total_vectors,
         footprint_bytes=recursion_footprint_bytes(
-            dimension, plan, spec, nnz=nnz, precision=precision
+            dimension, plan, spec, nnz=nnz, spmv=spmv, precision=precision
         ),
         coalescing=per_vector.coalescing,
         thread_efficiency=per_vector.thread_efficiency,

@@ -55,11 +55,12 @@ def _add_subcommands(obs_sub) -> None:
     )
     record.add_argument(
         "--workload",
-        choices=("bench", "smoke", "serve-prefix", "gateway"),
+        choices=("bench", "smoke", "serve-prefix", "gateway", "sparse-crossover"),
         default=None,
         help="which traced workload to record (default: bench; "
         "serve-prefix is the prefix-vs-exact cache A/B; gateway is the "
-        "v2 gateway-vs-FIFO overload A/B)",
+        "v2 gateway-vs-FIFO overload A/B; sparse-crossover is the tuned "
+        "sparse-vs-dense SpMV A/B)",
     )
     record.add_argument(
         "--chrome", default=None, metavar="FILE", help="also write a Chrome trace JSON"
@@ -110,7 +111,7 @@ def _add_subcommands(obs_sub) -> None:
     )
     compare.add_argument(
         "--workload",
-        choices=("bench", "smoke", "serve-prefix", "gateway"),
+        choices=("bench", "smoke", "serve-prefix", "gateway", "sparse-crossover"),
         default=None,
         help="workload to re-record for the comparison (default: bench)",
     )
@@ -129,7 +130,12 @@ def _resolve_workload(args) -> str:
 
 def _record_workload(*, workload: str, label: str | None):
     from repro.bench.runner import baseline_record
-    from repro.obs.workloads import gateway_run, serve_prefix_run, smoke_run
+    from repro.obs.workloads import (
+        gateway_run,
+        serve_prefix_run,
+        smoke_run,
+        sparse_crossover_run,
+    )
 
     if workload == "smoke":
         return smoke_run(label=label or "smoke")
@@ -137,6 +143,8 @@ def _record_workload(*, workload: str, label: str | None):
         return serve_prefix_run(label=label or "serve-prefix")
     if workload == "gateway":
         return gateway_run(label=label or "gateway")
+    if workload == "sparse-crossover":
+        return sparse_crossover_run(label=label or "sparse-crossover")
     return baseline_record(label=label or "bench-baseline")
 
 

@@ -44,10 +44,12 @@ SANITIZE_WORKLOAD = {
     "conductivity_side": 3,
     "conductivity_moments": 8,
     "conductivity_vectors": 2,
+    "tune_formats": ("csr", "csr-vector", "ell"),
+    "tune_vector_width": 4,
 }
 
 #: The runnable workload names, in execution order.
-SANITIZE_WORKLOAD_NAMES = ("dos", "serve", "cluster", "conductivity")
+SANITIZE_WORKLOAD_NAMES = ("dos", "serve", "cluster", "conductivity", "tune")
 
 
 def _dos_config() -> KPMConfig:
@@ -125,11 +127,35 @@ def _run_conductivity() -> None:
     GpuConductivity().run(scaled, scaled, config)
 
 
+def _run_tune() -> None:
+    """Each sparse SpMV block program under the sanitizer.
+
+    The dense pipeline is covered by the ``dos`` workload; this drives
+    the csr-scalar, csr-vector, and ELL programs explicitly (pinned
+    format, not tuner-driven, so coverage cannot silently change when
+    cost models shift the tuner's winner).
+    """
+    from repro.gpukpm.pipeline import GpuKPM
+
+    hamiltonian = paper_cubic_hamiltonian(
+        SANITIZE_WORKLOAD["lattice_side"], format="csr"
+    )
+    for storage in SANITIZE_WORKLOAD["tune_formats"]:
+        width = (
+            SANITIZE_WORKLOAD["tune_vector_width"]
+            if storage == "csr-vector"
+            else None
+        )
+        kpm = GpuKPM(spmv_format=storage, vector_width=width)
+        kpm.compute_moments(hamiltonian, _dos_config())
+
+
 _RUNNERS = {
     "dos": _run_dos,
     "serve": _run_serve,
     "cluster": _run_cluster,
     "conductivity": _run_conductivity,
+    "tune": _run_tune,
 }
 
 

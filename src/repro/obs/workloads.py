@@ -31,9 +31,11 @@ __all__ = [
     "smoke_run",
     "serve_prefix_run",
     "gateway_run",
+    "sparse_crossover_run",
     "SMOKE_WORKLOAD",
     "SERVE_PREFIX_WORKLOAD",
     "GATEWAY_WORKLOAD",
+    "SPARSE_CROSSOVER_WORKLOAD",
 ]
 
 #: Deterministic parameters of the smoke workload (embedded in the record).
@@ -77,6 +79,110 @@ GATEWAY_WORKLOAD = {
     "tenant_rate": 0.8,
     "tenant_burst": 2.0,
 }
+
+
+#: Deterministic parameters of the sparse-vs-dense SpMV crossover A/B.
+#: Cube sides 6..12 span D = 216 to 1728, bracketing the paper's
+#: D = 1000 regime; ``exec_side`` picks the size that also executes
+#: functionally (bit-identity witness), the rest are priced analytically
+#: at the full paper moment budget.
+SPARSE_CROSSOVER_WORKLOAD = {
+    "cube_sides": (6, 8, 10, 12),
+    "num_moments": 256,
+    "num_random_vectors": 16,
+    "exec_side": 6,
+    "exec_num_moments": 32,
+    "exec_num_random_vectors": 4,
+    "seed": 0,
+}
+
+
+def sparse_crossover_run(
+    *,
+    label: str = "sparse-crossover",
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> RunRecord:
+    """A/B tuned sparse SpMV against the dense sweep across sizes.
+
+    For each cube side the autotuner prices the full candidate grid and
+    the record keeps three gauges per size: the best *dense* candidate,
+    the best *sparse* (csr / csr-vector / ell) candidate, and their
+    ``speedup`` ratio (dense over sparse — higher is better, so the CI
+    gate pins that sparse keeps beating dense at every recorded size,
+    in particular at the paper's D >= 1000).  One small size also runs
+    functionally twice — dense-pinned and tuner-driven — and the
+    ``tune.exec.bit_identical`` gauge witnesses that tuning changed the
+    modeled time only, never the moments.  ``BENCH_PR9.json`` embeds
+    this record.
+    """
+    if not isinstance(label, str) or not label:
+        raise ValidationError(f"label must be a non-empty string, got {label!r}")
+    registry = MetricsRegistry() if registry is None else registry
+    tracer = Tracer() if tracer is None else tracer
+
+    import numpy as np
+
+    from repro.gpukpm.pipeline import GpuKPM  # deferred: keep repro.obs import-light
+    from repro.lattice import cubic, tight_binding_hamiltonian
+    from repro.tune.autotuner import Autotuner
+
+    config = KPMConfig(
+        num_moments=SPARSE_CROSSOVER_WORKLOAD["num_moments"],
+        num_random_vectors=SPARSE_CROSSOVER_WORKLOAD["num_random_vectors"],
+        seed=SPARSE_CROSSOVER_WORKLOAD["seed"],
+    )
+    tuner = Autotuner()
+
+    with tracer.activate():
+        with tracer.span("workload.tune_sweep", category="workload"):
+            for side in SPARSE_CROSSOVER_WORKLOAD["cube_sides"]:
+                hamiltonian = tight_binding_hamiltonian(cubic(side))
+                dim = hamiltonian.shape[0]
+                points = tuner.sweep(hamiltonian, config)
+                dense_best = min(
+                    p.modeled_seconds for p in points if p.format == "dense"
+                )
+                sparse_best = min(
+                    p.modeled_seconds for p in points if p.format != "dense"
+                )
+                registry.set_gauge(f"tune.d{dim}.dense_seconds", dense_best)
+                registry.set_gauge(f"tune.d{dim}.sparse_seconds", sparse_best)
+                registry.set_gauge(f"tune.d{dim}.speedup", dense_best / sparse_best)
+
+        exec_config = KPMConfig(
+            num_moments=SPARSE_CROSSOVER_WORKLOAD["exec_num_moments"],
+            num_random_vectors=SPARSE_CROSSOVER_WORKLOAD["exec_num_random_vectors"],
+            seed=SPARSE_CROSSOVER_WORKLOAD["seed"],
+        )
+        exec_op = tight_binding_hamiltonian(
+            cubic(SPARSE_CROSSOVER_WORKLOAD["exec_side"])
+        )
+        with tracer.span("workload.exec_dense", category="workload"):
+            dense_kpm = GpuKPM(spmv_format="dense")
+            dense_moments, _ = dense_kpm.compute_moments(exec_op, exec_config)
+        registry.set_gauge(
+            "tune.exec.dense_seconds", dense_kpm.last_device.modeled_seconds
+        )
+        with tracer.span("workload.exec_tuned", category="workload"):
+            tuned_kpm = GpuKPM(tuner=tuner)
+            tuned_moments, _ = tuned_kpm.compute_moments(exec_op, exec_config)
+        registry.set_gauge(
+            "tune.exec.tuned_seconds", tuned_kpm.last_device.modeled_seconds
+        )
+        registry.set_gauge(
+            "tune.exec.bit_identical",
+            float(np.array_equal(dense_moments.mu, tuned_moments.mu)),
+        )
+        for name, value in tuner.counters().items():
+            registry.set_gauge(name, float(value))
+
+    return RunRecord(
+        label=label,
+        workload=dict(SPARSE_CROSSOVER_WORKLOAD),
+        spans=tracer.finish(),
+        metrics=registry,
+    )
 
 
 def gateway_run(

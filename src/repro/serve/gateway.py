@@ -143,6 +143,7 @@ class Gateway(SpectralService):
         readmit_after: int = 4,
         edf: bool = True,
         degrade: bool = True,
+        tuner=None,
     ):
         super().__init__(
             ("numpy",),
@@ -150,6 +151,7 @@ class Gateway(SpectralService):
             max_batch_size=max_batch_size,
             eject_after=eject_after,
             readmit_after=readmit_after,
+            tuner=tuner,
         )
         # Swap in the v2 scheduler and elastic pool; everything
         # downstream (_serve_batch, cache, reconstruction) is inherited.

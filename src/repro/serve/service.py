@@ -92,6 +92,13 @@ class SpectralService:
         Taxonomy failures before an engine is ejected from rotation.
     readmit_after:
         Dispatches an ejected engine sits out before probation.
+    tuner:
+        Optional :class:`repro.tune.Autotuner` (duck-typed — anything
+        with ``choose``/``prepare_operator``).  When set, each key's
+        scaled operator is converted once to the tuned storage format at
+        rescale time, so every engine run, LDoS recursion, and admission
+        price executes/prices that format.  Numerics are unchanged: all
+        formats run the canonical contraction order.
     """
 
     def __init__(
@@ -103,10 +110,12 @@ class SpectralService:
         max_batch_size: int | None = None,
         eject_after: int = 1,
         readmit_after: int = 4,
+        tuner=None,
     ):
         self.pool = EnginePool(
             backends, eject_after=eject_after, readmit_after=readmit_after
         )
+        self.tuner = tuner
         self.cache = MomentCache(cache_capacity, prefix=prefix_cache)
         self.scheduler = FifoCoalesceScheduler(max_batch_size=max_batch_size)
         self._key_affinity: dict[tuple, int] = {}
@@ -434,9 +443,16 @@ class SpectralService:
         """
         cached = self._scaled_by_key.get(key)
         if cached is None:
-            cached = rescale_operator(
+            scaled, rescaling = rescale_operator(
                 operator, method=config.bounds_method, epsilon=config.epsilon
             )
+            if self.tuner is not None:
+                # Convert once to the tuned storage: engines and the
+                # LDoS host recursion then execute (and admission prices)
+                # that format for every request sharing the key.
+                choice = self.tuner.choose(scaled, config)
+                scaled = self.tuner.prepare_operator(scaled, choice)
+            cached = (scaled, rescaling)
             self._scaled_by_key[key] = cached
         return cached
 

@@ -7,16 +7,30 @@ behind one small operator protocol:
 
 * :class:`COOMatrix` — coordinate triplets, the natural construction format.
 * :class:`CSRMatrix` — compressed row storage with vectorized SpMV/SpMM.
+* :class:`ELLMatrix` — ELLPACK slots, the coalesced-stream GPU format.
 * :class:`DenseOperator` — a plain ``float64`` matrix with the same API.
 
 All operators expose ``shape``, ``nnz_stored``, ``nbytes``, ``matvec``,
 ``matmat``, ``diagonal``, ``offdiag_abs_row_sums`` (for Gerschgorin
-bounds) and ``to_dense``.
+bounds) and ``to_dense``.  Every ``matvec``/``matmat`` runs the
+*canonical contraction order* of :mod:`repro.sparse.sweep`, so the same
+matrix produces bit-identical results in every storage format — storage
+is a cost/layout choice the autotuner (:mod:`repro.tune`) makes freely.
+
+:func:`structure_profile` / :func:`structure_fingerprint` extract the
+value-independent structural statistics (density, bandwidth, row-nnz
+distribution) that key the autotuner's cache.
 """
 
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.dense import DenseOperator
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.fingerprint import (
+    StructureProfile,
+    structure_fingerprint,
+    structure_profile,
+)
 from repro.sparse.ops import LinearOperatorProtocol, as_operator, is_operator
 from repro.sparse.io import read_matrix_market, write_matrix_market
 
@@ -24,9 +38,13 @@ __all__ = [
     "COOMatrix",
     "CSRMatrix",
     "DenseOperator",
+    "ELLMatrix",
     "LinearOperatorProtocol",
+    "StructureProfile",
     "as_operator",
     "is_operator",
     "read_matrix_market",
     "write_matrix_market",
+    "structure_fingerprint",
+    "structure_profile",
 ]

@@ -5,10 +5,13 @@ This is the format the paper's Sec. II-A4 refers to: row pointers
 sparse Hamiltonian of the 10x10x10 cubic lattice has exactly seven
 non-zeros per row in this format.
 
-The SpMV (``matvec``) and blocked SpMM (``matmat``) are fully vectorized:
-a gather ``data * x[indices]`` followed by a segmented sum over rows via
-``np.add.reduceat`` (with explicit handling of empty rows, which
-``reduceat`` alone gets wrong).
+The SpMV (``matvec``) and blocked SpMM (``matmat``) run the *canonical
+contraction order* of :mod:`repro.sparse.sweep` — per row, a strict
+left-to-right accumulation over ascending stored columns — so CSR
+results are bit-identical to the dense and ELL operators holding the
+same matrix, and the autotuner may switch formats freely.  The slot
+schedule (:class:`repro.sparse.sweep.SweepPlan`) is built lazily on
+first use and cached on the instance.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import hashlib
 import numpy as np
 
 from repro.errors import ShapeError, ValidationError
+from repro.sparse.sweep import build_sweep_plan, csr_sweep_matmat, csr_sweep_matvec
 from repro.util.validation import check_positive_int
 
 __all__ = ["CSRMatrix", "content_fingerprint"]
@@ -41,36 +45,6 @@ def content_fingerprint(tag: str, shape: tuple[int, int], *arrays) -> str:
     return digest.hexdigest()
 
 
-def _segment_sums(prod: np.ndarray, indptr: np.ndarray, n_rows: int) -> np.ndarray:
-    """Sum ``prod`` over the row segments defined by ``indptr``.
-
-    Handles empty rows correctly: ``np.add.reduceat`` would replicate the
-    element *at* a repeated start index instead of producing zero, so we
-    reduce only over non-empty rows and scatter the results.
-
-    Parameters
-    ----------
-    prod:
-        ``(nnz,)`` or ``(nnz, k)`` array of per-entry products.
-    indptr:
-        CSR row pointer of length ``n_rows + 1``.
-    n_rows:
-        Number of rows of the output.
-    """
-    out_shape = (n_rows,) if prod.ndim == 1 else (n_rows, prod.shape[1])
-    out = np.zeros(out_shape, dtype=prod.dtype)
-    if prod.shape[0] == 0:
-        return out
-    row_lengths = np.diff(indptr)
-    nonempty = row_lengths > 0
-    if not nonempty.any():
-        return out
-    starts = indptr[:-1][nonempty]
-    sums = np.add.reduceat(prod, starts, axis=0)
-    out[nonempty] = sums
-    return out
-
-
 class CSRMatrix:
     """Sparse matrix in CSR format (float64 data, int64 indices).
 
@@ -89,7 +63,7 @@ class CSRMatrix:
         ``(n_rows, n_cols)``.
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape")
+    __slots__ = ("indptr", "indices", "data", "shape", "_sweep_plan")
 
     def __init__(self, indptr, indices, data, shape: tuple[int, int]):
         indptr = np.asarray(indptr, dtype=np.int64).ravel()
@@ -133,6 +107,7 @@ class CSRMatrix:
         self.indices = indices
         self.data = data
         self.shape = (n_rows, n_cols)
+        self._sweep_plan = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -186,6 +161,45 @@ class CSRMatrix:
         """Stored entries per row, length ``n_rows``."""
         return np.diff(self.indptr)
 
+    @property
+    def density(self) -> float:
+        """Stored fraction ``nnz / (n_rows * n_cols)``."""
+        return float(self.nnz_stored / (self.shape[0] * self.shape[1]))
+
+    @property
+    def bandwidth(self) -> int:
+        """Largest ``|col - row|`` over stored entries (0 when empty)."""
+        if self.indices.size == 0:
+            return 0
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        return int(np.abs(self.indices - rows).max())
+
+    @property
+    def row_nnz_mean(self) -> float:
+        """Mean stored entries per row."""
+        return float(self.nnz_stored / self.shape[0])
+
+    @property
+    def row_nnz_var(self) -> float:
+        """Population variance of stored entries per row (0 when uniform)."""
+        return float(np.var(np.diff(self.indptr)))
+
+    def mean_abs_offset(self) -> float:
+        """Mean ``|col - row|`` over stored entries — gather-locality proxy.
+
+        Small offsets mean the SpMV's ``x[indices]`` gather stays inside
+        a few cache lines per row; the cost model's
+        :func:`repro.gpu.costmodel.gather_miss_fraction` consumes this.
+        """
+        if self.indices.size == 0:
+            return 0.0
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        return float(np.abs(self.indices - rows).mean())
+
     def fingerprint(self) -> str:
         """Stable content hash of the stored matrix (cache key material).
 
@@ -202,8 +216,15 @@ class CSRMatrix:
         return f"CSRMatrix(shape={self.shape}, nnz_stored={self.nnz_stored})"
 
     # ------------------------------------------------------------------
-    # Linear algebra
+    # Linear algebra (canonical sweep — bit-identical to dense and ELL)
     # ------------------------------------------------------------------
+    @property
+    def sweep_plan(self):
+        """Cached :class:`repro.sparse.sweep.SweepPlan` for this matrix."""
+        if self._sweep_plan is None:
+            self._sweep_plan = build_sweep_plan(self.indptr, self.shape[0])
+        return self._sweep_plan
+
     def matvec(self, x) -> np.ndarray:
         """Return ``A @ x`` for a vector ``x`` of length ``n_cols``."""
         x = np.asarray(x, dtype=np.float64)
@@ -211,23 +232,22 @@ class CSRMatrix:
             raise ShapeError(
                 f"x must be a vector of length {self.shape[1]}, got shape {x.shape}"
             )
-        prod = self.data * x[self.indices]
-        return _segment_sums(prod, self.indptr, self.shape[0])
+        return csr_sweep_matvec(self.data, self.indices, self.sweep_plan, x)
 
     def matmat(self, block) -> np.ndarray:
         """Return ``A @ B`` for a ``(n_cols, k)`` block of vectors.
 
-        This is the blocked SpMM the batched KPM recursion uses: one gather
-        of ``B`` rows, a broadcast multiply, and a segmented sum — memory
-        traffic proportional to ``nnz * k``.
+        This is the blocked SpMM the batched KPM recursion uses: each of
+        the ``max_row_nnz`` slot passes is one vectorized
+        gather-multiply-accumulate over the block — memory traffic
+        proportional to ``nnz * k``, in the canonical contraction order.
         """
         block = np.asarray(block, dtype=np.float64)
         if block.ndim != 2 or block.shape[0] != self.shape[1]:
             raise ShapeError(
                 f"block must have shape ({self.shape[1]}, k), got {block.shape}"
             )
-        prod = self.data[:, None] * block[self.indices, :]
-        return _segment_sums(prod, self.indptr, self.shape[0])
+        return csr_sweep_matmat(self.data, self.indices, self.sweep_plan, block)
 
     def dot(self, other) -> np.ndarray:
         """Dispatch to :meth:`matvec` or :meth:`matmat` on ``other.ndim``."""
@@ -249,6 +269,12 @@ class CSRMatrix:
         rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
         dense[rows, self.indices] = self.data
         return dense
+
+    def to_ell(self):
+        """Pack into :class:`repro.sparse.ELLMatrix` (width = ``max_row_nnz``)."""
+        from repro.sparse.ell import ELLMatrix
+
+        return ELLMatrix.from_csr(self)
 
     def to_coo(self):
         """Convert to :class:`repro.sparse.COOMatrix`."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.sparse.sweep import dense_sweep_matmat, dense_sweep_matvec
 from repro.util.validation import as_float64_array
 
 __all__ = ["DenseOperator"]
@@ -55,22 +56,28 @@ class DenseOperator:
 
     # ------------------------------------------------------------------
     def matvec(self, x) -> np.ndarray:
-        """Return ``A @ x``."""
+        """Return ``A @ x`` in the canonical contraction order.
+
+        Uses :func:`repro.sparse.sweep.dense_sweep_matvec` rather than
+        BLAS ``gemv`` so that dense results are bit-identical to the CSR
+        and ELL operators holding the same matrix (BLAS blocking reorders
+        the floating-point sums).
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 1 or x.shape[0] != self.shape[1]:
             raise ShapeError(
                 f"x must be a vector of length {self.shape[1]}, got shape {x.shape}"
             )
-        return self.array @ x
+        return dense_sweep_matvec(self.array, x)
 
     def matmat(self, block) -> np.ndarray:
-        """Return ``A @ B`` for a ``(n_cols, k)`` block."""
+        """Return ``A @ B`` for a ``(n_cols, k)`` block (canonical order)."""
         block = np.asarray(block, dtype=np.float64)
         if block.ndim != 2 or block.shape[0] != self.shape[1]:
             raise ShapeError(
                 f"block must have shape ({self.shape[1]}, k), got {block.shape}"
             )
-        return self.array @ block
+        return dense_sweep_matmat(self.array, block)
 
     def dot(self, other) -> np.ndarray:
         """Dispatch to :meth:`matvec` or :meth:`matmat` on ``other.ndim``."""

@@ -1,0 +1,34 @@
+"""repro.tune — per-matrix kernel autotuning over the analytic models.
+
+The subsystem the paper's future work asks for, generalized: pick the
+SpMV storage format, BLOCK_SIZE, and warp-team width for each matrix
+*structure* by pricing the full candidate grid with the same cost
+models the executed pipeline charges (:mod:`repro.gpukpm.spmv`), and
+memoize the winners in a byte-stable JSON cache.  See docs/TUNING.md.
+"""
+
+from repro.tune.autotuner import (
+    DEFAULT_BLOCK_CANDIDATES,
+    PROBE_REL_TOL,
+    Autotuner,
+    tuning_key,
+)
+from repro.tune.cache import (
+    SCHEMA_VERSION,
+    TuningCache,
+    TuningChoice,
+    load_tuning_cache,
+    write_tuning_cache,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_CANDIDATES",
+    "PROBE_REL_TOL",
+    "Autotuner",
+    "tuning_key",
+    "SCHEMA_VERSION",
+    "TuningCache",
+    "TuningChoice",
+    "load_tuning_cache",
+    "write_tuning_cache",
+]

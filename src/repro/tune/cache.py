@@ -1,0 +1,208 @@
+"""TuningCache: per-matrix kernel choices as deterministic JSON.
+
+A tuning cache maps a *tuning key* — the matrix structure fingerprint
+(:func:`repro.sparse.structure_fingerprint`) joined with the workload
+shape (moments, vectors, precision) and the device name — to the
+:class:`TuningChoice` the :class:`~repro.tune.autotuner.Autotuner`
+selected for it.  Serialization mirrors
+:class:`repro.obs.record.RunRecord`: key-sorted ``json.dumps`` with a
+fixed configuration, so two identical tuning sessions produce
+byte-identical files and :meth:`TuningCache.fingerprint` is a stable
+content hash.  A committed cache makes kernel selection reproducible
+across hosts — the autotuner consults it before sweeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    check_positive_float,
+    check_power_of_two,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TuningChoice",
+    "TuningCache",
+    "load_tuning_cache",
+    "write_tuning_cache",
+]
+
+#: Schema tag embedded in every cache file; bump on layout changes.
+SCHEMA_VERSION = "repro.tune/1"
+
+
+@dataclass(frozen=True)
+class TuningChoice:
+    """One tuned kernel configuration and its modeled run time.
+
+    Attributes
+    ----------
+    format:
+        SpMV storage format (one of :data:`repro.gpukpm.SPMV_FORMATS`).
+    block_size:
+        The BLOCK_SIZE the launch should use (power of two).
+    vector_width:
+        Lanes per row (1 except for ``csr-vector``).
+    modeled_seconds:
+        Modeled run time of the full KPM workload under this choice —
+        analytic by default, measured when ``probed`` is true.
+    probed:
+        Whether a probe run executed this choice on the simulator and
+        confirmed the analytic score.
+    """
+
+    format: str
+    block_size: int
+    vector_width: int
+    modeled_seconds: float
+    probed: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.gpukpm.spmv import SPMV_FORMATS
+
+        if self.format not in SPMV_FORMATS:
+            raise ValidationError(
+                f"format must be one of {SPMV_FORMATS}, got {self.format!r}"
+            )
+        check_power_of_two(self.block_size, "block_size")
+        check_power_of_two(self.vector_width, "vector_width")
+        check_positive_float(self.modeled_seconds, "modeled_seconds")
+        if not isinstance(self.probed, bool):
+            raise ValidationError(
+                f"probed must be a bool, got {type(self.probed).__name__}"
+            )
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (scalar values only, JSON-safe)."""
+        return {
+            "format": self.format,
+            "block_size": self.block_size,
+            "vector_width": self.vector_width,
+            "modeled_seconds": self.modeled_seconds,
+            "probed": self.probed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuningChoice":
+        """Rebuild a choice from :meth:`as_dict` output."""
+        if not isinstance(data, dict):
+            raise ValidationError("tuning choice must be a JSON object")
+        try:
+            return cls(
+                format=data["format"],
+                block_size=data["block_size"],
+                vector_width=data["vector_width"],
+                modeled_seconds=data["modeled_seconds"],
+                probed=bool(data.get("probed", False)),
+            )
+        except KeyError as exc:
+            raise ValidationError(f"tuning choice missing field {exc}") from exc
+
+
+class TuningCache:
+    """Mapping from tuning keys to :class:`TuningChoice`, JSON-stable."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: dict | None = None) -> None:
+        self._entries: dict[str, TuningChoice] = {}
+        for key, choice in (entries or {}).items():
+            self.put(key, choice)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> TuningChoice | None:
+        """The cached choice for ``key``, or ``None``."""
+        if not isinstance(key, str) or not key:
+            raise ValidationError(f"tuning key must be a non-empty string, got {key!r}")
+        return self._entries.get(key)
+
+    def put(self, key: str, choice: TuningChoice) -> None:
+        """Insert (or overwrite) the choice for ``key``."""
+        if not isinstance(key, str) or not key:
+            raise ValidationError(f"tuning key must be a non-empty string, got {key!r}")
+        if not isinstance(choice, TuningChoice):
+            raise ValidationError(
+                f"choice must be a TuningChoice, got {type(choice).__name__}"
+            )
+        self._entries[key] = choice
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> tuple[str, ...]:
+        """All tuning keys, sorted (deterministic iteration order)."""
+        return tuple(sorted(self._entries))
+
+    def items(self) -> tuple[tuple[str, TuningChoice], ...]:
+        """(key, choice) pairs, key-sorted."""
+        return tuple((key, self._entries[key]) for key in self.keys())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (entries key-sorted by ``json.dumps`` later)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "entries": {key: choice.as_dict() for key, choice in self._entries.items()},
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Deterministic JSON text (sorted keys, fixed separators)."""
+        return json.dumps(
+            self.to_dict(), indent=indent, sort_keys=True, ensure_ascii=True
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical compact JSON."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, ensure_ascii=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuningCache":
+        """Rebuild a cache from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValidationError("tuning cache must be a JSON object")
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValidationError(
+                f"unsupported tuning-cache schema {schema!r} (expected {SCHEMA_VERSION!r})"
+            )
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValidationError("tuning-cache 'entries' must be a JSON object")
+        cache = cls()
+        for key, choice in entries.items():
+            cache.put(key, TuningChoice.from_dict(choice))
+        return cache
+
+
+def load_tuning_cache(path) -> TuningCache:
+    """Read and validate a :class:`TuningCache` JSON file."""
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ValidationError(f"cannot read tuning cache {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"tuning cache {path!r} is not valid JSON: {exc}") from exc
+    return TuningCache.from_dict(data)
+
+
+def write_tuning_cache(cache: TuningCache, path) -> None:
+    """Write a cache as deterministic JSON (trailing newline included)."""
+    if not isinstance(cache, TuningCache):
+        raise ValidationError(
+            f"cache must be a TuningCache, got {type(cache).__name__}"
+        )
+    text = cache.to_json() + "\n"
+    with open(path, "w", encoding="ascii", newline="\n") as handle:
+        handle.write(text)

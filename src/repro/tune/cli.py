@@ -1,0 +1,213 @@
+"""``python -m repro tune`` — inspect, sweep, and cache kernel choices.
+
+Three subcommands:
+
+* ``inspect`` — print the matrix's structure profile, its fingerprint,
+  and the per-format modeled seconds at the workload's block size.
+* ``sweep``   — price the full (format x block x width) candidate grid
+  and print it best-first with speedups over the dense baseline.
+* ``cache``   — run the autotuner for the workload against a JSON cache
+  file (created if missing) and report hit/miss plus the cache
+  fingerprint; ``--show`` lists an existing file's entries.
+
+Matrices come from the built-in lattices (``--lattice cubic --length
+10`` is the paper's Anderson cube) or a MatrixMarket file.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import ReproError, ValidationError
+from repro.gpu.spec import TESLA_C2050
+from repro.gpukpm.spmv import SPMV_FORMATS, spmv_model_for
+from repro.gpukpm.estimator import estimate_gpu_kpm_seconds
+from repro.kpm.config import KPMConfig
+from repro.lattice import chain, cubic, square, tight_binding_hamiltonian
+from repro.sparse import read_matrix_market
+from repro.sparse.fingerprint import structure_fingerprint, structure_profile
+from repro.tune.autotuner import Autotuner, tuning_key
+from repro.tune.cache import TuningCache, load_tuning_cache, write_tuning_cache
+
+__all__ = ["add_tune_parser", "main"]
+
+_LATTICES = {"chain": chain, "square": square, "cubic": cubic}
+
+
+def add_tune_parser(subparsers) -> None:
+    """Register the ``tune`` subcommand tree on an argparse subparsers object."""
+    if not hasattr(subparsers, "add_parser"):
+        raise ValidationError(
+            "add_tune_parser needs an argparse subparsers object with add_parser()"
+        )
+    tune = subparsers.add_parser(
+        "tune", help="per-matrix SpMV kernel autotuning (see docs/TUNING.md)"
+    )
+    tune_sub = tune.add_subparsers(dest="tune_command", required=True)
+
+    inspect = tune_sub.add_parser(
+        "inspect", help="print a matrix's structure profile and per-format costs"
+    )
+    _add_matrix_arguments(inspect)
+    _add_workload_arguments(inspect)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    sweep = tune_sub.add_parser(
+        "sweep", help="price the full candidate grid, best-first"
+    )
+    _add_matrix_arguments(sweep)
+    _add_workload_arguments(sweep)
+    sweep.add_argument(
+        "--top", type=int, default=0, help="print only the best K candidates (0: all)"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache = tune_sub.add_parser(
+        "cache", help="tune against a persistent JSON cache file"
+    )
+    _add_matrix_arguments(cache)
+    _add_workload_arguments(cache)
+    cache.add_argument("--cache", required=True, metavar="FILE", help="cache JSON path")
+    cache.add_argument(
+        "--show",
+        action="store_true",
+        help="only list the file's entries; do not tune or write",
+    )
+    cache.set_defaults(func=_cmd_cache)
+
+
+def _add_matrix_arguments(parser) -> None:
+    parser.add_argument(
+        "--lattice",
+        choices=tuple(sorted(_LATTICES)),
+        default="cubic",
+        help="built-in lattice family (default: cubic)",
+    )
+    parser.add_argument(
+        "--length", "-L", type=int, default=10, help="lattice linear size"
+    )
+    parser.add_argument(
+        "--matrix",
+        default=None,
+        metavar="FILE",
+        help="MatrixMarket file instead of a built-in lattice",
+    )
+
+
+def _add_workload_arguments(parser) -> None:
+    parser.add_argument("--moments", "-N", type=int, default=256)
+    parser.add_argument("--vectors", "-R", type=int, default=16)
+    parser.add_argument("--realizations", "-S", type=int, default=1)
+    parser.add_argument("--block-size", type=int, default=256)
+    parser.add_argument("--precision", default="double", choices=("double", "single"))
+
+
+def _operator_from_args(args):
+    if args.matrix is not None:
+        return read_matrix_market(args.matrix)
+    builder = _LATTICES[args.lattice]
+    return tight_binding_hamiltonian(builder(args.length))
+
+
+def _config_from_args(args) -> KPMConfig:
+    return KPMConfig(
+        num_moments=args.moments,
+        num_random_vectors=args.vectors,
+        num_realizations=args.realizations,
+        block_size=args.block_size,
+        precision=args.precision,
+    )
+
+
+def _cmd_inspect(args) -> int:
+    op = _operator_from_args(args)
+    config = _config_from_args(args)
+    profile = structure_profile(op)
+    print(f"structure fingerprint: {structure_fingerprint(profile)}")
+    for name, value in sorted(profile.as_dict().items()):
+        print(f"  {name:>16}: {value}")
+    print()
+    print(f"{'format':<12} {'modeled seconds':>16}")
+    for fmt in SPMV_FORMATS:
+        width = 32 if fmt == "csr-vector" else 1
+        model = spmv_model_for(
+            profile, fmt, precision=config.precision, vector_width=width
+        )
+        seconds = estimate_gpu_kpm_seconds(
+            TESLA_C2050, profile.dimension, config, spmv=model
+        )
+        print(f"{fmt:<12} {seconds:>16.6e}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    op = _operator_from_args(args)
+    config = _config_from_args(args)
+    tuner = Autotuner(TESLA_C2050)
+    points = tuner.sweep(op, config)
+    dense_best = min(
+        p.modeled_seconds for p in points if p.format == "dense"
+    )
+    if args.top > 0:
+        points = points[: args.top]
+    print(f"{'format':<12} {'block':>6} {'width':>6} {'seconds':>14} {'vs dense':>9}")
+    for point in points:
+        speedup = dense_best / point.modeled_seconds
+        print(
+            f"{point.format:<12} {point.block_size:>6} {point.vector_width:>6} "
+            f"{point.modeled_seconds:>14.6e} {speedup:>8.2f}x"
+        )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import os
+
+    if args.show:
+        cache = load_tuning_cache(args.cache)
+        print(f"{args.cache}: {len(cache)} entries, sha256 {cache.fingerprint()}")
+        for key, choice in cache.items():
+            print(
+                f"  {key}\n    -> {choice.format} block={choice.block_size} "
+                f"width={choice.vector_width} seconds={choice.modeled_seconds:.6e} "
+                f"probed={choice.probed}"
+            )
+        return 0
+    cache = (
+        load_tuning_cache(args.cache) if os.path.exists(args.cache) else TuningCache()
+    )
+    tuner = Autotuner(TESLA_C2050, cache=cache)
+    op = _operator_from_args(args)
+    config = _config_from_args(args)
+    choice = tuner.choose(op, config)
+    key = tuning_key(structure_fingerprint(op), config, TESLA_C2050)
+    outcome = "hit" if tuner.hits else "miss"
+    print(f"{outcome}: {key}")
+    print(
+        f"  -> {choice.format} block={choice.block_size} "
+        f"width={choice.vector_width} seconds={choice.modeled_seconds:.6e}"
+    )
+    write_tuning_cache(tuner.cache, args.cache)
+    print(f"wrote {args.cache}: {len(tuner.cache)} entries, sha256 {tuner.cache.fingerprint()}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (``python -m repro.tune.cli``)."""
+    import argparse
+
+    if argv is not None and not isinstance(argv, (list, tuple)):
+        raise ValidationError(f"argv must be a sequence, got {type(argv).__name__}")
+    parser = argparse.ArgumentParser(prog="repro tune")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    add_tune_parser(subparsers)
+    args = parser.parse_args(["tune", *(argv if argv is not None else sys.argv[1:])])
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
