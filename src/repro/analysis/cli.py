@@ -41,7 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
             "purity (RA008), hot-path perf lint (RA009), deprecated APIs "
             "(RA010), resource hygiene (RA011), stale suppressions (RA012), "
             "device-array lifetime (RA013), kernel write-set hygiene "
-            "(RA014), sanitizer-suppression audit (RA015)."
+            "(RA014), sanitizer-suppression audit (RA015), static kernel "
+            "bounds proofs (RA016), cross-block race proofs (RA017), "
+            "canonical-sweep conformance (RA018), launch coverage proofs "
+            "(RA019), proof/sanitizer certificate cross-check (RA020)."
         ),
     )
     parser.add_argument(
@@ -93,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         metavar="RAXXX",
         help="print the long-form rationale of one rule and exit 0",
+    )
+    parser.add_argument(
+        "--certificate-out",
+        metavar="FILE",
+        help=(
+            "verify the kernel modules and write the proof certificate "
+            "(byte-stable JSON) to FILE, then exit 0"
+        ),
     )
     return parser
 
@@ -158,6 +169,25 @@ def main(argv: list[str] | None = None) -> int:
                 project.to_dot() if args.graph_out == "dot" else project.to_json()
             )
             print(graph_text, end="" if graph_text.endswith("\n") else "\n")
+            return EXIT_CLEAN
+
+        if args.certificate_out:
+            from repro.analysis.kernelver import (
+                build_certificate,
+                render_certificate,
+            )
+
+            certificate = build_certificate(
+                [Path(p) for p in args.paths], config
+            )
+            Path(args.certificate_out).write_text(
+                render_certificate(certificate), encoding="utf-8"
+            )
+            print(
+                f"wrote {len(certificate['kernels'])} kernel "
+                f"certificate(s) to {args.certificate_out}",
+                file=sys.stderr,
+            )
             return EXIT_CLEAN
 
         report = run_analysis([Path(p) for p in args.paths], config)

@@ -113,6 +113,12 @@ class AnalysisConfig:
     loop_allocators: tuple[str, ...] = DEFAULT_LOOP_ALLOCATORS
     severity: tuple[tuple[str, str], ...] = ()
     baseline: str | None = None
+    #: Modules whose ``@kernel`` definitions the static kernel verifier
+    #: (RA016–RA020) must prove or cover by a sanitize workload.
+    kernel_modules: tuple[str, ...] = ("gpukpm/*",)
+    #: Committed proof-certificate file RA020 cross-checks (cwd-relative,
+    #: like ``baseline``); ``None`` disables the drift check.
+    certificate: str | None = None
 
     def with_updates(self, **changes) -> "AnalysisConfig":
         """Return a copy with the given fields replaced."""
@@ -152,6 +158,8 @@ _KEY_MAP = {
     "wall-clock-allowed": "wall_clock_allowed",
     "loop-allocators": "loop_allocators",
     "baseline": "baseline",
+    "kernel-modules": "kernel_modules",
+    "certificate": "certificate",
     "layers": "layers",
     "deprecations": "deprecations",
     "severity": "severity",
@@ -230,10 +238,12 @@ def load_config(start: Path | None = None) -> AnalysisConfig:
     for key, value in table.items():
         if key not in _KEY_MAP:
             raise ValidationError(f"unknown [tool.repro-analysis] key {key!r}")
-        if key == "baseline":
+        if key in ("baseline", "certificate"):
             if not isinstance(value, str):
-                raise ValidationError("[tool.repro-analysis] baseline must be a string")
-            changes["baseline"] = value
+                raise ValidationError(
+                    f"[tool.repro-analysis] {key} must be a string"
+                )
+            changes[_KEY_MAP[key]] = value
         elif key == "layers":
             changes["layers"] = _parse_layers(value)
         elif key == "deprecations":

@@ -1,0 +1,55 @@
+"""Static kernel verifier: symbolic proofs over ``@kernel`` block programs.
+
+Abstract interpretation of kernel ASTs over an affine + interval domain
+parameterized by the launch geometry (``block_id ∈ [0, grid)``) and the
+contract symbols, producing per-launch symbolic read/write sets that
+the RA016–RA020 rules discharge *without executing the kernels*:
+
+* :mod:`~repro.analysis.kernelver.sym` — affine forms, bound domains,
+  substitution proofs;
+* :mod:`~repro.analysis.kernelver.values` — index sets and abstract
+  values (partition cells, monotone CSR pointers, gathers);
+* :mod:`~repro.analysis.kernelver.extract` — contract recovery from
+  decorator expressions (never imports the scanned module);
+* :mod:`~repro.analysis.kernelver.interp` — the abstract interpreter;
+* :mod:`~repro.analysis.kernelver.verify` — bounds / race / coverage
+  obligations and kernel status;
+* :mod:`~repro.analysis.kernelver.certificate` — byte-stable proof
+  certificates (schema ``repro.kernelver/1``).
+"""
+
+from repro.analysis.kernelver.certificate import (
+    CERTIFICATE_SCHEMA,
+    build_certificate,
+    certificate_entries,
+    render_certificate,
+)
+from repro.analysis.kernelver.extract import KernelDef, find_kernel_defs
+from repro.analysis.kernelver.interp import ModeResult, interpret_mode
+from repro.analysis.kernelver.sym import Affine, Domain, parse_affine
+from repro.analysis.kernelver.verify import (
+    Issue,
+    KernelReport,
+    ModeReport,
+    module_reports,
+    verify_module,
+)
+
+__all__ = [
+    "Affine",
+    "CERTIFICATE_SCHEMA",
+    "Domain",
+    "Issue",
+    "KernelDef",
+    "KernelReport",
+    "ModeReport",
+    "ModeResult",
+    "build_certificate",
+    "certificate_entries",
+    "find_kernel_defs",
+    "interpret_mode",
+    "module_reports",
+    "parse_affine",
+    "render_certificate",
+    "verify_module",
+]

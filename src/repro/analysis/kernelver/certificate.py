@@ -1,0 +1,126 @@
+"""Byte-stable proof certificates of the kernel verifier.
+
+A certificate records, per ``@kernel`` definition in the configured
+kernel modules, the verification status and the complete symbolic
+access sets per launch mode — the machine-readable witness of what
+RA016–RA019 proved.  Serialization is canonical (sorted keys, fixed
+indentation, trailing newline) so a committed certificate can be
+byte-compared in CI against a regeneration, and the ``fingerprint``
+field (sha256 of the kernel entries) gives a single gate value.
+
+Schema: ``repro.kernelver/1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfig, match_path
+from repro.analysis.core import SourceModule, collect_files, load_module
+from repro.analysis.kernelver.verify import KernelReport, module_reports
+
+__all__ = [
+    "CERTIFICATE_SCHEMA",
+    "build_certificate",
+    "certificate_entries",
+    "render_certificate",
+]
+
+CERTIFICATE_SCHEMA = "repro.kernelver/1"
+
+
+def _access_entry(access) -> dict:
+    return {
+        "param": access.param,
+        "field": access.field,
+        "kind": access.kind,
+        "dims": list(access.dims_text()),
+        "pinned": access.pinned,
+        "line": access.line,
+    }
+
+
+def _rule_verdicts(report: KernelReport, mode_name: str) -> dict:
+    verdicts = {}
+    for rule in ("RA016", "RA017", "RA019"):
+        failed = [
+            issue
+            for name, issue in report.issues(rule)
+            if name == mode_name
+        ]
+        if not failed:
+            verdicts[rule] = "proven"
+        elif any(issue.certain for issue in failed):
+            verdicts[rule] = "violated"
+        else:
+            verdicts[rule] = "unproven"
+    return verdicts
+
+
+def _kernel_entry(rel_path: str, report: KernelReport) -> dict:
+    modes = {}
+    for mode in report.modes:
+        accesses = sorted(
+            (_access_entry(a) for a in mode.result.accesses),
+            key=lambda e: (
+                e["param"],
+                e["field"] or "",
+                e["kind"],
+                e["line"],
+                e["dims"],
+            ),
+        )
+        modes[mode.mode_name] = {
+            "accesses": accesses,
+            "problems": [list(p) for p in mode.result.problems],
+            "rules": _rule_verdicts(report, mode.mode_name),
+        }
+    contract = report.contract
+    return {
+        "module": rel_path,
+        "kernel": report.kernel_name,
+        "function": report.func_name,
+        "line": report.line,
+        "status": report.status,
+        "sanitize_workload": (
+            contract.sanitize_workload if contract is not None else None
+        ),
+        "contract_error": report.contract_error,
+        "modes": modes,
+    }
+
+
+def certificate_entries(module: SourceModule) -> list[dict]:
+    """The certificate entries of one source module, in definition order."""
+    return [
+        _kernel_entry(module.rel_path, report)
+        for report in module_reports(module)
+    ]
+
+
+def build_certificate(paths: list[Path], config: AnalysisConfig) -> dict:
+    """Scan ``paths`` and build the certificate object for every kernel
+    module matched by ``config.kernel_modules``."""
+    kernels: list[dict] = []
+    for root in paths:
+        root = Path(root).resolve()
+        for path in collect_files(root):
+            module = load_module(path, root)
+            if not match_path(module.rel_path, config.kernel_modules):
+                continue
+            kernels.extend(certificate_entries(module))
+    kernels.sort(key=lambda entry: (entry["module"], entry["line"]))
+    body = json.dumps(kernels, sort_keys=True, separators=(",", ":"))
+    fingerprint = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    return {
+        "schema": CERTIFICATE_SCHEMA,
+        "fingerprint": f"sha256:{fingerprint}",
+        "kernels": kernels,
+    }
+
+
+def render_certificate(certificate: dict) -> str:
+    """Canonical byte-stable JSON text of a certificate."""
+    return json.dumps(certificate, sort_keys=True, indent=2) + "\n"

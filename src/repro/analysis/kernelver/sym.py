@@ -1,0 +1,301 @@
+"""Affine expressions and interval proofs over named integer symbols.
+
+The kernel verifier evaluates index arithmetic in an *affine + interval*
+domain: values are linear forms ``c0 + c1*s1 + ... + cn*sn`` with
+integer coefficients over the contract's symbols, and a :class:`Domain`
+carries inclusive bounds for each symbol — where the bounds themselves
+may be affine in other symbols (``start_moment <= num_moments - 1``).
+
+Proofs are bound substitutions: to establish a lower bound of an
+expression, each symbol is replaced — one at a time, cycle-guarded —
+by its lower (positive coefficient) or upper (negative coefficient)
+affine bound until the expression is constant.  Substituting *affine*
+bounds rather than constants is what lets differences cancel: the
+upper bound of ``order`` being ``num_moments - 1`` proves
+``num_moments - 1 - order >= 0`` exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["Affine", "Domain", "parse_affine"]
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``const + sum(coeff * symbol)`` with integer coefficients.
+
+    ``terms`` is a sorted tuple of ``(symbol, coeff)`` pairs with no
+    zero coefficients, so equal forms compare equal structurally.
+    """
+
+    const: int = 0
+    terms: tuple = ()
+
+    @staticmethod
+    def of(value) -> "Affine":
+        """Coerce an int, symbol name, or Affine."""
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, bool):
+            raise ValidationError("affine values are integers, not booleans")
+        if isinstance(value, int):
+            return Affine(const=value)
+        if isinstance(value, str):
+            return Affine(terms=((value, 1),))
+        raise ValidationError(f"cannot coerce {value!r} to an affine form")
+
+    @staticmethod
+    def _normalize(const: int, coeffs: dict) -> "Affine":
+        terms = tuple(
+            (name, coeff) for name, coeff in sorted(coeffs.items()) if coeff != 0
+        )
+        return Affine(const=const, terms=terms)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other) -> "Affine":
+        other = Affine.of(other)
+        coeffs = dict(self.terms)
+        for name, coeff in other.terms:
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return Affine._normalize(self.const + other.const, coeffs)
+
+    def __sub__(self, other) -> "Affine":
+        return self + Affine.of(other).scaled(-1)
+
+    def __neg__(self) -> "Affine":
+        return self.scaled(-1)
+
+    def scaled(self, factor: int) -> "Affine":
+        """``factor * self`` for an integer factor."""
+        coeffs = {name: coeff * factor for name, coeff in self.terms}
+        return Affine._normalize(self.const * factor, coeffs)
+
+    # -- structure -----------------------------------------------------
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def coeff(self, name: str) -> int:
+        for sym, value in self.terms:
+            if sym == name:
+                return value
+        return 0
+
+    def drop(self, name: str) -> "Affine":
+        """The form without its ``name`` term."""
+        return Affine(
+            const=self.const,
+            terms=tuple((sym, c) for sym, c in self.terms if sym != name),
+        )
+
+    def rename(self, mapping: dict) -> "Affine":
+        """Rename symbols (used to instantiate two block identities)."""
+        coeffs: dict = {}
+        for sym, coeff in self.terms:
+            target = mapping.get(sym, sym)
+            coeffs[target] = coeffs.get(target, 0) + coeff
+        return Affine._normalize(self.const, coeffs)
+
+    def symbols(self) -> tuple:
+        return tuple(name for name, _ in self.terms)
+
+    def evaluate(self, valuation: dict) -> int:
+        """Concrete value under a full symbol valuation."""
+        total = self.const
+        for name, coeff in self.terms:
+            if name not in valuation:
+                raise ValidationError(f"no value for symbol {name!r}")
+            total += coeff * int(valuation[name])
+        return total
+
+    def text(self) -> str:
+        """Canonical human/JSON form, e.g. ``num_moments - start_moment - 1``."""
+        parts: list[str] = []
+        for name, coeff in self.terms:
+            if not parts:
+                if coeff == 1:
+                    parts.append(name)
+                elif coeff == -1:
+                    parts.append(f"-{name}")
+                else:
+                    parts.append(f"{coeff}*{name}")
+                continue
+            sign = "+" if coeff > 0 else "-"
+            mag = abs(coeff)
+            parts.append(f" {sign} {name}" if mag == 1 else f" {sign} {mag}*{name}")
+        if self.const or not parts:
+            if not parts:
+                parts.append(str(self.const))
+            else:
+                sign = "+" if self.const > 0 else "-"
+                parts.append(f" {sign} {abs(self.const)}")
+        return "".join(parts)
+
+
+def _from_node(node: ast.AST) -> Affine:
+    if isinstance(node, ast.Expression):
+        return _from_node(node.body)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) and not isinstance(node.value, bool):
+        return Affine(const=node.value)
+    if isinstance(node, ast.Name):
+        return Affine.of(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_from_node(node.operand)
+    if isinstance(node, ast.BinOp):
+        left, right = _from_node(node.left), _from_node(node.right)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            if left.is_const:
+                return right.scaled(left.const)
+            if right.is_const:
+                return left.scaled(right.const)
+            raise ValidationError("affine expressions cannot multiply two symbols")
+    raise ValidationError(f"not an affine expression: {ast.dump(node)}")
+
+
+def parse_affine(value) -> Affine:
+    """Parse an int or expression string like ``"num_moments - 1"``."""
+    if isinstance(value, Affine) or isinstance(value, int):
+        return Affine.of(value)
+    if not isinstance(value, str):
+        raise ValidationError(f"cannot parse affine from {value!r}")
+    try:
+        node = ast.parse(value.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise ValidationError(f"bad affine expression {value!r}: {exc}") from exc
+    return _from_node(node)
+
+
+class Domain:
+    """Inclusive symbol bounds; the proof engine of the verifier.
+
+    Bounds are affine (may reference other symbols).  The domain is
+    immutable: refinement returns a new domain, so branch-local
+    refinements (``if num_moments == 1: continue``) never leak.
+    """
+
+    __slots__ = ("_bounds",)
+
+    def __init__(self, bounds: dict | None = None):
+        self._bounds = dict(bounds or {})
+
+    def with_bounds(self, name: str, lo, hi) -> "Domain":
+        """A domain where ``name`` additionally satisfies ``lo <= name <= hi``.
+
+        New bounds *narrow*: an existing bound is kept alongside by
+        picking whichever side is provably tighter (falling back to the
+        new declaration when incomparable — contract modes override).
+        """
+        lo = None if lo is None else parse_affine(lo)
+        hi = None if hi is None else parse_affine(hi)
+        old_lo, old_hi = self._bounds.get(name, (None, None))
+        if lo is None:
+            lo = old_lo
+        elif old_lo is not None and self.ge(old_lo, lo):
+            lo = old_lo
+        if hi is None:
+            hi = old_hi
+        elif old_hi is not None and self.ge(hi, old_hi):
+            hi = old_hi
+        bounds = dict(self._bounds)
+        bounds[name] = (lo, hi)
+        return Domain(bounds)
+
+    def bounds_of(self, name: str):
+        return self._bounds.get(name, (None, None))
+
+    def symbols(self) -> tuple:
+        return tuple(sorted(self._bounds))
+
+    # -- proofs --------------------------------------------------------
+    def _bound(self, expr: Affine, side: int, active: frozenset):
+        """A sound constant bound of ``expr`` (+1 lower / -1 upper).
+
+        Substitution order matters: replacing ``order`` (upper bound
+        ``num_moments - 1``) must happen before ``num_moments`` for the
+        difference to cancel — so every substitutable symbol is tried
+        and the tightest resulting bound wins.
+        """
+        if expr.is_const:
+            return expr.const
+        best = None
+        for name, coeff in expr.terms:
+            if name in active:
+                continue
+            want_lower = (side > 0) == (coeff > 0)
+            lo, hi = self._bounds.get(name, (None, None))
+            bound = lo if want_lower else hi
+            if bound is None:
+                continue
+            substituted = expr.drop(name) + bound.scaled(coeff)
+            value = self._bound(substituted, side, active | {name})
+            if value is None:
+                continue
+            if best is None or (value > best if side > 0 else value < best):
+                best = value
+        return best
+
+    def lower(self, expr) -> int | None:
+        """Greatest provable constant lower bound (None if unbounded)."""
+        return self._bound(parse_affine(expr), +1, frozenset())
+
+    def upper(self, expr) -> int | None:
+        """Least provable constant upper bound (None if unbounded)."""
+        return self._bound(parse_affine(expr), -1, frozenset())
+
+    def ge(self, a, b) -> bool:
+        """Provably ``a >= b`` everywhere in the domain."""
+        low = self.lower(parse_affine(a) - parse_affine(b))
+        return low is not None and low >= 0
+
+    def eq(self, a, b) -> bool:
+        """Provably ``a == b`` everywhere in the domain."""
+        return self.ge(a, b) and self.ge(b, a)
+
+    def always_negative(self, expr) -> bool:
+        """Provably ``expr < 0`` everywhere in the domain."""
+        high = self.upper(expr)
+        return high is not None and high < 0
+
+    def sample(self, rng, span: int = 7) -> dict:
+        """A concrete in-domain valuation (for property tests).
+
+        Symbols are assigned in dependency order of their bounds; each
+        gets a value in ``[lo, lo + span]`` clipped to its upper bound.
+        Raises if the bound graph is cyclic or a bound is unresolvable.
+        """
+        valuation: dict = {}
+        pending = dict(self._bounds)
+        progress = True
+        while pending and progress:
+            progress = False
+            for name in sorted(pending):
+                lo, hi = pending[name]
+                needed = set()
+                for bound in (lo, hi):
+                    if bound is not None:
+                        needed.update(bound.symbols())
+                if not needed <= set(valuation):
+                    continue
+                low = lo.evaluate(valuation) if lo is not None else 0
+                high = hi.evaluate(valuation) if hi is not None else low + span
+                if high < low:
+                    raise ValidationError(
+                        f"empty concrete range for symbol {name!r}: [{low}, {high}]"
+                    )
+                valuation[name] = low + int(rng.integers(0, min(span, high - low) + 1))
+                del pending[name]
+                progress = True
+        if pending:
+            raise ValidationError(
+                f"cyclic symbol bounds, cannot sample: {sorted(pending)}"
+            )
+        return valuation

@@ -1,4 +1,4 @@
-"""The RA001–RA015 rule pack.
+"""The RA001–RA020 rule pack.
 
 :data:`ALL_RULES` is the ordered registry the CLI and tests consume;
 :func:`resolve_rules` applies ``--select`` / ``--ignore`` style
@@ -8,7 +8,10 @@ RA001–RA006 are per-module rules; RA007 is a project rule running over
 the resolved import graph (phase two of the engine); RA008–RA011 are
 per-module dataflow rules; RA012 is the engine-implemented
 stale-suppression audit; RA013–RA015 are the device-lifetime pack that
-complements the runtime sanitizer (:mod:`repro.sanitize`).
+complements the runtime sanitizer (:mod:`repro.sanitize`); RA016–RA020
+are the static kernel verifier (:mod:`repro.analysis.kernelver`) —
+symbolic bounds/race/coverage proofs over ``@kernel`` block programs
+plus the proof-certificate/sanitizer cross-check.
 """
 
 from __future__ import annotations
@@ -23,6 +26,13 @@ from repro.analysis.rules.dtype import DtypeDriftRule
 from repro.analysis.rules.errors import ErrorTaxonomyRule
 from repro.analysis.rules.exports import ExportConsistencyRule
 from repro.analysis.rules.hotpath import HotPathPerfRule
+from repro.analysis.rules.kernelver_certified import ProofCertificateRule
+from repro.analysis.rules.kernelver_proofs import (
+    CrossBlockRaceRule,
+    LaunchCoverageRule,
+    StaticBoundsRule,
+)
+from repro.analysis.rules.kernelver_sweep import CanonicalSweepRule
 from repro.analysis.rules.launch import LaunchContractRule
 from repro.analysis.rules.layering import LayeringRule
 from repro.analysis.rules.lifetime import DeviceArrayLifetimeRule
@@ -51,6 +61,11 @@ __all__ = [
     "DeviceArrayLifetimeRule",
     "KernelWriteSetRule",
     "SanitizerSuppressionRule",
+    "StaticBoundsRule",
+    "CrossBlockRaceRule",
+    "CanonicalSweepRule",
+    "LaunchCoverageRule",
+    "ProofCertificateRule",
 ]
 
 #: Every shipped rule, in id order.
@@ -70,6 +85,11 @@ ALL_RULES: tuple[Rule, ...] = (
     DeviceArrayLifetimeRule(),
     KernelWriteSetRule(),
     SanitizerSuppressionRule(),
+    StaticBoundsRule(),
+    CrossBlockRaceRule(),
+    CanonicalSweepRule(),
+    LaunchCoverageRule(),
+    ProofCertificateRule(),
 )
 
 

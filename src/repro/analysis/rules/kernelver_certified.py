@@ -1,0 +1,197 @@
+"""RA020 — proof/sanitizer cross-check of the kernel verifier.
+
+Every ``@kernel`` in the configured kernel modules must end up in one
+of two states:
+
+* **proven** — its contract is statically readable and RA016/RA017/
+  RA019 discharge for every declared launch mode; the kernel earns a
+  byte-stable entry in the proof certificate; or
+* **sanitized** — it is unprovable (unmodelable constructs, or
+  obligations the proofs cannot discharge) and its contract names a
+  ``sanitize_workload`` that the runtime device sanitizer actually
+  runs, shifting the obligation to dynamic checking.
+
+RA020 reports everything that falls between: kernels with no
+statically-readable contract, sanitize workloads that name no known
+workload, unprovable kernels with no sanitize fallback, and — when a
+committed certificate is configured — drift between the committed
+certificate and what verification of the current sources produces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig, match_path
+from repro.analysis.core import Finding, Rule, SourceModule
+from repro.analysis.kernelver.certificate import (
+    CERTIFICATE_SCHEMA,
+    certificate_entries,
+)
+from repro.analysis.kernelver.verify import module_reports
+
+__all__ = ["ProofCertificateRule"]
+
+
+def _known_workloads() -> tuple:
+    # Lazy: the analysis layer must not import the obs stack at module
+    # import time (layering), only when RA020 actually validates a name.
+    try:
+        from repro.obs.sanitize_run import SANITIZE_WORKLOAD_NAMES
+    except Exception:  # pragma: no cover - obs stack unavailable
+        return ()
+    return tuple(SANITIZE_WORKLOAD_NAMES)
+
+
+def _load_committed(path: Path) -> dict | None:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != CERTIFICATE_SCHEMA:
+        return None
+    return data
+
+
+class ProofCertificateRule(Rule):
+    """RA020: proven kernels carry certificates; unprovable ones, sanitizers."""
+
+    id = "RA020"
+    name = "kernel-proof-certificate"
+    description = (
+        "every @kernel must be statically proven (certificate entry) or "
+        "covered by a named runtime sanitize workload; committed "
+        "certificates must match the sources"
+    )
+    explain = (
+        "The static verifier and the runtime device sanitizer are two "
+        "halves of one obligation: a kernel is either *proven* — its "
+        "decorator carries a statically-readable KernelContract and "
+        "RA016/RA017/RA019 discharge for every declared launch mode, "
+        "yielding a byte-stable entry in the proof certificate "
+        "(kernelver-cert.json) — or *sanitized* — its contract names a "
+        "sanitize_workload from repro.obs.sanitize_run that exercises it "
+        "under the runtime sanitizer.  RA020 reports kernels with no "
+        "readable contract, sanitize_workload values naming no known "
+        "workload, unprovable kernels with no sanitize fallback, and "
+        "drift between the committed certificate (the `certificate` "
+        "config key) and what the current sources verify to — so a "
+        "kernel edit that silently weakens a proof fails the gate."
+    )
+
+    def check(
+        self, module: SourceModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        if not match_path(module.rel_path, config.kernel_modules):
+            return
+        reports = module_reports(module)
+        known = None
+        for report in reports:
+            anchor = report.line
+            if report.contract is None:
+                detail = (
+                    f" ({report.contract_error})" if report.contract_error else ""
+                )
+                yield Finding(
+                    path=module.rel_path,
+                    line=anchor,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"kernel {report.kernel_name!r} has no statically-"
+                        f"readable KernelContract on its decorator{detail}; "
+                        "the verifier cannot prove it and the sanitizer "
+                        "cannot be pointed at it"
+                    ),
+                )
+                continue
+            workload = report.contract.sanitize_workload
+            if workload is not None:
+                if known is None:
+                    known = _known_workloads()
+                if known and workload not in known:
+                    yield Finding(
+                        path=module.rel_path,
+                        line=anchor,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"kernel {report.kernel_name!r} names unknown "
+                            f"sanitize workload {workload!r}; known: "
+                            f"{', '.join(known)}"
+                        ),
+                    )
+            if report.status == "failed" and workload is None:
+                reasons = [f"line {line}: {msg}" for line, msg in report.problems]
+                why = (
+                    f" (unmodelable: {'; '.join(reasons)})" if reasons else ""
+                )
+                yield Finding(
+                    path=module.rel_path,
+                    line=anchor,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"kernel {report.kernel_name!r} is not statically "
+                        f"proven{why} and declares no sanitize_workload; "
+                        "prove it or cover it dynamically"
+                    ),
+                )
+        if config.certificate:
+            yield from self._check_drift(module, config)
+
+    def _check_drift(
+        self, module: SourceModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        path = Path(config.certificate)
+        committed = _load_committed(path)
+        if committed is None:
+            yield Finding(
+                path=module.rel_path,
+                line=1,
+                col=0,
+                rule=self.id,
+                message=(
+                    f"configured certificate {config.certificate!r} is "
+                    "missing or not a repro.kernelver/1 document; "
+                    "regenerate it with --certificate-out"
+                ),
+            )
+            return
+        current = certificate_entries(module)
+        by_key = {
+            (entry.get("module"), entry.get("function")): entry
+            for entry in committed.get("kernels", ())
+            if isinstance(entry, dict)
+        }
+        for entry in current:
+            key = (entry["module"], entry["function"])
+            recorded = by_key.get(key)
+            if recorded is None:
+                yield Finding(
+                    path=module.rel_path,
+                    line=entry["line"],
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"kernel {entry['kernel']!r} has no entry in the "
+                        f"committed certificate {config.certificate!r}; "
+                        "regenerate it with --certificate-out"
+                    ),
+                )
+                continue
+            if recorded != entry:
+                yield Finding(
+                    path=module.rel_path,
+                    line=entry["line"],
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"kernel {entry['kernel']!r} drifted from the "
+                        f"committed certificate {config.certificate!r} "
+                        "(access sets or status changed); re-verify and "
+                        "regenerate with --certificate-out"
+                    ),
+                )

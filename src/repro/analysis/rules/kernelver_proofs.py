@@ -1,0 +1,136 @@
+"""RA016/RA017/RA019 — symbolic proof rules over ``@kernel`` programs.
+
+All three rules consume one shared verification per module
+(:func:`repro.analysis.kernelver.verify.module_reports`): the kernel's
+contract is read from its decorator, each declared launch mode is
+abstractly interpreted, and the recorded symbolic access sets are
+discharged as proof obligations.  Nothing is executed.
+
+Finding policy: *certain* issues (proven violations) are always
+reported.  *Uncertain* issues (the proof merely failed to discharge)
+are reported unless the contract names a ``sanitize_workload`` — then
+RA020 owns the obligation of dynamic coverage instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig, match_path
+from repro.analysis.core import Finding, Rule, SourceModule
+from repro.analysis.kernelver.verify import module_reports
+
+__all__ = ["CrossBlockRaceRule", "LaunchCoverageRule", "StaticBoundsRule"]
+
+
+def _proof_findings(
+    module: SourceModule, config: AnalysisConfig, rule_id: str
+) -> Iterator[Finding]:
+    if not match_path(module.rel_path, config.kernel_modules):
+        return
+    for report in module_reports(module):
+        if report.contract is None:
+            continue  # RA020 reports missing/unreadable contracts
+        sanitized = bool(report.contract.sanitize_workload)
+        for mode_name, issue in report.issues(rule_id):
+            if not issue.certain and sanitized:
+                continue
+            yield Finding(
+                path=module.rel_path,
+                line=issue.line or report.line,
+                col=0,
+                rule=rule_id,
+                message=(
+                    f"kernel {report.kernel_name!r} [mode {mode_name}]: "
+                    f"{issue.message}"
+                ),
+            )
+
+
+class StaticBoundsRule(Rule):
+    """RA016: every kernel load/store is proven inside its declared extent."""
+
+    id = "RA016"
+    name = "kernel-static-bounds"
+    description = (
+        "every device load/store of a @kernel block program must be "
+        "provably inside the contract's declared extent over the whole "
+        "launch domain"
+    )
+    explain = (
+        "Block programs index device buffers with expressions over the "
+        "launch geometry (block_id, grid), contract symbols (D, N, nnz), "
+        "partition cells, and CSR row pointers.  RA016 abstractly "
+        "interprets each kernel per declared launch mode, computes the "
+        "affine hull of every access, and proves 0 <= hull <= extent-1 "
+        "for all in-domain parameter values — a static out-of-bounds "
+        "proof that needs no execution and covers every launch at once.  "
+        "A 'certain' finding means the access provably escapes for every "
+        "launch; an uncertain finding means the proof did not discharge "
+        "(declare a sanitize_workload to shift the obligation to the "
+        "runtime sanitizer, or tighten the contract bounds)."
+    )
+
+    def check(
+        self, module: SourceModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        yield from _proof_findings(module, config, self.id)
+
+
+class CrossBlockRaceRule(Rule):
+    """RA017: cross-block write/write and write/read sets are disjoint."""
+
+    id = "RA017"
+    name = "kernel-cross-block-race"
+    description = (
+        "write/write and write/read access pairs of a @kernel block "
+        "program must be provably disjoint across blocks"
+    )
+    explain = (
+        "Blocks of one launch run logically concurrently, so two blocks "
+        "touching one element — one of them writing — is a data race.  "
+        "RA017 instantiates every recorded access for two distinct "
+        "symbolic blocks and proves per-dimension disjointness: partition "
+        "cells of one family (ctx.thread_range, plan.vectors_of) are "
+        "disjoint by construction; block-affine points b*c + k with "
+        "c != 0 never collide; block-pinned accesses (guarded by "
+        "`if ctx.linear_block_id != 0: return`) execute on one block "
+        "only.  A write is also checked against itself: an unpinned "
+        "write to a block-independent region is every block racing every "
+        "other on the same statement — reported as a certain violation."
+    )
+
+    def check(
+        self, module: SourceModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        yield from _proof_findings(module, config, self.id)
+
+
+class LaunchCoverageRule(Rule):
+    """RA019: declared coverage axes are written exactly once per launch."""
+
+    id = "RA019"
+    name = "kernel-launch-coverage"
+    description = (
+        "outputs with a declared coverage axis must be written through "
+        "exactly one covering scheme: no gaps, no cross-block double "
+        "assignment"
+    )
+    explain = (
+        "An output ArraySpec may declare coverage=<axis>: the launch must "
+        "assign every index of that axis, and no index may be assigned by "
+        "two different blocks (same-block rewrites are fine).  RA019 "
+        "accepts three exactly-once schemes — a partition cell whose "
+        "total equals the extent (cells tile [0, total) exactly), a bare "
+        "[block_id] index on a grid-sized axis, and a full write pinned "
+        "to a single block — and requires all covering writes of one "
+        "output to share a single scheme, because mixing two partitions "
+        "of the same axis lets different blocks claim the same element.  "
+        "Uncovered outputs (wrong thread_range total, missing writes) "
+        "are reported; so are mixed schemes."
+    )
+
+    def check(
+        self, module: SourceModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        yield from _proof_findings(module, config, self.id)

@@ -336,7 +336,11 @@ def _serve_sim_gateway(args) -> int:
 
 
 def _cmd_sanitize(args) -> int:
-    from repro.obs.sanitize_run import SANITIZE_WORKLOAD_NAMES, sanitized_run
+    from repro.obs.sanitize_run import (
+        SANITIZE_WORKLOAD_NAMES,
+        cross_check_certificate,
+        sanitized_run,
+    )
     from repro.sanitize import load_sanitizer_report, write_sanitizer_report
 
     names = (
@@ -368,6 +372,27 @@ def _cmd_sanitize(args) -> int:
             )
             return 1
         print(f"matches baseline {args.check_baseline}", file=sys.stderr)
+    if args.certificate:
+        import json
+
+        try:
+            with open(args.certificate, "r", encoding="ascii") as handle:
+                certificate = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"cannot read proof certificate {args.certificate!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        problems = cross_check_certificate(report, certificate)
+        for problem in problems:
+            print(f"certificate cross-check: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"certificate {args.certificate}: dynamic obligations discharged",
+            file=sys.stderr,
+        )
     return 0 if report.clean else 1
 
 
@@ -515,6 +540,13 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="fail (exit 1) unless the report fingerprint matches this "
         "committed report",
+    )
+    sanitize.add_argument(
+        "--certificate",
+        default=None,
+        metavar="FILE",
+        help="cross-check the static verifier's proof certificate: every "
+        "kernel deferring to a sanitize workload must have run clean here",
     )
     sanitize.set_defaults(func=_cmd_sanitize)
 

@@ -21,6 +21,7 @@ timeline of kernel and transfer events.
 from repro.gpu.spec import GpuSpec, TESLA_C2050, TESLA_C1060, GTX_580, tiny_test_device
 from repro.gpu.thread import Dim3, as_dim3
 from repro.gpu.memory import DeviceArray, MemoryPool
+from repro.gpu.contracts import ArraySpec, KernelContract, LaunchMode, MatrixSpec
 from repro.gpu.kernel import BlockContext, KernelStats, kernel
 from repro.gpu.occupancy import OccupancyResult, compute_occupancy
 from repro.gpu.costmodel import CostBreakdown, kernel_cost, transfer_cost
@@ -37,6 +38,10 @@ __all__ = [
     "as_dim3",
     "DeviceArray",
     "MemoryPool",
+    "ArraySpec",
+    "KernelContract",
+    "LaunchMode",
+    "MatrixSpec",
     "BlockContext",
     "KernelStats",
     "kernel",

@@ -1,0 +1,237 @@
+"""Machine-readable launch contracts for ``@kernel`` block programs.
+
+A :class:`KernelContract` declares, next to the kernel definition, the
+symbolic launch domain the program is written for: the integer symbols
+it is parameterized by (with inclusive bounds), the extent of every
+device-array parameter as affine expressions over those symbols, the
+storage geometry of :class:`~repro.gpukpm.kernels.DeviceMatrix`
+parameters, which parameters are block partitions (``plan.vectors_of``),
+and the named launch *modes* that resolve optional-argument branches
+(``resume_state is None``).
+
+The contract is pure data: attaching it has no runtime cost and the
+simulator never consults it.  Its consumer is the static kernel
+verifier (:mod:`repro.analysis.kernelver`), which reads the contract
+*from the source AST* — kernels are proven safe without being executed
+— and derives the per-launch symbolic read/write sets behind rules
+RA016–RA020.
+
+Affine bounds and extents are written as strings over the declared
+symbols plus the implicit launch symbols (``grid``, ``block_id``,
+``block_size``), e.g. ``"num_moments - start_moment"``; plain integers
+are accepted wherever an expression is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ValidationError
+
+__all__ = ["ArraySpec", "KernelContract", "LaunchMode", "MatrixSpec"]
+
+#: Roles a device-array parameter can declare.
+ARRAY_ROLES = ("in", "out", "inout", "scratch")
+
+#: Symbols every contract has implicitly (the launch geometry).
+IMPLICIT_SYMBOLS = ("grid", "block_id", "block_size")
+
+
+def _check_expr(value, what: str):
+    """Extents/bounds are ints or affine-expression strings (or None)."""
+    if value is None or isinstance(value, int):
+        return value
+    if isinstance(value, str) and value.strip():
+        return value
+    raise ValidationError(
+        f"{what} must be an int or a non-empty affine expression string, "
+        f"got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Declared geometry of one device-array parameter.
+
+    Attributes
+    ----------
+    extent:
+        Per-dimension sizes, each an int or affine expression string.
+    role:
+        ``"in"`` / ``"out"`` / ``"inout"`` / ``"scratch"`` — scratch is
+        block-private working memory (still race-checked).
+    values:
+        For integer index buffers: the inclusive ``(lo, hi)`` interval
+        every stored value lies in (what a gather through this buffer
+        may touch).
+    coverage:
+        Dimension index whose cells the launch must cover exactly once
+        (rule RA019): no gaps, no cross-block double assignment.
+    """
+
+    extent: tuple
+    role: str = "in"
+    values: tuple | None = None
+    coverage: int | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.extent, tuple) or not self.extent:
+            raise ValidationError(
+                f"ArraySpec extent must be a non-empty tuple, got {self.extent!r}"
+            )
+        for dim in self.extent:
+            _check_expr(dim, "ArraySpec extent dimension")
+        if self.role not in ARRAY_ROLES:
+            raise ValidationError(
+                f"ArraySpec role must be one of {ARRAY_ROLES}, got {self.role!r}"
+            )
+        if self.values is not None:
+            if not isinstance(self.values, tuple) or len(self.values) != 2:
+                raise ValidationError(
+                    f"ArraySpec values must be a (lo, hi) pair, got {self.values!r}"
+                )
+            for bound in self.values:
+                _check_expr(bound, "ArraySpec values bound")
+        if self.coverage is not None:
+            if not isinstance(self.coverage, int) or not (
+                0 <= self.coverage < len(self.extent)
+            ):
+                raise ValidationError(
+                    f"ArraySpec coverage must index a declared dimension, "
+                    f"got {self.coverage!r} for extent {self.extent!r}"
+                )
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Declared geometry of a :class:`DeviceMatrix` parameter.
+
+    The verifier expands this into the storage buffers the kernel may
+    unpack: ``dense`` is ``(rows, cols)``; the CSR triple is
+    ``data (nnz,)``, ``indices (nnz,)`` with values in ``[0, cols)``,
+    and ``indptr (rows + 1,)`` — a monotone pointer into ``[0, nnz]``;
+    the ELL pair is ``(rows, ell_width)`` with the same value bound on
+    its indices.
+    """
+
+    rows: object
+    cols: object
+    nnz: object = None
+    ell_width: object = None
+
+    def __post_init__(self):
+        _check_expr(self.rows, "MatrixSpec rows")
+        _check_expr(self.cols, "MatrixSpec cols")
+        _check_expr(self.nnz, "MatrixSpec nnz")
+        _check_expr(self.ell_width, "MatrixSpec ell_width")
+        if self.rows is None or self.cols is None:
+            raise ValidationError("MatrixSpec needs rows and cols")
+
+
+@dataclass(frozen=True)
+class LaunchMode:
+    """One named way the kernel is launched.
+
+    ``bounds`` overrides/extends symbol bounds for this mode;
+    ``absent`` names optional array parameters that are ``None`` — the
+    verifier resolves ``x is None`` branches from it, so each mode is a
+    *closed* program with no unmodeled control flow.
+    """
+
+    name: str
+    bounds: Mapping = field(default_factory=dict)
+    absent: tuple = ()
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise ValidationError("LaunchMode needs a non-empty name")
+        for sym, pair in dict(self.bounds).items():
+            if not isinstance(sym, str):
+                raise ValidationError(f"LaunchMode bound symbol {sym!r} not a string")
+            if not isinstance(pair, tuple) or len(pair) != 2:
+                raise ValidationError(
+                    f"LaunchMode bound for {sym!r} must be a (lo, hi) pair"
+                )
+            for bound in pair:
+                _check_expr(bound, f"LaunchMode bound for {sym}")
+        if not isinstance(self.absent, tuple) or not all(
+            isinstance(name, str) for name in self.absent
+        ):
+            raise ValidationError("LaunchMode absent must be a tuple of parameter names")
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """The complete launch-domain declaration of one block program.
+
+    Attributes
+    ----------
+    symbols:
+        Integer symbols with inclusive ``(lo, hi)`` bounds (``None`` =
+        unbounded on that side).  Symbols sharing a name with a scalar
+        kernel parameter bind that parameter.
+    arrays:
+        Device-array parameters by name.
+    matrices:
+        :class:`DeviceMatrix` parameters by name.
+    partitions:
+        Parameters exposing ``vectors_of(block_id)`` (a
+        :class:`~repro.gpukpm.stats.GridPlan`), mapped to the total item
+        count they partition — block-disjoint and union-exact over
+        ``[0, total)`` by construction.
+    modes:
+        Launch modes to verify; defaults to one unconstrained mode.
+    sanitize_workload:
+        Name of the :mod:`repro.obs.sanitize_run` workload that
+        dynamically exercises this kernel — required by RA020 when the
+        verifier cannot fully prove it, cross-checked against the
+        sanitizer report either way.
+    """
+
+    symbols: Mapping = field(default_factory=dict)
+    arrays: Mapping = field(default_factory=dict)
+    matrices: Mapping = field(default_factory=dict)
+    partitions: Mapping = field(default_factory=dict)
+    modes: tuple = (LaunchMode("default"),)
+    sanitize_workload: str | None = None
+
+    def __post_init__(self):
+        for sym, pair in dict(self.symbols).items():
+            if not isinstance(sym, str) or not sym.isidentifier():
+                raise ValidationError(f"contract symbol {sym!r} not an identifier")
+            if sym in IMPLICIT_SYMBOLS:
+                raise ValidationError(
+                    f"contract symbol {sym!r} is implicit; do not redeclare it"
+                )
+            if not isinstance(pair, tuple) or len(pair) != 2:
+                raise ValidationError(
+                    f"contract symbol {sym!r} needs a (lo, hi) bounds pair"
+                )
+            for bound in pair:
+                _check_expr(bound, f"bound of symbol {sym}")
+        for name, spec in dict(self.arrays).items():
+            if not isinstance(spec, ArraySpec):
+                raise ValidationError(f"arrays[{name!r}] must be an ArraySpec")
+        for name, spec in dict(self.matrices).items():
+            if not isinstance(spec, MatrixSpec):
+                raise ValidationError(f"matrices[{name!r}] must be a MatrixSpec")
+        for name, total in dict(self.partitions).items():
+            _check_expr(total, f"partition total of {name}")
+        if not isinstance(self.modes, tuple) or not self.modes:
+            raise ValidationError("contract needs at least one LaunchMode")
+        names = [mode.name for mode in self.modes]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate LaunchMode names: {names}")
+        for mode in self.modes:
+            if not isinstance(mode, LaunchMode):
+                raise ValidationError("modes must be LaunchMode instances")
+            for name in mode.absent:
+                if name not in dict(self.arrays):
+                    raise ValidationError(
+                        f"mode {mode.name!r} marks unknown array {name!r} absent"
+                    )
+        if self.sanitize_workload is not None and (
+            not isinstance(self.sanitize_workload, str) or not self.sanitize_workload
+        ):
+            raise ValidationError("sanitize_workload must be a non-empty string")

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import DeviceError, LaunchError, ValidationError
+from repro.gpu.contracts import KernelContract
 from repro.gpu.thread import Dim3
 from repro.util.validation import check_power_of_two
 
@@ -197,7 +198,7 @@ class BlockContext:
         )
 
 
-def kernel(name: str, *, pow2_block: bool = False):
+def kernel(name: str, *, pow2_block: bool = False, contract=None):
     """Decorator marking a function as a device kernel (block program).
 
     The wrapped function gains a ``kernel_name`` attribute and a
@@ -209,9 +210,20 @@ def kernel(name: str, *, pow2_block: bool = False):
     assumption is then enforced per launch through
     :func:`repro.util.validation.check_power_of_two` — the canonical
     blessed check of the launch contract (rule RA004).
+
+    ``contract`` optionally attaches a
+    :class:`~repro.gpu.contracts.KernelContract` — the machine-readable
+    launch-domain/extent declaration the static kernel verifier
+    (:mod:`repro.analysis.kernelver`, rules RA016–RA020) proves the
+    program against.  It is pure metadata at runtime.
     """
     if not isinstance(name, str) or not name:
         raise ValidationError(f"kernel name must be a non-empty string, got {name!r}")
+    if contract is not None and not isinstance(contract, KernelContract):
+        raise ValidationError(
+            f"kernel {name!r} contract must be a KernelContract, "
+            f"got {type(contract).__name__}"
+        )
 
     def decorate(func):
         @functools.wraps(func)
@@ -230,6 +242,7 @@ def kernel(name: str, *, pow2_block: bool = False):
         wrapper.kernel_name = name
         wrapper.is_kernel = True
         wrapper.pow2_block = pow2_block
+        wrapper.contract = contract
         return wrapper
 
     return decorate

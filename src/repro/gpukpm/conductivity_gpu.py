@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.gpu.contracts import ArraySpec, KernelContract, MatrixSpec
 from repro.gpu.costmodel import kernel_cost, transfer_cost
 from repro.gpu.device import Device
 from repro.gpu.kernel import KernelStats, kernel
@@ -167,7 +168,40 @@ def plan_conductivity_memory(
 # ----------------------------------------------------------------------
 # Kernels
 # ----------------------------------------------------------------------
-@kernel("kpm_conductivity", pow2_block=True)
+# Launch-domain contract (rules RA016–RA020): blocks own disjoint
+# vector cells of `plan`, a (2, N, D) stack pair and an (N, N) partial
+# per block; both operators are dense or CSR (the runner never uploads
+# ELL here, so no ell_width is declared and the verifier only tracks
+# the dense/CSR storage behind matvec).
+_KPM_CONDUCTIVITY_CONTRACT = KernelContract(
+    symbols={
+        "D": (1, None),
+        "num_vectors": (1, None),
+        "num_moments": (1, None),
+        "nnz": (0, None),
+        "a_nnz": (0, None),
+    },
+    arrays={
+        "stacks": ArraySpec(
+            extent=("grid", 2, "num_moments", "D"), role="scratch"
+        ),
+        "partials": ArraySpec(
+            extent=("grid", "num_moments", "num_moments"),
+            role="out",
+            coverage=0,
+        ),
+    },
+    matrices={
+        "matrix": MatrixSpec("D", "D", nnz="nnz"),
+        "current": MatrixSpec("D", "D", nnz="a_nnz"),
+    },
+    partitions={"plan": "num_vectors"},
+)
+
+
+@kernel(
+    "kpm_conductivity", pow2_block=True, contract=_KPM_CONDUCTIVITY_CONTRACT
+)
 def _kpm_conductivity_kernel(
     ctx,
     matrix: DeviceMatrix,
@@ -231,7 +265,24 @@ def _kpm_conductivity_kernel(
     )
 
 
-@kernel("reduce_conductivity", pow2_block=True)
+# The reduction is pinned to block 0 by its guard, so the full write of
+# `result` is a single-block exactly-once cover (RA019 "pinned_full").
+_REDUCE_CONDUCTIVITY_CONTRACT = KernelContract(
+    symbols={"num_moments": (1, None), "num_blocks": (1, None)},
+    arrays={
+        "partials": ArraySpec(
+            extent=("num_blocks", "num_moments", "num_moments"), role="in"
+        ),
+        "result": ArraySpec(
+            extent=("num_moments", "num_moments"), role="out", coverage=0
+        ),
+    },
+)
+
+
+@kernel(
+    "reduce_conductivity", pow2_block=True, contract=_REDUCE_CONDUCTIVITY_CONTRACT
+)
 def _reduce_conductivity_kernel(ctx, partials, result, vectors_per_block_weighting, reduce_stats):
     """Average the per-block partial sums into the final ``(N, N)`` table."""
     if ctx.linear_block_id != 0:

@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DeviceError
+from repro.gpu.contracts import ArraySpec, KernelContract, LaunchMode, MatrixSpec
 from repro.gpu.kernel import kernel
 from repro.kpm.random_vectors import random_vector
 from repro.sparse.sweep import (
@@ -139,7 +140,67 @@ class DeviceMatrix:
                 buffer.free()
 
 
-@kernel("kpm_recursion", pow2_block=True)
+# Launch-domain contract of the recursion kernel (rules RA016–RA020).
+# The four modes close the `resume_state is None` / `state_out is None`
+# branches; cold modes pin start_moment = 0 because the host launches
+# them that way (mu~ column `order` only fits `num_moments -
+# start_moment` columns at start_moment 0).
+_KPM_RECURSION_CONTRACT = KernelContract(
+    symbols={
+        "D": (1, None),
+        "num_vectors": (1, None),
+        "num_moments": (1, None),
+        "start_moment": (0, "num_moments - 1"),
+        "nnz": (0, None),
+        "ell_width": (0, None),
+    },
+    arrays={
+        "workspace": ArraySpec(extent=("grid", 4, "D"), role="scratch"),
+        "mu_tilde": ArraySpec(
+            extent=("num_vectors", "num_moments - start_moment"),
+            role="out",
+            coverage=0,
+        ),
+        "resume_state": ArraySpec(extent=("num_vectors", 2, "D"), role="in"),
+        "state_out": ArraySpec(
+            extent=("num_vectors", 2, "D"), role="out", coverage=0
+        ),
+    },
+    matrices={
+        "matrix": MatrixSpec("D", "D", nnz="nnz", ell_width="ell_width")
+    },
+    partitions={"plan": "num_vectors"},
+    modes=(
+        LaunchMode(
+            "cold",
+            bounds={"start_moment": (0, 0)},
+            absent=("resume_state", "state_out"),
+        ),
+        LaunchMode(
+            "cold-capture",
+            bounds={"start_moment": (0, 0), "num_moments": (2, None)},
+            absent=("resume_state",),
+        ),
+        LaunchMode(
+            "resume",
+            bounds={
+                "start_moment": (2, "num_moments - 1"),
+                "num_moments": (3, None),
+            },
+            absent=("state_out",),
+        ),
+        LaunchMode(
+            "resume-capture",
+            bounds={
+                "start_moment": (2, "num_moments - 1"),
+                "num_moments": (3, None),
+            },
+        ),
+    ),
+)
+
+
+@kernel("kpm_recursion", pow2_block=True, contract=_KPM_RECURSION_CONTRACT)
 def kpm_recursion_kernel(  # repro: noqa[RA005] -- block program; host pipeline validates the launch
     ctx,
     matrix: DeviceMatrix,
@@ -231,7 +292,16 @@ def kpm_recursion_kernel(  # repro: noqa[RA005] -- block program; host pipeline 
     )
 
 
-@kernel("reduce_moments", pow2_block=True)
+_REDUCE_MOMENTS_CONTRACT = KernelContract(
+    symbols={"num_orders": (1, None), "num_vectors": (1, None)},
+    arrays={
+        "mu_tilde": ArraySpec(extent=("num_vectors", "num_orders"), role="in"),
+        "mu_out": ArraySpec(extent=("num_orders",), role="out", coverage=0),
+    },
+)
+
+
+@kernel("reduce_moments", pow2_block=True, contract=_REDUCE_MOMENTS_CONTRACT)
 def reduce_moments_kernel(  # repro: noqa[RA005] -- block program; host pipeline validates the launch
     ctx, mu_tilde, mu_out, footprint_bytes, precision="double"
 ):
@@ -267,7 +337,34 @@ def _charge_spmv_rows(ctx, spmv, n_rows: int, rows: int, footprint_bytes) -> Non
     )
 
 
-@kernel("spmv_csr_scalar", pow2_block=True)
+# Shared launch contract of the CSR SpMV flavors: rows tiled across
+# blocks by ctx.thread_range, gathers bounded by the CSR value ranges.
+_SPMV_CSR_CONTRACT = KernelContract(
+    symbols={"n_rows": (1, None), "n_cols": (1, None), "nnz": (0, None)},
+    arrays={
+        "x": ArraySpec(extent=("n_cols",), role="in"),
+        "y": ArraySpec(extent=("n_rows",), role="out", coverage=0),
+    },
+    matrices={"matrix": MatrixSpec("n_rows", "n_cols", nnz="nnz")},
+)
+
+_SPMV_ELL_CONTRACT = KernelContract(
+    symbols={
+        "n_rows": (1, None),
+        "n_cols": (1, None),
+        "ell_width": (0, None),
+    },
+    arrays={
+        "x": ArraySpec(extent=("n_cols",), role="in"),
+        "y": ArraySpec(extent=("n_rows",), role="out", coverage=0),
+    },
+    matrices={
+        "matrix": MatrixSpec("n_rows", "n_cols", ell_width="ell_width")
+    },
+)
+
+
+@kernel("spmv_csr_scalar", pow2_block=True, contract=_SPMV_CSR_CONTRACT)
 def spmv_csr_scalar_kernel(  # repro: noqa[RA005] -- block program; tune.probe validates the launch
     ctx, matrix: DeviceMatrix, x, y, spmv, footprint_bytes
 ):
@@ -293,7 +390,7 @@ def spmv_csr_scalar_kernel(  # repro: noqa[RA005] -- block program; tune.probe v
     _charge_spmv_rows(ctx, spmv, n_rows, rows.size, footprint_bytes)
 
 
-@kernel("spmv_csr_vector", pow2_block=True)
+@kernel("spmv_csr_vector", pow2_block=True, contract=_SPMV_CSR_CONTRACT)
 def spmv_csr_vector_kernel(  # repro: noqa[RA005] -- block program; tune.probe validates the launch
     ctx, matrix: DeviceMatrix, x, y, spmv, footprint_bytes
 ):
@@ -322,7 +419,7 @@ def spmv_csr_vector_kernel(  # repro: noqa[RA005] -- block program; tune.probe v
     _charge_spmv_rows(ctx, spmv, n_rows, rows.size, footprint_bytes)
 
 
-@kernel("spmv_ell", pow2_block=True)
+@kernel("spmv_ell", pow2_block=True, contract=_SPMV_ELL_CONTRACT)
 def spmv_ell_kernel(  # repro: noqa[RA005] -- block program; tune.probe validates the launch
     ctx, matrix: DeviceMatrix, x, y, spmv, footprint_bytes
 ):

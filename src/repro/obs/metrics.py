@@ -152,6 +152,12 @@ class MetricsRegistry:
         for stat, value in sorted(report.stats.items()):
             if stat in ("findings", "suppressed"):
                 continue  # already counted above
+            if isinstance(value, dict):
+                # Per-kernel breakdowns (``kernel_launches``) fan out
+                # into one gauge per kernel name.
+                for key, count in sorted(value.items()):
+                    self.set_gauge(f"{prefix}.{stat}.{key}", count)
+                continue
             self.set_gauge(f"{prefix}.{stat}", value)
 
     # ------------------------------------------------------------------

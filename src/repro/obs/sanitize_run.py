@@ -23,7 +23,12 @@ from repro.kpm.dos import compute_dos
 from repro.lattice import paper_cubic_hamiltonian
 from repro.sanitize import DeviceSanitizer, SanitizerReport
 
-__all__ = ["sanitized_run", "SANITIZE_WORKLOAD", "SANITIZE_WORKLOAD_NAMES"]
+__all__ = [
+    "cross_check_certificate",
+    "sanitized_run",
+    "SANITIZE_WORKLOAD",
+    "SANITIZE_WORKLOAD_NAMES",
+]
 
 #: Deterministic parameters of the sanitized workloads (embedded in the
 #: report, so a fingerprint pins the exact configuration).
@@ -192,3 +197,67 @@ def sanitized_run(
     workload = dict(SANITIZE_WORKLOAD)
     workload["workloads"] = selected
     return sanitizer.report(label=label, workload=workload)
+
+
+def cross_check_certificate(report: SanitizerReport, certificate: dict) -> list[str]:
+    """RA020's dynamic half: did the sanitized run back the proof deferrals?
+
+    The static kernel verifier's certificate
+    (:mod:`repro.analysis.kernelver`) records, per kernel, whether its
+    safety obligations were *proven* or deferred to dynamic checking
+    (status ``"sanitize"`` plus a named workload).  This cross-check
+    closes the loop on the deferred half: every deferring kernel's
+    workload must have actually run (``workload["workloads"]``), the
+    kernel must appear in the report's per-kernel launch counters, and
+    the run must be clean.  Returns a list of problem strings — empty
+    means the certificate's dynamic obligations are discharged.
+    """
+    if not isinstance(report, SanitizerReport):
+        raise ValidationError(
+            f"report must be a SanitizerReport, got {type(report).__name__}"
+        )
+    problems: list[str] = []
+    schema = certificate.get("schema") if isinstance(certificate, dict) else None
+    if schema != "repro.kernelver/1":
+        return [
+            f"unsupported proof-certificate schema {schema!r} "
+            "(expected 'repro.kernelver/1')"
+        ]
+    ran = set(report.workload.get("workloads", ()))
+    launched = report.stats.get("kernel_launches", {})
+    for entry in certificate.get("kernels", ()):
+        name = entry.get("kernel", "?")
+        if entry.get("status") == "failed":
+            problems.append(
+                f"kernel {name!r} is recorded as 'failed' in the certificate; "
+                "a failed proof cannot be discharged dynamically"
+            )
+            continue
+        if entry.get("status") != "sanitize":
+            continue
+        workload = entry.get("sanitize_workload")
+        if workload not in SANITIZE_WORKLOAD_NAMES:
+            problems.append(
+                f"kernel {name!r} defers to unknown sanitize workload "
+                f"{workload!r}; known: {', '.join(SANITIZE_WORKLOAD_NAMES)}"
+            )
+            continue
+        if workload not in ran:
+            problems.append(
+                f"kernel {name!r} defers to sanitize workload {workload!r}, "
+                "which this run did not execute"
+            )
+            continue
+        if not launched.get(name):
+            problems.append(
+                f"kernel {name!r} defers to sanitize workload {workload!r} "
+                "but was never launched by the sanitized run"
+            )
+    if not report.clean and any(
+        entry.get("status") == "sanitize" for entry in certificate.get("kernels", ())
+    ):
+        problems.append(
+            f"sanitized run reported {len(report.findings)} finding(s); "
+            "dynamic obligations require a clean run"
+        )
+    return problems

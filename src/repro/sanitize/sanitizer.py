@@ -148,6 +148,7 @@ class DeviceSanitizer(NullSanitizer):
         self.blocks_checked = 0
         self.bytes_shadowed = 0
         self.accesses_checked = 0
+        self.kernel_launches: dict[str, int] = {}
 
     # -- shadow registry ------------------------------------------------
     def _shadow_for(self, array, *, initialized: bool) -> _Shadow:
@@ -197,6 +198,9 @@ class DeviceSanitizer(NullSanitizer):
         self._launch = _LaunchLog(kernel_name, self._launch_count)
         self._launch_count += 1
         self.launches_checked += 1
+        self.kernel_launches[kernel_name] = (
+            self.kernel_launches.get(kernel_name, 0) + 1
+        )
 
     def begin_block(self, linear_block_id: int) -> None:
         if self._launch is not None:
@@ -326,14 +330,21 @@ class DeviceSanitizer(NullSanitizer):
             self.findings.append(finding)
 
     # -- reporting ---------------------------------------------------------
-    def stats(self) -> dict[str, int]:
-        """Integer instrumentation counters (deterministic)."""
+    def stats(self) -> dict:
+        """Deterministic instrumentation counters.
+
+        ``kernel_launches`` breaks ``launches_checked`` down per kernel
+        name — the evidence the proof-certificate cross-check
+        (``repro sanitize --certificate``) uses to confirm that every
+        kernel deferring to dynamic checking was actually exercised.
+        """
         return {
             "launches_checked": self.launches_checked,
             "blocks_checked": self.blocks_checked,
             "arrays_tracked": len(self._shadows),
             "bytes_shadowed": self.bytes_shadowed,
             "accesses_checked": self.accesses_checked,
+            "kernel_launches": dict(sorted(self.kernel_launches.items())),
             "findings": len(self.findings),
             "suppressed": len(self.suppressed),
         }

@@ -1,0 +1,21 @@
+"""RA016 fixtures: a device store proven past its declared extent.
+
+The shifted cell write escapes for *every* launch (certain), so it is
+reported even though the contract names a sanitize workload; the
+symbol-indexed read merely *may* escape (uncertain) and the workload
+suppresses it — RA020 owns that obligation.
+"""
+
+_OOB_CONTRACT = KernelContract(
+    symbols={"n": (1, None), "k": (0, "n")},
+    arrays={"out": ArraySpec(extent=("n",), role="out")},
+    sanitize_workload="dos",
+)
+
+
+@kernel("oob_shift", contract=_OOB_CONTRACT)
+def _oob_shift_kernel(ctx, out, n, k):
+    rows = ctx.thread_range(n)
+    out.data[rows + 1] = 0.0
+    peek = out.data[k]
+    return peek

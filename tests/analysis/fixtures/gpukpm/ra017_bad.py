@@ -1,0 +1,26 @@
+"""RA017 fixtures: an unpinned block-independent write races itself.
+
+``j`` *looks* block-derived (so the syntactic RA014 taint passes), but
+the affine interpreter cancels it to the constant 0: every block of the
+launch stores into ``acc[0]`` — a certain cross-block write/write
+violation.  The pinned twin below is the legal single-writer form.
+"""
+
+_RACE_CONTRACT = KernelContract(
+    symbols={"n": (1, None)},
+    arrays={"acc": ArraySpec(extent=("n",), role="out")},
+    sanitize_workload="dos",
+)
+
+
+@kernel("racy_reduce", contract=_RACE_CONTRACT)
+def _racy_reduce_kernel(ctx, acc, n):
+    j = ctx.linear_block_id - ctx.linear_block_id
+    acc.data[j] = 1.0
+
+
+@kernel("pinned_reduce", contract=_RACE_CONTRACT)
+def _pinned_reduce_kernel(ctx, acc, n):
+    if ctx.linear_block_id != 0:
+        return
+    acc.data[0] = 1.0

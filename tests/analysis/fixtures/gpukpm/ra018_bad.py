@@ -1,0 +1,23 @@
+"""RA018 fixtures: ad-hoc contractions on matrix storage buffers.
+
+Both products are numerically plausible but bypass the canonical
+contraction order of ``repro.sparse.sweep``, so replay across storage
+formats would not be bit-identical.  The accesses themselves are
+in-bounds and race-free — the kernel *proves* clean under RA016/RA017;
+only the contraction route is wrong.
+"""
+
+_DOT_CONTRACT = KernelContract(
+    symbols={"n": (1, None), "nnz": (0, None)},
+    arrays={"x": ArraySpec(extent=("n",), role="in")},
+    matrices={"matrix": MatrixSpec("n", "n", nnz="nnz")},
+)
+
+
+@kernel("adhoc_product", contract=_DOT_CONTRACT)
+def _adhoc_product_kernel(ctx, matrix, x, n):
+    x_host = np.asarray(x.data, dtype=np.float64)
+    result = np.dot(matrix.dense, x_host)
+    stash = np.asarray(matrix.dense, dtype=np.float64)
+    gram = stash @ stash.T
+    return result, gram

@@ -1,0 +1,18 @@
+"""RA019 fixture: a declared coverage axis with a provable gap.
+
+``out`` promises exactly-once coverage of axis 0 (all ``n`` elements),
+but the partition only tiles ``[0, n-1)`` — the last element is never
+assigned.  No sanitize workload is named, so RA020 also reports the
+kernel as neither proven nor dynamically covered.
+"""
+
+_GAP_CONTRACT = KernelContract(
+    symbols={"n": (1, None)},
+    arrays={"out": ArraySpec(extent=("n",), role="out", coverage=0)},
+)
+
+
+@kernel("short_cover", contract=_GAP_CONTRACT)
+def _short_cover_kernel(ctx, out, n):
+    rows = ctx.thread_range(n - 1)
+    out.data[rows] = 0.0

@@ -1,0 +1,29 @@
+"""RA020 fixtures: kernels that fall between proof and sanitizer.
+
+Three ways out of the proven-or-sanitized dichotomy: no contract at
+all, a sanitize workload naming nothing the pinned runner knows, and a
+contract expression the static extractor cannot evaluate.
+"""
+
+
+@kernel("uncontracted")
+def _uncontracted_kernel(ctx, out):
+    out.data[ctx.linear_block_id] = 0.0
+
+
+_W_CONTRACT = KernelContract(
+    symbols={"n": (1, None)},
+    arrays={"out": ArraySpec(extent=("n",), role="out")},
+    sanitize_workload="warmup",
+)
+
+
+@kernel("mystery_workload", contract=_W_CONTRACT)
+def _mystery_workload_kernel(ctx, out, n):
+    rows = ctx.thread_range(n)
+    out.data[rows] = 0.0
+
+
+@kernel("unreadable", contract=build_contract())
+def _unreadable_kernel(ctx, out):
+    out.data[ctx.linear_block_id] = 0.0

@@ -94,7 +94,7 @@ class TestSelectIgnore:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for index in range(1, 13):
+        for index in range(1, 21):
             assert f"RA{index:03d}" in out
 
 
@@ -118,6 +118,33 @@ class TestExplain:
     def test_explain_needs_no_paths(self, capsys):
         # --explain is a documentation query: no scan root required.
         assert main(["--explain", "RA012"]) == EXIT_CLEAN
+
+    def test_every_rule_has_explain_prose(self, capsys):
+        from repro.analysis.rules import ALL_RULES
+
+        assert len(ALL_RULES) == 20
+        for rule in ALL_RULES:
+            assert main(["--explain", rule.id]) == EXIT_CLEAN
+            out = capsys.readouterr().out
+            assert out.startswith(f"{rule.id} ")
+            # Rich prose, not a one-line restatement of the title.
+            assert len(out.strip().splitlines()) > 1
+
+    @pytest.mark.parametrize(
+        "rule_id, phrase",
+        [
+            ("RA016", "out-of-bounds"),
+            ("RA017", "disjoint"),
+            ("RA018", "canonical"),
+            ("RA019", "exactly-once"),
+            ("RA020", "certificate"),
+        ],
+    )
+    def test_verifier_rules_explain_their_proof_obligation(
+        self, rule_id, phrase, capsys
+    ):
+        assert main(["--explain", rule_id]) == EXIT_CLEAN
+        assert phrase in capsys.readouterr().out.lower()
 
 
 class TestGraphOut:

@@ -325,6 +325,105 @@ class TestRA015SanitizerSuppressionAudit:
         assert 6 not in lines
 
 
+class TestRA016StaticBounds:
+    def test_exact_findings(self):
+        report = scan(["RA016"])
+        assert locations(report.findings) == [
+            ("gpukpm/ra016_bad.py", 19, "RA016"),
+        ]
+
+    def test_certain_violation_names_the_escape(self):
+        (finding,) = scan(["RA016"]).findings
+        assert "oob_shift" in finding.message
+        assert "upper bound n exceeds extent n" in finding.message
+
+    def test_uncertain_issue_suppressed_by_sanitize_workload(self):
+        # The same fixture reads out[k] with k <= n (may escape by one);
+        # the contract's sanitize_workload shifts that uncertain
+        # obligation to RA020, so only the certain write is reported.
+        lines = [f.line for f in scan(["RA016"]).findings]
+        assert lines == [19]
+
+
+class TestRA017CrossBlockRace:
+    def test_exact_findings(self):
+        report = scan(["RA017"])
+        assert locations(report.findings) == [
+            ("gpukpm/ra017_bad.py", 19, "RA017"),
+        ]
+
+    def test_certain_self_race_is_reported(self):
+        # j = block_id - block_id cancels to the constant 0: one write
+        # statement races itself across blocks.
+        (finding,) = scan(["RA017"]).findings
+        assert "racy_reduce" in finding.message
+        assert "write/write" in finding.message
+        assert "overlaps across blocks" in finding.message
+
+    def test_pinned_single_writer_is_clean(self):
+        messages = [f.message for f in scan(["RA017"]).findings]
+        assert not any("pinned_reduce" in m for m in messages)
+
+
+class TestRA018CanonicalSweep:
+    def test_exact_findings(self):
+        report = scan(["RA018"])
+        assert locations(report.findings) == [
+            ("gpukpm/ra018_bad.py", 20, "RA018"),
+            ("gpukpm/ra018_bad.py", 22, "RA018"),
+        ]
+
+    def test_messages_name_the_contraction_route(self):
+        messages = [f.message for f in scan(["RA018"]).findings]
+        assert any("'np.dot'" in m for m in messages)
+        assert any("'@'" in m for m in messages)
+        assert all("matvec / repro.sparse.sweep" in m for m in messages)
+
+
+class TestRA019LaunchCoverage:
+    def test_exact_findings(self):
+        report = scan(["RA019"])
+        assert locations(report.findings) == [
+            ("gpukpm/ra019_bad.py", 18, "RA019"),
+        ]
+
+    def test_message_names_the_coverage_axis(self):
+        (finding,) = scan(["RA019"]).findings
+        assert "short_cover" in finding.message
+        assert "exactly-once covering scheme on coverage axis 0" in finding.message
+
+
+class TestRA020ProofCertificate:
+    def test_exact_findings(self):
+        report = scan(["RA020"])
+        assert locations(report.findings) == [
+            ("gpukpm/ra019_bad.py", 16, "RA020"),
+            ("gpukpm/ra020_bad.py", 10, "RA020"),
+            ("gpukpm/ra020_bad.py", 22, "RA020"),
+            ("gpukpm/ra020_bad.py", 28, "RA020"),
+        ]
+
+    def test_messages_cover_the_three_gaps(self):
+        messages = [f.message for f in scan(["RA020"]).findings]
+        assert any("not statically proven" in m for m in messages)
+        assert any(
+            "no statically-readable KernelContract" in m for m in messages
+        )
+        assert any("unknown sanitize workload 'warmup'" in m for m in messages)
+
+    def test_unreadable_contract_carries_the_extractor_error(self):
+        messages = [f.message for f in scan(["RA020"]).findings]
+        assert any("build_contract" in m for m in messages)
+
+    def test_certain_failure_with_workload_stays_out_of_ra020(self):
+        # ra016/ra017 fixtures carry sanitize_workload="dos": RA020
+        # leaves their certain violations to RA016/RA017 rather than
+        # double-reporting them.
+        paths = {f.path for f in scan(["RA020"]).findings}
+        assert "gpukpm/ra016_bad.py" not in paths
+        assert "gpukpm/ra017_bad.py" not in paths
+
+
 class TestFullSweep:
     def test_rule_totals(self):
         report = scan()
@@ -347,6 +446,11 @@ class TestFullSweep:
             "RA013": 2,
             "RA014": 2,
             "RA015": 3,
+            "RA016": 1,
+            "RA017": 1,
+            "RA018": 2,
+            "RA019": 1,
+            "RA020": 4,
         }
 
     def test_clean_and_suppressed_files_stay_silent(self):
@@ -369,6 +473,11 @@ class TestFullSweep:
                 "RA013",
                 "RA014",
                 "RA015",
+                "RA016",
+                "RA017",
+                "RA018",
+                "RA019",
+                "RA020",
             )
         )
         report = run_analysis([FIXTURES], config)
